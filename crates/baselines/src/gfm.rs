@@ -1,0 +1,392 @@
+//! GFM — the paper's first comparison baseline (§5): a generalization of
+//! Fiduccia & Mattheyses' interchange heuristic to M-way partitioning with
+//! arbitrary interconnection costs, arbitrary component sizes, and
+//! feasibility-preserving moves only.
+//!
+//! Each component carries `M − 1` gain entries (one per foreign partition).
+//! A pass repeatedly applies the highest-gain *feasible* move among unlocked
+//! components (hill-climbing through negative gains, classic FM style), locks
+//! the moved component, and finally rolls back to the best prefix of the
+//! pass. Passes repeat until no positive-gain prefix exists.
+
+use crate::common::{
+    affected_components, require_feasible_start, BaselineOutcome, GainKey,
+};
+use qbp_core::{
+    move_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionId, Problem,
+    UsageTracker,
+};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Configuration for [`GfmSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GfmConfig {
+    /// Upper bound on passes; the paper runs "till no more improvement is
+    /// possible", which `usize::MAX` approximates (each pass must strictly
+    /// improve to continue).
+    pub max_passes: usize,
+    /// Allow negative-gain moves inside a pass (best-prefix rollback
+    /// recovers); disabling turns each pass into a plain greedy descent.
+    pub hill_climbing: bool,
+}
+
+impl Default for GfmConfig {
+    fn default() -> Self {
+        GfmConfig {
+            max_passes: usize::MAX,
+            hill_climbing: true,
+        }
+    }
+}
+
+/// The generalized Fiduccia–Mattheyses solver.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, Assignment, Evaluator};
+/// use qbp_baselines::{GfmConfig, GfmSolver};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 1);
+/// let b = circuit.add_component("b", 1);
+/// circuit.add_wires(a, b, 5)?;
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 2)?).build()?;
+///
+/// // Start with a and b far apart; GFM pulls them together.
+/// let start = Assignment::from_parts(vec![0, 3])?;
+/// let outcome = GfmSolver::new(GfmConfig::default()).solve(&problem, &start)?;
+/// assert!(outcome.cost < Evaluator::new(&problem).cost(&start));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GfmSolver {
+    config: GfmConfig,
+}
+
+/// One tentative move inside a pass, for rollback.
+#[derive(Debug, Clone, Copy)]
+struct AppliedMove {
+    j: ComponentId,
+    from: PartitionId,
+}
+
+impl GfmSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GfmConfig) -> Self {
+        GfmSolver { config }
+    }
+
+    /// Runs GFM from a feasible initial assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InfeasibleStart`] when `initial` violates C1 or C2
+    /// (both baselines need a violation-free start to guarantee a
+    /// violation-free result), or a dimension error when it does not match
+    /// the problem.
+    pub fn solve(&self, problem: &Problem, initial: &Assignment) -> Result<BaselineOutcome, Error> {
+        require_feasible_start(problem, initial)?;
+        let start = Instant::now();
+        let eval = Evaluator::new(problem);
+        let mut assignment = initial.clone();
+        let mut passes = 0;
+        let mut total_moves = 0;
+        while passes < self.config.max_passes {
+            passes += 1;
+            let (gain, moves) = self.run_pass(problem, &eval, &mut assignment);
+            total_moves += moves;
+            if gain <= 0 {
+                break;
+            }
+        }
+        Ok(BaselineOutcome {
+            cost: eval.cost(&assignment),
+            assignment,
+            passes,
+            moves_applied: total_moves,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Runs one FM pass; returns `(retained gain, retained move count)`.
+    /// `assignment` ends at the best prefix of the pass.
+    fn run_pass(
+        &self,
+        problem: &Problem,
+        eval: &Evaluator<'_>,
+        assignment: &mut Assignment,
+    ) -> (i64, usize) {
+        let m = problem.m();
+        let n = problem.n();
+        let mut usage = UsageTracker::new(problem, assignment);
+        let mut locked = vec![false; n];
+        // Max-heap of candidate moves; keys refreshed lazily on pop and
+        // eagerly for components affected by each applied move.
+        let mut heap: BinaryHeap<(GainKey, u32, u32)> = BinaryHeap::new();
+        let push_moves = |heap: &mut BinaryHeap<(GainKey, u32, u32)>,
+                          assignment: &Assignment,
+                          j: usize| {
+            let cur = assignment.part_index(j);
+            for i in 0..m {
+                if i != cur {
+                    let gain = -eval.move_delta(assignment, ComponentId::new(j), PartitionId::new(i));
+                    heap.push((GainKey(gain), j as u32, i as u32));
+                }
+            }
+        };
+        for j in 0..n {
+            push_moves(&mut heap, assignment, j);
+        }
+        // Capacity-blocked candidates parked per target partition; revived
+        // when that partition frees space.
+        let mut waiting: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+
+        let mut applied: Vec<AppliedMove> = Vec::new();
+        let mut cum_gain: i64 = 0;
+        let mut best_gain: i64 = 0;
+        let mut best_len: usize = 0;
+
+        while let Some((GainKey(key), ju, iu)) = heap.pop() {
+            let j = ju as usize;
+            let i = iu as usize;
+            if locked[j] {
+                continue;
+            }
+            let cur = assignment.part_index(j);
+            if i == cur {
+                continue;
+            }
+            let cj = ComponentId::new(j);
+            let pi = PartitionId::new(i);
+            let gain = -eval.move_delta(assignment, cj, pi);
+            // Stale key: re-queue with the fresh gain unless it still
+            // dominates the heap.
+            if gain < key {
+                let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
+                if !still_max {
+                    heap.push((GainKey(gain), ju, iu));
+                    continue;
+                }
+            }
+            if !self.config.hill_climbing && gain <= 0 {
+                break;
+            }
+            // Feasibility gates.
+            if !usage.move_fits(problem, cj, pi) {
+                waiting[i].push((ju, iu));
+                continue;
+            }
+            if !move_is_timing_feasible(problem, assignment, cj, pi) {
+                continue;
+            }
+            // Apply tentatively.
+            let from = PartitionId::new(cur);
+            usage.apply_move(problem, cj, from, pi);
+            assignment.move_to(cj, pi);
+            locked[j] = true;
+            cum_gain += gain;
+            applied.push(AppliedMove { j: cj, from });
+            if cum_gain > best_gain {
+                best_gain = cum_gain;
+                best_len = applied.len();
+            }
+            // Refresh gains of affected unlocked components and revive
+            // capacity-waiters of the freed partition.
+            for k in affected_components(problem, cj) {
+                if !locked[k.index()] {
+                    push_moves(&mut heap, assignment, k.index());
+                }
+            }
+            for (wj, wi) in std::mem::take(&mut waiting[from.index()]) {
+                if !locked[wj as usize] {
+                    let g = -eval.move_delta(
+                        assignment,
+                        ComponentId::new(wj as usize),
+                        PartitionId::new(wi as usize),
+                    );
+                    heap.push((GainKey(g), wj, wi));
+                }
+            }
+        }
+
+        // Roll back to the best prefix.
+        for mv in applied[best_len..].iter().rev() {
+            assignment.move_to(mv.j, mv.from);
+        }
+        (best_gain, best_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbp_core::{check_feasibility, Circuit, PartitionTopology, ProblemBuilder, TimingConstraints};
+
+    fn chain_problem(cap: u64) -> Problem {
+        let mut c = Circuit::new();
+        let ids: Vec<_> = (0..6)
+            .map(|j| c.add_component(format!("c{j}"), 1 + (j % 3) as u64))
+            .collect();
+        for w in ids.windows(2) {
+            c.add_wires(w[0], w[1], 3).unwrap();
+        }
+        c.add_wires(ids[0], ids[5], 1).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, cap).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn improves_a_scattered_start() {
+        let p = chain_problem(12);
+        let start = Assignment::from_parts(vec![0, 3, 0, 3, 0, 3]).unwrap();
+        let eval = Evaluator::new(&p);
+        let out = GfmSolver::default().solve(&p, &start).unwrap();
+        assert!(out.cost < eval.cost(&start));
+        assert_eq!(out.cost, eval.cost(&out.assignment));
+        assert!(check_feasibility(&p, &out.assignment).is_feasible());
+    }
+
+    #[test]
+    fn respects_capacity_during_descent() {
+        // Capacity 4: the chain (total size 12) cannot collapse into one
+        // partition; the start packs every partition exactly full.
+        let p = chain_problem(4);
+        let start = Assignment::from_parts(vec![0, 2, 0, 1, 2, 1]).unwrap();
+        let out = GfmSolver::default().solve(&p, &start).unwrap();
+        assert!(check_feasibility(&p, &out.assignment).is_feasible());
+    }
+
+    #[test]
+    fn respects_timing_during_descent() {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let d = c.add_component("c", 1);
+        c.add_wires(a, b, 10).unwrap();
+        // Timing pins c within distance 1 of a; moving c next to b would
+        // break it.
+        let mut tc = TimingConstraints::new(3);
+        tc.add_symmetric(a, d, 1).unwrap();
+        c.add_wires(b, d, 10).unwrap();
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(1, 4, 3).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        let start = Assignment::from_parts(vec![0, 2, 1]).unwrap();
+        let out = GfmSolver::default().solve(&p, &start).unwrap();
+        assert!(check_feasibility(&p, &out.assignment).is_feasible());
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        let p = chain_problem(3);
+        let start = Assignment::all_in_first(6); // 12 > 3
+        assert!(matches!(
+            GfmSolver::default().solve(&p, &start),
+            Err(Error::InfeasibleStart { .. })
+        ));
+    }
+
+    #[test]
+    fn final_cost_never_worse_than_start() {
+        let p = chain_problem(6);
+        let eval = Evaluator::new(&p);
+        for parts in [[0u32, 1, 2, 3, 2, 1], [3, 3, 0, 0, 1, 1], [0, 1, 0, 1, 0, 1]] {
+            let start = Assignment::from_parts(parts.to_vec()).unwrap();
+            if check_feasibility(&p, &start).is_feasible() {
+                let out = GfmSolver::default().solve(&p, &start).unwrap();
+                assert!(out.cost <= eval.cost(&start), "start {parts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_mode_also_improves() {
+        let p = chain_problem(12);
+        let start = Assignment::from_parts(vec![0, 3, 0, 3, 0, 3]).unwrap();
+        let out = GfmSolver::new(GfmConfig {
+            hill_climbing: false,
+            ..GfmConfig::default()
+        })
+        .solve(&p, &start)
+        .unwrap();
+        let eval = Evaluator::new(&p);
+        assert!(out.cost <= eval.cost(&start));
+    }
+
+    #[test]
+    fn max_passes_caps_work() {
+        let p = chain_problem(12);
+        let start = Assignment::from_parts(vec![0, 3, 0, 3, 0, 3]).unwrap();
+        let out = GfmSolver::new(GfmConfig {
+            max_passes: 1,
+            ..GfmConfig::default()
+        })
+        .solve(&p, &start)
+        .unwrap();
+        assert_eq!(out.passes, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qbp_core::{check_feasibility, Circuit, PartitionTopology, ProblemBuilder, TimingConstraints};
+
+    fn arb_feasible_instance() -> impl Strategy<Value = (Problem, Assignment)> {
+        (3usize..9, 2usize..5).prop_flat_map(|(n, m)| {
+            let edges = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 1i64..5),
+                0..14,
+            );
+            let cons = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 1i64..4),
+                0..6,
+            );
+            (Just((n, m)), edges, cons).prop_map(|((n, m), edges, cons)| {
+                let mut circuit = Circuit::new();
+                for j in 0..n {
+                    circuit.add_component(format!("c{j}"), 1 + (j as u64 % 3));
+                }
+                for ((a, b), w) in edges {
+                    circuit
+                        .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                        .unwrap();
+                }
+                let mut tc = TimingConstraints::new(n);
+                for ((a, b), dc) in cons {
+                    tc.add(ComponentId::new(a), ComponentId::new(b), dc).unwrap();
+                }
+                // Everything in partition 0 with ample capacity: trivially
+                // feasible start (distance 0 satisfies all limits >= 1).
+                let problem = ProblemBuilder::new(
+                    circuit,
+                    PartitionTopology::grid(1, m, 10_000).unwrap(),
+                )
+                .timing(tc)
+                .build()
+                .unwrap();
+                let start = Assignment::all_in_first(n);
+                (problem, start)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn gfm_preserves_feasibility_and_never_regresses(
+            (problem, start) in arb_feasible_instance()
+        ) {
+            prop_assume!(check_feasibility(&problem, &start).is_feasible());
+            let eval = Evaluator::new(&problem);
+            let out = GfmSolver::default().solve(&problem, &start).unwrap();
+            prop_assert!(check_feasibility(&problem, &out.assignment).is_feasible());
+            prop_assert!(out.cost <= eval.cost(&start));
+            prop_assert_eq!(out.cost, eval.cost(&out.assignment));
+        }
+    }
+}

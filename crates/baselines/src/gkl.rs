@@ -1,0 +1,382 @@
+//! GKL — the paper's second comparison baseline (§5): a generalization of
+//! Kernighan & Lin's heuristic that *switches a pair of components at a
+//! time*, with arbitrary interconnection costs and feasibility-preserving
+//! swaps.
+//!
+//! Each outer loop unlocks everything and tentatively applies the best
+//! feasible swap repeatedly (locking both participants) until no candidates
+//! remain, then rolls back to the best prefix. The paper "force[s] the
+//! algorithm to terminate after the first 6 outer loops due to excessive CPU
+//! runtime"; that cutoff is the default here too.
+
+use crate::common::{affected_components, require_feasible_start, BaselineOutcome, GainKey};
+use qbp_core::{
+    swap_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, Problem, UsageTracker,
+};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Configuration for [`GklSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GklConfig {
+    /// Maximum outer loops (paper: 6 — "any gain obtained beyond the first 6
+    /// outer loops is insignificant").
+    pub max_outer_loops: usize,
+    /// Allow negative-gain swaps inside a loop (best-prefix rollback
+    /// recovers).
+    pub hill_climbing: bool,
+}
+
+impl Default for GklConfig {
+    fn default() -> Self {
+        GklConfig {
+            max_outer_loops: 6,
+            hill_climbing: true,
+        }
+    }
+}
+
+/// The generalized Kernighan–Lin pair-swap solver.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, Assignment, Evaluator};
+/// use qbp_baselines::{GklConfig, GklSolver};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 1);
+/// let b = circuit.add_component("b", 1);
+/// let c = circuit.add_component("c", 1);
+/// let d = circuit.add_component("d", 1);
+/// circuit.add_wires(a, b, 5)?;
+/// circuit.add_wires(c, d, 5)?;
+/// // Capacity 1 per partition: only swaps can rearrange anything.
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 1)?).build()?;
+/// let start = Assignment::from_parts(vec![0, 3, 1, 2])?; // both wire bundles at distance 2
+/// let outcome = GklSolver::new(GklConfig::default()).solve(&problem, &start)?;
+/// assert!(outcome.cost < Evaluator::new(&problem).cost(&start));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GklSolver {
+    config: GklConfig,
+}
+
+impl GklSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GklConfig) -> Self {
+        GklSolver { config }
+    }
+
+    /// Runs GKL from a feasible initial assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InfeasibleStart`] when `initial` violates C1 or C2,
+    /// or a dimension error when it does not match the problem.
+    pub fn solve(&self, problem: &Problem, initial: &Assignment) -> Result<BaselineOutcome, Error> {
+        require_feasible_start(problem, initial)?;
+        let start = Instant::now();
+        let eval = Evaluator::new(problem);
+        let mut assignment = initial.clone();
+        let mut outer = 0;
+        let mut total_swaps = 0;
+        while outer < self.config.max_outer_loops {
+            outer += 1;
+            let (gain, swaps) = self.run_outer_loop(problem, &eval, &mut assignment);
+            total_swaps += swaps;
+            if gain <= 0 {
+                break;
+            }
+        }
+        Ok(BaselineOutcome {
+            cost: eval.cost(&assignment),
+            assignment,
+            passes: outer,
+            moves_applied: total_swaps,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// One outer loop: tentative best-swap sequence with locking, then
+    /// rollback to the best prefix. Returns `(retained gain, retained swap
+    /// count)`.
+    fn run_outer_loop(
+        &self,
+        problem: &Problem,
+        eval: &Evaluator<'_>,
+        assignment: &mut Assignment,
+    ) -> (i64, usize) {
+        let n = problem.n();
+        let mut usage = UsageTracker::new(problem, assignment);
+        let mut locked = vec![false; n];
+        // Max-heap over candidate pairs (gain, j1, j2); keys validated on pop.
+        let mut heap: BinaryHeap<(GainKey, u32, u32)> = BinaryHeap::new();
+        for j1 in 0..n {
+            for j2 in j1 + 1..n {
+                if assignment.part_index(j1) == assignment.part_index(j2) {
+                    continue;
+                }
+                let gain =
+                    -eval.swap_delta(assignment, ComponentId::new(j1), ComponentId::new(j2));
+                heap.push((GainKey(gain), j1 as u32, j2 as u32));
+            }
+        }
+
+        let mut applied: Vec<(ComponentId, ComponentId)> = Vec::new();
+        let mut cum_gain: i64 = 0;
+        let mut best_gain: i64 = 0;
+        let mut best_len: usize = 0;
+
+        while let Some((GainKey(key), j1u, j2u)) = heap.pop() {
+            let (j1, j2) = (j1u as usize, j2u as usize);
+            if locked[j1] || locked[j2] {
+                continue;
+            }
+            let (c1, c2) = (ComponentId::new(j1), ComponentId::new(j2));
+            let (i1, i2) = (
+                assignment.partition_of(c1),
+                assignment.partition_of(c2),
+            );
+            if i1 == i2 {
+                continue;
+            }
+            let gain = -eval.swap_delta(assignment, c1, c2);
+            if gain < key {
+                let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
+                if !still_max {
+                    heap.push((GainKey(gain), j1u, j2u));
+                    continue;
+                }
+            }
+            if !self.config.hill_climbing && gain <= 0 {
+                break;
+            }
+            if !usage.swap_fits(problem, c1, i1, c2, i2)
+                || !swap_is_timing_feasible(problem, assignment, c1, c2)
+            {
+                continue;
+            }
+            // Apply tentatively and lock both.
+            usage.apply_move(problem, c1, i1, i2);
+            usage.apply_move(problem, c2, i2, i1);
+            assignment.swap(c1, c2);
+            locked[j1] = true;
+            locked[j2] = true;
+            cum_gain += gain;
+            applied.push((c1, c2));
+            if cum_gain > best_gain {
+                best_gain = cum_gain;
+                best_len = applied.len();
+            }
+            // Refresh pairs touching the neighborhoods of the swapped pair:
+            // for each affected unlocked component, re-rank its best partners.
+            let mut affected = affected_components(problem, c1);
+            affected.extend(affected_components(problem, c2));
+            affected.sort();
+            affected.dedup();
+            for k in affected {
+                if locked[k.index()] {
+                    continue;
+                }
+                // Push this component's best current partner (top-1 refresh;
+                // stale entries for other partners are re-validated on pop).
+                let mut best_pair: Option<(i64, usize)> = None;
+                for l in 0..n {
+                    if l == k.index() || locked[l] {
+                        continue;
+                    }
+                    if assignment.part_index(l) == assignment.part_index(k.index()) {
+                        continue;
+                    }
+                    let g = -eval.swap_delta(assignment, k, ComponentId::new(l));
+                    if best_pair.is_none_or(|(bg, _)| g > bg) {
+                        best_pair = Some((g, l));
+                    }
+                }
+                if let Some((g, l)) = best_pair {
+                    let (a, b) = if k.index() < l { (k.index(), l) } else { (l, k.index()) };
+                    heap.push((GainKey(g), a as u32, b as u32));
+                }
+            }
+        }
+
+        // Roll back to the best prefix.
+        for &(c1, c2) in applied[best_len..].iter().rev() {
+            assignment.swap(c1, c2);
+        }
+        (best_gain, best_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbp_core::{
+        check_feasibility, Circuit, PartitionTopology, ProblemBuilder, TimingConstraints,
+    };
+
+    /// Two tightly-wired pairs placed diagonally; unit capacities mean only
+    /// swaps can fix the layout.
+    fn crossed_pairs() -> (Problem, Assignment) {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let x = c.add_component("x", 1);
+        let y = c.add_component("y", 1);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(x, y, 5).unwrap();
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 1).unwrap())
+            .build()
+            .unwrap();
+        // a at p0, b at p3 (distance 2); x at p1, y at p2 (distance 2).
+        let start = Assignment::from_parts(vec![0, 3, 1, 2]).unwrap();
+        (p, start)
+    }
+
+    #[test]
+    fn fixes_crossed_pairs_to_optimal() {
+        let (p, start) = crossed_pairs();
+        let eval = Evaluator::new(&p);
+        assert_eq!(eval.cost(&start), 2 * (5 * 2 + 5 * 2));
+        let out = GklSolver::default().solve(&p, &start).unwrap();
+        // Optimal: each pair on adjacent cells → 2·(5+5) = 20.
+        assert_eq!(out.cost, 20);
+        assert!(check_feasibility(&p, &out.assignment).is_feasible());
+    }
+
+    #[test]
+    fn unit_capacities_preserved() {
+        let (p, start) = crossed_pairs();
+        let out = GklSolver::default().solve(&p, &start).unwrap();
+        let mut counts = vec![0; 4];
+        for j in 0..4 {
+            counts[out.assignment.part_index(j)] += 1;
+        }
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn respects_timing_constraints() {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let x = c.add_component("x", 1);
+        let y = c.add_component("y", 1);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(x, y, 5).unwrap();
+        // Pin a and x within distance 1 of each other.
+        let mut tc = TimingConstraints::new(4);
+        tc.add_symmetric(a, x, 1).unwrap();
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 1).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        let start = Assignment::from_parts(vec![0, 3, 1, 2]).unwrap();
+        let out = GklSolver::default().solve(&p, &start).unwrap();
+        assert!(check_feasibility(&p, &out.assignment).is_feasible());
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        let (p, _) = crossed_pairs();
+        let bad = Assignment::all_in_first(4); // 4 components in capacity-1
+        assert!(matches!(
+            GklSolver::default().solve(&p, &bad),
+            Err(Error::InfeasibleStart { .. })
+        ));
+    }
+
+    #[test]
+    fn never_worse_than_start_and_outer_cutoff_respected() {
+        let (p, start) = crossed_pairs();
+        let eval = Evaluator::new(&p);
+        let out = GklSolver::new(GklConfig {
+            max_outer_loops: 1,
+            ..GklConfig::default()
+        })
+        .solve(&p, &start)
+        .unwrap();
+        assert!(out.cost <= eval.cost(&start));
+        assert_eq!(out.passes, 1);
+    }
+
+    #[test]
+    fn different_sizes_swap_when_capacity_allows() {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 2);
+        let _b = c.add_component("b", 1);
+        let x = c.add_component("x", 1);
+        c.add_wires(a, x, 4).unwrap();
+        // a (size 2) sits two cells from x; swapping a (p0) and b (p1)
+        // brings a adjacent to x. Capacity 2 permits the swap.
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(1, 3, 2).unwrap())
+            .build()
+            .unwrap();
+        let start = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        let out = GklSolver::default().solve(&p, &start).unwrap();
+        let eval = Evaluator::new(&p);
+        assert!(out.cost < eval.cost(&start));
+        assert!(check_feasibility(&p, &out.assignment).is_feasible());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qbp_core::{check_feasibility, Circuit, PartitionTopology, ProblemBuilder};
+
+    fn arb_spread_instance() -> impl Strategy<Value = (Problem, Assignment)> {
+        (4usize..10, 2usize..5).prop_flat_map(|(n, m)| {
+            let edges = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 1i64..5),
+                1..16,
+            );
+            let parts = proptest::collection::vec(0u32..m as u32, n);
+            (Just((n, m)), edges, parts).prop_map(|((n, m), edges, parts)| {
+                let mut circuit = Circuit::new();
+                for j in 0..n {
+                    circuit.add_component(format!("c{j}"), 1);
+                }
+                for ((a, b), w) in edges {
+                    circuit
+                        .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                        .unwrap();
+                }
+                // Unit sizes with generous capacity: any spread is feasible.
+                let problem = ProblemBuilder::new(
+                    circuit,
+                    PartitionTopology::grid(1, m, n as u64).unwrap(),
+                )
+                .build()
+                .unwrap();
+                let start = Assignment::from_parts(parts).unwrap();
+                (problem, start)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn gkl_preserves_feasibility_and_never_regresses(
+            (problem, start) in arb_spread_instance()
+        ) {
+            let eval = Evaluator::new(&problem);
+            let out = GklSolver::default().solve(&problem, &start).unwrap();
+            prop_assert!(check_feasibility(&problem, &out.assignment).is_feasible());
+            prop_assert!(out.cost <= eval.cost(&start));
+            prop_assert_eq!(out.cost, eval.cost(&out.assignment));
+            // Swaps preserve the per-partition component counts exactly
+            // (unit sizes ⇒ multiset of partition loads is invariant).
+            let mut before = vec![0usize; problem.m()];
+            let mut after = vec![0usize; problem.m()];
+            for j in 0..problem.n() {
+                before[start.part_index(j)] += 1;
+                after[out.assignment.part_index(j)] += 1;
+            }
+            prop_assert_eq!(before, after);
+        }
+    }
+}

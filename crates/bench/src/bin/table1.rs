@@ -1,0 +1,33 @@
+//! TABLE-I: regenerates the paper's circuit-description table from the
+//! synthetic suite, so the reader can verify the instances match the
+//! published statistics.
+//!
+//! Usage: `cargo run -p qbp-bench --release --bin table1`
+//! (set `QBP_SCALE=0.25` to shrink the instances proportionally).
+
+use qbp_bench::TableOptions;
+use qbp_gen::{build_instance, scaled_spec, SuiteOptions, PAPER_SUITE};
+
+fn main() {
+    let opts = TableOptions::from_env();
+    let suite_options = SuiteOptions {
+        seed: opts.seed,
+        ..SuiteOptions::default()
+    };
+    println!("I. circuit descriptions (generated at scale {}):", opts.scale);
+    println!(
+        "{:<8}{:>16}{:>12}{:>26}",
+        "ckt", "# of components", "# of wires", "# of Timing Constraints"
+    );
+    for spec in &PAPER_SUITE {
+        let spec = scaled_spec(spec, opts.scale);
+        let problem = build_instance(&spec, &suite_options).expect("suite construction");
+        println!(
+            "{:<8}{:>16}{:>12}{:>26}",
+            spec.name,
+            problem.n(),
+            problem.circuit().total_wire_weight() / 2,
+            problem.timing().len()
+        );
+    }
+}

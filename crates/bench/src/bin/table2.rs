@@ -1,0 +1,33 @@
+//! TABLE-II: QBP vs GFM vs GKL **without** timing constraints — the paper's
+//! Table II, on the synthetic suite.
+//!
+//! Usage: `cargo run -p qbp-bench --release --bin table2`
+//! (set `QBP_SCALE=0.25` for a faster, proportionally scaled run).
+
+use qbp_bench::harness::print_table;
+use qbp_bench::{default_methods, run_circuit_with_fallback, TableOptions};
+use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
+
+fn main() {
+    let opts = TableOptions::from_env();
+    let suite_options = SuiteOptions {
+        seed: opts.seed,
+        ..SuiteOptions::default()
+    };
+    let methods = default_methods();
+    let mut rows = Vec::new();
+    for spec in &PAPER_SUITE {
+        let spec = scaled_spec(spec, opts.scale);
+        let (problem, witness) =
+            build_instance_with_witness(&spec, &suite_options).expect("suite construction");
+        // Table II relaxes the timing constraints.
+        let problem = problem.without_timing();
+        let row = run_circuit_with_fallback(spec.name, &problem, &methods, opts.seed, Some(&witness))
+            .expect("initial feasible solution");
+        rows.push(row);
+    }
+    print_table(
+        &format!("II. Without Timing Constraints (scale {}):", opts.scale),
+        &rows,
+    );
+}

@@ -1,0 +1,54 @@
+//! Runs TABLE-I, TABLE-II and TABLE-III back to back — the full §5
+//! evaluation. `QBP_SCALE` scales the instances; `QBP_SEED` reseeds them.
+//!
+//! Usage: `cargo run -p qbp-bench --release --bin tables`
+
+use qbp_bench::harness::print_table;
+use qbp_bench::{default_methods, run_circuit_with_fallback, TableOptions};
+use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
+
+fn main() {
+    let opts = TableOptions::from_env();
+    let suite_options = SuiteOptions {
+        seed: opts.seed,
+        ..SuiteOptions::default()
+    };
+
+    println!("I. circuit descriptions (generated at scale {}):", opts.scale);
+    println!(
+        "{:<8}{:>16}{:>12}{:>26}",
+        "ckt", "# of components", "# of wires", "# of Timing Constraints"
+    );
+    let mut instances = Vec::new();
+    for spec in &PAPER_SUITE {
+        let spec = scaled_spec(spec, opts.scale);
+        let (problem, witness) =
+            build_instance_with_witness(&spec, &suite_options).expect("suite construction");
+        println!(
+            "{:<8}{:>16}{:>12}{:>26}",
+            spec.name,
+            problem.n(),
+            problem.circuit().total_wire_weight() / 2,
+            problem.timing().len()
+        );
+        instances.push((spec, problem, witness));
+    }
+    println!();
+
+    let methods = default_methods();
+    let mut rows2 = Vec::new();
+    let mut rows3 = Vec::new();
+    for (spec, problem, witness) in &instances {
+        let relaxed = problem.without_timing();
+        rows2.push(
+            run_circuit_with_fallback(spec.name, &relaxed, &methods, opts.seed, Some(witness))
+                .expect("table II row"),
+        );
+        rows3.push(
+            run_circuit_with_fallback(spec.name, problem, &methods, opts.seed, Some(witness))
+                .expect("table III row"),
+        );
+    }
+    print_table("II. Without Timing Constraints:", &rows2);
+    print_table("III. With Timing Constraints:", &rows3);
+}

@@ -1,0 +1,188 @@
+//! Minimal flag parser for the CLI — no external dependencies, just
+//! `--flag value` pairs and positionals, with typed accessors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: positionals in order, flags as key → value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--flag` appeared at the end with no value (and is not a known
+    /// switch).
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// What was expected.
+        expected: &'static str,
+        /// The value found.
+        found: String,
+    },
+    /// A required flag or positional was absent.
+    Missing(&'static str),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgsError::BadValue {
+                flag,
+                expected,
+                found,
+            } => write!(f, "flag --{flag}: expected {expected}, got `{found}`"),
+            ArgsError::Missing(what) => write!(f, "missing required {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments. `switch_names` lists boolean flags that take no
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a value-taking flag ends the argument list.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        switch_names: &[&str],
+    ) -> Result<Self, ArgsError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if switch_names.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    match iter.next() {
+                        Some(v) => {
+                            out.flags.insert(name.to_string(), v);
+                        }
+                        None => return Err(ArgsError::MissingValue(name.to_string())),
+                    }
+                }
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument at `index`.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// Required positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Missing`] when absent.
+    pub fn required(&self, index: usize, what: &'static str) -> Result<&str, ArgsError> {
+        self.positional(index).ok_or(ArgsError::Missing(what))
+    }
+
+    /// String flag value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Typed flag value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                flag: flag.to_string(),
+                expected,
+                found: v.clone(),
+            }),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Number of positionals.
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str], switches: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()), switches)
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(
+            &["solve", "file.qbp", "--method", "gfm", "--seed", "7"],
+            &[],
+        )
+        .expect("parses");
+        assert_eq!(a.positional(0), Some("solve"));
+        assert_eq!(a.positional(1), Some("file.qbp"));
+        assert_eq!(a.get("method"), Some("gfm"));
+        assert_eq!(a.get_parsed("seed", 0u64, "int").expect("u64"), 7);
+        assert_eq!(a.get_parsed("iterations", 100usize, "int").expect("usize"), 100);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = parse(&["check", "--quiet", "f.qbp"], &["quiet"]).expect("parses");
+        assert!(a.switch("quiet"));
+        assert_eq!(a.positional(1), Some("f.qbp"));
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_error() {
+        assert_eq!(
+            parse(&["solve", "--seed"], &[]),
+            Err(ArgsError::MissingValue("seed".into()))
+        );
+    }
+
+    #[test]
+    fn bad_typed_value_is_error() {
+        let a = parse(&["--seed", "abc"], &[]).expect("parses");
+        assert!(matches!(
+            a.get_parsed("seed", 0u64, "an integer"),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn required_positional() {
+        let a = parse(&["solve"], &[]).expect("parses");
+        assert!(a.required(0, "command").is_ok());
+        assert_eq!(
+            a.required(1, "problem file"),
+            Err(ArgsError::Missing("problem file"))
+        );
+    }
+}

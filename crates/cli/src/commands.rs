@@ -1,0 +1,380 @@
+//! Implementations of the CLI subcommands.
+
+use crate::args::Args;
+use qbp_baselines::{GfmConfig, GfmSolver, GklConfig, GklSolver};
+use qbp_core::io::{parse_assignment, parse_problem, write_assignment, write_problem};
+use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem};
+use qbp_solver::{greedy_first_fit, QbpConfig, QbpSolver};
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+type CommandResult = Result<ExitCode, Box<dyn Error>>;
+
+fn load_problem(path: &str) -> Result<Problem, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(parse_problem(&text).map_err(|e| format!("parsing {path}: {e}"))?)
+}
+
+fn emit(output: Option<&str>, contents: &str) -> Result<(), Box<dyn Error>> {
+    match output {
+        Some(path) => {
+            fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        None => print!("{contents}"),
+    }
+    Ok(())
+}
+
+/// `qbp solve` — run one method on a problem file.
+pub fn solve(args: &Args) -> CommandResult {
+    let path = args.required(1, "problem file")?;
+    let problem = load_problem(path)?;
+    let method = args.get("method").unwrap_or("qbp").to_lowercase();
+    let iterations = args.get_parsed("iterations", 100usize, "an integer")?;
+    let seed = args.get_parsed("seed", 1993u64, "an integer")?;
+    let quiet = args.switch("quiet");
+
+    let initial = match args.get("initial") {
+        Some(p) => {
+            let text = fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            Some(parse_assignment(&text, &problem, false).map_err(|e| format!("parsing {p}: {e}"))?)
+        }
+        None => None,
+    };
+
+    let eval = Evaluator::new(&problem);
+    let (assignment, label) = match method.as_str() {
+        "qbp" => {
+            let out = QbpSolver::new(QbpConfig {
+                iterations,
+                seed,
+                ..QbpConfig::default()
+            })
+            .solve(&problem, initial.as_ref())?;
+            if !out.feasible {
+                eprintln!(
+                    "warning: QBP found no fully feasible solution; best has {} timing violation(s)",
+                    check_feasibility(&problem, &out.assignment).timing.len()
+                );
+            }
+            (out.assignment, "QBP")
+        }
+        "gfm" | "gkl" => {
+            let start = match initial {
+                Some(a) => a,
+                None => find_start(&problem, seed)?,
+            };
+            if method == "gfm" {
+                let out = GfmSolver::new(GfmConfig::default()).solve(&problem, &start)?;
+                (out.assignment, "GFM")
+            } else {
+                let out = GklSolver::new(GklConfig::default()).solve(&problem, &start)?;
+                (out.assignment, "GKL")
+            }
+        }
+        other => return Err(format!("unknown method `{other}` (use qbp, gfm or gkl)").into()),
+    };
+
+    let report = check_feasibility(&problem, &assignment);
+    if !quiet {
+        eprintln!(
+            "{label}: cost = {}, feasible = {}",
+            eval.cost(&assignment),
+            report.is_feasible()
+        );
+    }
+    emit(args.get("output"), &write_assignment(&problem, &assignment))?;
+    Ok(if report.is_feasible() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+fn find_start(problem: &Problem, seed: u64) -> Result<Assignment, Box<dyn Error>> {
+    if let Some(a) = QbpSolver::new(QbpConfig {
+        iterations: 60,
+        seed,
+        ..QbpConfig::default()
+    })
+    .find_feasible(problem)?
+    {
+        return Ok(a);
+    }
+    if let Some(a) = greedy_first_fit(problem, seed, 200) {
+        return Ok(a);
+    }
+    Err("no feasible initial solution found (GFM/GKL need one; try `qbp solve --method qbp`)".into())
+}
+
+/// `qbp check` — audit an assignment against a problem.
+pub fn check(args: &Args) -> CommandResult {
+    if args.positional_count() > 3 {
+        return Err("check takes exactly two files: <problem.qbp> <assignment.txt>".into());
+    }
+    let problem = load_problem(args.required(1, "problem file")?)?;
+    let asg_path = args.required(2, "assignment file")?;
+    let text = fs::read_to_string(asg_path).map_err(|e| format!("reading {asg_path}: {e}"))?;
+    let assignment =
+        parse_assignment(&text, &problem, false).map_err(|e| format!("parsing {asg_path}: {e}"))?;
+    let eval = Evaluator::new(&problem);
+    let report = check_feasibility(&problem, &assignment);
+    println!("cost      {}", eval.cost(&assignment));
+    println!("  linear    {}", eval.linear_cost(&assignment));
+    println!("  quadratic {}", eval.quadratic_cost(&assignment));
+    println!("capacity violations: {}", report.capacity.len());
+    for v in &report.capacity {
+        println!("  partition {}: {} used / {} capacity", v.partition, v.used, v.capacity);
+    }
+    println!("timing violations:   {}", report.timing.len());
+    for v in report.timing.iter().take(20) {
+        println!("  {} -> {}: delay {} > limit {}", v.from, v.to, v.delay, v.limit);
+    }
+    if report.timing.len() > 20 {
+        println!("  ... and {} more", report.timing.len() - 20);
+    }
+    Ok(if report.is_feasible() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `qbp feasible` — find a feasible assignment (the `B = 0` phase).
+pub fn feasible(args: &Args) -> CommandResult {
+    let problem = load_problem(args.required(1, "problem file")?)?;
+    let seed = args.get_parsed("seed", 1993u64, "an integer")?;
+    let start = find_start(&problem, seed)?;
+    eprintln!(
+        "feasible solution found: cost = {}",
+        Evaluator::new(&problem).cost(&start)
+    );
+    emit(args.get("output"), &write_assignment(&problem, &start))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `qbp gen` — generate a suite or QAP instance as a `.qbp` file.
+pub fn generate(args: &Args) -> CommandResult {
+    let what = args.required(1, "instance name (ckta..cktg or qap)")?;
+    let seed = args.get_parsed("seed", 1993u64, "an integer")?;
+    let problem = if what == "qap" {
+        let n = args.get_parsed("size", 16usize, "an integer")?;
+        qbp_gen::random_qap(&qbp_gen::QapSpec {
+            seed,
+            ..qbp_gen::QapSpec::new(n)
+        })?
+    } else {
+        let spec = qbp_gen::PAPER_SUITE
+            .iter()
+            .find(|s| s.name == what)
+            .ok_or_else(|| format!("unknown instance `{what}` (ckta..cktg or qap)"))?;
+        let scale = args.get_parsed("scale", 1.0f64, "a number in (0, 1]")?;
+        if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
+            return Err("--scale must be in (0, 1]".into());
+        }
+        let spec = qbp_gen::scaled_spec(spec, scale);
+        let options = qbp_gen::SuiteOptions {
+            seed,
+            ..qbp_gen::SuiteOptions::default()
+        };
+        let timing = !args.switch("no-timing");
+        let (p, _w) = qbp_gen::build_instance_with_witness(&spec, &options)?;
+        if timing {
+            p
+        } else {
+            p.without_timing()
+        }
+    };
+    emit(args.get("output"), &write_problem(&problem))?;
+    eprintln!(
+        "generated: {} components, {} wires, {} timing constraints, {} partitions",
+        problem.n(),
+        problem.circuit().total_wire_weight() / 2,
+        problem.timing().len(),
+        problem.m()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `qbp stats` — print circuit statistics.
+pub fn stats(args: &Args) -> CommandResult {
+    let problem = load_problem(args.required(1, "problem file")?)?;
+    let circuit = problem.circuit();
+    let n = problem.n();
+    println!("components          {n}");
+    println!("partitions          {}", problem.m());
+    println!("wires (symmetric)   {}", circuit.total_wire_weight() / 2);
+    println!("directed pairs      {}", circuit.directed_edge_count());
+    println!("timing constraints  {}", problem.timing().len());
+    let sizes: Vec<u64> = (0..n).map(|j| circuit.size(ComponentId::new(j))).collect();
+    let total: u64 = sizes.iter().sum();
+    println!(
+        "sizes               total {total}, min {}, max {}",
+        sizes.iter().min().expect("non-empty"),
+        sizes.iter().max().expect("non-empty"),
+    );
+    println!(
+        "capacity            total {}, slack {:.1}%",
+        problem.topology().total_capacity(),
+        100.0 * (problem.topology().total_capacity() as f64 - total as f64) / total as f64,
+    );
+    let degrees: Vec<usize> = (0..n)
+        .map(|j| circuit.out_degree(ComponentId::new(j)))
+        .collect();
+    println!(
+        "out-degree          mean {:.1}, max {}",
+        degrees.iter().sum::<usize>() as f64 / n as f64,
+        degrees.iter().max().expect("non-empty"),
+    );
+    if !problem.timing().is_empty() {
+        let mut hist = std::collections::BTreeMap::new();
+        for (_, _, dc) in problem.timing().iter() {
+            *hist.entry(dc).or_insert(0usize) += 1;
+        }
+        let parts: Vec<String> = hist.iter().map(|(dc, c)| format!("{dc}:{c}")).collect();
+        println!("timing limits       {}", parts.join(" "));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use std::path::PathBuf;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()), &["quiet", "no-timing"]).expect("parse")
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qbp-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    const SAMPLE: &str = "\
+qbp 1
+component alu 40
+component cache 60
+component bus 10
+wires alu cache 5
+wire cache bus 2
+grid 2 2 80
+timing alu cache 1
+";
+
+    #[test]
+    fn solve_check_roundtrip() {
+        let problem_path = temp_path("p.qbp");
+        let asg_path = temp_path("a.txt");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--iterations",
+            "30",
+            "--quiet",
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = check(&args(&[
+            "check",
+            problem_path.to_str().expect("utf8"),
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("check runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(asg_path);
+    }
+
+    #[test]
+    fn solve_all_methods() {
+        let problem_path = temp_path("methods.qbp");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        for method in ["qbp", "gfm", "gkl"] {
+            let out = temp_path(&format!("{method}.txt"));
+            let code = solve(&args(&[
+                "solve",
+                problem_path.to_str().expect("utf8"),
+                "--method",
+                method,
+                "--quiet",
+                "--output",
+                out.to_str().expect("utf8"),
+            ]))
+            .expect("solve runs");
+            assert_eq!(code, ExitCode::SUCCESS, "method {method}");
+            let _ = fs::remove_file(out);
+        }
+        let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn gen_stats_feasible_pipeline() {
+        let problem_path = temp_path("gen.qbp");
+        let code = generate(&args(&[
+            "gen",
+            "cktb",
+            "--scale",
+            "0.05",
+            "--output",
+            problem_path.to_str().expect("utf8"),
+        ]))
+        .expect("gen runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let code = stats(&args(&["stats", problem_path.to_str().expect("utf8")]))
+            .expect("stats runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn gen_qap_instance() {
+        let problem_path = temp_path("qap.qbp");
+        let code = generate(&args(&[
+            "gen",
+            "qap",
+            "--size",
+            "9",
+            "--output",
+            problem_path.to_str().expect("utf8"),
+        ]))
+        .expect("gen runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let problem = load_problem(problem_path.to_str().expect("utf8")).expect("parses");
+        assert_eq!(problem.m(), 9);
+        assert_eq!(problem.n(), 9);
+        let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        assert!(solve(&args(&["solve", "/nonexistent/x.qbp"])).is_err());
+        assert!(stats(&args(&["stats", "/nonexistent/x.qbp"])).is_err());
+        assert!(generate(&args(&["gen", "unknown-circuit"])).is_err());
+    }
+
+    #[test]
+    fn check_detects_violations() {
+        let problem_path = temp_path("viol.qbp");
+        let asg_path = temp_path("viol.txt");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        // alu and cache crammed into one partition: capacity 100 > 80.
+        fs::write(&asg_path, "assign alu 0\nassign cache 0\nassign bus 1\n")
+            .expect("write assignment");
+        let code = check(&args(&[
+            "check",
+            problem_path.to_str().expect("utf8"),
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("check runs");
+        assert_eq!(code, ExitCode::from(2), "violations exit with code 2");
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(asg_path);
+    }
+}

@@ -1,0 +1,67 @@
+//! `qbp` — command-line performance-driven partitioner.
+//!
+//! ```text
+//! qbp solve <problem.qbp> [--method qbp|gfm|gkl] [--iterations N]
+//!           [--seed S] [--initial assignment.txt] [--output assignment.txt]
+//! qbp check <problem.qbp> <assignment.txt>
+//! qbp feasible <problem.qbp> [--seed S] [--output assignment.txt]
+//! qbp gen <ckta..cktg|qap> [--scale F] [--seed S] [--output problem.qbp]
+//! qbp stats <problem.qbp>
+//! ```
+//!
+//! Problem and assignment files use the text formats documented in
+//! [`qbp_core::io`].
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
+
+USAGE:
+  qbp solve <problem.qbp> [--method qbp|gfm|gkl] [--iterations N]
+            [--seed S] [--initial file] [--output file] [--quiet]
+  qbp check <problem.qbp> <assignment.txt>
+  qbp feasible <problem.qbp> [--seed S] [--output file]
+  qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]
+            [--size N] [--output file]
+  qbp stats <problem.qbp>
+
+Problem files use the `.qbp` text format (see the qbp-core::io docs).
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw, &["quiet", "no-timing"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional(0) {
+        Some("solve") => commands::solve(&args),
+        Some("check") => commands::check(&args),
+        Some("feasible") => commands::feasible(&args),
+        Some("gen") => commands::generate(&args),
+        Some("stats") => commands::stats(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The circuit (system) to be partitioned: components with sizes, and a
+//! sparse, directed, weighted connection structure (the paper's `A` matrix).
+
+use crate::{ComponentId, Cost, Error, Size};
+use serde::{Deserialize, Serialize};
+
+/// A circuit component (functional block): a name and a silicon-area demand.
+///
+/// In the paper's evaluation the components are high-level functional blocks
+/// whose sizes span about two orders of magnitude within one circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Component {
+    name: String,
+    size: Size,
+}
+
+impl Component {
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component's size (silicon-area demand), `s_j` in the paper.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+}
+
+/// A circuit: components plus the sparse interconnection matrix `A`, where
+/// `a[j1][j2]` counts the wires from component `j1` to component `j2`.
+///
+/// The connection structure is directed (matching the paper's formulation);
+/// [`Circuit::add_wires`] is a convenience that adds the same weight in both
+/// directions, which is how the paper's own worked example populates `A`.
+/// Self-connections are rejected — they contribute nothing to any partition
+/// objective and would complicate incremental cost updates.
+///
+/// ```
+/// use qbp_core::Circuit;
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("alu", 40);
+/// let b = circuit.add_component("regfile", 25);
+/// circuit.add_wires(a, b, 5)?;
+/// assert_eq!(circuit.connection(a, b), 5);
+/// assert_eq!(circuit.connection(b, a), 5);
+/// assert_eq!(circuit.total_wire_weight(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    components: Vec<Component>,
+    /// `out_edges[j]` lists `(k, a[j][k])` with `a[j][k] > 0`.
+    out_edges: Vec<Vec<(u32, Cost)>>,
+    /// `in_edges[j]` lists `(k, a[k][j])` with `a[k][j] > 0`.
+    in_edges: Vec<Vec<(u32, Cost)>>,
+    /// Σ over all ordered pairs of `a[j1][j2]`.
+    total_wire_weight: Cost,
+    /// Number of ordered pairs with a nonzero connection.
+    directed_edge_count: usize,
+}
+
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        // Connection structure is a weighted edge *set*: equality ignores
+        // adjacency-list insertion order (writers and parsers may differ).
+        if self.components != other.components
+            || self.total_wire_weight != other.total_wire_weight
+            || self.directed_edge_count != other.directed_edge_count
+        {
+            return false;
+        }
+        let canon = |lists: &[Vec<(u32, Cost)>]| -> Vec<Vec<(u32, Cost)>> {
+            lists
+                .iter()
+                .map(|l| {
+                    let mut l = l.clone();
+                    l.sort_unstable();
+                    l
+                })
+                .collect()
+        };
+        canon(&self.out_edges) == canon(&other.out_edges)
+    }
+}
+
+impl Eq for Circuit {}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Creates an empty circuit with space reserved for `n` components.
+    pub fn with_capacity(n: usize) -> Self {
+        Circuit {
+            components: Vec::with_capacity(n),
+            out_edges: Vec::with_capacity(n),
+            in_edges: Vec::with_capacity(n),
+            total_wire_weight: 0,
+            directed_edge_count: 0,
+        }
+    }
+
+    /// Adds a component and returns its id.
+    pub fn add_component(&mut self, name: impl Into<String>, size: Size) -> ComponentId {
+        let id = ComponentId::new(self.components.len());
+        self.components.push(Component {
+            name: name.into(),
+            size,
+        });
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Number of components, `N` in the paper.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the circuit has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns the component with the given id, if it exists.
+    pub fn component(&self, id: ComponentId) -> Option<&Component> {
+        self.components.get(id.index())
+    }
+
+    /// The size `s_j` of a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn size(&self, id: ComponentId) -> Size {
+        self.components[id.index()].size
+    }
+
+    /// Sum of all component sizes.
+    pub fn total_size(&self) -> Size {
+        self.components.iter().map(|c| c.size).sum()
+    }
+
+    /// Iterates over `(id, component)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (ComponentId::new(j), c))
+    }
+
+    fn check_pair(&self, from: ComponentId, to: ComponentId) -> Result<(), Error> {
+        let len = self.components.len();
+        for id in [from, to] {
+            if id.index() >= len {
+                return Err(Error::ComponentOutOfRange { id, len });
+            }
+        }
+        if from == to {
+            return Err(Error::SelfLoop(from));
+        }
+        Ok(())
+    }
+
+    /// Adds `weight` wires from `from` to `to` (directed; accumulates with any
+    /// existing connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is out of range, if `from == to`, or if
+    /// `weight` is negative (the QBP formulation assumes `A ≥ 0`). A zero
+    /// weight is accepted and ignored.
+    pub fn add_connection(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        weight: Cost,
+    ) -> Result<(), Error> {
+        self.check_pair(from, to)?;
+        if weight < 0 {
+            return Err(Error::NegativeValue {
+                what: "connection weight",
+                value: weight,
+            });
+        }
+        if weight == 0 {
+            return Ok(());
+        }
+        self.total_wire_weight += weight;
+        let out = &mut self.out_edges[from.index()];
+        match out.iter_mut().find(|(k, _)| *k == to.0) {
+            Some((_, w)) => *w += weight,
+            None => {
+                out.push((to.0, weight));
+                self.directed_edge_count += 1;
+            }
+        }
+        let inc = &mut self.in_edges[to.index()];
+        match inc.iter_mut().find(|(k, _)| *k == from.0) {
+            Some((_, w)) => *w += weight,
+            None => inc.push((from.0, weight)),
+        }
+        Ok(())
+    }
+
+    /// Adds `weight` wires between `a` and `b` in *both* directions, i.e.
+    /// `A[a][b] += weight` and `A[b][a] += weight`, matching the symmetric `A`
+    /// of the paper's worked example.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::add_connection`].
+    pub fn add_wires(&mut self, a: ComponentId, b: ComponentId, weight: Cost) -> Result<(), Error> {
+        self.add_connection(a, b, weight)?;
+        self.add_connection(b, a, weight)
+    }
+
+    /// Expands a multi-pin net over `pins` into a symmetric clique: every
+    /// unordered pin pair receives `weight` wires in each direction.
+    ///
+    /// This is the standard clique net model; for high-fanout nets prefer
+    /// [`Circuit::add_net_star`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any pin is out of range or if the same pin appears
+    /// twice (which would create a self-loop).
+    pub fn add_net_clique(&mut self, pins: &[ComponentId], weight: Cost) -> Result<(), Error> {
+        for (x, &a) in pins.iter().enumerate() {
+            for &b in &pins[x + 1..] {
+                self.add_wires(a, b, weight)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands a multi-pin net as a star from `driver` to every sink:
+    /// `A[driver][sink] += weight` for each sink (directed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any id is out of range or a sink equals the driver.
+    pub fn add_net_star(
+        &mut self,
+        driver: ComponentId,
+        sinks: &[ComponentId],
+        weight: Cost,
+    ) -> Result<(), Error> {
+        for &s in sinks {
+            self.add_connection(driver, s, weight)?;
+        }
+        Ok(())
+    }
+
+    /// The connection count `a[from][to]` (0 when absent or out of range).
+    pub fn connection(&self, from: ComponentId, to: ComponentId) -> Cost {
+        self.out_edges
+            .get(from.index())
+            .and_then(|es| es.iter().find(|(k, _)| *k == to.0))
+            .map_or(0, |&(_, w)| w)
+    }
+
+    /// Iterates over the nonzero out-connections `(to, a[j][to])` of `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn out_connections(&self, j: ComponentId) -> impl Iterator<Item = (ComponentId, Cost)> + '_ {
+        self.out_edges[j.index()]
+            .iter()
+            .map(|&(k, w)| (ComponentId(k), w))
+    }
+
+    /// Iterates over the nonzero in-connections `(from, a[from][j])` of `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn in_connections(&self, j: ComponentId) -> impl Iterator<Item = (ComponentId, Cost)> + '_ {
+        self.in_edges[j.index()]
+            .iter()
+            .map(|&(k, w)| (ComponentId(k), w))
+    }
+
+    /// Number of ordered pairs `(j1, j2)` with `a[j1][j2] > 0`.
+    pub fn directed_edge_count(&self) -> usize {
+        self.directed_edge_count
+    }
+
+    /// Sum of all entries of `A` (each symmetric wire pair counts twice, once
+    /// per direction).
+    pub fn total_wire_weight(&self) -> Cost {
+        self.total_wire_weight
+    }
+
+    /// Out-degree of `j` (number of distinct out-neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn out_degree(&self, j: ComponentId) -> usize {
+        self.out_edges[j.index()].len()
+    }
+
+    /// Iterates over all directed edges `(from, to, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (ComponentId, ComponentId, Cost)> + '_ {
+        self.out_edges.iter().enumerate().flat_map(|(j, es)| {
+            es.iter()
+                .map(move |&(k, w)| (ComponentId::new(j), ComponentId(k), w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> (Circuit, ComponentId, ComponentId, ComponentId) {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 2);
+        let d = c.add_component("c", 3);
+        (c, a, b, d)
+    }
+
+    #[test]
+    fn add_and_query_components() {
+        let (c, a, b, d) = three();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.size(a), 1);
+        assert_eq!(c.size(b), 2);
+        assert_eq!(c.component(d).unwrap().name(), "c");
+        assert_eq!(c.total_size(), 6);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn connections_accumulate() {
+        let (mut c, a, b, _) = three();
+        c.add_connection(a, b, 2).unwrap();
+        c.add_connection(a, b, 3).unwrap();
+        assert_eq!(c.connection(a, b), 5);
+        assert_eq!(c.connection(b, a), 0);
+        assert_eq!(c.directed_edge_count(), 1);
+        assert_eq!(c.total_wire_weight(), 5);
+    }
+
+    #[test]
+    fn symmetric_wires_match_paper_example() {
+        // Paper §3.3: five wires between a and b show up as A[a][b] = A[b][a] = 5.
+        let (mut c, a, b, d) = three();
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        assert_eq!(c.connection(a, b), 5);
+        assert_eq!(c.connection(b, a), 5);
+        assert_eq!(c.connection(b, d), 2);
+        assert_eq!(c.connection(a, d), 0);
+        assert_eq!(c.total_wire_weight(), 14);
+        assert_eq!(c.directed_edge_count(), 4);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let (mut c, a, _, _) = three();
+        assert_eq!(c.add_connection(a, a, 1), Err(Error::SelfLoop(a)));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (mut c, a, _, _) = three();
+        let ghost = ComponentId::new(7);
+        assert!(matches!(
+            c.add_connection(a, ghost, 1),
+            Err(Error::ComponentOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_weight_rejected_zero_ignored() {
+        let (mut c, a, b, _) = three();
+        assert!(matches!(
+            c.add_connection(a, b, -1),
+            Err(Error::NegativeValue { .. })
+        ));
+        c.add_connection(a, b, 0).unwrap();
+        assert_eq!(c.directed_edge_count(), 0);
+    }
+
+    #[test]
+    fn clique_net_expands_all_pairs() {
+        let (mut c, a, b, d) = three();
+        c.add_net_clique(&[a, b, d], 1).unwrap();
+        assert_eq!(c.connection(a, b), 1);
+        assert_eq!(c.connection(b, a), 1);
+        assert_eq!(c.connection(a, d), 1);
+        assert_eq!(c.connection(b, d), 1);
+        assert_eq!(c.directed_edge_count(), 6);
+    }
+
+    #[test]
+    fn star_net_is_directed_from_driver() {
+        let (mut c, a, b, d) = three();
+        c.add_net_star(a, &[b, d], 2).unwrap();
+        assert_eq!(c.connection(a, b), 2);
+        assert_eq!(c.connection(a, d), 2);
+        assert_eq!(c.connection(b, a), 0);
+    }
+
+    #[test]
+    fn clique_with_duplicate_pin_is_self_loop_error() {
+        let (mut c, a, b, _) = three();
+        assert!(c.add_net_clique(&[a, b, a], 1).is_err());
+    }
+
+    #[test]
+    fn edge_iterators_are_consistent() {
+        let (mut c, a, b, d) = three();
+        c.add_wires(a, b, 5).unwrap();
+        c.add_connection(d, b, 1).unwrap();
+        let outs: Vec<_> = c.out_connections(a).collect();
+        assert_eq!(outs, vec![(b, 5)]);
+        let mut ins: Vec<_> = c.in_connections(b).collect();
+        ins.sort();
+        assert_eq!(ins, vec![(a, 5), (d, 1)]);
+        assert_eq!(c.edges().count(), c.directed_edge_count());
+        let total: Cost = c.edges().map(|(_, _, w)| w).sum();
+        assert_eq!(total, c.total_wire_weight());
+    }
+}

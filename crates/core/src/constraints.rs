@@ -1,0 +1,288 @@
+//! Sparse timing constraints: the paper's `D_C` matrix.
+//!
+//! Formally `D_C` is `N×N`, but "in reality a large number of these
+//! constraints are involved with components which do not have actual
+//! electrical connection or cycle time constraints between them" (§5). We
+//! therefore store only the *critical* constraints — ordered pairs
+//! `(j1, j2)` with a finite maximum routing delay — exactly the quantity
+//! the paper reports in Table I.
+
+use crate::{ComponentId, Delay, Error, NO_CONSTRAINT};
+use serde::{Deserialize, Serialize};
+
+/// A sparse set of maximum-routing-delay constraints between component pairs.
+///
+/// `add(j1, j2, dc)` requires that in any assignment `A`,
+/// `D(A(j1), A(j2)) ≤ dc`. Constraints are directed; use
+/// [`TimingConstraints::add_symmetric`] when the delay budget applies in both
+/// directions. Adding a second constraint on the same ordered pair keeps the
+/// tighter (smaller) bound.
+///
+/// ```
+/// use qbp_core::{TimingConstraints, ComponentId};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut tc = TimingConstraints::new(3);
+/// let (a, b) = (ComponentId::new(0), ComponentId::new(1));
+/// tc.add(a, b, 5)?;
+/// tc.add(a, b, 3)?; // tightens
+/// assert_eq!(tc.get(a, b), Some(3));
+/// assert_eq!(tc.get(b, a), None);
+/// assert_eq!(tc.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingConstraints {
+    n: usize,
+    /// `out[j1]` lists `(j2, dc)` for constraints `j1 → j2`.
+    out: Vec<Vec<(u32, Delay)>>,
+    /// `inc[j2]` lists `(j1, dc)` for constraints `j1 → j2`.
+    inc: Vec<Vec<(u32, Delay)>>,
+    count: usize,
+}
+
+impl PartialEq for TimingConstraints {
+    fn eq(&self, other: &Self) -> bool {
+        // Constraint sets are sets: equality is order-insensitive in the
+        // adjacency lists (parsers and generators may insert in different
+        // orders).
+        if self.n != other.n || self.count != other.count {
+            return false;
+        }
+        let canon = |lists: &[Vec<(u32, Delay)>]| -> Vec<Vec<(u32, Delay)>> {
+            lists
+                .iter()
+                .map(|l| {
+                    let mut l = l.clone();
+                    l.sort_unstable();
+                    l
+                })
+                .collect()
+        };
+        canon(&self.out) == canon(&other.out)
+    }
+}
+
+impl Eq for TimingConstraints {}
+
+impl TimingConstraints {
+    /// Creates an empty constraint set for a circuit with `n` components.
+    pub fn new(n: usize) -> Self {
+        TimingConstraints {
+            n,
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+            count: 0,
+        }
+    }
+
+    /// Number of components this constraint set is sized for.
+    pub fn component_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (directed) critical constraints — the paper's
+    /// "# of Timing Constraints" column.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds (or tightens) the constraint `D(A(j1), A(j2)) ≤ max_delay`.
+    ///
+    /// A `max_delay` of [`NO_CONSTRAINT`] is accepted and ignored, so
+    /// constraint generators can pass through unconstrained pairs untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either component is out of range, if `j1 == j2`
+    /// (intra-component delay is not routed between partitions), or if
+    /// `max_delay` is negative.
+    pub fn add(
+        &mut self,
+        j1: ComponentId,
+        j2: ComponentId,
+        max_delay: Delay,
+    ) -> Result<(), Error> {
+        for id in [j1, j2] {
+            if id.index() >= self.n {
+                return Err(Error::ComponentOutOfRange { id, len: self.n });
+            }
+        }
+        if j1 == j2 {
+            return Err(Error::SelfLoop(j1));
+        }
+        if max_delay < 0 {
+            return Err(Error::NegativeValue {
+                what: "timing constraint",
+                value: max_delay,
+            });
+        }
+        if max_delay == NO_CONSTRAINT {
+            return Ok(());
+        }
+        let out = &mut self.out[j1.index()];
+        match out.iter_mut().find(|(k, _)| *k == j2.0) {
+            Some((_, dc)) => *dc = (*dc).min(max_delay),
+            None => {
+                out.push((j2.0, max_delay));
+                self.count += 1;
+            }
+        }
+        let inc = &mut self.inc[j2.index()];
+        match inc.iter_mut().find(|(k, _)| *k == j1.0) {
+            Some((_, dc)) => *dc = (*dc).min(max_delay),
+            None => inc.push((j1.0, max_delay)),
+        }
+        Ok(())
+    }
+
+    /// Adds the constraint in both directions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TimingConstraints::add`].
+    pub fn add_symmetric(
+        &mut self,
+        a: ComponentId,
+        b: ComponentId,
+        max_delay: Delay,
+    ) -> Result<(), Error> {
+        self.add(a, b, max_delay)?;
+        self.add(b, a, max_delay)
+    }
+
+    /// The constraint on the ordered pair `(j1, j2)`, if any.
+    pub fn get(&self, j1: ComponentId, j2: ComponentId) -> Option<Delay> {
+        self.out
+            .get(j1.index())?
+            .iter()
+            .find(|(k, _)| *k == j2.0)
+            .map(|&(_, dc)| dc)
+    }
+
+    /// The constraint on `(j1, j2)`, or [`NO_CONSTRAINT`] when absent —
+    /// convenient for the `D(i1,i2) ≤ D_C(j1,j2)` comparison.
+    pub fn limit(&self, j1: ComponentId, j2: ComponentId) -> Delay {
+        self.get(j1, j2).unwrap_or(NO_CONSTRAINT)
+    }
+
+    /// Iterates over constraints leaving `j`: `(j2, dc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn constraints_from(&self, j: ComponentId) -> impl Iterator<Item = (ComponentId, Delay)> + '_ {
+        self.out[j.index()]
+            .iter()
+            .map(|&(k, dc)| (ComponentId::new(k as usize), dc))
+    }
+
+    /// Iterates over constraints entering `j`: `(j1, dc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn constraints_into(&self, j: ComponentId) -> impl Iterator<Item = (ComponentId, Delay)> + '_ {
+        self.inc[j.index()]
+            .iter()
+            .map(|&(k, dc)| (ComponentId::new(k as usize), dc))
+    }
+
+    /// Iterates over all constraints as `(j1, j2, dc)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, ComponentId, Delay)> + '_ {
+        self.out.iter().enumerate().flat_map(|(j1, cons)| {
+            cons.iter()
+                .map(move |&(j2, dc)| (ComponentId::new(j1), ComponentId::new(j2 as usize), dc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (ComponentId, ComponentId, ComponentId) {
+        (ComponentId::new(0), ComponentId::new(1), ComponentId::new(2))
+    }
+
+    #[test]
+    fn add_get_and_tighten() {
+        let (a, b, _) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, 7).unwrap();
+        assert_eq!(tc.get(a, b), Some(7));
+        tc.add(a, b, 9).unwrap(); // looser: ignored
+        assert_eq!(tc.get(a, b), Some(7));
+        tc.add(a, b, 2).unwrap(); // tighter: kept
+        assert_eq!(tc.get(a, b), Some(2));
+        assert_eq!(tc.len(), 1);
+    }
+
+    #[test]
+    fn directed_by_default_symmetric_on_request() {
+        let (a, b, _) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, 4).unwrap();
+        assert_eq!(tc.get(b, a), None);
+        assert_eq!(tc.limit(b, a), NO_CONSTRAINT);
+        tc.add_symmetric(a, b, 3).unwrap();
+        assert_eq!(tc.get(a, b), Some(3));
+        assert_eq!(tc.get(b, a), Some(3));
+        assert_eq!(tc.len(), 2);
+    }
+
+    #[test]
+    fn no_constraint_sentinel_is_ignored() {
+        let (a, b, _) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, NO_CONSTRAINT).unwrap();
+        assert!(tc.is_empty());
+    }
+
+    #[test]
+    fn rejects_self_loop_and_out_of_range_and_negative() {
+        let (a, b, _) = ids();
+        let mut tc = TimingConstraints::new(2);
+        assert!(matches!(tc.add(a, a, 1), Err(Error::SelfLoop(_))));
+        assert!(matches!(
+            tc.add(a, ComponentId::new(5), 1),
+            Err(Error::ComponentOutOfRange { .. })
+        ));
+        assert!(matches!(
+            tc.add(a, b, -3),
+            Err(Error::NegativeValue { .. })
+        ));
+    }
+
+    #[test]
+    fn iterators_agree() {
+        let (a, b, c) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, 1).unwrap();
+        tc.add(c, b, 2).unwrap();
+        tc.add(a, c, 3).unwrap();
+        assert_eq!(tc.iter().count(), 3);
+        assert_eq!(tc.constraints_from(a).count(), 2);
+        let mut into_b: Vec<_> = tc.constraints_into(b).collect();
+        into_b.sort();
+        assert_eq!(into_b, vec![(a, 1), (c, 2)]);
+    }
+
+    #[test]
+    fn paper_example_constraints() {
+        // §3.3: D_C(a,b) = D_C(b,a) = 1, D_C(b,c) = D_C(c,b) = 1, (a,c) free.
+        let (a, b, c) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add_symmetric(a, b, 1).unwrap();
+        tc.add_symmetric(b, c, 1).unwrap();
+        assert_eq!(tc.len(), 4);
+        assert_eq!(tc.limit(a, c), NO_CONSTRAINT);
+        assert_eq!(tc.limit(a, b), 1);
+    }
+}

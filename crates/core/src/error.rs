@@ -1,0 +1,172 @@
+//! Error type shared by all `qbp-core` constructors and validators.
+
+use crate::{ComponentId, PartitionId, Size};
+use std::fmt;
+
+/// Errors returned by problem-construction and validation APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A component id referenced a component that does not exist.
+    ComponentOutOfRange {
+        /// The offending id.
+        id: ComponentId,
+        /// Number of components in the circuit.
+        len: usize,
+    },
+    /// A partition id referenced a partition that does not exist.
+    PartitionOutOfRange {
+        /// The offending id.
+        id: PartitionId,
+        /// Number of partitions in the topology.
+        len: usize,
+    },
+    /// A connection or timing constraint from a component to itself.
+    SelfLoop(ComponentId),
+    /// Two parts of the problem disagree on dimensions
+    /// (e.g. a `P` matrix that is not `M × N`).
+    DimensionMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected dimension.
+        expected: (usize, usize),
+        /// Found dimension.
+        found: (usize, usize),
+    },
+    /// The partition topology is malformed (non-square matrices, negative
+    /// costs, zero partitions, ...).
+    InvalidTopology(String),
+    /// The problem cannot have any feasible solution: total component size
+    /// exceeds total capacity.
+    CapacityImpossible {
+        /// Sum of all component sizes.
+        total_size: Size,
+        /// Sum of all partition capacities.
+        total_capacity: Size,
+    },
+    /// An assignment vector had the wrong length for the circuit.
+    AssignmentLengthMismatch {
+        /// Expected number of components.
+        expected: usize,
+        /// Found vector length.
+        found: usize,
+    },
+    /// A weight, delay or scale factor was negative where a non-negative
+    /// value is required (the QBP linearization assumes `Q̂ ≥ 0`).
+    NegativeValue {
+        /// What was being validated.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A circuit with zero components was used where at least one is needed.
+    EmptyCircuit,
+    /// A solver that requires a feasible starting assignment (GFM, GKL) was
+    /// given one that violates constraints.
+    InfeasibleStart {
+        /// Number of capacity violations in the start.
+        capacity_violations: usize,
+        /// Number of timing violations in the start.
+        timing_violations: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ComponentOutOfRange { id, len } => {
+                write!(f, "component {id} out of range for circuit with {len} components")
+            }
+            Error::PartitionOutOfRange { id, len } => {
+                write!(f, "partition {id} out of range for topology with {len} partitions")
+            }
+            Error::SelfLoop(id) => {
+                write!(f, "self-connection on component {id} is not allowed")
+            }
+            Error::DimensionMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what} has dimensions {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            Error::InvalidTopology(msg) => write!(f, "invalid partition topology: {msg}"),
+            Error::CapacityImpossible {
+                total_size,
+                total_capacity,
+            } => write!(
+                f,
+                "total component size {total_size} exceeds total capacity {total_capacity}"
+            ),
+            Error::AssignmentLengthMismatch { expected, found } => write!(
+                f,
+                "assignment has {found} entries, expected {expected}"
+            ),
+            Error::NegativeValue { what, value } => {
+                write!(f, "{what} must be non-negative, got {value}")
+            }
+            Error::EmptyCircuit => write!(f, "circuit has no components"),
+            Error::InfeasibleStart {
+                capacity_violations,
+                timing_violations,
+            } => write!(
+                f,
+                "initial assignment is infeasible ({capacity_violations} capacity, {timing_violations} timing violations)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            Error::ComponentOutOfRange {
+                id: ComponentId::new(5),
+                len: 3,
+            },
+            Error::PartitionOutOfRange {
+                id: PartitionId::new(9),
+                len: 4,
+            },
+            Error::SelfLoop(ComponentId::new(1)),
+            Error::DimensionMismatch {
+                what: "linear cost matrix P",
+                expected: (4, 3),
+                found: (3, 4),
+            },
+            Error::InvalidTopology("empty".into()),
+            Error::CapacityImpossible {
+                total_size: 10,
+                total_capacity: 5,
+            },
+            Error::AssignmentLengthMismatch {
+                expected: 3,
+                found: 2,
+            },
+            Error::NegativeValue {
+                what: "alpha",
+                value: -1,
+            },
+            Error::EmptyCircuit,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(|c: char| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

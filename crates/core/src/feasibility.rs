@@ -1,0 +1,457 @@
+//! Feasibility checking for C1 (capacity) and C2 (timing), both as a full
+//! audit and as the incremental predicates the interchange baselines use on
+//! every candidate move.
+
+use crate::{Assignment, ComponentId, Delay, PartitionId, Problem, Size};
+use serde::{Deserialize, Serialize};
+
+/// One capacity-constraint (C1) violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityViolation {
+    /// The overfull partition.
+    pub partition: PartitionId,
+    /// Total size of components assigned to it.
+    pub used: Size,
+    /// Its capacity `c_i`.
+    pub capacity: Size,
+}
+
+/// One timing-constraint (C2) violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingViolation {
+    /// Source component `j1`.
+    pub from: ComponentId,
+    /// Sink component `j2`.
+    pub to: ComponentId,
+    /// Actual inter-partition delay `D(A(j1), A(j2))`.
+    pub delay: Delay,
+    /// Allowed maximum `D_C(j1, j2)`.
+    pub limit: Delay,
+}
+
+/// Full feasibility audit of an assignment.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// All C1 violations.
+    pub capacity: Vec<CapacityViolation>,
+    /// All C2 violations.
+    pub timing: Vec<TimingViolation>,
+}
+
+impl FeasibilityReport {
+    /// `true` when the assignment satisfies both C1 and C2.
+    pub fn is_feasible(&self) -> bool {
+        self.capacity.is_empty() && self.timing.is_empty()
+    }
+
+    /// Total number of violations.
+    pub fn violation_count(&self) -> usize {
+        self.capacity.len() + self.timing.len()
+    }
+}
+
+/// Audits an assignment against C1 and C2.
+///
+/// # Panics
+///
+/// Panics if the assignment does not match the problem's dimensions; call
+/// [`Problem::validate_assignment`] first for untrusted input.
+pub fn check_feasibility(problem: &Problem, assignment: &Assignment) -> FeasibilityReport {
+    let mut report = FeasibilityReport::default();
+    let m = problem.m();
+    let mut used = vec![0u64; m];
+    for j in 0..problem.n() {
+        used[assignment.part_index(j)] += problem.circuit().size(ComponentId::new(j));
+    }
+    for (i, &u) in used.iter().enumerate() {
+        let cap = problem.topology().capacity(PartitionId::new(i));
+        if u > cap {
+            report.capacity.push(CapacityViolation {
+                partition: PartitionId::new(i),
+                used: u,
+                capacity: cap,
+            });
+        }
+    }
+    let d = problem.topology().delay();
+    for (j1, j2, limit) in problem.timing().iter() {
+        let delay = d[(
+            assignment.part_index(j1.index()),
+            assignment.part_index(j2.index()),
+        )];
+        if delay > limit {
+            report.timing.push(TimingViolation {
+                from: j1,
+                to: j2,
+                delay,
+                limit,
+            });
+        }
+    }
+    report
+}
+
+/// `true` when moving component `j` to partition `to` keeps every timing
+/// constraint incident to `j` satisfied (constraints between *other*
+/// components are unaffected by the move).
+///
+/// Runs in `O(constraints incident to j)`.
+///
+/// # Panics
+///
+/// Panics if `j` or `to` is out of range.
+pub fn move_is_timing_feasible(
+    problem: &Problem,
+    assignment: &Assignment,
+    j: ComponentId,
+    to: PartitionId,
+) -> bool {
+    let d = problem.topology().delay();
+    let to_i = to.index();
+    for (k, limit) in problem.timing().constraints_from(j) {
+        let ik = if k == j { to_i } else { assignment.part_index(k.index()) };
+        if d[(to_i, ik)] > limit {
+            return false;
+        }
+    }
+    for (k, limit) in problem.timing().constraints_into(j) {
+        let ik = if k == j { to_i } else { assignment.part_index(k.index()) };
+        if d[(ik, to_i)] > limit {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` when swapping the partitions of `j1` and `j2` keeps every timing
+/// constraint incident to either component satisfied. Constraints between
+/// `j1` and `j2` themselves are checked against their *post-swap* partitions.
+///
+/// Runs in `O(constraints incident to j1 and j2)`.
+///
+/// # Panics
+///
+/// Panics if either id is out of range.
+pub fn swap_is_timing_feasible(
+    problem: &Problem,
+    assignment: &Assignment,
+    j1: ComponentId,
+    j2: ComponentId,
+) -> bool {
+    if j1 == j2 {
+        return true;
+    }
+    let d = problem.topology().delay();
+    let i1 = assignment.part_index(j1.index());
+    let i2 = assignment.part_index(j2.index());
+    // Partition of component k after the swap.
+    let post = |k: ComponentId| -> usize {
+        if k == j1 {
+            i2
+        } else if k == j2 {
+            i1
+        } else {
+            assignment.part_index(k.index())
+        }
+    };
+    for j in [j1, j2] {
+        let ij = post(j);
+        for (k, limit) in problem.timing().constraints_from(j) {
+            if d[(ij, post(k))] > limit {
+                return false;
+            }
+        }
+        for (k, limit) in problem.timing().constraints_into(j) {
+            if d[(post(k), ij)] > limit {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Incrementally maintained per-partition size usage, for `O(1)` capacity
+/// checks during local search.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, Assignment, UsageTracker,
+///                ComponentId, PartitionId};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 6);
+/// let b = circuit.add_component("b", 3);
+/// let c = circuit.add_component("c", 1);
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(1, 2, 8)?).build()?;
+/// let asg = Assignment::from_parts(vec![0, 1, 1])?;
+/// let usage = UsageTracker::new(&problem, &asg);
+/// assert!(!usage.move_fits(&problem, a, PartitionId::new(1))); // 4 + 6 > 8
+/// assert!(usage.move_fits(&problem, c, PartitionId::new(0)));  // 6 + 1 ≤ 8
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageTracker {
+    used: Vec<Size>,
+}
+
+impl UsageTracker {
+    /// Computes the usage of every partition under `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the problem's dimensions.
+    pub fn new(problem: &Problem, assignment: &Assignment) -> Self {
+        let mut used = vec![0; problem.m()];
+        for j in 0..problem.n() {
+            used[assignment.part_index(j)] += problem.circuit().size(ComponentId::new(j));
+        }
+        UsageTracker { used }
+    }
+
+    /// Current usage of partition `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn used(&self, i: PartitionId) -> Size {
+        self.used[i.index()]
+    }
+
+    /// `true` when component `j` (currently in `from` per the tracker's
+    /// state) would fit in partition `to` without violating C1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn move_fits(&self, problem: &Problem, j: ComponentId, to: PartitionId) -> bool {
+        let size = problem.circuit().size(j);
+        self.used[to.index()] + size <= problem.topology().capacity(to)
+    }
+
+    /// `true` when swapping `j1` and `j2` (in partitions `i1`, `i2`) keeps
+    /// both partitions within capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn swap_fits(
+        &self,
+        problem: &Problem,
+        j1: ComponentId,
+        i1: PartitionId,
+        j2: ComponentId,
+        i2: PartitionId,
+    ) -> bool {
+        if i1 == i2 {
+            return true;
+        }
+        let s1 = problem.circuit().size(j1);
+        let s2 = problem.circuit().size(j2);
+        self.used[i1.index()] - s1 + s2 <= problem.topology().capacity(i1)
+            && self.used[i2.index()] - s2 + s1 <= problem.topology().capacity(i2)
+    }
+
+    /// Applies a move of component `j` (size taken from `problem`) from
+    /// `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range, or if the tracker's usage of `from`
+    /// is smaller than the component's size (inconsistent bookkeeping).
+    pub fn apply_move(
+        &mut self,
+        problem: &Problem,
+        j: ComponentId,
+        from: PartitionId,
+        to: PartitionId,
+    ) {
+        if from == to {
+            return;
+        }
+        let size = problem.circuit().size(j);
+        self.used[from.index()] = self.used[from.index()]
+            .checked_sub(size)
+            .expect("usage tracker out of sync: removing more than present");
+        self.used[to.index()] += size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints};
+
+    /// Paper-style setup: 3 components on a 2×2 grid with D_C(a,b)=D_C(b,c)=1
+    /// (symmetric).
+    fn timed_problem(cap: Size) -> Problem {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 3);
+        let b = c.add_component("b", 4);
+        let d = c.add_component("c", 5);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        let mut tc = TimingConstraints::new(3);
+        tc.add_symmetric(a, b, 1).unwrap();
+        tc.add_symmetric(b, d, 1).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, cap).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn feasible_assignment_reports_clean() {
+        let p = timed_problem(20);
+        // a→0, b→1, c→3: all constrained pairs at distance 1.
+        let asg = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        let report = check_feasibility(&p, &asg);
+        assert!(report.is_feasible());
+        assert_eq!(report.violation_count(), 0);
+    }
+
+    #[test]
+    fn timing_violation_detected() {
+        let p = timed_problem(20);
+        // a→0, b→3: distance 2 > limit 1 (both directions violated).
+        let asg = Assignment::from_parts(vec![0, 3, 3]).unwrap();
+        let report = check_feasibility(&p, &asg);
+        assert_eq!(report.timing.len(), 2);
+        assert!(!report.is_feasible());
+        let v = &report.timing[0];
+        assert_eq!(v.delay, 2);
+        assert_eq!(v.limit, 1);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let p = timed_problem(6);
+        // Partition 0 holds sizes 3+4=7 > 6.
+        let asg = Assignment::from_parts(vec![0, 0, 1]).unwrap();
+        let report = check_feasibility(&p, &asg);
+        assert_eq!(report.capacity.len(), 1);
+        assert_eq!(report.capacity[0].used, 7);
+        assert_eq!(report.capacity[0].capacity, 6);
+    }
+
+    #[test]
+    fn move_timing_feasibility_is_incremental_truth() {
+        let p = timed_problem(20);
+        let asg = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        // Moving a to partition 2 keeps distance(2, 1) = 2 > 1: infeasible.
+        assert!(!move_is_timing_feasible(
+            &p,
+            &asg,
+            ComponentId::new(0),
+            PartitionId::new(2)
+        ));
+        // Moving a to partition 3 keeps distance(3, 1) = 1: feasible.
+        assert!(move_is_timing_feasible(
+            &p,
+            &asg,
+            ComponentId::new(0),
+            PartitionId::new(3)
+        ));
+    }
+
+    #[test]
+    fn move_feasibility_matches_full_check() {
+        let p = timed_problem(20);
+        let asg = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        for j in 0..3 {
+            for to in 0..4 {
+                let mut moved = asg.clone();
+                moved.move_to(ComponentId::new(j), PartitionId::new(to));
+                let full = check_feasibility(&p, &moved).timing.is_empty();
+                let incr =
+                    move_is_timing_feasible(&p, &asg, ComponentId::new(j), PartitionId::new(to));
+                assert_eq!(full, incr, "move c{j} -> p{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_feasibility_matches_full_check() {
+        // The incremental predicate only examines constraints incident to
+        // the swapped pair, so from a *feasible* start it agrees with the
+        // full audit; from an infeasible start it agrees with the audit
+        // restricted to incident constraints.
+        let p = timed_problem(20);
+        for parts in [[0u32, 1, 3], [0, 0, 1], [2, 1, 0], [3, 2, 1]] {
+            let asg = Assignment::from_parts(parts.to_vec()).unwrap();
+            let start_feasible = check_feasibility(&p, &asg).timing.is_empty();
+            for j1 in 0..3 {
+                for j2 in 0..3 {
+                    let c1 = ComponentId::new(j1);
+                    let c2 = ComponentId::new(j2);
+                    let mut swapped = asg.clone();
+                    swapped.swap(c1, c2);
+                    let post = check_feasibility(&p, &swapped);
+                    let incr = swap_is_timing_feasible(&p, &asg, c1, c2);
+                    if start_feasible {
+                        assert_eq!(
+                            post.timing.is_empty(),
+                            incr,
+                            "swap c{j1} <-> c{j2} from {parts:?}"
+                        );
+                    } else if j1 == j2 {
+                        // Identity swaps are no-ops and always accepted.
+                        assert!(incr);
+                    } else {
+                        let incident_clean = post
+                            .timing
+                            .iter()
+                            .all(|v| v.from != c1 && v.from != c2 && v.to != c1 && v.to != c2);
+                        assert_eq!(incident_clean, incr, "swap c{j1} <-> c{j2} from {parts:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn usage_tracker_moves() {
+        let p = timed_problem(20);
+        let asg = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        let mut usage = UsageTracker::new(&p, &asg);
+        assert_eq!(usage.used(PartitionId::new(0)), 3);
+        assert_eq!(usage.used(PartitionId::new(1)), 4);
+        usage.apply_move(&p, ComponentId::new(0), PartitionId::new(0), PartitionId::new(1));
+        assert_eq!(usage.used(PartitionId::new(0)), 0);
+        assert_eq!(usage.used(PartitionId::new(1)), 7);
+    }
+
+    #[test]
+    fn usage_tracker_swap_fits() {
+        let p = timed_problem(8);
+        // sizes: a=3, b=4, c=5. Partition 0: {a, b} = 7; partition 1: {c} = 5.
+        let asg = Assignment::from_parts(vec![0, 0, 1]).unwrap();
+        let usage = UsageTracker::new(&p, &asg);
+        // Swap b (4) with c (5): p0 becomes 3+5=8 ≤ 8, p1 becomes 4 ≤ 8: fits.
+        assert!(usage.swap_fits(
+            &p,
+            ComponentId::new(1),
+            PartitionId::new(0),
+            ComponentId::new(2),
+            PartitionId::new(1)
+        ));
+        // Swap a (3) with c (5): p0 becomes 4+5=9 > 8: does not fit.
+        assert!(!usage.swap_fits(
+            &p,
+            ComponentId::new(0),
+            PartitionId::new(0),
+            ComponentId::new(2),
+            PartitionId::new(1)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn usage_tracker_detects_inconsistency() {
+        let p = timed_problem(20);
+        let asg = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        let mut usage = UsageTracker::new(&p, &asg);
+        // Claim c (size 5) leaves partition 0, which only holds 3.
+        usage.apply_move(&p, ComponentId::new(2), PartitionId::new(0), PartitionId::new(1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Index newtypes: components, partitions and the flattened pair index.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a circuit component (`j ∈ J` in the paper).
+///
+/// Component ids are dense indices handed out by
+/// [`Circuit::add_component`](crate::Circuit::add_component) in insertion
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Creates a component id from a raw index.
+    ///
+    /// Ids are only meaningful relative to the [`Circuit`](crate::Circuit)
+    /// they index into; out-of-range ids are rejected by the APIs that
+    /// consume them.
+    pub fn new(index: usize) -> Self {
+        ComponentId(index as u32)
+    }
+
+    /// Returns the dense index of this component.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<ComponentId> for usize {
+    fn from(id: ComponentId) -> usize {
+        id.index()
+    }
+}
+
+/// Index of a partition (`i ∈ I` in the paper): an MCM chip slot, an FPGA,
+/// a TCM site, ...
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub(crate) u32);
+
+impl PartitionId {
+    /// Creates a partition id from a raw index.
+    pub fn new(index: usize) -> Self {
+        PartitionId(index as u32)
+    }
+
+    /// Returns the dense index of this partition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<PartitionId> for usize {
+    fn from(id: PartitionId) -> usize {
+        id.index()
+    }
+}
+
+/// Flattened index of a candidate assignment `(partition i, component j)`.
+///
+/// The paper flattens the binary solution matrix `[x_{ij}]` column-wise into
+/// a vector `y` of length `M·N` with `r = i + (j-1)·M` (1-based). We use the
+/// 0-based equivalent `r = i + j·M`. A `PairIndex` is the coordinate of one
+/// entry of `y`, and equivalently one row/column of the flattened cost matrix
+/// `Q̂`.
+///
+/// ```
+/// use qbp_core::{PairIndex, PartitionId, ComponentId};
+///
+/// let m = 4;
+/// let r = PairIndex::from_parts(PartitionId::new(2), ComponentId::new(1), m);
+/// assert_eq!(r.index(), 6);
+/// assert_eq!(r.parts(m), (PartitionId::new(2), ComponentId::new(1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PairIndex(pub(crate) u32);
+
+impl PairIndex {
+    /// Creates a pair index from a raw flattened index.
+    pub fn new(index: usize) -> Self {
+        PairIndex(index as u32)
+    }
+
+    /// Flattens `(partition, component)` into `r = i + j·M`.
+    pub fn from_parts(partition: PartitionId, component: ComponentId, m: usize) -> Self {
+        PairIndex(partition.0 + component.0 * m as u32)
+    }
+
+    /// Returns the flattened index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Splits the flattened index back into `(partition, component)` for a
+    /// problem with `m` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn parts(self, m: usize) -> (PartitionId, ComponentId) {
+        assert!(m > 0, "a problem must have at least one partition");
+        let m = m as u32;
+        (PartitionId(self.0 % m), ComponentId(self.0 / m))
+    }
+}
+
+impl fmt::Display for PairIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<PairIndex> for usize {
+    fn from(r: PairIndex) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_roundtrip_is_bijective() {
+        let m = 7;
+        let n = 11;
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..n {
+            for i in 0..m {
+                let r = PairIndex::from_parts(PartitionId::new(i), ComponentId::new(j), m);
+                assert!(seen.insert(r.index()), "duplicate flattened index");
+                assert_eq!(r.parts(m), (PartitionId::new(i), ComponentId::new(j)));
+            }
+        }
+        assert_eq!(seen.len(), m * n);
+        assert_eq!(*seen.iter().max().unwrap(), m * n - 1);
+    }
+
+    #[test]
+    fn pair_index_matches_paper_column_major_layout() {
+        // Paper: r = i + (j-1)·M for 1-based i, j; the first M entries of y
+        // are the candidate assignments of component 0.
+        let m = 4;
+        assert_eq!(
+            PairIndex::from_parts(PartitionId::new(0), ComponentId::new(0), m).index(),
+            0
+        );
+        assert_eq!(
+            PairIndex::from_parts(PartitionId::new(3), ComponentId::new(0), m).index(),
+            3
+        );
+        assert_eq!(
+            PairIndex::from_parts(PartitionId::new(0), ComponentId::new(1), m).index(),
+            4
+        );
+    }
+
+    #[test]
+    fn display_forms_are_nonempty_and_distinct() {
+        assert_eq!(ComponentId::new(3).to_string(), "c3");
+        assert_eq!(PartitionId::new(3).to_string(), "p3");
+        assert_eq!(PairIndex::new(3).to_string(), "r3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn parts_panics_on_zero_partitions() {
+        let _ = PairIndex::new(5).parts(0);
+    }
+}

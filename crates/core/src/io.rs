@@ -1,0 +1,735 @@
+//! Plain-text serialization of problems and assignments — the `.qbp` format.
+//!
+//! The format is line-oriented, human-editable and diff-friendly, in the
+//! spirit of the classic EDA bookshelf formats:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! qbp 1                      # header: format name + version
+//! scales 1 1                 # alpha beta (optional; default 1 1)
+//!
+//! component <name> <size>    # one per component, in id order
+//! wire <from> <to> <count>   # directed connection (names or indices)
+//! wires <a> <b> <count>      # symmetric convenience
+//!
+//! partitions <m>             # partition count; capacities follow
+//! capacity <i> <c>           # per partition (or `capacities c0 c1 ...`)
+//! wirecost <i1> <i2> <b>     # B matrix entry (unspecified entries are 0)
+//! delay <i1> <i2> <d>        # D matrix entry (unspecified entries are 0)
+//! grid <rows> <cols> <cap>   # shorthand: Manhattan B = D, uniform capacity
+//!
+//! timing <from> <to> <max>   # D_C entry (directed)
+//! linear <i> <j> <p>         # P matrix entry (unspecified entries are 0)
+//! ```
+//!
+//! Assignments use a sibling one-line-per-component format:
+//!
+//! ```text
+//! assign <component> <partition>
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use qbp_core::io::{parse_problem, write_problem};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "\
+//! qbp 1
+//! component a 10
+//! component b 20
+//! wires a b 5
+//! grid 2 2 30
+//! timing a b 1
+//! ";
+//! let problem = parse_problem(text)?;
+//! assert_eq!(problem.n(), 2);
+//! assert_eq!(problem.m(), 4);
+//! // Round-trips.
+//! let again = parse_problem(&write_problem(&problem))?;
+//! assert_eq!(again, problem);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{
+    Assignment, Circuit, ComponentId, Cost, Delay, DenseMatrix, PartitionId, PartitionTopology,
+    Problem, ProblemBuilder, Size, TimingConstraints,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from parsing the `.qbp` text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The `qbp <version>` header line is missing or unsupported.
+    BadHeader,
+    /// A line had an unknown directive.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The directive word.
+        directive: String,
+    },
+    /// A line had the wrong number or format of arguments.
+    BadArguments {
+        /// 1-based line number.
+        line: usize,
+        /// What the directive expected.
+        expected: &'static str,
+    },
+    /// A component name (or index) did not resolve.
+    UnknownComponent {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved token.
+        name: String,
+    },
+    /// A partition index was out of range.
+    BadPartition {
+        /// 1-based line number.
+        line: usize,
+        /// The offending index.
+        index: usize,
+    },
+    /// A directive appeared before its prerequisites (e.g. `capacity`
+    /// before `partitions`).
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+        /// What was missing.
+        needs: &'static str,
+    },
+    /// The assembled problem failed semantic validation.
+    Invalid(crate::Error),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or unsupported `qbp <version>` header"),
+            ParseError::UnknownDirective { line, directive } => {
+                write!(f, "line {line}: unknown directive `{directive}`")
+            }
+            ParseError::BadArguments { line, expected } => {
+                write!(f, "line {line}: expected {expected}")
+            }
+            ParseError::UnknownComponent { line, name } => {
+                write!(f, "line {line}: unknown component `{name}`")
+            }
+            ParseError::BadPartition { line, index } => {
+                write!(f, "line {line}: partition index {index} out of range")
+            }
+            ParseError::OutOfOrder { line, needs } => {
+                write!(f, "line {line}: directive requires {needs} first")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid problem: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::Error> for ParseError {
+    fn from(e: crate::Error) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Tokenized, comment-stripped lines with their original numbers.
+fn logical_lines(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    text.lines().enumerate().filter_map(|(k, raw)| {
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            None
+        } else {
+            Some((k + 1, body.split_whitespace().collect()))
+        }
+    })
+}
+
+struct PartitionDraft {
+    capacities: Vec<Size>,
+    wire_cost: DenseMatrix<Cost>,
+    delay: DenseMatrix<Delay>,
+}
+
+/// Parses a `.qbp` problem description.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first offending line, or wrapping
+/// the semantic validation error from [`ProblemBuilder::build`].
+pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
+    let mut lines = logical_lines(text);
+    match lines.next() {
+        Some((_, toks)) if toks.len() == 2 && toks[0] == "qbp" && toks[1] == "1" => {}
+        _ => return Err(ParseError::BadHeader),
+    }
+
+    let mut circuit = Circuit::new();
+    let mut names: HashMap<String, ComponentId> = HashMap::new();
+    let mut draft: Option<PartitionDraft> = None;
+    let mut timing_entries: Vec<(usize, String, String, Delay)> = Vec::new();
+    let mut linear_entries: Vec<(usize, usize, usize, Cost)> = Vec::new();
+    let mut scales = (1, 1);
+
+    let resolve = |names: &HashMap<String, ComponentId>,
+                   circuit: &Circuit,
+                   line: usize,
+                   tok: &str|
+     -> Result<ComponentId, ParseError> {
+        if let Some(&id) = names.get(tok) {
+            return Ok(id);
+        }
+        if let Ok(idx) = tok.parse::<usize>() {
+            if idx < circuit.len() {
+                return Ok(ComponentId::new(idx));
+            }
+        }
+        Err(ParseError::UnknownComponent {
+            line,
+            name: tok.to_string(),
+        })
+    };
+
+    for (line, toks) in lines {
+        match toks[0] {
+            "scales" => {
+                let (a, b) = match (toks.get(1), toks.get(2)) {
+                    (Some(a), Some(b)) => (a.parse::<Cost>(), b.parse::<Cost>()),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "scales <alpha> <beta>",
+                        })
+                    }
+                };
+                match (a, b) {
+                    (Ok(a), Ok(b)) => scales = (a, b),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "scales <alpha> <beta>",
+                        })
+                    }
+                }
+            }
+            "component" => {
+                let (name, size) = match (toks.get(1), toks.get(2).map(|s| s.parse::<Size>())) {
+                    (Some(name), Some(Ok(size))) => (name.to_string(), size),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "component <name> <size>",
+                        })
+                    }
+                };
+                let id = circuit.add_component(name.clone(), size);
+                names.insert(name, id);
+            }
+            "wire" | "wires" => {
+                let (a, b, w) = match (toks.get(1), toks.get(2), toks.get(3)) {
+                    (Some(a), Some(b), Some(w)) => (*a, *b, *w),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "wire(s) <from> <to> <count>",
+                        })
+                    }
+                };
+                let from = resolve(&names, &circuit, line, a)?;
+                let to = resolve(&names, &circuit, line, b)?;
+                let count = w.parse::<Cost>().map_err(|_| ParseError::BadArguments {
+                    line,
+                    expected: "an integer wire count",
+                })?;
+                if toks[0] == "wire" {
+                    circuit.add_connection(from, to, count)?;
+                } else {
+                    circuit.add_wires(from, to, count)?;
+                }
+            }
+            "partitions" => {
+                let m = toks
+                    .get(1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&m| m > 0)
+                    .ok_or(ParseError::BadArguments {
+                        line,
+                        expected: "partitions <m>",
+                    })?;
+                draft = Some(PartitionDraft {
+                    capacities: vec![0; m],
+                    wire_cost: DenseMatrix::filled(m, m, 0),
+                    delay: DenseMatrix::filled(m, m, 0),
+                });
+            }
+            "grid" => {
+                let nums: Option<Vec<u64>> =
+                    toks[1..].iter().map(|s| s.parse::<u64>().ok()).collect();
+                let nums = nums.filter(|v| v.len() == 3).ok_or(ParseError::BadArguments {
+                    line,
+                    expected: "grid <rows> <cols> <capacity>",
+                })?;
+                let topo =
+                    PartitionTopology::grid(nums[0] as usize, nums[1] as usize, nums[2])?;
+                draft = Some(PartitionDraft {
+                    capacities: topo.capacities().to_vec(),
+                    wire_cost: topo.wire_cost().clone(),
+                    delay: topo.delay().clone(),
+                });
+            }
+            "capacity" => {
+                let d = draft.as_mut().ok_or(ParseError::OutOfOrder {
+                    line,
+                    needs: "`partitions` or `grid`",
+                })?;
+                let (i, c) = match (
+                    toks.get(1).and_then(|s| s.parse::<usize>().ok()),
+                    toks.get(2).and_then(|s| s.parse::<Size>().ok()),
+                ) {
+                    (Some(i), Some(c)) => (i, c),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "capacity <partition> <units>",
+                        })
+                    }
+                };
+                if i >= d.capacities.len() {
+                    return Err(ParseError::BadPartition { line, index: i });
+                }
+                d.capacities[i] = c;
+            }
+            "capacities" => {
+                let d = draft.as_mut().ok_or(ParseError::OutOfOrder {
+                    line,
+                    needs: "`partitions` or `grid`",
+                })?;
+                let vals: Option<Vec<Size>> =
+                    toks[1..].iter().map(|s| s.parse::<Size>().ok()).collect();
+                let vals = vals.ok_or(ParseError::BadArguments {
+                    line,
+                    expected: "capacities <c0> <c1> ...",
+                })?;
+                if vals.len() != d.capacities.len() {
+                    return Err(ParseError::BadArguments {
+                        line,
+                        expected: "one capacity per partition",
+                    });
+                }
+                d.capacities = vals;
+            }
+            "wirecost" | "delay" => {
+                let d = draft.as_mut().ok_or(ParseError::OutOfOrder {
+                    line,
+                    needs: "`partitions` or `grid`",
+                })?;
+                let (i1, i2, v) = match (
+                    toks.get(1).and_then(|s| s.parse::<usize>().ok()),
+                    toks.get(2).and_then(|s| s.parse::<usize>().ok()),
+                    toks.get(3).and_then(|s| s.parse::<i64>().ok()),
+                ) {
+                    (Some(i1), Some(i2), Some(v)) => (i1, i2, v),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "<i1> <i2> <value>",
+                        })
+                    }
+                };
+                let m = d.capacities.len();
+                if i1 >= m || i2 >= m {
+                    return Err(ParseError::BadPartition {
+                        line,
+                        index: i1.max(i2),
+                    });
+                }
+                if toks[0] == "wirecost" {
+                    d.wire_cost[(i1, i2)] = v;
+                } else {
+                    d.delay[(i1, i2)] = v;
+                }
+            }
+            "timing" => {
+                let (a, b, dc) = match (toks.get(1), toks.get(2), toks.get(3)) {
+                    (Some(a), Some(b), Some(dc)) => (*a, *b, *dc),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "timing <from> <to> <max-delay>",
+                        })
+                    }
+                };
+                let dc = dc.parse::<Delay>().map_err(|_| ParseError::BadArguments {
+                    line,
+                    expected: "an integer delay limit",
+                })?;
+                timing_entries.push((line, a.to_string(), b.to_string(), dc));
+            }
+            "linear" => {
+                let (i, j, p) = match (
+                    toks.get(1).and_then(|s| s.parse::<usize>().ok()),
+                    toks.get(2).and_then(|s| s.parse::<usize>().ok()),
+                    toks.get(3).and_then(|s| s.parse::<Cost>().ok()),
+                ) {
+                    (Some(i), Some(j), Some(p)) => (i, j, p),
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "linear <partition> <component> <cost>",
+                        })
+                    }
+                };
+                linear_entries.push((line, i, j, p));
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    directive: other.to_string(),
+                })
+            }
+        }
+    }
+
+    let draft = draft.ok_or(ParseError::OutOfOrder {
+        line: 0,
+        needs: "`partitions` or `grid`",
+    })?;
+    let topology = PartitionTopology::new(draft.capacities, draft.wire_cost, draft.delay)?;
+
+    let mut timing = TimingConstraints::new(circuit.len());
+    for (line, a, b, dc) in timing_entries {
+        let from = resolve(&names, &circuit, line, &a)?;
+        let to = resolve(&names, &circuit, line, &b)?;
+        timing.add(from, to, dc)?;
+    }
+
+    let mut builder = ProblemBuilder::new(circuit, topology).timing(timing).scales(scales.0, scales.1);
+    if !linear_entries.is_empty() {
+        let m = builder_m(&builder);
+        let n = builder_n(&builder);
+        let mut p = DenseMatrix::filled(m, n, 0);
+        for (line, i, j, v) in linear_entries {
+            if i >= m {
+                return Err(ParseError::BadPartition { line, index: i });
+            }
+            if j >= n {
+                return Err(ParseError::UnknownComponent {
+                    line,
+                    name: j.to_string(),
+                });
+            }
+            p[(i, j)] = v;
+        }
+        builder = builder.linear_cost(p);
+    }
+    Ok(builder.build()?)
+}
+
+// ProblemBuilder doesn't expose its internals; these helpers peek through a
+// throwaway clone of the builder's parts via Debug-free accessors. Keeping
+// the builder opaque is worth two small helpers here.
+fn builder_m(b: &ProblemBuilder) -> usize {
+    b.topology_len()
+}
+
+fn builder_n(b: &ProblemBuilder) -> usize {
+    b.circuit_len()
+}
+
+/// Writes a problem in the `.qbp` format; [`parse_problem`] round-trips it.
+pub fn write_problem(problem: &Problem) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("qbp 1\n");
+    let _ = writeln!(out, "scales {} {}", problem.alpha(), problem.beta());
+    for (_, comp) in problem.circuit().iter() {
+        let _ = writeln!(out, "component {} {}", comp.name(), comp.size());
+    }
+    for (a, b, w) in problem.circuit().edges() {
+        let _ = writeln!(out, "wire {} {} {w}", a.index(), b.index());
+    }
+    let m = problem.m();
+    let _ = writeln!(out, "partitions {m}");
+    let caps: Vec<String> = problem
+        .topology()
+        .capacities()
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    let _ = writeln!(out, "capacities {}", caps.join(" "));
+    for (i1, i2, &v) in problem.topology().wire_cost().indexed_iter() {
+        if v != 0 {
+            let _ = writeln!(out, "wirecost {i1} {i2} {v}");
+        }
+    }
+    for (i1, i2, &v) in problem.topology().delay().indexed_iter() {
+        if v != 0 {
+            let _ = writeln!(out, "delay {i1} {i2} {v}");
+        }
+    }
+    for (a, b, dc) in problem.timing().iter() {
+        let _ = writeln!(out, "timing {} {} {dc}", a.index(), b.index());
+    }
+    if let Some(p) = problem.linear_cost() {
+        for (i, j, &v) in p.indexed_iter() {
+            if v != 0 {
+                let _ = writeln!(out, "linear {i} {j} {v}");
+            }
+        }
+    }
+    out
+}
+
+/// Parses a one-assignment-per-line file (`assign <component> <partition>`,
+/// names or indices) against a problem.
+///
+/// Components left unassigned default to partition 0 only if
+/// `allow_partial`; otherwise they are an error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unresolvable components, out-of-range
+/// partitions, or (without `allow_partial`) missing components.
+pub fn parse_assignment(
+    text: &str,
+    problem: &Problem,
+    allow_partial: bool,
+) -> Result<Assignment, ParseError> {
+    let mut names: HashMap<&str, ComponentId> = HashMap::new();
+    for (id, comp) in problem.circuit().iter() {
+        names.insert(comp.name(), id);
+    }
+    let mut parts: Vec<Option<u32>> = vec![None; problem.n()];
+    for (line, toks) in logical_lines(text) {
+        if toks[0] != "assign" || toks.len() != 3 {
+            return Err(ParseError::BadArguments {
+                line,
+                expected: "assign <component> <partition>",
+            });
+        }
+        let id = if let Some(&id) = names.get(toks[1]) {
+            id
+        } else if let Ok(idx) = toks[1].parse::<usize>() {
+            if idx >= problem.n() {
+                return Err(ParseError::UnknownComponent {
+                    line,
+                    name: toks[1].to_string(),
+                });
+            }
+            ComponentId::new(idx)
+        } else {
+            return Err(ParseError::UnknownComponent {
+                line,
+                name: toks[1].to_string(),
+            });
+        };
+        let i = toks[2]
+            .parse::<usize>()
+            .ok()
+            .filter(|&i| i < problem.m())
+            .ok_or(ParseError::BadPartition {
+                line,
+                index: toks[2].parse().unwrap_or(usize::MAX),
+            })?;
+        parts[id.index()] = Some(i as u32);
+    }
+    let parts: Vec<u32> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(j, p)| match p {
+            Some(p) => Ok(p),
+            None if allow_partial => Ok(0),
+            None => Err(ParseError::UnknownComponent {
+                line: 0,
+                name: format!("component {j} unassigned"),
+            }),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Assignment::from_parts(parts)?)
+}
+
+/// Writes an assignment in the `assign` format, using component names.
+pub fn write_assignment(problem: &Problem, assignment: &Assignment) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (j, i) in assignment.iter() {
+        let name = problem
+            .circuit()
+            .component(j)
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|| j.index().to_string());
+        let _ = writeln!(out, "assign {name} {}", i.index());
+    }
+    out
+}
+
+/// Convenience: the partition id a component holds in a parsed assignment.
+pub fn partition_of(assignment: &Assignment, j: usize) -> PartitionId {
+    assignment.partition_of(ComponentId::new(j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+
+    const SAMPLE: &str = "\
+# a small system
+qbp 1
+scales 1 1
+component alu 40
+component cache 60
+component bus 10
+wires alu cache 5
+wire cache bus 2     # directed
+grid 2 2 80
+timing alu cache 1
+timing cache alu 1
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let p = parse_problem(SAMPLE).expect("parses");
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.circuit().connection(ComponentId::new(0), ComponentId::new(1)), 5);
+        assert_eq!(p.circuit().connection(ComponentId::new(1), ComponentId::new(2)), 2);
+        assert_eq!(p.circuit().connection(ComponentId::new(2), ComponentId::new(1)), 0);
+        assert_eq!(p.timing().len(), 2);
+        assert_eq!(p.topology().capacity(PartitionId::new(3)), 80);
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = parse_problem(SAMPLE).expect("parses");
+        let text = write_problem(&p);
+        let q = parse_problem(&text).expect("round trip parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn explicit_matrices_round_trip() {
+        let text = "\
+qbp 1
+component a 1
+component b 2
+wire a b 3
+partitions 2
+capacities 4 5
+wirecost 0 1 7
+wirecost 1 0 2
+delay 0 1 9
+delay 1 0 1
+timing a b 9
+linear 0 1 6
+";
+        let p = parse_problem(text).expect("parses");
+        assert_eq!(p.topology().wire_cost()[(0, 1)], 7);
+        assert_eq!(p.topology().delay()[(1, 0)], 1);
+        assert_eq!(p.linear_cost().expect("has P")[(0, 1)], 6);
+        let q = parse_problem(&write_problem(&p)).expect("round trip");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn header_required() {
+        assert_eq!(parse_problem("component a 1\n"), Err(ParseError::BadHeader));
+        assert_eq!(parse_problem("qbp 2\n"), Err(ParseError::BadHeader));
+        assert_eq!(parse_problem(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "qbp 1\ncomponent a 1\nfrobnicate x\n";
+        match parse_problem(text) {
+            Err(ParseError::UnknownDirective { line, directive }) => {
+                assert_eq!(line, 3);
+                assert_eq!(directive, "frobnicate");
+            }
+            other => panic!("expected UnknownDirective, got {other:?}"),
+        }
+        let text = "qbp 1\ncomponent a 1\nwire a ghost 2\ngrid 1 2 5\n";
+        assert!(matches!(
+            parse_problem(text),
+            Err(ParseError::UnknownComponent { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_before_partitions_is_out_of_order() {
+        let text = "qbp 1\ncomponent a 1\ncapacity 0 5\n";
+        assert!(matches!(
+            parse_problem(text),
+            Err(ParseError::OutOfOrder { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn indices_work_as_component_references() {
+        let text = "qbp 1\ncomponent a 1\ncomponent b 1\nwire 0 1 4\ngrid 1 2 5\n";
+        let p = parse_problem(text).expect("parses");
+        assert_eq!(p.circuit().connection(ComponentId::new(0), ComponentId::new(1)), 4);
+    }
+
+    #[test]
+    fn assignment_round_trip_and_validation() {
+        let p = parse_problem(SAMPLE).expect("parses");
+        let asg = Assignment::from_parts(vec![0, 1, 3]).expect("3 components");
+        let text = write_assignment(&p, &asg);
+        let back = parse_assignment(&text, &p, false).expect("parses");
+        assert_eq!(back, asg);
+        // Partial assignment rejected without the flag, accepted with it.
+        let partial = "assign alu 2\n";
+        assert!(parse_assignment(partial, &p, false).is_err());
+        let relaxed = parse_assignment(partial, &p, true).expect("partial ok");
+        assert_eq!(relaxed.partition_of(ComponentId::new(0)).index(), 2);
+        assert_eq!(relaxed.partition_of(ComponentId::new(1)).index(), 0);
+    }
+
+    #[test]
+    fn assignment_rejects_bad_partition() {
+        let p = parse_problem(SAMPLE).expect("parses");
+        assert!(matches!(
+            parse_assignment("assign alu 99\n", &p, true),
+            Err(ParseError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            parse_assignment("assign ghost 1\n", &p, true),
+            Err(ParseError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn parsed_problem_is_usable() {
+        let p = parse_problem(SAMPLE).expect("parses");
+        // alu@0 and cache@1 are adjacent (timing limit 1 satisfied); the
+        // alu+cache pair would exceed capacity 80 if co-located.
+        let asg = Assignment::from_parts(vec![0, 1, 1]).expect("3 components");
+        let eval = Evaluator::new(&p);
+        // 5 symmetric wires at distance 1 (counted per direction) + the
+        // directed cache→bus wires at distance 0.
+        assert_eq!(eval.cost(&asg), 2 * 5);
+        assert!(crate::check_feasibility(&p, &asg).is_feasible());
+    }
+
+    #[test]
+    fn semantic_validation_propagates() {
+        // Total size exceeds total capacity.
+        let text = "qbp 1\ncomponent a 100\ngrid 1 2 5\n";
+        assert!(matches!(
+            parse_problem(text),
+            Err(ParseError::Invalid(crate::Error::CapacityImpossible { .. }))
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! A small row-major dense matrix used for the `B`, `D` and `P` matrices and
+//! for dense materializations of `Q̂` in tests and worked examples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix.
+///
+/// This is deliberately minimal: the paper's matrices are tiny (`M×M` with
+/// `M ≤ 16` in the evaluation, `M·N ≤ a few thousand` for dense `Q̂` views in
+/// tests), so no linear-algebra machinery is needed — only indexed storage
+/// with dimension checking.
+///
+/// ```
+/// use qbp_core::DenseMatrix;
+///
+/// let mut m = DenseMatrix::filled(2, 3, 0i64);
+/// m[(1, 2)] = 7;
+/// assert_eq!(m[(1, 2)], 7);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> DenseMatrix<T> {
+    /// Creates a `rows × cols` matrix with every entry set to `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from nested row vectors.
+    ///
+    /// Returns `None` if the rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Option<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != ncols) {
+            return None;
+        }
+        Some(DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data: rows.into_iter().flatten().collect(),
+        })
+    }
+
+    /// Creates a square matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+}
+
+impl<T> DenseMatrix<T> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Checked access: `None` when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<&T> {
+        if row < self.rows && col < self.cols {
+            self.data.get(row * self.cols + col)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterates over all entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.data.iter()
+    }
+
+    /// Iterates over `(row, col, &value)` triples in row-major order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, v)| (k / cols, k % cols, v))
+    }
+}
+
+impl DenseMatrix<crate::Cost> {
+    /// Sum of absolute values of all entries, saturating on overflow.
+    ///
+    /// Used by the Theorem-1 penalty bound `U > 2·Σ|q|`.
+    pub fn abs_sum(&self) -> crate::Cost {
+        self.data
+            .iter()
+            .fold(0i64, |acc, &v| acc.saturating_add(v.saturating_abs()))
+    }
+
+    /// Maximum entry, or `0` for an empty matrix.
+    pub fn max_entry(&self) -> crate::Cost {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl<T> Index<(usize, usize)> for DenseMatrix<T> {
+    type Output = T;
+
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for DenseMatrix<T> {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for DenseMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column-aligned, the way the paper prints its example Q̂ matrix.
+        let strings: Vec<String> = self.data.iter().map(T::to_string).collect();
+        let width = strings.iter().map(String::len).max().unwrap_or(1);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>width$}", strings[r * self.cols + c])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_index_roundtrip() {
+        let mut m = DenseMatrix::filled(3, 4, 1i64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        m[(2, 3)] = 9;
+        assert_eq!(m[(2, 3)], 9);
+        assert_eq!(m[(0, 0)], 1);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(DenseMatrix::from_rows(vec![vec![1, 2], vec![3]]).is_none());
+        let m = DenseMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(m[(1, 0)], 3);
+    }
+
+    #[test]
+    fn from_fn_lays_out_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as i64);
+        assert_eq!(m[(0, 2)], 2);
+        assert_eq!(m[(1, 0)], 10);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let m = DenseMatrix::filled(2, 2, 0i64);
+        assert!(m.get(1, 1).is_some());
+        assert!(m.get(2, 0).is_none());
+        assert!(m.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn abs_sum_and_max() {
+        let m = DenseMatrix::from_rows(vec![vec![-3i64, 4], vec![0, -5]]).unwrap();
+        assert_eq!(m.abs_sum(), 12);
+        assert_eq!(m.max_entry(), 4);
+    }
+
+    #[test]
+    fn abs_sum_saturates() {
+        let m = DenseMatrix::from_rows(vec![vec![i64::MAX, i64::MAX]]).unwrap();
+        assert_eq!(m.abs_sum(), i64::MAX);
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let m = DenseMatrix::from_rows(vec![vec![1i64, 100], vec![22, 3]]).unwrap();
+        let s = m.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn indexed_iter_covers_all_entries() {
+        let m = DenseMatrix::from_fn(2, 2, |r, c| r + c);
+        let entries: Vec<(usize, usize, usize)> =
+            m.indexed_iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let m = DenseMatrix::filled(2, 2, 0i64);
+        let _ = m[(2, 2)];
+    }
+}

@@ -1,0 +1,350 @@
+//! Multi-pin netlists and their lowering into the pairwise connection
+//! matrix `A`.
+//!
+//! The paper's formulation takes `A` — pairwise wire counts — as given, but
+//! real designs are *netlists*: each net connects a driver pin to several
+//! sink pins. This module provides the netlist view and the standard
+//! lowerings into pairwise form:
+//!
+//! * **Clique** — every unordered pin pair gets `2·weight/(k−1)` wires
+//!   (scaled so the net's total pairwise weight is independent of its pin
+//!   count `k`; the classic partitioning net model);
+//! * **Star** — directed driver→sink wires, `weight` each (models fanout
+//!   trees; asymmetric);
+//! * **BoundedClique** — clique for small nets, star for nets above a pin
+//!   threshold (what production tools do: cliques on 40-pin nets both
+//!   distort the metric and blow up `E`).
+//!
+//! Weights are scaled by [`NET_WEIGHT_SCALE`] so the clique fractions stay
+//! exact integers for pin counts up to 9 against the integer cost domain.
+
+use crate::{Circuit, ComponentId, Cost, Error, Size};
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale applied to every lowered wire weight, so fractional
+/// clique shares (`2·w/(k−1)`) remain exact integers for small `k`
+/// (divisible by 1..=8). Objectives computed on a lowered circuit are in
+/// units of `wire·distance / NET_WEIGHT_SCALE`.
+pub const NET_WEIGHT_SCALE: Cost = 840;
+
+/// How a multi-pin net is lowered to pairwise connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NetModel {
+    /// Clique on all pins with per-pair weight `2·w/(k−1)` (symmetric).
+    #[default]
+    Clique,
+    /// Driver→sink star, weight `w` per sink (directed).
+    Star,
+    /// Clique for nets with at most the given pin count, star beyond it.
+    BoundedClique(
+        /// Maximum pin count lowered as a clique.
+        usize,
+    ),
+}
+
+/// One net: a named driver-plus-sinks pin set with a weight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    name: String,
+    driver: ComponentId,
+    sinks: Vec<ComponentId>,
+    weight: Cost,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driving component.
+    pub fn driver(&self) -> ComponentId {
+        self.driver
+    }
+
+    /// The sink components.
+    pub fn sinks(&self) -> &[ComponentId] {
+        &self.sinks
+    }
+
+    /// The net's weight (criticality multiplier).
+    pub fn weight(&self) -> Cost {
+        self.weight
+    }
+
+    /// Total pin count (driver + sinks).
+    pub fn pin_count(&self) -> usize {
+        1 + self.sinks.len()
+    }
+}
+
+/// A multi-pin netlist over named cells.
+///
+/// ```
+/// use qbp_core::netlist::{Netlist, NetModel, NET_WEIGHT_SCALE};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut netlist = Netlist::new();
+/// let a = netlist.add_cell("alu", 10);
+/// let b = netlist.add_cell("buf", 5);
+/// let c = netlist.add_cell("cmp", 7);
+/// netlist.add_net("result", a, &[b, c], 1)?;
+///
+/// let circuit = netlist.lower(NetModel::Clique)?;
+/// // 3-pin net: each of the 3 unordered pairs carries 2·w/(k−1) = w.
+/// assert_eq!(circuit.connection(a, b), NET_WEIGHT_SCALE);
+/// assert_eq!(circuit.connection(b, c), NET_WEIGHT_SCALE);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    cells: Vec<(String, Size)>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a cell (component) and returns its id. Ids are shared with the
+    /// lowered [`Circuit`].
+    pub fn add_cell(&mut self, name: impl Into<String>, size: Size) -> ComponentId {
+        let id = ComponentId::new(self.cells.len());
+        self.cells.push((name.into(), size));
+        id
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Iterates over the nets.
+    pub fn nets(&self) -> impl Iterator<Item = &Net> {
+        self.nets.iter()
+    }
+
+    /// Adds a net from `driver` to `sinks` with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any pin is out of range, a sink repeats or
+    /// equals the driver, the sink list is empty, or the weight is not
+    /// positive.
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        driver: ComponentId,
+        sinks: &[ComponentId],
+        weight: Cost,
+    ) -> Result<(), Error> {
+        let len = self.cells.len();
+        for &pin in std::iter::once(&driver).chain(sinks) {
+            if pin.index() >= len {
+                return Err(Error::ComponentOutOfRange { id: pin, len });
+            }
+        }
+        if sinks.is_empty() {
+            return Err(Error::NegativeValue {
+                what: "net sink count",
+                value: 0,
+            });
+        }
+        if weight <= 0 {
+            return Err(Error::NegativeValue {
+                what: "net weight",
+                value: weight,
+            });
+        }
+        let mut seen: Vec<ComponentId> = vec![driver];
+        for &s in sinks {
+            if seen.contains(&s) {
+                return Err(Error::SelfLoop(s));
+            }
+            seen.push(s);
+        }
+        self.nets.push(Net {
+            name: name.into(),
+            driver,
+            sinks: sinks.to_vec(),
+            weight,
+        });
+        Ok(())
+    }
+
+    /// Lowers the netlist to a pairwise [`Circuit`] under the given model.
+    /// Weights are scaled by [`NET_WEIGHT_SCALE`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a validly constructed netlist; the signature matches
+    /// the fallible connection API it drives.
+    pub fn lower(&self, model: NetModel) -> Result<Circuit, Error> {
+        let mut circuit = Circuit::with_capacity(self.cells.len());
+        for (name, size) in &self.cells {
+            circuit.add_component(name.clone(), *size);
+        }
+        for net in &self.nets {
+            let k = net.pin_count();
+            let as_clique = match model {
+                NetModel::Clique => true,
+                NetModel::Star => false,
+                NetModel::BoundedClique(max_pins) => k <= max_pins,
+            };
+            if as_clique {
+                // Per unordered pair: 2·w/(k−1), scaled. Σ over the k(k−1)/2
+                // pairs (×2 directions) = w·k·SCALE: linear in pin count,
+                // independent of the clique blow-up.
+                let share = 2 * net.weight * NET_WEIGHT_SCALE / (k as Cost - 1);
+                let pins: Vec<ComponentId> =
+                    std::iter::once(net.driver).chain(net.sinks.iter().copied()).collect();
+                for (x, &p) in pins.iter().enumerate() {
+                    for &q in &pins[x + 1..] {
+                        circuit.add_wires(p, q, share)?;
+                    }
+                }
+            } else {
+                for &s in &net.sinks {
+                    circuit.add_connection(net.driver, s, net.weight * NET_WEIGHT_SCALE)?;
+                }
+            }
+        }
+        Ok(circuit)
+    }
+
+    /// Cut size of an assignment at the *net* level: total weight of nets
+    /// whose pins span more than one partition. This is the metric FPGA
+    /// flows actually care about (each cut net costs device I/O once, no
+    /// matter how many pins cross).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the cell count.
+    pub fn net_cut(&self, assignment: &crate::Assignment) -> Cost {
+        self.nets
+            .iter()
+            .filter(|net| {
+                let home = assignment.part_index(net.driver.index());
+                net.sinks
+                    .iter()
+                    .any(|s| assignment.part_index(s.index()) != home)
+            })
+            .map(|net| net.weight)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    fn three_cell_netlist() -> (Netlist, ComponentId, ComponentId, ComponentId) {
+        let mut nl = Netlist::new();
+        let a = nl.add_cell("a", 10);
+        let b = nl.add_cell("b", 5);
+        let c = nl.add_cell("c", 7);
+        (nl, a, b, c)
+    }
+
+    #[test]
+    fn clique_lowering_scales_by_pin_count() {
+        let (mut nl, a, b, c) = three_cell_netlist();
+        nl.add_net("n0", a, &[b, c], 1).unwrap();
+        let circuit = nl.lower(NetModel::Clique).unwrap();
+        // k = 3: share = 2·1·S/2 = S per unordered pair.
+        assert_eq!(circuit.connection(a, b), NET_WEIGHT_SCALE);
+        assert_eq!(circuit.connection(b, a), NET_WEIGHT_SCALE);
+        assert_eq!(circuit.connection(a, c), NET_WEIGHT_SCALE);
+        assert_eq!(circuit.connection(b, c), NET_WEIGHT_SCALE);
+        // Total = w·k·S = 3S per direction... summed over directions: 6S.
+        assert_eq!(circuit.total_wire_weight(), 6 * NET_WEIGHT_SCALE);
+    }
+
+    #[test]
+    fn two_pin_net_is_one_full_wire() {
+        let (mut nl, a, b, _) = three_cell_netlist();
+        nl.add_net("w", a, &[b], 3).unwrap();
+        let circuit = nl.lower(NetModel::Clique).unwrap();
+        // k = 2: share = 2·3·S/1 = 6S... per unordered pair — which is the
+        // single pair: weight 6S both directions.
+        assert_eq!(circuit.connection(a, b), 6 * NET_WEIGHT_SCALE);
+    }
+
+    #[test]
+    fn star_lowering_is_directed() {
+        let (mut nl, a, b, c) = three_cell_netlist();
+        nl.add_net("n0", a, &[b, c], 2).unwrap();
+        let circuit = nl.lower(NetModel::Star).unwrap();
+        assert_eq!(circuit.connection(a, b), 2 * NET_WEIGHT_SCALE);
+        assert_eq!(circuit.connection(a, c), 2 * NET_WEIGHT_SCALE);
+        assert_eq!(circuit.connection(b, a), 0);
+        assert_eq!(circuit.connection(b, c), 0);
+    }
+
+    #[test]
+    fn bounded_clique_switches_models() {
+        let mut nl = Netlist::new();
+        let cells: Vec<ComponentId> = (0..6).map(|k| nl.add_cell(format!("c{k}"), 1)).collect();
+        nl.add_net("small", cells[0], &[cells[1], cells[2]], 1).unwrap(); // 3 pins
+        nl.add_net("big", cells[0], &cells[1..], 1).unwrap(); // 6 pins
+        let circuit = nl.lower(NetModel::BoundedClique(4)).unwrap();
+        // The small net contributed symmetric weight between sinks 1 and 2;
+        // the big net is a star and contributes nothing between sinks.
+        assert!(circuit.connection(cells[1], cells[2]) > 0);
+        assert_eq!(circuit.connection(cells[4], cells[5]), 0);
+        // Star part: driver to far sinks.
+        assert_eq!(circuit.connection(cells[0], cells[5]), NET_WEIGHT_SCALE);
+    }
+
+    #[test]
+    fn validation_rejects_bad_nets() {
+        let (mut nl, a, b, _) = three_cell_netlist();
+        assert!(nl.add_net("dup", a, &[b, b], 1).is_err());
+        assert!(nl.add_net("self", a, &[a], 1).is_err());
+        assert!(nl.add_net("empty", a, &[], 1).is_err());
+        assert!(nl.add_net("zero", a, &[b], 0).is_err());
+        let ghost = ComponentId::new(9);
+        assert!(nl.add_net("ghost", a, &[ghost], 1).is_err());
+    }
+
+    #[test]
+    fn net_cut_counts_spanning_nets_once() {
+        let (mut nl, a, b, c) = three_cell_netlist();
+        nl.add_net("n0", a, &[b, c], 5).unwrap();
+        nl.add_net("n1", b, &[c], 2).unwrap();
+        // a alone; b and c together: n0 spans (5), n1 does not.
+        let asg = Assignment::from_parts(vec![0, 1, 1]).unwrap();
+        assert_eq!(nl.net_cut(&asg), 5);
+        // All together: nothing cut.
+        let together = Assignment::all_in_first(3);
+        assert_eq!(nl.net_cut(&together), 0);
+        // All apart: both cut.
+        let apart = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        assert_eq!(nl.net_cut(&apart), 7);
+    }
+
+    #[test]
+    fn lowered_circuit_partitions_end_to_end() {
+        use crate::{PartitionTopology, ProblemBuilder};
+        let mut nl = Netlist::new();
+        let cells: Vec<ComponentId> = (0..8).map(|k| nl.add_cell(format!("c{k}"), 2)).collect();
+        for w in cells.windows(2) {
+            nl.add_net(format!("n{}", w[0]), w[0], &[w[1]], 1).unwrap();
+        }
+        let circuit = nl.lower(NetModel::default()).unwrap();
+        let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 6).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(problem.n(), 8);
+        assert!(problem.circuit().total_wire_weight() > 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Objective evaluation: full cost, and exact incremental deltas for single
+//! moves and pair swaps (the workhorses of the GFM/GKL baselines).
+
+use crate::{Assignment, ComponentId, Cost, PartitionId, Problem};
+
+/// Evaluates the `PP(α, β)` objective
+/// `α·Σ_j p[A(j)][j] + β·Σ_{j1,j2} a[j1][j2]·b[A(j1)][A(j2)]`
+/// and its exact deltas under single-component moves and pair swaps.
+///
+/// All arithmetic is exact `i64`; deltas are verified against full
+/// re-evaluation by property tests.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, Assignment, Evaluator,
+///                ComponentId, PartitionId};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 1);
+/// let b = circuit.add_component("b", 1);
+/// circuit.add_wires(a, b, 5)?;
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 10)?).build()?;
+/// let eval = Evaluator::new(&problem);
+///
+/// let mut asg = Assignment::from_parts(vec![0, 3])?; // distance 2
+/// assert_eq!(eval.cost(&asg), 2 * 5 * 2);
+/// let delta = eval.move_delta(&asg, b, PartitionId::new(1)); // distance 1
+/// assert_eq!(delta, -(2 * 5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    problem: &'a Problem,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over a problem.
+    pub fn new(problem: &'a Problem) -> Self {
+        Evaluator { problem }
+    }
+
+    /// The problem being evaluated.
+    pub fn problem(&self) -> &'a Problem {
+        self.problem
+    }
+
+    /// The linear term `α·Σ_j p[A(j)][j]`.
+    pub fn linear_cost(&self, assignment: &Assignment) -> Cost {
+        let p = match self.problem.linear_cost() {
+            Some(p) => p,
+            None => return 0,
+        };
+        let alpha = self.problem.alpha();
+        (0..self.problem.n())
+            .map(|j| alpha * p[(assignment.part_index(j), j)])
+            .sum()
+    }
+
+    /// The quadratic term `β·Σ_{j1,j2} a[j1][j2]·b[A(j1)][A(j2)]`.
+    ///
+    /// Note that, as in the paper, the sum runs over *ordered* pairs: a
+    /// symmetric wire bundle added with
+    /// [`Circuit::add_wires`](crate::Circuit::add_wires) contributes twice
+    /// (once per direction).
+    pub fn quadratic_cost(&self, assignment: &Assignment) -> Cost {
+        let b = self.problem.topology().wire_cost();
+        let beta = self.problem.beta();
+        let mut total = 0;
+        for (j1, j2, w) in self.problem.circuit().edges() {
+            total += beta
+                * w
+                * b[(
+                    assignment.part_index(j1.index()),
+                    assignment.part_index(j2.index()),
+                )];
+        }
+        total
+    }
+
+    /// The full objective `α·linear + β·quadratic`.
+    pub fn cost(&self, assignment: &Assignment) -> Cost {
+        self.linear_cost(assignment) + self.quadratic_cost(assignment)
+    }
+
+    /// Exact change in objective if component `j` moves to partition `to`
+    /// (0 when `to` is its current partition).
+    ///
+    /// Runs in `O(deg(j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or `to` is out of range for the problem.
+    pub fn move_delta(&self, assignment: &Assignment, j: ComponentId, to: PartitionId) -> Cost {
+        let from = assignment.part_index(j.index());
+        let to_i = to.index();
+        if from == to_i {
+            return 0;
+        }
+        let problem = self.problem;
+        let b = problem.topology().wire_cost();
+        let beta = problem.beta();
+        let mut delta = problem.alpha() * (problem.p(to_i, j.index()) - problem.p(from, j.index()));
+        for (k, w) in problem.circuit().out_connections(j) {
+            let ik = assignment.part_index(k.index());
+            delta += beta * w * (b[(to_i, ik)] - b[(from, ik)]);
+        }
+        for (k, w) in problem.circuit().in_connections(j) {
+            let ik = assignment.part_index(k.index());
+            delta += beta * w * (b[(ik, to_i)] - b[(ik, from)]);
+        }
+        delta
+    }
+
+    /// Exact change in objective if components `j1` and `j2` swap partitions
+    /// (0 when they share a partition or `j1 == j2`).
+    ///
+    /// Runs in `O(deg(j1) + deg(j2))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for the problem.
+    pub fn swap_delta(&self, assignment: &Assignment, j1: ComponentId, j2: ComponentId) -> Cost {
+        if j1 == j2 {
+            return 0;
+        }
+        let i1 = assignment.part_index(j1.index());
+        let i2 = assignment.part_index(j2.index());
+        if i1 == i2 {
+            return 0;
+        }
+        let problem = self.problem;
+        let b = problem.topology().wire_cost();
+        let beta = problem.beta();
+        let alpha = problem.alpha();
+
+        let mut delta = alpha
+            * (problem.p(i2, j1.index()) - problem.p(i1, j1.index())
+                + problem.p(i1, j2.index())
+                - problem.p(i2, j2.index()));
+
+        // Edges incident to j1 (excluding the j1–j2 pair, handled below).
+        for (k, w) in problem.circuit().out_connections(j1) {
+            if k == j2 {
+                continue;
+            }
+            let ik = assignment.part_index(k.index());
+            delta += beta * w * (b[(i2, ik)] - b[(i1, ik)]);
+        }
+        for (k, w) in problem.circuit().in_connections(j1) {
+            if k == j2 {
+                continue;
+            }
+            let ik = assignment.part_index(k.index());
+            delta += beta * w * (b[(ik, i2)] - b[(ik, i1)]);
+        }
+        // Edges incident to j2 (excluding the pair).
+        for (k, w) in problem.circuit().out_connections(j2) {
+            if k == j1 {
+                continue;
+            }
+            let ik = assignment.part_index(k.index());
+            delta += beta * w * (b[(i1, ik)] - b[(i2, ik)]);
+        }
+        for (k, w) in problem.circuit().in_connections(j2) {
+            if k == j1 {
+                continue;
+            }
+            let ik = assignment.part_index(k.index());
+            delta += beta * w * (b[(ik, i1)] - b[(ik, i2)]);
+        }
+        // The j1–j2 pair itself: endpoints exchange partitions.
+        let w12 = problem.circuit().connection(j1, j2);
+        if w12 != 0 {
+            delta += beta * w12 * (b[(i2, i1)] - b[(i1, i2)]);
+        }
+        let w21 = problem.circuit().connection(j2, j1);
+        if w21 != 0 {
+            delta += beta * w21 * (b[(i1, i2)] - b[(i2, i1)]);
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        deviation_cost_matrix, Circuit, PartitionTopology, ProblemBuilder,
+    };
+
+    fn paper_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let d = c.add_component("c", 1);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        c
+    }
+
+    fn paper_problem() -> Problem {
+        ProblemBuilder::new(paper_circuit(), PartitionTopology::grid(2, 2, 10).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quadratic_cost_on_paper_example() {
+        let p = paper_problem();
+        let eval = Evaluator::new(&p);
+        // a→1, b→2, c→3 (0-based: 0, 1, 2): dist(0,1)=1, dist(1,2)=2.
+        let asg = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        assert_eq!(eval.quadratic_cost(&asg), 2 * 5 + 2 * (2 * 2));
+        assert_eq!(eval.cost(&asg), eval.quadratic_cost(&asg));
+        // All together: zero cost.
+        let same = Assignment::from_parts(vec![3, 3, 3]).unwrap();
+        assert_eq!(eval.cost(&same), 0);
+    }
+
+    #[test]
+    fn linear_cost_with_deviation_matrix() {
+        let circuit = paper_circuit();
+        let topo = PartitionTopology::grid(2, 2, 10).unwrap();
+        let initial = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        let p = deviation_cost_matrix(&circuit, &topo, &initial).unwrap();
+        let problem = ProblemBuilder::new(circuit, topo)
+            .linear_cost(p)
+            .scales(1, 0)
+            .build()
+            .unwrap();
+        let eval = Evaluator::new(&problem);
+        // Staying put costs nothing.
+        assert_eq!(eval.cost(&initial), 0);
+        // Moving all to the far corner: each pays size * distance.
+        let moved = Assignment::from_parts(vec![3, 3, 3]).unwrap();
+        assert_eq!(eval.cost(&moved), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn move_delta_matches_full_recompute() {
+        let p = paper_problem();
+        let eval = Evaluator::new(&p);
+        let asg = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        for j in 0..3 {
+            for to in 0..4 {
+                let mut moved = asg.clone();
+                moved.move_to(ComponentId::new(j), PartitionId::new(to));
+                let delta = eval.move_delta(&asg, ComponentId::new(j), PartitionId::new(to));
+                assert_eq!(
+                    delta,
+                    eval.cost(&moved) - eval.cost(&asg),
+                    "move c{j} -> p{to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_delta_matches_full_recompute() {
+        let p = paper_problem();
+        let eval = Evaluator::new(&p);
+        let asg = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        for j1 in 0..3 {
+            for j2 in 0..3 {
+                let mut swapped = asg.clone();
+                swapped.swap(ComponentId::new(j1), ComponentId::new(j2));
+                let delta = eval.swap_delta(&asg, ComponentId::new(j1), ComponentId::new(j2));
+                assert_eq!(
+                    delta,
+                    eval.cost(&swapped) - eval.cost(&asg),
+                    "swap c{j1} <-> c{j2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn move_to_same_partition_is_zero() {
+        let p = paper_problem();
+        let eval = Evaluator::new(&p);
+        let asg = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        assert_eq!(eval.move_delta(&asg, ComponentId::new(1), PartitionId::new(1)), 0);
+    }
+
+    #[test]
+    fn scales_are_applied() {
+        let circuit = paper_circuit();
+        let topo = PartitionTopology::grid(2, 2, 10).unwrap();
+        let initial = Assignment::from_parts(vec![0, 0, 0]).unwrap();
+        let p = deviation_cost_matrix(&circuit, &topo, &initial).unwrap();
+        let problem = ProblemBuilder::new(circuit, topo)
+            .linear_cost(p)
+            .scales(3, 2)
+            .build()
+            .unwrap();
+        let eval = Evaluator::new(&problem);
+        let asg = Assignment::from_parts(vec![0, 1, 2]).unwrap();
+        // linear: b at dist 1, c at dist 1 → α·(1+1) = 6.
+        assert_eq!(eval.linear_cost(&asg), 6);
+        // quadratic: 2·(5·1 + 2·2) = 18, ×β = 36.
+        assert_eq!(eval.quadratic_cost(&asg), 36);
+        assert_eq!(eval.cost(&asg), 42);
+    }
+
+    #[test]
+    fn directed_asymmetric_costs() {
+        // A directed connection with an asymmetric B must use b[from][to].
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b_ = c.add_component("b", 1);
+        c.add_connection(a, b_, 3).unwrap();
+        let bmat = crate::DenseMatrix::from_rows(vec![vec![0, 7], vec![1, 0]]).unwrap();
+        let topo = PartitionTopology::new(vec![10, 10], bmat.clone(), bmat).unwrap();
+        let problem = ProblemBuilder::new(c, topo).build().unwrap();
+        let eval = Evaluator::new(&problem);
+        let fwd = Assignment::from_parts(vec![0, 1]).unwrap();
+        assert_eq!(eval.cost(&fwd), 3 * 7);
+        let rev = Assignment::from_parts(vec![1, 0]).unwrap();
+        assert_eq!(eval.cost(&rev), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{Circuit, PartitionTopology, ProblemBuilder};
+    use proptest::prelude::*;
+
+    fn arb_problem_and_assignment(
+    ) -> impl Strategy<Value = (Problem, Assignment, Vec<(usize, usize)>)> {
+        (2usize..8, 2usize..5).prop_flat_map(|(n, m)| {
+            let edges = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self loop", |(a, b)| a != b), 1i64..6),
+                0..12,
+            );
+            let parts = proptest::collection::vec(0u32..m as u32, n);
+            let moves = proptest::collection::vec((0..n, 0..m), 1..8);
+            (Just((n, m)), edges, parts, moves).prop_map(|((n, m), edges, parts, moves)| {
+                let mut circuit = Circuit::new();
+                for j in 0..n {
+                    circuit.add_component(format!("c{j}"), 1 + j as u64);
+                }
+                for ((a, b), w) in edges {
+                    circuit
+                        .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                        .unwrap();
+                }
+                let topo = PartitionTopology::grid(1, m, 10_000).unwrap();
+                let problem = ProblemBuilder::new(circuit, topo).build().unwrap();
+                let asg = Assignment::from_parts(parts).unwrap();
+                (problem, asg, moves)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn move_delta_always_matches_recompute((problem, asg, moves) in arb_problem_and_assignment()) {
+            let eval = Evaluator::new(&problem);
+            let mut current = asg;
+            for (j, to) in moves {
+                let j = ComponentId::new(j);
+                let to = PartitionId::new(to);
+                let before = eval.cost(&current);
+                let delta = eval.move_delta(&current, j, to);
+                current.move_to(j, to);
+                prop_assert_eq!(before + delta, eval.cost(&current));
+            }
+        }
+
+        #[test]
+        fn swap_delta_always_matches_recompute((problem, asg, moves) in arb_problem_and_assignment()) {
+            let eval = Evaluator::new(&problem);
+            let mut current = asg;
+            let n = problem.n();
+            for (j, to) in moves {
+                let j1 = ComponentId::new(j);
+                let j2 = ComponentId::new(to % n);
+                let before = eval.cost(&current);
+                let delta = eval.swap_delta(&current, j1, j2);
+                current.swap(j1, j2);
+                prop_assert_eq!(before + delta, eval.cost(&current));
+            }
+        }
+
+        #[test]
+        fn cost_is_nonnegative((problem, asg, _) in arb_problem_and_assignment()) {
+            prop_assert!(Evaluator::new(&problem).cost(&asg) >= 0);
+        }
+    }
+}

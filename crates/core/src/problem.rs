@@ -1,0 +1,468 @@
+//! The complete partitioning problem `PP(α, β)` and its builder.
+
+use crate::{
+    Assignment, Circuit, Cost, DenseMatrix, Error, PartitionTopology, TimingConstraints,
+};
+use serde::{Deserialize, Serialize};
+
+/// A performance-driven partitioning problem `PP(α, β)`:
+///
+/// > minimize `α·Σ p[i][j]·x[i][j] + β·Σ a[j1][j2]·b[i1][i2]·x[i1][j1]·x[i2][j2]`
+/// > subject to C1 (capacity), C2 (timing), C3 (one partition each).
+///
+/// Built via [`ProblemBuilder`], which validates that all the pieces agree on
+/// dimensions. The linear term's `P` matrix is optional; when absent the
+/// problem is a pure interconnect-cost minimization (`P = 0`).
+///
+/// Any `PP(α, β)` is equivalent to a `PP(1, 1)` on scaled matrices (§3); the
+/// scale factors are retained here and applied on the fly by
+/// [`Evaluator`](crate::Evaluator) and [`QMatrix`](crate::QMatrix), which is
+/// equivalent and avoids copying.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    circuit: Circuit,
+    topology: PartitionTopology,
+    timing: TimingConstraints,
+    linear_cost: Option<DenseMatrix<Cost>>,
+    alpha: Cost,
+    beta: Cost,
+}
+
+impl Problem {
+    /// The circuit being partitioned.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The partition topology.
+    pub fn topology(&self) -> &PartitionTopology {
+        &self.topology
+    }
+
+    /// The sparse timing constraints `D_C`.
+    pub fn timing(&self) -> &TimingConstraints {
+        &self.timing
+    }
+
+    /// The linear cost matrix `P` (`M×N`), if any.
+    pub fn linear_cost(&self) -> Option<&DenseMatrix<Cost>> {
+        self.linear_cost.as_ref()
+    }
+
+    /// The entry `p[i][j]`, treating an absent `P` as all zeros.
+    #[inline]
+    pub fn p(&self, i: usize, j: usize) -> Cost {
+        self.linear_cost.as_ref().map_or(0, |p| p[(i, j)])
+    }
+
+    /// Scale factor `α` of the linear term.
+    pub fn alpha(&self) -> Cost {
+        self.alpha
+    }
+
+    /// Scale factor `β` of the quadratic term.
+    pub fn beta(&self) -> Cost {
+        self.beta
+    }
+
+    /// Number of partitions `M`.
+    pub fn m(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Number of components `N`.
+    pub fn n(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Returns a copy of this problem with `B` zeroed and the linear term
+    /// dropped — the feasibility-search problem the paper uses to produce
+    /// initial feasible solutions ("use QBP algorithm with matrix B set to
+    /// all zeros").
+    pub fn feasibility_problem(&self) -> Problem {
+        Problem {
+            circuit: self.circuit.clone(),
+            topology: self.topology.zero_wire_cost(),
+            timing: self.timing.clone(),
+            linear_cost: None,
+            alpha: 0,
+            beta: 1,
+        }
+    }
+
+    /// Returns a copy with the timing constraints removed (the paper's
+    /// "without Timing Constraints" configuration, Table II).
+    pub fn without_timing(&self) -> Problem {
+        Problem {
+            circuit: self.circuit.clone(),
+            topology: self.topology.clone(),
+            timing: TimingConstraints::new(self.circuit.len()),
+            linear_cost: self.linear_cost.clone(),
+            alpha: self.alpha,
+            beta: self.beta,
+        }
+    }
+
+    /// Returns a copy with different scale factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either factor is negative.
+    pub fn with_scales(&self, alpha: Cost, beta: Cost) -> Result<Problem, Error> {
+        for (what, v) in [("alpha", alpha), ("beta", beta)] {
+            if v < 0 {
+                return Err(Error::NegativeValue { what, value: v });
+            }
+        }
+        Ok(Problem {
+            alpha,
+            beta,
+            ..self.clone()
+        })
+    }
+
+    /// Checks an assignment vector has the right length and in-range
+    /// partitions for this problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first mismatch found.
+    pub fn validate_assignment(&self, assignment: &Assignment) -> Result<(), Error> {
+        if assignment.len() != self.n() {
+            return Err(Error::AssignmentLengthMismatch {
+                expected: self.n(),
+                found: assignment.len(),
+            });
+        }
+        assignment.validate(self.m())
+    }
+}
+
+/// Builder for [`Problem`], validating dimensional consistency at `build`.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 10);
+/// let b = circuit.add_component("b", 20);
+/// circuit.add_wires(a, b, 5)?;
+///
+/// let mut timing = TimingConstraints::new(2);
+/// timing.add_symmetric(a, b, 1)?;
+///
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 50)?)
+///     .timing(timing)
+///     .scales(1, 1)
+///     .build()?;
+/// assert_eq!(problem.m(), 4);
+/// assert_eq!(problem.n(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    circuit: Circuit,
+    topology: PartitionTopology,
+    timing: Option<TimingConstraints>,
+    linear_cost: Option<DenseMatrix<Cost>>,
+    alpha: Cost,
+    beta: Cost,
+}
+
+impl ProblemBuilder {
+    /// Starts building a problem over the given circuit and topology.
+    pub fn new(circuit: Circuit, topology: PartitionTopology) -> Self {
+        ProblemBuilder {
+            circuit,
+            topology,
+            timing: None,
+            linear_cost: None,
+            alpha: 1,
+            beta: 1,
+        }
+    }
+
+    /// Sets the timing constraints (default: none).
+    pub fn timing(mut self, timing: TimingConstraints) -> Self {
+        self.timing = Some(timing);
+        self
+    }
+
+    /// Sets the linear cost matrix `P` (`M×N`; default: zero).
+    pub fn linear_cost(mut self, p: DenseMatrix<Cost>) -> Self {
+        self.linear_cost = Some(p);
+        self
+    }
+
+    /// Sets the scale factors `(α, β)` (default: `(1, 1)`).
+    pub fn scales(mut self, alpha: Cost, beta: Cost) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Number of partitions in the topology being built (used by the text
+    /// parser to size the linear-cost matrix before `build`).
+    pub fn topology_len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Number of components in the circuit being built.
+    pub fn circuit_len(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the circuit is empty, dimensions disagree, the
+    /// scale factors or any `P` entry are negative, or the total component
+    /// size exceeds the total capacity (no assignment could satisfy C1).
+    pub fn build(self) -> Result<Problem, Error> {
+        let n = self.circuit.len();
+        let m = self.topology.len();
+        if n == 0 {
+            return Err(Error::EmptyCircuit);
+        }
+        let timing = self.timing.unwrap_or_else(|| TimingConstraints::new(n));
+        if timing.component_count() != n {
+            return Err(Error::DimensionMismatch {
+                what: "timing constraints",
+                expected: (n, n),
+                found: (timing.component_count(), timing.component_count()),
+            });
+        }
+        if let Some(p) = &self.linear_cost {
+            if p.rows() != m || p.cols() != n {
+                return Err(Error::DimensionMismatch {
+                    what: "linear cost matrix P",
+                    expected: (m, n),
+                    found: (p.rows(), p.cols()),
+                });
+            }
+            if let Some(&v) = p.iter().find(|&&v| v < 0) {
+                return Err(Error::NegativeValue {
+                    what: "linear cost",
+                    value: v,
+                });
+            }
+        }
+        for (what, v) in [("alpha", self.alpha), ("beta", self.beta)] {
+            if v < 0 {
+                return Err(Error::NegativeValue { what, value: v });
+            }
+        }
+        let total_size = self.circuit.total_size();
+        let total_capacity = self.topology.total_capacity();
+        if total_size > total_capacity {
+            return Err(Error::CapacityImpossible {
+                total_size,
+                total_capacity,
+            });
+        }
+        Ok(Problem {
+            circuit: self.circuit,
+            topology: self.topology,
+            timing,
+            linear_cost: self.linear_cost,
+            alpha: self.alpha,
+            beta: self.beta,
+        })
+    }
+}
+
+/// Builds the MCM/TCM *deviation* cost matrix of §2.2.1:
+/// `p[i][j] = s_j · distance(i, A_initial(j))`, where the distance is the
+/// topology's wire-cost matrix `B` (Manhattan distance for grid topologies).
+///
+/// Solving `PP(1, 0)` with this `P` finds the feasible assignment that
+/// minimally deviates from an experienced designer's initial (possibly
+/// violating) assignment.
+///
+/// # Errors
+///
+/// Returns an error if the assignment length does not match the circuit or
+/// references a partition outside the topology.
+pub fn deviation_cost_matrix(
+    circuit: &Circuit,
+    topology: &PartitionTopology,
+    initial: &Assignment,
+) -> Result<DenseMatrix<Cost>, Error> {
+    if initial.len() != circuit.len() {
+        return Err(Error::AssignmentLengthMismatch {
+            expected: circuit.len(),
+            found: initial.len(),
+        });
+    }
+    initial.validate(topology.len())?;
+    let m = topology.len();
+    let n = circuit.len();
+    let b = topology.wire_cost();
+    let mut p = DenseMatrix::filled(m, n, 0);
+    for j in 0..n {
+        let size = circuit.size(crate::ComponentId::new(j)) as Cost;
+        let home = initial.part_index(j);
+        for i in 0..m {
+            p[(i, j)] = size * b[(i, home)];
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentId;
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 10);
+        let b = c.add_component("b", 20);
+        let d = c.add_component("c", 15);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        c
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.n(), 3);
+        assert_eq!((p.alpha(), p.beta()), (1, 1));
+        assert!(p.linear_cost().is_none());
+        assert_eq!(p.p(3, 2), 0);
+        assert!(p.timing().is_empty());
+    }
+
+    #[test]
+    fn builder_rejects_empty_circuit() {
+        let r = ProblemBuilder::new(Circuit::new(), PartitionTopology::grid(2, 2, 1).unwrap())
+            .build();
+        assert_eq!(r.unwrap_err(), Error::EmptyCircuit);
+    }
+
+    #[test]
+    fn builder_rejects_capacity_impossible() {
+        let r = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 10).unwrap())
+            .build();
+        assert!(matches!(r, Err(Error::CapacityImpossible { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_p_shape() {
+        let p = DenseMatrix::filled(3, 3, 0);
+        let r = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .linear_cost(p)
+            .build();
+        assert!(matches!(r, Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_timing_size() {
+        let r = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .timing(TimingConstraints::new(7))
+            .build();
+        assert!(matches!(r, Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_negative_scales_and_p() {
+        let topo = PartitionTopology::grid(2, 2, 100).unwrap();
+        assert!(matches!(
+            ProblemBuilder::new(small_circuit(), topo.clone())
+                .scales(-1, 1)
+                .build(),
+            Err(Error::NegativeValue { .. })
+        ));
+        let mut p = DenseMatrix::filled(4, 3, 0);
+        p[(0, 0)] = -2;
+        assert!(matches!(
+            ProblemBuilder::new(small_circuit(), topo).linear_cost(p).build(),
+            Err(Error::NegativeValue { .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_problem_zeroes_b_keeps_timing() {
+        let mut tc = TimingConstraints::new(3);
+        tc.add(ComponentId::new(0), ComponentId::new(1), 1).unwrap();
+        let p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        let f = p.feasibility_problem();
+        assert_eq!(f.topology().wire_cost().max_entry(), 0);
+        assert_eq!(f.timing().len(), 1);
+        assert_eq!(f.alpha(), 0);
+    }
+
+    #[test]
+    fn without_timing_drops_constraints() {
+        let mut tc = TimingConstraints::new(3);
+        tc.add(ComponentId::new(0), ComponentId::new(1), 1).unwrap();
+        let p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        assert!(p.without_timing().timing().is_empty());
+        assert_eq!(p.timing().len(), 1);
+    }
+
+    #[test]
+    fn validate_assignment() {
+        let p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .build()
+            .unwrap();
+        let good = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        assert!(p.validate_assignment(&good).is_ok());
+        let short = Assignment::from_parts(vec![0, 1]).unwrap();
+        assert!(matches!(
+            p.validate_assignment(&short),
+            Err(Error::AssignmentLengthMismatch { .. })
+        ));
+        let bad = Assignment::from_parts(vec![0, 1, 9]).unwrap();
+        assert!(matches!(
+            p.validate_assignment(&bad),
+            Err(Error::PartitionOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn deviation_matrix_matches_definition() {
+        let c = small_circuit();
+        let topo = PartitionTopology::grid(2, 2, 100).unwrap();
+        let initial = Assignment::from_parts(vec![0, 3, 1]).unwrap();
+        let p = deviation_cost_matrix(&c, &topo, &initial).unwrap();
+        // p[i][j] = s_j * manhattan(i, initial_j).
+        assert_eq!(p[(0, 0)], 0); // already home
+        assert_eq!(p[(3, 0)], 10 * 2); // size 10, distance 2
+        assert_eq!(p[(0, 1)], 20 * 2);
+        assert_eq!(p[(1, 2)], 0);
+        assert_eq!(p[(2, 2)], 15 * 2);
+    }
+
+    #[test]
+    fn deviation_matrix_validates_input() {
+        let c = small_circuit();
+        let topo = PartitionTopology::grid(2, 2, 100).unwrap();
+        let bad_len = Assignment::from_parts(vec![0, 1]).unwrap();
+        assert!(deviation_cost_matrix(&c, &topo, &bad_len).is_err());
+        let bad_part = Assignment::from_parts(vec![0, 1, 8]).unwrap();
+        assert!(deviation_cost_matrix(&c, &topo, &bad_part).is_err());
+    }
+
+    #[test]
+    fn with_scales_validates() {
+        let p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .build()
+            .unwrap();
+        assert!(p.with_scales(2, 3).is_ok());
+        assert!(p.with_scales(-1, 0).is_err());
+    }
+}

@@ -1,0 +1,982 @@
+//! The implicit, timing-embedded cost matrix `Q̂` of the Quadratic Boolean
+//! Program, and the sparse linear-algebra kernels (`yᵀQ̂y`, `η`, `ω`) used by
+//! the generalized Burkard heuristic.
+//!
+//! Following §3 of the paper, the partitioning objective is flattened into
+//! `yᵀQy` with
+//!
+//! ```text
+//! q[r1][r2] = β·a[j1][j2]·b[i1][i2] + α·p'[r1][r2]      (p' only on the diagonal)
+//! ```
+//!
+//! and the timing constraints C2 are *embedded* by overwriting every entry
+//! whose candidate pair of assignments violates timing — i.e.
+//! `D(i1,i2) > D_C(j1,j2)` — with a penalty (Theorem 1 uses a provably
+//! sufficient `U`; Theorem 2 justifies any penalty provided the returned
+//! minimizer is verified timing-feasible, which is how the paper runs with a
+//! fixed penalty of 50).
+//!
+//! `Q̂` is never materialized by solvers (§4.3): this type stores only merged
+//! per-component lists of *interesting* partners (connected or constrained)
+//! and computes entries, `yᵀQ̂y`, `η` and `ω` by walking them.
+
+use crate::{
+    Assignment, ComponentId, Cost, Delay, DenseMatrix, Error, PairIndex, PartitionId, Problem,
+    NO_CONSTRAINT,
+};
+
+/// Default fixed penalty, matching the paper's experiments ("we set
+/// `q̂ = 50` for those candidate assignments in which Timing Constraints are
+/// violated").
+pub const PAPER_PENALTY: Cost = 50;
+
+/// One merged "interesting partner" record: the partner component, the
+/// connection weight `a` (0 when only a constraint exists), and the timing
+/// limit ([`NO_CONSTRAINT`] when only a connection exists).
+#[derive(Debug, Clone, Copy)]
+struct Pair {
+    other: u32,
+    weight: Cost,
+    limit: Delay,
+}
+
+/// The implicit `Q̂` matrix: the paper's timing-embedded quadratic cost.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints,
+///                QMatrix, Assignment, Evaluator};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 1);
+/// let b = circuit.add_component("b", 1);
+/// circuit.add_wires(a, b, 5)?;
+/// let mut tc = TimingConstraints::new(2);
+/// tc.add_symmetric(a, b, 1)?;
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 10)?)
+///     .timing(tc)
+///     .build()?;
+///
+/// let q = QMatrix::new(&problem, 50)?;
+/// // A timing-feasible assignment: yᵀQ̂y equals the plain objective (Lemma 1).
+/// let ok = Assignment::from_parts(vec![0, 1])?;
+/// assert_eq!(q.value(&ok), Evaluator::new(&problem).cost(&ok));
+/// // A violating assignment pays the penalty on both directed entries.
+/// let bad = Assignment::from_parts(vec![0, 3])?;
+/// assert_eq!(q.value(&bad), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QMatrix<'a> {
+    problem: &'a Problem,
+    penalty: Cost,
+    out_pairs: Vec<Vec<Pair>>,
+    in_pairs: Vec<Vec<Pair>>,
+}
+
+impl<'a> QMatrix<'a> {
+    /// Builds the implicit `Q̂` for `problem` with the given timing-violation
+    /// penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `penalty` is not positive. (A penalty of at least
+    /// [`QMatrix::theorem1_penalty`] makes the embedding *unconditionally*
+    /// exact; smaller positive values — like the paper's 50 — are justified
+    /// a posteriori by Theorem 2 whenever the minimizer found is
+    /// timing-feasible.)
+    pub fn new(problem: &'a Problem, penalty: Cost) -> Result<Self, Error> {
+        if penalty <= 0 {
+            return Err(Error::NegativeValue {
+                what: "timing penalty",
+                value: penalty,
+            });
+        }
+        let n = problem.n();
+        let mut out_pairs: Vec<Vec<Pair>> = vec![Vec::new(); n];
+        let mut in_pairs: Vec<Vec<Pair>> = vec![Vec::new(); n];
+        // Seed with connections...
+        for (j1, j2, w) in problem.circuit().edges() {
+            out_pairs[j1.index()].push(Pair {
+                other: j2.index() as u32,
+                weight: w,
+                limit: NO_CONSTRAINT,
+            });
+            in_pairs[j2.index()].push(Pair {
+                other: j1.index() as u32,
+                weight: w,
+                limit: NO_CONSTRAINT,
+            });
+        }
+        // ...then merge in timing constraints, attaching limits to existing
+        // connection records or creating weight-0 records.
+        for (j1, j2, limit) in problem.timing().iter() {
+            let out = &mut out_pairs[j1.index()];
+            match out.iter_mut().find(|p| p.other == j2.index() as u32) {
+                Some(p) => p.limit = p.limit.min(limit),
+                None => out.push(Pair {
+                    other: j2.index() as u32,
+                    weight: 0,
+                    limit,
+                }),
+            }
+            let inc = &mut in_pairs[j2.index()];
+            match inc.iter_mut().find(|p| p.other == j1.index() as u32) {
+                Some(p) => p.limit = p.limit.min(limit),
+                None => inc.push(Pair {
+                    other: j1.index() as u32,
+                    weight: 0,
+                    limit,
+                }),
+            }
+        }
+        Ok(QMatrix {
+            problem,
+            penalty,
+            out_pairs,
+            in_pairs,
+        })
+    }
+
+    /// Builds `Q̂` with an automatically chosen penalty: strictly larger than
+    /// twice the largest possible single-entry base cost (and at least the
+    /// paper's 50), so one violation always costs more than re-routing the
+    /// heaviest wire bundle across the topology, while staying far below the
+    /// Theorem-1 bound to avoid swamping the cost landscape (§3.2's
+    /// numerical-accuracy concern).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates the positivity check of
+    /// [`QMatrix::new`].
+    pub fn with_auto_penalty(problem: &'a Problem) -> Result<Self, Error> {
+        let max_w = problem
+            .circuit()
+            .edges()
+            .map(|(_, _, w)| w)
+            .max()
+            .unwrap_or(0);
+        let max_b = problem.topology().wire_cost().max_entry();
+        let max_p = problem.linear_cost().map_or(0, DenseMatrix::max_entry);
+        let bound = 2 * problem
+            .beta()
+            .saturating_mul(max_w)
+            .saturating_mul(max_b)
+            .saturating_add(problem.alpha().saturating_mul(max_p))
+            .saturating_add(1);
+        QMatrix::new(problem, bound.max(PAPER_PENALTY))
+    }
+
+    /// The Theorem-1 penalty bound: any `U > 2·Σ|q|` makes
+    /// `QBP(Q')` *unconditionally* equivalent to the timing-constrained
+    /// `QBP_R(Q)`.
+    ///
+    /// `Σ|q| = β·(Σ a)·(Σ b) + α·Σ p` because every `a[j1][j2]·b[i1][i2]`
+    /// product appears exactly once in the flattened matrix. Saturates on
+    /// overflow.
+    pub fn theorem1_penalty(problem: &Problem) -> Cost {
+        let sum_a = problem.circuit().total_wire_weight();
+        let sum_b: Cost = problem
+            .topology()
+            .wire_cost()
+            .iter()
+            .fold(0i64, |acc, &v| acc.saturating_add(v));
+        let sum_p = problem.linear_cost().map_or(0, DenseMatrix::abs_sum);
+        problem
+            .beta()
+            .saturating_mul(sum_a)
+            .saturating_mul(sum_b)
+            .saturating_add(problem.alpha().saturating_mul(sum_p))
+            .saturating_mul(2)
+            .saturating_add(1)
+    }
+
+    /// The penalty in force.
+    pub fn penalty(&self) -> Cost {
+        self.penalty
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &'a Problem {
+        self.problem
+    }
+
+    /// `true` when assigning `j1 → i1` and `j2 → i2` violates the timing
+    /// constraint on `(j1, j2)` (if any).
+    pub fn violates(
+        &self,
+        i1: PartitionId,
+        j1: ComponentId,
+        i2: PartitionId,
+        j2: ComponentId,
+    ) -> bool {
+        match self.problem.timing().get(j1, j2) {
+            Some(limit) => self.problem.topology().delay()[(i1.index(), i2.index())] > limit,
+            None => false,
+        }
+    }
+
+    /// The entry `q̂[r1][r2]`.
+    ///
+    /// Runs in `O(deg)` (constraint lookup); use [`QMatrix::dense`] to
+    /// inspect whole small matrices.
+    pub fn entry(&self, r1: PairIndex, r2: PairIndex) -> Cost {
+        let m = self.problem.m();
+        let (i1, j1) = r1.parts(m);
+        let (i2, j2) = r2.parts(m);
+        if self.violates(i1, j1, i2, j2) {
+            return self.penalty;
+        }
+        let base = self.problem.beta()
+            * self.problem.circuit().connection(j1, j2)
+            * self.problem.topology().wire_cost()[(i1.index(), i2.index())];
+        if r1 == r2 {
+            base + self.problem.alpha() * self.problem.p(i1.index(), j1.index())
+        } else {
+            base
+        }
+    }
+
+    /// Materializes `Q̂` as a dense `MN × MN` matrix — for tests, worked
+    /// examples and tiny exact solves. Memory is `O((MN)²)`; keep `M·N`
+    /// small.
+    pub fn dense(&self) -> DenseMatrix<Cost> {
+        let m = self.problem.m();
+        let n = self.problem.n();
+        let mn = m * n;
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let mut q = DenseMatrix::filled(mn, mn, 0);
+        for j in 0..n {
+            for i in 0..m {
+                let r = i + j * m;
+                q[(r, r)] = self.problem.alpha() * self.problem.p(i, j);
+            }
+            for pair in &self.out_pairs[j] {
+                let k = pair.other as usize;
+                for i1 in 0..m {
+                    for i2 in 0..m {
+                        let entry = if pair.limit != NO_CONSTRAINT && d[(i1, i2)] > pair.limit {
+                            self.penalty
+                        } else {
+                            self.problem.beta() * pair.weight * b[(i1, i2)]
+                        };
+                        let r1 = i1 + j * m;
+                        let r2 = i2 + k * m;
+                        q[(r1, r2)] += entry;
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// The quadratic form `yᵀQ̂y` for the boolean vector `y` induced by
+    /// `assignment`.
+    ///
+    /// For timing-feasible assignments this equals the plain objective
+    /// (Lemma 1: `Q` and `Q̂` coincide over the feasible region); every
+    /// violated directed constraint pair adds `penalty` *instead of* its
+    /// base interconnect term.
+    ///
+    /// Runs in `O(E + T)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the problem's dimensions.
+    pub fn value(&self, assignment: &Assignment) -> Cost {
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let beta = self.problem.beta();
+        let alpha = self.problem.alpha();
+        let mut total = 0;
+        for j in 0..self.problem.n() {
+            let ij = assignment.part_index(j);
+            total += alpha * self.problem.p(ij, j);
+            for pair in &self.out_pairs[j] {
+                let ik = assignment.part_index(pair.other as usize);
+                if pair.limit != NO_CONSTRAINT && d[(ij, ik)] > pair.limit {
+                    total += self.penalty;
+                } else {
+                    total += beta * pair.weight * b[(ij, ik)];
+                }
+            }
+        }
+        total
+    }
+
+    /// Exact change in `yᵀQ̂y` if component `j` moves to partition `to`
+    /// (0 when `to` is its current partition).
+    ///
+    /// This is the embedded-objective analogue of
+    /// [`Evaluator::move_delta`](crate::Evaluator::move_delta): identical for
+    /// timing-clean neighborhoods, and additionally charges/discharges the
+    /// penalty on every timing-constrained pair incident to `j`. Runs in
+    /// `O(deg(j) + constraints(j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or `to` is out of range.
+    pub fn move_delta(&self, assignment: &Assignment, j: ComponentId, to: PartitionId) -> Cost {
+        let from = assignment.part_index(j.index());
+        let to_i = to.index();
+        if from == to_i {
+            return 0;
+        }
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let beta = self.problem.beta();
+        let mut delta = self.problem.alpha()
+            * (self.problem.p(to_i, j.index()) - self.problem.p(from, j.index()));
+        // Entry value for the ordered pair (row partition, col partition).
+        let entry = |pair: &Pair, i_row: usize, i_col: usize| -> Cost {
+            if pair.limit != NO_CONSTRAINT && d[(i_row, i_col)] > pair.limit {
+                self.penalty
+            } else {
+                beta * pair.weight * b[(i_row, i_col)]
+            }
+        };
+        for pair in &self.out_pairs[j.index()] {
+            let ik = assignment.part_index(pair.other as usize);
+            delta += entry(pair, to_i, ik) - entry(pair, from, ik);
+        }
+        for pair in &self.in_pairs[j.index()] {
+            let ik = assignment.part_index(pair.other as usize);
+            delta += entry(pair, ik, to_i) - entry(pair, ik, from);
+        }
+        delta
+    }
+
+    /// Exact change in `yᵀQ̂y` if components `j1` and `j2` swap partitions
+    /// (0 when they share a partition or `j1 == j2`) — the embedded-objective
+    /// analogue of [`Evaluator::swap_delta`](crate::Evaluator::swap_delta).
+    ///
+    /// Runs in `O(deg(j1) + deg(j2) + constraints(j1) + constraints(j2))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn swap_delta(&self, assignment: &Assignment, j1: ComponentId, j2: ComponentId) -> Cost {
+        if j1 == j2 {
+            return 0;
+        }
+        let i1 = assignment.part_index(j1.index());
+        let i2 = assignment.part_index(j2.index());
+        if i1 == i2 {
+            return 0;
+        }
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let beta = self.problem.beta();
+        let entry = |pair: &Pair, i_row: usize, i_col: usize| -> Cost {
+            if pair.limit != NO_CONSTRAINT && d[(i_row, i_col)] > pair.limit {
+                self.penalty
+            } else {
+                beta * pair.weight * b[(i_row, i_col)]
+            }
+        };
+        let mut delta = self.problem.alpha()
+            * (self.problem.p(i2, j1.index()) - self.problem.p(i1, j1.index())
+                + self.problem.p(i1, j2.index())
+                - self.problem.p(i2, j2.index()));
+        // Pairs incident to j1 (the j1–j2 pairs handled separately below).
+        for pair in &self.out_pairs[j1.index()] {
+            if pair.other as usize == j2.index() {
+                delta += entry(pair, i2, i1) - entry(pair, i1, i2);
+                continue;
+            }
+            let ik = assignment.part_index(pair.other as usize);
+            delta += entry(pair, i2, ik) - entry(pair, i1, ik);
+        }
+        for pair in &self.in_pairs[j1.index()] {
+            if pair.other as usize == j2.index() {
+                continue; // mirrored by j2's out_pairs entry below
+            }
+            let ik = assignment.part_index(pair.other as usize);
+            delta += entry(pair, ik, i2) - entry(pair, ik, i1);
+        }
+        for pair in &self.out_pairs[j2.index()] {
+            if pair.other as usize == j1.index() {
+                delta += entry(pair, i1, i2) - entry(pair, i2, i1);
+                continue;
+            }
+            let ik = assignment.part_index(pair.other as usize);
+            delta += entry(pair, i1, ik) - entry(pair, i2, ik);
+        }
+        for pair in &self.in_pairs[j2.index()] {
+            if pair.other as usize == j1.index() {
+                continue;
+            }
+            let ik = assignment.part_index(pair.other as usize);
+            delta += entry(pair, ik, i1) - entry(pair, ik, i2);
+        }
+        delta
+    }
+
+    /// Number of directed timing-constraint pairs violated by `assignment`
+    /// (the count of penalty entries active in [`QMatrix::value`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the problem's dimensions.
+    pub fn violation_count(&self, assignment: &Assignment) -> usize {
+        let d = self.problem.topology().delay();
+        self.problem
+            .timing()
+            .iter()
+            .filter(|&(j1, j2, limit)| {
+                d[(
+                    assignment.part_index(j1.index()),
+                    assignment.part_index(j2.index()),
+                )] > limit
+            })
+            .count()
+    }
+
+    /// STEP 3 of the generalized Burkard heuristic: computes
+    /// `η[s] = Σ_r q̂[r][s]·u[r]` for every `s`, where `u` is the boolean
+    /// vector of `assignment`.
+    ///
+    /// `out` is resized to `M·N`. Runs in `O((E + T)·M + N)` — this is the
+    /// sparse kernel that makes the heuristic practical on circuits with
+    /// hundreds of components (§4.3); compare
+    /// [`QMatrix::eta_dense_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the problem's dimensions.
+    pub fn eta(&self, assignment: &Assignment, out: &mut Vec<Cost>) {
+        let m = self.problem.m();
+        let n = self.problem.n();
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let beta = self.problem.beta();
+        let alpha = self.problem.alpha();
+        out.clear();
+        out.resize(m * n, 0);
+        for j in 0..n {
+            let slot = &mut out[j * m..(j + 1) * m];
+            for pair in &self.in_pairs[j] {
+                let ik = assignment.part_index(pair.other as usize);
+                if pair.limit == NO_CONSTRAINT {
+                    // Pure connection: β·w·b[ik][i] for every candidate i.
+                    let coeff = beta * pair.weight;
+                    let brow = b.row(ik);
+                    for (i, v) in slot.iter_mut().enumerate() {
+                        *v += coeff * brow[i];
+                    }
+                } else {
+                    let coeff = beta * pair.weight;
+                    let brow = b.row(ik);
+                    let drow = d.row(ik);
+                    for (i, v) in slot.iter_mut().enumerate() {
+                        *v += if drow[i] > pair.limit {
+                            self.penalty
+                        } else {
+                            coeff * brow[i]
+                        };
+                    }
+                }
+            }
+            // Diagonal contribution from u[(A(j), j)] = 1.
+            let ij = assignment.part_index(j);
+            slot[ij] += alpha * self.problem.p(ij, j);
+        }
+    }
+
+    /// Reference implementation of [`QMatrix::eta`] via the dense matrix —
+    /// `O((MN)²)`, used by tests and the sparse-vs-dense ablation benchmark.
+    pub fn eta_dense_reference(&self, assignment: &Assignment) -> Vec<Cost> {
+        let m = self.problem.m();
+        let n = self.problem.n();
+        let q = self.dense();
+        let y = assignment.indicator_vector(m);
+        let mut eta = vec![0; m * n];
+        for (s, e) in eta.iter_mut().enumerate() {
+            for (r, &set) in y.iter().enumerate() {
+                if set {
+                    *e += q[(r, s)];
+                }
+            }
+        }
+        eta
+    }
+
+    /// The constant bound vector `ω` of eq. (2):
+    /// `ω[r] ≥ Σ_s q̂[r][s]·y[s]` for every capacity-feasible `y`.
+    ///
+    /// Computed as `ω[(i,j)] = α·p[i][j] + Σ_{partners k of j} max_{i2}
+    /// q̂[(i,j)][(i2,k)]`, which dominates any single choice of partner
+    /// partitions. Runs in `O((E + T)·M)` (plus `O(M²)` preprocessing).
+    pub fn omega(&self) -> Vec<Cost> {
+        let m = self.problem.m();
+        let n = self.problem.n();
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let beta = self.problem.beta();
+        let alpha = self.problem.alpha();
+        // max_b_row[i] = max_{i2} b[i][i2].
+        let max_b_row: Vec<Cost> = (0..m)
+            .map(|i| b.row(i).iter().copied().max().unwrap_or(0))
+            .collect();
+        let mut omega = vec![0; m * n];
+        for j in 0..n {
+            let slot = &mut omega[j * m..(j + 1) * m];
+            for (i, v) in slot.iter_mut().enumerate() {
+                *v = alpha * self.problem.p(i, j);
+            }
+            for pair in &self.out_pairs[j] {
+                if pair.limit == NO_CONSTRAINT {
+                    let coeff = beta * pair.weight;
+                    for (i, v) in slot.iter_mut().enumerate() {
+                        *v += coeff * max_b_row[i];
+                    }
+                } else {
+                    let coeff = beta * pair.weight;
+                    for (i, v) in slot.iter_mut().enumerate() {
+                        let mut best = Cost::MIN;
+                        let brow = b.row(i);
+                        let drow = d.row(i);
+                        for i2 in 0..m {
+                            let e = if drow[i2] > pair.limit {
+                                self.penalty
+                            } else {
+                                coeff * brow[i2]
+                            };
+                            best = best.max(e);
+                        }
+                        *v += best;
+                    }
+                }
+            }
+        }
+        omega
+    }
+
+    /// `ξ = Σ_r ω[r]·u[r]` for the boolean vector of `assignment` (STEP 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` or the assignment have the wrong length.
+    pub fn xi(&self, omega: &[Cost], assignment: &Assignment) -> Cost {
+        let m = self.problem.m();
+        assert_eq!(omega.len(), m * self.problem.n(), "omega length mismatch");
+        (0..self.problem.n())
+            .map(|j| omega[assignment.part_index(j) + j * m])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, Evaluator, PartitionTopology, ProblemBuilder, TimingConstraints};
+
+    /// The exact worked example of §3.3: components a, b, c on a 2×2 grid,
+    /// A(a,b) = 5, A(b,c) = 2, D_C(a,b) = D_C(b,c) = 1, penalty 50.
+    fn paper_problem() -> Problem {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let d = c.add_component("c", 1);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        let mut tc = TimingConstraints::new(3);
+        tc.add_symmetric(a, b, 1).unwrap();
+        tc.add_symmetric(b, d, 1).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 10).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's printed 12×12 Q̂ (with all p entries zero).
+    fn paper_qhat() -> DenseMatrix<Cost> {
+        let rows: Vec<Vec<Cost>> = vec![
+            //        a1 a2 a3 a4   b1 b2 b3 b4   c1 c2 c3 c4
+            /* a1 */ vec![0, 0, 0, 0, 0, 5, 5, 50, 0, 0, 0, 0],
+            /* a2 */ vec![0, 0, 0, 0, 5, 0, 50, 5, 0, 0, 0, 0],
+            /* a3 */ vec![0, 0, 0, 0, 5, 50, 0, 5, 0, 0, 0, 0],
+            /* a4 */ vec![0, 0, 0, 0, 50, 5, 5, 0, 0, 0, 0, 0],
+            /* b1 */ vec![0, 5, 5, 50, 0, 0, 0, 0, 0, 2, 2, 50],
+            /* b2 */ vec![5, 0, 50, 5, 0, 0, 0, 0, 2, 0, 50, 2],
+            /* b3 */ vec![5, 50, 0, 5, 0, 0, 0, 0, 2, 50, 0, 2],
+            /* b4 */ vec![50, 5, 5, 0, 0, 0, 0, 0, 50, 2, 2, 0],
+            /* c1 */ vec![0, 0, 0, 0, 0, 2, 2, 50, 0, 0, 0, 0],
+            /* c2 */ vec![0, 0, 0, 0, 2, 0, 50, 2, 0, 0, 0, 0],
+            /* c3 */ vec![0, 0, 0, 0, 2, 50, 0, 2, 0, 0, 0, 0],
+            /* c4 */ vec![0, 0, 0, 0, 50, 2, 2, 0, 0, 0, 0, 0],
+        ];
+        DenseMatrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn dense_reproduces_paper_example_matrix() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        assert_eq!(q.dense(), paper_qhat());
+    }
+
+    #[test]
+    fn entry_agrees_with_dense_everywhere() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let dense = q.dense();
+        let mn = problem.m() * problem.n();
+        for r1 in 0..mn {
+            for r2 in 0..mn {
+                assert_eq!(
+                    q.entry(PairIndex::new(r1), PairIndex::new(r2)),
+                    dense[(r1, r2)],
+                    "entry ({r1},{r2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_carries_linear_cost() {
+        let circuit = {
+            let mut c = Circuit::new();
+            let a = c.add_component("a", 1);
+            let b = c.add_component("b", 1);
+            c.add_wires(a, b, 5).unwrap();
+            c
+        };
+        let topo = PartitionTopology::grid(2, 2, 10).unwrap();
+        let p = DenseMatrix::from_fn(4, 2, |i, j| (10 * i + j) as Cost);
+        let problem = ProblemBuilder::new(circuit, topo)
+            .linear_cost(p)
+            .build()
+            .unwrap();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let dense = q.dense();
+        for j in 0..2 {
+            for i in 0..4 {
+                let r = i + j * 4;
+                assert_eq!(dense[(r, r)], (10 * i + j) as Cost);
+            }
+        }
+    }
+
+    #[test]
+    fn value_equals_objective_when_feasible() {
+        // Lemma 1: Q and Q̂ coincide over the feasible region.
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let eval = Evaluator::new(&problem);
+        let feasible = Assignment::from_parts(vec![0, 1, 3]).unwrap();
+        assert_eq!(q.violation_count(&feasible), 0);
+        assert_eq!(q.value(&feasible), eval.cost(&feasible));
+    }
+
+    #[test]
+    fn value_pays_penalty_per_violated_directed_pair() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        // a→1, b→4 (violates a↔b both ways), c→4 (b,c same partition: fine).
+        let asg = Assignment::from_parts(vec![0, 3, 3]).unwrap();
+        assert_eq!(q.violation_count(&asg), 2);
+        // Base cost: a-b pair replaced by penalties; b-c at distance 0.
+        assert_eq!(q.value(&asg), 2 * 50);
+    }
+
+    #[test]
+    fn value_matches_dense_quadratic_form() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let dense = q.dense();
+        for parts in [[0u32, 1, 3], [0, 3, 3], [2, 2, 2], [1, 0, 2], [3, 0, 1]] {
+            let asg = Assignment::from_parts(parts.to_vec()).unwrap();
+            let y = asg.indicator_vector(problem.m());
+            let mut expect = 0;
+            for (r1, &y1) in y.iter().enumerate() {
+                if !y1 {
+                    continue;
+                }
+                for (r2, &y2) in y.iter().enumerate() {
+                    if y2 {
+                        expect += dense[(r1, r2)];
+                    }
+                }
+            }
+            assert_eq!(q.value(&asg), expect, "parts {parts:?}");
+        }
+    }
+
+    #[test]
+    fn move_delta_matches_value_recompute() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        for parts in [[0u32, 1, 3], [0, 3, 3], [2, 2, 2], [1, 0, 2]] {
+            let asg = Assignment::from_parts(parts.to_vec()).unwrap();
+            for j in 0..3 {
+                for i in 0..4 {
+                    let mut moved = asg.clone();
+                    moved.move_to(ComponentId::new(j), PartitionId::new(i));
+                    assert_eq!(
+                        q.move_delta(&asg, ComponentId::new(j), PartitionId::new(i)),
+                        q.value(&moved) - q.value(&asg),
+                        "parts {parts:?} move c{j} -> p{i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_eta_matches_dense_reference() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let mut eta = Vec::new();
+        for parts in [[0u32, 1, 3], [0, 3, 3], [2, 2, 2], [1, 0, 2]] {
+            let asg = Assignment::from_parts(parts.to_vec()).unwrap();
+            q.eta(&asg, &mut eta);
+            assert_eq!(eta, q.eta_dense_reference(&asg), "parts {parts:?}");
+        }
+    }
+
+    #[test]
+    fn omega_bounds_all_row_sums() {
+        // ω[r] must dominate Σ_s q̂[r][s]·y[s] for every assignment y.
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let omega = q.omega();
+        let dense = q.dense();
+        let m = problem.m();
+        let n = problem.n();
+        // Enumerate all M^N assignments.
+        for code in 0..(m as u64).pow(n as u32) {
+            let mut parts = Vec::with_capacity(n);
+            let mut c = code;
+            for _ in 0..n {
+                parts.push((c % m as u64) as u32);
+                c /= m as u64;
+            }
+            let asg = Assignment::from_parts(parts).unwrap();
+            let y = asg.indicator_vector(m);
+            for r in 0..m * n {
+                let row_sum: Cost = y
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &set)| set)
+                    .map(|(s, _)| dense[(r, s)])
+                    .sum();
+                assert!(
+                    omega[r] >= row_sum,
+                    "omega[{r}] = {} < row sum {} at {:?}",
+                    omega[r],
+                    row_sum,
+                    asg.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xi_is_omega_dot_u() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let omega = q.omega();
+        let asg = Assignment::from_parts(vec![0, 3, 1]).unwrap();
+        let y = asg.indicator_vector(problem.m());
+        let direct: Cost = y
+            .iter()
+            .enumerate()
+            .filter(|&(_, &set)| set)
+            .map(|(r, _)| omega[r])
+            .sum();
+        assert_eq!(q.xi(&omega, &asg), direct);
+    }
+
+    #[test]
+    fn theorem1_penalty_exceeds_twice_abs_sum() {
+        let problem = paper_problem();
+        let u = QMatrix::theorem1_penalty(&problem);
+        // Build the *unembedded* Q (no penalty active ⇒ use a Q̂ whose
+        // penalty never triggers: strip timing).
+        let plain = problem.without_timing();
+        let q = QMatrix::new(&plain, 1).unwrap();
+        let abs_sum = q.dense().abs_sum();
+        assert!(u > 2 * abs_sum, "U = {u} vs 2Σ|q| = {}", 2 * abs_sum);
+    }
+
+    #[test]
+    fn auto_penalty_dominates_heaviest_edge_term() {
+        let problem = paper_problem();
+        let q = QMatrix::with_auto_penalty(&problem).unwrap();
+        // Heaviest single base entry is 5·2 = 10; auto must exceed it and be
+        // at least the paper's 50.
+        assert!(q.penalty() >= 50);
+        assert!(q.penalty() > 2 * 10);
+    }
+
+    #[test]
+    fn nonpositive_penalty_rejected() {
+        let problem = paper_problem();
+        assert!(QMatrix::new(&problem, 0).is_err());
+        assert!(QMatrix::new(&problem, -5).is_err());
+    }
+
+    #[test]
+    fn embedding_is_exact_on_small_instance() {
+        // Theorem 1 empirically: with U from theorem1_penalty, the
+        // unconstrained minimum over capacity-feasible assignments equals
+        // the timing-constrained minimum of the original objective.
+        let problem = paper_problem();
+        let u = QMatrix::theorem1_penalty(&problem);
+        let q = QMatrix::new(&problem, u).unwrap();
+        let eval = Evaluator::new(&problem);
+        let m = problem.m();
+        let n = problem.n();
+        let mut best_embedded: Option<(Cost, Assignment)> = None;
+        let mut best_constrained: Option<Cost> = None;
+        for code in 0..(m as u64).pow(n as u32) {
+            let mut parts = Vec::with_capacity(n);
+            let mut c = code;
+            for _ in 0..n {
+                parts.push((c % m as u64) as u32);
+                c /= m as u64;
+            }
+            let asg = Assignment::from_parts(parts).unwrap();
+            // Capacity always satisfied here (sizes 1, caps 10).
+            let v = q.value(&asg);
+            if best_embedded.as_ref().is_none_or(|(bv, _)| v < *bv) {
+                best_embedded = Some((v, asg.clone()));
+            }
+            if q.violation_count(&asg) == 0 {
+                let c0 = eval.cost(&asg);
+                if best_constrained.is_none_or(|b| c0 < b) {
+                    best_constrained = Some(c0);
+                }
+            }
+        }
+        let (bv, basg) = best_embedded.unwrap();
+        assert_eq!(q.violation_count(&basg), 0, "minimizer must be feasible");
+        assert_eq!(bv, best_constrained.unwrap());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints};
+    use proptest::prelude::*;
+
+    fn arb_timed_problem() -> impl Strategy<Value = (Problem, Vec<u32>)> {
+        (2usize..6, 2usize..5).prop_flat_map(|(n, m)| {
+            let edges = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 1i64..5),
+                0..10,
+            );
+            let cons = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 0i64..3),
+                0..8,
+            );
+            let parts = proptest::collection::vec(0u32..m as u32, n);
+            (Just((n, m)), edges, cons, parts).prop_map(|((n, m), edges, cons, parts)| {
+                let mut circuit = Circuit::new();
+                for j in 0..n {
+                    circuit.add_component(format!("c{j}"), 1);
+                }
+                for ((a, b), w) in edges {
+                    circuit
+                        .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                        .unwrap();
+                }
+                let mut tc = TimingConstraints::new(n);
+                for ((a, b), dc) in cons {
+                    tc.add(ComponentId::new(a), ComponentId::new(b), dc).unwrap();
+                }
+                let topo = PartitionTopology::grid(1, m, 1000).unwrap();
+                let problem = ProblemBuilder::new(circuit, topo).timing(tc).build().unwrap();
+                (problem, parts)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn sparse_kernels_match_dense((problem, parts) in arb_timed_problem()) {
+            let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+            let asg = Assignment::from_parts(parts).unwrap();
+            // η.
+            let mut eta = Vec::new();
+            q.eta(&asg, &mut eta);
+            prop_assert_eq!(&eta, &q.eta_dense_reference(&asg));
+            // yᵀQ̂y.
+            let dense = q.dense();
+            let y = asg.indicator_vector(problem.m());
+            let mut expect = 0;
+            for (r1, &y1) in y.iter().enumerate() {
+                if !y1 { continue; }
+                for (r2, &y2) in y.iter().enumerate() {
+                    if y2 { expect += dense[(r1, r2)]; }
+                }
+            }
+            prop_assert_eq!(q.value(&asg), expect);
+        }
+
+        #[test]
+        fn value_feasible_iff_equals_cost((problem, parts) in arb_timed_problem()) {
+            let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+            let asg = Assignment::from_parts(parts).unwrap();
+            let cost = crate::Evaluator::new(&problem).cost(&asg);
+            if q.violation_count(&asg) == 0 {
+                prop_assert_eq!(q.value(&asg), cost);
+            } else {
+                prop_assert!(q.value(&asg) != cost || q.penalty() == 0);
+            }
+        }
+
+        #[test]
+        fn embedded_swap_delta_matches_value((problem, parts) in arb_timed_problem()) {
+            let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+            let asg = Assignment::from_parts(parts).unwrap();
+            for j1 in 0..problem.n() {
+                for j2 in 0..problem.n() {
+                    let mut swapped = asg.clone();
+                    swapped.swap(ComponentId::new(j1), ComponentId::new(j2));
+                    prop_assert_eq!(
+                        q.swap_delta(&asg, ComponentId::new(j1), ComponentId::new(j2)),
+                        q.value(&swapped) - q.value(&asg),
+                        "swap c{} <-> c{}", j1, j2
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn embedded_move_delta_matches_value((problem, parts) in arb_timed_problem()) {
+            let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+            let asg = Assignment::from_parts(parts).unwrap();
+            for j in 0..problem.n() {
+                for i in 0..problem.m() {
+                    let mut moved = asg.clone();
+                    moved.move_to(ComponentId::new(j), PartitionId::new(i));
+                    prop_assert_eq!(
+                        q.move_delta(&asg, ComponentId::new(j), PartitionId::new(i)),
+                        q.value(&moved) - q.value(&asg)
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn omega_dominates_for_sampled_assignments((problem, parts) in arb_timed_problem()) {
+            let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+            let omega = q.omega();
+            let dense = q.dense();
+            let asg = Assignment::from_parts(parts).unwrap();
+            let y = asg.indicator_vector(problem.m());
+            for r in 0..omega.len() {
+                let row_sum: Cost = y.iter().enumerate()
+                    .filter(|&(_, &s)| s)
+                    .map(|(s, _)| dense[(r, s)])
+                    .sum();
+                prop_assert!(omega[r] >= row_sum);
+            }
+        }
+    }
+}

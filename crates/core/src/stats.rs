@@ -1,0 +1,246 @@
+//! Descriptive statistics over circuits and assignments — the numbers a
+//! partitioning practitioner looks at first: connectivity structure, size
+//! distribution, per-partition utilization, wire-span histogram, and
+//! timing-slack margins.
+
+use crate::{Assignment, Circuit, ComponentId, Cost, Delay, PartitionId, Problem, Size};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Number of components.
+    pub components: usize,
+    /// Number of distinct directed connected pairs.
+    pub directed_pairs: usize,
+    /// Sum of all `A` entries (symmetric wires count twice).
+    pub total_wire_weight: Cost,
+    /// Total component size.
+    pub total_size: Size,
+    /// Smallest component size.
+    pub min_size: Size,
+    /// Largest component size.
+    pub max_size: Size,
+    /// Mean out-degree (distinct out-neighbors).
+    pub mean_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of isolated components (no connections either way).
+    pub isolated: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let sizes: Vec<Size> = (0..n).map(|j| circuit.size(ComponentId::new(j))).collect();
+        let degrees: Vec<usize> = (0..n)
+            .map(|j| circuit.out_degree(ComponentId::new(j)))
+            .collect();
+        let isolated = (0..n)
+            .filter(|&j| {
+                circuit.out_connections(ComponentId::new(j)).next().is_none()
+                    && circuit.in_connections(ComponentId::new(j)).next().is_none()
+            })
+            .count();
+        CircuitStats {
+            components: n,
+            directed_pairs: circuit.directed_edge_count(),
+            total_wire_weight: circuit.total_wire_weight(),
+            total_size: sizes.iter().sum(),
+            min_size: sizes.iter().copied().min().unwrap_or(0),
+            max_size: sizes.iter().copied().max().unwrap_or(0),
+            mean_out_degree: if n == 0 {
+                0.0
+            } else {
+                degrees.iter().sum::<usize>() as f64 / n as f64
+            },
+            max_out_degree: degrees.iter().copied().max().unwrap_or(0),
+            isolated,
+        }
+    }
+
+    /// Size spread `max/min` — the paper's circuits span "about 2 orders of
+    /// magnitude". Returns 0.0 for empty circuits.
+    pub fn size_spread(&self) -> f64 {
+        if self.min_size == 0 {
+            0.0
+        } else {
+            self.max_size as f64 / self.min_size as f64
+        }
+    }
+}
+
+/// Summary statistics of an assignment against its problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentStats {
+    /// Per-partition used size, in partition order.
+    pub used: Vec<Size>,
+    /// Per-partition utilization `used / capacity` (0 when capacity is 0).
+    pub utilization: Vec<f64>,
+    /// Highest utilization across partitions.
+    pub peak_utilization: f64,
+    /// Histogram of wire spans: `span_histogram[k]` = total wire weight
+    /// routed at `B`-cost `k` (index capped at the matrix maximum).
+    pub span_histogram: Vec<Cost>,
+    /// Wires entirely inside one partition (span 0), as a fraction of the
+    /// total weight.
+    pub internal_fraction: f64,
+    /// Smallest margin `D_C − D` over all timing constraints
+    /// (negative ⇒ violated); `None` when there are no constraints.
+    pub worst_timing_margin: Option<Delay>,
+}
+
+impl AssignmentStats {
+    /// Computes statistics for an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not match the problem's dimensions.
+    pub fn of(problem: &Problem, assignment: &Assignment) -> Self {
+        let m = problem.m();
+        let mut used = vec![0; m];
+        for j in 0..problem.n() {
+            used[assignment.part_index(j)] += problem.circuit().size(ComponentId::new(j));
+        }
+        let utilization: Vec<f64> = (0..m)
+            .map(|i| {
+                let cap = problem.topology().capacity(PartitionId::new(i));
+                if cap == 0 {
+                    0.0
+                } else {
+                    used[i] as f64 / cap as f64
+                }
+            })
+            .collect();
+        let b = problem.topology().wire_cost();
+        let max_b = b.max_entry().max(0) as usize;
+        let mut span_histogram = vec![0; max_b + 1];
+        let mut total_weight = 0;
+        for (j1, j2, w) in problem.circuit().edges() {
+            let span = b[(
+                assignment.part_index(j1.index()),
+                assignment.part_index(j2.index()),
+            )]
+            .clamp(0, max_b as Cost) as usize;
+            span_histogram[span] += w;
+            total_weight += w;
+        }
+        let internal_fraction = if total_weight == 0 {
+            1.0
+        } else {
+            span_histogram[0] as f64 / total_weight as f64
+        };
+        let d = problem.topology().delay();
+        let worst_timing_margin = problem
+            .timing()
+            .iter()
+            .map(|(a, c, limit)| {
+                limit
+                    - d[(
+                        assignment.part_index(a.index()),
+                        assignment.part_index(c.index()),
+                    )]
+            })
+            .min();
+        AssignmentStats {
+            peak_utilization: utilization.iter().copied().fold(0.0, f64::max),
+            used,
+            utilization,
+            span_histogram,
+            internal_fraction,
+            worst_timing_margin,
+        }
+    }
+
+    /// `true` when capacity and timing margins are all non-negative — a
+    /// cheap consistency cross-check against
+    /// [`check_feasibility`](crate::check_feasibility).
+    pub fn looks_feasible(&self) -> bool {
+        self.peak_utilization <= 1.0 && self.worst_timing_margin.is_none_or(|margin| margin >= 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_feasibility, PartitionTopology, ProblemBuilder, TimingConstraints};
+
+    fn setup() -> (Problem, Assignment) {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 3);
+        let b = c.add_component("b", 4);
+        let d = c.add_component("c", 5);
+        let _lone = c.add_component("lone", 1);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        let mut tc = TimingConstraints::new(4);
+        tc.add_symmetric(a, b, 1).unwrap();
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 8).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        let asg = Assignment::from_parts(vec![0, 1, 3, 0]).unwrap();
+        (p, asg)
+    }
+
+    #[test]
+    fn circuit_stats_basics() {
+        let (p, _) = setup();
+        let s = CircuitStats::of(p.circuit());
+        assert_eq!(s.components, 4);
+        assert_eq!(s.directed_pairs, 4);
+        assert_eq!(s.total_wire_weight, 14);
+        assert_eq!(s.total_size, 13);
+        assert_eq!((s.min_size, s.max_size), (1, 5));
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.max_out_degree, 2);
+        assert!((s.size_spread() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_stats_usage_and_spans() {
+        let (p, asg) = setup();
+        let s = AssignmentStats::of(&p, &asg);
+        assert_eq!(s.used, vec![4, 4, 0, 5]);
+        assert!((s.peak_utilization - 5.0 / 8.0).abs() < 1e-9);
+        // a–b at distance 1 (weight 10 over both directions), b–c at
+        // distance 1 (weight 4): all weight at span 1.
+        assert_eq!(s.span_histogram, vec![0, 14, 0]);
+        assert!((s.internal_fraction - 0.0).abs() < 1e-9);
+        assert_eq!(s.worst_timing_margin, Some(0));
+        assert!(s.looks_feasible());
+    }
+
+    #[test]
+    fn looks_feasible_agrees_with_full_check() {
+        let (p, _) = setup();
+        for parts in [[0u32, 1, 3, 0], [0, 3, 3, 0], [0, 0, 0, 0], [1, 1, 2, 3]] {
+            let asg = Assignment::from_parts(parts.to_vec()).unwrap();
+            let s = AssignmentStats::of(&p, &asg);
+            assert_eq!(
+                s.looks_feasible(),
+                check_feasibility(&p, &asg).is_feasible(),
+                "parts {parts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_constraints_gives_no_margin() {
+        let (p, asg) = setup();
+        let relaxed = p.without_timing();
+        let s = AssignmentStats::of(&relaxed, &asg);
+        assert_eq!(s.worst_timing_margin, None);
+        assert!(s.looks_feasible());
+    }
+
+    #[test]
+    fn internal_fraction_counts_colocated_weight() {
+        let (p, _) = setup();
+        let together = Assignment::from_parts(vec![0, 0, 1, 1]).unwrap();
+        let s = AssignmentStats::of(&p, &together);
+        // a–b internal (10 of 14); b–c crosses.
+        assert!((s.internal_fraction - 10.0 / 14.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,349 @@
+//! The fixed partition topology: capacities, the inter-partition wire-cost
+//! matrix `B`, and the inter-partition delay matrix `D`.
+
+use crate::{Cost, Delay, DenseMatrix, Error, PartitionId, Size};
+use serde::{Deserialize, Serialize};
+
+/// A fixed partition topology (the paper's "Descriptions of Partitions").
+///
+/// * `capacities[i]` is `c_i`, the silicon area partition `i` provides;
+/// * `wire_cost` is the `M×M` matrix `B`, the cost of routing one wire from
+///   partition `i1` to partition `i2`;
+/// * `delay` is the `M×M` matrix `D`, the routing delay from `i1` to `i2`.
+///
+/// The paper emphasizes that **no relationship between `B` and `D` is
+/// assumed**; [`PartitionTopology::grid`] happens to use the Manhattan
+/// distance for both, which is the configuration used in the paper's worked
+/// example and evaluation.
+///
+/// ```
+/// use qbp_core::PartitionTopology;
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// // The paper's 2×2 example array: adjacent partitions distance 1 apart.
+/// let t = PartitionTopology::grid(2, 2, 100)?;
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.wire_cost()[(0, 3)], 2); // diagonal corners
+/// assert_eq!(t.delay()[(0, 1)], 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionTopology {
+    capacities: Vec<Size>,
+    wire_cost: DenseMatrix<Cost>,
+    delay: DenseMatrix<Delay>,
+}
+
+impl PartitionTopology {
+    /// Creates a topology from explicit capacities and `B`/`D` matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when there are no partitions, when either matrix is
+    /// not `M×M`, or when any cost or delay entry is negative.
+    pub fn new(
+        capacities: Vec<Size>,
+        wire_cost: DenseMatrix<Cost>,
+        delay: DenseMatrix<Delay>,
+    ) -> Result<Self, Error> {
+        let m = capacities.len();
+        if m == 0 {
+            return Err(Error::InvalidTopology("no partitions".into()));
+        }
+        for (mat, name) in [(&wire_cost, "wire cost matrix B"), (&delay, "delay matrix D")] {
+            if mat.rows() != m || mat.cols() != m {
+                return Err(Error::DimensionMismatch {
+                    what: name,
+                    expected: (m, m),
+                    found: (mat.rows(), mat.cols()),
+                });
+            }
+        }
+        if let Some(&v) = wire_cost.iter().find(|&&v| v < 0) {
+            return Err(Error::NegativeValue {
+                what: "wire cost",
+                value: v,
+            });
+        }
+        if let Some(&v) = delay.iter().find(|&&v| v < 0) {
+            return Err(Error::NegativeValue {
+                what: "routing delay",
+                value: v,
+            });
+        }
+        Ok(PartitionTopology {
+            capacities,
+            wire_cost,
+            delay,
+        })
+    }
+
+    /// Creates a `rows × cols` grid of partitions, all with capacity
+    /// `capacity`, where both `B` and `D` are the Manhattan distance between
+    /// grid positions (adjacent partitions distance 1 apart).
+    ///
+    /// Partition `i` sits at `(i / cols, i % cols)`. This matches the paper's
+    /// worked example (2×2) and evaluation setup (4×4, sixteen partitions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `rows == 0` or `cols == 0`.
+    pub fn grid(rows: usize, cols: usize, capacity: Size) -> Result<Self, Error> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::InvalidTopology(format!(
+                "grid dimensions {rows}x{cols} must be positive"
+            )));
+        }
+        let m = rows * cols;
+        let manhattan = |a: usize, b: usize| -> i64 {
+            let (ra, ca) = ((a / cols) as i64, (a % cols) as i64);
+            let (rb, cb) = ((b / cols) as i64, (b % cols) as i64);
+            (ra - rb).abs() + (ca - cb).abs()
+        };
+        let mat = DenseMatrix::from_fn(m, m, manhattan);
+        PartitionTopology::new(vec![capacity; m], mat.clone(), mat)
+    }
+
+    /// Creates a `rows × cols` grid like [`PartitionTopology::grid`] but
+    /// with the **quadratic** wire-length metric the paper mentions among
+    /// the supported cost models (§2.1): `B` is the *squared* Manhattan
+    /// distance. `D` stays the plain Manhattan distance — delay scales
+    /// linearly with routing length even when the optimizer penalizes long
+    /// wires quadratically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `rows == 0` or `cols == 0`.
+    pub fn grid_quadratic(rows: usize, cols: usize, capacity: Size) -> Result<Self, Error> {
+        let linear = PartitionTopology::grid(rows, cols, capacity)?;
+        let m = linear.len();
+        let b = DenseMatrix::from_fn(m, m, |a, c| {
+            let d = linear.delay()[(a, c)];
+            d * d
+        });
+        PartitionTopology::new(vec![capacity; m], b, linear.delay.clone())
+    }
+
+    /// Creates `m` partitions with uniform capacity where every distinct
+    /// partition pair has wire cost 1 and delay 1 (and 0 on the diagonal).
+    ///
+    /// With this `B`, the quadratic objective term counts the total number of
+    /// wire crossings — the classic min-cut metric, appropriate for
+    /// multi-FPGA partitioning.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `m == 0`.
+    pub fn uniform(m: usize, capacity: Size) -> Result<Self, Error> {
+        if m == 0 {
+            return Err(Error::InvalidTopology("no partitions".into()));
+        }
+        let mat = DenseMatrix::from_fn(m, m, |a, b| i64::from(a != b));
+        PartitionTopology::new(vec![capacity; m], mat.clone(), mat)
+    }
+
+    /// Replaces all capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length differs from the current `M`.
+    pub fn with_capacities(mut self, capacities: Vec<Size>) -> Result<Self, Error> {
+        if capacities.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                what: "capacity vector",
+                expected: (self.len(), 1),
+                found: (capacities.len(), 1),
+            });
+        }
+        self.capacities = capacities;
+        Ok(self)
+    }
+
+    /// Replaces the delay matrix `D` (e.g. to use a delay model unrelated to
+    /// the wire-cost model, which the formulation explicitly allows).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not `M×M` or has negative entries.
+    pub fn with_delay(self, delay: DenseMatrix<Delay>) -> Result<Self, Error> {
+        PartitionTopology::new(self.capacities, self.wire_cost, delay)
+    }
+
+    /// Replaces the wire-cost matrix `B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not `M×M` or has negative entries.
+    pub fn with_wire_cost(self, wire_cost: DenseMatrix<Cost>) -> Result<Self, Error> {
+        PartitionTopology::new(self.capacities, wire_cost, self.delay)
+    }
+
+    /// Returns a copy with `B` set to all zeros.
+    ///
+    /// The paper uses this to bootstrap: "the fastest way to obtain an
+    /// initial feasible solution is to use the QBP algorithm with matrix `B`
+    /// set to all zeros".
+    pub fn zero_wire_cost(&self) -> Self {
+        PartitionTopology {
+            capacities: self.capacities.clone(),
+            wire_cost: DenseMatrix::filled(self.len(), self.len(), 0),
+            delay: self.delay.clone(),
+        }
+    }
+
+    /// Number of partitions, `M` in the paper.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Returns `true` if the topology has no partitions (never true for a
+    /// successfully constructed topology).
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Capacity `c_i` of a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn capacity(&self, i: PartitionId) -> Size {
+        self.capacities[i.index()]
+    }
+
+    /// All capacities in partition order.
+    pub fn capacities(&self) -> &[Size] {
+        &self.capacities
+    }
+
+    /// Sum of all capacities.
+    pub fn total_capacity(&self) -> Size {
+        self.capacities.iter().sum()
+    }
+
+    /// The wire-cost matrix `B`.
+    pub fn wire_cost(&self) -> &DenseMatrix<Cost> {
+        &self.wire_cost
+    }
+
+    /// The delay matrix `D`.
+    pub fn delay(&self) -> &DenseMatrix<Delay> {
+        &self.delay
+    }
+
+    /// Iterates over partition ids `0..M`.
+    pub fn iter(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.len()).map(PartitionId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_2x2_example() {
+        // Paper §3.3: B = D = [[0,1,1,2],[1,0,2,1],[1,2,0,1],[2,1,1,0]].
+        let t = PartitionTopology::grid(2, 2, 10).unwrap();
+        let expected = DenseMatrix::from_rows(vec![
+            vec![0, 1, 1, 2],
+            vec![1, 0, 2, 1],
+            vec![1, 2, 0, 1],
+            vec![2, 1, 1, 0],
+        ])
+        .unwrap();
+        assert_eq!(*t.wire_cost(), expected);
+        assert_eq!(*t.delay(), expected);
+        assert_eq!(t.total_capacity(), 40);
+    }
+
+    #[test]
+    fn grid_4x4_has_sixteen_partitions_max_distance_six() {
+        let t = PartitionTopology::grid(4, 4, 100).unwrap();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.wire_cost().max_entry(), 6);
+        // Symmetric with zero diagonal.
+        for i in 0..16 {
+            assert_eq!(t.wire_cost()[(i, i)], 0);
+            for j in 0..16 {
+                assert_eq!(t.wire_cost()[(i, j)], t.wire_cost()[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_grid_squares_costs_keeps_delays() {
+        let t = PartitionTopology::grid_quadratic(2, 2, 10).unwrap();
+        assert_eq!(t.wire_cost()[(0, 1)], 1);
+        assert_eq!(t.wire_cost()[(0, 3)], 4);
+        assert_eq!(t.delay()[(0, 3)], 2);
+        let lin = PartitionTopology::grid(2, 2, 10).unwrap();
+        assert_eq!(*t.delay(), *lin.delay());
+    }
+
+    #[test]
+    fn uniform_counts_crossings() {
+        let t = PartitionTopology::uniform(3, 5).unwrap();
+        assert_eq!(t.wire_cost()[(0, 0)], 0);
+        assert_eq!(t.wire_cost()[(0, 2)], 1);
+        assert_eq!(t.capacity(PartitionId::new(1)), 5);
+    }
+
+    #[test]
+    fn zero_wire_cost_preserves_delay() {
+        let t = PartitionTopology::grid(2, 2, 10).unwrap();
+        let z = t.zero_wire_cost();
+        assert_eq!(z.wire_cost().max_entry(), 0);
+        assert_eq!(*z.delay(), *t.delay());
+        assert_eq!(z.capacities(), t.capacities());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(PartitionTopology::grid(0, 2, 1).is_err());
+        assert!(PartitionTopology::uniform(0, 1).is_err());
+        let b = DenseMatrix::filled(2, 3, 0i64);
+        let d = DenseMatrix::filled(2, 2, 0i64);
+        assert!(matches!(
+            PartitionTopology::new(vec![1, 1], b, d),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_negative_entries() {
+        let mut b = DenseMatrix::filled(2, 2, 0i64);
+        b[(0, 1)] = -1;
+        let d = DenseMatrix::filled(2, 2, 0i64);
+        assert!(matches!(
+            PartitionTopology::new(vec![1, 1], b, d.clone()),
+            Err(Error::NegativeValue { .. })
+        ));
+        let b = DenseMatrix::filled(2, 2, 0i64);
+        let mut d2 = d;
+        d2[(1, 0)] = -5;
+        assert!(matches!(
+            PartitionTopology::new(vec![1, 1], b, d2),
+            Err(Error::NegativeValue { .. })
+        ));
+    }
+
+    #[test]
+    fn with_capacities_validates_length() {
+        let t = PartitionTopology::grid(2, 2, 10).unwrap();
+        assert!(t.clone().with_capacities(vec![1, 2, 3]).is_err());
+        let t2 = t.with_capacities(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t2.total_capacity(), 10);
+    }
+
+    #[test]
+    fn asymmetric_delay_is_allowed() {
+        // "we don't assume any relationship between B and D".
+        let b = DenseMatrix::from_fn(2, 2, |a, c| i64::from(a != c));
+        let d = DenseMatrix::from_rows(vec![vec![0, 9], vec![1, 0]]).unwrap();
+        let t = PartitionTopology::new(vec![1, 1], b, d).unwrap();
+        assert_eq!(t.delay()[(0, 1)], 9);
+        assert_eq!(t.delay()[(1, 0)], 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Instance generators for the QBP partitioning suite.
+//!
+//! The paper's evaluation uses seven proprietary industrial circuits; only
+//! their statistics are published (Table I). This crate substitutes
+//! statistically matched synthetic instances (see `DESIGN.md` §2 for the
+//! substitution argument):
+//!
+//! * [`SyntheticCircuit`] — clustered circuits with log-uniform sizes;
+//! * [`ConstraintSampler`] — sparse critical timing constraints with
+//!   controlled tightness;
+//! * [`PAPER_SUITE`] / [`paper_suite`] — the seven Table-I instances on the
+//!   paper's 16-partition 4×4 Manhattan grid;
+//! * [`random_qap`] — Quadratic Assignment instances for the §2.2.3 special
+//!   case.
+//!
+//! Everything is deterministic per seed.
+//!
+//! # Example
+//!
+//! ```
+//! use qbp_gen::{build_instance, scaled_spec, SuiteOptions, PAPER_SUITE};
+//!
+//! # fn main() -> Result<(), qbp_core::Error> {
+//! // A 10%-scale cktb for quick experiments.
+//! let spec = scaled_spec(&PAPER_SUITE[1], 0.1);
+//! let problem = build_instance(&spec, &SuiteOptions::default())?;
+//! assert_eq!(problem.m(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod constraints;
+mod hierarchy;
+mod qap;
+mod suite;
+mod synthetic;
+
+pub use constraints::ConstraintSampler;
+pub use hierarchy::HierarchicalCircuit;
+pub use qap::{random_qap, QapSpec};
+pub use suite::{
+    build_instance, build_instance_with_witness, paper_suite, planted_witness, scaled_spec,
+    CircuitSpec, SuiteOptions, PAPER_SUITE,
+};
+pub use synthetic::SyntheticCircuit;

@@ -1,0 +1,135 @@
+//! Random Quadratic Assignment Problem instances (§2.2.3): `M = N`
+//! facilities with unit sizes on a grid of unit-capacity locations.
+
+use qbp_core::{Circuit, ComponentId, Cost, Error, PartitionTopology, Problem, ProblemBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`random_qap`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QapSpec {
+    /// Number of facilities = number of locations.
+    pub n: usize,
+    /// Probability that an unordered facility pair has flow.
+    pub density: f64,
+    /// Flows are drawn uniformly from `1..=max_flow`.
+    pub max_flow: Cost,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QapSpec {
+    /// A dense-ish random QAP of size `n`.
+    pub fn new(n: usize) -> Self {
+        QapSpec {
+            n,
+            density: 0.5,
+            max_flow: 9,
+            seed: 0x9A9,
+        }
+    }
+}
+
+/// Generates a QAP instance: locations are the first `n` cells of the
+/// smallest square grid that fits them (Manhattan distances), facilities
+/// have unit size, locations unit capacity, and symmetric random flows.
+///
+/// The result satisfies [`QapSolver::validate`](../qbp_solver/struct.QapSolver.html)
+/// and can also be fed to the general GAP-based solver — the QAP-comparison
+/// bench does exactly that.
+///
+/// # Errors
+///
+/// Returns an error when `n == 0`.
+pub fn random_qap(spec: &QapSpec) -> Result<Problem, Error> {
+    if spec.n == 0 {
+        return Err(Error::EmptyCircuit);
+    }
+    let n = spec.n;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut circuit = Circuit::with_capacity(n);
+    for j in 0..n {
+        circuit.add_component(format!("fac{j}"), 1);
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.random::<f64>() < spec.density {
+                let flow = rng.random_range(1..=spec.max_flow);
+                circuit.add_wires(ComponentId::new(a), ComponentId::new(b), flow)?;
+            }
+        }
+    }
+    // Smallest square grid holding n cells; distances between the first n.
+    let side = (n as f64).sqrt().ceil() as usize;
+    let full = PartitionTopology::grid(side, side, 1)?;
+    let dist = |a: usize, b: usize| full.wire_cost()[(a, b)];
+    let b = qbp_core::DenseMatrix::from_fn(n, n, dist);
+    let topology = PartitionTopology::new(vec![1; n], b.clone(), b)?;
+    ProblemBuilder::new(circuit, topology).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_qap() {
+        let p = random_qap(&QapSpec::new(9)).unwrap();
+        assert_eq!(p.m(), 9);
+        assert_eq!(p.n(), 9);
+        assert!(p.topology().capacities().iter().all(|&c| c == 1));
+        for j in 0..9 {
+            assert_eq!(p.circuit().size(ComponentId::new(j)), 1);
+        }
+    }
+
+    #[test]
+    fn flows_are_symmetric() {
+        let p = random_qap(&QapSpec::new(8)).unwrap();
+        for (a, b, w) in p.circuit().edges() {
+            assert_eq!(p.circuit().connection(b, a), w);
+        }
+    }
+
+    #[test]
+    fn density_zero_and_one() {
+        let empty = random_qap(&QapSpec {
+            density: 0.0,
+            ..QapSpec::new(6)
+        })
+        .unwrap();
+        assert_eq!(empty.circuit().directed_edge_count(), 0);
+        let full = random_qap(&QapSpec {
+            density: 1.0,
+            ..QapSpec::new(6)
+        })
+        .unwrap();
+        assert_eq!(full.circuit().directed_edge_count(), 6 * 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_qap(&QapSpec::new(7)).unwrap();
+        let b = random_qap(&QapSpec::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(random_qap(&QapSpec::new(0)).is_err());
+    }
+
+    #[test]
+    fn non_square_counts_still_metric() {
+        // n = 5 on a 3×3 grid's first five cells: distances must be
+        // symmetric with zero diagonal.
+        let p = random_qap(&QapSpec::new(5)).unwrap();
+        let b = p.topology().wire_cost();
+        for i in 0..5 {
+            assert_eq!(b[(i, i)], 0);
+            for j in 0..5 {
+                assert_eq!(b[(i, j)], b[(j, i)]);
+            }
+        }
+    }
+}

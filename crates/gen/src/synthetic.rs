@@ -1,0 +1,236 @@
+//! Synthetic "industrial-like" circuit generation.
+//!
+//! The paper evaluates on seven proprietary industrial circuits, described
+//! only by their statistics (Table I): component count, wire count, timing
+//! constraint count, with component sizes "ranging about 2 orders of
+//! magnitude in the same circuit". This generator reproduces those
+//! statistics: log-uniform sizes, and spatially clustered connectivity
+//! (components get virtual positions; wires prefer near neighbors), which
+//! gives the locality structure real netlists have and which partitioners
+//! exploit.
+
+use qbp_core::{Circuit, ComponentId, Cost, Size};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configurable generator for synthetic circuits.
+///
+/// ```
+/// use qbp_gen::SyntheticCircuit;
+///
+/// let circuit = SyntheticCircuit::new(50, 300).seed(7).build();
+/// assert_eq!(circuit.len(), 50);
+/// // Total symmetric wire count matches the request.
+/// assert_eq!(circuit.total_wire_weight(), 2 * 300);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticCircuit {
+    components: usize,
+    wires: Cost,
+    size_min: Size,
+    size_max: Size,
+    locality: f64,
+    neighbor_pool: usize,
+    max_bundle: Cost,
+    seed: u64,
+}
+
+impl SyntheticCircuit {
+    /// A generator for `components` components connected by `wires` wires
+    /// (counting each symmetric wire once; the `A` matrix sums to twice
+    /// this).
+    pub fn new(components: usize, wires: Cost) -> Self {
+        SyntheticCircuit {
+            components,
+            wires,
+            size_min: 2,
+            size_max: 200,
+            locality: 0.8,
+            neighbor_pool: 12,
+            max_bundle: 4,
+            seed: 0x51_0C_EA_7,
+        }
+    }
+
+    /// Sets the size range; sizes are drawn log-uniformly so the ratio
+    /// `size_max / size_min` spans the paper's "about 2 orders of magnitude"
+    /// with the defaults.
+    pub fn size_range(mut self, min: Size, max: Size) -> Self {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        self.size_min = min;
+        self.size_max = max;
+        self
+    }
+
+    /// Probability that a wire's far endpoint is drawn from the near
+    /// endpoint's spatial neighborhood rather than uniformly (0 = random
+    /// graph, 1 = fully local). Default 0.8.
+    pub fn locality(mut self, locality: f64) -> Self {
+        assert!((0.0..=1.0).contains(&locality), "locality in [0, 1]");
+        self.locality = locality;
+        self
+    }
+
+    /// Maximum wires added per sampled pair (bundles model buses). Default 4.
+    pub fn max_bundle(mut self, max_bundle: Cost) -> Self {
+        assert!(max_bundle >= 1, "bundle size must be positive");
+        self.max_bundle = max_bundle;
+        self
+    }
+
+    /// RNG seed — generation is fully deterministic per seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator was configured with zero components but a
+    /// positive wire count (wires need two distinct endpoints, so at least
+    /// two components are required).
+    pub fn build(&self) -> Circuit {
+        self.build_with_positions().0
+    }
+
+    /// Generates the circuit together with the virtual unit-square positions
+    /// used for clustering — useful for planting spatially coherent witness
+    /// assignments (see `qbp-gen`'s suite builder).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SyntheticCircuit::build`].
+    pub fn build_with_positions(&self) -> (Circuit, Vec<(f64, f64)>) {
+        assert!(
+            self.wires == 0 || self.components >= 2,
+            "wires require at least two components"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.components;
+        let mut circuit = Circuit::with_capacity(n);
+        // Log-uniform sizes.
+        let (lo, hi) = ((self.size_min as f64).ln(), (self.size_max as f64).ln());
+        for j in 0..n {
+            let size = (lo + (hi - lo) * rng.random::<f64>()).exp().round() as Size;
+            circuit.add_component(format!("blk{j}"), size.max(1));
+        }
+        // Virtual positions in the unit square; neighbor pools by distance.
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
+        if n < 2 || self.wires == 0 {
+            return (circuit, pos);
+        }
+        let pool = self.neighbor_pool.min(n - 1).max(1);
+        let neighbors: Vec<Vec<u32>> = (0..n)
+            .map(|j| {
+                let mut order: Vec<u32> = (0..n as u32).filter(|&k| k as usize != j).collect();
+                order.sort_by(|&a, &b| {
+                    let da = dist2(pos[j], pos[a as usize]);
+                    let db = dist2(pos[j], pos[b as usize]);
+                    da.total_cmp(&db)
+                });
+                order.truncate(pool);
+                order
+            })
+            .collect();
+        let mut remaining = self.wires;
+        while remaining > 0 {
+            let j1 = rng.random_range(0..n);
+            let j2 = if rng.random::<f64>() < self.locality {
+                let pool = &neighbors[j1];
+                pool[rng.random_range(0..pool.len())] as usize
+            } else {
+                let mut k = rng.random_range(0..n);
+                while k == j1 {
+                    k = rng.random_range(0..n);
+                }
+                k
+            };
+            if j1 == j2 {
+                continue;
+            }
+            let w = rng.random_range(1..=self.max_bundle).min(remaining);
+            circuit
+                .add_wires(ComponentId::new(j1), ComponentId::new(j2), w)
+                .expect("generated endpoints are valid and distinct");
+            remaining -= w;
+        }
+        (circuit, pos)
+    }
+}
+
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_requested_statistics() {
+        let c = SyntheticCircuit::new(100, 500).seed(3).build();
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.total_wire_weight(), 1000); // symmetric double count
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticCircuit::new(40, 200).seed(5).build();
+        let b = SyntheticCircuit::new(40, 200).seed(5).build();
+        let c = SyntheticCircuit::new(40, 200).seed(6).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_span_two_orders_of_magnitude() {
+        let c = SyntheticCircuit::new(300, 100).seed(1).build();
+        let sizes: Vec<u64> = c.iter().map(|(_, comp)| comp.size()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min >= 1);
+        assert!(
+            max as f64 / min as f64 >= 30.0,
+            "expected wide size spread, got {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn locality_increases_clustering() {
+        // With high locality, the average number of *distinct* partners per
+        // component is lower (wires concentrate in neighbor pools).
+        let local = SyntheticCircuit::new(80, 600).locality(0.95).seed(9).build();
+        let global = SyntheticCircuit::new(80, 600).locality(0.0).seed(9).build();
+        assert!(local.directed_edge_count() < global.directed_edge_count());
+    }
+
+    #[test]
+    fn no_self_loops_and_symmetric() {
+        let c = SyntheticCircuit::new(30, 150).seed(11).build();
+        for (a, b, w) in c.edges() {
+            assert_ne!(a, b);
+            assert_eq!(c.connection(b, a), c.connection(a, b), "symmetric A");
+            assert!(w > 0);
+        }
+    }
+
+    #[test]
+    fn custom_size_range_respected() {
+        let c = SyntheticCircuit::new(50, 0).size_range(10, 20).seed(2).build();
+        for (_, comp) in c.iter() {
+            assert!((10..=20).contains(&comp.size()), "size {}", comp.size());
+        }
+    }
+
+    #[test]
+    fn zero_wires_allowed() {
+        let c = SyntheticCircuit::new(5, 0).build();
+        assert_eq!(c.directed_edge_count(), 0);
+    }
+}

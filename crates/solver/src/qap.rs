@@ -1,0 +1,278 @@
+//! Burkard's *original* heuristic: the Quadratic Assignment Problem special
+//! case (§2.2.3) where `M = N`, all sizes and capacities are equal, and the
+//! solution space is the set of permutations — so the STEP 4/6 subproblems
+//! are Linear Assignment Problems instead of GAPs.
+//!
+//! This module exists for three reasons: it reproduces the lineage the paper
+//! generalizes from; it provides a second, independently implemented
+//! instantiation of the Burkard loop to cross-check the GAP-based solver on
+//! QAP instances; and it demonstrates §2.2.3's claim that the general
+//! machinery subsumes the QAP.
+
+use crate::lap::solve_lap;
+use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem, QMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+use crate::qbp::{PenaltyMode, QbpOutcome};
+
+/// Configuration of the QAP-mode Burkard solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QapConfig {
+    /// Number of Burkard iterations.
+    pub iterations: usize,
+    /// Penalty selection for any embedded timing constraints.
+    pub penalty: PenaltyMode,
+    /// Seed for the random initial permutation.
+    pub seed: u64,
+    /// Restart from a fresh random permutation (resetting `h`, keeping the
+    /// incumbent) when STEP 6 reproduces the previous permutation — see
+    /// [`QbpConfig::restart_on_stall`](crate::QbpConfig::restart_on_stall).
+    pub restart_on_stall: bool,
+}
+
+impl Default for QapConfig {
+    fn default() -> Self {
+        QapConfig {
+            iterations: 100,
+            penalty: PenaltyMode::Auto,
+            seed: 0xBADC_0DE5,
+            restart_on_stall: true,
+        }
+    }
+}
+
+/// Burkard's heuristic with Linear Assignment subproblems.
+///
+/// Requires a problem with `M = N` where every component size equals every
+/// partition capacity (so assignments are exactly permutations).
+#[derive(Debug, Clone, Default)]
+pub struct QapSolver {
+    config: QapConfig,
+}
+
+impl QapSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: QapConfig) -> Self {
+        QapSolver { config }
+    }
+
+    /// Checks the problem has QAP shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `M != N`, and
+    /// [`Error::InvalidTopology`] when sizes and capacities are not all one
+    /// common constant.
+    pub fn validate(problem: &Problem) -> Result<(), Error> {
+        let m = problem.m();
+        let n = problem.n();
+        if m != n {
+            return Err(Error::DimensionMismatch {
+                what: "QAP requires M = N",
+                expected: (n, n),
+                found: (m, n),
+            });
+        }
+        let s0 = problem.circuit().size(qbp_core::ComponentId::new(0));
+        let uniform_sizes = (0..n).all(|j| problem.circuit().size(qbp_core::ComponentId::new(j)) == s0);
+        let uniform_caps = problem.topology().capacities().iter().all(|&c| c == s0);
+        if !uniform_sizes || !uniform_caps {
+            return Err(Error::InvalidTopology(
+                "QAP requires uniform sizes equal to uniform capacities".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs the heuristic; the result's assignment is always a permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the problem is not QAP-shaped (see
+    /// [`QapSolver::validate`]) or the penalty configuration is invalid.
+    pub fn solve(&self, problem: &Problem) -> Result<QbpOutcome, Error> {
+        Self::validate(problem)?;
+        let start = Instant::now();
+        let n = problem.n();
+        let q = match self.config.penalty {
+            PenaltyMode::Fixed(p) => QMatrix::new(problem, p)?,
+            PenaltyMode::Auto => QMatrix::with_auto_penalty(problem)?,
+            PenaltyMode::Theorem1 => QMatrix::new(problem, QMatrix::theorem1_penalty(problem))?,
+        };
+        let eval = Evaluator::new(problem);
+        let omega = q.omega();
+
+        // Random initial permutation.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let mut u = Assignment::from_parts(perm).expect("n > 0");
+
+        let mut best = (u.clone(), q.value(&u));
+        let mut h = vec![0f64; n * n];
+        let mut eta: Vec<Cost> = Vec::new();
+        // LAP cost layout: rows = components, cols = partitions.
+        let mut lap_costs = vec![0f64; n * n];
+        let mut recent: Vec<u64> = Vec::with_capacity(crate::qbp::STALL_WINDOW);
+
+        for _ in 0..self.config.iterations {
+            q.eta(&u, &mut eta);
+            let xi = q.xi(&omega, &u);
+            // STEP 4 over permutations: LAP on η (η[i + j*m] → row j, col i).
+            for j in 0..n {
+                for i in 0..n {
+                    lap_costs[j * n + i] = eta[i + j * n] as f64;
+                }
+            }
+            let z = solve_lap(n, &lap_costs).cost;
+            let scale = (z - xi as f64).abs().max(1.0);
+            for (hr, &e) in h.iter_mut().zip(eta.iter()) {
+                *hr += e as f64 / scale;
+            }
+            // STEP 6 over permutations: LAP on h.
+            for j in 0..n {
+                for i in 0..n {
+                    lap_costs[j * n + i] = h[i + j * n];
+                }
+            }
+            let sol = solve_lap(n, &lap_costs);
+            let next = Assignment::from_parts(sol.row_to_col.iter().map(|&c| c as u32).collect())
+                .expect("n > 0");
+            let value = q.value(&next);
+            if value < best.1 {
+                best = (next.clone(), value);
+            }
+            let fingerprint = crate::qbp::assignment_fingerprint(&next);
+            if self.config.restart_on_stall && recent.contains(&fingerprint) {
+                h.fill(0.0);
+                recent.clear();
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                perm.shuffle(&mut rng);
+                u = Assignment::from_parts(perm).expect("n > 0");
+                let v0 = q.value(&u);
+                if v0 < best.1 {
+                    best = (u.clone(), v0);
+                }
+            } else {
+                if recent.len() >= crate::qbp::STALL_WINDOW {
+                    recent.remove(0);
+                }
+                recent.push(fingerprint);
+                u = next;
+            }
+        }
+
+        let (assignment, embedded_value) = best;
+        let feasible = check_feasibility(problem, &assignment).is_feasible();
+        Ok(QbpOutcome {
+            objective: eval.cost(&assignment),
+            embedded_value,
+            assignment,
+            feasible,
+            iterations: self.config.iterations,
+            history: Vec::new(),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbp_core::{Circuit, DenseMatrix, PartitionTopology, ProblemBuilder};
+
+    /// A tiny QAP: 4 facilities on a 2×2 grid with a ring flow.
+    fn qap_problem() -> Problem {
+        let mut c = Circuit::new();
+        let ids: Vec<_> = (0..4).map(|j| c.add_component(format!("f{j}"), 1)).collect();
+        // Ring: heavy flows around 0-1-2-3-0.
+        c.add_wires(ids[0], ids[1], 4).unwrap();
+        c.add_wires(ids[1], ids[2], 4).unwrap();
+        c.add_wires(ids[2], ids[3], 4).unwrap();
+        c.add_wires(ids[3], ids[0], 4).unwrap();
+        // Weak diagonals.
+        c.add_wires(ids[0], ids[2], 1).unwrap();
+        c.add_wires(ids[1], ids[3], 1).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_qap_shape() {
+        assert!(QapSolver::validate(&qap_problem()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_square() {
+        let mut c = Circuit::new();
+        c.add_component("a", 1);
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 1).unwrap())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            QapSolver::validate(&p),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nonuniform_sizes() {
+        let mut c = Circuit::new();
+        c.add_component("a", 1);
+        c.add_component("b", 2);
+        let topo = PartitionTopology::grid(1, 2, 2).unwrap();
+        let p = ProblemBuilder::new(c, topo).build().unwrap();
+        assert!(matches!(
+            QapSolver::validate(&p),
+            Err(Error::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn result_is_permutation_and_optimal_on_ring() {
+        let problem = qap_problem();
+        let outcome = QapSolver::new(QapConfig {
+            iterations: 60,
+            ..QapConfig::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        // Permutation check.
+        let mut seen = [false; 4];
+        for j in 0..4 {
+            let i = outcome.assignment.part_index(j);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(outcome.feasible);
+        // Optimum: place the ring around the grid so every heavy flow has
+        // distance 1 and both light diagonals distance 2:
+        // 2·(4·4·1 + 2·1·2) = 40.
+        assert_eq!(outcome.objective, 40);
+    }
+
+    #[test]
+    fn asymmetric_flow_matrix_is_respected() {
+        // Directed flow 0→1 heavy; with an asymmetric B the orientation
+        // matters and the solver must find the cheap orientation.
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        c.add_connection(a, b, 10).unwrap();
+        let bmat = DenseMatrix::from_rows(vec![vec![0, 1], vec![5, 0]]).unwrap();
+        let topo = PartitionTopology::new(vec![1, 1], bmat.clone(), bmat).unwrap();
+        let problem = ProblemBuilder::new(c, topo).build().unwrap();
+        let outcome = QapSolver::new(QapConfig {
+            iterations: 20,
+            ..QapConfig::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        assert_eq!(outcome.objective, 10); // a→p0, b→p1
+        assert_eq!(outcome.assignment.as_slice(), &[0, 1]);
+    }
+}

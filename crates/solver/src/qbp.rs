@@ -1,0 +1,956 @@
+//! The generalized Burkard heuristic (§4.2–4.3 of the paper) for the
+//! timing-embedded Quadratic Boolean Program
+//! `min_{y ∈ S} yᵀQ̂y`, where `S` is the set of capacity-feasible
+//! assignments.
+//!
+//! Per iteration `k`:
+//!
+//! 1. **STEP 3** — compute `η⁽ᵏ⁾` (a linearization of `Q̂` at the current
+//!    iterate `u⁽ᵏ⁾`) and `ξ⁽ᵏ⁾ = ω·u⁽ᵏ⁾`; our `η` kernel is sparse,
+//!    `O((E+T)·M)`, never materializing `Q̂` (§4.3);
+//! 2. **STEP 4** — solve the Generalized Assignment Problem
+//!    `z = min_{u ∈ S} η·u` (Martello–Toth-style heuristic);
+//! 3. **STEP 5** — accumulate the search direction
+//!    `h ← h + η / max(1, |z − ξ|)`;
+//! 4. **STEP 6** — solve the GAP `min_{u ∈ S} h·u` to obtain `u⁽ᵏ⁺¹⁾`;
+//! 5. **STEP 7** — keep the best `yᵀQ̂y` seen.
+//!
+//! The paper runs 100 iterations per circuit; quality improves with more.
+
+use crate::gap::{solve_gap, GapConfig, GapInstance};
+use qbp_core::{
+    check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, Problem, QMatrix,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// How the timing-violation penalty embedded in `Q̂` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum PenaltyMode {
+    /// A caller-supplied constant (the paper uses 50).
+    Fixed(Cost),
+    /// Slightly above twice the largest single-entry base cost (default):
+    /// big enough to dominate any local trade-off, small enough to avoid the
+    /// numerical-accuracy concern of §3.2.
+    #[default]
+    Auto,
+    /// The provably sufficient Theorem-1 bound `U > 2·Σ|q|` — the embedding
+    /// is then unconditionally exact, at the price of very large entries.
+    Theorem1,
+}
+
+
+/// Which linearization coefficients STEP 3 uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EtaMode {
+    /// `η_s = Σ_r q̂[r][s]·u[r]` — the form printed in the paper's STEP-3
+    /// pseudocode (default; this is what the paper ran).
+    #[default]
+    Pseudocode,
+    /// `η_s = Σ_r q̂[r][s]·u[r] + ω_s·u_s` — the form of the paper's eq. (3),
+    /// following Balas & Mazzola's linearization.
+    BalasMazzola,
+}
+
+/// Configuration of the QBP solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QbpConfig {
+    /// Number of Burkard iterations (paper: 100). "The more CPU time spent,
+    /// the better the results."
+    pub iterations: usize,
+    /// Penalty selection for the timing embedding.
+    pub penalty: PenaltyMode,
+    /// STEP-3 linearization variant.
+    pub eta_mode: EtaMode,
+    /// Seed for the random initial iterate used when none is supplied.
+    pub seed: u64,
+    /// Shift-improvement sweeps inside each GAP subproblem solve.
+    pub gap_improvement_passes: usize,
+    /// Enable pairwise-swap improvement inside GAP solves (slower, slightly
+    /// better subproblem optima).
+    pub gap_swap_improvement: bool,
+    /// Restart (reset `h`, re-randomize the iterate, keep the incumbent)
+    /// when STEP 6 reproduces the previous iterate. Without this the
+    /// deterministic loop can reach a fixed point and burn the remaining
+    /// iterations; with it, "the more CPU time spent, the better the
+    /// results" (§5) holds. An enhancement over the paper's pseudocode;
+    /// disable to run the literal STEPs 1–8.
+    pub restart_on_stall: bool,
+    /// Polish violated GAP candidates with sequential coordinate descent on
+    /// the embedded objective `yᵀQ̂y` before incumbent comparison. GAP
+    /// subproblems only see timing through the penalties frozen at the
+    /// current iterate, so simultaneous reassignment leaves residual
+    /// violations; the monotone descent closes them. An enhancement over the
+    /// paper's pseudocode; disable for the literal loop.
+    pub repair_candidates: bool,
+    /// Record per-iteration statistics in [`QbpOutcome::history`].
+    pub track_history: bool,
+}
+
+impl Default for QbpConfig {
+    fn default() -> Self {
+        QbpConfig {
+            iterations: 100,
+            penalty: PenaltyMode::Auto,
+            eta_mode: EtaMode::Pseudocode,
+            seed: 0x5EED_CAFE,
+            gap_improvement_passes: 2,
+            gap_swap_improvement: false,
+            restart_on_stall: true,
+            repair_candidates: true,
+            track_history: false,
+        }
+    }
+}
+
+/// Per-iteration record (STEP 7's bookkeeping), for convergence studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration number, starting at 1.
+    pub iteration: usize,
+    /// `yᵀQ̂y` of the iterate produced in STEP 6.
+    pub embedded_value: Cost,
+    /// Plain objective of that iterate.
+    pub objective: Cost,
+    /// Directed timing-constraint violations of that iterate.
+    pub timing_violations: usize,
+    /// Whether STEP 6's GAP solve was capacity-feasible.
+    pub capacity_feasible: bool,
+    /// Whether this iterate improved the incumbent.
+    pub improved: bool,
+}
+
+/// Result of a QBP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QbpOutcome {
+    /// Best assignment found (by embedded value, among capacity-feasible
+    /// iterates).
+    pub assignment: Assignment,
+    /// `yᵀQ̂y` of [`QbpOutcome::assignment`].
+    pub embedded_value: Cost,
+    /// Plain objective of the assignment.
+    pub objective: Cost,
+    /// Whether the assignment satisfies C1 **and** C2. Per Theorem 2, when
+    /// this is `true` the penalty embedding was valid for this run
+    /// regardless of the penalty's magnitude.
+    pub feasible: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Per-iteration statistics (only when
+    /// [`QbpConfig::track_history`] is set).
+    pub history: Vec<IterationStats>,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+/// The generalized Burkard heuristic solver.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder};
+/// use qbp_solver::{QbpConfig, QbpSolver};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 10);
+/// let b = circuit.add_component("b", 20);
+/// let c = circuit.add_component("c", 15);
+/// circuit.add_wires(a, b, 5)?;
+/// circuit.add_wires(b, c, 2)?;
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 30)?).build()?;
+///
+/// let outcome = QbpSolver::new(QbpConfig::default()).solve(&problem, None)?;
+/// assert!(outcome.feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QbpSolver {
+    config: QbpConfig,
+}
+
+impl QbpSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: QbpConfig) -> Self {
+        QbpSolver { config }
+    }
+
+    /// The solver's configuration.
+    pub fn config(&self) -> &QbpConfig {
+        &self.config
+    }
+
+    fn build_qmatrix<'p>(&self, problem: &'p Problem) -> Result<QMatrix<'p>, Error> {
+        match self.config.penalty {
+            PenaltyMode::Fixed(p) => QMatrix::new(problem, p),
+            PenaltyMode::Auto => QMatrix::with_auto_penalty(problem),
+            PenaltyMode::Theorem1 => QMatrix::new(problem, QMatrix::theorem1_penalty(problem)),
+        }
+    }
+
+    /// Runs the heuristic. `initial` seeds the first iterate `u⁽¹⁾`; when
+    /// `None`, a uniformly random assignment is used — §5 notes QBP
+    /// "maintained the same kind of good results from any arbitrary initial
+    /// solution" (the initial iterate need not be feasible).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the initial assignment does not match the
+    /// problem's dimensions or the penalty configuration is invalid.
+    pub fn solve(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+    ) -> Result<QbpOutcome, Error> {
+        let start = Instant::now();
+        let q = self.build_qmatrix(problem)?;
+        let eval = Evaluator::new(problem);
+        let m = problem.m();
+        let n = problem.n();
+        let sizes: Vec<u64> = (0..n)
+            .map(|j| problem.circuit().size(ComponentId::new(j)))
+            .collect();
+        let capacities = problem.topology().capacities().to_vec();
+        let gap_config = GapConfig {
+            improvement_passes: self.config.gap_improvement_passes,
+            swap_improvement: self.config.gap_swap_improvement,
+        };
+
+        // STEP 1 & 2: bounds ω, initial iterate, incumbent.
+        let omega = q.omega();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut u = match initial {
+            Some(a) => {
+                problem.validate_assignment(a)?;
+                a.clone()
+            }
+            None => Assignment::from_fn(n, |_| {
+                qbp_core::PartitionId::new(rng.random_range(0..m))
+            }),
+        };
+        let mut best: Option<(Assignment, Cost)> = None;
+        let consider = |asg: &Assignment,
+                            value: Cost,
+                            best: &mut Option<(Assignment, Cost)>|
+         -> bool {
+            if best.as_ref().is_none_or(|(_, bv)| value < *bv) {
+                *best = Some((asg.clone(), value));
+                true
+            } else {
+                false
+            }
+        };
+        // Seed the incumbent only if u is capacity-feasible; a fully
+        // feasible start also seeds the projection anchor.
+        let mut anchor: Option<(Assignment, Cost)> = None;
+        if capacity_feasible(&u, &sizes, &capacities, m) {
+            let v = q.value(&u);
+            consider(&u, v, &mut best);
+            if q.violation_count(&u) == 0 {
+                anchor = Some((u.clone(), v));
+            }
+        }
+
+        let mut h = vec![0f64; m * n];
+        let mut eta: Vec<Cost> = Vec::new();
+        let mut eta_f: Vec<f64> = vec![0.0; m * n];
+        let mut history = Vec::new();
+        let mut recent: Vec<u64> = Vec::with_capacity(STALL_WINDOW);
+
+        for k in 1..=self.config.iterations {
+            // STEP 3.
+            q.eta(&u, &mut eta);
+            if self.config.eta_mode == EtaMode::BalasMazzola {
+                for j in 0..n {
+                    let r = u.part_index(j) + j * m;
+                    eta[r] += omega[r];
+                }
+            }
+            let xi = q.xi(&omega, &u);
+            for (dst, &src) in eta_f.iter_mut().zip(eta.iter()) {
+                *dst = src as f64;
+            }
+            let inst = GapInstance {
+                m,
+                n,
+                costs: &eta_f,
+                sizes: &sizes,
+                capacities: &capacities,
+            };
+            // STEP 4: z = min_{u ∈ S} η·u. Besides providing z, the
+            // minimizer is the Gauss–Seidel candidate "place every component
+            // optimally against the current iterate" — evaluating it for the
+            // incumbent is nearly free and often catches consistent
+            // (timing-clean) solutions the h-driven STEP 6 skips past.
+            let step4 = solve_gap(&inst, &gap_config);
+            let z = step4.cost;
+            if step4.feasible {
+                let mut step4_asg = Assignment::from_parts(step4.assignment)
+                    .expect("GAP returns one entry per component");
+                if self.config.repair_candidates && q.violation_count(&step4_asg) > 0 {
+                    embedded_descent(&q, &mut step4_asg, &sizes, &capacities, 4);
+                }
+                let v4 = q.value(&step4_asg);
+                consider(&step4_asg, v4, &mut best);
+                if self.config.repair_candidates {
+                    promote_candidate(&q, &step4_asg, v4, &sizes, &capacities, &mut anchor, &mut best);
+                }
+            }
+            // STEP 5: accumulate direction.
+            let scale = (z - xi as f64).abs().max(1.0);
+            for (hr, &e) in h.iter_mut().zip(eta.iter()) {
+                *hr += e as f64 / scale;
+            }
+            // STEP 6: next iterate from the accumulated direction.
+            let h_inst = GapInstance {
+                m,
+                n,
+                costs: &h,
+                sizes: &sizes,
+                capacities: &capacities,
+            };
+            let next = solve_gap(&h_inst, &gap_config);
+            let next_asg = Assignment::from_parts(next.assignment.clone())
+                .expect("GAP returns one entry per component");
+            // STEP 7: track the best capacity-feasible iterate by yᵀQ̂y
+            // (after an optional repair polish on a *copy* — the raw iterate
+            // drives the next iteration, as in the paper).
+            let value = q.value(&next_asg);
+            let improved = if next.feasible {
+                let mut improved = consider(&next_asg, value, &mut best);
+                if self.config.repair_candidates {
+                    if q.violation_count(&next_asg) > 0 {
+                        let mut polished = next_asg.clone();
+                        embedded_descent(&q, &mut polished, &sizes, &capacities, 4);
+                        improved |= consider(&polished, q.value(&polished), &mut best);
+                        let pv = q.value(&polished);
+                        improved |= promote_candidate(
+                            &q, &polished, pv, &sizes, &capacities, &mut anchor, &mut best,
+                        );
+                    } else {
+                        improved |= promote_candidate(
+                            &q, &next_asg, value, &sizes, &capacities, &mut anchor, &mut best,
+                        );
+                    }
+                }
+                improved
+            } else {
+                false
+            };
+            if self.config.track_history {
+                history.push(IterationStats {
+                    iteration: k,
+                    embedded_value: value,
+                    objective: eval.cost(&next_asg),
+                    timing_violations: q.violation_count(&next_asg),
+                    capacity_feasible: next.feasible,
+                    improved,
+                });
+            }
+            let fingerprint = assignment_fingerprint(&next_asg);
+            if self.config.restart_on_stall && recent.contains(&fingerprint) {
+                // Fixed point or short cycle: η, h and the GAP answers would
+                // repeat. Diversify from a fresh random iterate; the
+                // incumbent is kept by STEP 7's bookkeeping.
+                h.fill(0.0);
+                recent.clear();
+                u = Assignment::from_fn(n, |_| {
+                    qbp_core::PartitionId::new(rng.random_range(0..m))
+                });
+            } else {
+                if recent.len() >= STALL_WINDOW {
+                    recent.remove(0);
+                }
+                recent.push(fingerprint);
+                u = next_asg;
+            }
+        }
+
+        let (assignment, embedded_value) = best.unwrap_or_else(|| {
+            let v = q.value(&u);
+            (u.clone(), v)
+        });
+        let feasible = check_feasibility(problem, &assignment).is_feasible();
+        Ok(QbpOutcome {
+            objective: eval.cost(&assignment),
+            embedded_value,
+            assignment,
+            feasible,
+            iterations: self.config.iterations,
+            history,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Runs [`QbpSolver::solve`] from `runs` different seeds and returns the
+    /// best outcome (feasible outcomes strictly preferred; ties broken by
+    /// embedded value). The iteration budget of each run is the configured
+    /// one — total work scales linearly with `runs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solver error; `runs == 0` is an error.
+    pub fn solve_multistart(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        runs: usize,
+    ) -> Result<QbpOutcome, Error> {
+        if runs == 0 {
+            return Err(Error::NegativeValue {
+                what: "multistart run count",
+                value: 0,
+            });
+        }
+        let mut best: Option<QbpOutcome> = None;
+        for r in 0..runs {
+            let config = QbpConfig {
+                seed: self.config.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9),
+                ..self.config
+            };
+            let out = QbpSolver::new(config).solve(problem, initial)?;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (out.feasible, std::cmp::Reverse(out.embedded_value))
+                        > (b.feasible, std::cmp::Reverse(b.embedded_value))
+                }
+            };
+            if better {
+                best = Some(out);
+            }
+        }
+        Ok(best.expect("runs >= 1"))
+    }
+
+    /// Produces an initial *feasible* solution by solving the `B = 0`
+    /// feasibility problem (§5: "the fastest way to obtain an initial
+    /// feasible solution is to use QBP algorithm with matrix B set to all
+    /// zeros. This will generate an initial feasible solution in a few
+    /// iterations"). With `B = 0` the accumulated direction `h` adds
+    /// nothing, so the loop degenerates to the pure alternation
+    /// `u ← GAP(η(u))` — each round re-places every component against its
+    /// partners' frozen positions, driving the penalty count down — plus the
+    /// repair sweep and cycle-detected random restarts. Returns `None` when
+    /// the iteration budget ends without a fully feasible assignment.
+    ///
+    /// The result is deliberately *wire-length-blind*: it is the paper's
+    /// "initial solution" for the method comparison, not an optimized one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates penalty-configuration errors.
+    pub fn find_feasible(&self, problem: &Problem) -> Result<Option<Assignment>, Error> {
+        let feas = problem.feasibility_problem();
+        let q = match self.config.penalty {
+            PenaltyMode::Fixed(p) => QMatrix::new(&feas, p)?,
+            PenaltyMode::Auto => QMatrix::with_auto_penalty(&feas)?,
+            PenaltyMode::Theorem1 => QMatrix::new(&feas, QMatrix::theorem1_penalty(&feas))?,
+        };
+        let _eval = Evaluator::new(&feas);
+        let m = feas.m();
+        let n = feas.n();
+        let sizes: Vec<u64> = (0..n)
+            .map(|j| feas.circuit().size(ComponentId::new(j)))
+            .collect();
+        let capacities = feas.topology().capacities().to_vec();
+        let gap_config = GapConfig {
+            improvement_passes: self.config.gap_improvement_passes,
+            swap_improvement: false,
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xB0);
+        let mut u = Assignment::from_fn(n, |_| {
+            qbp_core::PartitionId::new(rng.random_range(0..m))
+        });
+        let mut eta: Vec<Cost> = Vec::new();
+        let mut eta_f: Vec<f64> = vec![0.0; m * n];
+        let mut recent: Vec<u64> = Vec::with_capacity(STALL_WINDOW);
+        let budget = self.config.iterations.max(30);
+        for _ in 0..budget {
+            q.eta(&u, &mut eta);
+            for (dst, &src) in eta_f.iter_mut().zip(eta.iter()) {
+                *dst = src as f64;
+            }
+            let inst = GapInstance {
+                m,
+                n,
+                costs: &eta_f,
+                sizes: &sizes,
+                capacities: &capacities,
+            };
+            let sol = solve_gap(&inst, &gap_config);
+            let mut next = Assignment::from_parts(sol.assignment)
+                .expect("GAP returns one entry per component");
+            if sol.feasible
+                && (q.violation_count(&next) == 0
+                    || embedded_descent(&q, &mut next, &sizes, &capacities, 12))
+            {
+                debug_assert!(check_feasibility(problem, &next).is_feasible());
+                return Ok(Some(next));
+            }
+            let fp = assignment_fingerprint(&next);
+            if recent.contains(&fp) {
+                recent.clear();
+                u = Assignment::from_fn(n, |_| {
+                    qbp_core::PartitionId::new(rng.random_range(0..m))
+                });
+            } else {
+                if recent.len() >= STALL_WINDOW {
+                    recent.remove(0);
+                }
+                recent.push(fp);
+                u = next;
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Sequential coordinate descent on the embedded objective `yᵀQ̂y`:
+/// sweeps the components in index order, moving each to the
+/// capacity-feasible partition with the most negative embedded delta. Every
+/// accepted move strictly decreases `yᵀQ̂y`, so the descent is monotone and
+/// terminates at a local minimum; because the penalty dominates the base
+/// costs, it removes timing violations before polishing wire length.
+/// Returns `true` when the assignment ends fully timing-clean.
+pub(crate) fn embedded_descent(
+    q: &QMatrix<'_>,
+    asg: &mut Assignment,
+    sizes: &[u64],
+    capacities: &[u64],
+    max_sweeps: usize,
+) -> bool {
+    descent_impl(q, asg, sizes, capacities, max_sweeps, false)
+}
+
+/// [`embedded_descent`] restricted to timing-clean transitions: every
+/// accepted move or swap must keep all timing constraints satisfied, so a
+/// feasible input stays feasible throughout. (The unrestricted descent can
+/// profitably *introduce* a violation when a hub component's wire savings
+/// exceed one penalty.)
+pub(crate) fn clean_descent(
+    q: &QMatrix<'_>,
+    asg: &mut Assignment,
+    sizes: &[u64],
+    capacities: &[u64],
+    max_sweeps: usize,
+) -> bool {
+    descent_impl(q, asg, sizes, capacities, max_sweeps, true)
+}
+
+fn descent_impl(
+    q: &QMatrix<'_>,
+    asg: &mut Assignment,
+    sizes: &[u64],
+    capacities: &[u64],
+    max_sweeps: usize,
+    clean_only: bool,
+) -> bool {
+    let problem = q.problem();
+    let m = problem.m();
+    let n = problem.n();
+    let mut used = vec![0u64; m];
+    for (j, &s) in sizes.iter().enumerate() {
+        used[asg.part_index(j)] += s;
+    }
+    let d = problem.topology().delay();
+    for _ in 0..max_sweeps {
+        let mut changed = false;
+        // Move phase. `blocked[j]` records an improving move that failed
+        // only on capacity — those components are the swap candidates in
+        // clean mode.
+        let mut blocked = vec![false; n];
+        for j in 0..n {
+            let cj = ComponentId::new(j);
+            let cur = asg.part_index(j);
+            let mut best: (Cost, usize) = (0, cur);
+            for i in 0..m {
+                if i == cur {
+                    continue;
+                }
+                let pi = qbp_core::PartitionId::new(i);
+                if clean_only && !qbp_core::move_is_timing_feasible(q.problem(), asg, cj, pi) {
+                    continue;
+                }
+                let fits = used[i] + sizes[j] <= capacities[i];
+                if !fits {
+                    if clean_only && q.move_delta(asg, cj, pi) < 0 {
+                        blocked[j] = true;
+                    }
+                    continue;
+                }
+                let delta = q.move_delta(asg, cj, pi);
+                if delta < best.0 {
+                    best = (delta, i);
+                }
+            }
+            if best.1 != cur {
+                used[cur] -= sizes[j];
+                used[best.1] += sizes[j];
+                asg.move_to(cj, qbp_core::PartitionId::new(best.1));
+                changed = true;
+            }
+        }
+        // Swap phase: in penalty mode, components incident to a violated
+        // constraint (single moves cannot realize "two components trade
+        // places" under tight capacities); in clean mode, components whose
+        // improving move was capacity-blocked.
+        let mut hot = blocked;
+        if !clean_only {
+            for (a, b, limit) in problem.timing().iter() {
+                if d[(asg.part_index(a.index()), asg.part_index(b.index()))] > limit {
+                    hot[a.index()] = true;
+                    hot[b.index()] = true;
+                }
+            }
+        }
+        for j in 0..n {
+            if !hot[j] {
+                continue;
+            }
+            let cj = ComponentId::new(j);
+            let mut best: (Cost, usize) = (0, j);
+            for l in 0..n {
+                if l == j || asg.part_index(l) == asg.part_index(j) {
+                    continue;
+                }
+                let (ij, il) = (asg.part_index(j), asg.part_index(l));
+                // Capacity after trading places.
+                if used[ij] - sizes[j] + sizes[l] > capacities[ij]
+                    || used[il] - sizes[l] + sizes[j] > capacities[il]
+                {
+                    continue;
+                }
+                let cl = ComponentId::new(l);
+                if clean_only && !qbp_core::swap_is_timing_feasible(q.problem(), asg, cj, cl) {
+                    continue;
+                }
+                let delta = q.swap_delta(asg, cj, cl);
+                if delta < best.0 {
+                    best = (delta, l);
+                }
+            }
+            if best.1 != j {
+                let l = best.1;
+                let (ij, il) = (asg.part_index(j), asg.part_index(l));
+                used[ij] = used[ij] - sizes[j] + sizes[l];
+                used[il] = used[il] - sizes[l] + sizes[j];
+                asg.swap(cj, ComponentId::new(l));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    q.violation_count(asg) == 0
+}
+
+/// Integrates a candidate into the feasible-anchor bookkeeping. A clean
+/// candidate may become the new projection anchor; a violated candidate is
+/// projected from the anchor onto the feasible region, polished by
+/// [`clean_descent`], and offered to the incumbent. Returns whether the
+/// incumbent improved.
+#[allow(clippy::too_many_arguments)]
+fn promote_candidate(
+    q: &QMatrix<'_>,
+    candidate: &Assignment,
+    value: Cost,
+    sizes: &[u64],
+    capacities: &[u64],
+    anchor: &mut Option<(Assignment, Cost)>,
+    best: &mut Option<(Assignment, Cost)>,
+) -> bool {
+    if q.violation_count(candidate) == 0 {
+        if anchor.as_ref().is_none_or(|(_, av)| value < *av) {
+            *anchor = Some((candidate.clone(), value));
+        }
+        // Polish promising clean candidates with the timing-clean descent
+        // (bounded to near-incumbent candidates to keep the per-iteration
+        // cost proportionate).
+        let near_incumbent = best
+            .as_ref()
+            .is_none_or(|(_, bv)| value <= bv.saturating_add(bv / 10));
+        if near_incumbent {
+            let mut polished = candidate.clone();
+            clean_descent(q, &mut polished, sizes, capacities, 2);
+            let v = q.value(&polished);
+            let mut improved = false;
+            if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+                *best = Some((polished.clone(), v));
+                improved = true;
+            }
+            if anchor.as_ref().is_none_or(|(_, av)| v < *av) {
+                *anchor = Some((polished, v));
+            }
+            return improved;
+        }
+        return false; // the caller already offered the candidate itself
+    }
+    let Some((anchor_asg, _)) = anchor.clone() else {
+        return false;
+    };
+    let mut projected = project_toward(q, &anchor_asg, candidate, sizes, capacities);
+    clean_descent(q, &mut projected, sizes, capacities, 3);
+    let v = q.value(&projected);
+    let mut improved = false;
+    if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+        *best = Some((projected.clone(), v));
+        improved = true;
+    }
+    if anchor.as_ref().is_none_or(|(_, av)| v < *av) {
+        *anchor = Some((projected, v));
+    }
+    improved
+}
+
+/// Projects `target` onto the feasible region reachable from `base` by
+/// feasibility-preserving single moves: components are re-homed to their
+/// `target` partitions one at a time, skipping any reassignment that would
+/// break capacity or timing. The result realizes as much of the linearized
+/// minimizer's global direction as feasibility permits while staying
+/// violation-free (assuming `base` is violation-free).
+pub(crate) fn project_toward(
+    q: &QMatrix<'_>,
+    base: &Assignment,
+    target: &Assignment,
+    sizes: &[u64],
+    capacities: &[u64],
+) -> Assignment {
+    let problem = q.problem();
+    let m = problem.m();
+    let n = problem.n();
+    let mut asg = base.clone();
+    let mut used = vec![0u64; m];
+    for (j, &s) in sizes.iter().enumerate() {
+        used[asg.part_index(j)] += s;
+    }
+    // Two passes: capacity freed by earlier moves lets later ones land.
+    for _ in 0..2 {
+        let mut changed = false;
+        for j in 0..n {
+            let cj = ComponentId::new(j);
+            let cur = asg.part_index(j);
+            let want = target.part_index(j);
+            if want == cur || used[want] + sizes[j] > capacities[want] {
+                continue;
+            }
+            let pw = qbp_core::PartitionId::new(want);
+            if !qbp_core::move_is_timing_feasible(problem, &asg, cj, pw) {
+                continue;
+            }
+            used[cur] -= sizes[j];
+            used[want] += sizes[j];
+            asg.move_to(cj, pw);
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    asg
+}
+
+/// Length of the recent-iterate window used to detect short cycles.
+pub(crate) const STALL_WINDOW: usize = 8;
+
+/// Cheap content hash of an assignment for cycle detection.
+pub(crate) fn assignment_fingerprint(asg: &Assignment) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    asg.as_slice().hash(&mut hasher);
+    hasher.finish()
+}
+
+fn capacity_feasible(asg: &Assignment, sizes: &[u64], capacities: &[u64], m: usize) -> bool {
+    let mut used = vec![0u64; m];
+    for j in 0..sizes.len() {
+        used[asg.part_index(j)] += sizes[j];
+    }
+    used.iter().zip(capacities).all(|(u, c)| u <= c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exhaustive_constrained, exhaustive_qbp};
+    use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints};
+
+    fn paper_problem(cap: u64) -> Problem {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let d = c.add_component("c", 1);
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        let mut tc = TimingConstraints::new(3);
+        tc.add_symmetric(a, b, 1).unwrap();
+        tc.add_symmetric(b, d, 1).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, cap).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn solves_paper_example_to_optimum() {
+        let problem = paper_problem(3);
+        let outcome = QbpSolver::new(QbpConfig {
+            iterations: 30,
+            ..QbpConfig::default()
+        })
+        .solve(&problem, None)
+        .unwrap();
+        assert!(outcome.feasible);
+        let (_, opt) = exhaustive_constrained(&problem).unwrap();
+        assert_eq!(outcome.objective, opt, "heuristic should hit the optimum here");
+    }
+
+    #[test]
+    fn tight_capacity_forces_spreading() {
+        // Capacity 1 per partition: every component in its own partition.
+        let problem = paper_problem(1);
+        let outcome = QbpSolver::new(QbpConfig {
+            iterations: 50,
+            ..QbpConfig::default()
+        })
+        .solve(&problem, None)
+        .unwrap();
+        assert!(outcome.feasible, "must satisfy capacity 1 everywhere");
+        let (_, opt) = exhaustive_constrained(&problem).unwrap();
+        assert_eq!(outcome.objective, opt);
+    }
+
+    #[test]
+    fn respects_supplied_initial_assignment() {
+        let problem = paper_problem(3);
+        let initial = Assignment::from_parts(vec![3, 3, 3]).unwrap();
+        let outcome = QbpSolver::new(QbpConfig {
+            iterations: 20,
+            ..QbpConfig::default()
+        })
+        .solve(&problem, Some(&initial))
+        .unwrap();
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn rejects_mismatched_initial() {
+        let problem = paper_problem(3);
+        let initial = Assignment::from_parts(vec![0, 1]).unwrap();
+        assert!(QbpSolver::default().solve(&problem, Some(&initial)).is_err());
+    }
+
+    #[test]
+    fn history_is_recorded_when_requested() {
+        let problem = paper_problem(3);
+        let outcome = QbpSolver::new(QbpConfig {
+            iterations: 7,
+            track_history: true,
+            ..QbpConfig::default()
+        })
+        .solve(&problem, None)
+        .unwrap();
+        assert_eq!(outcome.history.len(), 7);
+        assert_eq!(outcome.history[0].iteration, 1);
+        // Incumbent values along the run never go below the final answer.
+        for s in &outcome.history {
+            if s.capacity_feasible {
+                assert!(s.embedded_value >= outcome.embedded_value);
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_modes_all_reach_feasibility() {
+        let problem = paper_problem(2);
+        for penalty in [
+            PenaltyMode::Fixed(50),
+            PenaltyMode::Auto,
+            PenaltyMode::Theorem1,
+        ] {
+            let outcome = QbpSolver::new(QbpConfig {
+                iterations: 30,
+                penalty,
+                ..QbpConfig::default()
+            })
+            .solve(&problem, None)
+            .unwrap();
+            assert!(outcome.feasible, "penalty mode {penalty:?}");
+        }
+    }
+
+    #[test]
+    fn eta_modes_both_work() {
+        let problem = paper_problem(2);
+        for eta_mode in [EtaMode::Pseudocode, EtaMode::BalasMazzola] {
+            let outcome = QbpSolver::new(QbpConfig {
+                iterations: 30,
+                eta_mode,
+                ..QbpConfig::default()
+            })
+            .solve(&problem, None)
+            .unwrap();
+            assert!(outcome.feasible, "eta mode {eta_mode:?}");
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_embedded_minimum_on_tiny_instance() {
+        let problem = paper_problem(2);
+        let q = QMatrix::with_auto_penalty(&problem).unwrap();
+        let (_, opt) = exhaustive_qbp(&q).unwrap();
+        let outcome = QbpSolver::new(QbpConfig {
+            iterations: 60,
+            ..QbpConfig::default()
+        })
+        .solve(&problem, None)
+        .unwrap();
+        assert_eq!(outcome.embedded_value, opt);
+    }
+
+    #[test]
+    fn find_feasible_satisfies_all_constraints() {
+        let problem = paper_problem(1);
+        let asg = QbpSolver::default().find_feasible(&problem).unwrap().unwrap();
+        assert!(check_feasibility(&problem, &asg).is_feasible());
+    }
+
+    #[test]
+    fn multistart_never_worse_than_single() {
+        let problem = paper_problem(2);
+        let solver = QbpSolver::new(QbpConfig {
+            iterations: 10,
+            ..QbpConfig::default()
+        });
+        let single = solver.solve(&problem, None).unwrap();
+        let multi = solver.solve_multistart(&problem, None, 5).unwrap();
+        assert!(multi.feasible || !single.feasible);
+        if multi.feasible && single.feasible {
+            assert!(multi.embedded_value <= single.embedded_value);
+        }
+    }
+
+    #[test]
+    fn multistart_rejects_zero_runs() {
+        let problem = paper_problem(2);
+        assert!(QbpSolver::default()
+            .solve_multistart(&problem, None, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let problem = paper_problem(3);
+        let config = QbpConfig {
+            iterations: 15,
+            seed: 99,
+            ..QbpConfig::default()
+        };
+        let a = QbpSolver::new(config).solve(&problem, None).unwrap();
+        let b = QbpSolver::new(config).solve(&problem, None).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.objective, b.objective);
+    }
+}

@@ -1,0 +1,298 @@
+//! Routing-delay budgeting: turns path slack into the per-edge maximum
+//! routing delays that become the partitioning problem's `D_C` constraints.
+
+use crate::{CombinationalDag, StaReport, TimingError};
+use qbp_core::{ComponentId, Delay, TimingConstraints};
+
+/// How path slack is shared among the edges of a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Each edge gets its full isolated slack window
+    /// `required[v] − delay[v] − arrival[u]`. **Optimistic**: two critical
+    /// wires on one path can both claim the same slack, so an assignment
+    /// meeting all windows may still miss cycle time. Matches how loose,
+    /// per-wire constraints are often specified in practice.
+    Window,
+    /// Zero-slack-style distribution: slack is divided across path edges so
+    /// that the budgets are *simultaneously* achievable — routing every wire
+    /// at exactly its budget still meets the cycle time (safe). This is the
+    /// default and the policy used by the table harness.
+    #[default]
+    ZeroSlack,
+}
+
+/// Derives per-edge routing budgets and emits them as
+/// [`TimingConstraints`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlackBudgeter {
+    policy: BudgetPolicy,
+}
+
+impl SlackBudgeter {
+    /// Creates a budgeter with the given policy.
+    pub fn new(policy: BudgetPolicy) -> Self {
+        SlackBudgeter { policy }
+    }
+
+    /// Computes per-edge budgets for the given cycle time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InfeasibleCycleTime`] when the pure-logic
+    /// critical path already exceeds `cycle_time`.
+    pub fn budgets(
+        &self,
+        dag: &CombinationalDag,
+        cycle_time: Delay,
+    ) -> Result<Vec<(usize, usize, Delay)>, TimingError> {
+        match self.policy {
+            BudgetPolicy::Window => {
+                let sta = StaReport::zero_routing(dag, cycle_time)?;
+                Ok(dag
+                    .edges()
+                    .map(|(u, v)| (u, v, sta.edge_slack(dag, u, v)))
+                    .collect())
+            }
+            BudgetPolicy::ZeroSlack => zero_slack_budgets(dag, cycle_time),
+        }
+    }
+
+    /// Derives the partitioning timing constraints `D_C(u, v) = budget(u, v)`
+    /// for every DAG edge, in the same delay units as the topology's `D`
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SlackBudgeter::budgets`].
+    pub fn derive(
+        &self,
+        dag: &CombinationalDag,
+        cycle_time: Delay,
+    ) -> Result<TimingConstraints, TimingError> {
+        let mut tc = TimingConstraints::new(dag.len());
+        for (u, v, budget) in self.budgets(dag, cycle_time)? {
+            tc.add(ComponentId::new(u), ComponentId::new(v), budget)
+                .expect("DAG edges are valid, distinct component pairs");
+        }
+        Ok(tc)
+    }
+}
+
+/// Zero-slack-style simultaneous distribution.
+///
+/// Iteratively adds `⌊slack(e) / L(e)⌋` to every edge budget, where
+/// `slack(e)` is recomputed with the current budgets as routing delays and
+/// `L(e)` is the maximum number of edges on any path through `e`. For any
+/// path `P` with shared slack `S`, each of its `k ≤ L(e)` edges receives at
+/// most `S/k`, so a round adds at most `S` along `P` — budgets never
+/// overshoot. A final greedy pass sweeps up integer remainders one edge at a
+/// time.
+fn zero_slack_budgets(
+    dag: &CombinationalDag,
+    cycle_time: Delay,
+) -> Result<Vec<(usize, usize, Delay)>, TimingError> {
+    // Validate feasibility up front.
+    StaReport::zero_routing(dag, cycle_time)?;
+    let edges: Vec<(usize, usize)> = dag.edges().collect();
+    if edges.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = dag.len();
+    // L(e) = fwd_edges(u) + bwd_edges(v) + 1, where fwd/bwd count the longest
+    // edge-chains reaching u / leaving v.
+    let topo: Vec<usize> = dag.topo_order().collect();
+    let mut fwd = vec![0i64; n]; // longest #edges on a path ending at node
+    for &v in &topo {
+        for u in dag.predecessors(v) {
+            fwd[v] = fwd[v].max(fwd[u] + 1);
+        }
+    }
+    let mut bwd = vec![0i64; n]; // longest #edges on a path starting at node
+    for &v in topo.iter().rev() {
+        for s in dag.successors(v) {
+            bwd[v] = bwd[v].max(bwd[s] + 1);
+        }
+    }
+    let mut budget: std::collections::HashMap<(usize, usize), Delay> =
+        edges.iter().map(|&e| (e, 0)).collect();
+
+    // Simultaneous rounds: geometric convergence; 2·log₂(cycle) rounds are
+    // plenty, cap for safety.
+    for _ in 0..64 {
+        let sta = StaReport::with_edge_delays(dag, cycle_time, |u, v| budget[&(u, v)])
+            .expect("budgets never overshoot by construction");
+        let mut any = false;
+        let mut adds = Vec::with_capacity(edges.len());
+        for &(u, v) in &edges {
+            let slack = sta.required[v] - dag.delay(v) - budget[&(u, v)] - sta.arrival[u];
+            let l = fwd[u] + bwd[v] + 1;
+            let add = slack / l.max(1);
+            if add > 0 {
+                any = true;
+            }
+            adds.push(add);
+        }
+        if !any {
+            break;
+        }
+        for (&(u, v), add) in edges.iter().zip(adds) {
+            *budget.get_mut(&(u, v)).expect("seeded") += add;
+        }
+    }
+    // Greedy remainder sweep: one edge at a time, take whatever slack is
+    // left (recomputing after each).
+    for &(u, v) in &edges {
+        let sta = StaReport::with_edge_delays(dag, cycle_time, |a, b| budget[&(a, b)])
+            .expect("budgets never overshoot by construction");
+        let slack = sta.required[v] - dag.delay(v) - budget[&(u, v)] - sta.arrival[u];
+        if slack > 0 {
+            *budget.get_mut(&(u, v)).expect("seeded") += slack;
+        }
+    }
+    Ok(edges.into_iter().map(|(u, v)| (u, v, budget[&(u, v)])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimingGraphBuilder;
+
+    fn chain() -> CombinationalDag {
+        // 0(1) → 1(2) → 2(1); cycle 8 → slack 4 shared by two edges.
+        TimingGraphBuilder::new(3)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 2)
+            .unwrap()
+            .delay(2, 1)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(1, 2)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn diamond() -> CombinationalDag {
+        TimingGraphBuilder::new(4)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 5)
+            .unwrap()
+            .delay(2, 2)
+            .unwrap()
+            .delay(3, 1)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(0, 2)
+            .unwrap()
+            .edge(1, 3)
+            .unwrap()
+            .edge(2, 3)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    /// Budgets are "safe" when routing every edge at exactly its budget
+    /// still meets the cycle time.
+    fn assert_safe(dag: &CombinationalDag, budgets: &[(usize, usize, Delay)], cycle: Delay) {
+        let map: std::collections::HashMap<(usize, usize), Delay> =
+            budgets.iter().map(|&(u, v, b)| ((u, v), b)).collect();
+        let sta = StaReport::with_edge_delays(dag, cycle, |u, v| map[&(u, v)]);
+        assert!(sta.is_ok(), "budgets overshoot the cycle time");
+    }
+
+    #[test]
+    fn window_budgets_match_edge_slack() {
+        let dag = chain();
+        let budgets = SlackBudgeter::new(BudgetPolicy::Window).budgets(&dag, 8).unwrap();
+        // Both edges see the full path slack of 4.
+        for &(_, _, b) in &budgets {
+            assert_eq!(b, 4);
+        }
+    }
+
+    #[test]
+    fn zero_slack_budgets_are_safe_and_exhaustive_on_chain() {
+        let dag = chain();
+        let budgets = SlackBudgeter::new(BudgetPolicy::ZeroSlack).budgets(&dag, 8).unwrap();
+        assert_safe(&dag, &budgets, 8);
+        // All 4 units of slack distributed: total budget = 4.
+        let total: Delay = budgets.iter().map(|&(_, _, b)| b).sum();
+        assert_eq!(total, 4);
+        // Shared fairly: 2 + 2.
+        for &(_, _, b) in &budgets {
+            assert_eq!(b, 2);
+        }
+    }
+
+    #[test]
+    fn zero_slack_budgets_safe_on_diamond() {
+        let dag = diamond();
+        let cycle = 12;
+        let budgets = SlackBudgeter::new(BudgetPolicy::ZeroSlack)
+            .budgets(&dag, cycle)
+            .unwrap();
+        assert_safe(&dag, &budgets, cycle);
+        // The slow branch (through node 1) shares 5 units over 2 edges; the
+        // fast branch gets strictly more per edge.
+        let get = |u: usize, v: usize| {
+            budgets
+                .iter()
+                .find(|&&(a, b, _)| (a, b) == (u, v))
+                .map(|&(_, _, x)| x)
+                .unwrap()
+        };
+        assert!(get(0, 2) >= get(0, 1));
+        // After budgeting, the critical path consumes the entire cycle: the
+        // remainder sweep leaves no distributable slack on critical edges.
+        let map: std::collections::HashMap<(usize, usize), Delay> =
+            budgets.iter().map(|&(u, v, b)| ((u, v), b)).collect();
+        let sta = StaReport::with_edge_delays(&dag, cycle, |u, v| map[&(u, v)]).unwrap();
+        assert_eq!(sta.critical_path, cycle);
+    }
+
+    #[test]
+    fn derive_produces_constraints_per_edge() {
+        let dag = chain();
+        let tc = SlackBudgeter::default().derive(&dag, 8).unwrap();
+        assert_eq!(tc.len(), 2);
+        assert_eq!(tc.get(ComponentId::new(0), ComponentId::new(1)), Some(2));
+        assert_eq!(tc.get(ComponentId::new(1), ComponentId::new(2)), Some(2));
+    }
+
+    #[test]
+    fn zero_cycle_slack_gives_zero_budgets() {
+        let dag = chain();
+        // Cycle equals critical path: every budget must be 0.
+        let tc = SlackBudgeter::default().derive(&dag, 4).unwrap();
+        for (_, _, dc) in tc.iter() {
+            assert_eq!(dc, 0);
+        }
+    }
+
+    #[test]
+    fn infeasible_cycle_propagates() {
+        let dag = chain();
+        assert!(matches!(
+            SlackBudgeter::default().derive(&dag, 3),
+            Err(TimingError::InfeasibleCycleTime { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_edge_set_is_fine() {
+        let dag = TimingGraphBuilder::new(2)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let tc = SlackBudgeter::default().derive(&dag, 10).unwrap();
+        assert!(tc.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! The combinational timing DAG and its builder.
+
+use crate::TimingError;
+use qbp_core::{Circuit, ComponentId, Delay};
+use serde::{Deserialize, Serialize};
+
+/// A directed acyclic graph of combinational components with intrinsic
+/// delays. Node indices are the circuit's component indices, so constraints
+/// derived here drop straight onto the partitioning problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CombinationalDag {
+    delays: Vec<Delay>,
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    topo: Vec<u32>,
+}
+
+/// Builder for [`CombinationalDag`]; validates acyclicity at
+/// [`TimingGraphBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct TimingGraphBuilder {
+    delays: Vec<Delay>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl TimingGraphBuilder {
+    /// Starts a graph over `n` nodes, all with intrinsic delay 0.
+    pub fn new(n: usize) -> Self {
+        TimingGraphBuilder {
+            delays: vec![0; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Sets the intrinsic delay of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the node is out of range or the delay negative.
+    pub fn delay(mut self, node: usize, delay: Delay) -> Result<Self, TimingError> {
+        if node >= self.delays.len() {
+            return Err(TimingError::NodeOutOfRange {
+                node,
+                len: self.delays.len(),
+            });
+        }
+        if delay < 0 {
+            return Err(TimingError::NegativeDelay { node, delay });
+        }
+        self.delays[node] = delay;
+        Ok(self)
+    }
+
+    /// Adds a signal edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either node is out of range or `from == to`.
+    pub fn edge(mut self, from: usize, to: usize) -> Result<Self, TimingError> {
+        let len = self.delays.len();
+        for node in [from, to] {
+            if node >= len {
+                return Err(TimingError::NodeOutOfRange { node, len });
+            }
+        }
+        if from == to {
+            return Err(TimingError::SelfEdge(from));
+        }
+        self.edges.push((from as u32, to as u32));
+        Ok(self)
+    }
+
+    /// Validates acyclicity (Kahn topological sort) and builds the DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::Cyclic`] when the edge set contains a cycle.
+    pub fn build(self) -> Result<CombinationalDag, TimingError> {
+        let n = self.delays.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            // Duplicate edges collapse: timing budgets are per ordered pair.
+            if !succs[a as usize].contains(&b) {
+                succs[a as usize].push(b);
+                preds[b as usize].push(a);
+            }
+        }
+        // Kahn.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            topo.push(v);
+            for &s in &succs[v as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(TimingError::Cyclic);
+        }
+        Ok(CombinationalDag {
+            delays: self.delays,
+            succs,
+            preds,
+            topo,
+        })
+    }
+}
+
+impl CombinationalDag {
+    /// Builds a timing DAG from a circuit's connection structure, orienting
+    /// each directed connection as a signal edge, with the given intrinsic
+    /// delays (one per component).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `delays` has the wrong length, any delay is
+    /// negative, or the connection structure is cyclic (partition a
+    /// register-bounded subcircuit instead).
+    pub fn from_circuit(circuit: &Circuit, delays: &[Delay]) -> Result<Self, TimingError> {
+        if delays.len() != circuit.len() {
+            return Err(TimingError::NodeOutOfRange {
+                node: delays.len(),
+                len: circuit.len(),
+            });
+        }
+        let mut builder = TimingGraphBuilder::new(circuit.len());
+        for (node, &d) in delays.iter().enumerate() {
+            builder = builder.delay(node, d)?;
+        }
+        for (from, to, _) in circuit.edges() {
+            builder = builder.edge(from.index(), to.index())?;
+        }
+        builder.build()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// Intrinsic delay of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn delay(&self, node: usize) -> Delay {
+        self.delays[node]
+    }
+
+    /// Successors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn successors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succs[node].iter().map(|&v| v as usize)
+    }
+
+    /// Predecessors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn predecessors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.preds[node].iter().map(|&v| v as usize)
+    }
+
+    /// Nodes in topological order.
+    pub fn topo_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.topo.iter().map(|&v| v as usize)
+    }
+
+    /// All edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ss)| ss.iter().map(move |&b| (a, b as usize)))
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// The component id corresponding to a node (identity mapping — nodes
+    /// *are* circuit component indices).
+    pub fn component(&self, node: usize) -> ComponentId {
+        ComponentId::new(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_diamond() {
+        //   0 → 1 → 3
+        //   0 → 2 → 3
+        let dag = TimingGraphBuilder::new(4)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 5)
+            .unwrap()
+            .delay(2, 2)
+            .unwrap()
+            .delay(3, 1)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(0, 2)
+            .unwrap()
+            .edge(1, 3)
+            .unwrap()
+            .edge(2, 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.edge_count(), 4);
+        let topo: Vec<usize> = dag.topo_order().collect();
+        let pos = |v: usize| topo.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let r = TimingGraphBuilder::new(3)
+            .edge(0, 1)
+            .unwrap()
+            .edge(1, 2)
+            .unwrap()
+            .edge(2, 0)
+            .unwrap()
+            .build();
+        assert_eq!(r.unwrap_err(), TimingError::Cyclic);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let dag = TimingGraphBuilder::new(2)
+            .edge(0, 1)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            TimingGraphBuilder::new(2).delay(5, 1),
+            Err(TimingError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            TimingGraphBuilder::new(2).delay(0, -1),
+            Err(TimingError::NegativeDelay { .. })
+        ));
+        assert!(matches!(
+            TimingGraphBuilder::new(2).edge(0, 0),
+            Err(TimingError::SelfEdge(0))
+        ));
+        assert!(matches!(
+            TimingGraphBuilder::new(2).edge(0, 7),
+            Err(TimingError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_circuit_orients_connections() {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        c.add_connection(a, b, 2).unwrap();
+        let dag = CombinationalDag::from_circuit(&c, &[3, 4]).unwrap();
+        assert_eq!(dag.delay(0), 3);
+        assert_eq!(dag.edges().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn from_circuit_rejects_symmetric_wires() {
+        // add_wires creates a 2-cycle, which is not a combinational DAG.
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        c.add_wires(a, b, 1).unwrap();
+        assert_eq!(
+            CombinationalDag::from_circuit(&c, &[0, 0]).unwrap_err(),
+            TimingError::Cyclic
+        );
+    }
+
+    #[test]
+    fn from_circuit_validates_delay_length() {
+        let mut c = Circuit::new();
+        c.add_component("a", 1);
+        assert!(CombinationalDag::from_circuit(&c, &[1, 2]).is_err());
+    }
+}

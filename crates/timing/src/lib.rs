@@ -1,0 +1,142 @@
+//! Static-timing substrate: derives the paper's pairwise maximum-routing-
+//! delay constraints `D_C(j1, j2)` from a cycle time, the way §2 describes —
+//! "driven by system cycle time and ... derived from the delay equations and
+//! intrinsic delay in combinational circuit components".
+//!
+//! The substrate is a classical block-level STA:
+//!
+//! 1. model the inter-register combinational logic as a DAG of components
+//!    with intrinsic delays ([`CombinationalDag`], built via
+//!    [`TimingGraphBuilder`]);
+//! 2. compute arrival/required times and slacks by longest-path analysis
+//!    ([`StaReport::zero_routing`]);
+//! 3. allocate each signal's share of the path slack as a *routing budget*
+//!    on the DAG edge ([`SlackBudgeter`]) — either the optimistic per-edge
+//!    slack window, or a safe zero-slack-style distribution whose budgets
+//!    can never overshoot the cycle time;
+//! 4. emit the budgets as
+//!    [`TimingConstraints`](qbp_core::TimingConstraints) in the delay units
+//!    of the partition topology's `D` matrix.
+//!
+//! Sequential systems with feedback loops are handled by
+//! [`SequentialGraphBuilder`], which splits registers into launch/capture
+//! pseudo-nodes so that register-bounded paths become the analyzed DAG.
+//!
+//! # Example
+//!
+//! ```
+//! use qbp_timing::{TimingGraphBuilder, SlackBudgeter, BudgetPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // in(1) → mid(2) → out(1), cycle time 8 → path slack 4.
+//! let dag = TimingGraphBuilder::new(3)
+//!     .delay(0, 1)?
+//!     .delay(1, 2)?
+//!     .delay(2, 1)?
+//!     .edge(0, 1)?
+//!     .edge(1, 2)?
+//!     .build()?;
+//! let constraints = SlackBudgeter::new(BudgetPolicy::ZeroSlack).derive(&dag, 8)?;
+//! assert_eq!(constraints.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod budget;
+mod graph;
+mod sequential;
+mod sta;
+
+pub use budget::{BudgetPolicy, SlackBudgeter};
+pub use graph::{CombinationalDag, TimingGraphBuilder};
+pub use sequential::{SequentialDag, SequentialGraphBuilder};
+pub use sta::StaReport;
+
+use std::fmt;
+
+/// Errors from the timing substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An intrinsic delay was negative.
+    NegativeDelay {
+        /// The node with the negative delay.
+        node: usize,
+        /// The offending value.
+        delay: i64,
+    },
+    /// The graph contains a cycle — combinational timing graphs must be
+    /// acyclic (registers cut sequential loops).
+    Cyclic,
+    /// An edge connects a node to itself.
+    SelfEdge(usize),
+    /// The cycle time is smaller than the critical (pure-logic) path delay:
+    /// no routing budget can make timing close.
+    InfeasibleCycleTime {
+        /// Longest pure-logic path delay.
+        critical_path: i64,
+        /// The requested cycle time.
+        cycle_time: i64,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for graph with {len} nodes")
+            }
+            TimingError::NegativeDelay { node, delay } => {
+                write!(f, "node {node} has negative intrinsic delay {delay}")
+            }
+            TimingError::Cyclic => write!(f, "timing graph contains a combinational cycle"),
+            TimingError::SelfEdge(node) => write!(f, "self-edge on node {node}"),
+            TimingError::InfeasibleCycleTime {
+                critical_path,
+                cycle_time,
+            } => write!(
+                f,
+                "cycle time {cycle_time} is below the critical path delay {critical_path}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            TimingError::NodeOutOfRange { node: 5, len: 3 },
+            TimingError::NegativeDelay { node: 1, delay: -2 },
+            TimingError::Cyclic,
+            TimingError::SelfEdge(0),
+            TimingError::InfeasibleCycleTime {
+                critical_path: 10,
+                cycle_time: 5,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TimingError>();
+    }
+}

@@ -1,0 +1,349 @@
+//! Sequential (register-bounded) timing graphs.
+//!
+//! Real systems have feedback: paths loop through registers. Classical STA
+//! handles this by *cutting* every path at register boundaries — a register
+//! launches its fanout at clk-to-Q after the clock edge and must capture its
+//! fanin by `cycle − setup`. This module builds that view on top of the
+//! combinational machinery: each register is split into a capture sink (its
+//! fanin terminates there) and a launch source (its fanout starts there),
+//! which turns any legal sequential graph into a DAG.
+//!
+//! Budgets derived from the expanded DAG map back to the original node
+//! pairs, so they drop straight onto the partitioning problem — including
+//! register-to-logic and logic-to-register wires.
+//!
+//! ```
+//! use qbp_timing::{BudgetPolicy, SequentialGraphBuilder, SlackBudgeter};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // reg0 → logic(3) → reg1 → logic2(2) → reg0 (a feedback loop).
+//! let dag = SequentialGraphBuilder::new(4)
+//!     .register(0, 1, 1)?  // clk-to-Q 1, setup 1
+//!     .delay(1, 3)?
+//!     .register(2, 1, 1)?
+//!     .delay(3, 2)?
+//!     .edge(0, 1)?
+//!     .edge(1, 2)?
+//!     .edge(2, 3)?
+//!     .edge(3, 0)?
+//!     .build()?;
+//! let constraints = SlackBudgeter::new(BudgetPolicy::ZeroSlack)
+//!     .derive(&dag.expanded(), 8)?;
+//! assert!(!constraints.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{CombinationalDag, TimingError, TimingGraphBuilder};
+use qbp_core::{ComponentId, Delay, TimingConstraints};
+
+/// A sequential timing graph: combinational blocks plus registers, with
+/// feedback permitted through registers.
+#[derive(Debug, Clone)]
+pub struct SequentialDag {
+    /// The register-split expanded DAG. Node `k < n` is the original node
+    /// (capture side for registers); node `n + r` is the launch side of the
+    /// `r`-th register.
+    expanded: CombinationalDag,
+    /// Original node count.
+    n: usize,
+    /// For each expanded node, the original node it represents.
+    origin: Vec<u32>,
+}
+
+impl SequentialDag {
+    /// The register-split expanded DAG (launch/capture pseudo-nodes split).
+    pub fn expanded(&self) -> &CombinationalDag {
+        &self.expanded
+    }
+
+    /// Number of original nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The original node an expanded node represents.
+    pub fn origin(&self, expanded_node: usize) -> usize {
+        self.origin[expanded_node] as usize
+    }
+
+    /// Derives partitioning timing constraints at `cycle_time` with the
+    /// given budgeter, mapped back to *original* node pairs (register
+    /// launch/capture pseudo-nodes collapse onto their register).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimingError::InfeasibleCycleTime`] from the budgeter.
+    pub fn derive_constraints(
+        &self,
+        budgeter: &crate::SlackBudgeter,
+        cycle_time: Delay,
+    ) -> Result<TimingConstraints, TimingError> {
+        let budgets = budgeter.budgets(&self.expanded, cycle_time)?;
+        let mut tc = TimingConstraints::new(self.n);
+        for (u, v, budget) in budgets {
+            let (a, b) = (self.origin(u), self.origin(v));
+            if a == b {
+                continue; // launch/capture pair of one register
+            }
+            tc.add(ComponentId::new(a), ComponentId::new(b), budget)
+                .expect("distinct original nodes");
+        }
+        Ok(tc)
+    }
+}
+
+/// Builder for [`SequentialDag`]; cycles are allowed as long as every cycle
+/// passes through at least one register.
+#[derive(Debug, Clone)]
+pub struct SequentialGraphBuilder {
+    delays: Vec<Delay>,
+    /// `Some((clk_to_q, setup))` marks a register.
+    registers: Vec<Option<(Delay, Delay)>>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl SequentialGraphBuilder {
+    /// Starts a graph over `n` nodes, all combinational with delay 0.
+    pub fn new(n: usize) -> Self {
+        SequentialGraphBuilder {
+            delays: vec![0; n],
+            registers: vec![None; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Sets the intrinsic delay of a combinational node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the node is out of range or the delay negative.
+    pub fn delay(mut self, node: usize, delay: Delay) -> Result<Self, TimingError> {
+        if node >= self.delays.len() {
+            return Err(TimingError::NodeOutOfRange {
+                node,
+                len: self.delays.len(),
+            });
+        }
+        if delay < 0 {
+            return Err(TimingError::NegativeDelay { node, delay });
+        }
+        self.delays[node] = delay;
+        Ok(self)
+    }
+
+    /// Marks a node as a register with the given clk-to-Q and setup times.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the node is out of range or either time is
+    /// negative.
+    pub fn register(
+        mut self,
+        node: usize,
+        clk_to_q: Delay,
+        setup: Delay,
+    ) -> Result<Self, TimingError> {
+        if node >= self.delays.len() {
+            return Err(TimingError::NodeOutOfRange {
+                node,
+                len: self.delays.len(),
+            });
+        }
+        for v in [clk_to_q, setup] {
+            if v < 0 {
+                return Err(TimingError::NegativeDelay { node, delay: v });
+            }
+        }
+        self.registers[node] = Some((clk_to_q, setup));
+        Ok(self)
+    }
+
+    /// Adds a signal edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either node is out of range or `from == to`.
+    pub fn edge(mut self, from: usize, to: usize) -> Result<Self, TimingError> {
+        let len = self.delays.len();
+        for node in [from, to] {
+            if node >= len {
+                return Err(TimingError::NodeOutOfRange { node, len });
+            }
+        }
+        if from == to {
+            return Err(TimingError::SelfEdge(from));
+        }
+        self.edges.push((from as u32, to as u32));
+        Ok(self)
+    }
+
+    /// Splits registers and builds the expanded DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::Cyclic`] when some cycle avoids every register
+    /// (a combinational loop).
+    pub fn build(self) -> Result<SequentialDag, TimingError> {
+        let n = self.delays.len();
+        // Launch-side pseudo-node ids for registers, in node order.
+        let mut launch_of: Vec<Option<usize>> = vec![None; n];
+        let mut origin: Vec<u32> = (0..n as u32).collect();
+        let mut next = n;
+        for (node, reg) in self.registers.iter().enumerate() {
+            if reg.is_some() {
+                launch_of[node] = Some(next);
+                origin.push(node as u32);
+                next += 1;
+            }
+        }
+        let mut builder = TimingGraphBuilder::new(next);
+        for node in 0..n {
+            match self.registers[node] {
+                // Capture side carries the setup time, launch side clk-to-Q.
+                Some((clk_to_q, setup)) => {
+                    builder = builder.delay(node, setup)?;
+                    builder =
+                        builder.delay(launch_of[node].expect("register has launch node"), clk_to_q)?;
+                }
+                None => {
+                    builder = builder.delay(node, self.delays[node])?;
+                }
+            }
+        }
+        for &(from, to) in &self.edges {
+            // Register fanout leaves the launch side; register fanin enters
+            // the capture side (node id unchanged).
+            let src = launch_of[from as usize].unwrap_or(from as usize);
+            builder = builder.edge(src, to as usize)?;
+        }
+        let expanded = builder.build()?; // Cyclic ⇒ combinational loop.
+        Ok(SequentialDag {
+            expanded,
+            n,
+            origin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BudgetPolicy, SlackBudgeter, StaReport};
+
+    /// reg0 → logic1(3) → reg2 → logic3(2) → reg0.
+    fn loop_graph() -> SequentialDag {
+        SequentialGraphBuilder::new(4)
+            .register(0, 1, 1)
+            .unwrap()
+            .delay(1, 3)
+            .unwrap()
+            .register(2, 1, 1)
+            .unwrap()
+            .delay(3, 2)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(1, 2)
+            .unwrap()
+            .edge(2, 3)
+            .unwrap()
+            .edge(3, 0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_loop_becomes_a_dag() {
+        let dag = loop_graph();
+        assert_eq!(dag.len(), 4);
+        // Expanded: 4 original + 2 launch nodes.
+        assert_eq!(dag.expanded().len(), 6);
+        assert_eq!(dag.origin(4), 0);
+        assert_eq!(dag.origin(5), 2);
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        // 0 → 1 → 0 with no registers.
+        let r = SequentialGraphBuilder::new(2)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 1)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(1, 0)
+            .unwrap()
+            .build();
+        assert_eq!(r.unwrap_err(), TimingError::Cyclic);
+    }
+
+    #[test]
+    fn critical_paths_are_register_to_register() {
+        let dag = loop_graph();
+        // Stage A: launch(reg0)=1 → logic1(3) → capture(reg2) setup 1: 5.
+        // Stage B: launch(reg2)=1 → logic3(2) → capture(reg0) setup 1: 4.
+        let sta = StaReport::zero_routing(dag.expanded(), 10).unwrap();
+        assert_eq!(sta.critical_path, 5);
+        assert!(StaReport::zero_routing(dag.expanded(), 4).is_err());
+    }
+
+    #[test]
+    fn constraints_map_back_to_original_nodes() {
+        let dag = loop_graph();
+        let tc = dag
+            .derive_constraints(&SlackBudgeter::new(BudgetPolicy::ZeroSlack), 9)
+            .unwrap();
+        // Four wires: reg0→logic1, logic1→reg2, reg2→logic3, logic3→reg0.
+        assert_eq!(tc.len(), 4);
+        assert_eq!(tc.component_count(), 4);
+        // Stage A slack = 9−5 = 4 over two wires; stage B slack 5 over two.
+        let a1 = tc.get(ComponentId::new(0), ComponentId::new(1)).unwrap();
+        let a2 = tc.get(ComponentId::new(1), ComponentId::new(2)).unwrap();
+        assert_eq!(a1 + a2, 4);
+        let b1 = tc.get(ComponentId::new(2), ComponentId::new(3)).unwrap();
+        let b2 = tc.get(ComponentId::new(3), ComponentId::new(0)).unwrap();
+        assert_eq!(b1 + b2, 5);
+    }
+
+    #[test]
+    fn register_validation() {
+        assert!(matches!(
+            SequentialGraphBuilder::new(2).register(5, 1, 1),
+            Err(TimingError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SequentialGraphBuilder::new(2).register(0, -1, 1),
+            Err(TimingError::NegativeDelay { .. })
+        ));
+    }
+
+    #[test]
+    fn pure_combinational_graph_unchanged() {
+        // No registers: expanded == original shape.
+        let dag = SequentialGraphBuilder::new(3)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 2)
+            .unwrap()
+            .delay(2, 3)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(1, 2)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(dag.expanded().len(), 3);
+        assert_eq!(dag.expanded().edge_count(), 2);
+        let sta = StaReport::zero_routing(dag.expanded(), 10).unwrap();
+        assert_eq!(sta.critical_path, 6);
+    }
+}

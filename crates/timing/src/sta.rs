@@ -1,0 +1,193 @@
+//! Longest-path static timing analysis over a [`CombinationalDag`].
+
+use crate::{CombinationalDag, TimingError};
+use qbp_core::Delay;
+use serde::{Deserialize, Serialize};
+
+/// Arrival/required/slack report for one cycle-time target.
+///
+/// Conventions (block-level, edge-triggered boundary at both ends):
+///
+/// * `arrival[v]` — earliest time the *output* of `v` is stable, assuming
+///   primary inputs launch at 0 and routing takes the per-edge delay supplied
+///   to [`StaReport::with_edge_delays`] (zero for
+///   [`StaReport::zero_routing`]);
+/// * `required[v]` — latest time the output of `v` may stabilize such that
+///   all downstream logic still meets the cycle time;
+/// * edge slack of `(u, v)` — `required[v] − delay[v] − routing(u,v) −
+///   arrival[u]`: how much *additional* routing delay the wire `u → v` could
+///   absorb in isolation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaReport {
+    /// Arrival time at each node's output.
+    pub arrival: Vec<Delay>,
+    /// Required time at each node's output.
+    pub required: Vec<Delay>,
+    /// The analyzed cycle time.
+    pub cycle_time: Delay,
+    /// Length of the longest pure-logic path (the critical path under the
+    /// analyzed routing delays).
+    pub critical_path: Delay,
+}
+
+impl StaReport {
+    /// Analyzes the DAG with zero routing delay on every edge — the
+    /// pure-logic view used to derive initial budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InfeasibleCycleTime`] when even zero routing
+    /// cannot meet `cycle_time`.
+    pub fn zero_routing(dag: &CombinationalDag, cycle_time: Delay) -> Result<Self, TimingError> {
+        StaReport::with_edge_delays(dag, cycle_time, |_, _| 0)
+    }
+
+    /// Analyzes the DAG with the given per-edge routing delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InfeasibleCycleTime`] when the longest path
+    /// (logic + routing) exceeds `cycle_time`.
+    pub fn with_edge_delays(
+        dag: &CombinationalDag,
+        cycle_time: Delay,
+        mut routing: impl FnMut(usize, usize) -> Delay,
+    ) -> Result<Self, TimingError> {
+        let n = dag.len();
+        let mut arrival = vec![0; n];
+        for v in dag.topo_order() {
+            let mut best = 0;
+            for u in dag.predecessors(v) {
+                best = best.max(arrival[u] + routing(u, v));
+            }
+            arrival[v] = best + dag.delay(v);
+        }
+        let critical_path = arrival.iter().copied().max().unwrap_or(0);
+        if critical_path > cycle_time {
+            return Err(TimingError::InfeasibleCycleTime {
+                critical_path,
+                cycle_time,
+            });
+        }
+        let mut required = vec![cycle_time; n];
+        let topo: Vec<usize> = dag.topo_order().collect();
+        for &v in topo.iter().rev() {
+            let mut best = cycle_time;
+            for s in dag.successors(v) {
+                best = best.min(required[s] - dag.delay(s) - routing(v, s));
+            }
+            required[v] = best;
+        }
+        Ok(StaReport {
+            arrival,
+            required,
+            cycle_time,
+            critical_path,
+        })
+    }
+
+    /// Slack of the edge `(u, v)` under zero extra routing: the largest
+    /// additional delay the wire could absorb in isolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node index is out of range for the report.
+    pub fn edge_slack(&self, dag: &CombinationalDag, u: usize, v: usize) -> Delay {
+        self.required[v] - dag.delay(v) - self.arrival[u]
+    }
+
+    /// Worst (smallest) node slack `required − arrival`.
+    pub fn worst_slack(&self) -> Delay {
+        self.required
+            .iter()
+            .zip(&self.arrival)
+            .map(|(r, a)| r - a)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimingGraphBuilder;
+
+    /// 0(1) → 1(5) → 3(1) and 0(1) → 2(2) → 3(1); cycle 10.
+    fn diamond() -> CombinationalDag {
+        TimingGraphBuilder::new(4)
+            .delay(0, 1)
+            .unwrap()
+            .delay(1, 5)
+            .unwrap()
+            .delay(2, 2)
+            .unwrap()
+            .delay(3, 1)
+            .unwrap()
+            .edge(0, 1)
+            .unwrap()
+            .edge(0, 2)
+            .unwrap()
+            .edge(1, 3)
+            .unwrap()
+            .edge(2, 3)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn arrival_and_required_on_diamond() {
+        let dag = diamond();
+        let sta = StaReport::zero_routing(&dag, 10).unwrap();
+        assert_eq!(sta.arrival, vec![1, 6, 3, 7]);
+        assert_eq!(sta.critical_path, 7);
+        // required[3] = 10; required[1] = 10-1=9; required[2] = 9;
+        // required[0] = min(9-5, 9-2) = 4.
+        assert_eq!(sta.required, vec![4, 9, 9, 10]);
+        assert_eq!(sta.worst_slack(), 3);
+    }
+
+    #[test]
+    fn edge_slack_reflects_path_slack() {
+        let dag = diamond();
+        let sta = StaReport::zero_routing(&dag, 10).unwrap();
+        // Critical path 0-1-3 has slack 3 total; edge (0,1): 9-5-1 = 3.
+        assert_eq!(sta.edge_slack(&dag, 0, 1), 3);
+        // Off-critical edge (0,2): 9-2-1 = 6.
+        assert_eq!(sta.edge_slack(&dag, 0, 2), 6);
+        assert_eq!(sta.edge_slack(&dag, 1, 3), 3);
+        assert_eq!(sta.edge_slack(&dag, 2, 3), 6);
+    }
+
+    #[test]
+    fn infeasible_cycle_time_detected() {
+        let dag = diamond();
+        assert!(matches!(
+            StaReport::zero_routing(&dag, 6),
+            Err(TimingError::InfeasibleCycleTime {
+                critical_path: 7,
+                cycle_time: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn routing_delays_shift_arrivals() {
+        let dag = diamond();
+        // Put 2 units of routing on (0,1).
+        let sta =
+            StaReport::with_edge_delays(&dag, 10, |u, v| if (u, v) == (0, 1) { 2 } else { 0 })
+                .unwrap();
+        assert_eq!(sta.arrival, vec![1, 8, 3, 9]);
+        assert_eq!(sta.worst_slack(), 1);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let dag = TimingGraphBuilder::new(1).delay(0, 4).unwrap().build().unwrap();
+        let sta = StaReport::zero_routing(&dag, 5).unwrap();
+        assert_eq!(sta.arrival, vec![4]);
+        assert_eq!(sta.required, vec![5]);
+        assert_eq!(sta.worst_slack(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Facade crate for the QBP partitioning suite: re-exports the problem model
+//! ([`qbp_core`]), the Quadratic-Boolean-Programming solver ([`qbp_solver`]),
+//! the GFM/GKL interchange baselines ([`qbp_baselines`]), the static-timing
+//! substrate ([`qbp_timing`]) and the instance generators ([`qbp_gen`]).
+//!
+//! This is a faithful, from-scratch reproduction of
+//! *Shih & Kuh, "Quadratic Boolean Programming for Performance-Driven System
+//! Partitioning"* (UCB/ERL M93/19; DAC 1993).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qbp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two components wired together, four partitions in a 2×2 grid.
+//! let mut circuit = Circuit::new();
+//! let a = circuit.add_component("a", 10);
+//! let b = circuit.add_component("b", 20);
+//! circuit.add_wires(a, b, 5)?;
+//!
+//! let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 25)?).build()?;
+//! let outcome = QbpSolver::new(QbpConfig::default()).solve(&problem, None)?;
+//! assert!(outcome.feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use qbp_baselines;
+pub use qbp_core;
+pub use qbp_gen;
+pub use qbp_solver;
+pub use qbp_timing;
+
+/// Convenient glob import for examples and applications.
+pub mod prelude {
+    pub use qbp_baselines::{BaselineOutcome, GfmConfig, GfmSolver, GklConfig, GklSolver};
+    pub use qbp_core::{
+        check_feasibility, deviation_cost_matrix, Assignment, Circuit, Component, ComponentId,
+        Cost, Delay, DenseMatrix, Error, Evaluator, PairIndex, PartitionId, PartitionTopology,
+        Problem, ProblemBuilder, QMatrix, Size, TimingConstraints, NO_CONSTRAINT,
+    };
+    pub use qbp_gen::{
+        build_instance, build_instance_with_witness, scaled_spec, CircuitSpec, ConstraintSampler,
+        SuiteOptions, SyntheticCircuit, PAPER_SUITE,
+    };
+    pub use qbp_solver::{
+        branch_and_bound, greedy_first_fit, random_assignment, scramble_feasible, BbOutcome,
+        EtaMode, PenaltyMode, QapConfig, QapSolver, QbpConfig, QbpOutcome, QbpSolver,
+    };
+    pub use qbp_timing::{
+        BudgetPolicy, CombinationalDag, SequentialDag, SequentialGraphBuilder, SlackBudgeter,
+        StaReport, TimingError, TimingGraphBuilder,
+    };
+}

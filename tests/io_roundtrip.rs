@@ -1,0 +1,74 @@
+//! Property test: arbitrary problems survive a `.qbp`-format round trip.
+
+use proptest::prelude::*;
+use qbp::prelude::*;
+use qbp_core::io::{parse_assignment, parse_problem, write_assignment, write_problem};
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (2usize..10, 2usize..6).prop_flat_map(|(n, m)| {
+        let edges = proptest::collection::vec(
+            ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 1i64..9),
+            0..20,
+        );
+        let cons = proptest::collection::vec(
+            ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 0i64..5),
+            0..10,
+        );
+        let sizes = proptest::collection::vec(1u64..40, n);
+        let with_linear = proptest::bool::ANY;
+        (Just((n, m)), edges, cons, sizes, with_linear).prop_map(
+            |((n, m), edges, cons, sizes, with_linear)| {
+                let mut circuit = Circuit::new();
+                for (j, &s) in sizes.iter().enumerate() {
+                    circuit.add_component(format!("c{j}"), s);
+                }
+                for ((a, b), w) in edges {
+                    circuit
+                        .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                        .expect("valid pair");
+                }
+                let mut tc = TimingConstraints::new(n);
+                for ((a, b), dc) in cons {
+                    tc.add(ComponentId::new(a), ComponentId::new(b), dc)
+                        .expect("valid pair");
+                }
+                let total: u64 = sizes.iter().sum();
+                let topology = PartitionTopology::grid(1, m, total).expect("grid");
+                let mut builder = ProblemBuilder::new(circuit, topology).timing(tc).scales(2, 3);
+                if with_linear {
+                    let p = DenseMatrix::from_fn(m, n, |i, j| ((i * 13 + j * 7) % 23) as Cost);
+                    builder = builder.linear_cost(p);
+                }
+                builder.build().expect("valid problem")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn problem_round_trips_through_text(problem in arb_problem()) {
+        let text = write_problem(&problem);
+        let back = parse_problem(&text).expect("writer output must parse");
+        prop_assert_eq!(&back, &problem);
+        // And the round-tripped problem evaluates identically.
+        let asg = Assignment::all_in_first(problem.n());
+        prop_assert_eq!(
+            Evaluator::new(&back).cost(&asg),
+            Evaluator::new(&problem).cost(&asg)
+        );
+    }
+
+    #[test]
+    fn assignment_round_trips_through_text(
+        problem in arb_problem(),
+        seed in 0u64..1000,
+    ) {
+        let asg = random_assignment(problem.n(), problem.m(), seed);
+        let text = write_assignment(&problem, &asg);
+        let back = parse_assignment(&text, &problem, false).expect("writer output must parse");
+        prop_assert_eq!(back, asg);
+    }
+}
