@@ -72,6 +72,17 @@ struct AppliedMove {
     from: PartitionId,
 }
 
+/// Per-pass buffers reused across all passes of one `solve` call, so the
+/// pass loop stops re-allocating the gain heap and its side tables after
+/// the first pass.
+#[derive(Debug, Default)]
+struct PassScratch {
+    heap: BinaryHeap<(GainKey, u32, u32)>,
+    locked: Vec<bool>,
+    waiting: Vec<Vec<(u32, u32)>>,
+    applied: Vec<AppliedMove>,
+}
+
 impl GfmSolver {
     /// Creates a solver with the given configuration.
     pub fn new(config: GfmConfig) -> Self {
@@ -91,11 +102,12 @@ impl GfmSolver {
         let start = Instant::now();
         let eval = Evaluator::new(problem);
         let mut assignment = initial.clone();
+        let mut scratch = PassScratch::default();
         let mut passes = 0;
         let mut total_moves = 0;
         while passes < self.config.max_passes {
             passes += 1;
-            let (gain, moves) = self.run_pass(problem, &eval, &mut assignment);
+            let (gain, moves) = self.run_pass(problem, &eval, &mut assignment, &mut scratch);
             total_moves += moves;
             if gain <= 0 {
                 break;
@@ -117,14 +129,22 @@ impl GfmSolver {
         problem: &Problem,
         eval: &Evaluator<'_>,
         assignment: &mut Assignment,
+        scratch: &mut PassScratch,
     ) -> (i64, usize) {
         let m = problem.m();
         let n = problem.n();
         let mut usage = UsageTracker::new(problem, assignment);
-        let mut locked = vec![false; n];
+        let PassScratch {
+            heap,
+            locked,
+            waiting,
+            applied,
+        } = scratch;
+        locked.clear();
+        locked.resize(n, false);
         // Max-heap of candidate moves; keys refreshed lazily on pop and
         // eagerly for components affected by each applied move.
-        let mut heap: BinaryHeap<(GainKey, u32, u32)> = BinaryHeap::new();
+        heap.clear();
         let push_moves = |heap: &mut BinaryHeap<(GainKey, u32, u32)>,
                           assignment: &Assignment,
                           j: usize| {
@@ -137,13 +157,16 @@ impl GfmSolver {
             }
         };
         for j in 0..n {
-            push_moves(&mut heap, assignment, j);
+            push_moves(heap, assignment, j);
         }
         // Capacity-blocked candidates parked per target partition; revived
         // when that partition frees space.
-        let mut waiting: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+        for w in waiting.iter_mut() {
+            w.clear();
+        }
+        waiting.resize_with(m, Vec::new);
 
-        let mut applied: Vec<AppliedMove> = Vec::new();
+        applied.clear();
         let mut cum_gain: i64 = 0;
         let mut best_gain: i64 = 0;
         let mut best_len: usize = 0;
@@ -196,7 +219,7 @@ impl GfmSolver {
             // capacity-waiters of the freed partition.
             for k in affected_components(problem, cj) {
                 if !locked[k.index()] {
-                    push_moves(&mut heap, assignment, k.index());
+                    push_moves(heap, assignment, k.index());
                 }
             }
             for (wj, wi) in std::mem::take(&mut waiting[from.index()]) {

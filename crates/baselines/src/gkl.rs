@@ -183,8 +183,8 @@ impl GklSolver {
                 // Push this component's best current partner (top-1 refresh;
                 // stale entries for other partners are re-validated on pop).
                 let mut best_pair: Option<(i64, usize)> = None;
-                for l in 0..n {
-                    if l == k.index() || locked[l] {
+                for (l, &l_locked) in locked.iter().enumerate() {
+                    if l == k.index() || l_locked {
                         continue;
                     }
                     if assignment.part_index(l) == assignment.part_index(k.index()) {

@@ -1,0 +1,158 @@
+//! Performance snapshot: runs the scaled paper suite once, times each
+//! method, measures the serial-vs-parallel multistart speedup on one
+//! representative circuit, and writes everything to `BENCH_qbp.json`.
+//!
+//! Usage: `QBP_SCALE=0.25 cargo run -p qbp-bench --release --bin perf_snapshot`
+//!
+//! Environment:
+//! * `QBP_SCALE` — instance scale (this binary defaults to 0.25, not 1.0).
+//! * `QBP_SEED` — base seed (default 1993).
+//! * `QBP_BENCH_OUT` — output path (default `BENCH_qbp.json`).
+//!
+//! The snapshot is informational (CI runs it non-gating), but the binary
+//! does exit non-zero if the parallel multistart diverges from the serial
+//! one — that would be a determinism bug, not a performance regression.
+
+use qbp_bench::{default_methods, run_rows, CircuitRow, TableOptions};
+use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
+use qbp_solver::{QbpConfig, QbpSolver};
+use std::time::Instant;
+
+/// Multistart restarts benchmarked below.
+const MULTISTART_RUNS: usize = 8;
+/// Circuit used for the multistart speedup measurement (mid-sized so the
+/// snapshot stays quick while each run is long enough to amortize spawn
+/// cost).
+const MULTISTART_CIRCUIT: &str = "cktd";
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn rows_json(rows: &[CircuitRow]) -> String {
+    let mut out = String::from("[");
+    for (ri, row) in rows.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"circuit\": \"{}\", \"start_cost\": {}, \"methods\": [",
+            json_escape(&row.name),
+            row.start_cost
+        ));
+        for (mi, r) in row.results.iter().enumerate() {
+            if mi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"final_cost\": {}, \"improvement_pct\": {:.3}, \
+                 \"cpu_seconds\": {:.6}, \"feasible\": {}}}",
+                r.name, r.final_cost, r.improvement_pct, r.cpu_seconds, r.feasible
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+fn main() {
+    let mut opts = TableOptions::from_env();
+    if std::env::var("QBP_SCALE").is_err() {
+        opts.scale = 0.25;
+    }
+    let out_path =
+        std::env::var("QBP_BENCH_OUT").unwrap_or_else(|_| "BENCH_qbp.json".to_string());
+    let threads_available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let suite_options = SuiteOptions {
+        seed: opts.seed,
+        ..SuiteOptions::default()
+    };
+
+    eprintln!(
+        "perf_snapshot: scale {}, seed {}, {} core(s)",
+        opts.scale, opts.seed, threads_available
+    );
+
+    // Suite timings: every circuit (and within it, every method) runs
+    // concurrently, exactly like the table binaries.
+    let instances: Vec<_> = PAPER_SUITE
+        .iter()
+        .map(|spec| {
+            let spec = scaled_spec(spec, opts.scale);
+            let (problem, witness) =
+                build_instance_with_witness(&spec, &suite_options).expect("suite construction");
+            (spec, problem, witness)
+        })
+        .collect();
+    let circuits: Vec<_> = instances
+        .iter()
+        .map(|(spec, problem, witness)| (spec.name, problem, Some(witness)))
+        .collect();
+    let methods = default_methods();
+    let suite_t0 = Instant::now();
+    let rows = run_rows(&circuits, &methods, opts.seed).expect("suite rows");
+    let suite_seconds = suite_t0.elapsed().as_secs_f64();
+
+    // Multistart speedup: the same 8 restarts serially (threads = 1) and in
+    // parallel (threads = 0 → all cores); the winners must be bit-identical.
+    let (_, problem, _) = instances
+        .iter()
+        .find(|(spec, _, _)| spec.name == MULTISTART_CIRCUIT)
+        .expect("multistart circuit in suite");
+    let solver_for = |threads: usize| {
+        QbpSolver::new(QbpConfig {
+            seed: opts.seed,
+            threads,
+            ..QbpConfig::default()
+        })
+    };
+    let t0 = Instant::now();
+    let serial = solver_for(1)
+        .solve_multistart(problem, None, MULTISTART_RUNS)
+        .expect("serial multistart");
+    let serial_seconds = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = solver_for(0)
+        .solve_multistart(problem, None, MULTISTART_RUNS)
+        .expect("parallel multistart");
+    let parallel_seconds = t0.elapsed().as_secs_f64();
+    let bit_identical = serial.assignment == parallel.assignment
+        && serial.embedded_value == parallel.embedded_value
+        && serial.objective == parallel.objective
+        && serial.feasible == parallel.feasible
+        && serial.iterations == parallel.iterations;
+    let speedup = serial_seconds / parallel_seconds.max(1e-12);
+    eprintln!(
+        "multistart ({MULTISTART_CIRCUIT}, {MULTISTART_RUNS} runs): \
+         serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s, \
+         speedup {speedup:.2}x, bit_identical {bit_identical}"
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads_available\": {},\n  \
+         \"suite_wall_seconds\": {:.6},\n  \"tables\": {},\n  \"multistart\": {{\n    \
+         \"circuit\": \"{}\",\n    \"runs\": {},\n    \"serial_seconds\": {:.6},\n    \
+         \"parallel_seconds\": {:.6},\n    \"speedup\": {:.3},\n    \"bit_identical\": {}\n  }}\n}}\n",
+        opts.scale,
+        opts.seed,
+        threads_available,
+        suite_seconds,
+        rows_json(&rows),
+        MULTISTART_CIRCUIT,
+        MULTISTART_RUNS,
+        serial_seconds,
+        parallel_seconds,
+        speedup,
+        bit_identical
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("perf_snapshot: wrote {out_path}");
+
+    if !bit_identical {
+        eprintln!("error: parallel multistart diverged from serial (determinism bug)");
+        std::process::exit(1);
+    }
+}

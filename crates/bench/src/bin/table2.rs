@@ -5,7 +5,7 @@
 //! (set `QBP_SCALE=0.25` for a faster, proportionally scaled run).
 
 use qbp_bench::harness::print_table;
-use qbp_bench::{default_methods, run_circuit_with_fallback, TableOptions};
+use qbp_bench::{default_methods, run_rows, TableOptions};
 use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
 
 fn main() {
@@ -15,17 +15,22 @@ fn main() {
         ..SuiteOptions::default()
     };
     let methods = default_methods();
-    let mut rows = Vec::new();
-    for spec in &PAPER_SUITE {
-        let spec = scaled_spec(spec, opts.scale);
-        let (problem, witness) =
-            build_instance_with_witness(&spec, &suite_options).expect("suite construction");
-        // Table II relaxes the timing constraints.
-        let problem = problem.without_timing();
-        let row = run_circuit_with_fallback(spec.name, &problem, &methods, opts.seed, Some(&witness))
-            .expect("initial feasible solution");
-        rows.push(row);
-    }
+    // Table II relaxes the timing constraints.
+    let instances: Vec<_> = PAPER_SUITE
+        .iter()
+        .map(|spec| {
+            let spec = scaled_spec(spec, opts.scale);
+            let (problem, witness) =
+                build_instance_with_witness(&spec, &suite_options).expect("suite construction");
+            (spec, problem.without_timing(), witness)
+        })
+        .collect();
+    // All circuits run concurrently; rows come back in suite order.
+    let circuits: Vec<_> = instances
+        .iter()
+        .map(|(spec, problem, witness)| (spec.name, problem, Some(witness)))
+        .collect();
+    let rows = run_rows(&circuits, &methods, opts.seed).expect("initial feasible solution");
     print_table(
         &format!("II. Without Timing Constraints (scale {}):", opts.scale),
         &rows,

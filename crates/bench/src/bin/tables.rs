@@ -4,7 +4,7 @@
 //! Usage: `cargo run -p qbp-bench --release --bin tables`
 
 use qbp_bench::harness::print_table;
-use qbp_bench::{default_methods, run_circuit_with_fallback, TableOptions};
+use qbp_bench::{default_methods, run_rows, TableOptions};
 use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
 
 fn main() {
@@ -36,19 +36,23 @@ fn main() {
     println!();
 
     let methods = default_methods();
-    let mut rows2 = Vec::new();
-    let mut rows3 = Vec::new();
-    for (spec, problem, witness) in &instances {
-        let relaxed = problem.without_timing();
-        rows2.push(
-            run_circuit_with_fallback(spec.name, &relaxed, &methods, opts.seed, Some(witness))
-                .expect("table II row"),
-        );
-        rows3.push(
-            run_circuit_with_fallback(spec.name, problem, &methods, opts.seed, Some(witness))
-                .expect("table III row"),
-        );
-    }
+    // Table II relaxes the timing constraints; both tables' circuits run
+    // concurrently (rows come back in suite order regardless).
+    let relaxed: Vec<_> = instances
+        .iter()
+        .map(|(_, problem, _)| problem.without_timing())
+        .collect();
+    let circuits2: Vec<_> = instances
+        .iter()
+        .zip(&relaxed)
+        .map(|((spec, _, witness), problem)| (spec.name, problem, Some(witness)))
+        .collect();
+    let circuits3: Vec<_> = instances
+        .iter()
+        .map(|(spec, problem, witness)| (spec.name, problem, Some(witness)))
+        .collect();
+    let rows2 = run_rows(&circuits2, &methods, opts.seed).expect("table II rows");
+    let rows3 = run_rows(&circuits3, &methods, opts.seed).expect("table III rows");
     print_table("II. Without Timing Constraints:", &rows2);
     print_table("III. With Timing Constraints:", &rows3);
 }

@@ -160,9 +160,20 @@ pub fn run_circuit(
 /// [`run_circuit`] with a fallback initial solution (typically the suite's
 /// planted witness) used when the feasibility searchers fail.
 ///
+/// The methods run concurrently on a [`std::thread::scope`] (the `Problem`
+/// and the shared initial solution are borrowed by every worker); each
+/// method is itself deterministic, and results are collected in method
+/// order, so the row is identical to a serial execution apart from the
+/// per-method `cpu_seconds`.
+///
 /// # Errors
 ///
-/// Propagates initial-solution failure and solver configuration errors.
+/// Propagates initial-solution failure and solver configuration errors
+/// (lowest method index first).
+///
+/// # Panics
+///
+/// Panics if a method worker thread panics.
 pub fn run_circuit_with_fallback(
     name: &str,
     problem: &Problem,
@@ -174,31 +185,46 @@ pub fn run_circuit_with_fallback(
     debug_assert!(check_feasibility(problem, &initial).is_feasible());
     let eval = Evaluator::new(problem);
     let start_cost = eval.cost(&initial);
+    let outcomes: Vec<Result<(Cost, bool, f64), Error>> = std::thread::scope(|scope| {
+        let initial = &initial;
+        let handles: Vec<_> = methods
+            .iter()
+            .map(|method| {
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let (final_cost, feasible) = match method {
+                        Method::Qbp(config) => {
+                            let out = QbpSolver::new(*config).solve(problem, Some(initial))?;
+                            // The paper's protocol guarantees a feasible
+                            // answer exists (the start is feasible); keep the
+                            // better of incumbent and start.
+                            if out.feasible && out.objective <= start_cost {
+                                (out.objective, true)
+                            } else {
+                                (start_cost, true)
+                            }
+                        }
+                        Method::Gfm(config) => {
+                            let out = GfmSolver::new(*config).solve(problem, initial)?;
+                            (out.cost, check_feasibility(problem, &out.assignment).is_feasible())
+                        }
+                        Method::Gkl(config) => {
+                            let out = GklSolver::new(*config).solve(problem, initial)?;
+                            (out.cost, check_feasibility(problem, &out.assignment).is_feasible())
+                        }
+                    };
+                    Ok((final_cost, feasible, t0.elapsed().as_secs_f64()))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("method worker panicked"))
+            .collect()
+    });
     let mut results = Vec::with_capacity(methods.len());
-    for method in methods {
-        let t0 = Instant::now();
-        let (final_cost, feasible) = match method {
-            Method::Qbp(config) => {
-                let out = QbpSolver::new(*config).solve(problem, Some(&initial))?;
-                // The paper's protocol guarantees a feasible answer exists
-                // (the start is feasible); keep the better of incumbent and
-                // start.
-                if out.feasible && out.objective <= start_cost {
-                    (out.objective, true)
-                } else {
-                    (start_cost, true)
-                }
-            }
-            Method::Gfm(config) => {
-                let out = GfmSolver::new(*config).solve(problem, &initial)?;
-                (out.cost, check_feasibility(problem, &out.assignment).is_feasible())
-            }
-            Method::Gkl(config) => {
-                let out = GklSolver::new(*config).solve(problem, &initial)?;
-                (out.cost, check_feasibility(problem, &out.assignment).is_feasible())
-            }
-        };
-        let cpu_seconds = t0.elapsed().as_secs_f64();
+    for (method, outcome) in methods.iter().zip(outcomes) {
+        let (final_cost, feasible, cpu_seconds) = outcome?;
         let improvement_pct = if start_cost != 0 {
             100.0 * (start_cost - final_cost) as f64 / start_cost as f64
         } else {
@@ -216,6 +242,40 @@ pub fn run_circuit_with_fallback(
         name: name.to_string(),
         start_cost,
         results,
+    })
+}
+
+/// Runs [`run_circuit_with_fallback`] for every `(name, problem, fallback)`
+/// triple concurrently — one scoped worker per circuit, each of which fans
+/// its methods out in turn — and returns the rows in input order. Every row
+/// is deterministic, so the table is identical to a serial run apart from
+/// the per-method `cpu_seconds`.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) circuit's error.
+///
+/// # Panics
+///
+/// Panics if a circuit worker thread panics.
+pub fn run_rows(
+    circuits: &[(&str, &Problem, Option<&Assignment>)],
+    methods: &[Method],
+    seed: u64,
+) -> Result<Vec<CircuitRow>, Error> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = circuits
+            .iter()
+            .map(|&(name, problem, fallback)| {
+                scope.spawn(move || {
+                    run_circuit_with_fallback(name, problem, methods, seed, fallback)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("circuit worker panicked"))
+            .collect()
     })
 }
 

@@ -10,5 +10,5 @@ pub mod harness;
 
 pub use harness::{
     default_methods, initial_solution, print_table, run_circuit, run_circuit_with_fallback,
-    CircuitRow, Method, MethodResult, TableOptions,
+    run_rows, CircuitRow, Method, MethodResult, TableOptions,
 };

@@ -33,6 +33,11 @@ pub fn solve(args: &Args) -> CommandResult {
     let method = args.get("method").unwrap_or("qbp").to_lowercase();
     let iterations = args.get_parsed("iterations", 100usize, "an integer")?;
     let seed = args.get_parsed("seed", 1993u64, "an integer")?;
+    let runs = args.get_parsed("runs", 1usize, "an integer >= 1")?;
+    let threads = args.get_parsed("threads", 0usize, "an integer (0 = all cores)")?;
+    if runs == 0 {
+        return Err("--runs must be >= 1".into());
+    }
     let quiet = args.switch("quiet");
 
     let initial = match args.get("initial") {
@@ -46,12 +51,17 @@ pub fn solve(args: &Args) -> CommandResult {
     let eval = Evaluator::new(&problem);
     let (assignment, label) = match method.as_str() {
         "qbp" => {
-            let out = QbpSolver::new(QbpConfig {
+            let solver = QbpSolver::new(QbpConfig {
                 iterations,
                 seed,
+                threads,
                 ..QbpConfig::default()
-            })
-            .solve(&problem, initial.as_ref())?;
+            });
+            let out = if runs > 1 {
+                solver.solve_multistart(&problem, initial.as_ref(), runs)?
+            } else {
+                solver.solve(&problem, initial.as_ref())?
+            };
             if !out.feasible {
                 eprintln!(
                     "warning: QBP found no fully feasible solution; best has {} timing violation(s)",
@@ -312,6 +322,32 @@ timing alu cache 1
             let _ = fs::remove_file(out);
         }
         let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn solve_multistart_flags() {
+        let problem_path = temp_path("multistart.qbp");
+        let asg_path = temp_path("multistart.txt");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--iterations",
+            "20",
+            "--runs",
+            "4",
+            "--threads",
+            "2",
+            "--quiet",
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        assert!(solve(&args(&["solve", problem_path.to_str().expect("utf8"), "--runs", "0"]))
+            .is_err());
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(asg_path);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! qbp solve <problem.qbp> [--method qbp|gfm|gkl] [--iterations N]
-//!           [--seed S] [--initial assignment.txt] [--output assignment.txt]
+//!           [--seed S] [--runs R] [--threads T]
+//!           [--initial assignment.txt] [--output assignment.txt]
 //! qbp check <problem.qbp> <assignment.txt>
 //! qbp feasible <problem.qbp> [--seed S] [--output assignment.txt]
 //! qbp gen <ckta..cktg|qap> [--scale F] [--seed S] [--output problem.qbp]
@@ -23,7 +24,12 @@ qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
 
 USAGE:
   qbp solve <problem.qbp> [--method qbp|gfm|gkl] [--iterations N]
-            [--seed S] [--initial file] [--output file] [--quiet]
+            [--seed S] [--runs R] [--threads T]
+            [--initial file] [--output file] [--quiet]
+
+  --runs R     multistart restarts for --method qbp (winner is the best
+               run; deterministic for a fixed seed regardless of threads)
+  --threads T  worker threads for the multistart (0 = all cores)
   qbp check <problem.qbp> <assignment.txt>
   qbp feasible <problem.qbp> [--seed S] [--output file]
   qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]

@@ -48,7 +48,7 @@ impl SyntheticCircuit {
             locality: 0.8,
             neighbor_pool: 12,
             max_bundle: 4,
-            seed: 0x51_0C_EA_7,
+            seed: 0x0510_CEA7,
         }
     }
 

@@ -252,7 +252,7 @@ mod tests {
         .unwrap();
         // Unit capacities: the best feasible visit is a permutation-like
         // spread.
-        let mut counts = vec![0; 4];
+        let mut counts = [0; 4];
         for j in 0..3 {
             counts[out.assignment.part_index(j)] += 1;
         }

@@ -124,8 +124,8 @@ fn best_two(
     let size = inst.sizes[j];
     let mut best: Option<(usize, f64)> = None;
     let mut second = f64::INFINITY;
-    for i in 0..inst.m {
-        if remaining[i] < size {
+    for (i, &rem) in remaining.iter().enumerate() {
+        if rem < size {
             continue;
         }
         let f = match d {
@@ -145,26 +145,55 @@ fn best_two(
     best.map(|(i, f)| (i, f, second))
 }
 
-/// MTHG regret-greedy construction under one desirability; `None` when some
-/// job cannot be placed.
-fn mthg_greedy(inst: &GapInstance<'_>, d: Desirability) -> Option<Vec<u32>> {
+/// Reusable buffers for [`solve_gap_with`]. The QBP loop solves two GAPs per
+/// iteration, hundreds of iterations per run; keeping the heap and the
+/// working vectors alive across calls makes the subproblem solver
+/// allocation-free after warm-up (only the returned assignment is freshly
+/// allocated, because callers take ownership of it). Reuse never changes
+/// results: every buffer is fully reinitialized per construction.
+#[derive(Debug, Clone, Default)]
+pub struct GapScratch {
+    heap: BinaryHeap<(TotalF64, usize)>,
+    remaining: Vec<Size>,
+    slots: Vec<Option<u32>>,
+    candidate: Vec<u32>,
+    best: Vec<u32>,
+}
+
+/// MTHG regret-greedy construction under one desirability, writing the
+/// assignment into `out` and the post-construction remaining capacities into
+/// `remaining`; `false` when some job cannot be placed.
+fn mthg_greedy(
+    inst: &GapInstance<'_>,
+    d: Desirability,
+    heap: &mut BinaryHeap<(TotalF64, usize)>,
+    remaining: &mut Vec<Size>,
+    slots: &mut Vec<Option<u32>>,
+    out: &mut Vec<u32>,
+) -> bool {
     let n = inst.n;
-    let mut remaining = inst.capacities.to_vec();
-    let mut assignment: Vec<Option<u32>> = vec![None; n];
+    remaining.clear();
+    remaining.extend_from_slice(inst.capacities);
+    slots.clear();
+    slots.resize(n, None);
     // Max-heap on regret (second-best minus best); jobs with a single
     // feasible partition get infinite regret and are placed first.
-    let mut heap: BinaryHeap<(TotalF64, usize)> = BinaryHeap::new();
+    heap.clear();
     for j in 0..n {
-        let (_, best, second) = best_two(inst, &remaining, d, j)?;
+        let Some((_, best, second)) = best_two(inst, remaining, d, j) else {
+            return false;
+        };
         heap.push((TotalF64(second - best), j));
     }
     let mut placed = 0;
     while placed < n {
         let (TotalF64(cached), j) = heap.pop().expect("heap exhausted before all jobs placed");
-        if assignment[j].is_some() {
+        if slots[j].is_some() {
             continue;
         }
-        let (i, best, second) = best_two(inst, &remaining, d, j)?;
+        let Some((i, best, second)) = best_two(inst, remaining, d, j) else {
+            return false;
+        };
         let regret = second - best;
         // Lazy-heap validation: accept only if still at least as urgent as
         // the next candidate; otherwise re-queue with the fresh key.
@@ -175,11 +204,13 @@ fn mthg_greedy(inst: &GapInstance<'_>, d: Desirability) -> Option<Vec<u32>> {
             heap.push((TotalF64(regret), j));
             continue;
         }
-        assignment[j] = Some(i as u32);
+        slots[j] = Some(i as u32);
         remaining[i] -= inst.sizes[j];
         placed += 1;
     }
-    Some(assignment.into_iter().map(Option::unwrap).collect())
+    out.clear();
+    out.extend(slots.iter().map(|s| s.expect("all jobs placed")));
+    true
 }
 
 /// Shift-improvement: repeatedly move single components to cheaper feasible
@@ -192,13 +223,13 @@ fn improve_shifts(
 ) {
     for _ in 0..passes {
         let mut changed = false;
-        for j in 0..inst.n {
-            let cur = assignment[j] as usize;
+        for (j, slot) in assignment.iter_mut().enumerate() {
+            let cur = *slot as usize;
             let size = inst.sizes[j];
             let mut best_i = cur;
             let mut best_c = inst.cost(cur, j);
-            for i in 0..inst.m {
-                if i == cur || remaining[i] < size {
+            for (i, &rem) in remaining.iter().enumerate() {
+                if i == cur || rem < size {
                     continue;
                 }
                 let c = inst.cost(i, j);
@@ -210,7 +241,7 @@ fn improve_shifts(
             if best_i != cur {
                 remaining[cur] += size;
                 remaining[best_i] -= size;
-                assignment[j] = best_i as u32;
+                *slot = best_i as u32;
                 changed = true;
             }
         }
@@ -277,8 +308,8 @@ fn relaxed_fallback(inst: &GapInstance<'_>) -> Vec<u32> {
     for j in order {
         let size = inst.sizes[j] as i128;
         let mut best = (i128::MAX, f64::INFINITY, 0usize);
-        for i in 0..inst.m {
-            let overflow = (size - remaining[i]).max(0);
+        for (i, &rem) in remaining.iter().enumerate() {
+            let overflow = (size - rem).max(0);
             let c = inst.cost(i, j);
             if (overflow, c) < (best.0, best.1) {
                 best = (overflow, c, i);
@@ -301,36 +332,60 @@ fn relaxed_fallback(inst: &GapInstance<'_>) -> Vec<u32> {
 /// Panics if the instance's array lengths are inconsistent or any cost is
 /// NaN.
 pub fn solve_gap(inst: &GapInstance<'_>, config: &GapConfig) -> GapSolution {
+    solve_gap_with(inst, config, &mut GapScratch::default())
+}
+
+/// [`solve_gap`] with caller-owned scratch buffers — the allocation-free
+/// variant for hot loops. Results are identical to [`solve_gap`] regardless
+/// of the scratch's prior contents.
+///
+/// # Panics
+///
+/// Panics if the instance's array lengths are inconsistent or any cost is
+/// NaN.
+pub fn solve_gap_with(
+    inst: &GapInstance<'_>,
+    config: &GapConfig,
+    scratch: &mut GapScratch,
+) -> GapSolution {
     inst.validate();
     assert!(
         inst.costs.iter().all(|c| !c.is_nan()),
         "GAP costs must not be NaN"
     );
-    let mut best: Option<(f64, Vec<u32>)> = None;
+    let GapScratch {
+        heap,
+        remaining,
+        slots,
+        candidate,
+        best,
+    } = scratch;
+    let mut best_cost: Option<f64> = None;
     for d in [
         Desirability::Cost,
         Desirability::CostPerSize,
         Desirability::Slack,
     ] {
-        if let Some(mut assignment) = mthg_greedy(inst, d) {
-            let mut remaining: Vec<Size> = {
-                let rem = remaining_after(inst, &assignment);
-                debug_assert!(rem.iter().all(|&r| r >= 0));
-                rem.iter().map(|&r| r as Size).collect()
-            };
-            improve_shifts(inst, &mut assignment, &mut remaining, config.improvement_passes);
+        if mthg_greedy(inst, d, heap, remaining, slots, candidate) {
+            debug_assert_eq!(
+                remaining_after(inst, candidate),
+                remaining.iter().map(|&r| r as i128).collect::<Vec<_>>()
+            );
+            improve_shifts(inst, candidate, remaining, config.improvement_passes);
             if config.swap_improvement {
-                improve_swaps(inst, &mut assignment, &mut remaining);
+                improve_swaps(inst, candidate, remaining);
             }
-            let cost = total_cost(inst, &assignment);
-            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
-                best = Some((cost, assignment));
+            let cost = total_cost(inst, candidate);
+            if best_cost.is_none_or(|bc| cost < bc) {
+                best_cost = Some(cost);
+                best.clear();
+                best.extend_from_slice(candidate);
             }
         }
     }
-    match best {
-        Some((cost, assignment)) => GapSolution {
-            assignment,
+    match best_cost {
+        Some(cost) => GapSolution {
+            assignment: std::mem::take(best),
             cost,
             feasible: true,
         },

@@ -51,8 +51,10 @@ mod qbp;
 
 pub use anneal::{AnnealConfig, AnnealSolver};
 pub use bb::{branch_and_bound, BbOutcome};
-pub use gap::{GapConfig, GapInstance, GapSolution};
+pub use gap::{GapConfig, GapInstance, GapScratch, GapSolution};
 pub use initial::{greedy_first_fit, random_assignment, repair_capacity, scramble_feasible};
 pub use lap::{solve_lap, solve_lap_int, LapSolution};
 pub use qap::{QapConfig, QapSolver};
-pub use qbp::{EtaMode, IterationStats, PenaltyMode, QbpConfig, QbpOutcome, QbpSolver};
+pub use qbp::{
+    EtaMode, IterationStats, PenaltyMode, QbpConfig, QbpOutcome, QbpSolver, SolveWorkspace,
+};

@@ -116,7 +116,8 @@ impl QapSolver {
         let mut eta: Vec<Cost> = Vec::new();
         // LAP cost layout: rows = components, cols = partitions.
         let mut lap_costs = vec![0f64; n * n];
-        let mut recent: Vec<u64> = Vec::with_capacity(crate::qbp::STALL_WINDOW);
+        let mut recent: std::collections::VecDeque<u64> =
+            std::collections::VecDeque::with_capacity(crate::qbp::STALL_WINDOW);
 
         for _ in 0..self.config.iterations {
             q.eta(&u, &mut eta);
@@ -158,9 +159,9 @@ impl QapSolver {
                 }
             } else {
                 if recent.len() >= crate::qbp::STALL_WINDOW {
-                    recent.remove(0);
+                    recent.pop_front();
                 }
-                recent.push(fingerprint);
+                recent.push_back(fingerprint);
                 u = next;
             }
         }

@@ -17,12 +17,14 @@
 //!
 //! The paper runs 100 iterations per circuit; quality improves with more.
 
-use crate::gap::{solve_gap, GapConfig, GapInstance};
+use crate::gap::{solve_gap_with, GapConfig, GapInstance, GapScratch};
 use qbp_core::{
     check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, Problem, QMatrix,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// How the timing-violation penalty embedded in `Q̂` is chosen.
@@ -87,6 +89,11 @@ pub struct QbpConfig {
     pub repair_candidates: bool,
     /// Record per-iteration statistics in [`QbpOutcome::history`].
     pub track_history: bool,
+    /// Worker threads for [`QbpSolver::solve_multistart`]: `0` (default)
+    /// spawns one per available core, `1` forces the serial path, higher
+    /// values cap the pool. The answer is bit-identical for every setting —
+    /// runs are independent and the winner is reduced in run order.
+    pub threads: usize,
 }
 
 impl Default for QbpConfig {
@@ -101,7 +108,43 @@ impl Default for QbpConfig {
             restart_on_stall: true,
             repair_candidates: true,
             track_history: false,
+            threads: 0,
         }
+    }
+}
+
+/// Reusable buffers for [`QbpSolver::solve_with`]: the η cache with the
+/// assignment it linearizes (enabling [`QMatrix::eta_update`]'s incremental
+/// patch), the `f64` mirror handed to the GAP solver, the accumulated
+/// direction `h`, the stall-detection fingerprint window, and scratch for the
+/// GAP and descent subroutines. After the first iteration warms the buffers,
+/// the solver's inner loop performs no heap allocation beyond the `O(N)`
+/// assignment clones it hands to the incumbent bookkeeping.
+///
+/// A workspace may be reused across solves (the multistart driver runs many
+/// seeds through one workspace per worker); results are bit-identical to
+/// solving with a fresh workspace because the η cache records exactly which
+/// assignment it reflects and every other buffer is reinitialized per solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    eta: Vec<Cost>,
+    /// The assignment `eta` currently linearizes; `None` when the cache is
+    /// cold.
+    eta_source: Option<Assignment>,
+    /// Balas–Mazzola variant scratch: raw η plus the ω diagonal. Kept apart
+    /// so the incremental cache in `eta` stays pristine.
+    eta_bm: Vec<Cost>,
+    eta_f: Vec<f64>,
+    h: Vec<f64>,
+    recent: VecDeque<u64>,
+    gap: GapScratch,
+    descent: DescentScratch,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -203,6 +246,24 @@ impl QbpSolver {
         problem: &Problem,
         initial: Option<&Assignment>,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_with(problem, initial, &mut SolveWorkspace::new())
+    }
+
+    /// [`QbpSolver::solve`] with caller-owned scratch buffers — the
+    /// allocation-free variant for drivers that solve many times (multistart,
+    /// benchmarks). The outcome is bit-identical to [`QbpSolver::solve`]
+    /// regardless of the workspace's prior contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the initial assignment does not match the
+    /// problem's dimensions or the penalty configuration is invalid.
+    pub fn solve_with(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        ws: &mut SolveWorkspace,
+    ) -> Result<QbpOutcome, Error> {
         let start = Instant::now();
         let q = self.build_qmatrix(problem)?;
         let eval = Evaluator::new(problem);
@@ -252,29 +313,46 @@ impl QbpSolver {
             }
         }
 
-        let mut h = vec![0f64; m * n];
-        let mut eta: Vec<Cost> = Vec::new();
-        let mut eta_f: Vec<f64> = vec![0.0; m * n];
+        let mn = m * n;
+        ws.h.clear();
+        ws.h.resize(mn, 0.0);
+        ws.eta_f.clear();
+        ws.eta_f.resize(mn, 0.0);
+        ws.recent.clear();
         let mut history = Vec::new();
-        let mut recent: Vec<u64> = Vec::with_capacity(STALL_WINDOW);
 
         for k in 1..=self.config.iterations {
-            // STEP 3.
-            q.eta(&u, &mut eta);
-            if self.config.eta_mode == EtaMode::BalasMazzola {
+            // STEP 3: the η cache records which assignment it linearizes, so
+            // successive iterates pay only for the components that moved
+            // (bit-identical to a fresh computation; see
+            // [`QMatrix::eta_update`]).
+            match ws.eta_source.as_ref() {
+                Some(prev) => {
+                    q.eta_update(prev, &u, &mut ws.eta);
+                }
+                None => q.eta(&u, &mut ws.eta),
+            }
+            let eta_k: &[Cost] = if self.config.eta_mode == EtaMode::BalasMazzola {
+                // The ω diagonal is iterate-dependent; add it on a scratch
+                // copy so the incremental cache stays the raw η.
+                ws.eta_bm.clear();
+                ws.eta_bm.extend_from_slice(&ws.eta);
                 for j in 0..n {
                     let r = u.part_index(j) + j * m;
-                    eta[r] += omega[r];
+                    ws.eta_bm[r] += omega[r];
                 }
-            }
+                &ws.eta_bm
+            } else {
+                &ws.eta
+            };
             let xi = q.xi(&omega, &u);
-            for (dst, &src) in eta_f.iter_mut().zip(eta.iter()) {
+            for (dst, &src) in ws.eta_f.iter_mut().zip(eta_k.iter()) {
                 *dst = src as f64;
             }
             let inst = GapInstance {
                 m,
                 n,
-                costs: &eta_f,
+                costs: &ws.eta_f,
                 sizes: &sizes,
                 capacities: &capacities,
             };
@@ -283,34 +361,37 @@ impl QbpSolver {
             // optimally against the current iterate" — evaluating it for the
             // incumbent is nearly free and often catches consistent
             // (timing-clean) solutions the h-driven STEP 6 skips past.
-            let step4 = solve_gap(&inst, &gap_config);
+            let step4 = solve_gap_with(&inst, &gap_config, &mut ws.gap);
             let z = step4.cost;
             if step4.feasible {
                 let mut step4_asg = Assignment::from_parts(step4.assignment)
                     .expect("GAP returns one entry per component");
                 if self.config.repair_candidates && q.violation_count(&step4_asg) > 0 {
-                    embedded_descent(&q, &mut step4_asg, &sizes, &capacities, 4);
+                    embedded_descent(&q, &mut step4_asg, &sizes, &capacities, 4, &mut ws.descent);
                 }
                 let v4 = q.value(&step4_asg);
                 consider(&step4_asg, v4, &mut best);
                 if self.config.repair_candidates {
-                    promote_candidate(&q, &step4_asg, v4, &sizes, &capacities, &mut anchor, &mut best);
+                    promote_candidate(
+                        &q, &step4_asg, v4, &sizes, &capacities, &mut anchor, &mut best,
+                        &mut ws.descent,
+                    );
                 }
             }
             // STEP 5: accumulate direction.
             let scale = (z - xi as f64).abs().max(1.0);
-            for (hr, &e) in h.iter_mut().zip(eta.iter()) {
+            for (hr, &e) in ws.h.iter_mut().zip(eta_k.iter()) {
                 *hr += e as f64 / scale;
             }
             // STEP 6: next iterate from the accumulated direction.
             let h_inst = GapInstance {
                 m,
                 n,
-                costs: &h,
+                costs: &ws.h,
                 sizes: &sizes,
                 capacities: &capacities,
             };
-            let next = solve_gap(&h_inst, &gap_config);
+            let next = solve_gap_with(&h_inst, &gap_config, &mut ws.gap);
             let next_asg = Assignment::from_parts(next.assignment.clone())
                 .expect("GAP returns one entry per component");
             // STEP 7: track the best capacity-feasible iterate by yᵀQ̂y
@@ -322,15 +403,17 @@ impl QbpSolver {
                 if self.config.repair_candidates {
                     if q.violation_count(&next_asg) > 0 {
                         let mut polished = next_asg.clone();
-                        embedded_descent(&q, &mut polished, &sizes, &capacities, 4);
+                        embedded_descent(&q, &mut polished, &sizes, &capacities, 4, &mut ws.descent);
                         improved |= consider(&polished, q.value(&polished), &mut best);
                         let pv = q.value(&polished);
                         improved |= promote_candidate(
                             &q, &polished, pv, &sizes, &capacities, &mut anchor, &mut best,
+                            &mut ws.descent,
                         );
                     } else {
                         improved |= promote_candidate(
                             &q, &next_asg, value, &sizes, &capacities, &mut anchor, &mut best,
+                            &mut ws.descent,
                         );
                     }
                 }
@@ -349,21 +432,22 @@ impl QbpSolver {
                 });
             }
             let fingerprint = assignment_fingerprint(&next_asg);
-            if self.config.restart_on_stall && recent.contains(&fingerprint) {
+            if self.config.restart_on_stall && ws.recent.contains(&fingerprint) {
                 // Fixed point or short cycle: η, h and the GAP answers would
                 // repeat. Diversify from a fresh random iterate; the
                 // incumbent is kept by STEP 7's bookkeeping.
-                h.fill(0.0);
-                recent.clear();
-                u = Assignment::from_fn(n, |_| {
+                ws.h.fill(0.0);
+                ws.recent.clear();
+                let fresh = Assignment::from_fn(n, |_| {
                     qbp_core::PartitionId::new(rng.random_range(0..m))
                 });
+                ws.eta_source = Some(std::mem::replace(&mut u, fresh));
             } else {
-                if recent.len() >= STALL_WINDOW {
-                    recent.remove(0);
+                if ws.recent.len() >= STALL_WINDOW {
+                    ws.recent.pop_front();
                 }
-                recent.push(fingerprint);
-                u = next_asg;
+                ws.recent.push_back(fingerprint);
+                ws.eta_source = Some(std::mem::replace(&mut u, next_asg));
             }
         }
 
@@ -385,12 +469,27 @@ impl QbpSolver {
 
     /// Runs [`QbpSolver::solve`] from `runs` different seeds and returns the
     /// best outcome (feasible outcomes strictly preferred; ties broken by
-    /// embedded value). The iteration budget of each run is the configured
-    /// one — total work scales linearly with `runs`.
+    /// embedded value, then by lowest run index). The iteration budget of
+    /// each run is the configured one — total work scales linearly with
+    /// `runs`.
+    ///
+    /// Runs are fanned across a [`std::thread::scope`] worker pool sized by
+    /// [`QbpConfig::threads`] (`0` = one worker per available core, capped at
+    /// `runs`). Each run is an independent deterministic solve of its derived
+    /// seed, workers claim run indices from a shared counter, and the winner
+    /// is reduced **in run order** after all runs complete — so the returned
+    /// outcome is bit-identical to the serial execution (`threads == 1`)
+    /// for any thread count, differing only in wall-clock `elapsed`.
     ///
     /// # Errors
     ///
-    /// Propagates the first solver error; `runs == 0` is an error.
+    /// Propagates the lowest-run-index solver error; `runs == 0` is an
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (which the solver itself never
+    /// does for validated inputs).
     pub fn solve_multistart(
         &self,
         problem: &Problem,
@@ -403,25 +502,90 @@ impl QbpSolver {
                 value: 0,
             });
         }
-        let mut best: Option<QbpOutcome> = None;
-        for r in 0..runs {
-            let config = QbpConfig {
-                seed: self.config.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9),
-                ..self.config
-            };
-            let out = QbpSolver::new(config).solve(problem, initial)?;
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    (out.feasible, std::cmp::Reverse(out.embedded_value))
-                        > (b.feasible, std::cmp::Reverse(b.embedded_value))
+        let threads = self.effective_threads(runs);
+        if threads <= 1 {
+            let mut ws = SolveWorkspace::new();
+            let mut best: Option<QbpOutcome> = None;
+            for r in 0..runs {
+                let out =
+                    QbpSolver::new(self.run_config(r)).solve_with(problem, initial, &mut ws)?;
+                if Self::outcome_improves(&out, best.as_ref()) {
+                    best = Some(out);
                 }
-            };
-            if better {
+            }
+            return Ok(best.expect("runs >= 1"));
+        }
+        let counter = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<QbpOutcome, Error>>> = Vec::new();
+        slots.resize_with(runs, || None);
+        std::thread::scope(|scope| {
+            let counter = &counter;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut ws = SolveWorkspace::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let r = counter.fetch_add(1, Ordering::Relaxed);
+                            if r >= runs {
+                                break;
+                            }
+                            let out = QbpSolver::new(self.run_config(r))
+                                .solve_with(problem, initial, &mut ws);
+                            local.push((r, out));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (r, out) in handle.join().expect("multistart worker panicked") {
+                    slots[r] = Some(out);
+                }
+            }
+        });
+        let mut best: Option<QbpOutcome> = None;
+        for slot in slots {
+            let out = slot.expect("every run index claimed exactly once")?;
+            if Self::outcome_improves(&out, best.as_ref()) {
                 best = Some(out);
             }
         }
         Ok(best.expect("runs >= 1"))
+    }
+
+    /// The per-run config of multistart run `r`: the same knobs under a
+    /// deterministically derived seed.
+    fn run_config(&self, r: usize) -> QbpConfig {
+        QbpConfig {
+            seed: self.config.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9),
+            ..self.config
+        }
+    }
+
+    /// The serial incumbent rule: feasible beats infeasible, then lower
+    /// embedded value wins; on full ties the earlier run is kept (callers
+    /// iterate in run order).
+    fn outcome_improves(out: &QbpOutcome, best: Option<&QbpOutcome>) -> bool {
+        match best {
+            None => true,
+            Some(b) => {
+                (out.feasible, std::cmp::Reverse(out.embedded_value))
+                    > (b.feasible, std::cmp::Reverse(b.embedded_value))
+            }
+        }
+    }
+
+    /// Resolves [`QbpConfig::threads`] against the machine and the run
+    /// count.
+    fn effective_threads(&self, runs: usize) -> usize {
+        let hw = match self.config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            t => t,
+        };
+        hw.min(runs).max(1)
     }
 
     /// Produces an initial *feasible* solution by solving the `B = 0`
@@ -463,48 +627,63 @@ impl QbpSolver {
         let mut u = Assignment::from_fn(n, |_| {
             qbp_core::PartitionId::new(rng.random_range(0..m))
         });
-        let mut eta: Vec<Cost> = Vec::new();
-        let mut eta_f: Vec<f64> = vec![0.0; m * n];
-        let mut recent: Vec<u64> = Vec::with_capacity(STALL_WINDOW);
+        let mut ws = SolveWorkspace::new();
+        ws.eta_f.resize(m * n, 0.0);
         let budget = self.config.iterations.max(30);
         for _ in 0..budget {
-            q.eta(&u, &mut eta);
-            for (dst, &src) in eta_f.iter_mut().zip(eta.iter()) {
+            match ws.eta_source.as_ref() {
+                Some(prev) => {
+                    q.eta_update(prev, &u, &mut ws.eta);
+                }
+                None => q.eta(&u, &mut ws.eta),
+            }
+            for (dst, &src) in ws.eta_f.iter_mut().zip(ws.eta.iter()) {
                 *dst = src as f64;
             }
             let inst = GapInstance {
                 m,
                 n,
-                costs: &eta_f,
+                costs: &ws.eta_f,
                 sizes: &sizes,
                 capacities: &capacities,
             };
-            let sol = solve_gap(&inst, &gap_config);
+            let sol = solve_gap_with(&inst, &gap_config, &mut ws.gap);
             let mut next = Assignment::from_parts(sol.assignment)
                 .expect("GAP returns one entry per component");
             if sol.feasible
                 && (q.violation_count(&next) == 0
-                    || embedded_descent(&q, &mut next, &sizes, &capacities, 12))
+                    || embedded_descent(&q, &mut next, &sizes, &capacities, 12, &mut ws.descent))
             {
                 debug_assert!(check_feasibility(problem, &next).is_feasible());
                 return Ok(Some(next));
             }
             let fp = assignment_fingerprint(&next);
-            if recent.contains(&fp) {
-                recent.clear();
-                u = Assignment::from_fn(n, |_| {
+            if ws.recent.contains(&fp) {
+                ws.recent.clear();
+                let fresh = Assignment::from_fn(n, |_| {
                     qbp_core::PartitionId::new(rng.random_range(0..m))
                 });
+                ws.eta_source = Some(std::mem::replace(&mut u, fresh));
             } else {
-                if recent.len() >= STALL_WINDOW {
-                    recent.remove(0);
+                if ws.recent.len() >= STALL_WINDOW {
+                    ws.recent.pop_front();
                 }
-                recent.push(fp);
-                u = next;
+                ws.recent.push_back(fp);
+                ws.eta_source = Some(std::mem::replace(&mut u, next));
             }
         }
         Ok(None)
     }
+}
+
+/// Scratch buffers for the descent and projection helpers, reused across the
+/// hundreds of polish calls a solve makes. Every buffer is reinitialized on
+/// entry, so reuse never changes results.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DescentScratch {
+    used: Vec<u64>,
+    blocked: Vec<bool>,
+    hot: Vec<bool>,
 }
 
 /// Sequential coordinate descent on the embedded objective `yᵀQ̂y`:
@@ -520,8 +699,9 @@ pub(crate) fn embedded_descent(
     sizes: &[u64],
     capacities: &[u64],
     max_sweeps: usize,
+    scratch: &mut DescentScratch,
 ) -> bool {
-    descent_impl(q, asg, sizes, capacities, max_sweeps, false)
+    descent_impl(q, asg, sizes, capacities, max_sweeps, false, scratch)
 }
 
 /// [`embedded_descent`] restricted to timing-clean transitions: every
@@ -535,10 +715,12 @@ pub(crate) fn clean_descent(
     sizes: &[u64],
     capacities: &[u64],
     max_sweeps: usize,
+    scratch: &mut DescentScratch,
 ) -> bool {
-    descent_impl(q, asg, sizes, capacities, max_sweeps, true)
+    descent_impl(q, asg, sizes, capacities, max_sweeps, true, scratch)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descent_impl(
     q: &QMatrix<'_>,
     asg: &mut Assignment,
@@ -546,11 +728,14 @@ fn descent_impl(
     capacities: &[u64],
     max_sweeps: usize,
     clean_only: bool,
+    scratch: &mut DescentScratch,
 ) -> bool {
     let problem = q.problem();
     let m = problem.m();
     let n = problem.n();
-    let mut used = vec![0u64; m];
+    let DescentScratch { used, blocked, hot } = scratch;
+    used.clear();
+    used.resize(m, 0);
     for (j, &s) in sizes.iter().enumerate() {
         used[asg.part_index(j)] += s;
     }
@@ -560,7 +745,8 @@ fn descent_impl(
         // Move phase. `blocked[j]` records an improving move that failed
         // only on capacity — those components are the swap candidates in
         // clean mode.
-        let mut blocked = vec![false; n];
+        blocked.clear();
+        blocked.resize(n, false);
         for j in 0..n {
             let cj = ComponentId::new(j);
             let cur = asg.part_index(j);
@@ -596,7 +782,8 @@ fn descent_impl(
         // constraint (single moves cannot realize "two components trade
         // places" under tight capacities); in clean mode, components whose
         // improving move was capacity-blocked.
-        let mut hot = blocked;
+        hot.clear();
+        hot.extend_from_slice(blocked);
         if !clean_only {
             for (a, b, limit) in problem.timing().iter() {
                 if d[(asg.part_index(a.index()), asg.part_index(b.index()))] > limit {
@@ -661,6 +848,7 @@ fn promote_candidate(
     capacities: &[u64],
     anchor: &mut Option<(Assignment, Cost)>,
     best: &mut Option<(Assignment, Cost)>,
+    scratch: &mut DescentScratch,
 ) -> bool {
     if q.violation_count(candidate) == 0 {
         if anchor.as_ref().is_none_or(|(_, av)| value < *av) {
@@ -674,7 +862,7 @@ fn promote_candidate(
             .is_none_or(|(_, bv)| value <= bv.saturating_add(bv / 10));
         if near_incumbent {
             let mut polished = candidate.clone();
-            clean_descent(q, &mut polished, sizes, capacities, 2);
+            clean_descent(q, &mut polished, sizes, capacities, 2, scratch);
             let v = q.value(&polished);
             let mut improved = false;
             if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
@@ -691,8 +879,8 @@ fn promote_candidate(
     let Some((anchor_asg, _)) = anchor.clone() else {
         return false;
     };
-    let mut projected = project_toward(q, &anchor_asg, candidate, sizes, capacities);
-    clean_descent(q, &mut projected, sizes, capacities, 3);
+    let mut projected = project_toward(q, &anchor_asg, candidate, sizes, capacities, scratch);
+    clean_descent(q, &mut projected, sizes, capacities, 3, scratch);
     let v = q.value(&projected);
     let mut improved = false;
     if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
@@ -717,31 +905,33 @@ pub(crate) fn project_toward(
     target: &Assignment,
     sizes: &[u64],
     capacities: &[u64],
+    scratch: &mut DescentScratch,
 ) -> Assignment {
     let problem = q.problem();
     let m = problem.m();
-    let n = problem.n();
     let mut asg = base.clone();
-    let mut used = vec![0u64; m];
+    let used = &mut scratch.used;
+    used.clear();
+    used.resize(m, 0);
     for (j, &s) in sizes.iter().enumerate() {
         used[asg.part_index(j)] += s;
     }
     // Two passes: capacity freed by earlier moves lets later ones land.
     for _ in 0..2 {
         let mut changed = false;
-        for j in 0..n {
+        for (j, &size) in sizes.iter().enumerate() {
             let cj = ComponentId::new(j);
             let cur = asg.part_index(j);
             let want = target.part_index(j);
-            if want == cur || used[want] + sizes[j] > capacities[want] {
+            if want == cur || used[want] + size > capacities[want] {
                 continue;
             }
             let pw = qbp_core::PartitionId::new(want);
             if !qbp_core::move_is_timing_feasible(problem, &asg, cj, pw) {
                 continue;
             }
-            used[cur] -= sizes[j];
-            used[want] += sizes[j];
+            used[cur] -= size;
+            used[want] += size;
             asg.move_to(cj, pw);
             changed = true;
         }
@@ -938,6 +1128,76 @@ mod tests {
         assert!(QbpSolver::default()
             .solve_multistart(&problem, None, 0)
             .is_err());
+    }
+
+    /// Field-wise equality excluding the wall-clock `elapsed`.
+    fn assert_same_outcome(a: &QbpOutcome, b: &QbpOutcome) {
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.embedded_value, b.embedded_value);
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.feasible, b.feasible);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn parallel_multistart_matches_serial_bit_for_bit() {
+        let problem = paper_problem(2);
+        let base = QbpConfig {
+            iterations: 12,
+            seed: 7,
+            track_history: true,
+            threads: 1,
+            ..QbpConfig::default()
+        };
+        let serial = QbpSolver::new(base).solve_multistart(&problem, None, 8).unwrap();
+        for threads in [2, 3, 4, 0] {
+            let par = QbpSolver::new(QbpConfig { threads, ..base })
+                .solve_multistart(&problem, None, 8)
+                .unwrap();
+            assert_same_outcome(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn parallel_multistart_matches_serial_under_balas_mazzola() {
+        // The Balas–Mazzola η variant exercises the workspace's ω-diagonal
+        // scratch copy; the guarantee must hold there too.
+        let problem = paper_problem(2);
+        let base = QbpConfig {
+            iterations: 10,
+            seed: 41,
+            eta_mode: EtaMode::BalasMazzola,
+            track_history: true,
+            threads: 1,
+            ..QbpConfig::default()
+        };
+        let serial = QbpSolver::new(base).solve_multistart(&problem, None, 5).unwrap();
+        let par = QbpSolver::new(QbpConfig { threads: 4, ..base })
+            .solve_multistart(&problem, None, 5)
+            .unwrap();
+        assert_same_outcome(&par, &serial);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let problem = paper_problem(2);
+        let config = QbpConfig {
+            iterations: 20,
+            seed: 3,
+            track_history: true,
+            ..QbpConfig::default()
+        };
+        let solver = QbpSolver::new(config);
+        let fresh = solver.solve(&problem, None).unwrap();
+        // Warm the workspace on a different seed (its η cache then reflects
+        // some unrelated assignment), then re-solve the original config.
+        let mut ws = SolveWorkspace::new();
+        QbpSolver::new(QbpConfig { seed: 1234, ..config })
+            .solve_with(&problem, None, &mut ws)
+            .unwrap();
+        let reused = solver.solve_with(&problem, None, &mut ws).unwrap();
+        assert_same_outcome(&fresh, &reused);
     }
 
     #[test]

@@ -203,13 +203,13 @@ impl SequentialGraphBuilder {
             }
         }
         let mut builder = TimingGraphBuilder::new(next);
-        for node in 0..n {
+        for (node, launch) in launch_of.iter().enumerate().take(n) {
             match self.registers[node] {
                 // Capture side carries the setup time, launch side clk-to-Q.
                 Some((clk_to_q, setup)) => {
                     builder = builder.delay(node, setup)?;
                     builder =
-                        builder.delay(launch_of[node].expect("register has launch node"), clk_to_q)?;
+                        builder.delay(launch.expect("register has launch node"), clk_to_q)?;
                 }
                 None => {
                     builder = builder.delay(node, self.delays[node])?;

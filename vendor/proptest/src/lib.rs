@@ -1,0 +1,644 @@
+//! Offline mini `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the proptest API its tests use: [`strategy::Strategy`] with
+//! `prop_map` / `prop_flat_map` / `prop_filter`, [`strategy::Just`], tuple
+//! and integer-range strategies, [`collection::vec`], [`bool::ANY`], the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the case number and the
+//!   deterministic per-test seed; re-running reproduces it exactly.
+//! * **Deterministic seeding.** Each test function derives its RNG seed from
+//!   its fully qualified name, so CI runs are reproducible and
+//!   `proptest-regressions` files are not consulted.
+//! * **Filters retry inline** (up to a large bounded number of attempts)
+//!   instead of feeding a global rejection budget.
+
+#![warn(missing_docs)]
+
+/// RNG + configuration + case loop.
+pub mod test_runner {
+    /// SplitMix64 step used for seeding.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic generator driving value generation (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            TestRng { s }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+
+        /// Uniform draw in `[0, span)`; `span > 0`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        /// Fair coin.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// FNV-1a hash of a test's fully qualified name → per-test seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before the test errors.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// Why a case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failing variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejecting variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives the case loop for one `proptest!` test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a deterministic per-test seed.
+        pub fn new(config: ProptestConfig, seed: u64) -> Self {
+            TestRunner { config, seed }
+        }
+
+        /// Runs `case` against `config.cases` freshly generated inputs.
+        ///
+        /// # Panics
+        ///
+        /// Panics (failing the enclosing `#[test]`) on the first
+        /// [`TestCaseError::Fail`], or when `prop_assume!` rejects more than
+        /// `config.max_global_rejects` draws.
+        pub fn run_cases<F: FnMut(&mut TestRng) -> TestCaseResult>(&mut self, mut case: F) {
+            let mut passed = 0u32;
+            let mut rejects = 0u32;
+            let mut draw = 0u64;
+            while passed < self.config.cases {
+                // Every draw gets its own stream so a rejected case does not
+                // shift later cases' inputs.
+                let mut rng = TestRng::seed_from_u64(self.seed ^ draw.wrapping_mul(0x9E37_79B9));
+                draw += 1;
+                match case(&mut rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= self.config.max_global_rejects,
+                            "proptest: too many prop_assume! rejections ({rejects})"
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed (case {passed}, draw {}, seed {:#x}): {msg}",
+                            draw - 1,
+                            self.seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Strategies: value generators plus the combinators the workspace uses.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// Bounded retries for `prop_filter` before the test errors out; the
+    /// workspace's filters (e.g. "no self loop") reject well under half of
+    /// draws, so hitting this bound indicates a broken predicate.
+    const MAX_FILTER_RETRIES: usize = 10_000;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Retains only values satisfying `pred`; re-draws otherwise.
+        fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: R,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let v = self.inner.new_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "proptest: filter `{}` rejected {MAX_FILTER_RETRIES} consecutive draws",
+                self.whence
+            );
+        }
+    }
+
+    /// Integer types drawable from a half-open range strategy.
+    pub trait RangeValue: Copy {
+        /// Uniform draw from `[lo, hi)`.
+        fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                #[allow(unused_comparisons)]
+                fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Phantom-typed helper for `any::<T>()`-style calls (unused by the
+    /// workspace today; kept so prelude imports stay source-compatible).
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+}
+
+/// `proptest::collection` — sized collections of strategy-generated values.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Number-of-elements specification accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is uniform over `size` (a `usize` for an exact length, or a
+    /// `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding a fair boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn name(pattern in strategy_expr, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        #[test]
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::seed_from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let __strategies = ($($strat,)+);
+            let mut __runner = $crate::test_runner::TestRunner::new(__config, __seed);
+            __runner.run_cases(|__rng| {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::new_value(&__strategies, __rng);
+                let mut __case = || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+}
+
+/// Fallible assertion: fails the current case (not the process) so the
+/// runner can report the case number and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __a,
+                    __b,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", __a, __b),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case's inputs; the runner draws a fresh case without
+/// counting it against the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        let s = (0usize..5, 10i64..20);
+        for _ in 0..200 {
+            let (a, b) = Strategy::new_value(&s, &mut rng);
+            assert!(a < 5);
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn filter_map_flat_map_compose() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        let s = (0usize..10, 0usize..10)
+            .prop_filter("no equal", |(a, b)| a != b)
+            .prop_map(|(a, b)| a + b)
+            .prop_flat_map(|sum| (Just(sum), 0usize..sum.max(1) + 1));
+        for _ in 0..100 {
+            let (sum, below) = Strategy::new_value(&s, &mut rng);
+            assert!(below <= sum.max(1));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        let exact = crate::collection::vec(0u32..4, 7usize);
+        let ranged = crate::collection::vec(0u32..4, 2usize..5);
+        for _ in 0..50 {
+            assert_eq!(Strategy::new_value(&exact, &mut rng).len(), 7);
+            let len = Strategy::new_value(&ranged, &mut rng).len();
+            assert!((2..5).contains(&len));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0usize..6, 0usize..6), c in 1u64..3) {
+            prop_assert!(a < 6);
+            prop_assert!(b < 6);
+            prop_assert!(c == 1 || c == 2);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(c, 0);
+            prop_assume!(a != b); // exercised; rejection must not fail
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_assertion_reports_case() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            ProptestConfig::with_cases(4),
+            0xDEAD,
+        );
+        runner.run_cases(|_rng| {
+            Err(TestCaseError::fail("forced"))
+        });
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small slice of the `rand` API it actually uses: a deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the
+//! [`SeedableRng::seed_from_u64`] constructor, the [`RngExt`] extension
+//! methods (`random`, `random_range`, `random_bool`), and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism is the contract: every generator here is a pure function of
+//! its seed, with no global or thread-local state, so solver runs and tests
+//! reproduce bit-identically across machines and thread schedules.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used for seed expansion (public-domain algorithm by
+/// Sebastiano Vigna).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+    /// a 256-bit-state generator with good statistical quality and a cheap
+    /// `next_u64`. Unlike upstream `rand`'s ChaCha-based `StdRng` it is not
+    /// cryptographically secure — solvers and tests here only need
+    /// determinism and uniformity.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Draws uniformly from `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                debug_assert!(span > 0, "empty range");
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64·span
+                // per draw, far below anything observable, and the mapping is
+                // a pure function of the stream.
+                let hi128 = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(hi128 as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Only reachable for 64-bit types covering the full domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                debug_assert!(span > 0, "empty range");
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(off as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = ((hi as i64).wrapping_sub(lo as i64) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Only reachable for 64-bit types covering the full domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait StandardRandom {
+    /// Draws a value from the standard distribution for the type.
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardRandom for f64 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardRandom for f32 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardRandom for bool {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardRandom for u64 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardRandom for u32 {
+    fn standard_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Extension methods mirroring `rand`'s `Rng`.
+pub trait RngExt: RngCore {
+    /// Draws a value from the type's standard distribution (`f64`/`f32` in
+    /// `[0, 1)`, uniform integers, fair `bool`).
+    fn random<T: StandardRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_random(self)
+    }
+
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Upstream-compatible alias: `rand::Rng` is the same extension trait.
+pub use self::RngExt as Rng;
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle, deterministic in the generator stream.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_half_open(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_half_open(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 2000.0;
+        assert!((0.4..0.6).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "seed 11 should permute");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([5u8].choose(&mut rng).is_some());
+    }
+}

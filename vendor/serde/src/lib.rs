@@ -1,0 +1,31 @@
+//! Offline facade for `serde`.
+//!
+//! The workspace's model types carry `#[derive(Serialize, Deserialize)]` so
+//! a structured wire format can be layered on later, but no code path
+//! serializes through serde today — `.qbp` files use a hand-rolled text
+//! format (`qbp_core::io`). This facade provides the trait names and no-op
+//! derive macros so those annotations compile without network access.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

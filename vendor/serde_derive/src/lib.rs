@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde` facade.
+//!
+//! The workspace annotates its model types with serde derives so a future
+//! wire format can be added without touching every struct, but nothing in
+//! the tree serializes through serde yet (the `.qbp` text format is
+//! hand-rolled). Offline builds therefore only need the *attribute* to
+//! expand to nothing; the `#[serde(...)]` helper attribute is accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
