@@ -58,6 +58,37 @@ pub fn require_feasible_start(problem: &Problem, initial: &Assignment) -> Result
     Ok(())
 }
 
+/// Derives a feasible starting assignment for a baseline run when the
+/// caller supplied none: a short `B = 0` Burkard phase first (it handles
+/// timing-constrained instances), then greedy first-fit as a fallback.
+/// This mirrors what the CLI's `qbp feasible` command does.
+///
+/// # Errors
+///
+/// Returns [`Error::InfeasibleStart`] when neither phase finds a
+/// violation-free assignment within its attempt budget.
+pub(crate) fn derive_start(problem: &Problem, seed: u64) -> Result<Assignment, Error> {
+    use qbp_solver::{greedy_first_fit, QbpConfig, QbpSolver};
+    if let Some(a) = QbpSolver::new(QbpConfig {
+        iterations: 60,
+        seed,
+        ..QbpConfig::default()
+    })
+    .find_feasible(problem)?
+    {
+        return Ok(a);
+    }
+    if let Some(a) = greedy_first_fit(problem, seed, 200) {
+        return Ok(a);
+    }
+    // Neither phase produced a start the interchange heuristics could use;
+    // report it in the same shape as a rejected explicit start.
+    Err(Error::InfeasibleStart {
+        capacity_violations: 0,
+        timing_violations: 0,
+    })
+}
+
 /// Components whose gains can change when `j` moves: `j`'s connection
 /// neighbors (both directions) and timing-constraint partners. `j` itself is
 /// excluded.

@@ -10,12 +10,14 @@
 //! pass. Passes repeat until no positive-gain prefix exists.
 
 use crate::common::{
-    affected_components, require_feasible_start, BaselineOutcome, GainKey,
+    affected_components, derive_start, require_feasible_start, BaselineOutcome, GainKey,
 };
 use qbp_core::{
     move_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionId, Problem,
     UsageTracker,
 };
+use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
+use qbp_solver::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -29,6 +31,10 @@ pub struct GfmConfig {
     /// Allow negative-gain moves inside a pass (best-prefix rollback
     /// recovers); disabling turns each pass into a plain greedy descent.
     pub hill_climbing: bool,
+    /// Seed for deriving a feasible start when [`Solver::solve`] is called
+    /// with `init = None`. The FM passes themselves are deterministic and
+    /// never draw from it.
+    pub seed: u64,
 }
 
 impl Default for GfmConfig {
@@ -36,6 +42,28 @@ impl Default for GfmConfig {
         GfmConfig {
             max_passes: usize::MAX,
             hill_climbing: true,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl Configure for GfmConfig {
+    fn apply_common(&mut self, opts: &CommonOpts) {
+        self.seed = opts.seed;
+        if let Some(iterations) = opts.iterations {
+            // The shared iteration budget maps to FM passes.
+            self.max_passes = iterations;
+        }
+        // No stall window (each pass must strictly improve, so the loop
+        // cannot cycle) and no internal threading.
+    }
+
+    fn common(&self) -> CommonOpts {
+        CommonOpts {
+            seed: self.seed,
+            iterations: Some(self.max_passes),
+            stall_window: None,
+            threads: 1,
         }
     }
 }
@@ -65,11 +93,12 @@ pub struct GfmSolver {
     config: GfmConfig,
 }
 
-/// One tentative move inside a pass, for rollback.
+/// One tentative move inside a pass, for rollback and event emission.
 #[derive(Debug, Clone, Copy)]
 struct AppliedMove {
     j: ComponentId,
     from: PartitionId,
+    gain: i64,
 }
 
 /// Per-pass buffers reused across all passes of one `solve` call, so the
@@ -98,23 +127,63 @@ impl GfmSolver {
     /// violation-free result), or a dimension error when it does not match
     /// the problem.
     pub fn solve(&self, problem: &Problem, initial: &Assignment) -> Result<BaselineOutcome, Error> {
+        self.solve_observed(problem, initial, &mut NoopObserver)
+    }
+
+    /// [`GfmSolver::solve`] plus observability: streams
+    /// [`SolveEvent`]s to `obs` — one `IterationStarted`/`IterationFinished`
+    /// pair per pass, and one `MoveEvaluated` per tentatively applied move
+    /// (emitted after the pass's best-prefix rollback, so `accepted` tells
+    /// whether the move was *retained*, not merely tried).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GfmSolver::solve`].
+    pub fn solve_observed(
+        &self,
+        problem: &Problem,
+        initial: &Assignment,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<BaselineOutcome, Error> {
         require_feasible_start(problem, initial)?;
         let start = Instant::now();
         let eval = Evaluator::new(problem);
         let mut assignment = initial.clone();
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Gfm,
+            components: problem.n(),
+            partitions: problem.m(),
+        });
         let mut scratch = PassScratch::default();
         let mut passes = 0;
         let mut total_moves = 0;
+        // Maintained incrementally from the retained gains so the per-pass
+        // IterationFinished value costs nothing extra.
+        let mut value = eval.cost(&assignment);
         while passes < self.config.max_passes {
             passes += 1;
-            let (gain, moves) = self.run_pass(problem, &eval, &mut assignment, &mut scratch);
+            obs.on_event(&SolveEvent::IterationStarted { iteration: passes });
+            let (gain, moves) =
+                self.run_pass(problem, &eval, &mut assignment, &mut scratch, passes, obs);
             total_moves += moves;
+            value -= gain;
+            obs.on_event(&SolveEvent::IterationFinished {
+                iteration: passes,
+                value,
+                feasible: true,
+                improved: gain > 0,
+            });
             if gain <= 0 {
                 break;
             }
         }
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations: passes,
+            value,
+            feasible: true,
+        });
         Ok(BaselineOutcome {
-            cost: eval.cost(&assignment),
+            cost: value,
             assignment,
             passes,
             moves_applied: total_moves,
@@ -130,6 +199,8 @@ impl GfmSolver {
         eval: &Evaluator<'_>,
         assignment: &mut Assignment,
         scratch: &mut PassScratch,
+        pass: usize,
+        obs: &mut dyn SolveObserver,
     ) -> (i64, usize) {
         let m = problem.m();
         let n = problem.n();
@@ -210,7 +281,7 @@ impl GfmSolver {
             assignment.move_to(cj, pi);
             locked[j] = true;
             cum_gain += gain;
-            applied.push(AppliedMove { j: cj, from });
+            applied.push(AppliedMove { j: cj, from, gain });
             if cum_gain > best_gain {
                 best_gain = cum_gain;
                 best_len = applied.len();
@@ -234,11 +305,54 @@ impl GfmSolver {
             }
         }
 
-        // Roll back to the best prefix.
+        // Roll back to the best prefix, then report every tentative move:
+        // `accepted` means "survived the rollback", the only acceptance
+        // notion FM has (moves are always applied first, judged later).
         for mv in applied[best_len..].iter().rev() {
             assignment.move_to(mv.j, mv.from);
         }
+        for (idx, mv) in applied.iter().enumerate() {
+            obs.on_event(&SolveEvent::MoveEvaluated {
+                iteration: pass,
+                kind: MoveKind::Shift,
+                delta: -mv.gain,
+                accepted: idx < best_len,
+            });
+        }
         (best_gain, best_len)
+    }
+}
+
+impl Solver for GfmSolver {
+    fn name(&self) -> &'static str {
+        "gfm"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let derived;
+        let start = match init {
+            Some(a) => a,
+            None => {
+                derived = derive_start(problem, self.config.seed)?;
+                &derived
+            }
+        };
+        let out = self.solve_observed(problem, start, obs)?;
+        Ok(SolveReport {
+            solver: "gfm",
+            moves_applied: moved_from(Some(start), &out.assignment),
+            objective: out.cost,
+            embedded_value: None,
+            feasible: true,
+            iterations: out.passes,
+            elapsed: out.elapsed,
+            assignment: out.assignment,
+        })
     }
 }
 

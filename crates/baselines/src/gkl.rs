@@ -9,10 +9,14 @@
 //! algorithm to terminate after the first 6 outer loops due to excessive CPU
 //! runtime"; that cutoff is the default here too.
 
-use crate::common::{affected_components, require_feasible_start, BaselineOutcome, GainKey};
+use crate::common::{
+    affected_components, derive_start, require_feasible_start, BaselineOutcome, GainKey,
+};
 use qbp_core::{
     swap_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, Problem, UsageTracker,
 };
+use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
+use qbp_solver::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -25,6 +29,10 @@ pub struct GklConfig {
     /// Allow negative-gain swaps inside a loop (best-prefix rollback
     /// recovers).
     pub hill_climbing: bool,
+    /// Seed for deriving a feasible start when [`Solver::solve`] is called
+    /// with `init = None`. The swap loops themselves are deterministic and
+    /// never draw from it.
+    pub seed: u64,
 }
 
 impl Default for GklConfig {
@@ -32,6 +40,28 @@ impl Default for GklConfig {
         GklConfig {
             max_outer_loops: 6,
             hill_climbing: true,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl Configure for GklConfig {
+    fn apply_common(&mut self, opts: &CommonOpts) {
+        self.seed = opts.seed;
+        if let Some(iterations) = opts.iterations {
+            // The shared iteration budget maps to KL outer loops.
+            self.max_outer_loops = iterations;
+        }
+        // No stall window (each outer loop must strictly improve, so the
+        // loop cannot cycle) and no internal threading.
+    }
+
+    fn common(&self) -> CommonOpts {
+        CommonOpts {
+            seed: self.seed,
+            iterations: Some(self.max_outer_loops),
+            stall_window: None,
+            threads: 1,
         }
     }
 }
@@ -76,22 +106,61 @@ impl GklSolver {
     /// Returns [`Error::InfeasibleStart`] when `initial` violates C1 or C2,
     /// or a dimension error when it does not match the problem.
     pub fn solve(&self, problem: &Problem, initial: &Assignment) -> Result<BaselineOutcome, Error> {
+        self.solve_observed(problem, initial, &mut NoopObserver)
+    }
+
+    /// [`GklSolver::solve`] plus observability: streams
+    /// [`SolveEvent`]s to `obs` — one `IterationStarted`/`IterationFinished`
+    /// pair per outer loop, and one `MoveEvaluated` (kind `swap`) per
+    /// tentatively applied swap, emitted after the loop's best-prefix
+    /// rollback so `accepted` tells whether the swap was *retained*.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GklSolver::solve`].
+    pub fn solve_observed(
+        &self,
+        problem: &Problem,
+        initial: &Assignment,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<BaselineOutcome, Error> {
         require_feasible_start(problem, initial)?;
         let start = Instant::now();
         let eval = Evaluator::new(problem);
         let mut assignment = initial.clone();
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Gkl,
+            components: problem.n(),
+            partitions: problem.m(),
+        });
         let mut outer = 0;
         let mut total_swaps = 0;
+        // Maintained incrementally from the retained gains so the per-loop
+        // IterationFinished value costs nothing extra.
+        let mut value = eval.cost(&assignment);
         while outer < self.config.max_outer_loops {
             outer += 1;
-            let (gain, swaps) = self.run_outer_loop(problem, &eval, &mut assignment);
+            obs.on_event(&SolveEvent::IterationStarted { iteration: outer });
+            let (gain, swaps) = self.run_outer_loop(problem, &eval, &mut assignment, outer, obs);
             total_swaps += swaps;
+            value -= gain;
+            obs.on_event(&SolveEvent::IterationFinished {
+                iteration: outer,
+                value,
+                feasible: true,
+                improved: gain > 0,
+            });
             if gain <= 0 {
                 break;
             }
         }
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations: outer,
+            value,
+            feasible: true,
+        });
         Ok(BaselineOutcome {
-            cost: eval.cost(&assignment),
+            cost: value,
             assignment,
             passes: outer,
             moves_applied: total_swaps,
@@ -107,6 +176,8 @@ impl GklSolver {
         problem: &Problem,
         eval: &Evaluator<'_>,
         assignment: &mut Assignment,
+        outer: usize,
+        obs: &mut dyn SolveObserver,
     ) -> (i64, usize) {
         let n = problem.n();
         let mut usage = UsageTracker::new(problem, assignment);
@@ -124,7 +195,7 @@ impl GklSolver {
             }
         }
 
-        let mut applied: Vec<(ComponentId, ComponentId)> = Vec::new();
+        let mut applied: Vec<(ComponentId, ComponentId, i64)> = Vec::new();
         let mut cum_gain: i64 = 0;
         let mut best_gain: i64 = 0;
         let mut best_len: usize = 0;
@@ -165,7 +236,7 @@ impl GklSolver {
             locked[j1] = true;
             locked[j2] = true;
             cum_gain += gain;
-            applied.push((c1, c2));
+            applied.push((c1, c2, gain));
             if cum_gain > best_gain {
                 best_gain = cum_gain;
                 best_len = applied.len();
@@ -202,11 +273,54 @@ impl GklSolver {
             }
         }
 
-        // Roll back to the best prefix.
-        for &(c1, c2) in applied[best_len..].iter().rev() {
+        // Roll back to the best prefix, then report every tentative swap:
+        // `accepted` means "survived the rollback", the only acceptance
+        // notion KL has (swaps are always applied first, judged later).
+        for &(c1, c2, _) in applied[best_len..].iter().rev() {
             assignment.swap(c1, c2);
         }
+        for (idx, &(_, _, gain)) in applied.iter().enumerate() {
+            obs.on_event(&SolveEvent::MoveEvaluated {
+                iteration: outer,
+                kind: MoveKind::Swap,
+                delta: -gain,
+                accepted: idx < best_len,
+            });
+        }
         (best_gain, best_len)
+    }
+}
+
+impl Solver for GklSolver {
+    fn name(&self) -> &'static str {
+        "gkl"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let derived;
+        let start = match init {
+            Some(a) => a,
+            None => {
+                derived = derive_start(problem, self.config.seed)?;
+                &derived
+            }
+        };
+        let out = self.solve_observed(problem, start, obs)?;
+        Ok(SolveReport {
+            solver: "gkl",
+            moves_applied: moved_from(Some(start), &out.assignment),
+            objective: out.cost,
+            embedded_value: None,
+            feasible: true,
+            iterations: out.passes,
+            elapsed: out.elapsed,
+            assignment: out.assignment,
+        })
     }
 }
 

@@ -1,0 +1,80 @@
+//! Method registry: construct any of the workspace's five solvers behind a
+//! `Box<dyn Solver>` from its stable name plus one shared option set.
+//!
+//! This is the piece that lets drivers (the CLI's `solve`, the bench
+//! harness, comparison scripts) stay method-agnostic: they parse a method
+//! string and a [`CommonOpts`], call [`build_solver`], and from then on only
+//! see the [`Solver`] trait. It lives here rather than in `qbp-solver`
+//! because the registry must know every implementation, including the
+//! baselines, and `qbp-baselines` already depends on `qbp-solver`.
+
+use crate::{GfmConfig, GfmSolver, GklConfig, GklSolver};
+use qbp_solver::{
+    AnnealConfig, AnnealSolver, CommonOpts, Configure, QapConfig, QapSolver, QbpConfig, QbpSolver,
+    Solver,
+};
+
+/// Every method name [`build_solver`] accepts, in the order the paper (and
+/// the CLI usage text) lists them.
+pub const SOLVER_NAMES: [&str; 5] = ["qbp", "qap", "gfm", "gkl", "anneal"];
+
+/// Builds the named solver with `opts` applied over its default
+/// configuration. Returns `None` for an unknown name; the caller owns the
+/// error message (the CLI lists [`SOLVER_NAMES`] in its usage text).
+///
+/// ```
+/// use qbp_baselines::registry::build_solver;
+/// use qbp_solver::CommonOpts;
+///
+/// let solver = build_solver("gkl", &CommonOpts::default()).expect("known method");
+/// assert_eq!(solver.name(), "gkl");
+/// assert!(build_solver("simplex", &CommonOpts::default()).is_none());
+/// ```
+pub fn build_solver(kind: &str, opts: &CommonOpts) -> Option<Box<dyn Solver>> {
+    match kind {
+        "qbp" => Some(Box::new(QbpSolver::new(
+            QbpConfig::default().with_common(opts),
+        ))),
+        "qap" => Some(Box::new(QapSolver::new(
+            QapConfig::default().with_common(opts),
+        ))),
+        "gfm" => Some(Box::new(GfmSolver::new(
+            GfmConfig::default().with_common(opts),
+        ))),
+        "gkl" => Some(Box::new(GklSolver::new(
+            GklConfig::default().with_common(opts),
+        ))),
+        "anneal" => Some(Box::new(AnnealSolver::new(
+            AnnealConfig::default().with_common(opts),
+        ))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_listed_name_and_rejects_others() {
+        for name in SOLVER_NAMES {
+            let solver = build_solver(name, &CommonOpts::default()).expect("listed name builds");
+            assert_eq!(solver.name(), name);
+        }
+        assert!(build_solver("", &CommonOpts::default()).is_none());
+        assert!(build_solver("QBP", &CommonOpts::default()).is_none());
+    }
+
+    #[test]
+    fn opts_reach_the_config() {
+        let opts = CommonOpts {
+            seed: 42,
+            iterations: Some(3),
+            ..CommonOpts::default()
+        };
+        // Round-trip through a config we can read back directly.
+        let config = GklConfig::default().with_common(&opts);
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.max_outer_loops, 3);
+    }
+}

@@ -1,8 +1,11 @@
 //! Performance snapshot: runs the scaled paper suite once, times each
-//! method, measures the serial-vs-parallel multistart speedup on one
-//! representative circuit, and writes everything to `BENCH_qbp.json`.
+//! method, measures the serial-vs-parallel multistart speedup and the
+//! observability layer's overhead on one representative circuit, and writes
+//! everything (including per-method event counters) to `BENCH_qbp.json`.
 //!
 //! Usage: `QBP_SCALE=0.25 cargo run -p qbp-bench --release --bin perf_snapshot`
+//! (or `--bin perf_snapshot -- --scale 0.25 --seed 7 --runs 8`; flags beat
+//! environment variables).
 //!
 //! Environment:
 //! * `QBP_SCALE` — instance scale (this binary defaults to 0.25, not 1.0).
@@ -14,16 +17,20 @@
 //! one — that would be a determinism bug, not a performance regression.
 
 use qbp_bench::{default_methods, run_rows, CircuitRow, TableOptions};
+use qbp_cli::args::Args;
 use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
-use qbp_solver::{QbpConfig, QbpSolver};
+use qbp_observe::{CounterSnapshot, CountersObserver, NoopObserver, SolveObserver};
+use qbp_solver::{QbpConfig, QbpSolver, SolveWorkspace};
 use std::time::Instant;
 
-/// Multistart restarts benchmarked below.
+/// Default multistart restarts benchmarked below (`--runs` overrides).
 const MULTISTART_RUNS: usize = 8;
-/// Circuit used for the multistart speedup measurement (mid-sized so the
-/// snapshot stays quick while each run is long enough to amortize spawn
-/// cost).
+/// Circuit used for the multistart-speedup and observer-overhead
+/// measurements (mid-sized so the snapshot stays quick while each run is
+/// long enough to amortize spawn cost).
 const MULTISTART_CIRCUIT: &str = "cktd";
+/// Repetitions per observer-overhead timing; the minimum is reported.
+const OVERHEAD_REPS: usize = 3;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -46,8 +53,13 @@ fn rows_json(rows: &[CircuitRow]) -> String {
             }
             out.push_str(&format!(
                 "{{\"name\": \"{}\", \"final_cost\": {}, \"improvement_pct\": {:.3}, \
-                 \"cpu_seconds\": {:.6}, \"feasible\": {}}}",
-                r.name, r.final_cost, r.improvement_pct, r.cpu_seconds, r.feasible
+                 \"cpu_seconds\": {:.6}, \"feasible\": {}, \"counters\": {}}}",
+                r.name,
+                r.final_cost,
+                r.improvement_pct,
+                r.cpu_seconds,
+                r.feasible,
+                r.counters.to_json()
             ));
         }
         out.push_str("]}");
@@ -56,11 +68,61 @@ fn rows_json(rows: &[CircuitRow]) -> String {
     out
 }
 
+/// Sums one method's counters across all circuits of the suite — the
+/// per-phase totals (η incremental vs. full, GAP calls, repairs, …) the
+/// snapshot surfaces at top level.
+fn aggregate_counters(rows: &[CircuitRow], method: &str) -> CounterSnapshot {
+    let mut total = CounterSnapshot::default();
+    for r in rows.iter().flat_map(|row| &row.results) {
+        if r.name != method {
+            continue;
+        }
+        let c = &r.counters;
+        total.solves += c.solves;
+        total.iterations += c.iterations;
+        total.eta_full += c.eta_full;
+        total.eta_incremental += c.eta_incremental;
+        total.gap_calls += c.gap_calls;
+        total.lap_calls += c.lap_calls;
+        total.infeasible_subproblems += c.infeasible_subproblems;
+        total.penalty_hits += c.penalty_hits;
+        total.repairs += c.repairs;
+        total.repairs_cleaned += c.repairs_cleaned;
+        total.stall_resets += c.stall_resets;
+        total.moves_accepted += c.moves_accepted;
+        total.moves_rejected += c.moves_rejected;
+        total.improvements += c.improvements;
+        total.runs += c.runs;
+    }
+    total
+}
+
 fn main() {
-    let mut opts = TableOptions::from_env();
-    if std::env::var("QBP_SCALE").is_err() {
+    let args = match Args::parse(std::env::args().skip(1), &[]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut opts = match TableOptions::from_env_and_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if std::env::var("QBP_SCALE").is_err() && args.get("scale").is_none() {
         opts.scale = 0.25;
     }
+    let multistart_runs = match args.runs() {
+        Ok(1) => MULTISTART_RUNS, // flag absent (or explicitly 1): default
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let out_path =
         std::env::var("QBP_BENCH_OUT").unwrap_or_else(|_| "BENCH_qbp.json".to_string());
     let threads_available = std::thread::available_parallelism()
@@ -77,7 +139,8 @@ fn main() {
     );
 
     // Suite timings: every circuit (and within it, every method) runs
-    // concurrently, exactly like the table binaries.
+    // concurrently, exactly like the table binaries. Counters ride along in
+    // each MethodResult.
     let instances: Vec<_> = PAPER_SUITE
         .iter()
         .map(|spec| {
@@ -95,8 +158,13 @@ fn main() {
     let suite_t0 = Instant::now();
     let rows = run_rows(&circuits, &methods, opts.seed).expect("suite rows");
     let suite_seconds = suite_t0.elapsed().as_secs_f64();
+    let qbp_totals = aggregate_counters(&rows, "QBP");
+    eprintln!(
+        "qbp phase totals: {} η patches / {} full recomputes, {} GAP calls, {} repairs",
+        qbp_totals.eta_incremental, qbp_totals.eta_full, qbp_totals.gap_calls, qbp_totals.repairs
+    );
 
-    // Multistart speedup: the same 8 restarts serially (threads = 1) and in
+    // Multistart speedup: the same restarts serially (threads = 1) and in
     // parallel (threads = 0 → all cores); the winners must be bit-identical.
     let (_, problem, _) = instances
         .iter()
@@ -111,12 +179,12 @@ fn main() {
     };
     let t0 = Instant::now();
     let serial = solver_for(1)
-        .solve_multistart(problem, None, MULTISTART_RUNS)
+        .solve_multistart(problem, None, multistart_runs)
         .expect("serial multistart");
     let serial_seconds = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let parallel = solver_for(0)
-        .solve_multistart(problem, None, MULTISTART_RUNS)
+        .solve_multistart(problem, None, multistart_runs)
         .expect("parallel multistart");
     let parallel_seconds = t0.elapsed().as_secs_f64();
     let bit_identical = serial.assignment == parallel.assignment
@@ -126,27 +194,67 @@ fn main() {
         && serial.iterations == parallel.iterations;
     let speedup = serial_seconds / parallel_seconds.max(1e-12);
     eprintln!(
-        "multistart ({MULTISTART_CIRCUIT}, {MULTISTART_RUNS} runs): \
+        "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
          serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s, \
          speedup {speedup:.2}x, bit_identical {bit_identical}"
     );
 
+    // Observer overhead: the identical solve with a no-op observer and with
+    // live counters; the event layer's contract is that watching costs
+    // (almost) nothing. Best-of-N to suppress scheduler noise.
+    let solver = solver_for(1);
+    let time_with = |obs: &mut dyn SolveObserver| -> f64 {
+        (0..OVERHEAD_REPS)
+            .map(|_| {
+                let mut ws = SolveWorkspace::new();
+                let t0 = Instant::now();
+                let out = solver
+                    .solve_observed(problem, None, &mut ws, obs)
+                    .expect("overhead solve");
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                dt
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let noop_seconds = time_with(&mut NoopObserver);
+    let mut counters = CountersObserver::new();
+    let counters_seconds = time_with(&mut counters);
+    let overhead_pct = 100.0 * (counters_seconds / noop_seconds.max(1e-12) - 1.0);
+    eprintln!(
+        "observer overhead ({MULTISTART_CIRCUIT}): noop {noop_seconds:.4}s, \
+         counters {counters_seconds:.4}s ({overhead_pct:+.2}%)"
+    );
+    if overhead_pct > 2.0 {
+        eprintln!("warning: counters overhead above the 2% budget (informational)");
+    }
+
     let json = format!(
         "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads_available\": {},\n  \
-         \"suite_wall_seconds\": {:.6},\n  \"tables\": {},\n  \"multistart\": {{\n    \
+         \"suite_wall_seconds\": {:.6},\n  \"tables\": {},\n  \
+         \"qbp_counter_totals\": {},\n  \"multistart\": {{\n    \
          \"circuit\": \"{}\",\n    \"runs\": {},\n    \"serial_seconds\": {:.6},\n    \
-         \"parallel_seconds\": {:.6},\n    \"speedup\": {:.3},\n    \"bit_identical\": {}\n  }}\n}}\n",
+         \"parallel_seconds\": {:.6},\n    \"speedup\": {:.3},\n    \"bit_identical\": {}\n  }},\n  \
+         \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
+         \"noop_seconds\": {:.6},\n    \"counters_seconds\": {:.6},\n    \
+         \"overhead_pct\": {:.3}\n  }}\n}}\n",
         opts.scale,
         opts.seed,
         threads_available,
         suite_seconds,
         rows_json(&rows),
+        qbp_totals.to_json(),
         MULTISTART_CIRCUIT,
-        MULTISTART_RUNS,
+        multistart_runs,
         serial_seconds,
         parallel_seconds,
         speedup,
-        bit_identical
+        bit_identical,
+        MULTISTART_CIRCUIT,
+        OVERHEAD_REPS,
+        noop_seconds,
+        counters_seconds,
+        overhead_pct
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("perf_snapshot: wrote {out_path}");

@@ -1,14 +1,24 @@
 //! Runs TABLE-I, TABLE-II and TABLE-III back to back — the full §5
-//! evaluation. `QBP_SCALE` scales the instances; `QBP_SEED` reseeds them.
+//! evaluation. `QBP_SCALE` scales the instances; `QBP_SEED` reseeds them;
+//! the `--scale` and `--seed` flags override both.
 //!
-//! Usage: `cargo run -p qbp-bench --release --bin tables`
+//! Usage: `cargo run -p qbp-bench --release --bin tables [-- --scale 0.5 --seed 7]`
 
 use qbp_bench::harness::print_table;
 use qbp_bench::{default_methods, run_rows, TableOptions};
+use qbp_cli::args::Args;
 use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
 
 fn main() {
-    let opts = TableOptions::from_env();
+    let opts = Args::parse(std::env::args().skip(1), &[])
+        .and_then(|args| TableOptions::from_env_and_args(&args));
+    let opts = match opts {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let suite_options = SuiteOptions {
         seed: opts.seed,
         ..SuiteOptions::default()

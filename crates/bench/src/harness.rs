@@ -3,7 +3,9 @@
 
 use qbp_baselines::{GfmConfig, GfmSolver, GklConfig, GklSolver};
 use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem};
-use qbp_solver::{greedy_first_fit, QbpConfig, QbpSolver};
+use qbp_cli::args::ArgsError;
+use qbp_observe::{CounterSnapshot, CountersObserver};
+use qbp_solver::{greedy_first_fit, QbpConfig, QbpSolver, Solver};
 use std::time::Instant;
 
 /// One of the three compared methods.
@@ -51,6 +53,10 @@ pub struct MethodResult {
     pub cpu_seconds: f64,
     /// Whether the returned assignment is violation-free.
     pub feasible: bool,
+    /// Aggregate event counters from the run (η recomputes vs. patches, GAP
+    /// calls, accepted/rejected moves, …), collected by a
+    /// [`CountersObserver`] attached to the solve.
+    pub counters: CounterSnapshot,
 }
 
 /// One circuit's full row.
@@ -98,6 +104,32 @@ impl TableOptions {
             }
         }
         opts
+    }
+
+    /// [`TableOptions::from_env`] with `--scale` / `--seed` command-line
+    /// overrides on top (flags beat environment variables). The flags share
+    /// the CLI's parser, so names and types cannot drift from `qbp solve`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when a flag value is malformed or `--scale`
+    /// falls outside `(0, 1]`.
+    pub fn from_env_and_args(args: &qbp_cli::args::Args) -> Result<Self, ArgsError> {
+        let mut opts = TableOptions::from_env();
+        if let Some(scale) = args.get_parsed_opt::<f64>("scale", "a number in (0, 1]")? {
+            if !(scale > 0.0 && scale <= 1.0) {
+                return Err(ArgsError::BadValue {
+                    flag: "scale".to_string(),
+                    expected: "a number in (0, 1]",
+                    found: scale.to_string(),
+                });
+            }
+            opts.scale = scale;
+        }
+        if let Some(seed) = args.get_parsed_opt::<u64>("seed", "an integer")? {
+            opts.seed = seed;
+        }
+        Ok(opts)
     }
 }
 
@@ -185,46 +217,66 @@ pub fn run_circuit_with_fallback(
     debug_assert!(check_feasibility(problem, &initial).is_feasible());
     let eval = Evaluator::new(problem);
     let start_cost = eval.cost(&initial);
-    let outcomes: Vec<Result<(Cost, bool, f64), Error>> = std::thread::scope(|scope| {
-        let initial = &initial;
-        let handles: Vec<_> = methods
-            .iter()
-            .map(|method| {
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let (final_cost, feasible) = match method {
-                        Method::Qbp(config) => {
-                            let out = QbpSolver::new(*config).solve(problem, Some(initial))?;
-                            // The paper's protocol guarantees a feasible
-                            // answer exists (the start is feasible); keep the
-                            // better of incumbent and start.
-                            if out.feasible && out.objective <= start_cost {
-                                (out.objective, true)
-                            } else {
-                                (start_cost, true)
+    let outcomes: Vec<Result<(Cost, bool, f64, CounterSnapshot), Error>> =
+        std::thread::scope(|scope| {
+            let initial = &initial;
+            let handles: Vec<_> = methods
+                .iter()
+                .map(|method| {
+                    scope.spawn(move || {
+                        let mut counters = CountersObserver::new();
+                        let t0 = Instant::now();
+                        let (final_cost, feasible) = match method {
+                            Method::Qbp(config) => {
+                                let out = Solver::solve(
+                                    &QbpSolver::new(*config),
+                                    problem,
+                                    Some(initial),
+                                    &mut counters,
+                                )?;
+                                // The paper's protocol guarantees a feasible
+                                // answer exists (the start is feasible); keep
+                                // the better of incumbent and start.
+                                if out.feasible && out.objective <= start_cost {
+                                    (out.objective, true)
+                                } else {
+                                    (start_cost, true)
+                                }
                             }
-                        }
-                        Method::Gfm(config) => {
-                            let out = GfmSolver::new(*config).solve(problem, initial)?;
-                            (out.cost, check_feasibility(problem, &out.assignment).is_feasible())
-                        }
-                        Method::Gkl(config) => {
-                            let out = GklSolver::new(*config).solve(problem, initial)?;
-                            (out.cost, check_feasibility(problem, &out.assignment).is_feasible())
-                        }
-                    };
-                    Ok((final_cost, feasible, t0.elapsed().as_secs_f64()))
+                            Method::Gfm(config) => {
+                                let out = GfmSolver::new(*config)
+                                    .solve_observed(problem, initial, &mut counters)?;
+                                (
+                                    out.cost,
+                                    check_feasibility(problem, &out.assignment).is_feasible(),
+                                )
+                            }
+                            Method::Gkl(config) => {
+                                let out = GklSolver::new(*config)
+                                    .solve_observed(problem, initial, &mut counters)?;
+                                (
+                                    out.cost,
+                                    check_feasibility(problem, &out.assignment).is_feasible(),
+                                )
+                            }
+                        };
+                        Ok((
+                            final_cost,
+                            feasible,
+                            t0.elapsed().as_secs_f64(),
+                            counters.snapshot(),
+                        ))
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("method worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("method worker panicked"))
+                .collect()
+        });
     let mut results = Vec::with_capacity(methods.len());
     for (method, outcome) in methods.iter().zip(outcomes) {
-        let (final_cost, feasible, cpu_seconds) = outcome?;
+        let (final_cost, feasible, cpu_seconds, counters) = outcome?;
         let improvement_pct = if start_cost != 0 {
             100.0 * (start_cost - final_cost) as f64 / start_cost as f64
         } else {
@@ -236,6 +288,7 @@ pub fn run_circuit_with_fallback(
             improvement_pct,
             cpu_seconds,
             feasible,
+            counters,
         });
     }
     Ok(CircuitRow {
@@ -328,7 +381,13 @@ mod tests {
             let expect_pct =
                 100.0 * (row.start_cost - r.final_cost) as f64 / row.start_cost as f64;
             assert!((r.improvement_pct - expect_pct).abs() < 1e-9);
+            assert_eq!(r.counters.solves, 1, "{} emits one SolveStarted", r.name);
+            assert!(r.counters.iterations >= 1, "{} runs iterations", r.name);
         }
+        // Phase attribution: only QBP solves GAP subproblems and computes η.
+        let qbp = &row.results[0].counters;
+        assert!(qbp.gap_calls >= 1);
+        assert!(qbp.eta_full >= 1);
     }
 
     #[test]

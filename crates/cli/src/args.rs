@@ -1,8 +1,17 @@
 //! Minimal flag parser for the CLI — no external dependencies, just
 //! `--flag value` pairs and positionals, with typed accessors.
+//!
+//! The solver-facing accessors ([`Args::common_opts`], [`Args::runs`]) are
+//! the single source of truth for the shared flags' names and defaults;
+//! `solve` and the bench binaries all parse through them, so the defaults
+//! cannot drift apart again.
 
+use qbp_solver::CommonOpts;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Default RNG seed for every driver: the paper's publication year.
+pub const DEFAULT_SEED: u64 = 1993;
 
 /// A parsed command line: positionals in order, flags as key → value.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -116,6 +125,58 @@ impl Args {
                 expected,
                 found: v.clone(),
             }),
+        }
+    }
+
+    /// Typed flag value that may be absent (no default to fall back on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when present but unparsable.
+    pub fn get_parsed_opt<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgsError> {
+        match self.flags.get(flag) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgsError::BadValue {
+                flag: flag.to_string(),
+                expected,
+                found: v.clone(),
+            }),
+        }
+    }
+
+    /// The shared solver knobs: `--seed` (default [`DEFAULT_SEED`]),
+    /// `--iterations`, `--stall-window` (absent = keep the method's
+    /// default), and `--threads` (default 0 = all cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when any flag fails to parse.
+    pub fn common_opts(&self) -> Result<CommonOpts, ArgsError> {
+        Ok(CommonOpts {
+            seed: self.get_parsed("seed", DEFAULT_SEED, "an integer")?,
+            iterations: self.get_parsed_opt("iterations", "an integer")?,
+            stall_window: self.get_parsed_opt("stall-window", "an integer (0 disables)")?,
+            threads: self.get_parsed("threads", 0usize, "an integer (0 = all cores)")?,
+        })
+    }
+
+    /// `--runs` (default 1), rejecting 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when unparsable or 0.
+    pub fn runs(&self) -> Result<usize, ArgsError> {
+        match self.get_parsed("runs", 1usize, "an integer >= 1")? {
+            0 => Err(ArgsError::BadValue {
+                flag: "runs".to_string(),
+                expected: "an integer >= 1",
+                found: "0".to_string(),
+            }),
+            r => Ok(r),
         }
     }
 

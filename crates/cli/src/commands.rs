@@ -1,12 +1,16 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::Args;
-use qbp_baselines::{GfmConfig, GfmSolver, GklConfig, GklSolver};
+use qbp_baselines::{build_solver, SOLVER_NAMES};
 use qbp_core::io::{parse_assignment, parse_problem, write_assignment, write_problem};
 use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem};
-use qbp_solver::{greedy_first_fit, QbpConfig, QbpSolver};
+use qbp_observe::{CountersObserver, SolveObserver, TeeObserver, TraceObserver};
+use qbp_solver::{
+    greedy_first_fit, moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport,
+};
 use std::error::Error;
-use std::fs;
+use std::fs::{self, File};
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 type CommandResult = Result<ExitCode, Box<dyn Error>>;
@@ -26,18 +30,15 @@ fn emit(output: Option<&str>, contents: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// `qbp solve` — run one method on a problem file.
+/// `qbp solve` — run one method on a problem file, optionally streaming the
+/// solver's event trace (`--trace file.jsonl`) and printing aggregate event
+/// counters (`--counters`).
 pub fn solve(args: &Args) -> CommandResult {
     let path = args.required(1, "problem file")?;
     let problem = load_problem(path)?;
     let method = args.get("method").unwrap_or("qbp").to_lowercase();
-    let iterations = args.get_parsed("iterations", 100usize, "an integer")?;
-    let seed = args.get_parsed("seed", 1993u64, "an integer")?;
-    let runs = args.get_parsed("runs", 1usize, "an integer >= 1")?;
-    let threads = args.get_parsed("threads", 0usize, "an integer (0 = all cores)")?;
-    if runs == 0 {
-        return Err("--runs must be >= 1".into());
-    }
+    let opts = args.common_opts()?;
+    let runs = args.runs()?;
     let quiet = args.switch("quiet");
 
     let initial = match args.get("initial") {
@@ -48,58 +49,90 @@ pub fn solve(args: &Args) -> CommandResult {
         None => None,
     };
 
-    let eval = Evaluator::new(&problem);
-    let (assignment, label) = match method.as_str() {
-        "qbp" => {
-            let solver = QbpSolver::new(QbpConfig {
-                iterations,
-                seed,
-                threads,
-                ..QbpConfig::default()
-            });
-            let out = if runs > 1 {
-                solver.solve_multistart(&problem, initial.as_ref(), runs)?
-            } else {
-                solver.solve(&problem, initial.as_ref())?
-            };
-            if !out.feasible {
-                eprintln!(
-                    "warning: QBP found no fully feasible solution; best has {} timing violation(s)",
-                    check_feasibility(&problem, &out.assignment).timing.len()
-                );
-            }
-            (out.assignment, "QBP")
+    // Observers: counters and/or a JSONL trace, fed through one tee. The
+    // tee borrows both, so it lives in an inner scope.
+    let use_counters = args.switch("counters");
+    let mut counters_sink = CountersObserver::new();
+    let mut trace = match args.get("trace") {
+        Some(p) => {
+            let file = File::create(p).map_err(|e| format!("creating {p}: {e}"))?;
+            Some(TraceObserver::new(BufWriter::new(file)))
         }
-        "gfm" | "gkl" => {
-            let start = match initial {
-                Some(a) => a,
-                None => find_start(&problem, seed)?,
-            };
-            if method == "gfm" {
-                let out = GfmSolver::new(GfmConfig::default()).solve(&problem, &start)?;
-                (out.assignment, "GFM")
-            } else {
-                let out = GklSolver::new(GklConfig::default()).solve(&problem, &start)?;
-                (out.assignment, "GKL")
-            }
-        }
-        other => return Err(format!("unknown method `{other}` (use qbp, gfm or gkl)").into()),
+        None => None,
     };
 
-    let report = check_feasibility(&problem, &assignment);
+    let report = {
+        let mut tee = TeeObserver::new();
+        if use_counters {
+            tee.push(&mut counters_sink);
+        }
+        if let Some(t) = trace.as_mut() {
+            tee.push(t);
+        }
+        run_method(&problem, &method, &opts, runs, initial.as_ref(), &mut tee)?
+    };
+
+    let label = method.to_uppercase();
+    if !report.feasible {
+        eprintln!(
+            "warning: {label} found no fully feasible solution; best has {} timing violation(s)",
+            check_feasibility(&problem, &report.assignment).timing.len()
+        );
+    }
+    if use_counters {
+        eprintln!("{}", counters_sink.snapshot().to_json());
+    }
+    if let Some(t) = trace {
+        t.finish().map_err(|e| format!("writing trace: {e}"))?;
+    }
+
+    let feas = check_feasibility(&problem, &report.assignment);
     if !quiet {
         eprintln!(
             "{label}: cost = {}, feasible = {}",
-            eval.cost(&assignment),
-            report.is_feasible()
+            Evaluator::new(&problem).cost(&report.assignment),
+            feas.is_feasible()
         );
     }
-    emit(args.get("output"), &write_assignment(&problem, &assignment))?;
-    Ok(if report.is_feasible() {
+    emit(args.get("output"), &write_assignment(&problem, &report.assignment))?;
+    Ok(if feas.is_feasible() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
     })
+}
+
+/// Dispatches one solve through the method registry (or the qbp multistart
+/// driver when `--runs` asks for more than one), behind `&dyn Solver`.
+fn run_method(
+    problem: &Problem,
+    method: &str,
+    opts: &CommonOpts,
+    runs: usize,
+    initial: Option<&Assignment>,
+    obs: &mut dyn SolveObserver,
+) -> Result<SolveReport, Box<dyn Error>> {
+    if runs > 1 {
+        if method != "qbp" {
+            return Err(format!("--runs {runs} only applies to --method qbp").into());
+        }
+        let solver = QbpSolver::new(QbpConfig::default().with_common(opts));
+        let out = solver.solve_multistart_observed(problem, initial, runs, obs)?;
+        return Ok(SolveReport {
+            solver: "qbp",
+            moves_applied: moved_from(initial, &out.assignment),
+            objective: out.objective,
+            embedded_value: Some(out.embedded_value),
+            feasible: out.feasible,
+            iterations: out.iterations,
+            elapsed: out.elapsed,
+            assignment: out.assignment,
+        });
+    }
+    let solver = build_solver(method, opts).ok_or_else(|| {
+        format!("unknown method `{method}` (use {})", SOLVER_NAMES.join(", "))
+    })?;
+    Ok(solver.solve(problem, initial, obs)?)
 }
 
 fn find_start(problem: &Problem, seed: u64) -> Result<Assignment, Box<dyn Error>> {
@@ -255,7 +288,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn args(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().map(|s| s.to_string()), &["quiet", "no-timing"]).expect("parse")
+        Args::parse(tokens.iter().map(|s| s.to_string()), crate::SWITCHES).expect("parse")
     }
 
     fn temp_path(name: &str) -> PathBuf {
@@ -306,7 +339,7 @@ timing alu cache 1
     fn solve_all_methods() {
         let problem_path = temp_path("methods.qbp");
         fs::write(&problem_path, SAMPLE).expect("write problem");
-        for method in ["qbp", "gfm", "gkl"] {
+        for method in ["qbp", "gfm", "gkl", "anneal"] {
             let out = temp_path(&format!("{method}.txt"));
             let code = solve(&args(&[
                 "solve",
@@ -320,6 +353,49 @@ timing alu cache 1
             .expect("solve runs");
             assert_eq!(code, ExitCode::SUCCESS, "method {method}");
             let _ = fs::remove_file(out);
+        }
+        assert!(solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--method",
+            "simplex",
+        ]))
+        .is_err());
+        let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn solve_writes_parseable_trace() {
+        let problem_path = temp_path("trace.qbp");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        for method in ["qbp", "gfm"] {
+            let trace_path = temp_path(&format!("trace-{method}.jsonl"));
+            let code = solve(&args(&[
+                "solve",
+                problem_path.to_str().expect("utf8"),
+                "--method",
+                method,
+                "--iterations",
+                "10",
+                "--quiet",
+                "--counters",
+                "--trace",
+                trace_path.to_str().expect("utf8"),
+            ]))
+            .expect("solve runs");
+            assert_eq!(code, ExitCode::SUCCESS, "method {method}");
+            let text = fs::read_to_string(&trace_path).expect("trace written");
+            let records: Vec<_> = text
+                .lines()
+                .map(|l| qbp_observe::parse_trace_line(l).expect("line parses"))
+                .collect();
+            assert!(
+                records.len() >= 3,
+                "method {method}: expected a start, iterations and a finish"
+            );
+            assert_eq!(records.first().expect("nonempty").event.name(), "solve_started");
+            assert_eq!(records.last().expect("nonempty").event.name(), "solve_finished");
+            let _ = fs::remove_file(trace_path);
         }
         let _ = fs::remove_file(problem_path);
     }

@@ -1,0 +1,45 @@
+//! `qbp` — command-line performance-driven partitioner, as a library.
+//!
+//! The binary in `main.rs` is a thin shell over this crate; the pieces live
+//! here so other workspace tools (the bench harness's `tables` and
+//! `perf_snapshot` binaries) can reuse the same flag parser and typed
+//! accessors instead of re-implementing `--seed`/`--runs`/`--threads`
+//! handling with drifting defaults.
+//!
+//! Problem and assignment files use the text formats documented in
+//! [`qbp_core::io`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;
+
+/// Usage text shared by `qbp help` and error paths.
+pub const USAGE: &str = "\
+qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
+
+USAGE:
+  qbp solve <problem.qbp> [--method qbp|qap|gfm|gkl|anneal] [--iterations N]
+            [--seed S] [--runs R] [--threads T] [--stall-window W]
+            [--initial file] [--output file] [--quiet]
+            [--trace file.jsonl] [--counters]
+
+  --runs R        multistart restarts for --method qbp (winner is the best
+                  run; deterministic for a fixed seed regardless of threads)
+  --threads T     worker threads for the multistart (0 = all cores)
+  --stall-window W  stall-detection window for qbp/qap (0 disables restarts)
+  --trace FILE    write the solver's event stream as JSON Lines to FILE
+  --counters      print aggregate event counters as JSON on stderr
+  qbp check <problem.qbp> <assignment.txt>
+  qbp feasible <problem.qbp> [--seed S] [--output file]
+  qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]
+            [--size N] [--output file]
+  qbp stats <problem.qbp>
+
+Problem files use the `.qbp` text format (see the qbp-core::io docs).
+";
+
+/// Boolean flags (no value) understood by the CLI; pass to
+/// [`args::Args::parse`].
+pub const SWITCHES: &[&str] = &["quiet", "no-timing", "counters"];

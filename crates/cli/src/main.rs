@@ -1,47 +1,13 @@
-//! `qbp` — command-line performance-driven partitioner.
-//!
-//! ```text
-//! qbp solve <problem.qbp> [--method qbp|gfm|gkl] [--iterations N]
-//!           [--seed S] [--runs R] [--threads T]
-//!           [--initial assignment.txt] [--output assignment.txt]
-//! qbp check <problem.qbp> <assignment.txt>
-//! qbp feasible <problem.qbp> [--seed S] [--output assignment.txt]
-//! qbp gen <ckta..cktg|qap> [--scale F] [--seed S] [--output problem.qbp]
-//! qbp stats <problem.qbp>
-//! ```
-//!
-//! Problem and assignment files use the text formats documented in
-//! [`qbp_core::io`].
+//! `qbp` — command-line performance-driven partitioner. See [`qbp_cli`] for
+//! the implementation; this binary only dispatches subcommands.
 
-mod args;
-mod commands;
-
-use args::Args;
+use qbp_cli::args::Args;
+use qbp_cli::{commands, SWITCHES, USAGE};
 use std::process::ExitCode;
-
-const USAGE: &str = "\
-qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
-
-USAGE:
-  qbp solve <problem.qbp> [--method qbp|gfm|gkl] [--iterations N]
-            [--seed S] [--runs R] [--threads T]
-            [--initial file] [--output file] [--quiet]
-
-  --runs R     multistart restarts for --method qbp (winner is the best
-               run; deterministic for a fixed seed regardless of threads)
-  --threads T  worker threads for the multistart (0 = all cores)
-  qbp check <problem.qbp> <assignment.txt>
-  qbp feasible <problem.qbp> [--seed S] [--output file]
-  qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]
-            [--size N] [--output file]
-  qbp stats <problem.qbp>
-
-Problem files use the `.qbp` text format (see the qbp-core::io docs).
-";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(raw, &["quiet", "no-timing"]) {
+    let args = match Args::parse(raw, SWITCHES) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");

@@ -13,10 +13,12 @@ use qbp_core::{
     check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, PartitionId, Problem,
     QMatrix,
 };
+use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
 
+use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use crate::qbp::{PenaltyMode, QbpOutcome};
 
 /// Configuration for [`AnnealSolver`].
@@ -73,6 +75,26 @@ impl AnnealSolver {
         problem: &Problem,
         initial: Option<&Assignment>,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_observed(problem, initial, &mut NoopObserver)
+    }
+
+    /// [`AnnealSolver::solve`] plus observability: each temperature level is
+    /// one "iteration" (`IterationStarted`/`IterationFinished`), and every
+    /// Monte-Carlo proposal whose delta was actually evaluated emits a
+    /// [`MoveEvaluated`](SolveEvent::MoveEvaluated) — proposals rejected
+    /// up-front on capacity or triviality are not events. The chain is
+    /// bit-identical for every observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the initial assignment does not match the
+    /// problem or the penalty configuration is invalid.
+    pub fn solve_observed(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         let start = Instant::now();
         let q = match self.config.penalty {
             PenaltyMode::Fixed(p) => QMatrix::new(problem, p)?,
@@ -94,20 +116,31 @@ impl AnnealSolver {
             }
             None => Assignment::from_fn(n, |_| PartitionId::new(rng.random_range(0..m))),
         };
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Anneal,
+            components: n,
+            partitions: m,
+        });
         let mut used = vec![0u64; m];
         for j in 0..n {
             used[current.part_index(j)] += sizes[j];
         }
         let mut value = q.value(&current);
         let mut best: Option<(Assignment, Cost)> = None;
-        let mut track_best = |asg: &Assignment, v: Cost, used: &[u64], caps: &[u64]| {
+        fn track_best(
+            best: &mut Option<(Assignment, Cost)>,
+            asg: &Assignment,
+            v: Cost,
+            used: &[u64],
+            caps: &[u64],
+        ) {
             if used.iter().zip(caps).all(|(u, c)| u <= c)
                 && best.as_ref().is_none_or(|(_, bv)| v < *bv)
             {
-                best = Some((asg.clone(), v));
+                *best = Some((asg.clone(), v));
             }
-        };
-        track_best(&current, value, &used, &capacities);
+        }
+        track_best(&mut best, &current, value, &used, &capacities);
 
         // Warm-up: sample |Δ| of the *plain* objective to calibrate the
         // starting temperature. (Embedded deltas include penalty jumps,
@@ -125,7 +158,9 @@ impl AnnealSolver {
         let mean_abs = if samples > 0 { sum_abs / samples as f64 } else { 1.0 };
         let mut temperature = (mean_abs * self.config.start_temp_factor).max(1.0);
 
-        for _level in 0..self.config.levels {
+        for level in 1..=self.config.levels {
+            obs.on_event(&SolveEvent::IterationStarted { iteration: level });
+            let best_before = best.as_ref().map(|(_, v)| *v);
             for _ in 0..self.config.steps_per_level {
                 // Half moves, half swaps.
                 if rng.random::<f64>() < 0.5 {
@@ -136,12 +171,19 @@ impl AnnealSolver {
                         continue;
                     }
                     let delta = q.move_delta(&current, j, PartitionId::new(to));
-                    if accept(delta, temperature, &mut rng) {
+                    let accepted = accept(delta, temperature, &mut rng);
+                    obs.on_event(&SolveEvent::MoveEvaluated {
+                        iteration: level,
+                        kind: MoveKind::Shift,
+                        delta,
+                        accepted,
+                    });
+                    if accepted {
                         used[from] -= sizes[j.index()];
                         used[to] += sizes[j.index()];
                         current.move_to(j, PartitionId::new(to));
                         value += delta;
-                        track_best(&current, value, &used, &capacities);
+                        track_best(&mut best, &current, value, &used, &capacities);
                     }
                 } else {
                     let j1 = ComponentId::new(rng.random_range(0..n));
@@ -155,20 +197,43 @@ impl AnnealSolver {
                         continue;
                     }
                     let delta = q.swap_delta(&current, j1, j2);
-                    if accept(delta, temperature, &mut rng) {
+                    let accepted = accept(delta, temperature, &mut rng);
+                    obs.on_event(&SolveEvent::MoveEvaluated {
+                        iteration: level,
+                        kind: MoveKind::Swap,
+                        delta,
+                        accepted,
+                    });
+                    if accepted {
                         used[i1] = used[i1] - s1 + s2;
                         used[i2] = used[i2] - s2 + s1;
                         current.swap(j1, j2);
                         value += delta;
-                        track_best(&current, value, &used, &capacities);
+                        track_best(&mut best, &current, value, &used, &capacities);
                     }
                 }
             }
+            let improved = match (best_before, best.as_ref()) {
+                (None, Some(_)) => true,
+                (Some(before), Some((_, now))) => *now < before,
+                _ => false,
+            };
+            obs.on_event(&SolveEvent::IterationFinished {
+                iteration: level,
+                value,
+                feasible: used.iter().zip(&capacities).all(|(u, c)| u <= c),
+                improved,
+            });
             temperature *= self.config.cooling;
         }
 
         let (assignment, embedded_value) = best.unwrap_or((current, value));
         let feasible = check_feasibility(problem, &assignment).is_feasible();
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations: self.config.levels * self.config.steps_per_level,
+            value: embedded_value,
+            feasible,
+        });
         Ok(QbpOutcome {
             objective: eval.cost(&assignment),
             embedded_value,
@@ -177,6 +242,53 @@ impl AnnealSolver {
             iterations: self.config.levels * self.config.steps_per_level,
             history: Vec::new(),
             elapsed: start.elapsed(),
+        })
+    }
+}
+
+impl Configure for AnnealConfig {
+    fn apply_common(&mut self, opts: &CommonOpts) {
+        self.seed = opts.seed;
+        if let Some(iterations) = opts.iterations {
+            // The shared iteration budget maps to temperature levels; the
+            // per-level step count stays a solver-specific knob.
+            self.levels = iterations;
+        }
+        // No stall window (the chain cannot stall — rejected moves keep it
+        // in place by design) and no internal threading.
+    }
+
+    fn common(&self) -> CommonOpts {
+        CommonOpts {
+            seed: self.seed,
+            iterations: Some(self.levels),
+            stall_window: None,
+            threads: 1,
+        }
+    }
+}
+
+impl Solver for AnnealSolver {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let out = self.solve_observed(problem, init, obs)?;
+        Ok(SolveReport {
+            solver: "anneal",
+            moves_applied: moved_from(init, &out.assignment),
+            objective: out.objective,
+            embedded_value: Some(out.embedded_value),
+            feasible: out.feasible,
+            iterations: out.iterations,
+            elapsed: out.elapsed,
+            assignment: out.assignment,
         })
     }
 }

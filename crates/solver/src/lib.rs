@@ -39,8 +39,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(unused_must_use)]
 
 mod anneal;
+mod api;
 pub mod bb;
 pub mod exact;
 pub mod gap;
@@ -50,10 +52,11 @@ mod qap;
 mod qbp;
 
 pub use anneal::{AnnealConfig, AnnealSolver};
+pub use api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 pub use bb::{branch_and_bound, BbOutcome};
-pub use gap::{GapConfig, GapInstance, GapScratch, GapSolution};
+pub use gap::{solve_gap, solve_gap_observed, GapConfig, GapInstance, GapScratch, GapSolution};
 pub use initial::{greedy_first_fit, random_assignment, repair_capacity, scramble_feasible};
-pub use lap::{solve_lap, solve_lap_int, LapSolution};
+pub use lap::{solve_lap, solve_lap_int, solve_lap_observed, LapSolution};
 pub use qap::{QapConfig, QapSolver};
 pub use qbp::{
     EtaMode, IterationStats, PenaltyMode, QbpConfig, QbpOutcome, QbpSolver, SolveWorkspace,

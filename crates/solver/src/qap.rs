@@ -9,8 +9,10 @@
 //! QAP instances; and it demonstrates §2.2.3's claim that the general
 //! machinery subsumes the QAP.
 
-use crate::lap::solve_lap;
+use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
+use crate::lap::solve_lap_observed;
 use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem, QMatrix};
+use qbp_observe::{NoopObserver, SolveEvent, SolveObserver, SolverId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -28,18 +30,61 @@ pub struct QapConfig {
     /// Seed for the random initial permutation.
     pub seed: u64,
     /// Restart from a fresh random permutation (resetting `h`, keeping the
-    /// incumbent) when STEP 6 reproduces the previous permutation — see
-    /// [`QbpConfig::restart_on_stall`](crate::QbpConfig::restart_on_stall).
+    /// incumbent) when STEP 6 reproduces the previous permutation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `stall_window` to 0 instead (or via `CommonOpts::stall_window`); \
+                this flag is still honored for one release"
+    )]
     pub restart_on_stall: bool,
+    /// Length of the recent-permutation window used to detect fixed points
+    /// and short cycles (default 8); `0` disables stall restarts, replacing
+    /// the deprecated `restart_on_stall: false`.
+    pub stall_window: usize,
 }
 
 impl Default for QapConfig {
     fn default() -> Self {
+        #[allow(deprecated)]
         QapConfig {
             iterations: 100,
             penalty: PenaltyMode::Auto,
             seed: 0xBADC_0DE5,
             restart_on_stall: true,
+            stall_window: crate::qbp::STALL_WINDOW,
+        }
+    }
+}
+
+impl QapConfig {
+    /// Whether stall restarts are active: the window must be non-zero and
+    /// the deprecated kill-switch must not be set.
+    fn restarts_enabled(&self) -> bool {
+        #[allow(deprecated)]
+        {
+            self.restart_on_stall && self.stall_window > 0
+        }
+    }
+}
+
+impl Configure for QapConfig {
+    fn apply_common(&mut self, opts: &CommonOpts) {
+        self.seed = opts.seed;
+        if let Some(iterations) = opts.iterations {
+            self.iterations = iterations;
+        }
+        if let Some(stall_window) = opts.stall_window {
+            self.stall_window = stall_window;
+        }
+        // The QAP loop is single-threaded; `threads` has no analogue here.
+    }
+
+    fn common(&self) -> CommonOpts {
+        CommonOpts {
+            seed: self.seed,
+            iterations: Some(self.iterations),
+            stall_window: Some(self.stall_window),
+            threads: 1,
         }
     }
 }
@@ -94,6 +139,25 @@ impl QapSolver {
     /// Returns an error when the problem is not QAP-shaped (see
     /// [`QapSolver::validate`]) or the penalty configuration is invalid.
     pub fn solve(&self, problem: &Problem) -> Result<QbpOutcome, Error> {
+        self.solve_observed(problem, None, &mut NoopObserver)
+    }
+
+    /// [`QapSolver::solve`] plus an optional initial permutation and
+    /// observability: streams the iteration lifecycle (η computations, the
+    /// STEP 4/6 LAP solves, stall restarts, incumbent improvements) to
+    /// `obs`. The solve is bit-identical for every observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the problem is not QAP-shaped, `initial` is not
+    /// a permutation of the partitions, or the penalty configuration is
+    /// invalid.
+    pub fn solve_observed(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         Self::validate(problem)?;
         let start = Instant::now();
         let n = problem.n();
@@ -104,12 +168,35 @@ impl QapSolver {
         };
         let eval = Evaluator::new(problem);
         let omega = q.omega();
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Qap,
+            components: n,
+            partitions: n,
+        });
 
-        // Random initial permutation.
+        // Initial permutation: the caller's, or a random one.
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.shuffle(&mut rng);
-        let mut u = Assignment::from_parts(perm).expect("n > 0");
+        let mut u = match initial {
+            Some(a) => {
+                problem.validate_assignment(a)?;
+                let mut seen = vec![false; n];
+                for j in 0..n {
+                    let i = a.part_index(j);
+                    if seen[i] {
+                        return Err(Error::InvalidTopology(
+                            "QAP initial assignment must be a permutation".into(),
+                        ));
+                    }
+                    seen[i] = true;
+                }
+                a.clone()
+            }
+            None => {
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                perm.shuffle(&mut rng);
+                Assignment::from_parts(perm).expect("n > 0")
+            }
+        };
 
         let mut best = (u.clone(), q.value(&u));
         let mut h = vec![0f64; n * n];
@@ -117,10 +204,15 @@ impl QapSolver {
         // LAP cost layout: rows = components, cols = partitions.
         let mut lap_costs = vec![0f64; n * n];
         let mut recent: std::collections::VecDeque<u64> =
-            std::collections::VecDeque::with_capacity(crate::qbp::STALL_WINDOW);
+            std::collections::VecDeque::with_capacity(self.config.stall_window.max(1));
 
-        for _ in 0..self.config.iterations {
+        for k in 1..=self.config.iterations {
+            obs.on_event(&SolveEvent::IterationStarted { iteration: k });
             q.eta(&u, &mut eta);
+            obs.on_event(&SolveEvent::EtaComputed {
+                iteration: k,
+                incremental: false,
+            });
             let xi = q.xi(&omega, &u);
             // STEP 4 over permutations: LAP on η (η[i + j*m] → row j, col i).
             for j in 0..n {
@@ -128,7 +220,7 @@ impl QapSolver {
                     lap_costs[j * n + i] = eta[i + j * n] as f64;
                 }
             }
-            let z = solve_lap(n, &lap_costs).cost;
+            let z = solve_lap_observed(n, &lap_costs, k, obs).cost;
             let scale = (z - xi as f64).abs().max(1.0);
             for (hr, &e) in h.iter_mut().zip(eta.iter()) {
                 *hr += e as f64 / scale;
@@ -139,15 +231,30 @@ impl QapSolver {
                     lap_costs[j * n + i] = h[i + j * n];
                 }
             }
-            let sol = solve_lap(n, &lap_costs);
+            let sol = solve_lap_observed(n, &lap_costs, k, obs);
             let next = Assignment::from_parts(sol.row_to_col.iter().map(|&c| c as u32).collect())
                 .expect("n > 0");
             let value = q.value(&next);
-            if value < best.1 {
+            let violations = q.violation_count(&next);
+            if violations > 0 {
+                obs.on_event(&SolveEvent::PenaltyHits {
+                    iteration: k,
+                    violations,
+                });
+            }
+            let improved = value < best.1;
+            if improved {
                 best = (next.clone(), value);
             }
+            obs.on_event(&SolveEvent::IterationFinished {
+                iteration: k,
+                value,
+                feasible: true,
+                improved,
+            });
             let fingerprint = crate::qbp::assignment_fingerprint(&next);
-            if self.config.restart_on_stall && recent.contains(&fingerprint) {
+            if self.config.restarts_enabled() && recent.contains(&fingerprint) {
+                obs.on_event(&SolveEvent::StallReset { iteration: k });
                 h.fill(0.0);
                 recent.clear();
                 let mut perm: Vec<u32> = (0..n as u32).collect();
@@ -158,7 +265,7 @@ impl QapSolver {
                     best = (u.clone(), v0);
                 }
             } else {
-                if recent.len() >= crate::qbp::STALL_WINDOW {
+                if recent.len() >= self.config.stall_window.max(1) {
                     recent.pop_front();
                 }
                 recent.push_back(fingerprint);
@@ -168,6 +275,11 @@ impl QapSolver {
 
         let (assignment, embedded_value) = best;
         let feasible = check_feasibility(problem, &assignment).is_feasible();
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations: self.config.iterations,
+            value: embedded_value,
+            feasible,
+        });
         Ok(QbpOutcome {
             objective: eval.cost(&assignment),
             embedded_value,
@@ -176,6 +288,31 @@ impl QapSolver {
             iterations: self.config.iterations,
             history: Vec::new(),
             elapsed: start.elapsed(),
+        })
+    }
+}
+
+impl Solver for QapSolver {
+    fn name(&self) -> &'static str {
+        "qap"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let out = self.solve_observed(problem, init, obs)?;
+        Ok(SolveReport {
+            solver: "qap",
+            moves_applied: moved_from(init, &out.assignment),
+            objective: out.objective,
+            embedded_value: Some(out.embedded_value),
+            feasible: out.feasible,
+            iterations: out.iterations,
+            elapsed: out.elapsed,
+            assignment: out.assignment,
         })
     }
 }

@@ -17,10 +17,12 @@
 //!
 //! The paper runs 100 iterations per circuit; quality improves with more.
 
-use crate::gap::{solve_gap_with, GapConfig, GapInstance, GapScratch};
+use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
+use crate::gap::{solve_gap_observed, solve_gap_with, GapConfig, GapInstance, GapScratch};
 use qbp_core::{
     check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, Problem, QMatrix,
 };
+use qbp_observe::{NoopObserver, SolveEvent, SolveObserver, SolverId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -79,7 +81,16 @@ pub struct QbpConfig {
     /// iterations; with it, "the more CPU time spent, the better the
     /// results" (§5) holds. An enhancement over the paper's pseudocode;
     /// disable to run the literal STEPs 1–8.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `stall_window` to 0 instead (or via `CommonOpts::stall_window`); \
+                this flag is still honored for one release"
+    )]
     pub restart_on_stall: bool,
+    /// Length of the recent-iterate window used to detect fixed points and
+    /// short cycles (default 8); `0` disables stall restarts entirely,
+    /// replacing the deprecated `restart_on_stall: false`.
+    pub stall_window: usize,
     /// Polish violated GAP candidates with sequential coordinate descent on
     /// the embedded objective `yᵀQ̂y` before incumbent comparison. GAP
     /// subproblems only see timing through the penalties frozen at the
@@ -98,6 +109,7 @@ pub struct QbpConfig {
 
 impl Default for QbpConfig {
     fn default() -> Self {
+        #[allow(deprecated)]
         QbpConfig {
             iterations: 100,
             penalty: PenaltyMode::Auto,
@@ -106,9 +118,43 @@ impl Default for QbpConfig {
             gap_improvement_passes: 2,
             gap_swap_improvement: false,
             restart_on_stall: true,
+            stall_window: STALL_WINDOW,
             repair_candidates: true,
             track_history: false,
             threads: 0,
+        }
+    }
+}
+
+impl QbpConfig {
+    /// Whether stall restarts are active: the window must be non-zero and
+    /// the deprecated kill-switch must not be set.
+    pub(crate) fn restarts_enabled(&self) -> bool {
+        #[allow(deprecated)]
+        {
+            self.restart_on_stall && self.stall_window > 0
+        }
+    }
+}
+
+impl Configure for QbpConfig {
+    fn apply_common(&mut self, opts: &CommonOpts) {
+        self.seed = opts.seed;
+        if let Some(iterations) = opts.iterations {
+            self.iterations = iterations;
+        }
+        if let Some(stall_window) = opts.stall_window {
+            self.stall_window = stall_window;
+        }
+        self.threads = opts.threads;
+    }
+
+    fn common(&self) -> CommonOpts {
+        CommonOpts {
+            seed: self.seed,
+            iterations: Some(self.iterations),
+            stall_window: Some(self.stall_window),
+            threads: self.threads,
         }
     }
 }
@@ -264,6 +310,26 @@ impl QbpSolver {
         initial: Option<&Assignment>,
         ws: &mut SolveWorkspace,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_observed(problem, initial, ws, &mut NoopObserver)
+    }
+
+    /// [`QbpSolver::solve_with`] plus observability: streams the iteration
+    /// lifecycle (η recomputes vs. incremental patches, STEP 4/6 GAP solves,
+    /// penalty hits, repair sweeps, stall restarts, incumbent improvements)
+    /// to `obs`. The solve itself is bit-identical for every observer — the
+    /// observer only watches.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the initial assignment does not match the
+    /// problem's dimensions or the penalty configuration is invalid.
+    pub fn solve_observed(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        ws: &mut SolveWorkspace,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         let start = Instant::now();
         let q = self.build_qmatrix(problem)?;
         let eval = Evaluator::new(problem);
@@ -277,6 +343,12 @@ impl QbpSolver {
             improvement_passes: self.config.gap_improvement_passes,
             swap_improvement: self.config.gap_swap_improvement,
         };
+
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Qbp,
+            components: n,
+            partitions: m,
+        });
 
         // STEP 1 & 2: bounds ω, initial iterate, incumbent.
         let omega = q.omega();
@@ -322,16 +394,22 @@ impl QbpSolver {
         let mut history = Vec::new();
 
         for k in 1..=self.config.iterations {
+            obs.on_event(&SolveEvent::IterationStarted { iteration: k });
             // STEP 3: the η cache records which assignment it linearizes, so
             // successive iterates pay only for the components that moved
             // (bit-identical to a fresh computation; see
             // [`QMatrix::eta_update`]).
-            match ws.eta_source.as_ref() {
-                Some(prev) => {
-                    q.eta_update(prev, &u, &mut ws.eta);
+            let incremental = match ws.eta_source.as_ref() {
+                Some(prev) => q.eta_update(prev, &u, &mut ws.eta),
+                None => {
+                    q.eta(&u, &mut ws.eta);
+                    false
                 }
-                None => q.eta(&u, &mut ws.eta),
-            }
+            };
+            obs.on_event(&SolveEvent::EtaComputed {
+                iteration: k,
+                incremental,
+            });
             let eta_k: &[Cost] = if self.config.eta_mode == EtaMode::BalasMazzola {
                 // The ω diagonal is iterate-dependent; add it on a scratch
                 // copy so the incremental cache stays the raw η.
@@ -361,13 +439,18 @@ impl QbpSolver {
             // optimally against the current iterate" — evaluating it for the
             // incumbent is nearly free and often catches consistent
             // (timing-clean) solutions the h-driven STEP 6 skips past.
-            let step4 = solve_gap_with(&inst, &gap_config, &mut ws.gap);
+            let step4 = solve_gap_observed(&inst, &gap_config, &mut ws.gap, k, obs);
             let z = step4.cost;
             if step4.feasible {
                 let mut step4_asg = Assignment::from_parts(step4.assignment)
                     .expect("GAP returns one entry per component");
                 if self.config.repair_candidates && q.violation_count(&step4_asg) > 0 {
-                    embedded_descent(&q, &mut step4_asg, &sizes, &capacities, 4, &mut ws.descent);
+                    let cleaned =
+                        embedded_descent(&q, &mut step4_asg, &sizes, &capacities, 4, &mut ws.descent);
+                    obs.on_event(&SolveEvent::RepairApplied {
+                        iteration: k,
+                        cleaned,
+                    });
                 }
                 let v4 = q.value(&step4_asg);
                 consider(&step4_asg, v4, &mut best);
@@ -391,19 +474,32 @@ impl QbpSolver {
                 sizes: &sizes,
                 capacities: &capacities,
             };
-            let next = solve_gap_with(&h_inst, &gap_config, &mut ws.gap);
+            let next = solve_gap_observed(&h_inst, &gap_config, &mut ws.gap, k, obs);
             let next_asg = Assignment::from_parts(next.assignment.clone())
                 .expect("GAP returns one entry per component");
             // STEP 7: track the best capacity-feasible iterate by yᵀQ̂y
             // (after an optional repair polish on a *copy* — the raw iterate
             // drives the next iteration, as in the paper).
             let value = q.value(&next_asg);
+            let violations = q.violation_count(&next_asg);
+            if violations > 0 {
+                obs.on_event(&SolveEvent::PenaltyHits {
+                    iteration: k,
+                    violations,
+                });
+            }
             let improved = if next.feasible {
                 let mut improved = consider(&next_asg, value, &mut best);
                 if self.config.repair_candidates {
-                    if q.violation_count(&next_asg) > 0 {
+                    if violations > 0 {
                         let mut polished = next_asg.clone();
-                        embedded_descent(&q, &mut polished, &sizes, &capacities, 4, &mut ws.descent);
+                        let cleaned = embedded_descent(
+                            &q, &mut polished, &sizes, &capacities, 4, &mut ws.descent,
+                        );
+                        obs.on_event(&SolveEvent::RepairApplied {
+                            iteration: k,
+                            cleaned,
+                        });
                         improved |= consider(&polished, q.value(&polished), &mut best);
                         let pv = q.value(&polished);
                         improved |= promote_candidate(
@@ -426,16 +522,23 @@ impl QbpSolver {
                     iteration: k,
                     embedded_value: value,
                     objective: eval.cost(&next_asg),
-                    timing_violations: q.violation_count(&next_asg),
+                    timing_violations: violations,
                     capacity_feasible: next.feasible,
                     improved,
                 });
             }
+            obs.on_event(&SolveEvent::IterationFinished {
+                iteration: k,
+                value,
+                feasible: next.feasible,
+                improved,
+            });
             let fingerprint = assignment_fingerprint(&next_asg);
-            if self.config.restart_on_stall && ws.recent.contains(&fingerprint) {
+            if self.config.restarts_enabled() && ws.recent.contains(&fingerprint) {
                 // Fixed point or short cycle: η, h and the GAP answers would
                 // repeat. Diversify from a fresh random iterate; the
                 // incumbent is kept by STEP 7's bookkeeping.
+                obs.on_event(&SolveEvent::StallReset { iteration: k });
                 ws.h.fill(0.0);
                 ws.recent.clear();
                 let fresh = Assignment::from_fn(n, |_| {
@@ -443,7 +546,7 @@ impl QbpSolver {
                 });
                 ws.eta_source = Some(std::mem::replace(&mut u, fresh));
             } else {
-                if ws.recent.len() >= STALL_WINDOW {
+                if ws.recent.len() >= self.config.stall_window.max(1) {
                     ws.recent.pop_front();
                 }
                 ws.recent.push_back(fingerprint);
@@ -456,6 +559,11 @@ impl QbpSolver {
             (u.clone(), v)
         });
         let feasible = check_feasibility(problem, &assignment).is_feasible();
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations: self.config.iterations,
+            value: embedded_value,
+            feasible,
+        });
         Ok(QbpOutcome {
             objective: eval.cost(&assignment),
             embedded_value,
@@ -496,62 +604,111 @@ impl QbpSolver {
         initial: Option<&Assignment>,
         runs: usize,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_multistart_observed(problem, initial, runs, &mut NoopObserver)
+    }
+
+    /// [`QbpSolver::solve_multistart`] plus observability. Per-iteration
+    /// events of the individual runs are **not** streamed (workers race, and
+    /// interleaving their streams would make traces scheduling-dependent);
+    /// instead one [`SolveEvent::RunCompleted`] per run is emitted in run
+    /// order after all runs finish, bracketed by `SolveStarted` /
+    /// `SolveFinished`. The trace is therefore bit-identical for every
+    /// thread count, like the answer itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-run-index solver error; `runs == 0` is an
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (which the solver itself never
+    /// does for validated inputs).
+    pub fn solve_multistart_observed(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        runs: usize,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         if runs == 0 {
             return Err(Error::NegativeValue {
                 what: "multistart run count",
                 value: 0,
             });
         }
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Qbp,
+            components: problem.n(),
+            partitions: problem.m(),
+        });
         let threads = self.effective_threads(runs);
-        if threads <= 1 {
+        let best = if threads <= 1 {
             let mut ws = SolveWorkspace::new();
             let mut best: Option<QbpOutcome> = None;
             for r in 0..runs {
                 let out =
                     QbpSolver::new(self.run_config(r)).solve_with(problem, initial, &mut ws)?;
+                obs.on_event(&SolveEvent::RunCompleted {
+                    run: r,
+                    value: out.embedded_value,
+                    feasible: out.feasible,
+                });
                 if Self::outcome_improves(&out, best.as_ref()) {
                     best = Some(out);
                 }
             }
-            return Ok(best.expect("runs >= 1"));
-        }
-        let counter = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<QbpOutcome, Error>>> = Vec::new();
-        slots.resize_with(runs, || None);
-        std::thread::scope(|scope| {
-            let counter = &counter;
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut ws = SolveWorkspace::new();
-                        let mut local = Vec::new();
-                        loop {
-                            let r = counter.fetch_add(1, Ordering::Relaxed);
-                            if r >= runs {
-                                break;
+            best.expect("runs >= 1")
+        } else {
+            let counter = AtomicUsize::new(0);
+            let mut slots: Vec<Option<Result<QbpOutcome, Error>>> = Vec::new();
+            slots.resize_with(runs, || None);
+            std::thread::scope(|scope| {
+                let counter = &counter;
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut ws = SolveWorkspace::new();
+                            let mut local = Vec::new();
+                            loop {
+                                let r = counter.fetch_add(1, Ordering::Relaxed);
+                                if r >= runs {
+                                    break;
+                                }
+                                let out = QbpSolver::new(self.run_config(r))
+                                    .solve_with(problem, initial, &mut ws);
+                                local.push((r, out));
                             }
-                            let out = QbpSolver::new(self.run_config(r))
-                                .solve_with(problem, initial, &mut ws);
-                            local.push((r, out));
-                        }
-                        local
+                            local
+                        })
                     })
-                })
-                .collect();
-            for handle in handles {
-                for (r, out) in handle.join().expect("multistart worker panicked") {
-                    slots[r] = Some(out);
+                    .collect();
+                for handle in handles {
+                    for (r, out) in handle.join().expect("multistart worker panicked") {
+                        slots[r] = Some(out);
+                    }
+                }
+            });
+            let mut best: Option<QbpOutcome> = None;
+            for (r, slot) in slots.into_iter().enumerate() {
+                let out = slot.expect("every run index claimed exactly once")?;
+                obs.on_event(&SolveEvent::RunCompleted {
+                    run: r,
+                    value: out.embedded_value,
+                    feasible: out.feasible,
+                });
+                if Self::outcome_improves(&out, best.as_ref()) {
+                    best = Some(out);
                 }
             }
+            best.expect("runs >= 1")
+        };
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations: self.config.iterations * runs,
+            value: best.embedded_value,
+            feasible: best.feasible,
         });
-        let mut best: Option<QbpOutcome> = None;
-        for slot in slots {
-            let out = slot.expect("every run index claimed exactly once")?;
-            if Self::outcome_improves(&out, best.as_ref()) {
-                best = Some(out);
-            }
-        }
-        Ok(best.expect("runs >= 1"))
+        Ok(best)
     }
 
     /// The per-run config of multistart run `r`: the same knobs under a
@@ -673,6 +830,31 @@ impl QbpSolver {
             }
         }
         Ok(None)
+    }
+}
+
+impl Solver for QbpSolver {
+    fn name(&self) -> &'static str {
+        "qbp"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let out = self.solve_observed(problem, init, &mut SolveWorkspace::new(), obs)?;
+        Ok(SolveReport {
+            solver: "qbp",
+            moves_applied: moved_from(init, &out.assignment),
+            objective: out.objective,
+            embedded_value: Some(out.embedded_value),
+            feasible: out.feasible,
+            iterations: out.iterations,
+            elapsed: out.elapsed,
+            assignment: out.assignment,
+        })
     }
 }
 

@@ -25,16 +25,42 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every solver also implements the unified [`qbp_solver::Solver`] trait, so
+//! the same call site can drive QBP, QAP, GFM, GKL or the annealer while an
+//! observer (see [`qbp_observe`]) watches the run:
+//!
+//! ```
+//! use qbp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut circuit = Circuit::new();
+//! let a = circuit.add_component("a", 10);
+//! let b = circuit.add_component("b", 20);
+//! circuit.add_wires(a, b, 5)?;
+//! let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 25)?).build()?;
+//!
+//! let solver = build_solver("qbp", &CommonOpts::default()).expect("known method");
+//! let mut counters = CountersObserver::new();
+//! let report = solver.solve(&problem, None, &mut counters)?;
+//! assert!(report.feasible);
+//! assert!(counters.snapshot().iterations >= 1);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use qbp_baselines;
 pub use qbp_core;
 pub use qbp_gen;
+pub use qbp_observe;
 pub use qbp_solver;
 pub use qbp_timing;
 
 /// Convenient glob import for examples and applications.
 pub mod prelude {
-    pub use qbp_baselines::{BaselineOutcome, GfmConfig, GfmSolver, GklConfig, GklSolver};
+    pub use qbp_baselines::{
+        build_solver, BaselineOutcome, GfmConfig, GfmSolver, GklConfig, GklSolver, SOLVER_NAMES,
+    };
     pub use qbp_core::{
         check_feasibility, deviation_cost_matrix, Assignment, Circuit, Component, ComponentId,
         Cost, Delay, DenseMatrix, Error, Evaluator, PairIndex, PartitionId, PartitionTopology,
@@ -44,9 +70,14 @@ pub mod prelude {
         build_instance, build_instance_with_witness, scaled_spec, CircuitSpec, ConstraintSampler,
         SuiteOptions, SyntheticCircuit, PAPER_SUITE,
     };
+    pub use qbp_observe::{
+        parse_trace_line, CounterSnapshot, CountersObserver, NoopObserver, ProgressObserver,
+        SolveEvent, SolveObserver, SolverId, TeeObserver, TraceObserver, TraceRecord,
+    };
     pub use qbp_solver::{
-        branch_and_bound, greedy_first_fit, random_assignment, scramble_feasible, BbOutcome,
-        EtaMode, PenaltyMode, QapConfig, QapSolver, QbpConfig, QbpOutcome, QbpSolver,
+        branch_and_bound, greedy_first_fit, random_assignment, scramble_feasible, AnnealConfig,
+        AnnealSolver, BbOutcome, CommonOpts, Configure, EtaMode, PenaltyMode, QapConfig, QapSolver,
+        QbpConfig, QbpOutcome, QbpSolver, SolveReport, Solver,
     };
     pub use qbp_timing::{
         BudgetPolicy, CombinationalDag, SequentialDag, SequentialGraphBuilder, SlackBudgeter,

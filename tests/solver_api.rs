@@ -1,0 +1,112 @@
+//! Unified-`Solver`-trait smoke test: every registered method must run
+//! through `&dyn Solver` on the same instance, produce a feasible
+//! [`SolveReport`], and be visible to an observer (≥1 iteration event and a
+//! well-formed start/finish bracket in the trace).
+//!
+//! The shared instance is QAP-shaped — four unit-size components on a 2×2
+//! grid of capacity-1 partitions — because that is the only shape *all*
+//! five solvers accept (`qap` requires `M = N` with equal sizes).
+
+use qbp::prelude::*;
+
+fn qap_shaped_problem() -> Problem {
+    let mut circuit = Circuit::new();
+    let a = circuit.add_component("a", 1);
+    let b = circuit.add_component("b", 1);
+    let c = circuit.add_component("c", 1);
+    let d = circuit.add_component("d", 1);
+    circuit.add_wires(a, b, 6).expect("wire");
+    circuit.add_wires(b, c, 4).expect("wire");
+    circuit.add_wires(c, d, 2).expect("wire");
+    circuit.add_wires(a, d, 1).expect("wire");
+    ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 1).expect("grid"))
+        .build()
+        .expect("problem")
+}
+
+#[test]
+fn every_registered_solver_runs_through_dyn_dispatch() {
+    let problem = qap_shaped_problem();
+    assert_eq!(SOLVER_NAMES, ["qbp", "qap", "gfm", "gkl", "anneal"]);
+
+    for name in SOLVER_NAMES {
+        let opts = CommonOpts {
+            seed: 7,
+            iterations: Some(20),
+            ..CommonOpts::default()
+        };
+        let solver: Box<dyn Solver> = build_solver(name, &opts).expect("registered method");
+        assert_eq!(solver.name(), name);
+
+        let mut counters = CountersObserver::new();
+        let mut trace = TraceObserver::new(Vec::new());
+        {
+            let mut tee = TeeObserver::new();
+            tee.push(&mut counters);
+            tee.push(&mut trace);
+            let report = solver
+                .solve(&problem, None, &mut tee)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(report.solver, name);
+            assert!(report.feasible, "{name}: infeasible report");
+            assert!(report.iterations >= 1, "{name}: no iterations reported");
+            assert_eq!(report.assignment.len(), problem.n());
+            assert!(
+                check_feasibility(&problem, &report.assignment).is_feasible(),
+                "{name}: report claims feasible but the audit disagrees"
+            );
+        }
+
+        let snap = counters.snapshot();
+        assert_eq!(snap.solves, 1, "{name}: expected exactly one solve");
+        assert!(snap.iterations >= 1, "{name}: observer saw no iteration events");
+
+        let sink = trace.finish().expect("in-memory trace never fails");
+        let text = String::from_utf8(sink).expect("traces are utf-8");
+        let records: Vec<TraceRecord> = text
+            .lines()
+            .map(|l| parse_trace_line(l).unwrap_or_else(|e| panic!("{name}: bad line: {e}")))
+            .collect();
+        assert!(records.len() >= 3, "{name}: trace too short");
+        assert_eq!(records.first().expect("nonempty").event.name(), "solve_started");
+        assert_eq!(records.last().expect("nonempty").event.name(), "solve_finished");
+        assert!(
+            records.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+            "{name}: trace timestamps must be monotonic"
+        );
+    }
+}
+
+#[test]
+fn unknown_method_is_rejected_by_the_registry() {
+    assert!(build_solver("simplex", &CommonOpts::default()).is_none());
+}
+
+#[test]
+fn reports_are_comparable_across_solvers() {
+    // The point of the unified API: heterogeneous solvers, one report type.
+    let problem = qap_shaped_problem();
+    let eval = Evaluator::new(&problem);
+    let opts = CommonOpts {
+        seed: 11,
+        iterations: Some(30),
+        ..CommonOpts::default()
+    };
+    let mut best: Option<SolveReport> = None;
+    for name in SOLVER_NAMES {
+        let solver = build_solver(name, &opts).expect("registered");
+        let report = solver
+            .solve(&problem, None, &mut NoopObserver)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            report.objective,
+            eval.cost(&report.assignment),
+            "{name}: reported objective must match a from-scratch evaluation"
+        );
+        if best.as_ref().is_none_or(|b| report.objective < b.objective) {
+            best = Some(report);
+        }
+    }
+    let best = best.expect("five reports");
+    assert!(best.feasible);
+}
