@@ -13,8 +13,8 @@ use crate::common::{
     affected_components, derive_start, require_feasible_start, BaselineOutcome, GainKey,
 };
 use qbp_core::{
-    move_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionId, Problem,
-    UsageTracker,
+    move_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionId,
+    PartitionProfile, Problem, UsageTracker,
 };
 use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
 use qbp_solver::{moved_from, CommonOpts, Configure, SolveReport, Solver};
@@ -155,6 +155,15 @@ impl GfmSolver {
             partitions: problem.m(),
         });
         let mut scratch = PassScratch::default();
+        // Per-partition neighbor-weight aggregates; every gain below is an
+        // O(M) profile lookup, and each tentative (or rolled-back) move
+        // patches only the mover's neighbors.
+        let mut profile = PartitionProfile::plain(problem, &assignment);
+        obs.on_event(&SolveEvent::ProfileUpdated {
+            iteration: 0,
+            rebuilt: true,
+            moved: problem.n(),
+        });
         let mut passes = 0;
         let mut total_moves = 0;
         // Maintained incrementally from the retained gains so the per-pass
@@ -163,8 +172,15 @@ impl GfmSolver {
         while passes < self.config.max_passes {
             passes += 1;
             obs.on_event(&SolveEvent::IterationStarted { iteration: passes });
-            let (gain, moves) =
-                self.run_pass(problem, &eval, &mut assignment, &mut scratch, passes, obs);
+            let (gain, moves) = self.run_pass(
+                problem,
+                &eval,
+                &mut assignment,
+                &mut profile,
+                &mut scratch,
+                passes,
+                obs,
+            );
             total_moves += moves;
             value -= gain;
             obs.on_event(&SolveEvent::IterationFinished {
@@ -193,11 +209,13 @@ impl GfmSolver {
 
     /// Runs one FM pass; returns `(retained gain, retained move count)`.
     /// `assignment` ends at the best prefix of the pass.
+    #[allow(clippy::too_many_arguments)]
     fn run_pass(
         &self,
         problem: &Problem,
         eval: &Evaluator<'_>,
         assignment: &mut Assignment,
+        profile: &mut PartitionProfile,
         scratch: &mut PassScratch,
         pass: usize,
         obs: &mut dyn SolveObserver,
@@ -218,17 +236,23 @@ impl GfmSolver {
         heap.clear();
         let push_moves = |heap: &mut BinaryHeap<(GainKey, u32, u32)>,
                           assignment: &Assignment,
+                          profile: &PartitionProfile,
                           j: usize| {
             let cur = assignment.part_index(j);
             for i in 0..m {
                 if i != cur {
-                    let gain = -eval.move_delta(assignment, ComponentId::new(j), PartitionId::new(i));
+                    let gain = -eval.move_delta_profiled(
+                        profile,
+                        assignment,
+                        ComponentId::new(j),
+                        PartitionId::new(i),
+                    );
                     heap.push((GainKey(gain), j as u32, i as u32));
                 }
             }
         };
         for j in 0..n {
-            push_moves(heap, assignment, j);
+            push_moves(heap, assignment, profile, j);
         }
         // Capacity-blocked candidates parked per target partition; revived
         // when that partition frees space.
@@ -241,6 +265,7 @@ impl GfmSolver {
         let mut cum_gain: i64 = 0;
         let mut best_gain: i64 = 0;
         let mut best_len: usize = 0;
+        let mut profile_patches: usize = 0;
 
         while let Some((GainKey(key), ju, iu)) = heap.pop() {
             let j = ju as usize;
@@ -254,7 +279,7 @@ impl GfmSolver {
             }
             let cj = ComponentId::new(j);
             let pi = PartitionId::new(i);
-            let gain = -eval.move_delta(assignment, cj, pi);
+            let gain = -eval.move_delta_profiled(profile, assignment, cj, pi);
             // Stale key: re-queue with the fresh gain unless it still
             // dominates the heap.
             if gain < key {
@@ -279,6 +304,8 @@ impl GfmSolver {
             let from = PartitionId::new(cur);
             usage.apply_move(problem, cj, from, pi);
             assignment.move_to(cj, pi);
+            profile.apply_move(j, cur, i);
+            profile_patches += 1;
             locked[j] = true;
             cum_gain += gain;
             applied.push(AppliedMove { j: cj, from, gain });
@@ -290,12 +317,13 @@ impl GfmSolver {
             // capacity-waiters of the freed partition.
             for k in affected_components(problem, cj) {
                 if !locked[k.index()] {
-                    push_moves(heap, assignment, k.index());
+                    push_moves(heap, assignment, profile, k.index());
                 }
             }
             for (wj, wi) in std::mem::take(&mut waiting[from.index()]) {
                 if !locked[wj as usize] {
-                    let g = -eval.move_delta(
+                    let g = -eval.move_delta_profiled(
+                        profile,
                         assignment,
                         ComponentId::new(wj as usize),
                         PartitionId::new(wi as usize),
@@ -309,8 +337,18 @@ impl GfmSolver {
         // `accepted` means "survived the rollback", the only acceptance
         // notion FM has (moves are always applied first, judged later).
         for mv in applied[best_len..].iter().rev() {
+            // Each component moves at most once per pass (it locks), so its
+            // current partition is the tentative move's target.
+            let at = assignment.part_index(mv.j.index());
             assignment.move_to(mv.j, mv.from);
+            profile.apply_move(mv.j.index(), at, mv.from.index());
+            profile_patches += 1;
         }
+        obs.on_event(&SolveEvent::ProfileUpdated {
+            iteration: pass,
+            rebuilt: false,
+            moved: profile_patches,
+        });
         for (idx, mv) in applied.iter().enumerate() {
             obs.on_event(&SolveEvent::MoveEvaluated {
                 iteration: pass,

@@ -13,7 +13,8 @@ use crate::common::{
     affected_components, derive_start, require_feasible_start, BaselineOutcome, GainKey,
 };
 use qbp_core::{
-    swap_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, Problem, UsageTracker,
+    swap_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionProfile, Problem,
+    UsageTracker,
 };
 use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
 use qbp_solver::{moved_from, CommonOpts, Configure, SolveReport, Solver};
@@ -133,6 +134,16 @@ impl GklSolver {
             components: problem.n(),
             partitions: problem.m(),
         });
+        // Per-partition neighbor-weight aggregates; every swap gain below is
+        // an O(M) profile lookup plus an exact mutual-pair correction, and
+        // each tentative (or rolled-back) swap patches only the two movers'
+        // neighbors.
+        let mut profile = PartitionProfile::plain(problem, &assignment);
+        obs.on_event(&SolveEvent::ProfileUpdated {
+            iteration: 0,
+            rebuilt: true,
+            moved: problem.n(),
+        });
         let mut outer = 0;
         let mut total_swaps = 0;
         // Maintained incrementally from the retained gains so the per-loop
@@ -141,7 +152,8 @@ impl GklSolver {
         while outer < self.config.max_outer_loops {
             outer += 1;
             obs.on_event(&SolveEvent::IterationStarted { iteration: outer });
-            let (gain, swaps) = self.run_outer_loop(problem, &eval, &mut assignment, outer, obs);
+            let (gain, swaps) =
+                self.run_outer_loop(problem, &eval, &mut assignment, &mut profile, outer, obs);
             total_swaps += swaps;
             value -= gain;
             obs.on_event(&SolveEvent::IterationFinished {
@@ -176,6 +188,7 @@ impl GklSolver {
         problem: &Problem,
         eval: &Evaluator<'_>,
         assignment: &mut Assignment,
+        profile: &mut PartitionProfile,
         outer: usize,
         obs: &mut dyn SolveObserver,
     ) -> (i64, usize) {
@@ -189,8 +202,12 @@ impl GklSolver {
                 if assignment.part_index(j1) == assignment.part_index(j2) {
                     continue;
                 }
-                let gain =
-                    -eval.swap_delta(assignment, ComponentId::new(j1), ComponentId::new(j2));
+                let gain = -eval.swap_delta_profiled_lookup(
+                    profile,
+                    assignment,
+                    ComponentId::new(j1),
+                    ComponentId::new(j2),
+                );
                 heap.push((GainKey(gain), j1 as u32, j2 as u32));
             }
         }
@@ -199,6 +216,7 @@ impl GklSolver {
         let mut cum_gain: i64 = 0;
         let mut best_gain: i64 = 0;
         let mut best_len: usize = 0;
+        let mut profile_patches: usize = 0;
 
         while let Some((GainKey(key), j1u, j2u)) = heap.pop() {
             let (j1, j2) = (j1u as usize, j2u as usize);
@@ -213,7 +231,7 @@ impl GklSolver {
             if i1 == i2 {
                 continue;
             }
-            let gain = -eval.swap_delta(assignment, c1, c2);
+            let gain = -eval.swap_delta_profiled_lookup(profile, assignment, c1, c2);
             if gain < key {
                 let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
                 if !still_max {
@@ -229,10 +247,15 @@ impl GklSolver {
             {
                 continue;
             }
-            // Apply tentatively and lock both.
+            // Apply tentatively and lock both. The profile patch never reads
+            // the assignment, so the two single-component patches compose
+            // into the swap in either order.
             usage.apply_move(problem, c1, i1, i2);
             usage.apply_move(problem, c2, i2, i1);
             assignment.swap(c1, c2);
+            profile.apply_move(j1, i1.index(), i2.index());
+            profile.apply_move(j2, i2.index(), i1.index());
+            profile_patches += 2;
             locked[j1] = true;
             locked[j2] = true;
             cum_gain += gain;
@@ -261,7 +284,12 @@ impl GklSolver {
                     if assignment.part_index(l) == assignment.part_index(k.index()) {
                         continue;
                     }
-                    let g = -eval.swap_delta(assignment, k, ComponentId::new(l));
+                    let g = -eval.swap_delta_profiled_lookup(
+                        profile,
+                        assignment,
+                        k,
+                        ComponentId::new(l),
+                    );
                     if best_pair.is_none_or(|(bg, _)| g > bg) {
                         best_pair = Some((g, l));
                     }
@@ -277,8 +305,18 @@ impl GklSolver {
         // `accepted` means "survived the rollback", the only acceptance
         // notion KL has (swaps are always applied first, judged later).
         for &(c1, c2, _) in applied[best_len..].iter().rev() {
+            let at1 = assignment.part_index(c1.index());
+            let at2 = assignment.part_index(c2.index());
             assignment.swap(c1, c2);
+            profile.apply_move(c1.index(), at1, at2);
+            profile.apply_move(c2.index(), at2, at1);
+            profile_patches += 2;
         }
+        obs.on_event(&SolveEvent::ProfileUpdated {
+            iteration: outer,
+            rebuilt: false,
+            moved: profile_patches,
+        });
         for (idx, &(_, _, gain)) in applied.iter().enumerate() {
             obs.on_event(&SolveEvent::MoveEvaluated {
                 iteration: outer,

@@ -18,6 +18,7 @@
 
 use qbp_bench::{default_methods, run_rows, CircuitRow, TableOptions};
 use qbp_cli::args::Args;
+use qbp_core::{ComponentId, Evaluator, PartitionId, PartitionProfile, QMatrix};
 use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
 use qbp_observe::{CounterSnapshot, CountersObserver, NoopObserver, SolveObserver};
 use qbp_solver::{QbpConfig, QbpSolver, SolveWorkspace};
@@ -31,6 +32,12 @@ const MULTISTART_RUNS: usize = 8;
 const MULTISTART_CIRCUIT: &str = "cktd";
 /// Repetitions per observer-overhead timing; the minimum is reported.
 const OVERHEAD_REPS: usize = 3;
+/// Repetitions per kernel timing (minimum is kept, summed over the suite).
+const KERNEL_REPS: usize = 3;
+/// Instance scales the kernel benchmark runs at.
+const KERNEL_SCALES: [f64; 2] = [0.25, 1.0];
+/// Relative slowdown against `QBP_BASELINE` that triggers a CI annotation.
+const KERNEL_REGRESSION_THRESHOLD: f64 = 0.15;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -93,8 +100,260 @@ fn aggregate_counters(rows: &[CircuitRow], method: &str) -> CounterSnapshot {
         total.moves_rejected += c.moves_rejected;
         total.improvements += c.improvements;
         total.runs += c.runs;
+        total.profile_rebuilds += c.profile_rebuilds;
+        total.profile_patches += c.profile_patches;
     }
     total
+}
+
+/// Suite-aggregated wall-clock of the η and gain kernels at one instance
+/// scale: the pre-CSR nested-list η baseline vs. the CSR walk vs. the
+/// profile-backed kernel, and the explicit-walk move/swap gains vs. their
+/// [`PartitionProfile`] counterparts. All variants are asserted bit-identical
+/// on every circuit before being timed.
+struct KernelBench {
+    scale: f64,
+    eta_nested_seconds: f64,
+    eta_csr_seconds: f64,
+    eta_profiled_seconds: f64,
+    profile_build_seconds: f64,
+    move_gains_walk_seconds: f64,
+    move_gains_profiled_seconds: f64,
+    swap_gains_walk_seconds: f64,
+    swap_gains_profiled_seconds: f64,
+    /// `false` when any kernel pair disagreed on any circuit (a correctness
+    /// bug, reported and gated like the multistart determinism check).
+    matched: bool,
+}
+
+/// Minimum wall-clock of `f` over [`KERNEL_REPS`] repetitions.
+fn min_time<F: FnMut()>(mut f: F) -> f64 {
+    (0..KERNEL_REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn kernel_bench(scale: f64, suite_options: &SuiteOptions) -> KernelBench {
+    let mut kb = KernelBench {
+        scale,
+        eta_nested_seconds: 0.0,
+        eta_csr_seconds: 0.0,
+        eta_profiled_seconds: 0.0,
+        profile_build_seconds: 0.0,
+        move_gains_walk_seconds: 0.0,
+        move_gains_profiled_seconds: 0.0,
+        swap_gains_walk_seconds: 0.0,
+        swap_gains_profiled_seconds: 0.0,
+        matched: true,
+    };
+    for spec in PAPER_SUITE {
+        let spec = scaled_spec(&spec, scale);
+        let (problem, witness) =
+            build_instance_with_witness(&spec, suite_options).expect("suite construction");
+        let q = QMatrix::with_auto_penalty(&problem).expect("auto penalty");
+        let nested = q.nested_eta_baseline();
+        let eval = Evaluator::new(&problem);
+        let n = problem.n();
+        let m = problem.m();
+
+        // η: nested baseline vs. CSR walk vs. profile lookups.
+        let (mut eta_a, mut eta_b, mut eta_c) = (Vec::new(), Vec::new(), Vec::new());
+        kb.eta_nested_seconds += min_time(|| nested.eta(&q, &witness, &mut eta_a));
+        kb.eta_csr_seconds += min_time(|| q.eta(&witness, &mut eta_b));
+        let t0 = Instant::now();
+        let embedded = PartitionProfile::embedded(&q, &witness);
+        kb.profile_build_seconds += t0.elapsed().as_secs_f64();
+        kb.eta_profiled_seconds += min_time(|| q.eta_profiled(&witness, &embedded, &mut eta_c));
+        if eta_a != eta_b || eta_b != eta_c {
+            kb.matched = false;
+        }
+
+        // Move and swap gains: explicit adjacency walks vs. profile lookups,
+        // over every (component, foreign partition) and every cross-partition
+        // pair — the exact gain sets GFM and GKL enumerate.
+        let plain = PartitionProfile::plain(&problem, &witness);
+        let move_walk: Vec<i64> = (0..n)
+            .flat_map(|j| {
+                let cur = witness.part_index(j);
+                (0..m).filter(move |&i| i != cur).map(move |i| (j, i))
+            })
+            .map(|(j, i)| eval.move_delta(&witness, ComponentId::new(j), PartitionId::new(i)))
+            .collect();
+        let move_prof: Vec<i64> = (0..n)
+            .flat_map(|j| {
+                let cur = witness.part_index(j);
+                (0..m).filter(move |&i| i != cur).map(move |i| (j, i))
+            })
+            .map(|(j, i)| {
+                eval.move_delta_profiled(&plain, &witness, ComponentId::new(j), PartitionId::new(i))
+            })
+            .collect();
+        let swap_pairs: Vec<(ComponentId, ComponentId)> = (0..n)
+            .flat_map(|j1| (j1 + 1..n).map(move |j2| (j1, j2)))
+            .filter(|&(j1, j2)| witness.part_index(j1) != witness.part_index(j2))
+            .map(|(j1, j2)| (ComponentId::new(j1), ComponentId::new(j2)))
+            .collect();
+        let swap_walk: Vec<i64> = swap_pairs
+            .iter()
+            .map(|&(c1, c2)| eval.swap_delta(&witness, c1, c2))
+            .collect();
+        let swap_prof: Vec<i64> = swap_pairs
+            .iter()
+            .map(|&(c1, c2)| eval.swap_delta_profiled_lookup(&plain, &witness, c1, c2))
+            .collect();
+        if move_walk != move_prof || swap_walk != swap_prof {
+            kb.matched = false;
+        }
+
+        let mut sink: i64 = 0;
+        kb.move_gains_walk_seconds += min_time(|| {
+            for j in 0..n {
+                let cur = witness.part_index(j);
+                for i in (0..m).filter(|&i| i != cur) {
+                    sink = sink.wrapping_add(eval.move_delta(
+                        &witness,
+                        ComponentId::new(j),
+                        PartitionId::new(i),
+                    ));
+                }
+            }
+        });
+        kb.move_gains_profiled_seconds += min_time(|| {
+            for j in 0..n {
+                let cur = witness.part_index(j);
+                for i in (0..m).filter(|&i| i != cur) {
+                    sink = sink.wrapping_add(eval.move_delta_profiled(
+                        &plain,
+                        &witness,
+                        ComponentId::new(j),
+                        PartitionId::new(i),
+                    ));
+                }
+            }
+        });
+        kb.swap_gains_walk_seconds += min_time(|| {
+            for &(c1, c2) in &swap_pairs {
+                sink = sink.wrapping_add(eval.swap_delta(&witness, c1, c2));
+            }
+        });
+        kb.swap_gains_profiled_seconds += min_time(|| {
+            for &(c1, c2) in &swap_pairs {
+                sink =
+                    sink.wrapping_add(eval.swap_delta_profiled_lookup(&plain, &witness, c1, c2));
+            }
+        });
+        std::hint::black_box(sink);
+    }
+    kb
+}
+
+impl KernelBench {
+    fn eta_speedup_vs_nested(&self) -> f64 {
+        self.eta_nested_seconds / self.eta_profiled_seconds.max(1e-12)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scale\": {}, \"reps\": {}, \
+             \"eta_nested_seconds\": {:.6}, \"eta_csr_seconds\": {:.6}, \
+             \"eta_profiled_seconds\": {:.6}, \"eta_speedup_vs_nested\": {:.3}, \
+             \"profile_build_seconds\": {:.6}, \
+             \"move_gains_walk_seconds\": {:.6}, \"move_gains_profiled_seconds\": {:.6}, \
+             \"move_gains_speedup\": {:.3}, \
+             \"swap_gains_walk_seconds\": {:.6}, \"swap_gains_profiled_seconds\": {:.6}, \
+             \"swap_gains_speedup\": {:.3}, \"matched\": {}}}",
+            self.scale,
+            KERNEL_REPS,
+            self.eta_nested_seconds,
+            self.eta_csr_seconds,
+            self.eta_profiled_seconds,
+            self.eta_speedup_vs_nested(),
+            self.profile_build_seconds,
+            self.move_gains_walk_seconds,
+            self.move_gains_profiled_seconds,
+            self.move_gains_walk_seconds / self.move_gains_profiled_seconds.max(1e-12),
+            self.swap_gains_walk_seconds,
+            self.swap_gains_profiled_seconds,
+            self.swap_gains_walk_seconds / self.swap_gains_profiled_seconds.max(1e-12),
+            self.matched
+        )
+    }
+}
+
+/// Timing keys diffed against a `QBP_BASELINE` snapshot (lower is better).
+const KERNEL_TIMING_KEYS: [&str; 7] = [
+    "eta_nested_seconds",
+    "eta_csr_seconds",
+    "eta_profiled_seconds",
+    "profile_build_seconds",
+    "move_gains_profiled_seconds",
+    "swap_gains_profiled_seconds",
+    "move_gains_walk_seconds",
+];
+
+/// Pulls `"key": <number>` out of a JSON fragment without a JSON parser (the
+/// snapshot format is this binary's own output).
+fn extract_number(fragment: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = fragment.find(&pat)? + pat.len();
+    let rest = fragment[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Non-gating regression check: compares this run's kernel timings against
+/// the committed snapshot named by `QBP_BASELINE` and prints a GitHub
+/// `::warning::` annotation for every kernel that slowed more than
+/// [`KERNEL_REGRESSION_THRESHOLD`]. Absent/unreadable baselines (or ones
+/// predating `kernel_bench`) are skipped silently — the first snapshot in a
+/// fresh checkout has nothing to diff against.
+fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("kernel regression check: baseline {baseline_path} unreadable, skipping");
+        return;
+    };
+    let Some(start) = text.find("\"kernel_bench\"") else {
+        eprintln!("kernel regression check: baseline has no kernel_bench block, skipping");
+        return;
+    };
+    // One `{...}` object per scale inside the kernel_bench array.
+    let mut annotated = 0usize;
+    for chunk in text[start..].split('{').skip(1) {
+        let chunk = chunk.split('}').next().unwrap_or("");
+        let Some(scale) = extract_number(chunk, "scale") else {
+            continue;
+        };
+        let Some(kb) = fresh.iter().find(|kb| (kb.scale - scale).abs() < 1e-9) else {
+            continue;
+        };
+        for key in KERNEL_TIMING_KEYS {
+            let (Some(base), Some(now)) = (
+                extract_number(chunk, key),
+                extract_number(&kb.to_json(), key),
+            ) else {
+                continue;
+            };
+            if base > 0.0 && now > base * (1.0 + KERNEL_REGRESSION_THRESHOLD) {
+                let pct = 100.0 * (now / base - 1.0);
+                println!(
+                    "::warning::kernel_bench regression: {key} at scale {scale} \
+                     slowed {pct:+.1}% (baseline {base:.6}s, fresh {now:.6}s)"
+                );
+                annotated += 1;
+            }
+        }
+    }
+    eprintln!(
+        "kernel regression check vs {baseline_path}: {annotated} kernel(s) slower than \
+         the {:.0}% threshold",
+        100.0 * KERNEL_REGRESSION_THRESHOLD
+    );
 }
 
 fn main() {
@@ -160,12 +419,45 @@ fn main() {
     let suite_seconds = suite_t0.elapsed().as_secs_f64();
     let qbp_totals = aggregate_counters(&rows, "QBP");
     eprintln!(
-        "qbp phase totals: {} η patches / {} full recomputes, {} GAP calls, {} repairs",
-        qbp_totals.eta_incremental, qbp_totals.eta_full, qbp_totals.gap_calls, qbp_totals.repairs
+        "qbp phase totals: {} η patches / {} full recomputes \
+         ({} profile rebuilds / {} profile patches), {} GAP calls, {} repairs",
+        qbp_totals.eta_incremental,
+        qbp_totals.eta_full,
+        qbp_totals.profile_rebuilds,
+        qbp_totals.profile_patches,
+        qbp_totals.gap_calls,
+        qbp_totals.repairs
     );
+
+    // Kernel benchmark: old-vs-new η and gain kernels, small and full scale.
+    let kernels: Vec<KernelBench> = KERNEL_SCALES
+        .iter()
+        .map(|&scale| {
+            let kb = kernel_bench(scale, &suite_options);
+            eprintln!(
+                "kernel_bench (scale {scale}): η nested {:.4}s / csr {:.4}s / profiled {:.4}s \
+                 ({:.2}x vs nested), move gains {:.4}s → {:.4}s, swap gains {:.4}s → {:.4}s",
+                kb.eta_nested_seconds,
+                kb.eta_csr_seconds,
+                kb.eta_profiled_seconds,
+                kb.eta_speedup_vs_nested(),
+                kb.move_gains_walk_seconds,
+                kb.move_gains_profiled_seconds,
+                kb.swap_gains_walk_seconds,
+                kb.swap_gains_profiled_seconds,
+            );
+            kb
+        })
+        .collect();
+    let kernels_matched = kernels.iter().all(|kb| kb.matched);
+    if let Ok(baseline) = std::env::var("QBP_BASELINE") {
+        diff_against_baseline(&baseline, &kernels);
+    }
 
     // Multistart speedup: the same restarts serially (threads = 1) and in
     // parallel (threads = 0 → all cores); the winners must be bit-identical.
+    // On a single-core box the "parallel" run exercises the same serial path,
+    // so its timing ratio is pure noise — the speedup is reported as null.
     let (_, problem, _) = instances
         .iter()
         .find(|(spec, _, _)| spec.name == MULTISTART_CIRCUIT)
@@ -177,6 +469,8 @@ fn main() {
             ..QbpConfig::default()
         })
     };
+    let serial_threads_used = 1usize;
+    let parallel_threads_used = threads_available.min(multistart_runs.max(1));
     let t0 = Instant::now();
     let serial = solver_for(1)
         .solve_multistart(problem, None, multistart_runs)
@@ -192,12 +486,22 @@ fn main() {
         && serial.objective == parallel.objective
         && serial.feasible == parallel.feasible
         && serial.iterations == parallel.iterations;
-    let speedup = serial_seconds / parallel_seconds.max(1e-12);
-    eprintln!(
-        "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
-         serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s, \
-         speedup {speedup:.2}x, bit_identical {bit_identical}"
-    );
+    let speedup = (threads_available > 1).then(|| serial_seconds / parallel_seconds.max(1e-12));
+    let skipped_reason = (threads_available == 1)
+        .then_some("threads_available == 1: the parallel path degenerates to the serial one");
+    match speedup {
+        Some(s) => eprintln!(
+            "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
+             serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s \
+             ({parallel_threads_used} thread(s)), speedup {s:.2}x, \
+             bit_identical {bit_identical}"
+        ),
+        None => eprintln!(
+            "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
+             serial {serial_seconds:.3}s; speedup skipped (single core), \
+             bit_identical {bit_identical}"
+        ),
+    }
 
     // Observer overhead: the identical solve with a no-op observer and with
     // live counters; the event layer's contract is that watching costs
@@ -229,12 +533,28 @@ fn main() {
         eprintln!("warning: counters overhead above the 2% budget (informational)");
     }
 
+    let speedup_json = match speedup {
+        Some(s) => format!("{s:.3}"),
+        None => "null".to_string(),
+    };
+    let skipped_reason_json = match skipped_reason {
+        Some(r) => format!("\"{}\"", json_escape(r)),
+        None => "null".to_string(),
+    };
+    let kernel_bench_json = kernels
+        .iter()
+        .map(|kb| format!("\n    {}", kb.to_json()))
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
         "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads_available\": {},\n  \
          \"suite_wall_seconds\": {:.6},\n  \"tables\": {},\n  \
-         \"qbp_counter_totals\": {},\n  \"multistart\": {{\n    \
+         \"qbp_counter_totals\": {},\n  \"kernel_bench\": [{}\n  ],\n  \
+         \"multistart\": {{\n    \
          \"circuit\": \"{}\",\n    \"runs\": {},\n    \"serial_seconds\": {:.6},\n    \
-         \"parallel_seconds\": {:.6},\n    \"speedup\": {:.3},\n    \"bit_identical\": {}\n  }},\n  \
+         \"serial_threads_used\": {},\n    \"parallel_seconds\": {:.6},\n    \
+         \"parallel_threads_used\": {},\n    \"speedup\": {},\n    \
+         \"skipped_reason\": {},\n    \"bit_identical\": {}\n  }},\n  \
          \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
          \"noop_seconds\": {:.6},\n    \"counters_seconds\": {:.6},\n    \
          \"overhead_pct\": {:.3}\n  }}\n}}\n",
@@ -244,11 +564,15 @@ fn main() {
         suite_seconds,
         rows_json(&rows),
         qbp_totals.to_json(),
+        kernel_bench_json,
         MULTISTART_CIRCUIT,
         multistart_runs,
         serial_seconds,
+        serial_threads_used,
         parallel_seconds,
-        speedup,
+        parallel_threads_used,
+        speedup_json,
+        skipped_reason_json,
         bit_identical,
         MULTISTART_CIRCUIT,
         OVERHEAD_REPS,
@@ -261,6 +585,10 @@ fn main() {
 
     if !bit_identical {
         eprintln!("error: parallel multistart diverged from serial (determinism bug)");
+        std::process::exit(1);
+    }
+    if !kernels_matched {
+        eprintln!("error: a profiled kernel diverged from its explicit-walk twin (correctness bug)");
         std::process::exit(1);
     }
 }

@@ -64,6 +64,7 @@ mod matrix;
 pub mod netlist;
 mod objective;
 mod problem;
+mod profile;
 mod qmatrix;
 pub mod stats;
 mod topology;
@@ -80,7 +81,8 @@ pub use ids::{ComponentId, PairIndex, PartitionId};
 pub use matrix::DenseMatrix;
 pub use objective::Evaluator;
 pub use problem::{deviation_cost_matrix, Problem, ProblemBuilder};
-pub use qmatrix::QMatrix;
+pub use profile::PartitionProfile;
+pub use qmatrix::{NestedEtaBaseline, QMatrix};
 pub use topology::PartitionTopology;
 
 /// Cost values (wire cost, linear assignment cost, objective values).

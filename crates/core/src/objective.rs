@@ -1,7 +1,7 @@
 //! Objective evaluation: full cost, and exact incremental deltas for single
 //! moves and pair swaps (the workhorses of the GFM/GKL baselines).
 
-use crate::{Assignment, ComponentId, Cost, PartitionId, Problem};
+use crate::{Assignment, ComponentId, Cost, PartitionId, PartitionProfile, Problem};
 
 /// Evaluates the `PP(α, β)` objective
 /// `α·Σ_j p[A(j)][j] + β·Σ_{j1,j2} a[j1][j2]·b[A(j1)][A(j2)]`
@@ -179,6 +179,142 @@ impl<'a> Evaluator<'a> {
             delta += beta * w21 * (b[(i1, i2)] - b[(i2, i1)]);
         }
         delta
+    }
+
+    /// [`Evaluator::move_delta`] from a plain [`PartitionProfile`] synced to
+    /// `assignment`: `O(M)` table lookups instead of an `O(deg(j))` adjacency
+    /// walk, bit-identical by `i64` distributivity
+    /// (`Σ_k β·w_k·x = β·(Σ_k w_k)·x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or `to` is out of range, or if `profile` was not built
+    /// for this problem's dimensions.
+    pub fn move_delta_profiled(
+        &self,
+        profile: &PartitionProfile,
+        assignment: &Assignment,
+        j: ComponentId,
+        to: PartitionId,
+    ) -> Cost {
+        let from = assignment.part_index(j.index());
+        let to_i = to.index();
+        if from == to_i {
+            return 0;
+        }
+        let problem = self.problem;
+        let b = problem.topology().wire_cost();
+        let beta = problem.beta();
+        let mut delta = problem.alpha() * (problem.p(to_i, j.index()) - problem.p(from, j.index()));
+        let (bt, bf) = (b.row(to_i), b.row(from));
+        let out_row = profile.out_row(j.index());
+        let in_row = profile.in_row(j.index());
+        for (p, (&wo, &wi)) in out_row.iter().zip(in_row).enumerate() {
+            if wo != 0 {
+                delta += beta * wo * (bt[p] - bf[p]);
+            }
+            if wi != 0 {
+                delta += beta * wi * (b[(p, to_i)] - b[(p, from)]);
+            }
+        }
+        delta
+    }
+
+    /// [`Evaluator::swap_delta`] from a plain [`PartitionProfile`] synced to
+    /// `assignment`: `O(M)` table lookups instead of an
+    /// `O(deg(j1) + deg(j2))` walk.
+    ///
+    /// The caller supplies the mutual connection weights
+    /// `w12 = a[j1][j2]` / `w21 = a[j2][j1]` (GKL keeps them at hand from its
+    /// pair enumeration; [`Evaluator::swap_delta_profiled_lookup`] looks them
+    /// up instead). The profile sums count each mover's contribution at the
+    /// *other* mover's pre-swap partition, so the mutual pair is corrected in
+    /// closed form:
+    /// `β·(w12 + w21)·(b[i2][i1] + b[i1][i2] − b[i1][i1] − b[i2][i2])` —
+    /// exact in `i64`, hence bit-identical (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range, or if `profile` was not built
+    /// for this problem's dimensions.
+    pub fn swap_delta_profiled(
+        &self,
+        profile: &PartitionProfile,
+        assignment: &Assignment,
+        j1: ComponentId,
+        j2: ComponentId,
+        w12: Cost,
+        w21: Cost,
+    ) -> Cost {
+        if j1 == j2 {
+            return 0;
+        }
+        let i1 = assignment.part_index(j1.index());
+        let i2 = assignment.part_index(j2.index());
+        if i1 == i2 {
+            return 0;
+        }
+        let problem = self.problem;
+        let b = problem.topology().wire_cost();
+        let beta = problem.beta();
+        let alpha = problem.alpha();
+
+        let mut delta = alpha
+            * (problem.p(i2, j1.index()) - problem.p(i1, j1.index())
+                + problem.p(i1, j2.index())
+                - problem.p(i2, j2.index()));
+
+        // One fused pass: j2's terms are j1's negated, so price the
+        // *differenced* aggregates (exact in `i64` by distributivity —
+        // `β·w1·x − β·w2·x = β·(w1 − w2)·x`).
+        let (b2r, b1r) = (b.row(i2), b.row(i1));
+        let out_diff = profile
+            .out_row(j1.index())
+            .iter()
+            .zip(profile.out_row(j2.index()));
+        let in_diff = profile
+            .in_row(j1.index())
+            .iter()
+            .zip(profile.in_row(j2.index()));
+        for (p, ((&o1, &o2), (&n1, &n2))) in out_diff.zip(in_diff).enumerate() {
+            let wo = o1 - o2;
+            if wo != 0 {
+                delta += beta * wo * (b2r[p] - b1r[p]);
+            }
+            let wi = n1 - n2;
+            if wi != 0 {
+                delta += beta * wi * (b[(p, i2)] - b[(p, i1)]);
+            }
+        }
+        // The aggregate sums above priced each mutual-pair direction at the
+        // wrong spots (partner held at its pre-swap partition, on both
+        // sides); replace that with the true exchanged-endpoints term.
+        let wm = w12 + w21;
+        if wm != 0 {
+            delta += beta * wm * (b[(i2, i1)] + b[(i1, i2)] - b[(i1, i1)] - b[(i2, i2)]);
+        }
+        delta
+    }
+
+    /// [`Evaluator::swap_delta_profiled`] with the mutual connection weights
+    /// looked up from the circuit (`O(deg(j1))`). Convenient when the caller
+    /// does not already hold `a[j1][j2]` / `a[j2][j1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range, or if `profile` was not built
+    /// for this problem's dimensions.
+    pub fn swap_delta_profiled_lookup(
+        &self,
+        profile: &PartitionProfile,
+        assignment: &Assignment,
+        j1: ComponentId,
+        j2: ComponentId,
+    ) -> Cost {
+        let circuit = self.problem.circuit();
+        let w12 = circuit.connection(j1, j2);
+        let w21 = circuit.connection(j2, j1);
+        self.swap_delta_profiled(profile, assignment, j1, j2, w12, w21)
     }
 }
 

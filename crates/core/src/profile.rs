@@ -1,0 +1,699 @@
+//! Incremental per-partition neighbor-weight aggregates.
+//!
+//! [`PartitionProfile`] maintains, for each component `j` and partition `p`,
+//! the aggregated neighbor weight `w[j][p] = Σ_{k ∈ N(j), A(k) = p} a[j][k]`
+//! (separately for the out and in edge directions), updated in `O(deg(j))`
+//! per committed move. The profile is the shared table behind the fast gain
+//! kernels: QBP's η row evaluation
+//! ([`QMatrix::eta_profiled`](crate::QMatrix::eta_profiled)), GFM's move
+//! gains ([`Evaluator::move_delta_profiled`](crate::Evaluator)), and GKL's
+//! swap gains ([`Evaluator::swap_delta_profiled`](crate::Evaluator)) all
+//! become `O(M)` table lookups instead of `O(deg·M)` adjacency walks, with
+//! bit-identical integer results (`Σ_k β·w_k·x = β·(Σ_k w_k)·x` exactly in
+//! `i64`).
+
+use crate::qmatrix::NO_CLASS;
+use crate::{Assignment, Cost, Problem, QMatrix};
+
+/// Fold tag for records that always belong in the base aggregate
+/// (unconstrained connections).
+const TAG_ALWAYS: u16 = u16::MAX;
+
+/// Fold tag for records that never belong in the base aggregate
+/// (timing-constrained records past the limit-class cap).
+const TAG_NEVER: u16 = u16::MAX - 1;
+
+
+/// Incremental per-partition aggregated neighbor weights, maintained with
+/// `O(deg)` updates per committed move.
+///
+/// Two flavours share the struct:
+///
+/// * **Plain** ([`PartitionProfile::plain`]) — built from the circuit alone;
+///   tracks both directions (`out_row` / `in_row`) over every connection.
+///   Backs the profiled move/swap gain kernels of
+///   [`Evaluator`](crate::Evaluator) used by the GFM/GKL baselines.
+/// * **Embedded** ([`PartitionProfile::embedded`]) — built from a
+///   [`QMatrix`]; tracks only the in direction, and a record's weight is
+///   counted only while its limit class is *folded* for the source partition
+///   (see the class tables inside `QMatrix`). Backs
+///   [`QMatrix::eta_profiled`](crate::QMatrix::eta_profiled).
+///
+/// The profile owns a copy of the adjacency it tracks, so
+/// [`PartitionProfile::apply_move`] needs no access to the circuit or matrix
+/// — and it never reads the assignment: a committed swap is simply two
+/// `apply_move` calls (the patches are order-independent because a mover's
+/// own rows aggregate its *partners'* positions, never its own).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionProfile {
+    n: usize,
+    m: usize,
+    /// `out_agg[j·M + p] = Σ_{k ∈ out(j), A(k) = p} a[j][k]`. Empty for
+    /// embedded profiles (η consumes only the in direction).
+    out_agg: Vec<Cost>,
+    /// `in_agg[j·M + p] = Σ_{k ∈ in(j), A(k) = p} a[k][j]`, restricted to
+    /// folded records for embedded profiles.
+    in_agg: Vec<Cost>,
+    /// Tracked out adjacency (CSR offsets / partner / weight / fold tag):
+    /// walking row `j` patches the `in_agg` of `j`'s out-partners.
+    out_off: Vec<u32>,
+    out_other: Vec<u32>,
+    out_w: Vec<Cost>,
+    out_tag: Vec<u16>,
+    /// Tracked in adjacency (plain profiles only): walking row `j` patches
+    /// the `out_agg` of `j`'s in-partners.
+    in_off: Vec<u32>,
+    in_other: Vec<u32>,
+    in_w: Vec<Cost>,
+    /// `folded[c·M + p]` copied from the matrix's limit-class tables
+    /// (embedded profiles only).
+    folded: Vec<bool>,
+    /// Penalty-relevant tally for timing-constrained partners (embedded
+    /// profiles only, and only when the matrix has limit classes):
+    /// `fix[j·M + i]` accumulates, over column `j`'s class-tagged constrained
+    /// in-records, the exact fix-up the η kernel applies on top of the base
+    /// aggregate — `penalty − β·w·b[p][i]` on the violating entries of
+    /// folded records, `β·w·b[p][i] − penalty` on the satisfying entries of
+    /// unfolded ones — while `pen[j]` carries the unfolded records' row-wide
+    /// penalty. Zero-weight timing pairs still tally: they contribute pure
+    /// penalty entries.
+    fix: Vec<Cost>,
+    pen: Vec<Cost>,
+    /// Patch tables copied from the matrix's limit classes (embedded
+    /// profiles only): entries `patch_off[c·M + p]..patch_off[c·M + p + 1]`
+    /// of the parallel index/wire-cost arrays are the η-kernel patch list
+    /// for class `c` and source partition `p` — the violating set when
+    /// folded, the satisfying set otherwise.
+    patch_off: Vec<u32>,
+    patch_idx: Vec<u16>,
+    patch_b: Vec<Cost>,
+    /// The matrix's timing penalty and the problem's interconnect
+    /// coefficient β (embedded profiles only).
+    penalty: Cost,
+    beta: Cost,
+}
+
+impl PartitionProfile {
+    /// Builds a plain (circuit-direction) profile synced to `assignment`:
+    /// both `out_row` and `in_row` aggregate every nonzero connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not match the problem's dimensions.
+    pub fn plain(problem: &Problem, assignment: &Assignment) -> Self {
+        let n = problem.n();
+        let m = problem.m();
+        let circuit = problem.circuit();
+        let mut profile = PartitionProfile {
+            n,
+            m,
+            out_agg: vec![0; n * m],
+            in_agg: vec![0; n * m],
+            out_off: Vec::with_capacity(n + 1),
+            out_other: Vec::new(),
+            out_w: Vec::new(),
+            out_tag: Vec::new(),
+            in_off: Vec::with_capacity(n + 1),
+            in_other: Vec::new(),
+            in_w: Vec::new(),
+            folded: Vec::new(),
+            fix: Vec::new(),
+            pen: Vec::new(),
+            patch_off: Vec::new(),
+            patch_idx: Vec::new(),
+            patch_b: Vec::new(),
+            penalty: 0,
+            beta: 0,
+        };
+        profile.out_off.push(0);
+        profile.in_off.push(0);
+        for j in 0..n {
+            let id = crate::ComponentId::new(j);
+            for (k, w) in circuit.out_connections(id) {
+                profile.out_other.push(k.index() as u32);
+                profile.out_w.push(w);
+                profile.out_tag.push(TAG_ALWAYS);
+            }
+            profile.out_off.push(profile.out_other.len() as u32);
+            for (k, w) in circuit.in_connections(id) {
+                profile.in_other.push(k.index() as u32);
+                profile.in_w.push(w);
+            }
+            profile.in_off.push(profile.in_other.len() as u32);
+        }
+        profile.rebuild(assignment);
+        profile
+    }
+
+    /// Builds an embedded (η-direction) profile of `q` synced to
+    /// `assignment`: `in_row(j)` holds the base aggregate consumed by
+    /// [`QMatrix::eta_profiled`](crate::QMatrix::eta_profiled) —
+    /// unconstrained in-weights plus the constrained in-weights whose limit
+    /// class is folded for the source's current partition. `out_row` is not
+    /// tracked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not match the problem's dimensions.
+    pub fn embedded(q: &QMatrix<'_>, assignment: &Assignment) -> Self {
+        let problem = q.problem();
+        let n = problem.n();
+        let m = problem.m();
+        let classes = q.timing_classes();
+        let out = q.out_csr();
+        let mut profile = PartitionProfile {
+            n,
+            m,
+            out_agg: Vec::new(),
+            in_agg: vec![0; n * m],
+            out_off: Vec::with_capacity(n + 1),
+            out_other: Vec::new(),
+            out_w: Vec::new(),
+            out_tag: Vec::new(),
+            in_off: Vec::new(),
+            in_other: Vec::new(),
+            in_w: Vec::new(),
+            folded: Vec::with_capacity(classes.class_count() * m),
+            fix: Vec::new(),
+            pen: Vec::new(),
+            patch_off: Vec::new(),
+            patch_idx: Vec::new(),
+            patch_b: Vec::new(),
+            penalty: q.penalty(),
+            beta: problem.beta(),
+        };
+        for c in 0..classes.class_count() {
+            for p in 0..m {
+                profile.folded.push(classes.folded(c as u16, p));
+            }
+        }
+        if classes.class_count() > 0 {
+            let (off, idx, b) = classes.patch_tables();
+            profile.patch_off = off.to_vec();
+            profile.patch_idx = idx.to_vec();
+            profile.patch_b = b.to_vec();
+            profile.fix = vec![0; n * m];
+            profile.pen = vec![0; n];
+        }
+        profile.out_off.push(0);
+        for j in 0..n {
+            for (k, w) in out.unconstrained(j) {
+                profile.out_other.push(k as u32);
+                profile.out_w.push(w);
+                profile.out_tag.push(TAG_ALWAYS);
+            }
+            for (_, k, w, limit) in out.constrained(j) {
+                profile.out_other.push(k as u32);
+                profile.out_w.push(w);
+                let c = classes.class_of(limit);
+                profile
+                    .out_tag
+                    .push(if c == NO_CLASS { TAG_NEVER } else { c });
+            }
+            profile.out_off.push(profile.out_other.len() as u32);
+        }
+        profile.rebuild(assignment);
+        profile
+    }
+
+    /// Number of partitions `M` (the length of each aggregate row).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of components `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The out-direction aggregate row of `j`:
+    /// `out_row(j)[p] = Σ_{k ∈ out(j), A(k) = p} a[j][k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on embedded profiles (which do not track the out direction) or
+    /// when `j` is out of range.
+    pub fn out_row(&self, j: usize) -> &[Cost] {
+        assert!(
+            !self.out_agg.is_empty(),
+            "embedded profiles do not track the out direction"
+        );
+        &self.out_agg[j * self.m..(j + 1) * self.m]
+    }
+
+    /// The in-direction aggregate row of `j`:
+    /// `in_row(j)[p] = Σ_{k ∈ in(j), A(k) = p} a[k][j]` (restricted to
+    /// folded records for embedded profiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    pub fn in_row(&self, j: usize) -> &[Cost] {
+        &self.in_agg[j * self.m..(j + 1) * self.m]
+    }
+
+    /// Whether this profile carries the constrained-correction tally (an
+    /// embedded profile of a matrix with at least one limit class).
+    pub(crate) fn tracks_fix(&self) -> bool {
+        !self.fix.is_empty()
+    }
+
+    /// The constrained-correction row of column `j` and its row-wide
+    /// penalty: the η kernel adds the row elementwise and the penalty to
+    /// every entry. Only meaningful when [`PartitionProfile::tracks_fix`].
+    pub(crate) fn constrained_fix(&self, j: usize) -> (&[Cost], Cost) {
+        (&self.fix[j * self.m..(j + 1) * self.m], self.pen[j])
+    }
+
+    /// Adds (`sign = 1`) or removes (`sign = -1`) one class-`c` record of
+    /// weight `w` with its source in partition `p` from partner column `k`'s
+    /// correction tally, by replaying the `(c, p)` patch list.
+    #[inline]
+    fn replay(&mut self, k: usize, c: u16, p: usize, sign: Cost, w: Cost) {
+        let cp = c as usize * self.m + p;
+        let s = self.patch_off[cp] as usize;
+        let t = self.patch_off[cp + 1] as usize;
+        let coeff = self.beta * w;
+        let row = &mut self.fix[k * self.m..(k + 1) * self.m];
+        if self.folded[cp] {
+            for (&i, &bi) in self.patch_idx[s..t].iter().zip(&self.patch_b[s..t]) {
+                row[i as usize] += sign * (self.penalty - coeff * bi);
+            }
+        } else {
+            self.pen[k] += sign * self.penalty;
+            for (&i, &bi) in self.patch_idx[s..t].iter().zip(&self.patch_b[s..t]) {
+                row[i as usize] += sign * (coeff * bi - self.penalty);
+            }
+        }
+    }
+
+    /// Whether a record with fold tag `tag` counts toward the base aggregate
+    /// while its source sits in partition `p`.
+    #[inline]
+    fn folds(&self, tag: u16, p: usize) -> bool {
+        match tag {
+            TAG_ALWAYS => true,
+            TAG_NEVER => false,
+            c => self.folded[c as usize * self.m + p],
+        }
+    }
+
+    /// Recomputes every aggregate from scratch for `assignment` (`O(E + T)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not match the profile's dimensions.
+    pub fn rebuild(&mut self, assignment: &Assignment) {
+        assert_eq!(assignment.len(), self.n, "assignment length mismatch");
+        let m = self.m;
+        self.in_agg.fill(0);
+        self.out_agg.fill(0);
+        self.fix.fill(0);
+        self.pen.fill(0);
+        let track_out = !self.out_agg.is_empty();
+        for j in 0..self.n {
+            let pj = assignment.part_index(j);
+            for e in self.out_off[j] as usize..self.out_off[j + 1] as usize {
+                let k = self.out_other[e] as usize;
+                let w = self.out_w[e];
+                let tag = self.out_tag[e];
+                if tag < TAG_NEVER {
+                    // Class-tagged record: tally its η fix-up (zero-weight
+                    // timing pairs included — they are pure penalty).
+                    self.replay(k, tag, pj, 1, w);
+                }
+                if w == 0 {
+                    continue;
+                }
+                if self.folds(tag, pj) {
+                    self.in_agg[k * m + pj] += w;
+                }
+                if track_out {
+                    self.out_agg[j * m + assignment.part_index(k)] += w;
+                }
+            }
+        }
+    }
+
+    /// Patches the aggregates for a committed move of component `j` from
+    /// partition `from` to partition `to` (`O(deg(j))`).
+    ///
+    /// Only the *partners'* rows change — a component's own rows aggregate
+    /// its neighbors' positions — so the patch never reads the assignment
+    /// and a swap is exactly two `apply_move` calls, in either order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j`, `from` or `to` is out of range.
+    pub fn apply_move(&mut self, j: usize, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        assert!(j < self.n && from < self.m && to < self.m, "index out of range");
+        let m = self.m;
+        for e in self.out_off[j] as usize..self.out_off[j + 1] as usize {
+            let k = self.out_other[e] as usize;
+            let w = self.out_w[e];
+            let tag = self.out_tag[e];
+            if tag < TAG_NEVER {
+                // Class-tagged record: re-tally its η fix-up for the new
+                // source partition (zero-weight timing pairs included).
+                self.replay(k, tag, from, -1, w);
+                self.replay(k, tag, to, 1, w);
+            }
+            if w == 0 {
+                continue;
+            }
+            match tag {
+                TAG_ALWAYS => {
+                    self.in_agg[k * m + from] -= w;
+                    self.in_agg[k * m + to] += w;
+                }
+                TAG_NEVER => {}
+                c => {
+                    if self.folded[c as usize * m + from] {
+                        self.in_agg[k * m + from] -= w;
+                    }
+                    if self.folded[c as usize * m + to] {
+                        self.in_agg[k * m + to] += w;
+                    }
+                }
+            }
+        }
+        if !self.out_agg.is_empty() {
+            for e in self.in_off[j] as usize..self.in_off[j + 1] as usize {
+                let k = self.in_other[e] as usize;
+                let w = self.in_w[e];
+                self.out_agg[k * m + from] -= w;
+                self.out_agg[k * m + to] += w;
+            }
+        }
+    }
+
+    /// Syncs a profile reflecting `prev` to reflect `next`: patches each
+    /// moved component with [`PartitionProfile::apply_move`] when at most
+    /// `N/4` moved (mirroring the
+    /// [`QMatrix::eta_update`](crate::QMatrix::eta_update) fallback
+    /// threshold), otherwise rebuilds from scratch.
+    ///
+    /// Returns `(rebuilt, moved)` — whether the full rebuild path ran, and
+    /// how many components changed partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either assignment does not match the profile's dimensions.
+    pub fn update(&mut self, prev: &Assignment, next: &Assignment) -> (bool, usize) {
+        assert_eq!(prev.len(), self.n, "prev assignment length mismatch");
+        assert_eq!(next.len(), self.n, "next assignment length mismatch");
+        let moved: Vec<usize> = (0..self.n)
+            .filter(|&j| prev.part_index(j) != next.part_index(j))
+            .collect();
+        if moved.len() > self.n / 4 {
+            self.rebuild(next);
+            return (true, moved.len());
+        }
+        for &j in &moved {
+            self.apply_move(j, prev.part_index(j), next.part_index(j));
+        }
+        (false, moved.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        Circuit, ComponentId, Evaluator, PartitionId, PartitionTopology, ProblemBuilder,
+        TimingConstraints,
+    };
+
+    fn diamond_problem() -> Problem {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        let d = c.add_component("d", 1);
+        let e = c.add_component("e", 1);
+        c.add_connection(a, b, 5).unwrap();
+        c.add_connection(a, d, 3).unwrap();
+        c.add_connection(b, e, 2).unwrap();
+        c.add_connection(d, e, 7).unwrap();
+        c.add_connection(e, a, 1).unwrap();
+        let mut tc = TimingConstraints::new(4);
+        tc.add(a, e, 1).unwrap();
+        tc.add_symmetric(b, d, 2).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 100).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_rows_match_direct_aggregation() {
+        let problem = diamond_problem();
+        let asg = Assignment::from_parts(vec![0, 1, 2, 3]).unwrap();
+        let profile = PartitionProfile::plain(&problem, &asg);
+        let circuit = problem.circuit();
+        for j in 0..problem.n() {
+            let mut out = vec![0; problem.m()];
+            let mut inn = vec![0; problem.m()];
+            for (k, w) in circuit.out_connections(ComponentId::new(j)) {
+                out[asg.part_index(k.index())] += w;
+            }
+            for (k, w) in circuit.in_connections(ComponentId::new(j)) {
+                inn[asg.part_index(k.index())] += w;
+            }
+            assert_eq!(profile.out_row(j), &out[..], "out row {j}");
+            assert_eq!(profile.in_row(j), &inn[..], "in row {j}");
+        }
+    }
+
+    #[test]
+    fn apply_move_matches_rebuild() {
+        let problem = diamond_problem();
+        let mut asg = Assignment::from_parts(vec![0, 0, 1, 2]).unwrap();
+        let mut profile = PartitionProfile::plain(&problem, &asg);
+        let moves = [(0, 3), (2, 0), (3, 1), (0, 2), (1, 3)];
+        for (j, to) in moves {
+            let from = asg.part_index(j);
+            asg.move_to(ComponentId::new(j), PartitionId::new(to));
+            profile.apply_move(j, from, to);
+            assert_eq!(profile, PartitionProfile::plain(&problem, &asg));
+        }
+    }
+
+    #[test]
+    fn swap_is_two_moves_in_either_order() {
+        let problem = diamond_problem();
+        let mut asg = Assignment::from_parts(vec![0, 1, 2, 3]).unwrap();
+        let mut ab = PartitionProfile::plain(&problem, &asg);
+        let mut ba = ab.clone();
+        // Swap components 0 and 3 (adjacent in the circuit).
+        ab.apply_move(0, 0, 3);
+        ab.apply_move(3, 3, 0);
+        ba.apply_move(3, 3, 0);
+        ba.apply_move(0, 0, 3);
+        asg.swap(ComponentId::new(0), ComponentId::new(3));
+        let fresh = PartitionProfile::plain(&problem, &asg);
+        assert_eq!(ab, fresh);
+        assert_eq!(ba, fresh);
+    }
+
+    #[test]
+    fn update_patches_small_diffs_and_rebuilds_large_ones() {
+        let problem = diamond_problem();
+        let prev = Assignment::from_parts(vec![0, 1, 2, 3]).unwrap();
+        let mut profile = PartitionProfile::plain(&problem, &prev);
+        // One move out of four: patch path (1 ≤ 4/4).
+        let next = Assignment::from_parts(vec![2, 1, 2, 3]).unwrap();
+        let (rebuilt, moved) = profile.update(&prev, &next);
+        assert!(!rebuilt);
+        assert_eq!(moved, 1);
+        assert_eq!(profile, PartitionProfile::plain(&problem, &next));
+        // Three moves out of four: rebuild path (3 > 4/4).
+        let far = Assignment::from_parts(vec![0, 3, 0, 3]).unwrap();
+        let (rebuilt, moved) = profile.update(&next, &far);
+        assert!(rebuilt);
+        assert_eq!(moved, 3);
+        assert_eq!(profile, PartitionProfile::plain(&problem, &far));
+    }
+
+    #[test]
+    fn embedded_profile_backs_eta_profiled() {
+        let problem = diamond_problem();
+        let q = QMatrix::new(&problem, 50).unwrap();
+        let mut asg = Assignment::from_parts(vec![0, 1, 2, 3]).unwrap();
+        let mut profile = PartitionProfile::embedded(&q, &asg);
+        let (mut fresh, mut fast) = (Vec::new(), Vec::new());
+        q.eta(&asg, &mut fresh);
+        q.eta_profiled(&asg, &profile, &mut fast);
+        assert_eq!(fresh, fast);
+        for (j, to) in [(0, 3), (3, 0), (1, 2), (2, 1)] {
+            let from = asg.part_index(j);
+            asg.move_to(ComponentId::new(j), PartitionId::new(to));
+            profile.apply_move(j, from, to);
+            q.eta(&asg, &mut fresh);
+            q.eta_profiled(&asg, &profile, &mut fast);
+            assert_eq!(fresh, fast, "after moving {j} to {to}");
+        }
+    }
+
+    #[test]
+    fn profiled_move_and_swap_deltas_match_plain() {
+        let problem = diamond_problem();
+        let eval = Evaluator::new(&problem);
+        let asg = Assignment::from_parts(vec![0, 1, 1, 3]).unwrap();
+        let profile = PartitionProfile::plain(&problem, &asg);
+        for j in 0..4 {
+            for to in 0..4 {
+                assert_eq!(
+                    eval.move_delta(&asg, ComponentId::new(j), PartitionId::new(to)),
+                    eval.move_delta_profiled(
+                        &profile,
+                        &asg,
+                        ComponentId::new(j),
+                        PartitionId::new(to)
+                    ),
+                    "move {j} -> {to}"
+                );
+            }
+            for j2 in 0..4 {
+                assert_eq!(
+                    eval.swap_delta(&asg, ComponentId::new(j), ComponentId::new(j2)),
+                    eval.swap_delta_profiled_lookup(
+                        &profile,
+                        &asg,
+                        ComponentId::new(j),
+                        ComponentId::new(j2)
+                    ),
+                    "swap {j} <-> {j2}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{
+        Circuit, ComponentId, Evaluator, PartitionId, PartitionTopology, ProblemBuilder,
+        TimingConstraints,
+    };
+    use proptest::prelude::*;
+
+    /// A random timed problem, a random feasible-by-construction start, and a
+    /// random committed-move sequence — the sequence is long relative to `N`
+    /// so runs routinely cross the `N/4` bulk-update threshold.
+    fn arb_timed_instance() -> impl Strategy<
+        Value = (
+            Problem,
+            Assignment,
+            Vec<(usize, usize)>,
+        ),
+    > {
+        (4usize..10, 2usize..5).prop_flat_map(|(n, m)| {
+            let edges = proptest::collection::vec(
+                (
+                    (0..n, 0..n).prop_filter("no self loop", |(a, b)| a != b),
+                    1i64..9,
+                ),
+                0..20,
+            );
+            let constraints = proptest::collection::vec(
+                (
+                    (0..n, 0..n).prop_filter("no self loop", |(a, b)| a != b),
+                    1i64..4,
+                ),
+                0..8,
+            );
+            let parts = proptest::collection::vec(0u32..m as u32, n);
+            let moves = proptest::collection::vec((0..n, 0..m), 1..24);
+            (Just((n, m)), edges, constraints, parts, moves).prop_map(
+                |((n, m), edges, constraints, parts, moves)| {
+                    let mut circuit = Circuit::new();
+                    for j in 0..n {
+                        circuit.add_component(format!("c{j}"), 1);
+                    }
+                    for ((a, b), w) in edges {
+                        circuit
+                            .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                            .unwrap();
+                    }
+                    let mut tc = TimingConstraints::new(n);
+                    for ((a, b), l) in constraints {
+                        tc.add(ComponentId::new(a), ComponentId::new(b), l).unwrap();
+                    }
+                    let topo = PartitionTopology::grid(1, m, 1000).unwrap();
+                    let problem = ProblemBuilder::new(circuit, topo).timing(tc).build().unwrap();
+                    let asg = Assignment::from_parts(parts).unwrap();
+                    (problem, asg, moves)
+                },
+            )
+        })
+    }
+
+    proptest! {
+        // Satellite-3 coverage, η side: a patched embedded profile keeps
+        // `eta_profiled` bit-identical to a fresh `eta` across random
+        // committed-move sequences, including bulk `update` jumps that cross
+        // the `N/4` fallback threshold.
+        #[test]
+        fn profiled_eta_stays_bit_identical((problem, start, moves) in arb_timed_instance()) {
+            let q = QMatrix::new(&problem, 50).unwrap();
+            let mut asg = start.clone();
+            let mut profile = PartitionProfile::embedded(&q, &asg);
+            let (mut fresh, mut fast) = (Vec::new(), Vec::new());
+            for (step, &(j, to)) in moves.iter().enumerate() {
+                let from = asg.part_index(j);
+                asg.move_to(ComponentId::new(j), PartitionId::new(to));
+                profile.apply_move(j, from, to);
+                q.eta(&asg, &mut fresh);
+                q.eta_profiled(&asg, &profile, &mut fast);
+                prop_assert_eq!(&fresh, &fast, "after move #{}", step);
+            }
+            // Bulk jump all the way back to the start: exercises whichever
+            // side of the N/4 patch-vs-rebuild threshold the run lands on.
+            let (_, moved) = profile.update(&asg, &start);
+            prop_assert_eq!(moved, (0..problem.n())
+                .filter(|&j| asg.part_index(j) != start.part_index(j)).count());
+            q.eta(&start, &mut fresh);
+            q.eta_profiled(&start, &profile, &mut fast);
+            prop_assert_eq!(&fresh, &fast, "after bulk update");
+        }
+
+        // Satellite-3 coverage, gain side: profiled move gains (GFM) and
+        // swap gains (GKL) from a patched plain profile are bit-identical
+        // to the adjacency-walking deltas at every step.
+        #[test]
+        fn profiled_gains_stay_bit_identical((problem, start, moves) in arb_timed_instance()) {
+            let eval = Evaluator::new(&problem);
+            let n = problem.n();
+            let m = problem.m();
+            let mut asg = start;
+            let mut profile = PartitionProfile::plain(&problem, &asg);
+            for &(j, to) in &moves {
+                for cand in 0..n {
+                    for p in 0..m {
+                        prop_assert_eq!(
+                            eval.move_delta(&asg, ComponentId::new(cand), PartitionId::new(p)),
+                            eval.move_delta_profiled(
+                                &profile, &asg, ComponentId::new(cand), PartitionId::new(p)),
+                            "move {} -> {}", cand, p
+                        );
+                    }
+                    let other = (cand + j) % n;
+                    prop_assert_eq!(
+                        eval.swap_delta(&asg, ComponentId::new(cand), ComponentId::new(other)),
+                        eval.swap_delta_profiled_lookup(
+                            &profile, &asg, ComponentId::new(cand), ComponentId::new(other)),
+                        "swap {} <-> {}", cand, other
+                    );
+                }
+                let from = asg.part_index(j);
+                asg.move_to(ComponentId::new(j), PartitionId::new(to));
+                profile.apply_move(j, from, to);
+            }
+            prop_assert_eq!(&profile, &PartitionProfile::plain(&problem, &asg));
+        }
+    }
+}

@@ -21,8 +21,8 @@
 //! and computes entries, `yᵀQ̂y`, `η` and `ω` by walking them.
 
 use crate::{
-    Assignment, ComponentId, Cost, Delay, DenseMatrix, Error, PairIndex, PartitionId, Problem,
-    NO_CONSTRAINT,
+    Assignment, ComponentId, Cost, Delay, DenseMatrix, Error, PairIndex, PartitionId,
+    PartitionProfile, Problem, NO_CONSTRAINT,
 };
 
 /// Default fixed penalty, matching the paper's experiments ("we set
@@ -32,12 +32,223 @@ pub const PAPER_PENALTY: Cost = 50;
 
 /// One merged "interesting partner" record: the partner component, the
 /// connection weight `a` (0 when only a constraint exists), and the timing
-/// limit ([`NO_CONSTRAINT`] when only a connection exists).
+/// limit ([`NO_CONSTRAINT`] when only a connection exists). Used only during
+/// construction (and by the nested-layout benchmark baseline); the kernels
+/// walk the flattened [`Csr`] form.
 #[derive(Debug, Clone, Copy)]
 struct Pair {
     other: u32,
     weight: Cost,
     limit: Delay,
+}
+
+/// Flat CSR adjacency: per-component merged pair records in one contiguous
+/// struct-of-arrays block (`other` / `weight` / `limit`), with the
+/// unconstrained records (`limit == NO_CONSTRAINT`) packed *first* within
+/// each row so the pure-connection prefix is walked without touching
+/// `limit` at all. `split[j]` is the absolute index where row `j`'s
+/// timing-constrained suffix begins.
+#[derive(Debug, Clone)]
+pub(crate) struct Csr {
+    /// Row start offsets, length `n + 1`.
+    pub(crate) off: Vec<u32>,
+    /// Absolute start of row `j`'s constrained suffix (`off[j] ≤ split[j] ≤
+    /// off[j+1]`).
+    pub(crate) split: Vec<u32>,
+    /// Partner component per record.
+    pub(crate) other: Vec<u32>,
+    /// Connection weight per record (0 for pure constraints).
+    pub(crate) weight: Vec<Cost>,
+    /// Timing limit per record ([`NO_CONSTRAINT`] across the prefix).
+    pub(crate) limit: Vec<Delay>,
+}
+
+impl Csr {
+    fn from_rows(rows: &[Vec<Pair>]) -> Csr {
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut csr = Csr {
+            off: Vec::with_capacity(rows.len() + 1),
+            split: Vec::with_capacity(rows.len()),
+            other: Vec::with_capacity(total),
+            weight: Vec::with_capacity(total),
+            limit: Vec::with_capacity(total),
+        };
+        csr.off.push(0);
+        for row in rows {
+            for p in row.iter().filter(|p| p.limit == NO_CONSTRAINT) {
+                csr.other.push(p.other);
+                csr.weight.push(p.weight);
+                csr.limit.push(p.limit);
+            }
+            csr.split.push(csr.other.len() as u32);
+            for p in row.iter().filter(|p| p.limit != NO_CONSTRAINT) {
+                csr.other.push(p.other);
+                csr.weight.push(p.weight);
+                csr.limit.push(p.limit);
+            }
+            csr.off.push(csr.other.len() as u32);
+        }
+        csr
+    }
+
+    #[inline]
+    fn bounds(&self, j: usize) -> (usize, usize, usize) {
+        (
+            self.off[j] as usize,
+            self.split[j] as usize,
+            self.off[j + 1] as usize,
+        )
+    }
+
+    /// The pure-connection prefix of row `j`: `(partner, weight)`.
+    #[inline]
+    pub(crate) fn unconstrained(&self, j: usize) -> impl Iterator<Item = (usize, Cost)> + '_ {
+        let (lo, mid, _) = self.bounds(j);
+        self.other[lo..mid]
+            .iter()
+            .zip(&self.weight[lo..mid])
+            .map(|(&o, &w)| (o as usize, w))
+    }
+
+    /// The timing-constrained suffix of row `j`:
+    /// `(record index, partner, weight, limit)`. The record index addresses
+    /// parallel per-record side tables (e.g. limit classes).
+    #[inline]
+    pub(crate) fn constrained(
+        &self,
+        j: usize,
+    ) -> impl Iterator<Item = (usize, usize, Cost, Delay)> + '_ {
+        let (_, mid, hi) = self.bounds(j);
+        (mid..hi).map(move |e| {
+            (
+                e,
+                self.other[e] as usize,
+                self.weight[e],
+                self.limit[e],
+            )
+        })
+    }
+
+    /// Every record of row `j`: `(partner, weight, limit)`.
+    #[inline]
+    pub(crate) fn all(&self, j: usize) -> impl Iterator<Item = (usize, Cost, Delay)> + '_ {
+        let (lo, _, hi) = self.bounds(j);
+        self.other[lo..hi]
+            .iter()
+            .zip(&self.weight[lo..hi])
+            .zip(&self.limit[lo..hi])
+            .map(|((&o, &w), &l)| (o as usize, w, l))
+    }
+}
+
+/// Sentinel limit class for records outside the class tables (unconstrained
+/// records, or constrained ones past [`MAX_LIMIT_CLASSES`]).
+pub(crate) const NO_CLASS: u16 = u16::MAX;
+
+/// Cap on distinct-limit classes; pathological instances with more distinct
+/// limits fall back to the explicit per-record walk for the overflow.
+const MAX_LIMIT_CLASSES: usize = 256;
+
+/// Per-(limit class, source partition) violation structure: for class `c`
+/// (limit `limits[c]`) and a constrained in-record whose source sits in
+/// partition `p`, the candidate target partitions `i` split into a violating
+/// set (`d[p][i] > limits[c]`, the entry is `penalty`) and a satisfying set
+/// (the entry is the base interconnect term). Because the split depends only
+/// on `(c, p)`, the smaller of the two sets is precomputed once — indices
+/// *and* their wire costs `b[p][i]`, flat and contiguous — and shared by
+/// every record of the class: the η kernel then touches
+/// `min(|viol|, |sat|)` entries per cell with a sequential patch-table scan.
+#[derive(Debug, Clone)]
+pub(crate) struct TimingClasses {
+    m: usize,
+    /// Sorted distinct limits, at most [`MAX_LIMIT_CLASSES`] of them.
+    limits: Vec<Delay>,
+    /// `folded[c·M + p]`: `|viol| ≤ |sat|`, i.e. the record's weight is
+    /// folded into the per-partition base aggregate and only the violating
+    /// entries are patched (otherwise the penalty is applied row-wide and
+    /// only the satisfying entries are patched).
+    folded: Vec<bool>,
+    /// Patch table: entries `patch_off[c·M + p]..patch_off[c·M + p + 1]` of
+    /// the parallel arrays list the patched target partitions — the
+    /// violating set when folded, the satisfying set otherwise — with each
+    /// index's wire cost `b[p][i]` inlined so the kernel's hot loop reads
+    /// sequentially instead of chasing `b` rows.
+    patch_off: Vec<u32>,
+    patch_idx: Vec<u16>,
+    patch_b: Vec<Cost>,
+}
+
+impl TimingClasses {
+    fn build(problem: &Problem, out: &Csr) -> TimingClasses {
+        let m = problem.m();
+        let d = problem.topology().delay();
+        let b = problem.topology().wire_cost();
+        let mut limits: Vec<Delay> = out
+            .limit
+            .iter()
+            .copied()
+            .filter(|&l| l != NO_CONSTRAINT)
+            .collect();
+        limits.sort_unstable();
+        limits.dedup();
+        limits.truncate(MAX_LIMIT_CLASSES);
+        let mut folded = Vec::with_capacity(limits.len() * m);
+        let mut patch_off = Vec::with_capacity(limits.len() * m + 1);
+        let mut patch_idx = Vec::new();
+        let mut patch_b = Vec::new();
+        patch_off.push(0);
+        for &l in &limits {
+            for p in 0..m {
+                let drow = d.row(p);
+                let v: Vec<u16> = (0..m).filter(|&i| drow[i] > l).map(|i| i as u16).collect();
+                let s: Vec<u16> = (0..m).filter(|&i| drow[i] <= l).map(|i| i as u16).collect();
+                let fold = v.len() <= s.len();
+                folded.push(fold);
+                for &i in if fold { &v } else { &s } {
+                    patch_idx.push(i);
+                    patch_b.push(b.row(p)[i as usize]);
+                }
+                patch_off.push(patch_idx.len() as u32);
+            }
+        }
+        TimingClasses {
+            m,
+            limits,
+            folded,
+            patch_off,
+            patch_idx,
+            patch_b,
+        }
+    }
+
+    /// Number of distinct-limit classes in the tables.
+    #[inline]
+    pub(crate) fn class_count(&self) -> usize {
+        self.limits.len()
+    }
+
+    /// Class index for a limit value, or [`NO_CLASS`] when the limit fell
+    /// past the class cap.
+    #[inline]
+    pub(crate) fn class_of(&self, limit: Delay) -> u16 {
+        match self.limits.binary_search(&limit) {
+            Ok(c) => c as u16,
+            Err(_) => NO_CLASS,
+        }
+    }
+
+    /// Whether records of class `c` with their source in partition `p` fold
+    /// their weight into the base per-partition aggregate.
+    #[inline]
+    pub(crate) fn folded(&self, c: u16, p: usize) -> bool {
+        c != NO_CLASS && self.folded[c as usize * self.m + p]
+    }
+
+    /// The flat `(offsets, indices, wire costs)` patch tables, for
+    /// [`PartitionProfile`](crate::PartitionProfile) to copy.
+    pub(crate) fn patch_tables(&self) -> (&[u32], &[u16], &[Cost]) {
+        (&self.patch_off, &self.patch_idx, &self.patch_b)
+    }
 }
 
 /// The implicit `Q̂` matrix: the paper's timing-embedded quadratic cost.
@@ -71,8 +282,16 @@ struct Pair {
 pub struct QMatrix<'a> {
     problem: &'a Problem,
     penalty: Cost,
-    out_pairs: Vec<Vec<Pair>>,
-    in_pairs: Vec<Vec<Pair>>,
+    out: Csr,
+    inc: Csr,
+    classes: TimingClasses,
+    /// Limit class per in-CSR record (parallel array; [`NO_CLASS`] across
+    /// each row's unconstrained prefix and for overflow limits).
+    in_class: Vec<u16>,
+    /// Whether any *constrained* record overflowed the limit-class tables
+    /// (lets [`QMatrix::eta_profiled`] skip the per-record overflow walk
+    /// entirely in the common no-overflow case).
+    has_overflow: bool,
 }
 
 impl<'a> QMatrix<'a> {
@@ -93,10 +312,41 @@ impl<'a> QMatrix<'a> {
                 value: penalty,
             });
         }
+        let (out_rows, in_rows) = Self::merged_rows(problem);
+        let out = Csr::from_rows(&out_rows);
+        let inc = Csr::from_rows(&in_rows);
+        let classes = TimingClasses::build(problem, &out);
+        let in_class: Vec<u16> = inc
+            .limit
+            .iter()
+            .map(|&l| {
+                if l == NO_CONSTRAINT {
+                    NO_CLASS
+                } else {
+                    classes.class_of(l)
+                }
+            })
+            .collect();
+        let has_overflow =
+            (0..problem.n()).any(|j| inc.constrained(j).any(|(e, ..)| in_class[e] == NO_CLASS));
+        Ok(QMatrix {
+            problem,
+            penalty,
+            out,
+            inc,
+            classes,
+            in_class,
+            has_overflow,
+        })
+    }
+
+    /// The historical nested layout: per-component merged pair rows, built
+    /// by seeding with connections and then attaching timing limits to
+    /// existing records (or creating weight-0 records for pure constraints).
+    fn merged_rows(problem: &Problem) -> (Vec<Vec<Pair>>, Vec<Vec<Pair>>) {
         let n = problem.n();
         let mut out_pairs: Vec<Vec<Pair>> = vec![Vec::new(); n];
         let mut in_pairs: Vec<Vec<Pair>> = vec![Vec::new(); n];
-        // Seed with connections...
         for (j1, j2, w) in problem.circuit().edges() {
             out_pairs[j1.index()].push(Pair {
                 other: j2.index() as u32,
@@ -109,8 +359,6 @@ impl<'a> QMatrix<'a> {
                 limit: NO_CONSTRAINT,
             });
         }
-        // ...then merge in timing constraints, attaching limits to existing
-        // connection records or creating weight-0 records.
         for (j1, j2, limit) in problem.timing().iter() {
             let out = &mut out_pairs[j1.index()];
             match out.iter_mut().find(|p| p.other == j2.index() as u32) {
@@ -131,12 +379,17 @@ impl<'a> QMatrix<'a> {
                 }),
             }
         }
-        Ok(QMatrix {
-            problem,
-            penalty,
-            out_pairs,
-            in_pairs,
-        })
+        (out_pairs, in_pairs)
+    }
+
+    /// The flattened out-pair adjacency (`j → partner` records).
+    pub(crate) fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The precomputed per-(limit class, partition) violation tables.
+    pub(crate) fn timing_classes(&self) -> &TimingClasses {
+        &self.classes
     }
 
     /// Builds `Q̂` with an automatically chosen penalty: strictly larger than
@@ -253,14 +506,13 @@ impl<'a> QMatrix<'a> {
                 let r = i + j * m;
                 q[(r, r)] = self.problem.alpha() * self.problem.p(i, j);
             }
-            for pair in &self.out_pairs[j] {
-                let k = pair.other as usize;
+            for (k, w, limit) in self.out.all(j) {
                 for i1 in 0..m {
                     for i2 in 0..m {
-                        let entry = if pair.limit != NO_CONSTRAINT && d[(i1, i2)] > pair.limit {
+                        let entry = if limit != NO_CONSTRAINT && d[(i1, i2)] > limit {
                             self.penalty
                         } else {
-                            self.problem.beta() * pair.weight * b[(i1, i2)]
+                            self.problem.beta() * w * b[(i1, i2)]
                         };
                         let r1 = i1 + j * m;
                         let r2 = i2 + k * m;
@@ -294,12 +546,17 @@ impl<'a> QMatrix<'a> {
         for j in 0..self.problem.n() {
             let ij = assignment.part_index(j);
             total += alpha * self.problem.p(ij, j);
-            for pair in &self.out_pairs[j] {
-                let ik = assignment.part_index(pair.other as usize);
-                if pair.limit != NO_CONSTRAINT && d[(ij, ik)] > pair.limit {
+            let brow = b.row(ij);
+            for (k, w) in self.out.unconstrained(j) {
+                total += beta * w * brow[assignment.part_index(k)];
+            }
+            let drow = d.row(ij);
+            for (_, k, w, limit) in self.out.constrained(j) {
+                let ik = assignment.part_index(k);
+                if drow[ik] > limit {
                     total += self.penalty;
                 } else {
-                    total += beta * pair.weight * b[(ij, ik)];
+                    total += beta * w * brow[ik];
                 }
             }
         }
@@ -330,20 +587,20 @@ impl<'a> QMatrix<'a> {
         let mut delta = self.problem.alpha()
             * (self.problem.p(to_i, j.index()) - self.problem.p(from, j.index()));
         // Entry value for the ordered pair (row partition, col partition).
-        let entry = |pair: &Pair, i_row: usize, i_col: usize| -> Cost {
-            if pair.limit != NO_CONSTRAINT && d[(i_row, i_col)] > pair.limit {
+        let entry = |w: Cost, limit: Delay, i_row: usize, i_col: usize| -> Cost {
+            if limit != NO_CONSTRAINT && d[(i_row, i_col)] > limit {
                 self.penalty
             } else {
-                beta * pair.weight * b[(i_row, i_col)]
+                beta * w * b[(i_row, i_col)]
             }
         };
-        for pair in &self.out_pairs[j.index()] {
-            let ik = assignment.part_index(pair.other as usize);
-            delta += entry(pair, to_i, ik) - entry(pair, from, ik);
+        for (k, w, limit) in self.out.all(j.index()) {
+            let ik = assignment.part_index(k);
+            delta += entry(w, limit, to_i, ik) - entry(w, limit, from, ik);
         }
-        for pair in &self.in_pairs[j.index()] {
-            let ik = assignment.part_index(pair.other as usize);
-            delta += entry(pair, ik, to_i) - entry(pair, ik, from);
+        for (k, w, limit) in self.inc.all(j.index()) {
+            let ik = assignment.part_index(k);
+            delta += entry(w, limit, ik, to_i) - entry(w, limit, ik, from);
         }
         delta
     }
@@ -369,11 +626,11 @@ impl<'a> QMatrix<'a> {
         let b = self.problem.topology().wire_cost();
         let d = self.problem.topology().delay();
         let beta = self.problem.beta();
-        let entry = |pair: &Pair, i_row: usize, i_col: usize| -> Cost {
-            if pair.limit != NO_CONSTRAINT && d[(i_row, i_col)] > pair.limit {
+        let entry = |w: Cost, limit: Delay, i_row: usize, i_col: usize| -> Cost {
+            if limit != NO_CONSTRAINT && d[(i_row, i_col)] > limit {
                 self.penalty
             } else {
-                beta * pair.weight * b[(i_row, i_col)]
+                beta * w * b[(i_row, i_col)]
             }
         };
         let mut delta = self.problem.alpha()
@@ -381,35 +638,35 @@ impl<'a> QMatrix<'a> {
                 + self.problem.p(i1, j2.index())
                 - self.problem.p(i2, j2.index()));
         // Pairs incident to j1 (the j1–j2 pairs handled separately below).
-        for pair in &self.out_pairs[j1.index()] {
-            if pair.other as usize == j2.index() {
-                delta += entry(pair, i2, i1) - entry(pair, i1, i2);
+        for (k, w, limit) in self.out.all(j1.index()) {
+            if k == j2.index() {
+                delta += entry(w, limit, i2, i1) - entry(w, limit, i1, i2);
                 continue;
             }
-            let ik = assignment.part_index(pair.other as usize);
-            delta += entry(pair, i2, ik) - entry(pair, i1, ik);
+            let ik = assignment.part_index(k);
+            delta += entry(w, limit, i2, ik) - entry(w, limit, i1, ik);
         }
-        for pair in &self.in_pairs[j1.index()] {
-            if pair.other as usize == j2.index() {
-                continue; // mirrored by j2's out_pairs entry below
+        for (k, w, limit) in self.inc.all(j1.index()) {
+            if k == j2.index() {
+                continue; // mirrored by j2's out record below
             }
-            let ik = assignment.part_index(pair.other as usize);
-            delta += entry(pair, ik, i2) - entry(pair, ik, i1);
+            let ik = assignment.part_index(k);
+            delta += entry(w, limit, ik, i2) - entry(w, limit, ik, i1);
         }
-        for pair in &self.out_pairs[j2.index()] {
-            if pair.other as usize == j1.index() {
-                delta += entry(pair, i1, i2) - entry(pair, i2, i1);
+        for (k, w, limit) in self.out.all(j2.index()) {
+            if k == j1.index() {
+                delta += entry(w, limit, i1, i2) - entry(w, limit, i2, i1);
                 continue;
             }
-            let ik = assignment.part_index(pair.other as usize);
-            delta += entry(pair, i1, ik) - entry(pair, i2, ik);
+            let ik = assignment.part_index(k);
+            delta += entry(w, limit, i1, ik) - entry(w, limit, i2, ik);
         }
-        for pair in &self.in_pairs[j2.index()] {
-            if pair.other as usize == j1.index() {
+        for (k, w, limit) in self.inc.all(j2.index()) {
+            if k == j1.index() {
                 continue;
             }
-            let ik = assignment.part_index(pair.other as usize);
-            delta += entry(pair, ik, i1) - entry(pair, ik, i2);
+            let ik = assignment.part_index(k);
+            delta += entry(w, limit, ik, i1) - entry(w, limit, ik, i2);
         }
         delta
     }
@@ -457,26 +714,26 @@ impl<'a> QMatrix<'a> {
         out.resize(m * n, 0);
         for j in 0..n {
             let slot = &mut out[j * m..(j + 1) * m];
-            for pair in &self.in_pairs[j] {
-                let ik = assignment.part_index(pair.other as usize);
-                if pair.limit == NO_CONSTRAINT {
-                    // Pure connection: β·w·b[ik][i] for every candidate i.
-                    let coeff = beta * pair.weight;
-                    let brow = b.row(ik);
-                    for (i, v) in slot.iter_mut().enumerate() {
-                        *v += coeff * brow[i];
-                    }
-                } else {
-                    let coeff = beta * pair.weight;
-                    let brow = b.row(ik);
-                    let drow = d.row(ik);
-                    for (i, v) in slot.iter_mut().enumerate() {
-                        *v += if drow[i] > pair.limit {
-                            self.penalty
-                        } else {
-                            coeff * brow[i]
-                        };
-                    }
+            // Pure connections first (the CSR prefix): β·w·b[ik][i] for
+            // every candidate i, no limit checks.
+            for (k, w) in self.inc.unconstrained(j) {
+                let coeff = beta * w;
+                let brow = b.row(assignment.part_index(k));
+                for (i, v) in slot.iter_mut().enumerate() {
+                    *v += coeff * brow[i];
+                }
+            }
+            for (_, k, w, limit) in self.inc.constrained(j) {
+                let ik = assignment.part_index(k);
+                let coeff = beta * w;
+                let brow = b.row(ik);
+                let drow = d.row(ik);
+                for (i, v) in slot.iter_mut().enumerate() {
+                    *v += if drow[i] > limit {
+                        self.penalty
+                    } else {
+                        coeff * brow[i]
+                    };
                 }
             }
             // Diagonal contribution from u[(A(j), j)] = 1.
@@ -532,32 +789,32 @@ impl<'a> QMatrix<'a> {
         for &k in &moved {
             let from = prev.part_index(k);
             let to = next.part_index(k);
-            for pair in &self.out_pairs[k] {
-                let j = pair.other as usize;
+            for (j, w) in self.out.unconstrained(k) {
                 let slot = &mut eta[j * m..(j + 1) * m];
-                let coeff = beta * pair.weight;
-                if pair.limit == NO_CONSTRAINT {
-                    let b_old = b.row(from);
-                    let b_new = b.row(to);
-                    for (i, v) in slot.iter_mut().enumerate() {
-                        *v += coeff * (b_new[i] - b_old[i]);
-                    }
-                } else {
-                    let (b_old, d_old) = (b.row(from), d.row(from));
-                    let (b_new, d_new) = (b.row(to), d.row(to));
-                    for (i, v) in slot.iter_mut().enumerate() {
-                        let old = if d_old[i] > pair.limit {
-                            self.penalty
-                        } else {
-                            coeff * b_old[i]
-                        };
-                        let new = if d_new[i] > pair.limit {
-                            self.penalty
-                        } else {
-                            coeff * b_new[i]
-                        };
-                        *v += new - old;
-                    }
+                let coeff = beta * w;
+                let b_old = b.row(from);
+                let b_new = b.row(to);
+                for (i, v) in slot.iter_mut().enumerate() {
+                    *v += coeff * (b_new[i] - b_old[i]);
+                }
+            }
+            for (_, j, w, limit) in self.out.constrained(k) {
+                let slot = &mut eta[j * m..(j + 1) * m];
+                let coeff = beta * w;
+                let (b_old, d_old) = (b.row(from), d.row(from));
+                let (b_new, d_new) = (b.row(to), d.row(to));
+                for (i, v) in slot.iter_mut().enumerate() {
+                    let old = if d_old[i] > limit {
+                        self.penalty
+                    } else {
+                        coeff * b_old[i]
+                    };
+                    let new = if d_new[i] > limit {
+                        self.penalty
+                    } else {
+                        coeff * b_new[i]
+                    };
+                    *v += new - old;
                 }
             }
             let slot = &mut eta[k * m..(k + 1) * m];
@@ -565,6 +822,96 @@ impl<'a> QMatrix<'a> {
             slot[to] += alpha * self.problem.p(to, k);
         }
         true
+    }
+
+    /// Profile-accelerated [`QMatrix::eta`]: identical output, computed from
+    /// the per-partition aggregated neighbor weights of `profile` (an
+    /// embedded [`PartitionProfile`] of this matrix, synced to `assignment`).
+    ///
+    /// Per column `j`, the unconstrained mass — plus every *folded*
+    /// constrained record (see [`TimingClasses`]) — collapses to at most one
+    /// row-axpy per occupied source partition (`O(M)` lookups instead of one
+    /// walk per record), and the timing fix-ups collapse to one elementwise
+    /// add of the profile's precomputed correction row plus one row-wide
+    /// penalty. No per-record work remains (records past the limit-class cap
+    /// excepted). All arithmetic is exact integer addition and cancellation,
+    /// so the result is bit-identical to [`QMatrix::eta`] (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` was not built with this matrix's dimensions or
+    /// the assignment does not match the problem's dimensions.
+    pub fn eta_profiled(
+        &self,
+        assignment: &Assignment,
+        profile: &PartitionProfile,
+        out: &mut Vec<Cost>,
+    ) {
+        let m = self.problem.m();
+        let n = self.problem.n();
+        assert_eq!(profile.m(), m, "profile partition count mismatch");
+        assert_eq!(profile.n(), n, "profile component count mismatch");
+        let b = self.problem.topology().wire_cost();
+        let d = self.problem.topology().delay();
+        let beta = self.problem.beta();
+        let alpha = self.problem.alpha();
+        out.clear();
+        out.resize(m * n, 0);
+        let has_fix = profile.tracks_fix();
+        for j in 0..n {
+            let slot = &mut out[j * m..(j + 1) * m];
+            // 1. Base: one axpy per occupied source partition covers every
+            //    unconstrained in-record and every folded constrained one.
+            for (p, &wsum) in profile.in_row(j).iter().enumerate() {
+                if wsum != 0 {
+                    let coeff = beta * wsum;
+                    for (v, &bv) in slot.iter_mut().zip(b.row(p)) {
+                        *v += coeff * bv;
+                    }
+                }
+            }
+            // 2. Constrained fix-ups straight from the profile's
+            //    penalty-relevant tally: one elementwise row add plus one
+            //    row-wide penalty (batched below), no per-record work.
+            let mut pen_all: Cost = 0;
+            if has_fix {
+                let (fix, pen) = profile.constrained_fix(j);
+                for (v, &f) in slot.iter_mut().zip(fix) {
+                    *v += f;
+                }
+                pen_all += pen;
+            }
+            if self.has_overflow {
+                // Overflow classes: never folded, never cell-tallied; walk
+                // them explicitly like the plain kernel.
+                for (e, k, w, limit) in self.inc.constrained(j) {
+                    if self.in_class[e] != NO_CLASS {
+                        continue;
+                    }
+                    let p = assignment.part_index(k);
+                    let coeff = beta * w;
+                    let drow = d.row(p);
+                    for ((v, &bv), &dv) in slot.iter_mut().zip(b.row(p)).zip(drow) {
+                        *v += if dv > limit { self.penalty } else { coeff * bv };
+                    }
+                }
+            }
+            if pen_all != 0 {
+                for v in slot.iter_mut() {
+                    *v += pen_all;
+                }
+            }
+            // 3. Diagonal contribution from u[(A(j), j)] = 1.
+            let ij = assignment.part_index(j);
+            slot[ij] += alpha * self.problem.p(ij, j);
+        }
+    }
+
+    /// Snapshots the merged pair lists in the historical nested
+    /// `Vec<Vec<_>>` layout for [`NestedEtaBaseline`].
+    pub fn nested_eta_baseline(&self) -> NestedEtaBaseline {
+        let (_, in_rows) = Self::merged_rows(self.problem);
+        NestedEtaBaseline { in_pairs: in_rows }
     }
 
     /// Reference implementation of [`QMatrix::eta`] via the dense matrix —
@@ -608,28 +955,27 @@ impl<'a> QMatrix<'a> {
             for (i, v) in slot.iter_mut().enumerate() {
                 *v = alpha * self.problem.p(i, j);
             }
-            for pair in &self.out_pairs[j] {
-                if pair.limit == NO_CONSTRAINT {
-                    let coeff = beta * pair.weight;
-                    for (i, v) in slot.iter_mut().enumerate() {
-                        *v += coeff * max_b_row[i];
+            for (_, w) in self.out.unconstrained(j) {
+                let coeff = beta * w;
+                for (i, v) in slot.iter_mut().enumerate() {
+                    *v += coeff * max_b_row[i];
+                }
+            }
+            for (_, _, w, limit) in self.out.constrained(j) {
+                let coeff = beta * w;
+                for (i, v) in slot.iter_mut().enumerate() {
+                    let mut best = Cost::MIN;
+                    let brow = b.row(i);
+                    let drow = d.row(i);
+                    for i2 in 0..m {
+                        let e = if drow[i2] > limit {
+                            self.penalty
+                        } else {
+                            coeff * brow[i2]
+                        };
+                        best = best.max(e);
                     }
-                } else {
-                    let coeff = beta * pair.weight;
-                    for (i, v) in slot.iter_mut().enumerate() {
-                        let mut best = Cost::MIN;
-                        let brow = b.row(i);
-                        let drow = d.row(i);
-                        for i2 in 0..m {
-                            let e = if drow[i2] > pair.limit {
-                                self.penalty
-                            } else {
-                                coeff * brow[i2]
-                            };
-                            best = best.max(e);
-                        }
-                        *v += best;
-                    }
+                    *v += best;
                 }
             }
         }
@@ -647,6 +993,64 @@ impl<'a> QMatrix<'a> {
         (0..self.problem.n())
             .map(|j| omega[assignment.part_index(j) + j * m])
             .sum()
+    }
+}
+
+/// The pre-CSR nested adjacency layout (`Vec<Vec<_>>` pair rows), preserved
+/// as the honest comparison baseline for the kernel-regression benchmark in
+/// `perf_snapshot`: [`NestedEtaBaseline::eta`] replicates the historical
+/// pointer-chasing η walk, so old-vs-new kernel timings compare the data
+/// layout and aggregation strategy, not two different algorithms.
+#[derive(Debug, Clone)]
+pub struct NestedEtaBaseline {
+    in_pairs: Vec<Vec<Pair>>,
+}
+
+impl NestedEtaBaseline {
+    /// The historical η kernel: per column, walk the nested in-pair list and
+    /// branch on each record's limit. The output is identical to
+    /// [`QMatrix::eta`]; only the memory layout (and therefore the speed)
+    /// differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `assignment` mismatch the snapshot's dimensions.
+    pub fn eta(&self, q: &QMatrix<'_>, assignment: &Assignment, out: &mut Vec<Cost>) {
+        let problem = q.problem();
+        let m = problem.m();
+        let n = problem.n();
+        assert_eq!(self.in_pairs.len(), n, "baseline dimension mismatch");
+        let b = problem.topology().wire_cost();
+        let d = problem.topology().delay();
+        let beta = problem.beta();
+        let alpha = problem.alpha();
+        let penalty = q.penalty();
+        out.clear();
+        out.resize(m * n, 0);
+        for j in 0..n {
+            let slot = &mut out[j * m..(j + 1) * m];
+            for pair in &self.in_pairs[j] {
+                let ik = assignment.part_index(pair.other as usize);
+                let coeff = beta * pair.weight;
+                let brow = b.row(ik);
+                if pair.limit == NO_CONSTRAINT {
+                    for (i, v) in slot.iter_mut().enumerate() {
+                        *v += coeff * brow[i];
+                    }
+                } else {
+                    let drow = d.row(ik);
+                    for (i, v) in slot.iter_mut().enumerate() {
+                        *v += if drow[i] > pair.limit {
+                            penalty
+                        } else {
+                            coeff * brow[i]
+                        };
+                    }
+                }
+            }
+            let ij = assignment.part_index(j);
+            slot[ij] += alpha * problem.p(ij, j);
+        }
     }
 }
 

@@ -186,6 +186,18 @@ pub enum SolveEvent {
         /// `true` when the incremental patch sufficed.
         incremental: bool,
     },
+    /// A [`PartitionProfile`](https://docs.rs/qbp-core) backing a profiled
+    /// gain kernel was synced to a new assignment: `rebuilt` tells whether
+    /// the full `O(E + T)` rebuild ran or the `O(moved·deg)` patch sufficed.
+    ProfileUpdated {
+        /// Iteration the sync belongs to.
+        iteration: usize,
+        /// `true` when the full rebuild path ran (cold profile or more than
+        /// `N/4` components moved).
+        rebuilt: bool,
+        /// Number of components whose partition changed.
+        moved: usize,
+    },
     /// A GAP or LAP subproblem was solved.
     SubproblemSolved {
         /// Iteration the subproblem belongs to.
@@ -270,6 +282,7 @@ impl SolveEvent {
             SolveEvent::SolveStarted { .. } => "solve_started",
             SolveEvent::IterationStarted { .. } => "iteration_started",
             SolveEvent::EtaComputed { .. } => "eta_computed",
+            SolveEvent::ProfileUpdated { .. } => "profile_updated",
             SolveEvent::SubproblemSolved { .. } => "subproblem_solved",
             SolveEvent::PenaltyHits { .. } => "penalty_hits",
             SolveEvent::RepairApplied { .. } => "repair_applied",
@@ -343,6 +356,10 @@ pub struct CounterSnapshot {
     pub eta_full: u64,
     /// Incremental `η` patches.
     pub eta_incremental: u64,
+    /// Full partition-profile rebuilds.
+    pub profile_rebuilds: u64,
+    /// Incremental partition-profile patches.
+    pub profile_patches: u64,
     /// GAP subproblems solved.
     pub gap_calls: u64,
     /// LAP subproblems solved.
@@ -372,7 +389,8 @@ impl CounterSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"solves\": {}, \"iterations\": {}, \"eta_full\": {}, \
-             \"eta_incremental\": {}, \"gap_calls\": {}, \"lap_calls\": {}, \
+             \"eta_incremental\": {}, \"profile_rebuilds\": {}, \
+             \"profile_patches\": {}, \"gap_calls\": {}, \"lap_calls\": {}, \
              \"infeasible_subproblems\": {}, \"penalty_hits\": {}, \
              \"repairs\": {}, \"repairs_cleaned\": {}, \"stall_resets\": {}, \
              \"moves_accepted\": {}, \"moves_rejected\": {}, \
@@ -381,6 +399,8 @@ impl CounterSnapshot {
             self.iterations,
             self.eta_full,
             self.eta_incremental,
+            self.profile_rebuilds,
+            self.profile_patches,
             self.gap_calls,
             self.lap_calls,
             self.infeasible_subproblems,
@@ -407,6 +427,8 @@ pub struct CountersObserver {
     iterations: AtomicU64,
     eta_full: AtomicU64,
     eta_incremental: AtomicU64,
+    profile_rebuilds: AtomicU64,
+    profile_patches: AtomicU64,
     gap_calls: AtomicU64,
     lap_calls: AtomicU64,
     infeasible_subproblems: AtomicU64,
@@ -442,6 +464,13 @@ impl CountersObserver {
                     self.eta_incremental.fetch_add(1, R);
                 } else {
                     self.eta_full.fetch_add(1, R);
+                }
+            }
+            SolveEvent::ProfileUpdated { rebuilt, .. } => {
+                if *rebuilt {
+                    self.profile_rebuilds.fetch_add(1, R);
+                } else {
+                    self.profile_patches.fetch_add(1, R);
                 }
             }
             SolveEvent::SubproblemSolved { kind, feasible, .. } => {
@@ -492,6 +521,8 @@ impl CountersObserver {
             iterations: self.iterations.load(R),
             eta_full: self.eta_full.load(R),
             eta_incremental: self.eta_incremental.load(R),
+            profile_rebuilds: self.profile_rebuilds.load(R),
+            profile_patches: self.profile_patches.load(R),
             gap_calls: self.gap_calls.load(R),
             lap_calls: self.lap_calls.load(R),
             infeasible_subproblems: self.infeasible_subproblems.load(R),
@@ -656,6 +687,15 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
         } => {
             s.push_str(&format!(
                 ", \"iteration\": {iteration}, \"incremental\": {incremental}"
+            ));
+        }
+        SolveEvent::ProfileUpdated {
+            iteration,
+            rebuilt,
+            moved,
+        } => {
+            s.push_str(&format!(
+                ", \"iteration\": {iteration}, \"rebuilt\": {rebuilt}, \"moved\": {moved}"
             ));
         }
         SolveEvent::SubproblemSolved {
@@ -897,6 +937,11 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
             iteration: fields.num("iteration")?,
             incremental: fields.bool("incremental")?,
         },
+        "profile_updated" => SolveEvent::ProfileUpdated {
+            iteration: fields.num("iteration")?,
+            rebuilt: fields.bool("rebuilt")?,
+            moved: fields.num("moved")?,
+        },
         "subproblem_solved" => SolveEvent::SubproblemSolved {
             iteration: fields.num("iteration")?,
             kind: SubproblemKind::from_str(fields.str("kind")?)
@@ -977,6 +1022,16 @@ mod tests {
             cleaned: true,
         });
         c.on_event(&SolveEvent::StallReset { iteration: 3 });
+        c.on_event(&SolveEvent::ProfileUpdated {
+            iteration: 1,
+            rebuilt: true,
+            moved: 4,
+        });
+        c.on_event(&SolveEvent::ProfileUpdated {
+            iteration: 2,
+            rebuilt: false,
+            moved: 1,
+        });
         let s = c.snapshot();
         assert_eq!(s.solves, 1);
         assert_eq!(s.iterations, 3);
@@ -989,6 +1044,8 @@ mod tests {
         assert_eq!(s.repairs, 1);
         assert_eq!(s.repairs_cleaned, 1);
         assert_eq!(s.stall_resets, 1);
+        assert_eq!(s.profile_rebuilds, 1);
+        assert_eq!(s.profile_patches, 1);
     }
 
     #[test]
@@ -1092,6 +1149,8 @@ mod tests {
             "iterations",
             "eta_full",
             "eta_incremental",
+            "profile_rebuilds",
+            "profile_patches",
             "gap_calls",
             "lap_calls",
             "penalty_hits",
@@ -1117,7 +1176,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..11, 0usize..5, 0usize..2),
+            (0usize..12, 0usize..5, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1185,10 +1244,15 @@ mod proptests {
                             value: delta,
                             feasible: b2,
                         },
-                        _ => SolveEvent::SolveFinished {
+                        10 => SolveEvent::SolveFinished {
                             iterations: iteration,
                             value: delta,
                             feasible: b2,
+                        },
+                        _ => SolveEvent::ProfileUpdated {
+                            iteration,
+                            rebuilt: b1,
+                            moved: violations,
                         },
                     }
                 },

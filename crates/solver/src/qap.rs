@@ -11,7 +11,9 @@
 
 use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use crate::lap::solve_lap_observed;
-use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem, QMatrix};
+use qbp_core::{
+    check_feasibility, Assignment, Cost, Error, Evaluator, PartitionProfile, Problem, QMatrix,
+};
 use qbp_observe::{NoopObserver, SolveEvent, SolveObserver, SolverId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -29,41 +31,28 @@ pub struct QapConfig {
     pub penalty: PenaltyMode,
     /// Seed for the random initial permutation.
     pub seed: u64,
-    /// Restart from a fresh random permutation (resetting `h`, keeping the
-    /// incumbent) when STEP 6 reproduces the previous permutation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `stall_window` to 0 instead (or via `CommonOpts::stall_window`); \
-                this flag is still honored for one release"
-    )]
-    pub restart_on_stall: bool,
     /// Length of the recent-permutation window used to detect fixed points
-    /// and short cycles (default 8); `0` disables stall restarts, replacing
-    /// the deprecated `restart_on_stall: false`.
+    /// and short cycles (default 8). On a hit the solver restarts from a
+    /// fresh random permutation (resetting `h`, keeping the incumbent); `0`
+    /// disables stall restarts entirely.
     pub stall_window: usize,
 }
 
 impl Default for QapConfig {
     fn default() -> Self {
-        #[allow(deprecated)]
         QapConfig {
             iterations: 100,
             penalty: PenaltyMode::Auto,
             seed: 0xBADC_0DE5,
-            restart_on_stall: true,
             stall_window: crate::qbp::STALL_WINDOW,
         }
     }
 }
 
 impl QapConfig {
-    /// Whether stall restarts are active: the window must be non-zero and
-    /// the deprecated kill-switch must not be set.
+    /// Whether stall restarts are active: the window must be non-zero.
     fn restarts_enabled(&self) -> bool {
-        #[allow(deprecated)]
-        {
-            self.restart_on_stall && self.stall_window > 0
-        }
+        self.stall_window > 0
     }
 }
 
@@ -201,6 +190,11 @@ impl QapSolver {
         let mut best = (u.clone(), q.value(&u));
         let mut h = vec![0f64; n * n];
         let mut eta: Vec<Cost> = Vec::new();
+        // Incremental partition profile backing the η recompute: the QAP loop
+        // needs fresh η against every iterate, so it patches the profile
+        // forward each iteration instead of re-walking the adjacency.
+        let mut profile: Option<PartitionProfile> = None;
+        let mut profile_source: Option<Assignment> = None;
         // LAP cost layout: rows = components, cols = partitions.
         let mut lap_costs = vec![0f64; n * n];
         let mut recent: std::collections::VecDeque<u64> =
@@ -208,7 +202,24 @@ impl QapSolver {
 
         for k in 1..=self.config.iterations {
             obs.on_event(&SolveEvent::IterationStarted { iteration: k });
-            q.eta(&u, &mut eta);
+            let (rebuilt, moved) = match (profile.as_mut(), profile_source.as_ref()) {
+                (Some(p), Some(prev)) => p.update(prev, &u),
+                _ => {
+                    profile = Some(PartitionProfile::embedded(&q, &u));
+                    (true, n)
+                }
+            };
+            profile_source = Some(u.clone());
+            obs.on_event(&SolveEvent::ProfileUpdated {
+                iteration: k,
+                rebuilt,
+                moved,
+            });
+            q.eta_profiled(
+                &u,
+                profile.as_ref().expect("installed above"),
+                &mut eta,
+            );
             obs.on_event(&SolveEvent::EtaComputed {
                 iteration: k,
                 incremental: false,

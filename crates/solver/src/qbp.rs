@@ -20,7 +20,8 @@
 use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use crate::gap::{solve_gap_observed, solve_gap_with, GapConfig, GapInstance, GapScratch};
 use qbp_core::{
-    check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, Problem, QMatrix,
+    check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, PartitionProfile, Problem,
+    QMatrix,
 };
 use qbp_observe::{NoopObserver, SolveEvent, SolveObserver, SolverId};
 use rand::rngs::StdRng;
@@ -75,21 +76,12 @@ pub struct QbpConfig {
     /// Enable pairwise-swap improvement inside GAP solves (slower, slightly
     /// better subproblem optima).
     pub gap_swap_improvement: bool,
-    /// Restart (reset `h`, re-randomize the iterate, keep the incumbent)
-    /// when STEP 6 reproduces the previous iterate. Without this the
-    /// deterministic loop can reach a fixed point and burn the remaining
-    /// iterations; with it, "the more CPU time spent, the better the
-    /// results" (§5) holds. An enhancement over the paper's pseudocode;
-    /// disable to run the literal STEPs 1–8.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `stall_window` to 0 instead (or via `CommonOpts::stall_window`); \
-                this flag is still honored for one release"
-    )]
-    pub restart_on_stall: bool,
     /// Length of the recent-iterate window used to detect fixed points and
-    /// short cycles (default 8); `0` disables stall restarts entirely,
-    /// replacing the deprecated `restart_on_stall: false`.
+    /// short cycles (default 8). Restarts (reset `h`, re-randomize the
+    /// iterate, keep the incumbent) keep the deterministic loop from burning
+    /// the remaining iterations at a fixed point, so "the more CPU time
+    /// spent, the better the results" (§5) holds. `0` disables stall
+    /// restarts entirely and runs the literal STEPs 1–8.
     pub stall_window: usize,
     /// Polish violated GAP candidates with sequential coordinate descent on
     /// the embedded objective `yᵀQ̂y` before incumbent comparison. GAP
@@ -109,7 +101,6 @@ pub struct QbpConfig {
 
 impl Default for QbpConfig {
     fn default() -> Self {
-        #[allow(deprecated)]
         QbpConfig {
             iterations: 100,
             penalty: PenaltyMode::Auto,
@@ -117,7 +108,6 @@ impl Default for QbpConfig {
             seed: 0x5EED_CAFE,
             gap_improvement_passes: 2,
             gap_swap_improvement: false,
-            restart_on_stall: true,
             stall_window: STALL_WINDOW,
             repair_candidates: true,
             track_history: false,
@@ -127,13 +117,9 @@ impl Default for QbpConfig {
 }
 
 impl QbpConfig {
-    /// Whether stall restarts are active: the window must be non-zero and
-    /// the deprecated kill-switch must not be set.
+    /// Whether stall restarts are active: the window must be non-zero.
     pub(crate) fn restarts_enabled(&self) -> bool {
-        #[allow(deprecated)]
-        {
-            self.restart_on_stall && self.stall_window > 0
-        }
+        self.stall_window > 0
     }
 }
 
@@ -177,6 +163,13 @@ pub struct SolveWorkspace {
     /// The assignment `eta` currently linearizes; `None` when the cache is
     /// cold.
     eta_source: Option<Assignment>,
+    /// Incremental per-partition neighbor-weight aggregates backing full η
+    /// recomputes ([`QMatrix::eta_profiled`]); `None` until the first full
+    /// recompute builds it.
+    profile: Option<PartitionProfile>,
+    /// The assignment `profile` currently aggregates; patched forward (or
+    /// rebuilt) on the next full recompute.
+    profile_source: Option<Assignment>,
     /// Balas–Mazzola variant scratch: raw η plus the ω diagonal. Kept apart
     /// so the incremental cache in `eta` stays pristine.
     eta_bm: Vec<Cost>,
@@ -398,13 +391,33 @@ impl QbpSolver {
             // STEP 3: the η cache records which assignment it linearizes, so
             // successive iterates pay only for the components that moved
             // (bit-identical to a fresh computation; see
-            // [`QMatrix::eta_update`]).
-            let incremental = match ws.eta_source.as_ref() {
-                Some(prev) => q.eta_update(prev, &u, &mut ws.eta),
-                None => {
-                    q.eta(&u, &mut ws.eta);
-                    false
+            // [`QMatrix::eta_update`]). Full recomputes go through the
+            // embedded partition profile: O(M) aggregated axpys per column
+            // instead of one walk per adjacency record.
+            let patchable = match ws.eta_source.as_ref() {
+                Some(prev) => {
+                    ws.eta.len() == mn && count_moved(prev, &u) <= n / 4
                 }
+                None => false,
+            };
+            let incremental = if patchable {
+                let prev = ws.eta_source.as_ref().expect("checked above");
+                let patched = q.eta_update(prev, &u, &mut ws.eta);
+                debug_assert!(patched, "eta_update must patch below the N/4 threshold");
+                patched
+            } else {
+                let (rebuilt, moved) = sync_profile(&q, ws, &u);
+                obs.on_event(&SolveEvent::ProfileUpdated {
+                    iteration: k,
+                    rebuilt,
+                    moved,
+                });
+                q.eta_profiled(
+                    &u,
+                    ws.profile.as_ref().expect("sync_profile installs a profile"),
+                    &mut ws.eta,
+                );
+                false
             };
             obs.on_event(&SolveEvent::EtaComputed {
                 iteration: k,
@@ -1126,6 +1139,36 @@ pub(crate) fn project_toward(
 
 /// Length of the recent-iterate window used to detect short cycles.
 pub(crate) const STALL_WINDOW: usize = 8;
+
+/// Number of components assigned to different partitions in `prev` vs.
+/// `next` — the same threshold quantity [`QMatrix::eta_update`] uses to pick
+/// between patching and a full recompute.
+pub(crate) fn count_moved(prev: &Assignment, next: &Assignment) -> usize {
+    (0..prev.len())
+        .filter(|&j| prev.part_index(j) != next.part_index(j))
+        .count()
+}
+
+/// Brings the workspace's embedded partition profile in sync with `u`:
+/// patches it forward from its recorded source assignment when one exists
+/// (and matches the problem's dimensions), otherwise rebuilds it from
+/// scratch. Returns `(rebuilt, moved)` for observability.
+fn sync_profile(q: &QMatrix<'_>, ws: &mut SolveWorkspace, u: &Assignment) -> (bool, usize) {
+    let n = q.problem().n();
+    let m = q.problem().m();
+    let result = match (ws.profile.as_mut(), ws.profile_source.as_ref()) {
+        (Some(p), Some(prev)) if p.n() == n && p.m() == m => p.update(prev, u),
+        _ => {
+            ws.profile = Some(PartitionProfile::embedded(q, u));
+            (true, n)
+        }
+    };
+    match ws.profile_source.as_mut() {
+        Some(src) if src.len() == n => src.clone_from(u),
+        _ => ws.profile_source = Some(u.clone()),
+    }
+    result
+}
 
 /// Cheap content hash of an assignment for cycle detection.
 pub(crate) fn assignment_fingerprint(asg: &Assignment) -> u64 {

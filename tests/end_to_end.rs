@@ -115,10 +115,9 @@ fn method_configs_respected() {
     assert_eq!(gfm.passes, 1);
     // Literal-paper QBP (no enhancements) still runs and returns something
     // no worse than infeasible-free fallback semantics.
-    #[allow(deprecated)] // restart_on_stall: exercising the legacy knob until removal
     let literal = QbpSolver::new(QbpConfig {
         iterations: 20,
-        restart_on_stall: false,
+        stall_window: 0,
         repair_candidates: false,
         ..QbpConfig::default()
     })
