@@ -134,10 +134,12 @@ impl GklSolver {
             components: problem.n(),
             partitions: problem.m(),
         });
-        // Per-partition neighbor-weight aggregates; every swap gain below is
-        // an O(M) profile lookup plus an exact mutual-pair correction, and
-        // each tentative (or rolled-back) swap patches only the two movers'
-        // neighbors.
+        // Per-partition neighbor-weight aggregates; swap gains below go
+        // through [`Evaluator::swap_delta_auto`], which picks the plain
+        // adjacency walk on sparse/many-partition shapes and the O(M)
+        // profile lookup on dense/few-partition ones (bit-identical either
+        // way). Each tentative (or rolled-back) swap patches only the two
+        // movers' neighbors.
         let mut profile = PartitionProfile::plain(problem, &assignment);
         obs.on_event(&SolveEvent::ProfileUpdated {
             iteration: 0,
@@ -202,7 +204,7 @@ impl GklSolver {
                 if assignment.part_index(j1) == assignment.part_index(j2) {
                     continue;
                 }
-                let gain = -eval.swap_delta_profiled_lookup(
+                let gain = -eval.swap_delta_auto(
                     profile,
                     assignment,
                     ComponentId::new(j1),
@@ -231,7 +233,7 @@ impl GklSolver {
             if i1 == i2 {
                 continue;
             }
-            let gain = -eval.swap_delta_profiled_lookup(profile, assignment, c1, c2);
+            let gain = -eval.swap_delta_auto(profile, assignment, c1, c2);
             if gain < key {
                 let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
                 if !still_max {
@@ -284,7 +286,7 @@ impl GklSolver {
                     if assignment.part_index(l) == assignment.part_index(k.index()) {
                         continue;
                     }
-                    let g = -eval.swap_delta_profiled_lookup(
+                    let g = -eval.swap_delta_auto(
                         profile,
                         assignment,
                         k,

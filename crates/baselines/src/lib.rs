@@ -40,9 +40,7 @@
 mod common;
 mod gfm;
 mod gkl;
-pub mod registry;
 
 pub use common::BaselineOutcome;
 pub use gfm::{GfmConfig, GfmSolver};
 pub use gkl::{GklConfig, GklSolver};
-pub use registry::{build_solver, SOLVER_NAMES};

@@ -12,16 +12,20 @@
 //! * `QBP_SEED` — base seed (default 1993).
 //! * `QBP_BENCH_OUT` — output path (default `BENCH_qbp.json`).
 //!
-//! The snapshot is informational (CI runs it non-gating), but the binary
-//! does exit non-zero if the parallel multistart diverges from the serial
-//! one — that would be a determinism bug, not a performance regression.
+//! The snapshot is mostly informational (CI runs it non-gating), but the
+//! binary exits non-zero on correctness or efficiency contract violations:
+//! the parallel multistart diverging from the serial one, a profiled kernel
+//! diverging from its explicit-walk twin, the QBP profile-sync patch path
+//! losing to full rebuilds on suite totals, or (when `QBP_BASELINE` is set)
+//! an η kernel slowing more than 25% against the committed baseline.
 
 use qbp_bench::{default_methods, run_rows, CircuitRow, TableOptions};
 use qbp_cli::args::Args;
-use qbp_core::{ComponentId, Evaluator, PartitionId, PartitionProfile, QMatrix};
+use qbp_core::{Assignment, ComponentId, Evaluator, PartitionId, PartitionProfile, Problem, QMatrix};
 use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
+use qbp_multilevel::{MlqbpConfig, MlqbpSolver};
 use qbp_observe::{CounterSnapshot, CountersObserver, NoopObserver, SolveObserver};
-use qbp_solver::{QbpConfig, QbpSolver, SolveWorkspace};
+use qbp_solver::{QbpConfig, QbpSolver, SolveWorkspace, Solver};
 use std::time::Instant;
 
 /// Default multistart restarts benchmarked below (`--runs` overrides).
@@ -38,6 +42,18 @@ const KERNEL_REPS: usize = 3;
 const KERNEL_SCALES: [f64; 2] = [0.25, 1.0];
 /// Relative slowdown against `QBP_BASELINE` that triggers a CI annotation.
 const KERNEL_REGRESSION_THRESHOLD: f64 = 0.15;
+/// Relative slowdown of an η kernel (see [`ETA_GATED_KEYS`]) against
+/// `QBP_BASELINE` that fails the snapshot outright.
+const ETA_REGRESSION_HARD_THRESHOLD: f64 = 0.25;
+/// The multilevel comparison runs the paper suite at this multiple of the
+/// snapshot scale: at the default scale 0.25 this is the paper's circuits
+/// at full size (scale `4 × 0.25 = 1.0`).
+const ML_PAPER_FACTOR: f64 = 4.0;
+/// The multilevel comparison runs the synthetic suite at this multiple of
+/// the snapshot scale: at the default scale 0.25 this is four times the
+/// paper's circuit sizes (scale `16 × 0.25 = 4.0`), where coarsening pays
+/// most.
+const ML_SYNTHETIC_FACTOR: f64 = 16.0;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -102,6 +118,8 @@ fn aggregate_counters(rows: &[CircuitRow], method: &str) -> CounterSnapshot {
         total.runs += c.runs;
         total.profile_rebuilds += c.profile_rebuilds;
         total.profile_patches += c.profile_patches;
+        total.levels_coarsened += c.levels_coarsened;
+        total.levels_refined += c.levels_refined;
     }
     total
 }
@@ -121,6 +139,14 @@ struct KernelBench {
     move_gains_profiled_seconds: f64,
     swap_gains_walk_seconds: f64,
     swap_gains_profiled_seconds: f64,
+    /// Wall-clock of whichever swap kernel
+    /// [`Evaluator::swap_walk_preferred`] selects per circuit — the time the
+    /// auto-dispatching `swap_delta_auto` path actually pays.
+    swap_gains_selected_seconds: f64,
+    /// Circuits where the shape predicate selected the adjacency walk.
+    swap_walk_circuits: usize,
+    /// Circuits where the shape predicate selected the profiled kernel.
+    swap_profiled_circuits: usize,
     /// `false` when any kernel pair disagreed on any circuit (a correctness
     /// bug, reported and gated like the multistart determinism check).
     matched: bool,
@@ -148,6 +174,9 @@ fn kernel_bench(scale: f64, suite_options: &SuiteOptions) -> KernelBench {
         move_gains_profiled_seconds: 0.0,
         swap_gains_walk_seconds: 0.0,
         swap_gains_profiled_seconds: 0.0,
+        swap_gains_selected_seconds: 0.0,
+        swap_walk_circuits: 0,
+        swap_profiled_circuits: 0,
         matched: true,
     };
     for spec in PAPER_SUITE {
@@ -235,17 +264,28 @@ fn kernel_bench(scale: f64, suite_options: &SuiteOptions) -> KernelBench {
                 }
             }
         });
-        kb.swap_gains_walk_seconds += min_time(|| {
+        let swap_walk_seconds = min_time(|| {
             for &(c1, c2) in &swap_pairs {
                 sink = sink.wrapping_add(eval.swap_delta(&witness, c1, c2));
             }
         });
-        kb.swap_gains_profiled_seconds += min_time(|| {
+        let swap_profiled_seconds = min_time(|| {
             for &(c1, c2) in &swap_pairs {
                 sink =
                     sink.wrapping_add(eval.swap_delta_profiled_lookup(&plain, &witness, c1, c2));
             }
         });
+        kb.swap_gains_walk_seconds += swap_walk_seconds;
+        kb.swap_gains_profiled_seconds += swap_profiled_seconds;
+        // The auto-dispatch path pays whichever kernel the shape predicate
+        // picks for this circuit; charge it the matching measured time.
+        if eval.swap_walk_preferred() {
+            kb.swap_gains_selected_seconds += swap_walk_seconds;
+            kb.swap_walk_circuits += 1;
+        } else {
+            kb.swap_gains_selected_seconds += swap_profiled_seconds;
+            kb.swap_profiled_circuits += 1;
+        }
         std::hint::black_box(sink);
     }
     kb
@@ -256,16 +296,27 @@ impl KernelBench {
         self.eta_nested_seconds / self.eta_profiled_seconds.max(1e-12)
     }
 
+    /// Which swap kernel the shape predicate picked across the suite.
+    fn swap_gains_selected(&self) -> &'static str {
+        match (self.swap_walk_circuits, self.swap_profiled_circuits) {
+            (_, 0) => "walk",
+            (0, _) => "profiled",
+            _ => "mixed",
+        }
+    }
+
     fn to_json(&self) -> String {
         format!(
-            "{{\"scale\": {}, \"reps\": {}, \
+            "{{\"scale\": {}, \"reps\": {}, \"threads_used\": 1, \
              \"eta_nested_seconds\": {:.6}, \"eta_csr_seconds\": {:.6}, \
              \"eta_profiled_seconds\": {:.6}, \"eta_speedup_vs_nested\": {:.3}, \
              \"profile_build_seconds\": {:.6}, \
              \"move_gains_walk_seconds\": {:.6}, \"move_gains_profiled_seconds\": {:.6}, \
              \"move_gains_speedup\": {:.3}, \
              \"swap_gains_walk_seconds\": {:.6}, \"swap_gains_profiled_seconds\": {:.6}, \
-             \"swap_gains_speedup\": {:.3}, \"matched\": {}}}",
+             \"swap_gains_speedup\": {:.3}, \
+             \"swap_gains_selected\": \"{}\", \"swap_gains_selected_seconds\": {:.6}, \
+             \"swap_gains_auto_speedup\": {:.3}, \"matched\": {}}}",
             self.scale,
             KERNEL_REPS,
             self.eta_nested_seconds,
@@ -279,6 +330,9 @@ impl KernelBench {
             self.swap_gains_walk_seconds,
             self.swap_gains_profiled_seconds,
             self.swap_gains_walk_seconds / self.swap_gains_profiled_seconds.max(1e-12),
+            self.swap_gains_selected(),
+            self.swap_gains_selected_seconds,
+            self.swap_gains_walk_seconds / self.swap_gains_selected_seconds.max(1e-12),
             self.matched
         )
     }
@@ -307,23 +361,35 @@ fn extract_number(fragment: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Non-gating regression check: compares this run's kernel timings against
-/// the committed snapshot named by `QBP_BASELINE` and prints a GitHub
-/// `::warning::` annotation for every kernel that slowed more than
-/// [`KERNEL_REGRESSION_THRESHOLD`]. Absent/unreadable baselines (or ones
-/// predating `kernel_bench`) are skipped silently — the first snapshot in a
-/// fresh checkout has nothing to diff against.
-fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) {
+/// η kernel keys whose regressions fail the snapshot (not just annotate)
+/// past [`ETA_REGRESSION_HARD_THRESHOLD`] — the solver's hot loop lives on
+/// these three.
+const ETA_GATED_KEYS: [&str; 3] = [
+    "eta_nested_seconds",
+    "eta_csr_seconds",
+    "eta_profiled_seconds",
+];
+
+/// Regression check against the committed snapshot named by `QBP_BASELINE`:
+/// prints a GitHub `::warning::` annotation for every kernel that slowed
+/// more than [`KERNEL_REGRESSION_THRESHOLD`], escalates to `::error::` when
+/// an η kernel (see [`ETA_GATED_KEYS`]) slowed past
+/// [`ETA_REGRESSION_HARD_THRESHOLD`], and returns the number of such hard
+/// failures (the caller exits non-zero). Absent/unreadable baselines (or
+/// ones predating `kernel_bench`) are skipped silently — the first snapshot
+/// in a fresh checkout has nothing to diff against.
+fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) -> usize {
     let Ok(text) = std::fs::read_to_string(baseline_path) else {
         eprintln!("kernel regression check: baseline {baseline_path} unreadable, skipping");
-        return;
+        return 0;
     };
     let Some(start) = text.find("\"kernel_bench\"") else {
         eprintln!("kernel regression check: baseline has no kernel_bench block, skipping");
-        return;
+        return 0;
     };
     // One `{...}` object per scale inside the kernel_bench array.
     let mut annotated = 0usize;
+    let mut hard_failures = 0usize;
     for chunk in text[start..].split('{').skip(1) {
         let chunk = chunk.split('}').next().unwrap_or("");
         let Some(scale) = extract_number(chunk, "scale") else {
@@ -339,7 +405,21 @@ fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) {
             ) else {
                 continue;
             };
-            if base > 0.0 && now > base * (1.0 + KERNEL_REGRESSION_THRESHOLD) {
+            if base <= 0.0 {
+                continue;
+            }
+            let gated = ETA_GATED_KEYS.contains(&key)
+                && now > base * (1.0 + ETA_REGRESSION_HARD_THRESHOLD);
+            if gated {
+                let pct = 100.0 * (now / base - 1.0);
+                println!(
+                    "::error::kernel_bench regression: {key} at scale {scale} \
+                     slowed {pct:+.1}% (baseline {base:.6}s, fresh {now:.6}s), \
+                     past the {:.0}% hard limit",
+                    100.0 * ETA_REGRESSION_HARD_THRESHOLD
+                );
+                hard_failures += 1;
+            } else if now > base * (1.0 + KERNEL_REGRESSION_THRESHOLD) {
                 let pct = 100.0 * (now / base - 1.0);
                 println!(
                     "::warning::kernel_bench regression: {key} at scale {scale} \
@@ -350,10 +430,147 @@ fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) {
         }
     }
     eprintln!(
-        "kernel regression check vs {baseline_path}: {annotated} kernel(s) slower than \
-         the {:.0}% threshold",
-        100.0 * KERNEL_REGRESSION_THRESHOLD
+        "kernel regression check vs {baseline_path}: {annotated} kernel(s) slower than the \
+         {:.0}% threshold, {hard_failures} η kernel(s) past the {:.0}% hard limit",
+        100.0 * KERNEL_REGRESSION_THRESHOLD,
+        100.0 * ETA_REGRESSION_HARD_THRESHOLD
     );
+    hard_failures
+}
+
+/// One circuit's flat-QBP-vs-multilevel comparison row.
+struct MlRow {
+    name: String,
+    components: usize,
+    flat_seconds: f64,
+    flat_cost: i64,
+    flat_feasible: bool,
+    ml_seconds: f64,
+    ml_cost: i64,
+    ml_feasible: bool,
+    /// `mlqbp` final cost relative to flat QBP (positive = mlqbp worse).
+    cost_delta_pct: f64,
+    /// Coarsening levels the V-cycle built (0 = flat fallback).
+    levels: u64,
+}
+
+/// One suite's aggregate flat-vs-multilevel comparison.
+struct MlSuite {
+    scale: f64,
+    rows: Vec<MlRow>,
+    flat_seconds: f64,
+    ml_seconds: f64,
+    speedup: f64,
+    max_cost_delta_pct: f64,
+    all_feasible: bool,
+}
+
+/// Times flat QBP (one full-budget run) against the multilevel V-cycle on
+/// every circuit, both single-threaded and started from the instance's
+/// planted feasible witness so the comparison is start-for-start fair.
+fn multilevel_suite(
+    scale: f64,
+    circuits: &[(&str, &Problem, &Assignment)],
+    seed: u64,
+) -> MlSuite {
+    let qbp_config = QbpConfig {
+        seed,
+        threads: 1,
+        ..QbpConfig::default()
+    };
+    let ml_config = MlqbpConfig {
+        qbp: qbp_config,
+        ..MlqbpConfig::default()
+    };
+    let mut rows = Vec::with_capacity(circuits.len());
+    for &(name, problem, witness) in circuits {
+        let t0 = Instant::now();
+        let flat = Solver::solve(
+            &QbpSolver::new(qbp_config),
+            problem,
+            Some(witness),
+            &mut NoopObserver,
+        )
+        .expect("flat qbp solve");
+        let flat_seconds = t0.elapsed().as_secs_f64();
+        let mut counters = CountersObserver::new();
+        let t0 = Instant::now();
+        let ml = MlqbpSolver::new(ml_config)
+            .solve(problem, Some(witness), &mut counters)
+            .expect("mlqbp solve");
+        let ml_seconds = t0.elapsed().as_secs_f64();
+        let cost_delta_pct = if flat.objective != 0 {
+            100.0 * (ml.objective - flat.objective) as f64 / flat.objective as f64
+        } else {
+            0.0
+        };
+        rows.push(MlRow {
+            name: name.to_string(),
+            components: problem.n(),
+            flat_seconds,
+            flat_cost: flat.objective,
+            flat_feasible: flat.feasible,
+            ml_seconds,
+            ml_cost: ml.objective,
+            ml_feasible: ml.feasible,
+            cost_delta_pct,
+            levels: counters.snapshot().levels_coarsened,
+        });
+    }
+    let flat_seconds: f64 = rows.iter().map(|r| r.flat_seconds).sum();
+    let ml_seconds: f64 = rows.iter().map(|r| r.ml_seconds).sum();
+    MlSuite {
+        scale,
+        flat_seconds,
+        ml_seconds,
+        speedup: flat_seconds / ml_seconds.max(1e-12),
+        max_cost_delta_pct: rows
+            .iter()
+            .map(|r| r.cost_delta_pct)
+            .fold(f64::NEG_INFINITY, f64::max),
+        all_feasible: rows.iter().all(|r| r.flat_feasible && r.ml_feasible),
+        rows,
+    }
+}
+
+impl MlSuite {
+    fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "\n      {{\"circuit\": \"{}\", \"components\": {}, \
+                     \"flat_seconds\": {:.6}, \"flat_cost\": {}, \"flat_feasible\": {}, \
+                     \"ml_seconds\": {:.6}, \"ml_cost\": {}, \"ml_feasible\": {}, \
+                     \"cost_delta_pct\": {:.3}, \"levels\": {}}}",
+                    json_escape(&r.name),
+                    r.components,
+                    r.flat_seconds,
+                    r.flat_cost,
+                    r.flat_feasible,
+                    r.ml_seconds,
+                    r.ml_cost,
+                    r.ml_feasible,
+                    r.cost_delta_pct,
+                    r.levels
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"scale\": {}, \"threads_used\": 1, \"flat_seconds\": {:.6}, \
+             \"ml_seconds\": {:.6}, \"speedup\": {:.3}, \"max_cost_delta_pct\": {:.3}, \
+             \"all_feasible\": {}, \"rows\": [{}\n    ]}}",
+            self.scale,
+            self.flat_seconds,
+            self.ml_seconds,
+            self.speedup,
+            self.max_cost_delta_pct,
+            self.all_feasible,
+            rows
+        )
+    }
 }
 
 fn main() {
@@ -414,10 +631,18 @@ fn main() {
         .map(|(spec, problem, witness)| (spec.name, problem, Some(witness)))
         .collect();
     let methods = default_methods();
+    // One circuit worker per instance, each fanning out one worker per
+    // method (see `run_rows`); the OS multiplexes them over the host cores.
+    let suite_threads_used = threads_available.min(instances.len() * methods.len());
     let suite_t0 = Instant::now();
     let rows = run_rows(&circuits, &methods, opts.seed).expect("suite rows");
     let suite_seconds = suite_t0.elapsed().as_secs_f64();
     let qbp_totals = aggregate_counters(&rows, "QBP");
+    // The profile-sync contract: with the profile patched forward every
+    // iteration, the O(moved·deg) patch path must dominate full rebuilds
+    // across the suite (one unavoidable rebuild per solve seeds the
+    // profile).
+    let profile_sync_effective = qbp_totals.profile_patches > qbp_totals.profile_rebuilds;
     eprintln!(
         "qbp phase totals: {} η patches / {} full recomputes \
          ({} profile rebuilds / {} profile patches), {} GAP calls, {} repairs",
@@ -450,9 +675,66 @@ fn main() {
         })
         .collect();
     let kernels_matched = kernels.iter().all(|kb| kb.matched);
-    if let Ok(baseline) = std::env::var("QBP_BASELINE") {
-        diff_against_baseline(&baseline, &kernels);
-    }
+    let eta_hard_failures = match std::env::var("QBP_BASELINE") {
+        Ok(baseline) => diff_against_baseline(&baseline, &kernels),
+        Err(_) => 0,
+    };
+
+    // Multilevel V-cycle vs flat QBP: at the default snapshot scale of 0.25
+    // the factors below land exactly on the comparison the docs quote — the
+    // paper suite at full size (scale 1.0) and a synthetic suite at 4× the
+    // paper's circuit sizes, where coarsening pays most.  Scaled-down smoke
+    // runs shrink both proportionally.
+    let ml_paper_scale = opts.scale * ML_PAPER_FACTOR;
+    let ml_paper_instances: Vec<_> = PAPER_SUITE
+        .iter()
+        .map(|spec| {
+            let spec = scaled_spec(spec, ml_paper_scale);
+            let (problem, witness) =
+                build_instance_with_witness(&spec, &suite_options).expect("ml paper suite");
+            (spec, problem, witness)
+        })
+        .collect();
+    let ml_paper_circuits: Vec<_> = ml_paper_instances
+        .iter()
+        .map(|(spec, problem, witness)| (spec.name, problem, witness))
+        .collect();
+    let ml_paper = multilevel_suite(ml_paper_scale, &ml_paper_circuits, opts.seed);
+    eprintln!(
+        "multilevel (paper suite, scale {}): flat {:.3}s vs mlqbp {:.3}s \
+         ({:.2}x), max cost delta {:+.2}%, all feasible {}",
+        ml_paper_scale,
+        ml_paper.flat_seconds,
+        ml_paper.ml_seconds,
+        ml_paper.speedup,
+        ml_paper.max_cost_delta_pct,
+        ml_paper.all_feasible
+    );
+    let ml_synth_scale = opts.scale * ML_SYNTHETIC_FACTOR;
+    let synth_instances: Vec<_> = PAPER_SUITE
+        .iter()
+        .map(|spec| {
+            let spec = scaled_spec(spec, ml_synth_scale);
+            let (problem, witness) =
+                build_instance_with_witness(&spec, &suite_options).expect("synthetic suite");
+            (spec, problem, witness)
+        })
+        .collect();
+    let ml_synth_circuits: Vec<_> = synth_instances
+        .iter()
+        .map(|(spec, problem, witness)| (spec.name, problem, witness))
+        .collect();
+    let ml_synth = multilevel_suite(ml_synth_scale, &ml_synth_circuits, opts.seed);
+    eprintln!(
+        "multilevel (synthetic suite, scale {}): flat {:.3}s vs mlqbp {:.3}s \
+         ({:.2}x), max cost delta {:+.2}%, all feasible {}",
+        ml_synth_scale,
+        ml_synth.flat_seconds,
+        ml_synth.ml_seconds,
+        ml_synth.speedup,
+        ml_synth.max_cost_delta_pct,
+        ml_synth.all_feasible
+    );
 
     // Multistart speedup: the same restarts serially (threads = 1) and in
     // parallel (threads = 0 → all cores); the winners must be bit-identical.
@@ -486,9 +768,10 @@ fn main() {
         && serial.objective == parallel.objective
         && serial.feasible == parallel.feasible
         && serial.iterations == parallel.iterations;
+    // With one host core the "parallel" run exercises the same serial path,
+    // so the ratio is noise; `parallel_threads_used: 1` next to
+    // `threads_available: 1` makes the null self-explaining.
     let speedup = (threads_available > 1).then(|| serial_seconds / parallel_seconds.max(1e-12));
-    let skipped_reason = (threads_available == 1)
-        .then_some("threads_available == 1: the parallel path degenerates to the serial one");
     match speedup {
         Some(s) => eprintln!(
             "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
@@ -537,10 +820,6 @@ fn main() {
         Some(s) => format!("{s:.3}"),
         None => "null".to_string(),
     };
-    let skipped_reason_json = match skipped_reason {
-        Some(r) => format!("\"{}\"", json_escape(r)),
-        None => "null".to_string(),
-    };
     let kernel_bench_json = kernels
         .iter()
         .map(|kb| format!("\n    {}", kb.to_json()))
@@ -548,23 +827,30 @@ fn main() {
         .join(",");
     let json = format!(
         "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"threads_available\": {},\n  \
-         \"suite_wall_seconds\": {:.6},\n  \"tables\": {},\n  \
-         \"qbp_counter_totals\": {},\n  \"kernel_bench\": [{}\n  ],\n  \
+         \"suite_wall_seconds\": {:.6},\n  \"suite_threads_used\": {},\n  \"tables\": {},\n  \
+         \"qbp_counter_totals\": {},\n  \"profile_sync_effective\": {},\n  \
+         \"kernel_bench\": [{}\n  ],\n  \
+         \"multilevel\": {{\n    \"paper_suite\": {},\n    \"synthetic_suite\": {}\n  }},\n  \
          \"multistart\": {{\n    \
          \"circuit\": \"{}\",\n    \"runs\": {},\n    \"serial_seconds\": {:.6},\n    \
          \"serial_threads_used\": {},\n    \"parallel_seconds\": {:.6},\n    \
          \"parallel_threads_used\": {},\n    \"speedup\": {},\n    \
-         \"skipped_reason\": {},\n    \"bit_identical\": {}\n  }},\n  \
+         \"bit_identical\": {}\n  }},\n  \
          \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
+         \"threads_used\": 1,\n    \
          \"noop_seconds\": {:.6},\n    \"counters_seconds\": {:.6},\n    \
          \"overhead_pct\": {:.3}\n  }}\n}}\n",
         opts.scale,
         opts.seed,
         threads_available,
         suite_seconds,
+        suite_threads_used,
         rows_json(&rows),
         qbp_totals.to_json(),
+        profile_sync_effective,
         kernel_bench_json,
+        ml_paper.to_json(),
+        ml_synth.to_json(),
         MULTISTART_CIRCUIT,
         multistart_runs,
         serial_seconds,
@@ -572,7 +858,6 @@ fn main() {
         parallel_seconds,
         parallel_threads_used,
         speedup_json,
-        skipped_reason_json,
         bit_identical,
         MULTISTART_CIRCUIT,
         OVERHEAD_REPS,
@@ -589,6 +874,21 @@ fn main() {
     }
     if !kernels_matched {
         eprintln!("error: a profiled kernel diverged from its explicit-walk twin (correctness bug)");
+        std::process::exit(1);
+    }
+    if !profile_sync_effective {
+        eprintln!(
+            "error: profile patches ({}) did not exceed rebuilds ({}) on suite totals — \
+             the per-iteration profile sync is not taking the patch path",
+            qbp_totals.profile_patches, qbp_totals.profile_rebuilds
+        );
+        std::process::exit(1);
+    }
+    if eta_hard_failures > 0 {
+        eprintln!(
+            "error: {eta_hard_failures} η kernel(s) regressed past the {:.0}% hard limit",
+            100.0 * ETA_REGRESSION_HARD_THRESHOLD
+        );
         std::process::exit(1);
     }
 }

@@ -1,9 +1,9 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::Args;
-use qbp_baselines::{build_solver, SOLVER_NAMES};
 use qbp_core::io::{parse_assignment, parse_problem, write_assignment, write_problem};
 use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem};
+use qbp_multilevel::{build_solver, MlqbpConfig, MlqbpSolver, SOLVER_NAMES};
 use qbp_observe::{CountersObserver, SolveObserver, TeeObserver, TraceObserver};
 use qbp_solver::{
     greedy_first_fit, moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport,
@@ -39,6 +39,10 @@ pub fn solve(args: &Args) -> CommandResult {
     let method = args.get("method").unwrap_or("qbp").to_lowercase();
     let opts = args.common_opts()?;
     let runs = args.runs()?;
+    let ml = MlFlags {
+        levels: args.get_parsed_opt("ml-levels", "an integer")?,
+        min_size: args.get_parsed_opt("ml-min-size", "an integer")?,
+    };
     let quiet = args.switch("quiet");
 
     let initial = match args.get("initial") {
@@ -69,7 +73,7 @@ pub fn solve(args: &Args) -> CommandResult {
         if let Some(t) = trace.as_mut() {
             tee.push(t);
         }
-        run_method(&problem, &method, &opts, runs, initial.as_ref(), &mut tee)?
+        run_method(&problem, &method, &opts, runs, &ml, initial.as_ref(), &mut tee)?
     };
 
     let label = method.to_uppercase();
@@ -102,6 +106,13 @@ pub fn solve(args: &Args) -> CommandResult {
     })
 }
 
+/// The multilevel-only tuning flags, parsed whether or not `--method mlqbp`
+/// was chosen so that stray uses on other methods are rejected loudly.
+struct MlFlags {
+    levels: Option<usize>,
+    min_size: Option<usize>,
+}
+
 /// Dispatches one solve through the method registry (or the qbp multistart
 /// driver when `--runs` asks for more than one), behind `&dyn Solver`.
 fn run_method(
@@ -109,9 +120,13 @@ fn run_method(
     method: &str,
     opts: &CommonOpts,
     runs: usize,
+    ml: &MlFlags,
     initial: Option<&Assignment>,
     obs: &mut dyn SolveObserver,
 ) -> Result<SolveReport, Box<dyn Error>> {
+    if method != "mlqbp" && (ml.levels.is_some() || ml.min_size.is_some()) {
+        return Err("--ml-levels/--ml-min-size only apply to --method mlqbp".into());
+    }
     if runs > 1 {
         if method != "qbp" {
             return Err(format!("--runs {runs} only applies to --method qbp").into());
@@ -128,6 +143,16 @@ fn run_method(
             elapsed: out.elapsed,
             assignment: out.assignment,
         });
+    }
+    if method == "mlqbp" {
+        let mut config = MlqbpConfig::default().with_common(opts);
+        if let Some(levels) = ml.levels {
+            config.max_levels = levels;
+        }
+        if let Some(min_size) = ml.min_size {
+            config.min_size = min_size;
+        }
+        return Ok(MlqbpSolver::new(config).solve_observed(problem, initial, obs)?);
     }
     let solver = build_solver(method, opts).ok_or_else(|| {
         format!("unknown method `{method}` (use {})", SOLVER_NAMES.join(", "))
@@ -339,7 +364,7 @@ timing alu cache 1
     fn solve_all_methods() {
         let problem_path = temp_path("methods.qbp");
         fs::write(&problem_path, SAMPLE).expect("write problem");
-        for method in ["qbp", "gfm", "gkl", "anneal"] {
+        for method in ["qbp", "gfm", "gkl", "anneal", "mlqbp"] {
             let out = temp_path(&format!("{method}.txt"));
             let code = solve(&args(&[
                 "solve",
@@ -422,6 +447,40 @@ timing alu cache 1
         assert_eq!(code, ExitCode::SUCCESS);
         assert!(solve(&args(&["solve", problem_path.to_str().expect("utf8"), "--runs", "0"]))
             .is_err());
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(asg_path);
+    }
+
+    #[test]
+    fn solve_mlqbp_flags() {
+        let problem_path = temp_path("mlflags.qbp");
+        let asg_path = temp_path("mlflags.txt");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--method",
+            "mlqbp",
+            "--ml-levels",
+            "2",
+            "--ml-min-size",
+            "2",
+            "--quiet",
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        assert!(
+            solve(&args(&[
+                "solve",
+                problem_path.to_str().expect("utf8"),
+                "--ml-levels",
+                "2",
+            ]))
+            .is_err(),
+            "ml flags must be rejected for non-mlqbp methods"
+        );
         let _ = fs::remove_file(problem_path);
         let _ = fs::remove_file(asg_path);
     }

@@ -20,8 +20,9 @@ pub const USAGE: &str = "\
 qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
 
 USAGE:
-  qbp solve <problem.qbp> [--method qbp|qap|gfm|gkl|anneal] [--iterations N]
-            [--seed S] [--runs R] [--threads T] [--stall-window W]
+  qbp solve <problem.qbp> [--method qbp|qap|gfm|gkl|anneal|mlqbp]
+            [--iterations N] [--seed S] [--runs R] [--threads T]
+            [--stall-window W] [--ml-levels L] [--ml-min-size K]
             [--initial file] [--output file] [--quiet]
             [--trace file.jsonl] [--counters]
 
@@ -29,6 +30,9 @@ USAGE:
                   run; deterministic for a fixed seed regardless of threads)
   --threads T     worker threads for the multistart (0 = all cores)
   --stall-window W  stall-detection window for qbp/qap (0 disables restarts)
+  --ml-levels L   max coarsening levels for --method mlqbp (default 8)
+  --ml-min-size K stop coarsening at K components for --method mlqbp
+                  (default 64)
   --trace FILE    write the solver's event stream as JSON Lines to FILE
   --counters      print aggregate event counters as JSON on stderr
   qbp check <problem.qbp> <assignment.txt>

@@ -316,6 +316,44 @@ impl<'a> Evaluator<'a> {
         let w21 = circuit.connection(j2, j1);
         self.swap_delta_profiled(profile, assignment, j1, j2, w12, w21)
     }
+
+    /// Whether the plain adjacency walk ([`Evaluator::swap_delta`]) is the
+    /// faster swap-gain kernel for this problem's shape.
+    ///
+    /// The walk prices a swap in `O(deg(j1) + deg(j2))` adjacency records
+    /// (≈ `4E/N` on average, counting both directions of both endpoints);
+    /// the profile-backed kernel always pays a fused `O(M)` pass plus an
+    /// `O(deg(j1))` mutual-weight lookup. Each profiled step is several
+    /// times the cost of a contiguous CSR record (four zipped profile rows
+    /// and 2-D cost-matrix indexing per partition), so the measured
+    /// crossover sits near average degree ≈ `M`: the walk wins until the
+    /// circuit is denser than `E > N·M`.
+    pub fn swap_walk_preferred(&self) -> bool {
+        let n = self.problem.n().max(1);
+        self.problem.circuit().directed_edge_count() <= n * self.problem.m()
+    }
+
+    /// Swap gain via whichever kernel [`Evaluator::swap_walk_preferred`]
+    /// picks for this problem shape. Both kernels are exact in `i64`, so the
+    /// result is bit-identical either way; only the constant factor differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range, or if `profile` was not built
+    /// for this problem's dimensions.
+    pub fn swap_delta_auto(
+        &self,
+        profile: &PartitionProfile,
+        assignment: &Assignment,
+        j1: ComponentId,
+        j2: ComponentId,
+    ) -> Cost {
+        if self.swap_walk_preferred() {
+            self.swap_delta(assignment, j1, j2)
+        } else {
+            self.swap_delta_profiled_lookup(profile, assignment, j1, j2)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +561,22 @@ mod proptests {
         #[test]
         fn cost_is_nonnegative((problem, asg, _) in arb_problem_and_assignment()) {
             prop_assert!(Evaluator::new(&problem).cost(&asg) >= 0);
+        }
+
+        #[test]
+        fn swap_delta_auto_matches_both_kernels((problem, asg, moves) in arb_problem_and_assignment()) {
+            // Whichever kernel the shape predicate picks, the gain must be
+            // bit-identical to the plain walk and the profiled lookup.
+            let eval = Evaluator::new(&problem);
+            let profile = crate::PartitionProfile::plain(&problem, &asg);
+            let n = problem.n();
+            for (j, to) in moves {
+                let j1 = ComponentId::new(j);
+                let j2 = ComponentId::new(to % n);
+                let auto = eval.swap_delta_auto(&profile, &asg, j1, j2);
+                prop_assert_eq!(auto, eval.swap_delta(&asg, j1, j2));
+                prop_assert_eq!(auto, eval.swap_delta_profiled_lookup(&profile, &asg, j1, j2));
+            }
         }
     }
 }

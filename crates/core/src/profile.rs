@@ -392,9 +392,13 @@ impl PartitionProfile {
 
     /// Syncs a profile reflecting `prev` to reflect `next`: patches each
     /// moved component with [`PartitionProfile::apply_move`] when at most
-    /// `N/4` moved (mirroring the
-    /// [`QMatrix::eta_update`](crate::QMatrix::eta_update) fallback
-    /// threshold), otherwise rebuilds from scratch.
+    /// `3N/4` moved, otherwise rebuilds from scratch.
+    ///
+    /// The threshold is deliberately looser than the `N/4` fallback of
+    /// [`QMatrix::eta_update`](crate::QMatrix::eta_update): a patch costs
+    /// `O(moved · (deg + M))` against a rebuild's `O(E + N·M)`, so patching
+    /// stays cheaper until nearly every component moved; `3N/4` leaves
+    /// margin for the patch path's worse constant factors.
     ///
     /// Returns `(rebuilt, moved)` — whether the full rebuild path ran, and
     /// how many components changed partition.
@@ -408,7 +412,7 @@ impl PartitionProfile {
         let moved: Vec<usize> = (0..self.n)
             .filter(|&j| prev.part_index(j) != next.part_index(j))
             .collect();
-        if moved.len() > self.n / 4 {
+        if moved.len() * 4 > self.n * 3 {
             self.rebuild(next);
             return (true, moved.len());
         }
@@ -503,17 +507,17 @@ mod tests {
         let problem = diamond_problem();
         let prev = Assignment::from_parts(vec![0, 1, 2, 3]).unwrap();
         let mut profile = PartitionProfile::plain(&problem, &prev);
-        // One move out of four: patch path (1 ≤ 4/4).
-        let next = Assignment::from_parts(vec![2, 1, 2, 3]).unwrap();
+        // Three moves out of four: still the patch path (3 ≤ 3·4/4).
+        let next = Assignment::from_parts(vec![2, 3, 2, 0]).unwrap();
         let (rebuilt, moved) = profile.update(&prev, &next);
         assert!(!rebuilt);
-        assert_eq!(moved, 1);
+        assert_eq!(moved, 3);
         assert_eq!(profile, PartitionProfile::plain(&problem, &next));
-        // Three moves out of four: rebuild path (3 > 4/4).
-        let far = Assignment::from_parts(vec![0, 3, 0, 3]).unwrap();
+        // Every component moved: rebuild path (4 > 3·4/4).
+        let far = Assignment::from_parts(vec![0, 1, 3, 2]).unwrap();
         let (rebuilt, moved) = profile.update(&next, &far);
         assert!(rebuilt);
-        assert_eq!(moved, 3);
+        assert_eq!(moved, 4);
         assert_eq!(profile, PartitionProfile::plain(&problem, &far));
     }
 
@@ -583,7 +587,7 @@ mod proptests {
 
     /// A random timed problem, a random feasible-by-construction start, and a
     /// random committed-move sequence — the sequence is long relative to `N`
-    /// so runs routinely cross the `N/4` bulk-update threshold.
+    /// so runs routinely cross the `3N/4` bulk-update threshold.
     fn arb_timed_instance() -> impl Strategy<
         Value = (
             Problem,
@@ -636,7 +640,7 @@ mod proptests {
         // Satellite-3 coverage, η side: a patched embedded profile keeps
         // `eta_profiled` bit-identical to a fresh `eta` across random
         // committed-move sequences, including bulk `update` jumps that cross
-        // the `N/4` fallback threshold.
+        // the `3N/4` fallback threshold.
         #[test]
         fn profiled_eta_stays_bit_identical((problem, start, moves) in arb_timed_instance()) {
             let q = QMatrix::new(&problem, 50).unwrap();
@@ -652,7 +656,7 @@ mod proptests {
                 prop_assert_eq!(&fresh, &fast, "after move #{}", step);
             }
             // Bulk jump all the way back to the start: exercises whichever
-            // side of the N/4 patch-vs-rebuild threshold the run lands on.
+            // side of the 3N/4 patch-vs-rebuild threshold the run lands on.
             let (_, moved) = profile.update(&asg, &start);
             prop_assert_eq!(moved, (0..problem.n())
                 .filter(|&j| asg.part_index(j) != start.part_index(j)).count());

@@ -1,0 +1,433 @@
+//! Heavy-edge coarsening for the multilevel V-cycle.
+//!
+//! One coarsening step pairs strongly connected components by **heavy-edge
+//! matching**: components are visited in index order and each unmatched
+//! component merges with the unmatched neighbor it shares the most wire
+//! weight with (counting both directions). A merged node carries the summed
+//! size of its members; pair weights between clusters accumulate; timing
+//! constraints fold onto cluster pairs keeping the tightest `D_C`.
+//!
+//! The matching is **conservative** so that prolongation is exact:
+//!
+//! * components with distinct *timing classes* (the tightest incident `D_C`
+//!   limit, [`NO_CONSTRAINT`] when unconstrained) never merge — a cluster
+//!   therefore inherits the tightest limit of its members rather than mixing
+//!   budgets of different criticality;
+//! * a merged node never outgrows the smallest partition, so every coarse
+//!   node still fits anywhere the topology could have placed its members;
+//! * coarsening is refused entirely (an empty [`LevelStack`]) unless the
+//!   topology's wire-cost and delay diagonals are zero, which is what makes
+//!   dropping intra-cluster edges and constraints *exact*: members of a
+//!   cluster share a partition, where wires cost `b[i][i] = 0` and delays
+//!   are `d[i][i] = 0 ≤ D_C`.
+//!
+//! Under those rules, for every coarse assignment `A_c` and its prolongation
+//! `A_f` (`A_f(j) = A_c(map(j))`): the objectives are **equal** and `A_f` is
+//! feasible whenever `A_c` is (see the crate tests, which check both
+//! properties by property-based testing).
+
+use qbp_core::{
+    Assignment, Circuit, ComponentId, Cost, Delay, PartitionId, Problem, ProblemBuilder,
+    NO_CONSTRAINT,
+};
+
+/// One coarsening step: the coarser problem plus the projection map onto it.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarser problem this step produced.
+    pub problem: Problem,
+    /// `map[j]` is the coarse component holding fine component `j`.
+    pub map: Vec<u32>,
+}
+
+impl CoarseLevel {
+    /// Prolongs an assignment of this level's coarse problem onto the finer
+    /// side: `fine[j] = coarse[map[j]]`.
+    pub fn prolong(&self, coarse: &Assignment) -> Assignment {
+        Assignment::from_fn(self.map.len(), |j| {
+            coarse.partition_of(ComponentId::new(self.map[j.index()] as usize))
+        })
+    }
+
+    /// Projects a fine assignment down to the coarse problem: each cluster
+    /// takes the partition of its lowest-index member. (Only used to seed
+    /// the coarsest solve; the QBP solver accepts infeasible starts.)
+    pub fn project(&self, fine: &Assignment) -> Assignment {
+        let coarse_n = self.problem.n();
+        let mut part = vec![u32::MAX; coarse_n];
+        for (j, &c) in self.map.iter().enumerate() {
+            if part[c as usize] == u32::MAX {
+                part[c as usize] = fine.partition_of(ComponentId::new(j)).index() as u32;
+            }
+        }
+        Assignment::from_fn(coarse_n, |c| {
+            PartitionId::new(part[c.index()] as usize)
+        })
+    }
+}
+
+/// A stack of coarsening steps. `levels[0]` maps the original problem to the
+/// first coarse problem, `levels[1]` maps that one further down, and so on;
+/// `levels.last()` holds the coarsest problem.
+#[derive(Debug, Clone, Default)]
+pub struct LevelStack {
+    /// Coarsening steps, finest first.
+    pub levels: Vec<CoarseLevel>,
+}
+
+impl LevelStack {
+    /// Number of coarsening steps.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` when no coarsening was possible (solve flat instead).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// Knobs for [`coarsen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoarsenOptions {
+    /// Upper bound on coarsening steps.
+    pub max_levels: usize,
+    /// Stop coarsening once a level has at most this many components.
+    pub min_size: usize,
+}
+
+impl Default for CoarsenOptions {
+    fn default() -> Self {
+        CoarsenOptions {
+            max_levels: 8,
+            min_size: 64,
+        }
+    }
+}
+
+/// The timing class of each component: the tightest `D_C` limit incident to
+/// it in either direction, [`NO_CONSTRAINT`] when unconstrained. Heavy-edge
+/// matching only merges components of equal class.
+fn timing_classes(problem: &Problem) -> Vec<Delay> {
+    let mut class = vec![NO_CONSTRAINT; problem.n()];
+    for (j1, j2, dc) in problem.timing().iter() {
+        class[j1.index()] = class[j1.index()].min(dc);
+        class[j2.index()] = class[j2.index()].min(dc);
+    }
+    class
+}
+
+/// Whether the topology permits exact coarsening: zero wire-cost and delay
+/// diagonals (so intra-cluster wires and constraints vanish exactly once the
+/// cluster shares a partition).
+fn diagonals_are_zero(problem: &Problem) -> bool {
+    let topo = problem.topology();
+    let (b, d) = (topo.wire_cost(), topo.delay());
+    (0..problem.m()).all(|i| b[(i, i)] == 0 && d[(i, i)] == 0)
+}
+
+/// One heavy-edge matching pass over `problem`. Returns the coarser problem
+/// and the projection map, or `None` when the pass could not shrink the
+/// problem (no mergeable pair).
+fn coarsen_once(problem: &Problem, min_size: usize) -> Option<CoarseLevel> {
+    let n = problem.n();
+    let circuit = problem.circuit();
+    let class = timing_classes(problem);
+    // A cluster must still fit in *every* partition so a coarse solve keeps
+    // the full placement freedom its members had.
+    let size_cap = problem
+        .topology()
+        .capacities()
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(0);
+
+    // match_of[j] = the partner j merged with (or j itself when unmatched).
+    let mut match_of: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut merges = 0usize;
+    // Symmetric neighbor weights of the component being visited, built
+    // on the fly from both adjacency directions.
+    let mut weight_of: Vec<Cost> = vec![0; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for j in 0..n {
+        if matched[j] {
+            continue;
+        }
+        if n - merges <= min_size {
+            break;
+        }
+        let cj = ComponentId::new(j);
+        touched.clear();
+        for (k, w) in circuit.out_connections(cj).chain(circuit.in_connections(cj)) {
+            let k = k.index();
+            if weight_of[k] == 0 {
+                touched.push(k);
+            }
+            weight_of[k] += w;
+        }
+        let mut best: Option<(Cost, usize)> = None;
+        for &k in &touched {
+            if matched[k] || k == j {
+                continue;
+            }
+            if class[k] != class[j] {
+                continue;
+            }
+            if circuit.size(cj) + circuit.size(ComponentId::new(k)) > size_cap {
+                continue;
+            }
+            // Ties break toward the lower index for determinism.
+            let cand = (weight_of[k], usize::MAX - k);
+            if best.is_none_or(|b| cand > (b.0, usize::MAX - b.1)) {
+                best = Some((weight_of[k], k));
+            }
+        }
+        for &k in &touched {
+            weight_of[k] = 0;
+        }
+        if let Some((_, k)) = best {
+            match_of[j] = k as u32;
+            match_of[k] = j as u32;
+            matched[j] = true;
+            matched[k] = true;
+            merges += 1;
+        }
+    }
+    if merges == 0 {
+        return None;
+    }
+
+    // Number clusters in order of their lowest member index.
+    let mut map = vec![u32::MAX; n];
+    let mut coarse_n = 0u32;
+    for j in 0..n {
+        if map[j] != u32::MAX {
+            continue;
+        }
+        map[j] = coarse_n;
+        let partner = match_of[j] as usize;
+        if partner != j {
+            map[partner] = coarse_n;
+        }
+        coarse_n += 1;
+    }
+
+    // Merged circuit: summed sizes, accumulated inter-cluster weights,
+    // intra-cluster edges dropped (exact: the diagonal of B is zero).
+    let mut sizes = vec![0u64; coarse_n as usize];
+    for j in 0..n {
+        sizes[map[j] as usize] += circuit.size(ComponentId::new(j));
+    }
+    let mut coarse_circuit = Circuit::with_capacity(coarse_n as usize);
+    for (c, &s) in sizes.iter().enumerate() {
+        coarse_circuit.add_component(format!("m{c}"), s);
+    }
+    for (from, to, w) in circuit.edges() {
+        let (cf, ct) = (map[from.index()], map[to.index()]);
+        if cf != ct {
+            coarse_circuit
+                .add_connection(
+                    ComponentId::new(cf as usize),
+                    ComponentId::new(ct as usize),
+                    w,
+                )
+                .expect("cluster ids are in range and distinct");
+        }
+    }
+
+    // Timing constraints fold onto cluster pairs keeping the tightest limit
+    // (TimingConstraints::add already min-folds duplicates). Intra-cluster
+    // constraints drop: the cluster shares a partition, where the delay is
+    // the zero diagonal of D and every limit is non-negative.
+    let mut coarse_timing = qbp_core::TimingConstraints::new(coarse_n as usize);
+    for (j1, j2, dc) in problem.timing().iter() {
+        let (c1, c2) = (map[j1.index()], map[j2.index()]);
+        if c1 != c2 {
+            coarse_timing
+                .add(
+                    ComponentId::new(c1 as usize),
+                    ComponentId::new(c2 as usize),
+                    dc,
+                )
+                .expect("cluster ids are in range and distinct");
+        }
+    }
+
+    let mut builder = ProblemBuilder::new(coarse_circuit, problem.topology().clone())
+        .timing(coarse_timing)
+        .scales(problem.alpha(), problem.beta());
+    // Linear cost columns sum exactly over cluster members.
+    if let Some(p) = problem.linear_cost() {
+        let m = problem.m();
+        let mut coarse_p = qbp_core::DenseMatrix::filled(m, coarse_n as usize, 0);
+        for j in 0..n {
+            let c = map[j] as usize;
+            for i in 0..m {
+                coarse_p[(i, c)] += p[(i, j)];
+            }
+        }
+        builder = builder.linear_cost(coarse_p);
+    }
+    let coarse_problem = builder
+        .build()
+        .expect("coarse dimensions agree and total size is preserved");
+    Some(CoarseLevel {
+        problem: coarse_problem,
+        map,
+    })
+}
+
+/// Builds the level stack for `problem` by repeated heavy-edge matching.
+///
+/// Returns an empty stack when the topology's diagonals are nonzero (exact
+/// coarsening impossible — the caller should solve flat), when the problem
+/// is already at or below `min_size`, or when no pair may merge under the
+/// timing-class and size guards.
+pub fn coarsen(problem: &Problem, options: &CoarsenOptions) -> LevelStack {
+    let mut stack = LevelStack::default();
+    if !diagonals_are_zero(problem) {
+        return stack;
+    }
+    let mut current = problem.clone();
+    while stack.len() < options.max_levels && current.n() > options.min_size {
+        match coarsen_once(&current, options.min_size) {
+            Some(level) => {
+                // A pass that barely shrinks the problem (under 10%) signals
+                // the guards have locked the structure; stop descending.
+                let shrunk = level.problem.n();
+                let meaningful = shrunk * 10 <= current.n() * 9;
+                let next = level.problem.clone();
+                stack.levels.push(level);
+                if !meaningful {
+                    break;
+                }
+                current = next;
+            }
+            None => break,
+        }
+    }
+    stack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbp_core::{check_feasibility, Evaluator, PartitionTopology, TimingConstraints};
+
+    fn chain(n: usize, cap: u64) -> Problem {
+        let mut c = Circuit::new();
+        let ids: Vec<_> = (0..n)
+            .map(|j| c.add_component(format!("c{j}"), 1))
+            .collect();
+        for w in ids.windows(2) {
+            c.add_wires(w[0], w[1], 2).unwrap();
+        }
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, cap).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matching_halves_a_chain() {
+        let p = chain(16, 16);
+        let stack = coarsen(
+            &p,
+            &CoarsenOptions {
+                max_levels: 1,
+                min_size: 2,
+            },
+        );
+        assert_eq!(stack.len(), 1);
+        let level = &stack.levels[0];
+        assert_eq!(level.problem.n(), 8);
+        assert_eq!(level.map.len(), 16);
+        // Total size is preserved.
+        assert_eq!(level.problem.circuit().total_size(), 16);
+    }
+
+    #[test]
+    fn prolong_preserves_cost_and_feasibility() {
+        let p = chain(12, 12);
+        let stack = coarsen(
+            &p,
+            &CoarsenOptions {
+                max_levels: 3,
+                min_size: 3,
+            },
+        );
+        assert!(!stack.is_empty());
+        let level = &stack.levels[0];
+        let coarse_n = level.problem.n();
+        let coarse = Assignment::from_fn(coarse_n, |c| PartitionId::new(c.index() % 4));
+        let fine = level.prolong(&coarse);
+        let coarse_eval = Evaluator::new(&level.problem);
+        let fine_eval = Evaluator::new(&p);
+        assert_eq!(coarse_eval.cost(&coarse), fine_eval.cost(&fine));
+        if check_feasibility(&level.problem, &coarse).is_feasible() {
+            assert!(check_feasibility(&p, &fine).is_feasible());
+        }
+    }
+
+    #[test]
+    fn distinct_timing_classes_never_merge() {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        c.add_wires(a, b, 100).unwrap();
+        let mut tc = TimingConstraints::new(2);
+        tc.add(a, b, 1).unwrap(); // both components now share class 1 …
+        let p = ProblemBuilder::new(c.clone(), PartitionTopology::grid(2, 2, 4).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        let opts = CoarsenOptions {
+            max_levels: 1,
+            min_size: 1,
+        };
+        // … so they merge.
+        assert_eq!(coarsen(&p, &opts).len(), 1);
+
+        // Give `b` a tighter incident constraint via a third component: its
+        // class now differs from `a`'s, so the heavy a–b edge cannot match.
+        let d = c.add_component("d", 1);
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, 1).unwrap();
+        tc.add(b, d, 0).unwrap();
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 4).unwrap())
+            .timing(tc)
+            .build()
+            .unwrap();
+        let stack = coarsen(&p, &opts);
+        for level in &stack.levels {
+            assert_ne!(level.map[0], level.map[1], "a and b must stay separate");
+        }
+    }
+
+    #[test]
+    fn nonzero_diagonal_refuses_to_coarsen() {
+        let p = chain(8, 8);
+        let m = p.m();
+        let b = qbp_core::DenseMatrix::from_fn(m, m, |i, j| if i == j { 1 } else { 2 });
+        let topo = p.topology().clone().with_wire_cost(b).unwrap();
+        let p2 = ProblemBuilder::new(p.circuit().clone(), topo).build().unwrap();
+        assert!(coarsen(&p2, &CoarsenOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn project_then_prolong_roundtrips_cluster_consistent_assignments() {
+        let p = chain(10, 10);
+        let stack = coarsen(
+            &p,
+            &CoarsenOptions {
+                max_levels: 1,
+                min_size: 2,
+            },
+        );
+        let level = &stack.levels[0];
+        let coarse = Assignment::from_fn(level.problem.n(), |c| PartitionId::new(c.index() % 4));
+        let fine = level.prolong(&coarse);
+        assert_eq!(level.project(&fine), coarse);
+    }
+}

@@ -1,33 +1,35 @@
-//! Method registry: construct any of the workspace's five solvers behind a
+//! Method registry: construct any of the workspace's six solvers behind a
 //! `Box<dyn Solver>` from its stable name plus one shared option set.
 //!
 //! This is the piece that lets drivers (the CLI's `solve`, the bench
 //! harness, comparison scripts) stay method-agnostic: they parse a method
 //! string and a [`CommonOpts`], call [`build_solver`], and from then on only
-//! see the [`Solver`] trait. It lives here rather than in `qbp-solver`
-//! because the registry must know every implementation, including the
-//! baselines, and `qbp-baselines` already depends on `qbp-solver`.
+//! see the [`Solver`] trait. It lives here rather than in `qbp-solver` or
+//! `qbp-baselines` because the registry must know every implementation —
+//! including the multilevel driver, which itself builds on both of those
+//! crates.
 
-use crate::{GfmConfig, GfmSolver, GklConfig, GklSolver};
+use crate::{MlqbpConfig, MlqbpSolver};
+use qbp_baselines::{GfmConfig, GfmSolver, GklConfig, GklSolver};
 use qbp_solver::{
     AnnealConfig, AnnealSolver, CommonOpts, Configure, QapConfig, QapSolver, QbpConfig, QbpSolver,
     Solver,
 };
 
 /// Every method name [`build_solver`] accepts, in the order the paper (and
-/// the CLI usage text) lists them.
-pub const SOLVER_NAMES: [&str; 5] = ["qbp", "qap", "gfm", "gkl", "anneal"];
+/// the CLI usage text) lists them, with the multilevel driver last.
+pub const SOLVER_NAMES: [&str; 6] = ["qbp", "qap", "gfm", "gkl", "anneal", "mlqbp"];
 
 /// Builds the named solver with `opts` applied over its default
 /// configuration. Returns `None` for an unknown name; the caller owns the
 /// error message (the CLI lists [`SOLVER_NAMES`] in its usage text).
 ///
 /// ```
-/// use qbp_baselines::registry::build_solver;
+/// use qbp_multilevel::registry::build_solver;
 /// use qbp_solver::CommonOpts;
 ///
-/// let solver = build_solver("gkl", &CommonOpts::default()).expect("known method");
-/// assert_eq!(solver.name(), "gkl");
+/// let solver = build_solver("mlqbp", &CommonOpts::default()).expect("known method");
+/// assert_eq!(solver.name(), "mlqbp");
 /// assert!(build_solver("simplex", &CommonOpts::default()).is_none());
 /// ```
 pub fn build_solver(kind: &str, opts: &CommonOpts) -> Option<Box<dyn Solver>> {
@@ -46,6 +48,9 @@ pub fn build_solver(kind: &str, opts: &CommonOpts) -> Option<Box<dyn Solver>> {
         ))),
         "anneal" => Some(Box::new(AnnealSolver::new(
             AnnealConfig::default().with_common(opts),
+        ))),
+        "mlqbp" => Some(Box::new(MlqbpSolver::new(
+            MlqbpConfig::default().with_common(opts),
         ))),
         _ => None,
     }
@@ -76,5 +81,9 @@ mod tests {
         let config = GklConfig::default().with_common(&opts);
         assert_eq!(config.seed, 42);
         assert_eq!(config.max_outer_loops, 3);
+        // The multilevel config forwards the shared knobs to its inner QBP.
+        let ml = MlqbpConfig::default().with_common(&opts);
+        assert_eq!(ml.qbp.seed, 42);
+        assert_eq!(ml.qbp.iterations, 3);
     }
 }

@@ -1,0 +1,413 @@
+//! The V-cycle driver: coarsen, solve the coarsest level with QBP
+//! multistart, then uncoarsen level by level, refining each prolonged
+//! assignment with profile-backed GFM sweeps plus a short capped QBP
+//! descent.
+
+use crate::coarsen::{coarsen, CoarsenOptions};
+use qbp_baselines::{GfmConfig, GfmSolver};
+use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem};
+use qbp_observe::{SolveEvent, SolveObserver, SolverId};
+use qbp_solver::{moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport, Solver};
+use std::time::Instant;
+
+/// Configuration for [`MlqbpSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlqbpConfig {
+    /// Upper bound on coarsening levels (CLI `--ml-levels`).
+    pub max_levels: usize,
+    /// Stop coarsening once a level has at most this many components
+    /// (CLI `--ml-min-size`).
+    pub min_size: usize,
+    /// Multistart runs at the coarsest level.
+    pub coarse_runs: usize,
+    /// Burkard iteration cap of the per-level QBP descent (the coarsest
+    /// solve uses the full budget from [`MlqbpConfig::qbp`] instead).
+    pub refine_iterations: usize,
+    /// GFM pass cap per level.
+    pub refine_passes: usize,
+    /// Cap on GFM+QBP refinement rounds at the *finest* level (coarser
+    /// levels always run one). The loop stops early once a round stops
+    /// improving, so large instances — whose prolonged solutions are
+    /// already near flat quality — pay for at most one extra round, while
+    /// small instances get the additional descent they need to stay within
+    /// a few percent of a full-budget flat solve.
+    pub refine_rounds: usize,
+    /// Configuration of the underlying QBP solver (seed, iteration budget,
+    /// stall window, threads all live here).
+    pub qbp: QbpConfig,
+}
+
+impl Default for MlqbpConfig {
+    fn default() -> Self {
+        MlqbpConfig {
+            max_levels: 8,
+            min_size: 64,
+            coarse_runs: 4,
+            refine_iterations: 10,
+            refine_passes: 4,
+            refine_rounds: 6,
+            qbp: QbpConfig::default(),
+        }
+    }
+}
+
+impl Configure for MlqbpConfig {
+    fn apply_common(&mut self, opts: &CommonOpts) {
+        self.qbp.apply_common(opts);
+    }
+
+    fn common(&self) -> CommonOpts {
+        self.qbp.common()
+    }
+}
+
+/// Multilevel QBP: heavy-edge coarsening, full-strength QBP multistart at
+/// the coarsest level, then GFM sweeps plus a capped QBP descent at every
+/// level on the way back up. Falls back to flat QBP multistart when the
+/// problem is too small (or its topology too exotic) to coarsen.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder};
+/// use qbp_multilevel::{MlqbpConfig, MlqbpSolver};
+/// use qbp_observe::NoopObserver;
+/// use qbp_solver::Solver;
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 10);
+/// let b = circuit.add_component("b", 20);
+/// circuit.add_wires(a, b, 3)?;
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 30)?).build()?;
+/// let report = MlqbpSolver::default().solve(&problem, None, &mut NoopObserver)?;
+/// assert!(report.feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MlqbpSolver {
+    config: MlqbpConfig,
+}
+
+/// Forwards inner solvers' events but drops their `SolveStarted` /
+/// `SolveFinished` brackets, so one `mlqbp` solve reads as exactly one solve
+/// to counters and traces.
+struct InnerObserver<'a> {
+    sink: &'a mut dyn SolveObserver,
+}
+
+impl SolveObserver for InnerObserver<'_> {
+    fn on_event(&mut self, event: &SolveEvent) {
+        match event {
+            SolveEvent::SolveStarted { .. } | SolveEvent::SolveFinished { .. } => {}
+            other => self.sink.on_event(other),
+        }
+    }
+}
+
+/// `(feasible, cost)` ordering: feasible beats infeasible, then lower cost.
+fn better(cand: (bool, Cost), incumbent: (bool, Cost)) -> bool {
+    match (cand.0, incumbent.0) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => cand.1 < incumbent.1,
+    }
+}
+
+impl MlqbpSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: MlqbpConfig) -> Self {
+        MlqbpSolver { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &MlqbpConfig {
+        &self.config
+    }
+
+    /// Runs the V-cycle, streaming [`SolveEvent`]s to `obs` (including one
+    /// [`SolveEvent::LevelCoarsened`] per coarsening step and one
+    /// [`SolveEvent::LevelRefined`] per uncoarsening step).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying QBP solver's validation errors (dimension
+    /// mismatch, invalid configuration).
+    pub fn solve_observed(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let start = Instant::now();
+        obs.on_event(&SolveEvent::SolveStarted {
+            solver: SolverId::Mlqbp,
+            components: problem.n(),
+            partitions: problem.m(),
+        });
+        let options = CoarsenOptions {
+            max_levels: self.config.max_levels,
+            min_size: self.config.min_size,
+        };
+        let stack = coarsen(problem, &options);
+        for (idx, level) in stack.levels.iter().enumerate() {
+            obs.on_event(&SolveEvent::LevelCoarsened {
+                level: idx + 1,
+                from_components: level.map.len(),
+                to_components: level.problem.n(),
+            });
+        }
+        let mut inner = InnerObserver { sink: obs };
+        let coarse_solver = QbpSolver::new(self.config.qbp);
+        let runs = self.config.coarse_runs.max(1);
+        let mut iterations;
+        let mut assignment;
+        if stack.is_empty() {
+            // Nothing to coarsen: one fully-observed flat QBP run (the
+            // multistart driver deliberately withholds per-iteration events,
+            // and a non-coarsenable problem is small enough not to need it).
+            let out = coarse_solver.solve_observed(
+                problem,
+                init,
+                &mut qbp_solver::SolveWorkspace::new(),
+                &mut inner,
+            )?;
+            iterations = out.iterations.max(1);
+            assignment = out.assignment;
+        } else {
+            // Solve the coarsest level with the full QBP multistart.
+            let coarsest = &stack.levels[stack.len() - 1].problem;
+            let coarse_init = init.map(|a| {
+                let mut projected = a.clone();
+                for level in &stack.levels {
+                    projected = level.project(&projected);
+                }
+                projected
+            });
+            let out = coarse_solver.solve_multistart_observed(
+                coarsest,
+                coarse_init.as_ref(),
+                runs,
+                &mut inner,
+            )?;
+            iterations = out.iterations.max(1);
+            assignment = out.assignment;
+
+            // Uncoarsen: prolong, refine with GFM sweeps, then a short
+            // capped QBP descent; keep whichever candidate is best.
+            let refine_solver = QbpSolver::new(QbpConfig {
+                iterations: self.config.refine_iterations,
+                threads: 1,
+                ..self.config.qbp
+            });
+            for idx in (0..stack.len()).rev() {
+                let level = &stack.levels[idx];
+                let fine_problem = if idx == 0 {
+                    problem
+                } else {
+                    &stack.levels[idx - 1].problem
+                };
+                let eval = Evaluator::new(fine_problem);
+                let prolonged = level.prolong(&assignment);
+                let mut best = prolonged.clone();
+                let mut best_key = (
+                    check_feasibility(fine_problem, &best).is_feasible(),
+                    eval.cost(&best),
+                );
+                let start_key = best_key;
+                // The caller's initial assignment competes at the finest
+                // level: projecting it through the cluster hierarchy can
+                // break it apart (cluster members straddling partitions are
+                // forced together, possibly past capacity), so the original
+                // re-enters here as a refinement seed when it wins.
+                if idx == 0 {
+                    if let Some(a) = init {
+                        let key = (check_feasibility(problem, a).is_feasible(), eval.cost(a));
+                        if better(key, best_key) {
+                            best_key = key;
+                            best = a.clone();
+                        }
+                    }
+                }
+                let gfm = GfmSolver::new(GfmConfig {
+                    max_passes: self.config.refine_passes,
+                    hill_climbing: true,
+                    seed: self.config.qbp.seed,
+                });
+                // Alternate GFM sweeps with capped QBP descents while they
+                // keep improving. Coarser levels run one round (their
+                // residual error is cheap to fix a level later); the finest
+                // level — where quality is judged — may loop up to
+                // `refine_rounds` times, which small instances need to match
+                // a full-budget flat solve.
+                let rounds = if idx == 0 {
+                    self.config.refine_rounds.max(1)
+                } else {
+                    1
+                };
+                for _ in 0..rounds {
+                    let round_start = best_key;
+                    // GFM needs a feasible start; prolongation preserves
+                    // feasibility, so this only skips when the coarse solve
+                    // itself ended infeasible.
+                    if best_key.0 && self.config.refine_passes > 0 {
+                        let out = gfm.solve_observed(fine_problem, &best, &mut inner)?;
+                        iterations += out.passes;
+                        if better((true, out.cost), best_key) {
+                            best_key = (true, out.cost);
+                            best = out.assignment;
+                        }
+                    }
+                    if self.config.refine_iterations > 0 {
+                        let out = refine_solver.solve_observed(
+                            fine_problem,
+                            Some(&best),
+                            &mut qbp_solver::SolveWorkspace::new(),
+                            &mut inner,
+                        )?;
+                        iterations += out.iterations;
+                        let key = (
+                            out.feasible
+                                && check_feasibility(fine_problem, &out.assignment).is_feasible(),
+                            out.objective,
+                        );
+                        if better(key, best_key) {
+                            best_key = key;
+                            best = out.assignment;
+                        }
+                    }
+                    if !better(best_key, round_start) {
+                        break;
+                    }
+                }
+                // A closing GFM sweep polishes whatever the last descent
+                // left: its final GAP iterate can strand single-move gains
+                // that one cheap pass recovers.
+                if best_key.0 && self.config.refine_passes > 0 {
+                    let out = gfm.solve_observed(fine_problem, &best, &mut inner)?;
+                    iterations += out.passes;
+                    if better((true, out.cost), best_key) {
+                        best_key = (true, out.cost);
+                        best = out.assignment;
+                    }
+                }
+                inner.on_event(&SolveEvent::LevelRefined {
+                    level: idx + 1,
+                    value: best_key.1,
+                    improved: better(best_key, start_key),
+                });
+                assignment = best;
+            }
+        }
+        let eval = Evaluator::new(problem);
+        let mut objective = eval.cost(&assignment);
+        let mut feasible = check_feasibility(problem, &assignment).is_feasible();
+        // Never return worse than a feasible caller-supplied start (the flat
+        // fallback's multistart already guarantees this for its own path).
+        if let Some(a) = init {
+            let init_key = (check_feasibility(problem, a).is_feasible(), eval.cost(a));
+            if better(init_key, (feasible, objective)) {
+                assignment = a.clone();
+                feasible = init_key.0;
+                objective = init_key.1;
+            }
+        }
+        obs.on_event(&SolveEvent::SolveFinished {
+            iterations,
+            value: objective,
+            feasible,
+        });
+        Ok(SolveReport {
+            solver: "mlqbp",
+            moves_applied: moved_from(init, &assignment),
+            objective,
+            embedded_value: None,
+            feasible,
+            iterations,
+            elapsed: start.elapsed(),
+            assignment,
+        })
+    }
+}
+
+impl Solver for MlqbpSolver {
+    fn name(&self) -> &'static str {
+        "mlqbp"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        self.solve_observed(problem, init, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbp_core::{Circuit, PartitionTopology, ProblemBuilder};
+    use qbp_observe::{CountersObserver, NoopObserver};
+
+    fn grid_problem(n: usize, cap: u64) -> Problem {
+        let mut c = Circuit::new();
+        let ids: Vec<_> = (0..n)
+            .map(|j| c.add_component(format!("c{j}"), 1))
+            .collect();
+        for w in ids.windows(2) {
+            c.add_wires(w[0], w[1], 3).unwrap();
+        }
+        for j in 0..n.saturating_sub(4) {
+            c.add_wires(ids[j], ids[j + 4], 1).unwrap();
+        }
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, cap).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn vcycle_produces_feasible_result_with_level_events() {
+        let p = grid_problem(32, 10);
+        let solver = MlqbpSolver::new(MlqbpConfig {
+            min_size: 8,
+            ..MlqbpConfig::default()
+        });
+        let mut counters = CountersObserver::new();
+        let report = solver.solve(&p, None, &mut counters).unwrap();
+        assert!(report.feasible);
+        assert_eq!(report.solver, "mlqbp");
+        let snap = counters.snapshot();
+        assert_eq!(snap.solves, 1, "inner solves must not leak");
+        assert!(snap.levels_coarsened >= 1);
+        assert_eq!(snap.levels_coarsened, snap.levels_refined);
+        assert_eq!(
+            report.objective,
+            Evaluator::new(&p).cost(&report.assignment)
+        );
+    }
+
+    #[test]
+    fn tiny_problem_falls_back_to_flat_qbp() {
+        let p = grid_problem(4, 2);
+        let mut counters = CountersObserver::new();
+        let report = MlqbpSolver::default().solve(&p, None, &mut counters).unwrap();
+        assert!(report.feasible);
+        assert!(report.iterations >= 1);
+        assert_eq!(counters.snapshot().levels_coarsened, 0);
+    }
+
+    #[test]
+    fn never_worse_than_feasible_initial() {
+        let p = grid_problem(24, 8);
+        let init = Assignment::from_fn(24, |j| qbp_core::PartitionId::new(j.index() / 6));
+        assert!(check_feasibility(&p, &init).is_feasible());
+        let report = MlqbpSolver::new(MlqbpConfig {
+            min_size: 6,
+            ..MlqbpConfig::default()
+        })
+        .solve(&p, Some(&init), &mut NoopObserver)
+        .unwrap();
+        assert!(report.feasible);
+    }
+}

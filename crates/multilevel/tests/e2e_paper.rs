@@ -1,0 +1,59 @@
+//! End-to-end acceptance: on every paper circuit (scaled down so the test
+//! stays CI-friendly), the multilevel V-cycle must return a feasible
+//! assignment within 5% of flat QBP's cost, start-for-start — both solvers
+//! single-threaded and seeded with the instance's planted witness, exactly
+//! like the `multilevel` block of `perf_snapshot`.
+
+use qbp_core::check_feasibility;
+use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
+use qbp_multilevel::{MlqbpConfig, MlqbpSolver};
+use qbp_observe::NoopObserver;
+use qbp_solver::{QbpConfig, QbpSolver, Solver};
+
+#[test]
+fn mlqbp_within_five_percent_of_flat_qbp_on_each_paper_circuit() {
+    let scale = 0.35;
+    let qbp_config = QbpConfig {
+        threads: 1,
+        ..QbpConfig::default()
+    };
+    for spec in &PAPER_SUITE {
+        let spec = scaled_spec(spec, scale);
+        let (problem, witness) =
+            build_instance_with_witness(&spec, &SuiteOptions::default()).expect("suite instance");
+        let flat_solver = QbpSolver::new(qbp_config);
+        let flat = Solver::solve(&flat_solver, &problem, Some(&witness), &mut NoopObserver)
+            .expect("flat qbp solve");
+        let ml_solver = MlqbpSolver::new(MlqbpConfig {
+            qbp: qbp_config,
+            // Scaled-down circuits need a smaller floor for the stack to
+            // reach the depth the full-size suite gets with the default 64.
+            min_size: 24,
+            ..MlqbpConfig::default()
+        });
+        let ml = Solver::solve(&ml_solver, &problem, Some(&witness), &mut NoopObserver)
+            .expect("mlqbp solve");
+        assert!(flat.feasible, "{}: flat QBP ended infeasible", spec.name);
+        assert!(ml.feasible, "{}: mlqbp ended infeasible", spec.name);
+        assert!(
+            check_feasibility(&problem, &ml.assignment).is_feasible(),
+            "{}: mlqbp report disagrees with the checker",
+            spec.name
+        );
+        // Within 5% of flat QBP (ml may also be better).
+        eprintln!(
+            "{}: flat {} vs mlqbp {} ({:+.2}%)",
+            spec.name,
+            flat.objective,
+            ml.objective,
+            (ml.objective - flat.objective) as f64 / flat.objective as f64 * 100.0
+        );
+        assert!(
+            ml.objective as f64 <= flat.objective as f64 * 1.05,
+            "{}: mlqbp cost {} more than 5% above flat QBP's {}",
+            spec.name,
+            ml.objective,
+            flat.objective
+        );
+    }
+}

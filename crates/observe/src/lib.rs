@@ -69,6 +69,8 @@ pub enum SolverId {
     Gkl,
     /// Simulated annealing on the embedded objective.
     Anneal,
+    /// Multilevel coarsen–solve–refine V-cycle around the QBP solver.
+    Mlqbp,
 }
 
 impl SolverId {
@@ -80,6 +82,7 @@ impl SolverId {
             SolverId::Gfm => "gfm",
             SolverId::Gkl => "gkl",
             SolverId::Anneal => "anneal",
+            SolverId::Mlqbp => "mlqbp",
         }
     }
 
@@ -90,6 +93,7 @@ impl SolverId {
             "gfm" => SolverId::Gfm,
             "gkl" => SolverId::Gkl,
             "anneal" => SolverId::Anneal,
+            "mlqbp" => SolverId::Mlqbp,
             _ => return None,
         })
     }
@@ -193,7 +197,7 @@ pub enum SolveEvent {
         /// Iteration the sync belongs to.
         iteration: usize,
         /// `true` when the full rebuild path ran (cold profile or more than
-        /// `N/4` components moved).
+        /// `3N/4` components moved).
         rebuilt: bool,
         /// Number of components whose partition changed.
         moved: usize,
@@ -272,6 +276,26 @@ pub enum SolveEvent {
         /// Whether the final assignment satisfies C1 and C2.
         feasible: bool,
     },
+    /// A multilevel coarsener produced one coarser level by heavy-edge
+    /// matching.
+    LevelCoarsened {
+        /// 1-based level index (level 0 is the original problem).
+        level: usize,
+        /// Components before the matching (the finer side).
+        from_components: usize,
+        /// Components after the matching (the coarser side).
+        to_components: usize,
+    },
+    /// A multilevel driver finished refining one level on the way back up
+    /// the V-cycle.
+    LevelRefined {
+        /// 1-based level index that was prolonged into and refined.
+        level: usize,
+        /// Plain objective after refinement at this level.
+        value: i64,
+        /// Whether refinement improved on the prolonged assignment.
+        improved: bool,
+    },
 }
 
 impl SolveEvent {
@@ -291,6 +315,8 @@ impl SolveEvent {
             SolveEvent::IterationFinished { .. } => "iteration_finished",
             SolveEvent::RunCompleted { .. } => "run_completed",
             SolveEvent::SolveFinished { .. } => "solve_finished",
+            SolveEvent::LevelCoarsened { .. } => "level_coarsened",
+            SolveEvent::LevelRefined { .. } => "level_refined",
         }
     }
 }
@@ -382,6 +408,10 @@ pub struct CounterSnapshot {
     pub improvements: u64,
     /// Multistart runs completed.
     pub runs: u64,
+    /// Multilevel coarsening levels produced.
+    pub levels_coarsened: u64,
+    /// Multilevel levels refined on the way back up a V-cycle.
+    pub levels_refined: u64,
 }
 
 impl CounterSnapshot {
@@ -394,7 +424,8 @@ impl CounterSnapshot {
              \"infeasible_subproblems\": {}, \"penalty_hits\": {}, \
              \"repairs\": {}, \"repairs_cleaned\": {}, \"stall_resets\": {}, \
              \"moves_accepted\": {}, \"moves_rejected\": {}, \
-             \"improvements\": {}, \"runs\": {}}}",
+             \"improvements\": {}, \"runs\": {}, \"levels_coarsened\": {}, \
+             \"levels_refined\": {}}}",
             self.solves,
             self.iterations,
             self.eta_full,
@@ -412,6 +443,8 @@ impl CounterSnapshot {
             self.moves_rejected,
             self.improvements,
             self.runs,
+            self.levels_coarsened,
+            self.levels_refined,
         )
     }
 }
@@ -440,6 +473,8 @@ pub struct CountersObserver {
     moves_rejected: AtomicU64,
     improvements: AtomicU64,
     runs: AtomicU64,
+    levels_coarsened: AtomicU64,
+    levels_refined: AtomicU64,
 }
 
 impl CountersObserver {
@@ -510,6 +545,12 @@ impl CountersObserver {
                 self.runs.fetch_add(1, R);
             }
             SolveEvent::SolveFinished { .. } => {}
+            SolveEvent::LevelCoarsened { .. } => {
+                self.levels_coarsened.fetch_add(1, R);
+            }
+            SolveEvent::LevelRefined { .. } => {
+                self.levels_refined.fetch_add(1, R);
+            }
         }
     }
 
@@ -534,6 +575,8 @@ impl CountersObserver {
             moves_rejected: self.moves_rejected.load(R),
             improvements: self.improvements.load(R),
             runs: self.runs.load(R),
+            levels_coarsened: self.levels_coarsened.load(R),
+            levels_refined: self.levels_refined.load(R),
         }
     }
 }
@@ -764,6 +807,25 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
                 ", \"iterations\": {iterations}, \"value\": {value}, \"feasible\": {feasible}"
             ));
         }
+        SolveEvent::LevelCoarsened {
+            level,
+            from_components,
+            to_components,
+        } => {
+            s.push_str(&format!(
+                ", \"level\": {level}, \"from_components\": {from_components}, \
+                 \"to_components\": {to_components}"
+            ));
+        }
+        SolveEvent::LevelRefined {
+            level,
+            value,
+            improved,
+        } => {
+            s.push_str(&format!(
+                ", \"level\": {level}, \"value\": {value}, \"improved\": {improved}"
+            ));
+        }
     }
     s.push_str("}\n");
     s
@@ -983,6 +1045,16 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
             value: fields.num("value")?,
             feasible: fields.bool("feasible")?,
         },
+        "level_coarsened" => SolveEvent::LevelCoarsened {
+            level: fields.num("level")?,
+            from_components: fields.num("from_components")?,
+            to_components: fields.num("to_components")?,
+        },
+        "level_refined" => SolveEvent::LevelRefined {
+            level: fields.num("level")?,
+            value: fields.num("value")?,
+            improved: fields.bool("improved")?,
+        },
         other => return Err(TraceParseError::UnknownEvent(other.to_string())),
     };
     Ok(TraceRecord { t_ns, event })
@@ -1159,6 +1231,8 @@ mod tests {
             "moves_accepted",
             "moves_rejected",
             "runs",
+            "levels_coarsened",
+            "levels_refined",
         ] {
             assert!(json.contains(key), "snapshot json lacks {key}");
         }
@@ -1176,7 +1250,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..12, 0usize..5, 0usize..2),
+            (0usize..14, 0usize..6, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1197,6 +1271,7 @@ mod proptests {
                         SolverId::Gfm,
                         SolverId::Gkl,
                         SolverId::Anneal,
+                        SolverId::Mlqbp,
                     ][solver_idx];
                     let sub_kind = [SubproblemKind::Gap, SubproblemKind::Lap][kind_idx];
                     let move_kind = [MoveKind::Shift, MoveKind::Swap][kind_idx];
@@ -1248,6 +1323,16 @@ mod proptests {
                             iterations: iteration,
                             value: delta,
                             feasible: b2,
+                        },
+                        11 => SolveEvent::LevelCoarsened {
+                            level: iteration,
+                            from_components: components,
+                            to_components: violations,
+                        },
+                        12 => SolveEvent::LevelRefined {
+                            level: iteration,
+                            value: delta,
+                            improved: b1,
                         },
                         _ => SolveEvent::ProfileUpdated {
                             iteration,

@@ -400,18 +400,23 @@ impl QbpSolver {
                 }
                 None => false,
             };
+            // Sync the embedded profile every iteration, not just when the
+            // η cache misses: keeping it in lockstep with the iterate means
+            // its source never drifts more than one iteration behind, so the
+            // O(moved·deg) patch path stays under the N/4 rebuild threshold
+            // whenever the iterates themselves are close.
+            let (rebuilt, moved) = sync_profile(&q, ws, &u);
+            obs.on_event(&SolveEvent::ProfileUpdated {
+                iteration: k,
+                rebuilt,
+                moved,
+            });
             let incremental = if patchable {
                 let prev = ws.eta_source.as_ref().expect("checked above");
                 let patched = q.eta_update(prev, &u, &mut ws.eta);
                 debug_assert!(patched, "eta_update must patch below the N/4 threshold");
                 patched
             } else {
-                let (rebuilt, moved) = sync_profile(&q, ws, &u);
-                obs.on_event(&SolveEvent::ProfileUpdated {
-                    iteration: k,
-                    rebuilt,
-                    moved,
-                });
                 q.eta_profiled(
                     &u,
                     ws.profile.as_ref().expect("sync_profile installs a profile"),

@@ -1,7 +1,9 @@
 //! Facade crate for the QBP partitioning suite: re-exports the problem model
 //! ([`qbp_core`]), the Quadratic-Boolean-Programming solver ([`qbp_solver`]),
-//! the GFM/GKL interchange baselines ([`qbp_baselines`]), the static-timing
-//! substrate ([`qbp_timing`]) and the instance generators ([`qbp_gen`]).
+//! the GFM/GKL interchange baselines ([`qbp_baselines`]), the multilevel
+//! V-cycle driver and method registry ([`qbp_multilevel`]), the
+//! static-timing substrate ([`qbp_timing`]) and the instance generators
+//! ([`qbp_gen`]).
 //!
 //! This is a faithful, from-scratch reproduction of
 //! *Shih & Kuh, "Quadratic Boolean Programming for Performance-Driven System
@@ -27,8 +29,9 @@
 //! ```
 //!
 //! Every solver also implements the unified [`qbp_solver::Solver`] trait, so
-//! the same call site can drive QBP, QAP, GFM, GKL or the annealer while an
-//! observer (see [`qbp_observe`]) watches the run:
+//! the same call site can drive QBP, QAP, GFM, GKL, the annealer or the
+//! multilevel `mlqbp` V-cycle while an observer (see [`qbp_observe`])
+//! watches the run:
 //!
 //! ```
 //! use qbp::prelude::*;
@@ -52,14 +55,17 @@
 pub use qbp_baselines;
 pub use qbp_core;
 pub use qbp_gen;
+pub use qbp_multilevel;
 pub use qbp_observe;
 pub use qbp_solver;
 pub use qbp_timing;
 
 /// Convenient glob import for examples and applications.
 pub mod prelude {
-    pub use qbp_baselines::{
-        build_solver, BaselineOutcome, GfmConfig, GfmSolver, GklConfig, GklSolver, SOLVER_NAMES,
+    pub use qbp_baselines::{BaselineOutcome, GfmConfig, GfmSolver, GklConfig, GklSolver};
+    pub use qbp_multilevel::{
+        build_solver, coarsen, CoarseLevel, CoarsenOptions, LevelStack, MlqbpConfig, MlqbpSolver,
+        SOLVER_NAMES,
     };
     pub use qbp_core::{
         check_feasibility, deviation_cost_matrix, Assignment, Circuit, Component, ComponentId,

@@ -5,7 +5,7 @@
 //!
 //! The shared instance is QAP-shaped — four unit-size components on a 2×2
 //! grid of capacity-1 partitions — because that is the only shape *all*
-//! five solvers accept (`qap` requires `M = N` with equal sizes).
+//! six solvers accept (`qap` requires `M = N` with equal sizes).
 
 use qbp::prelude::*;
 
@@ -27,7 +27,7 @@ fn qap_shaped_problem() -> Problem {
 #[test]
 fn every_registered_solver_runs_through_dyn_dispatch() {
     let problem = qap_shaped_problem();
-    assert_eq!(SOLVER_NAMES, ["qbp", "qap", "gfm", "gkl", "anneal"]);
+    assert_eq!(SOLVER_NAMES, ["qbp", "qap", "gfm", "gkl", "anneal", "mlqbp"]);
 
     for name in SOLVER_NAMES {
         let opts = CommonOpts {
@@ -107,6 +107,6 @@ fn reports_are_comparable_across_solvers() {
             best = Some(report);
         }
     }
-    let best = best.expect("five reports");
+    let best = best.expect("six reports");
     assert!(best.feasible);
 }
