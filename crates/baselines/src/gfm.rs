@@ -35,6 +35,10 @@ pub struct GfmConfig {
     /// with `init = None`. The FM passes themselves are deterministic and
     /// never draw from it.
     pub seed: u64,
+    /// Thread budget for the per-pass initial gain-table build (`0` =
+    /// per-core). The pass itself stays serial — moves are inherently
+    /// sequential — and results are bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for GfmConfig {
@@ -43,6 +47,7 @@ impl Default for GfmConfig {
             max_passes: usize::MAX,
             hill_climbing: true,
             seed: 0x5EED_CAFE,
+            threads: 1,
         }
     }
 }
@@ -54,8 +59,9 @@ impl Configure for GfmConfig {
             // The shared iteration budget maps to FM passes.
             self.max_passes = iterations;
         }
-        // No stall window (each pass must strictly improve, so the loop
-        // cannot cycle) and no internal threading.
+        self.threads = opts.threads;
+        // No stall window: each pass must strictly improve, so the loop
+        // cannot cycle.
     }
 
     fn common(&self) -> CommonOpts {
@@ -63,7 +69,7 @@ impl Configure for GfmConfig {
             seed: self.seed,
             iterations: Some(self.max_passes),
             stall_window: None,
-            threads: 1,
+            threads: self.threads,
         }
     }
 }
@@ -251,8 +257,38 @@ impl GfmSolver {
                 }
             }
         };
-        for j in 0..n {
-            push_moves(heap, assignment, profile, j);
+        // The initial build is embarrassingly parallel over components; rows
+        // are concatenated in component order, so the heap receives the exact
+        // serial insertion sequence regardless of thread count.
+        let intra_threads = qbp_core::par::effective_threads(self.config.threads);
+        let tasks = qbp_core::par::workers_for(intra_threads, n);
+        let frozen: &PartitionProfile = profile;
+        let frozen_assignment: &Assignment = assignment;
+        let rows = qbp_core::par::map_collect(intra_threads, n, |j| {
+            let cur = frozen_assignment.part_index(j);
+            let mut row: Vec<(GainKey, u32, u32)> = Vec::with_capacity(m - 1);
+            for i in 0..m {
+                if i != cur {
+                    let gain = -eval.move_delta_profiled(
+                        frozen,
+                        frozen_assignment,
+                        ComponentId::new(j),
+                        PartitionId::new(i),
+                    );
+                    row.push((GainKey(gain), j as u32, i as u32));
+                }
+            }
+            row
+        });
+        if tasks > 1 {
+            obs.on_event(&SolveEvent::ParallelBatch {
+                iteration: pass,
+                tasks,
+                threads: intra_threads,
+            });
+        }
+        for row in rows {
+            heap.extend(row);
         }
         // Capacity-blocked candidates parked per target partition; revived
         // when that partition frees space.
@@ -562,6 +598,21 @@ mod proptests {
             prop_assert!(check_feasibility(&problem, &out.assignment).is_feasible());
             prop_assert!(out.cost <= eval.cost(&start));
             prop_assert_eq!(out.cost, eval.cost(&out.assignment));
+        }
+
+        #[test]
+        fn gfm_is_bit_identical_across_thread_counts(
+            (problem, start) in arb_feasible_instance()
+        ) {
+            prop_assume!(check_feasibility(&problem, &start).is_feasible());
+            let serial = GfmSolver::default().solve(&problem, &start).unwrap();
+            for threads in [2usize, 4, 8] {
+                let config = GfmConfig { threads, ..GfmConfig::default() };
+                let par = GfmSolver::new(config).solve(&problem, &start).unwrap();
+                prop_assert_eq!(par.cost, serial.cost);
+                prop_assert_eq!(par.assignment.as_slice(), serial.assignment.as_slice());
+                prop_assert_eq!(par.moves_applied, serial.moves_applied);
+            }
         }
     }
 }

@@ -34,6 +34,12 @@ pub struct GklConfig {
     /// with `init = None`. The swap loops themselves are deterministic and
     /// never draw from it.
     pub seed: u64,
+    /// Worker threads for the per-outer-loop pair-gain table build: `1`
+    /// (default) runs the serial loop, `0` resolves to one per available
+    /// core. The result is bit-identical for every setting — rows of the
+    /// pair table are pure functions of the frozen assignment and profile,
+    /// concatenated in row order (see `qbp_core::par`).
+    pub threads: usize,
 }
 
 impl Default for GklConfig {
@@ -42,6 +48,7 @@ impl Default for GklConfig {
             max_outer_loops: 6,
             hill_climbing: true,
             seed: 0x5EED_CAFE,
+            threads: 1,
         }
     }
 }
@@ -53,8 +60,9 @@ impl Configure for GklConfig {
             // The shared iteration budget maps to KL outer loops.
             self.max_outer_loops = iterations;
         }
-        // No stall window (each outer loop must strictly improve, so the
-        // loop cannot cycle) and no internal threading.
+        self.threads = opts.threads;
+        // No stall window: each outer loop must strictly improve, so the
+        // loop cannot cycle.
     }
 
     fn common(&self) -> CommonOpts {
@@ -62,7 +70,7 @@ impl Configure for GklConfig {
             seed: self.seed,
             iterations: Some(self.max_outer_loops),
             stall_window: None,
-            threads: 1,
+            threads: self.threads,
         }
     }
 }
@@ -135,11 +143,10 @@ impl GklSolver {
             partitions: problem.m(),
         });
         // Per-partition neighbor-weight aggregates; swap gains below go
-        // through [`Evaluator::swap_delta_auto`], which picks the plain
-        // adjacency walk on sparse/many-partition shapes and the O(M)
-        // profile lookup on dense/few-partition ones (bit-identical either
-        // way). Each tentative (or rolled-back) swap patches only the two
-        // movers' neighbors.
+        // through the padded-SoA profiled kernel
+        // ([`Evaluator::swap_delta_profiled_lookup`]), bit-identical to the
+        // plain adjacency walk. Each tentative (or rolled-back) swap patches
+        // only the two movers' neighbors.
         let mut profile = PartitionProfile::plain(problem, &assignment);
         obs.on_event(&SolveEvent::ProfileUpdated {
             iteration: 0,
@@ -198,20 +205,39 @@ impl GklSolver {
         let mut usage = UsageTracker::new(problem, assignment);
         let mut locked = vec![false; n];
         // Max-heap over candidate pairs (gain, j1, j2); keys validated on pop.
-        let mut heap: BinaryHeap<(GainKey, u32, u32)> = BinaryHeap::new();
-        for j1 in 0..n {
+        // The O(N²) table build fans rows (fixed j1, all j2 > j1) across the
+        // thread budget: each row is a pure function of the frozen assignment
+        // and profile, and rows are concatenated in index order, so the heap
+        // receives the exact serial insertion sequence for any thread count.
+        let intra_threads = qbp_core::par::effective_threads(self.config.threads);
+        let tasks = qbp_core::par::workers_for(intra_threads, n);
+        let frozen: &PartitionProfile = profile;
+        let rows = qbp_core::par::map_collect(intra_threads, n, |j1| {
+            let mut row: Vec<(GainKey, u32, u32)> = Vec::new();
             for j2 in j1 + 1..n {
                 if assignment.part_index(j1) == assignment.part_index(j2) {
                     continue;
                 }
-                let gain = -eval.swap_delta_auto(
-                    profile,
+                let gain = -eval.swap_delta_profiled_lookup(
+                    frozen,
                     assignment,
                     ComponentId::new(j1),
                     ComponentId::new(j2),
                 );
-                heap.push((GainKey(gain), j1 as u32, j2 as u32));
+                row.push((GainKey(gain), j1 as u32, j2 as u32));
             }
+            row
+        });
+        if tasks > 1 {
+            obs.on_event(&SolveEvent::ParallelBatch {
+                iteration: outer,
+                tasks,
+                threads: intra_threads,
+            });
+        }
+        let mut heap: BinaryHeap<(GainKey, u32, u32)> = BinaryHeap::new();
+        for row in rows {
+            heap.extend(row);
         }
 
         let mut applied: Vec<(ComponentId, ComponentId, i64)> = Vec::new();
@@ -233,7 +259,7 @@ impl GklSolver {
             if i1 == i2 {
                 continue;
             }
-            let gain = -eval.swap_delta_auto(profile, assignment, c1, c2);
+            let gain = -eval.swap_delta_profiled_lookup(profile, assignment, c1, c2);
             if gain < key {
                 let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
                 if !still_max {
@@ -286,7 +312,7 @@ impl GklSolver {
                     if assignment.part_index(l) == assignment.part_index(k.index()) {
                         continue;
                     }
-                    let g = -eval.swap_delta_auto(
+                    let g = -eval.swap_delta_profiled_lookup(
                         profile,
                         assignment,
                         k,
@@ -531,6 +557,25 @@ mod proptests {
                 after[out.assignment.part_index(j)] += 1;
             }
             prop_assert_eq!(before, after);
+        }
+
+        // Satellite-3 coverage: the parallel pair-gain table build must
+        // leave the whole solve bit-identical for any thread count.
+        #[test]
+        fn gkl_is_bit_identical_across_thread_counts(
+            (problem, start) in arb_spread_instance()
+        ) {
+            let serial = GklSolver::default().solve(&problem, &start).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = GklSolver::new(GklConfig {
+                    threads,
+                    ..GklConfig::default()
+                })
+                .solve(&problem, &start)
+                .unwrap();
+                prop_assert_eq!(par.cost, serial.cost, "threads={}", threads);
+                prop_assert_eq!(&par.assignment, &serial.assignment, "threads={}", threads);
+            }
         }
     }
 }

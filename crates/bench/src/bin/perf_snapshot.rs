@@ -17,7 +17,8 @@
 //! the parallel multistart diverging from the serial one, a profiled kernel
 //! diverging from its explicit-walk twin, the QBP profile-sync patch path
 //! losing to full rebuilds on suite totals, or (when `QBP_BASELINE` is set)
-//! an η kernel slowing more than 25% against the committed baseline.
+//! a gated hot kernel (η, profiled move/swap gains) slowing more than 25%
+//! against the committed baseline.
 
 use qbp_bench::{default_methods, run_rows, CircuitRow, TableOptions};
 use qbp_cli::args::Args;
@@ -37,13 +38,16 @@ const MULTISTART_CIRCUIT: &str = "cktd";
 /// Repetitions per observer-overhead timing; the minimum is reported.
 const OVERHEAD_REPS: usize = 3;
 /// Repetitions per kernel timing (minimum is kept, summed over the suite).
-const KERNEL_REPS: usize = 3;
+/// The profiled kernels finish in tens of microseconds per circuit, so a
+/// min-of-3 is under-sampled — scheduler noise swings the reported ratios
+/// by ±5 % run to run; nine reps keeps the minima stable.
+const KERNEL_REPS: usize = 9;
 /// Instance scales the kernel benchmark runs at.
 const KERNEL_SCALES: [f64; 2] = [0.25, 1.0];
 /// Relative slowdown against `QBP_BASELINE` that triggers a CI annotation.
 const KERNEL_REGRESSION_THRESHOLD: f64 = 0.15;
-/// Relative slowdown of an η kernel (see [`ETA_GATED_KEYS`]) against
-/// `QBP_BASELINE` that fails the snapshot outright.
+/// Relative slowdown of a gated hot kernel (see [`GATED_KERNEL_KEYS`])
+/// against `QBP_BASELINE` that fails the snapshot outright.
 const ETA_REGRESSION_HARD_THRESHOLD: f64 = 0.25;
 /// The multilevel comparison runs the paper suite at this multiple of the
 /// snapshot scale: at the default scale 0.25 this is the paper's circuits
@@ -139,14 +143,9 @@ struct KernelBench {
     move_gains_profiled_seconds: f64,
     swap_gains_walk_seconds: f64,
     swap_gains_profiled_seconds: f64,
-    /// Wall-clock of whichever swap kernel
-    /// [`Evaluator::swap_walk_preferred`] selects per circuit — the time the
-    /// auto-dispatching `swap_delta_auto` path actually pays.
-    swap_gains_selected_seconds: f64,
-    /// Circuits where the shape predicate selected the adjacency walk.
-    swap_walk_circuits: usize,
-    /// Circuits where the shape predicate selected the profiled kernel.
-    swap_profiled_circuits: usize,
+    /// Largest padded partition stride ([`qbp_core::padded_partitions`])
+    /// any suite circuit ran the SoA kernels at.
+    padded_partitions: usize,
     /// `false` when any kernel pair disagreed on any circuit (a correctness
     /// bug, reported and gated like the multistart determinism check).
     matched: bool,
@@ -174,9 +173,7 @@ fn kernel_bench(scale: f64, suite_options: &SuiteOptions) -> KernelBench {
         move_gains_profiled_seconds: 0.0,
         swap_gains_walk_seconds: 0.0,
         swap_gains_profiled_seconds: 0.0,
-        swap_gains_selected_seconds: 0.0,
-        swap_walk_circuits: 0,
-        swap_profiled_circuits: 0,
+        padded_partitions: 0,
         matched: true,
     };
     for spec in PAPER_SUITE {
@@ -264,28 +261,18 @@ fn kernel_bench(scale: f64, suite_options: &SuiteOptions) -> KernelBench {
                 }
             }
         });
-        let swap_walk_seconds = min_time(|| {
+        kb.swap_gains_walk_seconds += min_time(|| {
             for &(c1, c2) in &swap_pairs {
                 sink = sink.wrapping_add(eval.swap_delta(&witness, c1, c2));
             }
         });
-        let swap_profiled_seconds = min_time(|| {
+        kb.swap_gains_profiled_seconds += min_time(|| {
             for &(c1, c2) in &swap_pairs {
                 sink =
                     sink.wrapping_add(eval.swap_delta_profiled_lookup(&plain, &witness, c1, c2));
             }
         });
-        kb.swap_gains_walk_seconds += swap_walk_seconds;
-        kb.swap_gains_profiled_seconds += swap_profiled_seconds;
-        // The auto-dispatch path pays whichever kernel the shape predicate
-        // picks for this circuit; charge it the matching measured time.
-        if eval.swap_walk_preferred() {
-            kb.swap_gains_selected_seconds += swap_walk_seconds;
-            kb.swap_walk_circuits += 1;
-        } else {
-            kb.swap_gains_selected_seconds += swap_profiled_seconds;
-            kb.swap_profiled_circuits += 1;
-        }
+        kb.padded_partitions = kb.padded_partitions.max(qbp_core::padded_partitions(m));
         std::hint::black_box(sink);
     }
     kb
@@ -296,29 +283,21 @@ impl KernelBench {
         self.eta_nested_seconds / self.eta_profiled_seconds.max(1e-12)
     }
 
-    /// Which swap kernel the shape predicate picked across the suite.
-    fn swap_gains_selected(&self) -> &'static str {
-        match (self.swap_walk_circuits, self.swap_profiled_circuits) {
-            (_, 0) => "walk",
-            (0, _) => "profiled",
-            _ => "mixed",
-        }
-    }
-
     fn to_json(&self) -> String {
         format!(
             "{{\"scale\": {}, \"reps\": {}, \"threads_used\": 1, \
+             \"simd_lane_width\": {}, \"padded_partitions\": {}, \
              \"eta_nested_seconds\": {:.6}, \"eta_csr_seconds\": {:.6}, \
              \"eta_profiled_seconds\": {:.6}, \"eta_speedup_vs_nested\": {:.3}, \
              \"profile_build_seconds\": {:.6}, \
              \"move_gains_walk_seconds\": {:.6}, \"move_gains_profiled_seconds\": {:.6}, \
              \"move_gains_speedup\": {:.3}, \
              \"swap_gains_walk_seconds\": {:.6}, \"swap_gains_profiled_seconds\": {:.6}, \
-             \"swap_gains_speedup\": {:.3}, \
-             \"swap_gains_selected\": \"{}\", \"swap_gains_selected_seconds\": {:.6}, \
-             \"swap_gains_auto_speedup\": {:.3}, \"matched\": {}}}",
+             \"swap_gains_speedup\": {:.3}, \"matched\": {}}}",
             self.scale,
             KERNEL_REPS,
+            qbp_core::SIMD_LANES,
+            self.padded_partitions,
             self.eta_nested_seconds,
             self.eta_csr_seconds,
             self.eta_profiled_seconds,
@@ -330,9 +309,6 @@ impl KernelBench {
             self.swap_gains_walk_seconds,
             self.swap_gains_profiled_seconds,
             self.swap_gains_walk_seconds / self.swap_gains_profiled_seconds.max(1e-12),
-            self.swap_gains_selected(),
-            self.swap_gains_selected_seconds,
-            self.swap_gains_walk_seconds / self.swap_gains_selected_seconds.max(1e-12),
             self.matched
         )
     }
@@ -361,19 +337,22 @@ fn extract_number(fragment: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// η kernel keys whose regressions fail the snapshot (not just annotate)
-/// past [`ETA_REGRESSION_HARD_THRESHOLD`] — the solver's hot loop lives on
-/// these three.
-const ETA_GATED_KEYS: [&str; 3] = [
+/// Hot-kernel keys whose regressions fail the snapshot (not just annotate)
+/// past [`ETA_REGRESSION_HARD_THRESHOLD`]: the three η variants the solver's
+/// descent loop lives on, plus the profiled move/swap gain kernels GFM and
+/// GKL enumerate with.
+const GATED_KERNEL_KEYS: [&str; 5] = [
     "eta_nested_seconds",
     "eta_csr_seconds",
     "eta_profiled_seconds",
+    "move_gains_profiled_seconds",
+    "swap_gains_profiled_seconds",
 ];
 
 /// Regression check against the committed snapshot named by `QBP_BASELINE`:
 /// prints a GitHub `::warning::` annotation for every kernel that slowed
 /// more than [`KERNEL_REGRESSION_THRESHOLD`], escalates to `::error::` when
-/// an η kernel (see [`ETA_GATED_KEYS`]) slowed past
+/// a gated hot kernel (see [`GATED_KERNEL_KEYS`]) slowed past
 /// [`ETA_REGRESSION_HARD_THRESHOLD`], and returns the number of such hard
 /// failures (the caller exits non-zero). Absent/unreadable baselines (or
 /// ones predating `kernel_bench`) are skipped silently — the first snapshot
@@ -408,7 +387,7 @@ fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) -> usize {
             if base <= 0.0 {
                 continue;
             }
-            let gated = ETA_GATED_KEYS.contains(&key)
+            let gated = GATED_KERNEL_KEYS.contains(&key)
                 && now > base * (1.0 + ETA_REGRESSION_HARD_THRESHOLD);
             if gated {
                 let pct = 100.0 * (now / base - 1.0);
@@ -431,11 +410,105 @@ fn diff_against_baseline(baseline_path: &str, fresh: &[KernelBench]) -> usize {
     }
     eprintln!(
         "kernel regression check vs {baseline_path}: {annotated} kernel(s) slower than the \
-         {:.0}% threshold, {hard_failures} η kernel(s) past the {:.0}% hard limit",
+         {:.0}% threshold, {hard_failures} gated kernel(s) past the {:.0}% hard limit",
         100.0 * KERNEL_REGRESSION_THRESHOLD,
         100.0 * ETA_REGRESSION_HARD_THRESHOLD
     );
     hard_failures
+}
+
+/// Thread-scaling probe on one circuit: the parallel η batch kernel and one
+/// full QBP solve, each at 1/2/4 threads. Every run must be bit-identical to
+/// the single-threaded one (the determinism contract of `qbp_core::par`);
+/// speedups are informational — a single-core runner reports ratios near 1.
+struct ThreadScaling {
+    threads: Vec<usize>,
+    eta_seconds: Vec<f64>,
+    solve_seconds: Vec<f64>,
+    padded_partitions: usize,
+    bit_identical: bool,
+}
+
+fn thread_scaling(problem: &Problem, witness: &Assignment, seed: u64) -> ThreadScaling {
+    let q = QMatrix::with_auto_penalty(problem).expect("auto penalty");
+    let embedded = PartitionProfile::embedded(&q, witness);
+    let threads = vec![1usize, 2, 4];
+    let mut eta_seconds = Vec::new();
+    let mut solve_seconds = Vec::new();
+    let mut bit_identical = true;
+    let mut eta_ref: Option<Vec<i64>> = None;
+    let mut solve_ref: Option<(i64, Assignment, usize)> = None;
+    for &t in &threads {
+        let mut eta = Vec::new();
+        eta_seconds.push(min_time(|| {
+            q.eta_profiled_par(witness, &embedded, &mut eta, t);
+        }));
+        match &eta_ref {
+            None => eta_ref = Some(eta),
+            Some(reference) => bit_identical &= *reference == eta,
+        }
+        let solver = QbpSolver::new(QbpConfig {
+            seed,
+            threads: t,
+            ..QbpConfig::default()
+        });
+        let t0 = Instant::now();
+        let report = Solver::solve(&solver, problem, Some(witness), &mut NoopObserver)
+            .expect("thread-scaling solve");
+        solve_seconds.push(t0.elapsed().as_secs_f64());
+        match &solve_ref {
+            None => solve_ref = Some((report.objective, report.assignment, report.iterations)),
+            Some((objective, assignment, iterations)) => {
+                bit_identical &= *objective == report.objective
+                    && *assignment == report.assignment
+                    && *iterations == report.iterations;
+            }
+        }
+    }
+    ThreadScaling {
+        threads,
+        eta_seconds,
+        solve_seconds,
+        padded_partitions: qbp_core::padded_partitions(problem.m()),
+        bit_identical,
+    }
+}
+
+impl ThreadScaling {
+    fn speedups(seconds: &[f64]) -> Vec<f64> {
+        seconds.iter().map(|&s| seconds[0] / s.max(1e-12)).collect()
+    }
+
+    fn to_json(&self) -> String {
+        let fmt_f64 = |v: &[f64], digits: usize| {
+            v.iter()
+                .map(|x| format!("{x:.digits$}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let threads = self
+            .threads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n    \"circuit\": \"{}\",\n    \"threads\": [{}],\n    \
+             \"simd_lane_width\": {},\n    \"padded_partitions\": {},\n    \
+             \"eta_seconds\": [{}],\n    \"eta_speedups\": [{}],\n    \
+             \"solve_seconds\": [{}],\n    \"solve_speedups\": [{}],\n    \
+             \"bit_identical\": {}\n  }}",
+            MULTISTART_CIRCUIT,
+            threads,
+            qbp_core::SIMD_LANES,
+            self.padded_partitions,
+            fmt_f64(&self.eta_seconds, 6),
+            fmt_f64(&Self::speedups(&self.eta_seconds), 3),
+            fmt_f64(&self.solve_seconds, 6),
+            fmt_f64(&Self::speedups(&self.solve_seconds), 3),
+            self.bit_identical
+        )
+    }
 }
 
 /// One circuit's flat-QBP-vs-multilevel comparison row.
@@ -736,14 +809,33 @@ fn main() {
         ml_synth.all_feasible
     );
 
-    // Multistart speedup: the same restarts serially (threads = 1) and in
-    // parallel (threads = 0 → all cores); the winners must be bit-identical.
-    // On a single-core box the "parallel" run exercises the same serial path,
-    // so its timing ratio is pure noise — the speedup is reported as null.
-    let (_, problem, _) = instances
+    let (_, problem, witness) = instances
         .iter()
         .find(|(spec, _, _)| spec.name == MULTISTART_CIRCUIT)
         .expect("multistart circuit in suite");
+
+    // Thread scaling: the η batch kernel and one full QBP solve at 1/2/4
+    // threads; thread counts beyond the host's cores still fan out (the
+    // determinism contract is exercised either way, the speedup just
+    // flattens).
+    let scaling = thread_scaling(problem, witness, opts.seed);
+    eprintln!(
+        "thread_scaling ({MULTISTART_CIRCUIT}): η {:.4}s → {:.4}s at 4 threads \
+         ({:.2}x), solve {:.3}s → {:.3}s ({:.2}x), bit_identical {}",
+        scaling.eta_seconds[0],
+        scaling.eta_seconds[2],
+        scaling.eta_seconds[0] / scaling.eta_seconds[2].max(1e-12),
+        scaling.solve_seconds[0],
+        scaling.solve_seconds[2],
+        scaling.solve_seconds[0] / scaling.solve_seconds[2].max(1e-12),
+        scaling.bit_identical
+    );
+
+    // Multistart speedup: the same restarts serially (threads = 1) and in
+    // parallel (threads = 0 → all cores); the winners must be bit-identical.
+    // On a single-core box both runs would exercise the same serial path, so
+    // the whole pair is skipped instead of burning two timed solves on a
+    // ratio that is pure noise.
     let solver_for = |threads: usize| {
         QbpSolver::new(QbpConfig {
             seed: opts.seed,
@@ -751,39 +843,50 @@ fn main() {
             ..QbpConfig::default()
         })
     };
-    let serial_threads_used = 1usize;
-    let parallel_threads_used = threads_available.min(multistart_runs.max(1));
-    let t0 = Instant::now();
-    let serial = solver_for(1)
-        .solve_multistart(problem, None, multistart_runs)
-        .expect("serial multistart");
-    let serial_seconds = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let parallel = solver_for(0)
-        .solve_multistart(problem, None, multistart_runs)
-        .expect("parallel multistart");
-    let parallel_seconds = t0.elapsed().as_secs_f64();
-    let bit_identical = serial.assignment == parallel.assignment
-        && serial.embedded_value == parallel.embedded_value
-        && serial.objective == parallel.objective
-        && serial.feasible == parallel.feasible
-        && serial.iterations == parallel.iterations;
-    // With one host core the "parallel" run exercises the same serial path,
-    // so the ratio is noise; `parallel_threads_used: 1` next to
-    // `threads_available: 1` makes the null self-explaining.
-    let speedup = (threads_available > 1).then(|| serial_seconds / parallel_seconds.max(1e-12));
-    match speedup {
-        Some(s) => eprintln!(
+    let multistart_json;
+    let mut bit_identical = true;
+    if threads_available == 1 {
+        eprintln!(
+            "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
+             skipped (single core)"
+        );
+        multistart_json = format!(
+            "{{\n    \"circuit\": \"{MULTISTART_CIRCUIT}\",\n    \
+             \"runs\": {multistart_runs},\n    \"skipped\": \"single_core\"\n  }}"
+        );
+    } else {
+        let serial_threads_used = 1usize;
+        let parallel_threads_used = threads_available.min(multistart_runs.max(1));
+        let t0 = Instant::now();
+        let serial = solver_for(1)
+            .solve_multistart(problem, None, multistart_runs)
+            .expect("serial multistart");
+        let serial_seconds = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let parallel = solver_for(0)
+            .solve_multistart(problem, None, multistart_runs)
+            .expect("parallel multistart");
+        let parallel_seconds = t0.elapsed().as_secs_f64();
+        bit_identical = serial.assignment == parallel.assignment
+            && serial.embedded_value == parallel.embedded_value
+            && serial.objective == parallel.objective
+            && serial.feasible == parallel.feasible
+            && serial.iterations == parallel.iterations;
+        let speedup = serial_seconds / parallel_seconds.max(1e-12);
+        eprintln!(
             "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
              serial {serial_seconds:.3}s, parallel {parallel_seconds:.3}s \
-             ({parallel_threads_used} thread(s)), speedup {s:.2}x, \
+             ({parallel_threads_used} thread(s)), speedup {speedup:.2}x, \
              bit_identical {bit_identical}"
-        ),
-        None => eprintln!(
-            "multistart ({MULTISTART_CIRCUIT}, {multistart_runs} runs): \
-             serial {serial_seconds:.3}s; speedup skipped (single core), \
-             bit_identical {bit_identical}"
-        ),
+        );
+        multistart_json = format!(
+            "{{\n    \"circuit\": \"{MULTISTART_CIRCUIT}\",\n    \
+             \"runs\": {multistart_runs},\n    \"serial_seconds\": {serial_seconds:.6},\n    \
+             \"serial_threads_used\": {serial_threads_used},\n    \
+             \"parallel_seconds\": {parallel_seconds:.6},\n    \
+             \"parallel_threads_used\": {parallel_threads_used},\n    \
+             \"speedup\": {speedup:.3},\n    \"bit_identical\": {bit_identical}\n  }}"
+        );
     }
 
     // Observer overhead: the identical solve with a no-op observer and with
@@ -816,10 +919,6 @@ fn main() {
         eprintln!("warning: counters overhead above the 2% budget (informational)");
     }
 
-    let speedup_json = match speedup {
-        Some(s) => format!("{s:.3}"),
-        None => "null".to_string(),
-    };
     let kernel_bench_json = kernels
         .iter()
         .map(|kb| format!("\n    {}", kb.to_json()))
@@ -831,11 +930,8 @@ fn main() {
          \"qbp_counter_totals\": {},\n  \"profile_sync_effective\": {},\n  \
          \"kernel_bench\": [{}\n  ],\n  \
          \"multilevel\": {{\n    \"paper_suite\": {},\n    \"synthetic_suite\": {}\n  }},\n  \
-         \"multistart\": {{\n    \
-         \"circuit\": \"{}\",\n    \"runs\": {},\n    \"serial_seconds\": {:.6},\n    \
-         \"serial_threads_used\": {},\n    \"parallel_seconds\": {:.6},\n    \
-         \"parallel_threads_used\": {},\n    \"speedup\": {},\n    \
-         \"bit_identical\": {}\n  }},\n  \
+         \"thread_scaling\": {},\n  \
+         \"multistart\": {},\n  \
          \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
          \"threads_used\": 1,\n    \
          \"noop_seconds\": {:.6},\n    \"counters_seconds\": {:.6},\n    \
@@ -851,14 +947,8 @@ fn main() {
         kernel_bench_json,
         ml_paper.to_json(),
         ml_synth.to_json(),
-        MULTISTART_CIRCUIT,
-        multistart_runs,
-        serial_seconds,
-        serial_threads_used,
-        parallel_seconds,
-        parallel_threads_used,
-        speedup_json,
-        bit_identical,
+        scaling.to_json(),
+        multistart_json,
         MULTISTART_CIRCUIT,
         OVERHEAD_REPS,
         noop_seconds,
@@ -870,6 +960,10 @@ fn main() {
 
     if !bit_identical {
         eprintln!("error: parallel multistart diverged from serial (determinism bug)");
+        std::process::exit(1);
+    }
+    if !scaling.bit_identical {
+        eprintln!("error: thread-scaling runs diverged across thread counts (determinism bug)");
         std::process::exit(1);
     }
     if !kernels_matched {
@@ -886,7 +980,7 @@ fn main() {
     }
     if eta_hard_failures > 0 {
         eprintln!(
-            "error: {eta_hard_failures} η kernel(s) regressed past the {:.0}% hard limit",
+            "error: {eta_hard_failures} gated kernel(s) regressed past the {:.0}% hard limit",
             100.0 * ETA_REGRESSION_HARD_THRESHOLD
         );
         std::process::exit(1);

@@ -63,6 +63,7 @@ pub mod io;
 mod matrix;
 pub mod netlist;
 mod objective;
+pub mod par;
 mod problem;
 mod profile;
 mod qmatrix;
@@ -81,7 +82,7 @@ pub use ids::{ComponentId, PairIndex, PartitionId};
 pub use matrix::DenseMatrix;
 pub use objective::Evaluator;
 pub use problem::{deviation_cost_matrix, Problem, ProblemBuilder};
-pub use profile::PartitionProfile;
+pub use profile::{padded_partitions, PartitionProfile, SIMD_LANES};
 pub use qmatrix::{NestedEtaBaseline, QMatrix};
 pub use topology::PartitionTopology;
 

@@ -1,6 +1,7 @@
 //! Objective evaluation: full cost, and exact incremental deltas for single
 //! moves and pair swaps (the workhorses of the GFM/GKL baselines).
 
+use crate::profile::{dot_diff, dot_diff2};
 use crate::{Assignment, ComponentId, Cost, PartitionId, PartitionProfile, Problem};
 
 /// Evaluates the `PP(α, β)` objective
@@ -182,9 +183,10 @@ impl<'a> Evaluator<'a> {
     }
 
     /// [`Evaluator::move_delta`] from a plain [`PartitionProfile`] synced to
-    /// `assignment`: `O(M)` table lookups instead of an `O(deg(j))` adjacency
+    /// `assignment`: two branchless 4-lane row dots over the profile's padded
+    /// aggregates and wire-cost copies instead of an `O(deg(j))` adjacency
     /// walk, bit-identical by `i64` distributivity
-    /// (`Σ_k β·w_k·x = β·(Σ_k w_k)·x`).
+    /// (`Σ_k β·w_k·x = β·(Σ_k w_k)·x`) and associativity of the lane sums.
     ///
     /// # Panics
     ///
@@ -203,25 +205,26 @@ impl<'a> Evaluator<'a> {
             return 0;
         }
         let problem = self.problem;
-        let b = problem.topology().wire_cost();
-        let beta = problem.beta();
-        let mut delta = problem.alpha() * (problem.p(to_i, j.index()) - problem.p(from, j.index()));
-        let (bt, bf) = (b.row(to_i), b.row(from));
-        let out_row = profile.out_row(j.index());
-        let in_row = profile.in_row(j.index());
-        for (p, (&wo, &wi)) in out_row.iter().zip(in_row).enumerate() {
-            if wo != 0 {
-                delta += beta * wo * (bt[p] - bf[p]);
-            }
-            if wi != 0 {
-                delta += beta * wi * (b[(p, to_i)] - b[(p, from)]);
-            }
-        }
-        delta
+        let alpha_term =
+            problem.alpha() * (problem.p(to_i, j.index()) - problem.p(from, j.index()));
+        // Out direction prices partners as targets (rows of B); in direction
+        // prices them as sources (columns of B, stored contiguously in the
+        // profile's padded transpose). Pad lanes are zero on both sides.
+        let out = dot_diff(
+            profile.out_row_padded(j.index()),
+            profile.wire_row_padded(to_i),
+            profile.wire_row_padded(from),
+        );
+        let inn = dot_diff(
+            profile.in_row_padded(j.index()),
+            profile.wire_col_padded(to_i),
+            profile.wire_col_padded(from),
+        );
+        alpha_term + problem.beta() * (out + inn)
     }
 
     /// [`Evaluator::swap_delta`] from a plain [`PartitionProfile`] synced to
-    /// `assignment`: `O(M)` table lookups instead of an
+    /// `assignment`: two branchless 4-lane differenced row dots instead of an
     /// `O(deg(j1) + deg(j2))` walk.
     ///
     /// The caller supplies the mutual connection weights
@@ -266,26 +269,21 @@ impl<'a> Evaluator<'a> {
 
         // One fused pass: j2's terms are j1's negated, so price the
         // *differenced* aggregates (exact in `i64` by distributivity —
-        // `β·w1·x − β·w2·x = β·(w1 − w2)·x`).
-        let (b2r, b1r) = (b.row(i2), b.row(i1));
-        let out_diff = profile
-            .out_row(j1.index())
-            .iter()
-            .zip(profile.out_row(j2.index()));
-        let in_diff = profile
-            .in_row(j1.index())
-            .iter()
-            .zip(profile.in_row(j2.index()));
-        for (p, ((&o1, &o2), (&n1, &n2))) in out_diff.zip(in_diff).enumerate() {
-            let wo = o1 - o2;
-            if wo != 0 {
-                delta += beta * wo * (b2r[p] - b1r[p]);
-            }
-            let wi = n1 - n2;
-            if wi != 0 {
-                delta += beta * wi * (b[(p, i2)] - b[(p, i1)]);
-            }
-        }
+        // `β·w1·x − β·w2·x = β·(w1 − w2)·x`), over the padded rows so the
+        // lane loops carry no branches and no tail.
+        let out = dot_diff2(
+            profile.out_row_padded(j1.index()),
+            profile.out_row_padded(j2.index()),
+            profile.wire_row_padded(i2),
+            profile.wire_row_padded(i1),
+        );
+        let inn = dot_diff2(
+            profile.in_row_padded(j1.index()),
+            profile.in_row_padded(j2.index()),
+            profile.wire_col_padded(i2),
+            profile.wire_col_padded(i1),
+        );
+        delta += beta * (out + inn);
         // The aggregate sums above priced each mutual-pair direction at the
         // wrong spots (partner held at its pre-swap partition, on both
         // sides); replace that with the true exchanged-endpoints term.
@@ -317,43 +315,6 @@ impl<'a> Evaluator<'a> {
         self.swap_delta_profiled(profile, assignment, j1, j2, w12, w21)
     }
 
-    /// Whether the plain adjacency walk ([`Evaluator::swap_delta`]) is the
-    /// faster swap-gain kernel for this problem's shape.
-    ///
-    /// The walk prices a swap in `O(deg(j1) + deg(j2))` adjacency records
-    /// (≈ `4E/N` on average, counting both directions of both endpoints);
-    /// the profile-backed kernel always pays a fused `O(M)` pass plus an
-    /// `O(deg(j1))` mutual-weight lookup. Each profiled step is several
-    /// times the cost of a contiguous CSR record (four zipped profile rows
-    /// and 2-D cost-matrix indexing per partition), so the measured
-    /// crossover sits near average degree ≈ `M`: the walk wins until the
-    /// circuit is denser than `E > N·M`.
-    pub fn swap_walk_preferred(&self) -> bool {
-        let n = self.problem.n().max(1);
-        self.problem.circuit().directed_edge_count() <= n * self.problem.m()
-    }
-
-    /// Swap gain via whichever kernel [`Evaluator::swap_walk_preferred`]
-    /// picks for this problem shape. Both kernels are exact in `i64`, so the
-    /// result is bit-identical either way; only the constant factor differs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either id is out of range, or if `profile` was not built
-    /// for this problem's dimensions.
-    pub fn swap_delta_auto(
-        &self,
-        profile: &PartitionProfile,
-        assignment: &Assignment,
-        j1: ComponentId,
-        j2: ComponentId,
-    ) -> Cost {
-        if self.swap_walk_preferred() {
-            self.swap_delta(assignment, j1, j2)
-        } else {
-            self.swap_delta_profiled_lookup(profile, assignment, j1, j2)
-        }
-    }
 }
 
 #[cfg(test)]
@@ -564,18 +525,25 @@ mod proptests {
         }
 
         #[test]
-        fn swap_delta_auto_matches_both_kernels((problem, asg, moves) in arb_problem_and_assignment()) {
-            // Whichever kernel the shape predicate picks, the gain must be
-            // bit-identical to the plain walk and the profiled lookup.
+        fn profiled_kernels_match_walk_oracle((problem, asg, moves) in arb_problem_and_assignment()) {
+            // The adjacency walk is the oracle: the padded-SoA profiled
+            // kernels must be bit-identical to it for every move and swap.
             let eval = Evaluator::new(&problem);
             let profile = crate::PartitionProfile::plain(&problem, &asg);
             let n = problem.n();
+            let m = problem.m();
             for (j, to) in moves {
                 let j1 = ComponentId::new(j);
                 let j2 = ComponentId::new(to % n);
-                let auto = eval.swap_delta_auto(&profile, &asg, j1, j2);
-                prop_assert_eq!(auto, eval.swap_delta(&asg, j1, j2));
-                prop_assert_eq!(auto, eval.swap_delta_profiled_lookup(&profile, &asg, j1, j2));
+                let p = PartitionId::new(to % m);
+                prop_assert_eq!(
+                    eval.move_delta_profiled(&profile, &asg, j1, p),
+                    eval.move_delta(&asg, j1, p)
+                );
+                prop_assert_eq!(
+                    eval.swap_delta_profiled_lookup(&profile, &asg, j1, j2),
+                    eval.swap_delta(&asg, j1, j2)
+                );
             }
         }
     }

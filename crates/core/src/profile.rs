@@ -11,6 +11,19 @@
 //! become `O(M)` table lookups instead of `O(deg·M)` adjacency walks, with
 //! bit-identical integer results (`Σ_k β·w_k·x = β·(Σ_k w_k)·x` exactly in
 //! `i64`).
+//!
+//! # Structure-of-arrays layout
+//!
+//! Aggregate rows are stored flat with their stride padded from `M` up to
+//! [`padded_partitions`]`(M)` — the next multiple of [`SIMD_LANES`] — and the
+//! pad lanes pinned at zero. The hot reduce/axpy loops ([`dot_diff`],
+//! [`dot_diff2`], [`axpy`]) run as explicitly 4-lane-unrolled chunks over
+//! `&[i64; 4]` blocks, which stable Rust autovectorizes; zero pad lanes
+//! contribute nothing, so results stay bit-identical to the scalar loops
+//! (`i64` addition is exact and reassociation-safe). Plain profiles
+//! additionally carry padded copies of the wire-cost matrix `B` (row-major
+//! and transposed), turning the in-direction column walks `b[(p, t)]` of the
+//! move/swap kernels into contiguous row dots.
 
 use crate::qmatrix::NO_CLASS;
 use crate::{Assignment, Cost, Problem, QMatrix};
@@ -23,6 +36,109 @@ const TAG_ALWAYS: u16 = u16::MAX;
 /// (timing-constrained records past the limit-class cap).
 const TAG_NEVER: u16 = u16::MAX - 1;
 
+/// Number of `i64` lanes the hot kernels unroll by (the stride of the
+/// structure-of-arrays padding). Chosen to fill a 256-bit vector register
+/// with `i64`s; stable-Rust autovectorization needs no wider hint.
+pub const SIMD_LANES: usize = 4;
+
+/// A partition count rounded up to the next [`SIMD_LANES`] multiple: the
+/// stride of every padded aggregate row.
+pub const fn padded_partitions(m: usize) -> usize {
+    (m + SIMD_LANES - 1) & !(SIMD_LANES - 1)
+}
+
+/// `Σ_p w[p]·(x[p] − y[p])` over padded rows, 4 lanes at a time with no
+/// branches and no tail (all slices have [`padded_partitions`] length).
+/// Exact `i64`, so lane-split accumulation is bit-identical to the scalar
+/// left-to-right sum.
+#[inline]
+pub(crate) fn dot_diff(w: &[Cost], x: &[Cost], y: &[Cost]) -> Cost {
+    debug_assert_eq!(w.len() % SIMD_LANES, 0);
+    debug_assert!(w.len() == x.len() && w.len() == y.len());
+    let mut acc = [0 as Cost; SIMD_LANES];
+    for ((wc, xc), yc) in w
+        .chunks_exact(SIMD_LANES)
+        .zip(x.chunks_exact(SIMD_LANES))
+        .zip(y.chunks_exact(SIMD_LANES))
+    {
+        let wc: &[Cost; SIMD_LANES] = wc.try_into().expect("exact chunk");
+        let xc: &[Cost; SIMD_LANES] = xc.try_into().expect("exact chunk");
+        let yc: &[Cost; SIMD_LANES] = yc.try_into().expect("exact chunk");
+        for l in 0..SIMD_LANES {
+            acc[l] += wc[l] * (xc[l] - yc[l]);
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// `Σ_p (w1[p] − w2[p])·(x[p] − y[p])` over padded rows — the fused
+/// differenced pass of the swap kernel, same contract as [`dot_diff`].
+#[inline]
+pub(crate) fn dot_diff2(w1: &[Cost], w2: &[Cost], x: &[Cost], y: &[Cost]) -> Cost {
+    debug_assert_eq!(w1.len() % SIMD_LANES, 0);
+    debug_assert!(w1.len() == w2.len() && w1.len() == x.len() && w1.len() == y.len());
+    let mut acc = [0 as Cost; SIMD_LANES];
+    for (((wc1, wc2), xc), yc) in w1
+        .chunks_exact(SIMD_LANES)
+        .zip(w2.chunks_exact(SIMD_LANES))
+        .zip(x.chunks_exact(SIMD_LANES))
+        .zip(y.chunks_exact(SIMD_LANES))
+    {
+        let wc1: &[Cost; SIMD_LANES] = wc1.try_into().expect("exact chunk");
+        let wc2: &[Cost; SIMD_LANES] = wc2.try_into().expect("exact chunk");
+        let xc: &[Cost; SIMD_LANES] = xc.try_into().expect("exact chunk");
+        let yc: &[Cost; SIMD_LANES] = yc.try_into().expect("exact chunk");
+        for l in 0..SIMD_LANES {
+            acc[l] += (wc1[l] - wc2[l]) * (xc[l] - yc[l]);
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// `slot[i] += coeff·row[i]` for `i < slot.len()`, 4-lane-unrolled main
+/// chunks plus a scalar tail (`row` may be longer than `slot`; extra entries
+/// are ignored). Bit-identical to the scalar loop — every slot entry
+/// receives exactly one exact-`i64` addition.
+#[inline(always)]
+pub(crate) fn axpy(slot: &mut [Cost], coeff: Cost, row: &[Cost]) {
+    let main = slot.len() & !(SIMD_LANES - 1);
+    let (s4, s_tail) = slot.split_at_mut(main);
+    let (r4, r_tail) = row[..s4.len() + s_tail.len()].split_at(main);
+    for (sc, rc) in s4
+        .chunks_exact_mut(SIMD_LANES)
+        .zip(r4.chunks_exact(SIMD_LANES))
+    {
+        let rc: &[Cost; SIMD_LANES] = rc.try_into().expect("exact chunk");
+        sc[0] += coeff * rc[0];
+        sc[1] += coeff * rc[1];
+        sc[2] += coeff * rc[2];
+        sc[3] += coeff * rc[3];
+    }
+    for (v, &bv) in s_tail.iter_mut().zip(r_tail) {
+        *v += coeff * bv;
+    }
+}
+
+/// `slot[i] += row[i]` for `i < slot.len()`, unrolled like [`axpy`].
+#[inline(always)]
+pub(crate) fn add_rows(slot: &mut [Cost], row: &[Cost]) {
+    let main = slot.len() & !(SIMD_LANES - 1);
+    let (s4, s_tail) = slot.split_at_mut(main);
+    let (r4, r_tail) = row[..s4.len() + s_tail.len()].split_at(main);
+    for (sc, rc) in s4
+        .chunks_exact_mut(SIMD_LANES)
+        .zip(r4.chunks_exact(SIMD_LANES))
+    {
+        let rc: &[Cost; SIMD_LANES] = rc.try_into().expect("exact chunk");
+        sc[0] += rc[0];
+        sc[1] += rc[1];
+        sc[2] += rc[2];
+        sc[3] += rc[3];
+    }
+    for (v, &bv) in s_tail.iter_mut().zip(r_tail) {
+        *v += bv;
+    }
+}
 
 /// Incremental per-partition aggregated neighbor weights, maintained with
 /// `O(deg)` updates per committed move.
@@ -39,6 +155,11 @@ const TAG_NEVER: u16 = u16::MAX - 1;
 ///   (see the class tables inside `QMatrix`). Backs
 ///   [`QMatrix::eta_profiled`](crate::QMatrix::eta_profiled).
 ///
+/// Aggregate rows live in a flat structure-of-arrays buffer with stride
+/// [`PartitionProfile::padded_m`] (pad lanes pinned at zero); the public
+/// `*_row` accessors return the logical `M`-length prefix, the `*_row_padded`
+/// ones the full stride for the branchless 4-lane kernels.
+///
 /// The profile owns a copy of the adjacency it tracks, so
 /// [`PartitionProfile::apply_move`] needs no access to the circuit or matrix
 /// — and it never reads the assignment: a committed swap is simply two
@@ -48,12 +169,22 @@ const TAG_NEVER: u16 = u16::MAX - 1;
 pub struct PartitionProfile {
     n: usize,
     m: usize,
-    /// `out_agg[j·M + p] = Σ_{k ∈ out(j), A(k) = p} a[j][k]`. Empty for
+    /// The padded row stride: `padded_partitions(m)`.
+    m_pad: usize,
+    /// `out_agg[j·M_pad + p] = Σ_{k ∈ out(j), A(k) = p} a[j][k]`. Empty for
     /// embedded profiles (η consumes only the in direction).
     out_agg: Vec<Cost>,
-    /// `in_agg[j·M + p] = Σ_{k ∈ in(j), A(k) = p} a[k][j]`, restricted to
+    /// `in_agg[j·M_pad + p] = Σ_{k ∈ in(j), A(k) = p} a[k][j]`, restricted to
     /// folded records for embedded profiles.
     in_agg: Vec<Cost>,
+    /// Padded copy of the wire-cost matrix: `b_pad[p·M_pad + t] = b[p][t]`
+    /// (plain profiles only; zero pad lanes).
+    b_pad: Vec<Cost>,
+    /// Padded transpose of the wire-cost matrix:
+    /// `bt_pad[t·M_pad + p] = b[p][t]` — one contiguous row per *target*
+    /// partition, turning in-direction column walks into row dots (plain
+    /// profiles only).
+    bt_pad: Vec<Cost>,
     /// Tracked out adjacency (CSR offsets / partner / weight / fold tag):
     /// walking row `j` patches the `in_agg` of `j`'s out-partners.
     out_off: Vec<u32>,
@@ -70,13 +201,13 @@ pub struct PartitionProfile {
     folded: Vec<bool>,
     /// Penalty-relevant tally for timing-constrained partners (embedded
     /// profiles only, and only when the matrix has limit classes):
-    /// `fix[j·M + i]` accumulates, over column `j`'s class-tagged constrained
-    /// in-records, the exact fix-up the η kernel applies on top of the base
-    /// aggregate — `penalty − β·w·b[p][i]` on the violating entries of
-    /// folded records, `β·w·b[p][i] − penalty` on the satisfying entries of
-    /// unfolded ones — while `pen[j]` carries the unfolded records' row-wide
-    /// penalty. Zero-weight timing pairs still tally: they contribute pure
-    /// penalty entries.
+    /// `fix[j·M_pad + i]` accumulates, over column `j`'s class-tagged
+    /// constrained in-records, the exact fix-up the η kernel applies on top
+    /// of the base aggregate — `penalty − β·w·b[p][i]` on the violating
+    /// entries of folded records, `β·w·b[p][i] − penalty` on the satisfying
+    /// entries of unfolded ones — while `pen[j]` carries the unfolded
+    /// records' row-wide penalty. Zero-weight timing pairs still tally: they
+    /// contribute pure penalty entries.
     fix: Vec<Cost>,
     pen: Vec<Cost>,
     /// Patch tables copied from the matrix's limit classes (embedded
@@ -103,12 +234,25 @@ impl PartitionProfile {
     pub fn plain(problem: &Problem, assignment: &Assignment) -> Self {
         let n = problem.n();
         let m = problem.m();
+        let m_pad = padded_partitions(m);
         let circuit = problem.circuit();
+        let b = problem.topology().wire_cost();
+        let mut b_pad = vec![0; m * m_pad];
+        let mut bt_pad = vec![0; m * m_pad];
+        for p in 0..m {
+            for (t, &v) in b.row(p).iter().enumerate() {
+                b_pad[p * m_pad + t] = v;
+                bt_pad[t * m_pad + p] = v;
+            }
+        }
         let mut profile = PartitionProfile {
             n,
             m,
-            out_agg: vec![0; n * m],
-            in_agg: vec![0; n * m],
+            m_pad,
+            out_agg: vec![0; n * m_pad],
+            in_agg: vec![0; n * m_pad],
+            b_pad,
+            bt_pad,
             out_off: Vec::with_capacity(n + 1),
             out_other: Vec::new(),
             out_w: Vec::new(),
@@ -159,13 +303,17 @@ impl PartitionProfile {
         let problem = q.problem();
         let n = problem.n();
         let m = problem.m();
+        let m_pad = padded_partitions(m);
         let classes = q.timing_classes();
         let out = q.out_csr();
         let mut profile = PartitionProfile {
             n,
             m,
+            m_pad,
             out_agg: Vec::new(),
-            in_agg: vec![0; n * m],
+            in_agg: vec![0; n * m_pad],
+            b_pad: Vec::new(),
+            bt_pad: Vec::new(),
             out_off: Vec::with_capacity(n + 1),
             out_other: Vec::new(),
             out_w: Vec::new(),
@@ -192,7 +340,7 @@ impl PartitionProfile {
             profile.patch_off = off.to_vec();
             profile.patch_idx = idx.to_vec();
             profile.patch_b = b.to_vec();
-            profile.fix = vec![0; n * m];
+            profile.fix = vec![0; n * m_pad];
             profile.pen = vec![0; n];
         }
         profile.out_off.push(0);
@@ -216,9 +364,14 @@ impl PartitionProfile {
         profile
     }
 
-    /// Number of partitions `M` (the length of each aggregate row).
+    /// Number of partitions `M` (the logical length of each aggregate row).
     pub fn m(&self) -> usize {
         self.m
+    }
+
+    /// The padded aggregate-row stride: [`padded_partitions`]`(M)`.
+    pub fn padded_m(&self) -> usize {
+        self.m_pad
     }
 
     /// Number of components `N`.
@@ -238,7 +391,14 @@ impl PartitionProfile {
             !self.out_agg.is_empty(),
             "embedded profiles do not track the out direction"
         );
-        &self.out_agg[j * self.m..(j + 1) * self.m]
+        &self.out_agg[j * self.m_pad..j * self.m_pad + self.m]
+    }
+
+    /// [`PartitionProfile::out_row`] at the full padded stride (pad lanes
+    /// are zero), for the branchless 4-lane kernels.
+    #[inline]
+    pub(crate) fn out_row_padded(&self, j: usize) -> &[Cost] {
+        &self.out_agg[j * self.m_pad..(j + 1) * self.m_pad]
     }
 
     /// The in-direction aggregate row of `j`:
@@ -249,7 +409,28 @@ impl PartitionProfile {
     ///
     /// Panics when `j` is out of range.
     pub fn in_row(&self, j: usize) -> &[Cost] {
-        &self.in_agg[j * self.m..(j + 1) * self.m]
+        &self.in_agg[j * self.m_pad..j * self.m_pad + self.m]
+    }
+
+    /// [`PartitionProfile::in_row`] at the full padded stride (pad lanes are
+    /// zero).
+    #[inline]
+    pub(crate) fn in_row_padded(&self, j: usize) -> &[Cost] {
+        &self.in_agg[j * self.m_pad..(j + 1) * self.m_pad]
+    }
+
+    /// Row `p` of the padded wire-cost copy: `b[p][·]` at the padded stride
+    /// (plain profiles only).
+    #[inline]
+    pub(crate) fn wire_row_padded(&self, p: usize) -> &[Cost] {
+        &self.b_pad[p * self.m_pad..(p + 1) * self.m_pad]
+    }
+
+    /// Row `t` of the padded wire-cost transpose: `b[·][t]` as a contiguous
+    /// row at the padded stride (plain profiles only).
+    #[inline]
+    pub(crate) fn wire_col_padded(&self, t: usize) -> &[Cost] {
+        &self.bt_pad[t * self.m_pad..(t + 1) * self.m_pad]
     }
 
     /// Whether this profile carries the constrained-correction tally (an
@@ -262,7 +443,10 @@ impl PartitionProfile {
     /// penalty: the η kernel adds the row elementwise and the penalty to
     /// every entry. Only meaningful when [`PartitionProfile::tracks_fix`].
     pub(crate) fn constrained_fix(&self, j: usize) -> (&[Cost], Cost) {
-        (&self.fix[j * self.m..(j + 1) * self.m], self.pen[j])
+        (
+            &self.fix[j * self.m_pad..j * self.m_pad + self.m],
+            self.pen[j],
+        )
     }
 
     /// Adds (`sign = 1`) or removes (`sign = -1`) one class-`c` record of
@@ -274,7 +458,7 @@ impl PartitionProfile {
         let s = self.patch_off[cp] as usize;
         let t = self.patch_off[cp + 1] as usize;
         let coeff = self.beta * w;
-        let row = &mut self.fix[k * self.m..(k + 1) * self.m];
+        let row = &mut self.fix[k * self.m_pad..k * self.m_pad + self.m];
         if self.folded[cp] {
             for (&i, &bi) in self.patch_idx[s..t].iter().zip(&self.patch_b[s..t]) {
                 row[i as usize] += sign * (self.penalty - coeff * bi);
@@ -305,7 +489,7 @@ impl PartitionProfile {
     /// Panics if `assignment` does not match the profile's dimensions.
     pub fn rebuild(&mut self, assignment: &Assignment) {
         assert_eq!(assignment.len(), self.n, "assignment length mismatch");
-        let m = self.m;
+        let m_pad = self.m_pad;
         self.in_agg.fill(0);
         self.out_agg.fill(0);
         self.fix.fill(0);
@@ -326,10 +510,10 @@ impl PartitionProfile {
                     continue;
                 }
                 if self.folds(tag, pj) {
-                    self.in_agg[k * m + pj] += w;
+                    self.in_agg[k * m_pad + pj] += w;
                 }
                 if track_out {
-                    self.out_agg[j * m + assignment.part_index(k)] += w;
+                    self.out_agg[j * m_pad + assignment.part_index(k)] += w;
                 }
             }
         }
@@ -350,7 +534,7 @@ impl PartitionProfile {
             return;
         }
         assert!(j < self.n && from < self.m && to < self.m, "index out of range");
-        let m = self.m;
+        let m_pad = self.m_pad;
         for e in self.out_off[j] as usize..self.out_off[j + 1] as usize {
             let k = self.out_other[e] as usize;
             let w = self.out_w[e];
@@ -366,16 +550,16 @@ impl PartitionProfile {
             }
             match tag {
                 TAG_ALWAYS => {
-                    self.in_agg[k * m + from] -= w;
-                    self.in_agg[k * m + to] += w;
+                    self.in_agg[k * m_pad + from] -= w;
+                    self.in_agg[k * m_pad + to] += w;
                 }
                 TAG_NEVER => {}
                 c => {
-                    if self.folded[c as usize * m + from] {
-                        self.in_agg[k * m + from] -= w;
+                    if self.folded[c as usize * self.m + from] {
+                        self.in_agg[k * m_pad + from] -= w;
                     }
-                    if self.folded[c as usize * m + to] {
-                        self.in_agg[k * m + to] += w;
+                    if self.folded[c as usize * self.m + to] {
+                        self.in_agg[k * m_pad + to] += w;
                     }
                 }
             }
@@ -384,8 +568,8 @@ impl PartitionProfile {
             for e in self.in_off[j] as usize..self.in_off[j + 1] as usize {
                 let k = self.in_other[e] as usize;
                 let w = self.in_w[e];
-                self.out_agg[k * m + from] -= w;
-                self.out_agg[k * m + to] += w;
+                self.out_agg[k * m_pad + from] -= w;
+                self.out_agg[k * m_pad + to] += w;
             }
         }
     }
@@ -468,6 +652,43 @@ mod tests {
             }
             assert_eq!(profile.out_row(j), &out[..], "out row {j}");
             assert_eq!(profile.in_row(j), &inn[..], "in row {j}");
+        }
+    }
+
+    #[test]
+    fn padded_rows_carry_zero_pad_lanes() {
+        // M = 3, 4, 5, 16 cover under-, exactly-, and over-one-lane-block
+        // logical widths; pad lanes must stay zero through move sequences.
+        for m in [3usize, 4, 5, 16] {
+            let mut c = Circuit::new();
+            let ids: Vec<_> = (0..6)
+                .map(|j| c.add_component(format!("c{j}"), 1))
+                .collect();
+            for w in ids.windows(2) {
+                c.add_connection(w[0], w[1], 3).unwrap();
+            }
+            c.add_connection(ids[5], ids[0], 2).unwrap();
+            let problem =
+                ProblemBuilder::new(c, PartitionTopology::grid(1, m, 100).unwrap())
+                    .build()
+                    .unwrap();
+            let mut asg = Assignment::from_fn(6, |j| PartitionId::new(j.index() % m));
+            let mut profile = PartitionProfile::plain(&problem, &asg);
+            assert_eq!(profile.padded_m(), padded_partitions(m));
+            assert!(profile.padded_m().is_multiple_of(SIMD_LANES) && profile.padded_m() >= m);
+            for step in 0..5usize {
+                let j = step % 6;
+                let to = (step * 2 + 1) % m;
+                let from = asg.part_index(j);
+                asg.move_to(ComponentId::new(j), PartitionId::new(to));
+                profile.apply_move(j, from, to);
+                for jj in 0..6 {
+                    assert_eq!(profile.out_row(jj).len(), m);
+                    assert!(profile.out_row_padded(jj)[m..].iter().all(|&v| v == 0));
+                    assert!(profile.in_row_padded(jj)[m..].iter().all(|&v| v == 0));
+                }
+            }
+            assert_eq!(profile, PartitionProfile::plain(&problem, &asg));
         }
     }
 
@@ -574,6 +795,39 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn lane_helpers_match_scalar_reference() {
+        // Deterministic pseudo-random padded rows at several widths.
+        for m_pad in [4usize, 8, 16] {
+            let gen = |salt: i64| -> Vec<Cost> {
+                (0..m_pad)
+                    .map(|i| ((i as i64 * 37 + salt * 11) % 23) - 7)
+                    .collect()
+            };
+            let (w, w2, x, y) = (gen(1), gen(2), gen(3), gen(4));
+            let scalar: Cost = (0..m_pad).map(|p| w[p] * (x[p] - y[p])).sum();
+            assert_eq!(dot_diff(&w, &x, &y), scalar);
+            let scalar2: Cost = (0..m_pad).map(|p| (w[p] - w2[p]) * (x[p] - y[p])).sum();
+            assert_eq!(dot_diff2(&w, &w2, &x, &y), scalar2);
+            for logical in [m_pad - 3, m_pad - 1, m_pad] {
+                let mut slot = gen(5)[..logical].to_vec();
+                let mut expect = slot.clone();
+                for (v, &bv) in expect.iter_mut().zip(&x) {
+                    *v += 3 * bv;
+                }
+                axpy(&mut slot, 3, &x);
+                assert_eq!(slot, expect, "axpy logical={logical}");
+                let mut slot2 = gen(6)[..logical].to_vec();
+                let mut expect2 = slot2.clone();
+                for (v, &bv) in expect2.iter_mut().zip(&y) {
+                    *v += bv;
+                }
+                add_rows(&mut slot2, &y);
+                assert_eq!(slot2, expect2, "add_rows logical={logical}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -595,7 +849,7 @@ mod proptests {
             Vec<(usize, usize)>,
         ),
     > {
-        (4usize..10, 2usize..5).prop_flat_map(|(n, m)| {
+        (4usize..10, 2usize..6).prop_flat_map(|(n, m)| {
             let edges = proptest::collection::vec(
                 (
                     (0..n, 0..n).prop_filter("no self loop", |(a, b)| a != b),

@@ -851,60 +851,98 @@ impl<'a> QMatrix<'a> {
         let n = self.problem.n();
         assert_eq!(profile.m(), m, "profile partition count mismatch");
         assert_eq!(profile.n(), n, "profile component count mismatch");
+        out.clear();
+        out.resize(m * n, 0);
+        for j in 0..n {
+            self.eta_profiled_column(j, &mut out[j * m..(j + 1) * m], assignment, profile);
+        }
+    }
+
+    /// Parallel [`QMatrix::eta_profiled`]: fans the η columns across up to
+    /// `threads` scoped workers via [`crate::par::for_each_row`]. Each column
+    /// is an independent pure function of the (shared, read-only) assignment
+    /// and profile writing a disjoint `M`-slot of `out`, so the result is
+    /// bit-identical to the serial kernel for every thread count.
+    ///
+    /// Returns the number of worker chunks used (`1` = the serial loop ran).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`QMatrix::eta_profiled`].
+    pub fn eta_profiled_par(
+        &self,
+        assignment: &Assignment,
+        profile: &PartitionProfile,
+        out: &mut Vec<Cost>,
+        threads: usize,
+    ) -> usize {
+        let m = self.problem.m();
+        let n = self.problem.n();
+        assert_eq!(profile.m(), m, "profile partition count mismatch");
+        assert_eq!(profile.n(), n, "profile component count mismatch");
+        out.clear();
+        out.resize(m * n, 0);
+        crate::par::for_each_row(threads, m, out, |j, slot| {
+            self.eta_profiled_column(j, slot, assignment, profile);
+        })
+    }
+
+    /// One column of [`QMatrix::eta_profiled`]: accumulates η row `j` into
+    /// `slot` (length `M`, pre-zeroed). Forced inline so both the serial
+    /// column loop and the parallel chunk closure hoist the topology/weight
+    /// lookups out of their column loops instead of paying a call per column.
+    #[inline(always)]
+    fn eta_profiled_column(
+        &self,
+        j: usize,
+        slot: &mut [Cost],
+        assignment: &Assignment,
+        profile: &PartitionProfile,
+    ) {
         let b = self.problem.topology().wire_cost();
         let d = self.problem.topology().delay();
         let beta = self.problem.beta();
         let alpha = self.problem.alpha();
-        out.clear();
-        out.resize(m * n, 0);
-        let has_fix = profile.tracks_fix();
-        for j in 0..n {
-            let slot = &mut out[j * m..(j + 1) * m];
-            // 1. Base: one axpy per occupied source partition covers every
-            //    unconstrained in-record and every folded constrained one.
-            for (p, &wsum) in profile.in_row(j).iter().enumerate() {
-                if wsum != 0 {
-                    let coeff = beta * wsum;
-                    for (v, &bv) in slot.iter_mut().zip(b.row(p)) {
-                        *v += coeff * bv;
-                    }
-                }
+        // 1. Base: one 4-lane-unrolled axpy per occupied source partition
+        //    covers every unconstrained in-record and every folded
+        //    constrained one.
+        for (p, &wsum) in profile.in_row(j).iter().enumerate() {
+            if wsum != 0 {
+                crate::profile::axpy(slot, beta * wsum, b.row(p));
             }
-            // 2. Constrained fix-ups straight from the profile's
-            //    penalty-relevant tally: one elementwise row add plus one
-            //    row-wide penalty (batched below), no per-record work.
-            let mut pen_all: Cost = 0;
-            if has_fix {
-                let (fix, pen) = profile.constrained_fix(j);
-                for (v, &f) in slot.iter_mut().zip(fix) {
-                    *v += f;
-                }
-                pen_all += pen;
-            }
-            if self.has_overflow {
-                // Overflow classes: never folded, never cell-tallied; walk
-                // them explicitly like the plain kernel.
-                for (e, k, w, limit) in self.inc.constrained(j) {
-                    if self.in_class[e] != NO_CLASS {
-                        continue;
-                    }
-                    let p = assignment.part_index(k);
-                    let coeff = beta * w;
-                    let drow = d.row(p);
-                    for ((v, &bv), &dv) in slot.iter_mut().zip(b.row(p)).zip(drow) {
-                        *v += if dv > limit { self.penalty } else { coeff * bv };
-                    }
-                }
-            }
-            if pen_all != 0 {
-                for v in slot.iter_mut() {
-                    *v += pen_all;
-                }
-            }
-            // 3. Diagonal contribution from u[(A(j), j)] = 1.
-            let ij = assignment.part_index(j);
-            slot[ij] += alpha * self.problem.p(ij, j);
         }
+        // 2. Constrained fix-ups straight from the profile's
+        //    penalty-relevant tally: one elementwise row add plus one
+        //    row-wide penalty (batched below), no per-record work.
+        let mut pen_all: Cost = 0;
+        if profile.tracks_fix() {
+            let (fix, pen) = profile.constrained_fix(j);
+            crate::profile::add_rows(slot, fix);
+            pen_all += pen;
+        }
+        if self.has_overflow {
+            // Overflow classes: never folded, never cell-tallied; walk
+            // them explicitly like the plain kernel.
+            for (e, k, w, limit) in self.inc.constrained(j) {
+                if self.in_class[e] != NO_CLASS {
+                    continue;
+                }
+                let p = assignment.part_index(k);
+                let coeff = beta * w;
+                let drow = d.row(p);
+                for ((v, &bv), &dv) in slot.iter_mut().zip(b.row(p)).zip(drow) {
+                    *v += if dv > limit { self.penalty } else { coeff * bv };
+                }
+            }
+        }
+        if pen_all != 0 {
+            for v in slot.iter_mut() {
+                *v += pen_all;
+            }
+        }
+        // 3. Diagonal contribution from u[(A(j), j)] = 1.
+        let ij = assignment.part_index(j);
+        slot[ij] += alpha * self.problem.p(ij, j);
     }
 
     /// Snapshots the merged pair lists in the historical nested

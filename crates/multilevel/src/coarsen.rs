@@ -7,6 +7,16 @@
 //! size of its members; pair weights between clusters accumulate; timing
 //! constraints fold onto cluster pairs keeping the tightest `D_C`.
 //!
+//! Matching runs in two stages so the expensive part parallelizes without
+//! changing the result: a **parallel** stage computes, per component, its
+//! statically admissible merge candidates (same timing class, combined size
+//! fits the smallest partition) sorted heaviest-first with ties toward the
+//! lower index — the exact total order the serial greedy maximized under —
+//! and a **serial** stage walks components in index order committing each
+//! unmatched component to the first still-unmatched entry of its list. The
+//! candidate lists depend only on the problem, never on match state, so the
+//! matching is bit-identical for every thread count.
+//!
 //! The matching is **conservative** so that prolongation is exact:
 //!
 //! * components with distinct *timing classes* (the tightest incident `D_C`
@@ -30,6 +40,7 @@ use qbp_core::{
     Assignment, Circuit, ComponentId, Cost, Delay, PartitionId, Problem, ProblemBuilder,
     NO_CONSTRAINT,
 };
+use qbp_observe::{NoopObserver, SolveEvent, SolveObserver};
 
 /// One coarsening step: the coarser problem plus the projection map onto it.
 #[derive(Debug, Clone)]
@@ -94,6 +105,10 @@ pub struct CoarsenOptions {
     pub max_levels: usize,
     /// Stop coarsening once a level has at most this many components.
     pub min_size: usize,
+    /// Thread budget for the per-component candidate stage of each matching
+    /// pass (`0` = per-core). The matching itself is bit-identical for every
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for CoarsenOptions {
@@ -101,6 +116,7 @@ impl Default for CoarsenOptions {
         CoarsenOptions {
             max_levels: 8,
             min_size: 64,
+            threads: 1,
         }
     }
 }
@@ -129,8 +145,14 @@ fn diagonals_are_zero(problem: &Problem) -> bool {
 /// One heavy-edge matching pass over `problem`. Returns the coarser problem
 /// and the projection map, or `None` when the pass could not shrink the
 /// problem (no mergeable pair).
-fn coarsen_once(problem: &Problem, min_size: usize) -> Option<CoarseLevel> {
+fn coarsen_once(
+    problem: &Problem,
+    options: &CoarsenOptions,
+    level: usize,
+    obs: &mut dyn SolveObserver,
+) -> Option<CoarseLevel> {
     let n = problem.n();
+    let min_size = options.min_size;
     let circuit = problem.circuit();
     let class = timing_classes(problem);
     // A cluster must still fit in *every* partition so a coarse solve keeps
@@ -143,14 +165,58 @@ fn coarsen_once(problem: &Problem, min_size: usize) -> Option<CoarseLevel> {
         .min()
         .unwrap_or(0);
 
+    // Stage 1 (parallel): statically admissible merge candidates per
+    // component, heaviest first with ties toward the lower index. Admission
+    // (timing class, combined size) never looks at match state, so this
+    // fans out freely.
+    let intra_threads = qbp_core::par::effective_threads(options.threads);
+    let tasks = qbp_core::par::workers_for(intra_threads, n);
+    let class_ref = &class;
+    let candidates: Vec<Vec<(Cost, u32)>> = qbp_core::par::map_collect(intra_threads, n, |j| {
+        let cj = ComponentId::new(j);
+        // Symmetric neighbor weights from both adjacency directions,
+        // summed per neighbor by grouping a sorted edge list.
+        let mut pairs: Vec<(u32, Cost)> = circuit
+            .out_connections(cj)
+            .chain(circuit.in_connections(cj))
+            .map(|(k, w)| (k.index() as u32, w))
+            .collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        let mut cands: Vec<(Cost, u32)> = Vec::new();
+        let mut idx = 0;
+        while idx < pairs.len() {
+            let k = pairs[idx].0;
+            let mut w: Cost = 0;
+            while idx < pairs.len() && pairs[idx].0 == k {
+                w += pairs[idx].1;
+                idx += 1;
+            }
+            let ku = k as usize;
+            if ku != j
+                && class_ref[ku] == class_ref[j]
+                && circuit.size(cj) + circuit.size(ComponentId::new(ku)) <= size_cap
+            {
+                cands.push((w, k));
+            }
+        }
+        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        cands
+    });
+    if tasks > 1 {
+        obs.on_event(&SolveEvent::ParallelBatch {
+            iteration: level,
+            tasks,
+            threads: intra_threads,
+        });
+    }
+
+    // Stage 2 (serial): greedy commit in index order. The first
+    // still-unmatched entry of a sorted list is exactly the maximum the
+    // serial greedy took over its unmatched neighbors.
     // match_of[j] = the partner j merged with (or j itself when unmatched).
     let mut match_of: Vec<u32> = (0..n as u32).collect();
     let mut matched = vec![false; n];
     let mut merges = 0usize;
-    // Symmetric neighbor weights of the component being visited, built
-    // on the fly from both adjacency directions.
-    let mut weight_of: Vec<Cost> = vec![0; n];
-    let mut touched: Vec<usize> = Vec::new();
     for j in 0..n {
         if matched[j] {
             continue;
@@ -158,36 +224,8 @@ fn coarsen_once(problem: &Problem, min_size: usize) -> Option<CoarseLevel> {
         if n - merges <= min_size {
             break;
         }
-        let cj = ComponentId::new(j);
-        touched.clear();
-        for (k, w) in circuit.out_connections(cj).chain(circuit.in_connections(cj)) {
-            let k = k.index();
-            if weight_of[k] == 0 {
-                touched.push(k);
-            }
-            weight_of[k] += w;
-        }
-        let mut best: Option<(Cost, usize)> = None;
-        for &k in &touched {
-            if matched[k] || k == j {
-                continue;
-            }
-            if class[k] != class[j] {
-                continue;
-            }
-            if circuit.size(cj) + circuit.size(ComponentId::new(k)) > size_cap {
-                continue;
-            }
-            // Ties break toward the lower index for determinism.
-            let cand = (weight_of[k], usize::MAX - k);
-            if best.is_none_or(|b| cand > (b.0, usize::MAX - b.1)) {
-                best = Some((weight_of[k], k));
-            }
-        }
-        for &k in &touched {
-            weight_of[k] = 0;
-        }
-        if let Some((_, k)) = best {
+        if let Some(&(_, k)) = candidates[j].iter().find(|&&(_, k)| !matched[k as usize]) {
+            let k = k as usize;
             match_of[j] = k as u32;
             match_of[k] = j as u32;
             matched[j] = true;
@@ -286,13 +324,24 @@ fn coarsen_once(problem: &Problem, min_size: usize) -> Option<CoarseLevel> {
 /// is already at or below `min_size`, or when no pair may merge under the
 /// timing-class and size guards.
 pub fn coarsen(problem: &Problem, options: &CoarsenOptions) -> LevelStack {
+    coarsen_observed(problem, options, &mut NoopObserver)
+}
+
+/// [`coarsen`] plus observability: emits one
+/// [`SolveEvent::ParallelBatch`] per matching pass whose candidate stage
+/// actually fanned out (`iteration` carries the level index, starting at 1).
+pub fn coarsen_observed(
+    problem: &Problem,
+    options: &CoarsenOptions,
+    obs: &mut dyn SolveObserver,
+) -> LevelStack {
     let mut stack = LevelStack::default();
     if !diagonals_are_zero(problem) {
         return stack;
     }
     let mut current = problem.clone();
     while stack.len() < options.max_levels && current.n() > options.min_size {
-        match coarsen_once(&current, options.min_size) {
+        match coarsen_once(&current, options, stack.len() + 1, obs) {
             Some(level) => {
                 // A pass that barely shrinks the problem (under 10%) signals
                 // the guards have locked the structure; stop descending.
@@ -337,6 +386,7 @@ mod tests {
             &CoarsenOptions {
                 max_levels: 1,
                 min_size: 2,
+                ..CoarsenOptions::default()
             },
         );
         assert_eq!(stack.len(), 1);
@@ -355,6 +405,7 @@ mod tests {
             &CoarsenOptions {
                 max_levels: 3,
                 min_size: 3,
+                ..CoarsenOptions::default()
             },
         );
         assert!(!stack.is_empty());
@@ -385,6 +436,7 @@ mod tests {
         let opts = CoarsenOptions {
             max_levels: 1,
             min_size: 1,
+            ..CoarsenOptions::default()
         };
         // … so they merge.
         assert_eq!(coarsen(&p, &opts).len(), 1);
@@ -406,6 +458,48 @@ mod tests {
     }
 
     #[test]
+    fn matching_is_bit_identical_across_thread_counts() {
+        // Irregular weights and sizes so the candidate ordering actually
+        // exercises ties and the size guard.
+        let mut c = Circuit::new();
+        let ids: Vec<_> = (0..24)
+            .map(|j| c.add_component(format!("c{j}"), 1 + (j as u64 % 3)))
+            .collect();
+        for j in 0..23 {
+            c.add_wires(ids[j], ids[j + 1], 1 + (j as i64 * 7 % 5)).unwrap();
+        }
+        for j in 0..20 {
+            c.add_wires(ids[j], ids[j + 4], 1 + (j as i64 % 3)).unwrap();
+        }
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 12).unwrap())
+            .build()
+            .unwrap();
+        let serial = coarsen(
+            &p,
+            &CoarsenOptions {
+                min_size: 2,
+                ..CoarsenOptions::default()
+            },
+        );
+        assert!(!serial.is_empty());
+        for threads in [2usize, 4, 8] {
+            let par = coarsen(
+                &p,
+                &CoarsenOptions {
+                    min_size: 2,
+                    threads,
+                    ..CoarsenOptions::default()
+                },
+            );
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            for (a, b) in par.levels.iter().zip(serial.levels.iter()) {
+                assert_eq!(a.map, b.map, "threads={threads}");
+                assert_eq!(a.problem.n(), b.problem.n());
+            }
+        }
+    }
+
+    #[test]
     fn nonzero_diagonal_refuses_to_coarsen() {
         let p = chain(8, 8);
         let m = p.m();
@@ -423,6 +517,7 @@ mod tests {
             &CoarsenOptions {
                 max_levels: 1,
                 min_size: 2,
+                ..CoarsenOptions::default()
             },
         );
         let level = &stack.levels[0];

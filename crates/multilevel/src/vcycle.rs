@@ -3,7 +3,7 @@
 //! assignment with profile-backed GFM sweeps plus a short capped QBP
 //! descent.
 
-use crate::coarsen::{coarsen, CoarsenOptions};
+use crate::coarsen::{coarsen_observed, CoarsenOptions};
 use qbp_baselines::{GfmConfig, GfmSolver};
 use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem};
 use qbp_observe::{SolveEvent, SolveObserver, SolverId};
@@ -147,8 +147,9 @@ impl MlqbpSolver {
         let options = CoarsenOptions {
             max_levels: self.config.max_levels,
             min_size: self.config.min_size,
+            threads: self.config.qbp.threads,
         };
-        let stack = coarsen(problem, &options);
+        let stack = coarsen_observed(problem, &options, obs);
         for (idx, level) in stack.levels.iter().enumerate() {
             obs.on_event(&SolveEvent::LevelCoarsened {
                 level: idx + 1,
@@ -228,10 +229,14 @@ impl MlqbpSolver {
                         }
                     }
                 }
+                // Refinement stays pinned serial (like `refine_solver`): the
+                // per-level problems are small and thread identity keeps the
+                // V-cycle reproducible for any `--threads`.
                 let gfm = GfmSolver::new(GfmConfig {
                     max_passes: self.config.refine_passes,
                     hill_climbing: true,
                     seed: self.config.qbp.seed,
+                    threads: 1,
                 });
                 // Alternate GFM sweeps with capped QBP descents while they
                 // keep improving. Coarser levels run one round (their

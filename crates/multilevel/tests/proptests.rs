@@ -47,7 +47,7 @@ proptest! {
         asg_seed in 0u64..1u64 << 48,
     ) {
         let problem = suite_instance(spec_idx, 0.1, seed);
-        let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8 });
+        let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8, threads: 1 });
         prop_assert!(!stack.is_empty(), "suite instances at scale 0.1 must coarsen");
         for (idx, level) in stack.levels.iter().enumerate() {
             let fine_problem = if idx == 0 { &problem } else { &stack.levels[idx - 1].problem };
@@ -81,7 +81,7 @@ proptest! {
         asg_seed in 0u64..1u64 << 48,
     ) {
         let problem = suite_instance(spec_idx, 0.1, seed);
-        let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8 });
+        let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8, threads: 1 });
         prop_assert!(!stack.is_empty());
         for (idx, level) in stack.levels.iter().enumerate() {
             let coarse = random_assignment(level.problem.n(), level.problem.m(), asg_seed ^ idx as u64);
@@ -108,7 +108,7 @@ proptest! {
         let (problem, witness) =
             build_instance_with_witness(&spec, &options).expect("suite instance");
         prop_assert!(check_feasibility(&problem, &witness).is_feasible());
-        let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8 });
+        let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8, threads: 1 });
         prop_assert!(!stack.is_empty());
         let mut projected = witness;
         for (idx, level) in stack.levels.iter().enumerate() {

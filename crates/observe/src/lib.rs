@@ -296,6 +296,18 @@ pub enum SolveEvent {
         /// Whether refinement improved on the prolonged assignment.
         improved: bool,
     },
+    /// A deterministic intra-solve parallel batch ran: an η-row fan-out, a
+    /// gain-table rebuild, or a matching candidate scan was chunked across
+    /// worker threads (results are bit-identical to the serial loop; see
+    /// `qbp_core::par`). Emitted only when more than one chunk actually ran.
+    ParallelBatch {
+        /// Iteration (or pass / level) the batch belongs to.
+        iteration: usize,
+        /// Number of worker chunks the batch was split into.
+        tasks: usize,
+        /// The resolved thread budget the batch ran under.
+        threads: usize,
+    },
 }
 
 impl SolveEvent {
@@ -317,6 +329,7 @@ impl SolveEvent {
             SolveEvent::SolveFinished { .. } => "solve_finished",
             SolveEvent::LevelCoarsened { .. } => "level_coarsened",
             SolveEvent::LevelRefined { .. } => "level_refined",
+            SolveEvent::ParallelBatch { .. } => "parallel_batch",
         }
     }
 }
@@ -412,6 +425,13 @@ pub struct CounterSnapshot {
     pub levels_coarsened: u64,
     /// Multilevel levels refined on the way back up a V-cycle.
     pub levels_refined: u64,
+    /// Intra-solve parallel batches that actually fanned out (> 1 chunk).
+    pub parallel_batches: u64,
+    /// Total worker chunks across all parallel batches.
+    pub parallel_tasks: u64,
+    /// Largest resolved thread budget any parallel batch ran under (0 when
+    /// every batch ran serially).
+    pub threads_used: u64,
 }
 
 impl CounterSnapshot {
@@ -425,7 +445,8 @@ impl CounterSnapshot {
              \"repairs\": {}, \"repairs_cleaned\": {}, \"stall_resets\": {}, \
              \"moves_accepted\": {}, \"moves_rejected\": {}, \
              \"improvements\": {}, \"runs\": {}, \"levels_coarsened\": {}, \
-             \"levels_refined\": {}}}",
+             \"levels_refined\": {}, \"parallel_batches\": {}, \
+             \"parallel_tasks\": {}, \"threads_used\": {}}}",
             self.solves,
             self.iterations,
             self.eta_full,
@@ -445,6 +466,9 @@ impl CounterSnapshot {
             self.runs,
             self.levels_coarsened,
             self.levels_refined,
+            self.parallel_batches,
+            self.parallel_tasks,
+            self.threads_used,
         )
     }
 }
@@ -475,6 +499,9 @@ pub struct CountersObserver {
     runs: AtomicU64,
     levels_coarsened: AtomicU64,
     levels_refined: AtomicU64,
+    parallel_batches: AtomicU64,
+    parallel_tasks: AtomicU64,
+    threads_used: AtomicU64,
 }
 
 impl CountersObserver {
@@ -551,6 +578,11 @@ impl CountersObserver {
             SolveEvent::LevelRefined { .. } => {
                 self.levels_refined.fetch_add(1, R);
             }
+            SolveEvent::ParallelBatch { tasks, threads, .. } => {
+                self.parallel_batches.fetch_add(1, R);
+                self.parallel_tasks.fetch_add(*tasks as u64, R);
+                self.threads_used.fetch_max(*threads as u64, R);
+            }
         }
     }
 
@@ -577,6 +609,9 @@ impl CountersObserver {
             runs: self.runs.load(R),
             levels_coarsened: self.levels_coarsened.load(R),
             levels_refined: self.levels_refined.load(R),
+            parallel_batches: self.parallel_batches.load(R),
+            parallel_tasks: self.parallel_tasks.load(R),
+            threads_used: self.threads_used.load(R),
         }
     }
 }
@@ -826,6 +861,15 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
                 ", \"level\": {level}, \"value\": {value}, \"improved\": {improved}"
             ));
         }
+        SolveEvent::ParallelBatch {
+            iteration,
+            tasks,
+            threads,
+        } => {
+            s.push_str(&format!(
+                ", \"iteration\": {iteration}, \"tasks\": {tasks}, \"threads\": {threads}"
+            ));
+        }
     }
     s.push_str("}\n");
     s
@@ -1055,6 +1099,11 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
             value: fields.num("value")?,
             improved: fields.bool("improved")?,
         },
+        "parallel_batch" => SolveEvent::ParallelBatch {
+            iteration: fields.num("iteration")?,
+            tasks: fields.num("tasks")?,
+            threads: fields.num("threads")?,
+        },
         other => return Err(TraceParseError::UnknownEvent(other.to_string())),
     };
     Ok(TraceRecord { t_ns, event })
@@ -1104,6 +1153,16 @@ mod tests {
             rebuilt: false,
             moved: 1,
         });
+        c.on_event(&SolveEvent::ParallelBatch {
+            iteration: 1,
+            tasks: 4,
+            threads: 4,
+        });
+        c.on_event(&SolveEvent::ParallelBatch {
+            iteration: 2,
+            tasks: 2,
+            threads: 2,
+        });
         let s = c.snapshot();
         assert_eq!(s.solves, 1);
         assert_eq!(s.iterations, 3);
@@ -1118,6 +1177,9 @@ mod tests {
         assert_eq!(s.stall_resets, 1);
         assert_eq!(s.profile_rebuilds, 1);
         assert_eq!(s.profile_patches, 1);
+        assert_eq!(s.parallel_batches, 2);
+        assert_eq!(s.parallel_tasks, 6);
+        assert_eq!(s.threads_used, 4);
     }
 
     #[test]
@@ -1233,6 +1295,9 @@ mod tests {
             "runs",
             "levels_coarsened",
             "levels_refined",
+            "parallel_batches",
+            "parallel_tasks",
+            "threads_used",
         ] {
             assert!(json.contains(key), "snapshot json lacks {key}");
         }
@@ -1250,7 +1315,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..14, 0usize..6, 0usize..2),
+            (0usize..15, 0usize..6, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1333,6 +1398,11 @@ mod proptests {
                             level: iteration,
                             value: delta,
                             improved: b1,
+                        },
+                        13 => SolveEvent::ParallelBatch {
+                            iteration,
+                            tasks: partitions,
+                            threads: components,
                         },
                         _ => SolveEvent::ProfileUpdated {
                             iteration,

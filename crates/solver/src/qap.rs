@@ -36,6 +36,10 @@ pub struct QapConfig {
     /// fresh random permutation (resetting `h`, keeping the incumbent); `0`
     /// disables stall restarts entirely.
     pub stall_window: usize,
+    /// Worker threads for the intra-solve η-row batches: `0` (default)
+    /// resolves to one per available core, `1` forces the serial loop. The
+    /// answer is bit-identical for every setting (see `qbp_core::par`).
+    pub threads: usize,
 }
 
 impl Default for QapConfig {
@@ -45,6 +49,7 @@ impl Default for QapConfig {
             penalty: PenaltyMode::Auto,
             seed: 0xBADC_0DE5,
             stall_window: crate::qbp::STALL_WINDOW,
+            threads: 0,
         }
     }
 }
@@ -65,7 +70,7 @@ impl Configure for QapConfig {
         if let Some(stall_window) = opts.stall_window {
             self.stall_window = stall_window;
         }
-        // The QAP loop is single-threaded; `threads` has no analogue here.
+        self.threads = opts.threads;
     }
 
     fn common(&self) -> CommonOpts {
@@ -73,7 +78,7 @@ impl Configure for QapConfig {
             seed: self.seed,
             iterations: Some(self.iterations),
             stall_window: Some(self.stall_window),
-            threads: 1,
+            threads: self.threads,
         }
     }
 }
@@ -199,6 +204,7 @@ impl QapSolver {
         let mut lap_costs = vec![0f64; n * n];
         let mut recent: std::collections::VecDeque<u64> =
             std::collections::VecDeque::with_capacity(self.config.stall_window.max(1));
+        let intra_threads = qbp_core::par::effective_threads(self.config.threads);
 
         for k in 1..=self.config.iterations {
             obs.on_event(&SolveEvent::IterationStarted { iteration: k });
@@ -215,11 +221,19 @@ impl QapSolver {
                 rebuilt,
                 moved,
             });
-            q.eta_profiled(
+            let tasks = q.eta_profiled_par(
                 &u,
                 profile.as_ref().expect("installed above"),
                 &mut eta,
+                intra_threads,
             );
+            if tasks > 1 {
+                obs.on_event(&SolveEvent::ParallelBatch {
+                    iteration: k,
+                    tasks,
+                    threads: intra_threads,
+                });
+            }
             obs.on_event(&SolveEvent::EtaComputed {
                 iteration: k,
                 incremental: false,

@@ -92,10 +92,14 @@ pub struct QbpConfig {
     pub repair_candidates: bool,
     /// Record per-iteration statistics in [`QbpOutcome::history`].
     pub track_history: bool,
-    /// Worker threads for [`QbpSolver::solve_multistart`]: `0` (default)
-    /// spawns one per available core, `1` forces the serial path, higher
-    /// values cap the pool. The answer is bit-identical for every setting —
-    /// runs are independent and the winner is reduced in run order.
+    /// Worker threads: `0` (default) resolves to one per available core,
+    /// `1` forces every serial path, higher values cap the pools. The budget
+    /// drives both [`QbpSolver::solve_multistart`]'s run fan-out and the
+    /// intra-solve η-row batches of a single solve (multistart's parallel
+    /// branch pins its inner solves to `threads: 1`, so the two levels never
+    /// oversubscribe). The answer is bit-identical for every setting — runs
+    /// are independent and reduced in run order, and the η fan-out writes
+    /// disjoint columns via `qbp_core::par`.
     pub threads: usize,
 }
 
@@ -385,6 +389,10 @@ impl QbpSolver {
         ws.eta_f.resize(mn, 0.0);
         ws.recent.clear();
         let mut history = Vec::new();
+        // Intra-solve thread budget for the full-η fan-out. Multistart's
+        // parallel branch hands each run `threads: 1`, so run-level and
+        // η-level parallelism never oversubscribe each other.
+        let intra_threads = qbp_core::par::effective_threads(self.config.threads);
 
         for k in 1..=self.config.iterations {
             obs.on_event(&SolveEvent::IterationStarted { iteration: k });
@@ -417,11 +425,19 @@ impl QbpSolver {
                 debug_assert!(patched, "eta_update must patch below the N/4 threshold");
                 patched
             } else {
-                q.eta_profiled(
+                let tasks = q.eta_profiled_par(
                     &u,
                     ws.profile.as_ref().expect("sync_profile installs a profile"),
                     &mut ws.eta,
+                    intra_threads,
                 );
+                if tasks > 1 {
+                    obs.on_event(&SolveEvent::ParallelBatch {
+                        iteration: k,
+                        tasks,
+                        threads: intra_threads,
+                    });
+                }
                 false
             };
             obs.on_event(&SolveEvent::EtaComputed {
@@ -693,8 +709,13 @@ impl QbpSolver {
                                 if r >= runs {
                                     break;
                                 }
-                                let out = QbpSolver::new(self.run_config(r))
-                                    .solve_with(problem, initial, &mut ws);
+                                // Inner solves run strictly serial: the run
+                                // fan-out already owns the thread budget.
+                                let out = QbpSolver::new(QbpConfig {
+                                    threads: 1,
+                                    ..self.run_config(r)
+                                })
+                                .solve_with(problem, initial, &mut ws);
                                 local.push((r, out));
                             }
                             local
@@ -1384,6 +1405,28 @@ mod tests {
         for threads in [2, 3, 4, 0] {
             let par = QbpSolver::new(QbpConfig { threads, ..base })
                 .solve_multistart(&problem, None, 8)
+                .unwrap();
+            assert_same_outcome(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn intra_solve_eta_batches_match_serial_bit_for_bit() {
+        // A single run with threads > 1 takes the serial multistart branch,
+        // so the thread budget flows into the η-row batches of the descent
+        // itself — the result must not depend on how the rows were chunked.
+        let problem = paper_problem(2);
+        let base = QbpConfig {
+            iterations: 15,
+            seed: 11,
+            track_history: true,
+            threads: 1,
+            ..QbpConfig::default()
+        };
+        let serial = QbpSolver::new(base).solve(&problem, None).unwrap();
+        for threads in [2, 4, 8, 0] {
+            let par = QbpSolver::new(QbpConfig { threads, ..base })
+                .solve(&problem, None)
                 .unwrap();
             assert_same_outcome(&par, &serial);
         }
