@@ -23,7 +23,9 @@
 use qbp_bench::{default_methods, run_rows, CircuitRow, TableOptions};
 use qbp_cli::args::Args;
 use qbp_core::{Assignment, ComponentId, Evaluator, PartitionId, PartitionProfile, Problem, QMatrix};
-use qbp_gen::{build_instance_with_witness, scaled_spec, SuiteOptions, PAPER_SUITE};
+use qbp_eco::{EcoConfig, EcoSession, NetlistDelta};
+use qbp_gen::{build_instance_with_witness, eco_edit_stream, scaled_spec, EcoStreamOptions,
+    SuiteOptions, PAPER_SUITE};
 use qbp_multilevel::{MlqbpConfig, MlqbpSolver};
 use qbp_observe::{CounterSnapshot, CountersObserver, NoopObserver, SolveObserver};
 use qbp_solver::{QbpConfig, QbpSolver, SolveWorkspace, Solver};
@@ -58,6 +60,18 @@ const ML_PAPER_FACTOR: f64 = 4.0;
 /// paper's circuit sizes (scale `16 × 0.25 = 4.0`), where coarsening pays
 /// most.
 const ML_SYNTHETIC_FACTOR: f64 = 16.0;
+/// Circuit the ECO benchmark replays its edit stream on.
+const ECO_CIRCUIT: &str = "ckta";
+/// Length of the seeded ECO edit stream (`QBP_ECO_EDITS` overrides, for
+/// scaled-down smoke runs).
+const ECO_EDITS: usize = 1000;
+/// Minimum warm-vs-cold wall-clock speedup the ECO stream must demonstrate
+/// (informational annotation below it; the gating checks are the
+/// state-equivalence audit and warm feasibility).
+const ECO_SPEEDUP_TARGET: f64 = 25.0;
+/// Warm re-solve cost may exceed the cold-solve cost of the same mutated
+/// problem by at most this fraction before the snapshot annotates it.
+const ECO_QUALITY_BUDGET: f64 = 0.05;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -646,6 +660,186 @@ impl MlSuite {
     }
 }
 
+/// The incremental-re-partitioning benchmark: one seeded ECO edit stream
+/// replayed through an [`EcoSession`] (apply + warm re-solve per edit,
+/// timed) against cold-solving every mutated problem from scratch with the
+/// same config and frozen penalty (timed), plus an *untimed* per-edit audit
+/// that the patched `Q̂`/profile state is bit-identical to from-scratch
+/// construction ([`EcoSession::state_matches_fresh`]).
+struct EcoBench {
+    scale: f64,
+    edits: usize,
+    components: usize,
+    warm_seconds: f64,
+    cold_seconds: f64,
+    /// Every patched state matched fresh construction bit-for-bit (gating).
+    state_identical: bool,
+    /// Every warm re-solve ended feasible (gating).
+    all_feasible: bool,
+    rebuilds: u64,
+    patched_rows: u64,
+    escalations: usize,
+    /// Worst warm-vs-cold embedded-value gap, percent of the cold value.
+    max_quality_gap_pct: f64,
+    /// Edits whose warm value exceeded cold by more than
+    /// [`ECO_QUALITY_BUDGET`].
+    quality_violations: usize,
+    /// Cold reference solves that themselves ended infeasible (excluded
+    /// from the quality comparison).
+    cold_infeasible: usize,
+}
+
+/// Counts warm solves that escalated past the localized pass.
+#[derive(Default)]
+struct EscalationProbe {
+    escalations: usize,
+}
+
+impl SolveObserver for EscalationProbe {
+    fn on_event(&mut self, event: &qbp_observe::SolveEvent) {
+        if matches!(
+            event,
+            qbp_observe::SolveEvent::WarmSolve {
+                escalated: true,
+                ..
+            }
+        ) {
+            self.escalations += 1;
+        }
+    }
+}
+
+fn eco_bench(scale: f64, suite_options: &SuiteOptions, seed: u64, edits: usize) -> EcoBench {
+    let spec = PAPER_SUITE
+        .iter()
+        .find(|s| s.name == ECO_CIRCUIT)
+        .expect("eco circuit in suite");
+    let spec = scaled_spec(spec, scale);
+    let (problem, witness) =
+        build_instance_with_witness(&spec, suite_options).expect("eco instance");
+    let stream = eco_edit_stream(
+        &problem,
+        &EcoStreamOptions {
+            edits,
+            seed,
+            structural: true,
+        },
+    );
+    let components = problem.n();
+    let config = EcoConfig {
+        solver: QbpConfig {
+            seed,
+            threads: 1,
+            ..QbpConfig::default()
+        },
+        ..EcoConfig::default()
+    };
+    // ECO mode edits an already-accepted placement, so the session must
+    // open on a feasible baseline — the warm-feasibility gate below then
+    // measures whether the *edits* ever cost us feasibility. Prefer a
+    // from-scratch cold solve (the same reference the per-edit quality
+    // comparison uses); when the single cold run cannot find feasibility,
+    // fall back to the instance's planted witness polished by a full-budget
+    // reanchor. All of this setup stays untimed: a batch flow pays it too
+    // before its first ECO lands.
+    let mut session = EcoSession::with_assignment(problem.clone(), witness, config.clone())
+        .expect("eco session");
+    let baseline = session.cold_solve().expect("baseline cold solve");
+    if baseline.feasible {
+        session = EcoSession::with_assignment(problem, baseline.assignment, config)
+            .expect("eco session rebase");
+    } else {
+        session
+            .reanchor(&mut NoopObserver)
+            .expect("initial reanchor solve");
+    }
+
+    let mut out = EcoBench {
+        scale,
+        edits: stream.len(),
+        components,
+        warm_seconds: 0.0,
+        cold_seconds: 0.0,
+        state_identical: true,
+        all_feasible: true,
+        rebuilds: 0,
+        patched_rows: 0,
+        escalations: 0,
+        max_quality_gap_pct: f64::NEG_INFINITY,
+        quality_violations: 0,
+        cold_infeasible: 0,
+    };
+    let mut probe = EscalationProbe::default();
+    for op in &stream {
+        let mut delta = NetlistDelta::new();
+        delta.push(op.clone());
+        let t0 = Instant::now();
+        let (apply, solve) = session
+            .apply_and_resolve(&delta, &mut probe)
+            .expect("eco stream edits validate");
+        out.warm_seconds += t0.elapsed().as_secs_f64();
+        out.rebuilds += apply.rebuilt as u64;
+        out.patched_rows += apply.patched_rows as u64;
+        out.all_feasible &= solve.feasible;
+        // Untimed audit: the patched state must be bit-identical to
+        // from-scratch construction on the mutated problem.
+        out.state_identical &= session.state_matches_fresh();
+        // The cold reference: the same mutated problem, same config and
+        // frozen penalty, solved from scratch.
+        let t1 = Instant::now();
+        let cold = session.cold_solve().expect("cold reference solve");
+        out.cold_seconds += t1.elapsed().as_secs_f64();
+        if !cold.feasible {
+            out.cold_infeasible += 1;
+            continue;
+        }
+        let warm_value = solve.embedded_value.unwrap_or(solve.objective);
+        let gap_pct =
+            100.0 * (warm_value - cold.embedded_value) as f64
+                / cold.embedded_value.abs().max(1) as f64;
+        out.max_quality_gap_pct = out.max_quality_gap_pct.max(gap_pct);
+        if gap_pct > 100.0 * ECO_QUALITY_BUDGET {
+            out.quality_violations += 1;
+        }
+    }
+    out.escalations = probe.escalations;
+    out
+}
+
+impl EcoBench {
+    fn speedup(&self) -> f64 {
+        self.cold_seconds / self.warm_seconds.max(1e-12)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"circuit\": \"{ECO_CIRCUIT}\",\n    \"scale\": {},\n    \
+             \"edits\": {},\n    \"components\": {},\n    \"threads_used\": 1,\n    \
+             \"warm_seconds\": {:.6},\n    \"cold_seconds\": {:.6},\n    \
+             \"speedup\": {:.3},\n    \"speedup_target\": {ECO_SPEEDUP_TARGET},\n    \
+             \"state_identical\": {},\n    \"all_feasible\": {},\n    \
+             \"rebuilds\": {},\n    \"patched_rows\": {},\n    \"escalations\": {},\n    \
+             \"max_quality_gap_pct\": {:.3},\n    \"quality_budget_pct\": {},\n    \
+             \"quality_violations\": {},\n    \"cold_infeasible\": {}\n  }}",
+            self.scale,
+            self.edits,
+            self.components,
+            self.warm_seconds,
+            self.cold_seconds,
+            self.speedup(),
+            self.state_identical,
+            self.all_feasible,
+            self.rebuilds,
+            self.patched_rows,
+            self.escalations,
+            self.max_quality_gap_pct,
+            100.0 * ECO_QUALITY_BUDGET,
+            self.quality_violations,
+            self.cold_infeasible
+        )
+    }
+}
+
 fn main() {
     let args = match Args::parse(std::env::args().skip(1), &[]) {
         Ok(a) => a,
@@ -809,6 +1003,45 @@ fn main() {
         ml_synth.all_feasible
     );
 
+    // ECO benchmark: a seeded 1000-edit stream warm-solved in place vs the
+    // same 1000 mutated problems cold-solved from scratch, with a per-edit
+    // bit-identity audit of the patched state (untimed).
+    let eco_edits = std::env::var("QBP_ECO_EDITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ECO_EDITS);
+    let eco = eco_bench(opts.scale, &suite_options, opts.seed, eco_edits);
+    eprintln!(
+        "eco_bench ({ECO_CIRCUIT}, {} edits): warm {:.3}s vs cold {:.3}s ({:.1}x), \
+         state_identical {}, all_feasible {}, {} rebuilds, {} escalations, \
+         max quality gap {:+.2}%, {} cold reference(s) infeasible",
+        eco.edits,
+        eco.warm_seconds,
+        eco.cold_seconds,
+        eco.speedup(),
+        eco.state_identical,
+        eco.all_feasible,
+        eco.rebuilds,
+        eco.escalations,
+        eco.max_quality_gap_pct,
+        eco.cold_infeasible
+    );
+    if eco.speedup() < ECO_SPEEDUP_TARGET {
+        println!(
+            "::warning::eco_bench speedup {:.1}x below the {ECO_SPEEDUP_TARGET}x target",
+            eco.speedup()
+        );
+    }
+    if eco.quality_violations > 0 {
+        println!(
+            "::warning::eco_bench: {} warm solve(s) drifted past the {:.0}% \
+             quality budget (max gap {:+.2}%)",
+            eco.quality_violations,
+            100.0 * ECO_QUALITY_BUDGET,
+            eco.max_quality_gap_pct
+        );
+    }
+
     let (_, problem, witness) = instances
         .iter()
         .find(|(spec, _, _)| spec.name == MULTISTART_CIRCUIT)
@@ -930,6 +1163,7 @@ fn main() {
          \"qbp_counter_totals\": {},\n  \"profile_sync_effective\": {},\n  \
          \"kernel_bench\": [{}\n  ],\n  \
          \"multilevel\": {{\n    \"paper_suite\": {},\n    \"synthetic_suite\": {}\n  }},\n  \
+         \"eco_bench\": {},\n  \
          \"thread_scaling\": {},\n  \
          \"multistart\": {},\n  \
          \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
@@ -947,6 +1181,7 @@ fn main() {
         kernel_bench_json,
         ml_paper.to_json(),
         ml_synth.to_json(),
+        eco.to_json(),
         scaling.to_json(),
         multistart_json,
         MULTISTART_CIRCUIT,
@@ -968,6 +1203,17 @@ fn main() {
     }
     if !kernels_matched {
         eprintln!("error: a profiled kernel diverged from its explicit-walk twin (correctness bug)");
+        std::process::exit(1);
+    }
+    if !eco.state_identical {
+        eprintln!(
+            "error: an ECO delta left the patched Q̂/profile state diverged from \
+             from-scratch construction (state-equivalence bug)"
+        );
+        std::process::exit(1);
+    }
+    if !eco.all_feasible {
+        eprintln!("error: an ECO warm re-solve ended infeasible on a feasibility-preserving stream");
         std::process::exit(1);
     }
     if !profile_sync_effective {

@@ -6,9 +6,11 @@
 //! `solve` and the bench binaries all parse through them, so the defaults
 //! cannot drift apart again.
 
+use qbp_core::QbpError;
 use qbp_solver::CommonOpts;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Default RNG seed for every driver: the paper's publication year.
 pub const DEFAULT_SEED: u64 = 1993;
@@ -55,6 +57,16 @@ impl fmt::Display for ArgsError {
 }
 
 impl std::error::Error for ArgsError {}
+
+impl From<ArgsError> for QbpError {
+    fn from(e: ArgsError) -> Self {
+        QbpError::Usage(e.to_string())
+    }
+}
+
+/// Deprecated flag names that have already warned, so each alias warns at
+/// most once per process however many commands parse it.
+static WARNED_ALIASES: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
 
 impl Args {
     /// Parses raw arguments. `switch_names` lists boolean flags that take no
@@ -148,6 +160,34 @@ impl Args {
         }
     }
 
+    /// Typed optional flag under its method-scoped canonical name, also
+    /// accepting a deprecated alias that warns once per process on stderr.
+    /// The canonical name wins when both are given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when the winning flag fails to parse.
+    pub fn get_parsed_opt_aliased<T: std::str::FromStr>(
+        &self,
+        canonical: &'static str,
+        deprecated: &'static str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgsError> {
+        if let Some(v) = self.get_parsed_opt(canonical, expected)? {
+            return Ok(Some(v));
+        }
+        if self.get(deprecated).is_some() {
+            let mut warned = WARNED_ALIASES.lock().expect("alias registry lock");
+            if warned.insert(deprecated) {
+                eprintln!(
+                    "warning: --{deprecated} is deprecated; use --{canonical}"
+                );
+            }
+            return self.get_parsed_opt(deprecated, expected);
+        }
+        Ok(None)
+    }
+
     /// The shared solver knobs: `--seed` (default [`DEFAULT_SEED`]),
     /// `--iterations`, `--stall-window` (absent = keep the method's
     /// default), and `--threads` (default 0 = all cores).
@@ -235,6 +275,41 @@ mod tests {
             a.get_parsed("seed", 0u64, "an integer"),
             Err(ArgsError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn aliased_flags_prefer_canonical() {
+        let a = parse(
+            &["solve", "--mlqbp-levels", "3", "--ml-levels", "9"],
+            &[],
+        )
+        .expect("parses");
+        assert_eq!(
+            a.get_parsed_opt_aliased::<usize>("mlqbp-levels", "ml-levels", "an integer")
+                .expect("parses"),
+            Some(3),
+            "canonical name wins over the deprecated alias"
+        );
+        let a = parse(&["solve", "--ml-min-size", "7"], &[]).expect("parses");
+        assert_eq!(
+            a.get_parsed_opt_aliased::<usize>("mlqbp-min-size", "ml-min-size", "an integer")
+                .expect("parses"),
+            Some(7),
+            "deprecated alias still works"
+        );
+        let a = parse(&["solve"], &[]).expect("parses");
+        assert_eq!(
+            a.get_parsed_opt_aliased::<usize>("mlqbp-levels", "ml-levels", "an integer")
+                .expect("parses"),
+            None
+        );
+    }
+
+    #[test]
+    fn args_error_lifts_to_usage() {
+        let e: QbpError = ArgsError::Missing("problem file").into();
+        assert!(matches!(e, QbpError::Usage(_)));
+        assert!(e.to_string().contains("problem file"));
     }
 
     #[test]

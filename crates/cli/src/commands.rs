@@ -2,28 +2,33 @@
 
 use crate::args::Args;
 use qbp_core::io::{parse_assignment, parse_problem, write_assignment, write_problem};
-use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem};
+use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem, QbpError};
+use qbp_eco::{run_script, EcoConfig, EcoSession};
 use qbp_multilevel::{build_solver, MlqbpConfig, MlqbpSolver, SOLVER_NAMES};
 use qbp_observe::{CountersObserver, SolveObserver, TeeObserver, TraceObserver};
 use qbp_solver::{
     greedy_first_fit, moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport,
 };
-use std::error::Error;
 use std::fs::{self, File};
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-type CommandResult = Result<ExitCode, Box<dyn Error>>;
+/// Every subcommand returns a typed [`QbpError`] so `main` can map the
+/// failure *kind* to a distinct exit code (see [`crate::exit_code_for`]).
+type CommandResult = Result<ExitCode, QbpError>;
 
-fn load_problem(path: &str) -> Result<Problem, Box<dyn Error>> {
-    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    Ok(parse_problem(&text).map_err(|e| format!("parsing {path}: {e}"))?)
+fn read_file(path: &str) -> Result<String, QbpError> {
+    fs::read_to_string(path).map_err(|e| QbpError::io(path, &e))
 }
 
-fn emit(output: Option<&str>, contents: &str) -> Result<(), Box<dyn Error>> {
+fn load_problem(path: &str) -> Result<Problem, QbpError> {
+    Ok(parse_problem(&read_file(path)?)?)
+}
+
+fn emit(output: Option<&str>, contents: &str) -> Result<(), QbpError> {
     match output {
         Some(path) => {
-            fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))?;
+            fs::write(path, contents).map_err(|e| QbpError::io(path, &e))?;
         }
         None => print!("{contents}"),
     }
@@ -40,16 +45,13 @@ pub fn solve(args: &Args) -> CommandResult {
     let opts = args.common_opts()?;
     let runs = args.runs()?;
     let ml = MlFlags {
-        levels: args.get_parsed_opt("ml-levels", "an integer")?,
-        min_size: args.get_parsed_opt("ml-min-size", "an integer")?,
+        levels: args.get_parsed_opt_aliased("mlqbp-levels", "ml-levels", "an integer")?,
+        min_size: args.get_parsed_opt_aliased("mlqbp-min-size", "ml-min-size", "an integer")?,
     };
     let quiet = args.switch("quiet");
 
     let initial = match args.get("initial") {
-        Some(p) => {
-            let text = fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
-            Some(parse_assignment(&text, &problem, false).map_err(|e| format!("parsing {p}: {e}"))?)
-        }
+        Some(p) => Some(parse_assignment(&read_file(p)?, &problem, false)?),
         None => None,
     };
 
@@ -57,13 +59,7 @@ pub fn solve(args: &Args) -> CommandResult {
     // tee borrows both, so it lives in an inner scope.
     let use_counters = args.switch("counters");
     let mut counters_sink = CountersObserver::new();
-    let mut trace = match args.get("trace") {
-        Some(p) => {
-            let file = File::create(p).map_err(|e| format!("creating {p}: {e}"))?;
-            Some(TraceObserver::new(BufWriter::new(file)))
-        }
-        None => None,
-    };
+    let mut trace = open_trace(args)?;
 
     let report = {
         let mut tee = TeeObserver::new();
@@ -87,7 +83,7 @@ pub fn solve(args: &Args) -> CommandResult {
         eprintln!("{}", counters_sink.snapshot().to_json());
     }
     if let Some(t) = trace {
-        t.finish().map_err(|e| format!("writing trace: {e}"))?;
+        finish_trace(args, t)?;
     }
 
     let feas = check_feasibility(&problem, &report.assignment);
@@ -113,6 +109,24 @@ struct MlFlags {
     min_size: Option<usize>,
 }
 
+/// Opens the `--trace` JSONL sink when requested.
+fn open_trace(args: &Args) -> Result<Option<TraceObserver<BufWriter<File>>>, QbpError> {
+    match args.get("trace") {
+        Some(p) => {
+            let file = File::create(p).map_err(|e| QbpError::io(p, &e))?;
+            Ok(Some(TraceObserver::new(BufWriter::new(file))))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Flushes the `--trace` sink, surfacing deferred write errors.
+fn finish_trace(args: &Args, trace: TraceObserver<BufWriter<File>>) -> Result<(), QbpError> {
+    let path = args.get("trace").unwrap_or("trace");
+    trace.finish().map_err(|e| QbpError::io(path, &e))?;
+    Ok(())
+}
+
 /// Dispatches one solve through the method registry (or the qbp multistart
 /// driver when `--runs` asks for more than one), behind `&dyn Solver`.
 fn run_method(
@@ -123,13 +137,17 @@ fn run_method(
     ml: &MlFlags,
     initial: Option<&Assignment>,
     obs: &mut dyn SolveObserver,
-) -> Result<SolveReport, Box<dyn Error>> {
+) -> Result<SolveReport, QbpError> {
     if method != "mlqbp" && (ml.levels.is_some() || ml.min_size.is_some()) {
-        return Err("--ml-levels/--ml-min-size only apply to --method mlqbp".into());
+        return Err(QbpError::Usage(
+            "--mlqbp-levels/--mlqbp-min-size only apply to --method mlqbp".into(),
+        ));
     }
     if runs > 1 {
         if method != "qbp" {
-            return Err(format!("--runs {runs} only applies to --method qbp").into());
+            return Err(QbpError::Usage(format!(
+                "--runs {runs} only applies to --method qbp"
+            )));
         }
         let solver = QbpSolver::new(QbpConfig::default().with_common(opts));
         let out = solver.solve_multistart_observed(problem, initial, runs, obs)?;
@@ -155,12 +173,15 @@ fn run_method(
         return Ok(MlqbpSolver::new(config).solve_observed(problem, initial, obs)?);
     }
     let solver = build_solver(method, opts).ok_or_else(|| {
-        format!("unknown method `{method}` (use {})", SOLVER_NAMES.join(", "))
+        QbpError::Usage(format!(
+            "unknown method `{method}` (use {})",
+            SOLVER_NAMES.join(", ")
+        ))
     })?;
     Ok(solver.solve(problem, initial, obs)?)
 }
 
-fn find_start(problem: &Problem, seed: u64) -> Result<Assignment, Box<dyn Error>> {
+fn find_start(problem: &Problem, seed: u64) -> Result<Assignment, QbpError> {
     if let Some(a) = QbpSolver::new(QbpConfig {
         iterations: 60,
         seed,
@@ -173,19 +194,101 @@ fn find_start(problem: &Problem, seed: u64) -> Result<Assignment, Box<dyn Error>
     if let Some(a) = greedy_first_fit(problem, seed, 200) {
         return Ok(a);
     }
-    Err("no feasible initial solution found (GFM/GKL need one; try `qbp solve --method qbp`)".into())
+    Err(QbpError::Usage(
+        "no feasible initial solution found (GFM/GKL need one; try `qbp solve --method qbp`)"
+            .into(),
+    ))
+}
+
+/// `qbp eco` — open an incremental session on a problem and drive it with a
+/// JSONL edit script (`--script edits.jsonl`): every line is applied as a
+/// [`NetlistDelta`](qbp_eco::NetlistDelta) and warm-resolved in order. The
+/// final assignment goes to `--output` (or stdout); exit code 2 flags any
+/// infeasible warm solve along the way.
+pub fn eco(args: &Args) -> CommandResult {
+    let path = args.required(1, "problem file")?;
+    let problem = load_problem(path)?;
+    let script_path = args
+        .get("script")
+        .ok_or_else(|| QbpError::Usage("eco requires --script <edits.jsonl>".into()))?;
+    let script = read_file(script_path)?;
+    let opts = args.common_opts()?;
+    let quiet = args.switch("quiet");
+    let threshold = args.get_parsed(
+        "eco-rebuild-threshold",
+        75usize,
+        "a percentage of rows (1-100)",
+    )?;
+    let config = EcoConfig {
+        penalty: args.get_parsed_opt("eco-penalty", "an integer")?,
+        rebuild_threshold_pct: threshold,
+        solver: QbpConfig::default().with_common(&opts),
+        refresh_every: args.get_parsed(
+            "eco-refresh-every",
+            EcoConfig::default().refresh_every,
+            "an edit count (0 disables)",
+        )?,
+    };
+
+    let mut session = match args.get("initial") {
+        Some(p) => {
+            let initial = parse_assignment(&read_file(p)?, &problem, false)?;
+            EcoSession::with_assignment(problem, initial, config)?
+        }
+        None => EcoSession::new(problem, config)?,
+    };
+
+    let use_counters = args.switch("counters");
+    let mut counters_sink = CountersObserver::new();
+    let mut trace = open_trace(args)?;
+    let summary = {
+        let mut tee = TeeObserver::new();
+        if use_counters {
+            tee.push(&mut counters_sink);
+        }
+        if let Some(t) = trace.as_mut() {
+            tee.push(t);
+        }
+        run_script(&mut session, &script, &mut tee)?
+    };
+
+    if use_counters {
+        eprintln!("{}", counters_sink.snapshot().to_json());
+    }
+    if let Some(t) = trace {
+        finish_trace(args, t)?;
+    }
+    if !quiet {
+        eprintln!(
+            "ECO: {} edits, {} rebuilds, {} escalations, final value = {}, all feasible = {}",
+            summary.edits,
+            summary.rebuilds,
+            summary.escalations,
+            summary.final_value,
+            summary.all_feasible
+        );
+    }
+    emit(
+        args.get("output"),
+        &write_assignment(session.problem(), session.assignment()),
+    )?;
+    Ok(if summary.all_feasible {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 /// `qbp check` — audit an assignment against a problem.
 pub fn check(args: &Args) -> CommandResult {
     if args.positional_count() > 3 {
-        return Err("check takes exactly two files: <problem.qbp> <assignment.txt>".into());
+        return Err(QbpError::Usage(
+            "check takes exactly two files: <problem.qbp> <assignment.txt>".into(),
+        ));
     }
     let problem = load_problem(args.required(1, "problem file")?)?;
     let asg_path = args.required(2, "assignment file")?;
-    let text = fs::read_to_string(asg_path).map_err(|e| format!("reading {asg_path}: {e}"))?;
-    let assignment =
-        parse_assignment(&text, &problem, false).map_err(|e| format!("parsing {asg_path}: {e}"))?;
+    let assignment = parse_assignment(&read_file(asg_path)?, &problem, false)?;
     let eval = Evaluator::new(&problem);
     let report = check_feasibility(&problem, &assignment);
     println!("cost      {}", eval.cost(&assignment));
@@ -236,10 +339,10 @@ pub fn generate(args: &Args) -> CommandResult {
         let spec = qbp_gen::PAPER_SUITE
             .iter()
             .find(|s| s.name == what)
-            .ok_or_else(|| format!("unknown instance `{what}` (ckta..cktg or qap)"))?;
+            .ok_or_else(|| QbpError::Usage(format!("unknown instance `{what}` (ckta..cktg or qap)")))?;
         let scale = args.get_parsed("scale", 1.0f64, "a number in (0, 1]")?;
         if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
-            return Err("--scale must be in (0, 1]".into());
+            return Err(QbpError::Usage("--scale must be in (0, 1]".into()));
         }
         let spec = qbp_gen::scaled_spec(spec, scale);
         let options = qbp_gen::SuiteOptions {
@@ -255,6 +358,21 @@ pub fn generate(args: &Args) -> CommandResult {
         }
     };
     emit(args.get("output"), &write_problem(&problem))?;
+    // A companion seeded ECO edit script for the generated instance, ready
+    // for `qbp eco --script`.
+    if let Some(script_path) = args.get("eco-script") {
+        let edits = args.get_parsed("eco-edits", 200usize, "an integer >= 1")?;
+        let script = qbp_gen::eco_script(
+            &problem,
+            &qbp_gen::EcoStreamOptions {
+                edits,
+                seed,
+                structural: true,
+            },
+        );
+        fs::write(script_path, script).map_err(|e| QbpError::io(script_path, &e))?;
+        eprintln!("wrote {edits}-edit ECO script to {script_path}");
+    }
     eprintln!(
         "generated: {} components, {} wires, {} timing constraints, {} partitions",
         problem.n(),
@@ -461,9 +579,23 @@ timing alu cache 1
             problem_path.to_str().expect("utf8"),
             "--method",
             "mlqbp",
-            "--ml-levels",
+            "--mlqbp-levels",
             "2",
-            "--ml-min-size",
+            "--mlqbp-min-size",
+            "2",
+            "--quiet",
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        // The deprecated aliases still steer the same knobs.
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--method",
+            "mlqbp",
+            "--ml-levels",
             "2",
             "--quiet",
             "--output",
@@ -472,17 +604,155 @@ timing alu cache 1
         .expect("solve runs");
         assert_eq!(code, ExitCode::SUCCESS);
         assert!(
-            solve(&args(&[
-                "solve",
-                problem_path.to_str().expect("utf8"),
-                "--ml-levels",
-                "2",
-            ]))
-            .is_err(),
-            "ml flags must be rejected for non-mlqbp methods"
+            matches!(
+                solve(&args(&[
+                    "solve",
+                    problem_path.to_str().expect("utf8"),
+                    "--mlqbp-levels",
+                    "2",
+                ])),
+                Err(QbpError::Usage(_))
+            ),
+            "mlqbp flags must be rejected for non-mlqbp methods"
         );
         let _ = fs::remove_file(problem_path);
         let _ = fs::remove_file(asg_path);
+    }
+
+    #[test]
+    fn eco_runs_script_and_writes_assignment() {
+        let problem_path = temp_path("eco.qbp");
+        let script_path = temp_path("eco.jsonl");
+        let asg_path = temp_path("eco-out.txt");
+        let trace_path = temp_path("eco-trace.jsonl");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        fs::write(
+            &script_path,
+            "# three edits\n\
+             {\"op\": \"reweight_pair\", \"a\": \"alu\", \"b\": \"cache\", \"weight\": 9}\n\
+             {\"op\": \"add_pair\", \"a\": 0, \"b\": 2, \"weight\": 3}\n\
+             {\"op\": \"set_timing_bound\", \"a\": \"alu\", \"b\": \"cache\", \"bound\": 2}\n",
+        )
+        .expect("write script");
+        let code = eco(&args(&[
+            "eco",
+            problem_path.to_str().expect("utf8"),
+            "--script",
+            script_path.to_str().expect("utf8"),
+            "--iterations",
+            "20",
+            "--quiet",
+            "--counters",
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("eco runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        // The written assignment checks clean against the *edited* problem
+        // only as far as component names go; at minimum it must exist and
+        // parse back onto the original component set.
+        let text = fs::read_to_string(&asg_path).expect("assignment written");
+        assert_eq!(text.lines().count(), 3, "one line per component");
+        // The trace carries the ECO event stream.
+        let trace = fs::read_to_string(&trace_path).expect("trace written");
+        let names: Vec<String> = trace
+            .lines()
+            .map(|l| {
+                qbp_observe::parse_trace_line(l)
+                    .expect("line parses")
+                    .event
+                    .name()
+                    .to_string()
+            })
+            .collect();
+        assert!(names.iter().any(|n| n == "delta_applied"));
+        assert!(names.iter().any(|n| n == "warm_solve"));
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(script_path);
+        let _ = fs::remove_file(asg_path);
+        let _ = fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn eco_error_kinds_are_typed() {
+        let problem_path = temp_path("eco-err.qbp");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        // Missing --script is a usage error.
+        assert!(matches!(
+            eco(&args(&["eco", problem_path.to_str().expect("utf8")])),
+            Err(QbpError::Usage(_))
+        ));
+        // A script referencing an unknown component is a model error.
+        let script_path = temp_path("eco-err.jsonl");
+        fs::write(
+            &script_path,
+            "{\"op\": \"add_pair\", \"a\": \"ghost\", \"b\": \"alu\", \"weight\": 1}\n",
+        )
+        .expect("write script");
+        assert!(matches!(
+            eco(&args(&[
+                "eco",
+                problem_path.to_str().expect("utf8"),
+                "--script",
+                script_path.to_str().expect("utf8"),
+                "--iterations",
+                "10",
+                "--quiet",
+            ])),
+            Err(QbpError::Model(qbp_core::Error::UnknownComponentName(_)))
+        ));
+        // A malformed script line is a parse error.
+        fs::write(&script_path, "not json\n").expect("write script");
+        assert!(matches!(
+            eco(&args(&[
+                "eco",
+                problem_path.to_str().expect("utf8"),
+                "--script",
+                script_path.to_str().expect("utf8"),
+                "--iterations",
+                "10",
+                "--quiet",
+            ])),
+            Err(QbpError::Parse(_))
+        ));
+        // A missing script file is an I/O error.
+        assert!(matches!(
+            eco(&args(&[
+                "eco",
+                problem_path.to_str().expect("utf8"),
+                "--script",
+                "/nonexistent/edits.jsonl",
+            ])),
+            Err(QbpError::Io { .. })
+        ));
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(script_path);
+    }
+
+    #[test]
+    fn exit_codes_distinguish_error_kinds() {
+        use crate::{exit_code_for, EXIT_IO, EXIT_MODEL, EXIT_PARSE, EXIT_USAGE};
+        assert_eq!(
+            exit_code_for(&QbpError::Usage("bad flag".into())),
+            ExitCode::from(EXIT_USAGE)
+        );
+        assert_eq!(
+            exit_code_for(&QbpError::Parse(qbp_core::io::ParseError::BadHeader)),
+            ExitCode::from(EXIT_PARSE)
+        );
+        assert_eq!(
+            exit_code_for(&QbpError::Io {
+                path: "x".into(),
+                message: "gone".into()
+            }),
+            ExitCode::from(EXIT_IO)
+        );
+        assert_eq!(
+            exit_code_for(&QbpError::Model(qbp_core::Error::EmptyCircuit)),
+            ExitCode::from(EXIT_MODEL)
+        );
     }
 
     #[test]
@@ -502,6 +772,45 @@ timing alu cache 1
             .expect("stats runs");
         assert_eq!(code, ExitCode::SUCCESS);
         let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn gen_eco_script_pipeline() {
+        let problem_path = temp_path("gen-eco.qbp");
+        let script_path = temp_path("gen-eco.jsonl");
+        let asg_path = temp_path("gen-eco.txt");
+        let code = generate(&args(&[
+            "gen",
+            "ckta",
+            "--scale",
+            "0.05",
+            "--eco-edits",
+            "25",
+            "--eco-script",
+            script_path.to_str().expect("utf8"),
+            "--output",
+            problem_path.to_str().expect("utf8"),
+        ]))
+        .expect("gen runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let script = fs::read_to_string(&script_path).expect("script written");
+        assert_eq!(script.lines().count(), 25);
+        let code = eco(&args(&[
+            "eco",
+            problem_path.to_str().expect("utf8"),
+            "--script",
+            script_path.to_str().expect("utf8"),
+            "--iterations",
+            "20",
+            "--quiet",
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("eco runs on the generated script");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(script_path);
+        let _ = fs::remove_file(asg_path);
     }
 
     #[test]

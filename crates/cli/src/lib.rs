@@ -15,6 +15,9 @@
 pub mod args;
 pub mod commands;
 
+use qbp_core::QbpError;
+use std::process::ExitCode;
+
 /// Usage text shared by `qbp help` and error paths.
 pub const USAGE: &str = "\
 qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
@@ -22,7 +25,7 @@ qbp — performance-driven system partitioning (Shih & Kuh, DAC'93)
 USAGE:
   qbp solve <problem.qbp> [--method qbp|qap|gfm|gkl|anneal|mlqbp]
             [--iterations N] [--seed S] [--runs R] [--threads T]
-            [--stall-window W] [--ml-levels L] [--ml-min-size K]
+            [--stall-window W] [--mlqbp-levels L] [--mlqbp-min-size K]
             [--initial file] [--output file] [--quiet]
             [--trace file.jsonl] [--counters]
 
@@ -30,19 +33,62 @@ USAGE:
                   run; deterministic for a fixed seed regardless of threads)
   --threads T     worker threads for the multistart (0 = all cores)
   --stall-window W  stall-detection window for qbp/qap (0 disables restarts)
-  --ml-levels L   max coarsening levels for --method mlqbp (default 8)
-  --ml-min-size K stop coarsening at K components for --method mlqbp
-                  (default 64)
+  --mlqbp-levels L   max coarsening levels for --method mlqbp (default 8)
+  --mlqbp-min-size K stop coarsening at K components for --method mlqbp
+                  (default 64; --ml-levels/--ml-min-size are deprecated
+                  aliases)
   --trace FILE    write the solver's event stream as JSON Lines to FILE
   --counters      print aggregate event counters as JSON on stderr
+
+  qbp eco <problem.qbp> --script <edits.jsonl>
+            [--eco-rebuild-threshold PCT] [--eco-penalty B]
+            [--eco-refresh-every K]
+            [--iterations N] [--seed S] [--initial file] [--output file]
+            [--quiet] [--trace file.jsonl] [--counters]
+
+  --script FILE   JSONL edit script: one op per line, e.g.
+                  {\"op\": \"reweight_pair\", \"a\": 3, \"b\": 17, \"weight\": 9}
+                  (see the qbp-eco::script docs for the op taxonomy)
+  --eco-rebuild-threshold PCT  rebuild instead of patching when a delta
+                  touches at least PCT% of all rows (default 75)
+  --eco-penalty B freeze the timing penalty at B instead of auto-resolving
+  --eco-refresh-every K  re-anchor quality with a capped full solve every
+                  K edits (default 32; 0 disables)
+
   qbp check <problem.qbp> <assignment.txt>
   qbp feasible <problem.qbp> [--seed S] [--output file]
   qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]
             [--size N] [--output file]
+            [--eco-script file.jsonl] [--eco-edits N]
   qbp stats <problem.qbp>
+
+EXIT CODES:
+  0 success; 2 result infeasible; 64 usage error; 65 parse error;
+  66 file I/O error; 67 invalid model
 
 Problem files use the `.qbp` text format (see the qbp-core::io docs).
 ";
+
+/// Exit code for a usage error (mirrors BSD `EX_USAGE`).
+pub const EXIT_USAGE: u8 = 64;
+/// Exit code for a malformed problem/assignment/script file (`EX_DATAERR`).
+pub const EXIT_PARSE: u8 = 65;
+/// Exit code for a file read/write failure (`EX_NOINPUT`).
+pub const EXIT_IO: u8 = 66;
+/// Exit code for a semantically invalid model (capacity overflow, bad ids).
+pub const EXIT_MODEL: u8 = 67;
+
+/// Maps an error's *kind* to the CLI's exit code, so scripts can branch on
+/// what failed without parsing stderr.
+pub fn exit_code_for(err: &QbpError) -> ExitCode {
+    ExitCode::from(match err {
+        QbpError::Usage(_) => EXIT_USAGE,
+        QbpError::Parse(_) => EXIT_PARSE,
+        QbpError::Io { .. } => EXIT_IO,
+        QbpError::Model(_) => EXIT_MODEL,
+        _ => 1,
+    })
+}
 
 /// Boolean flags (no value) understood by the CLI; pass to
 /// [`args::Args::parse`].

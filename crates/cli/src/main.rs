@@ -2,7 +2,7 @@
 //! the implementation; this binary only dispatches subcommands.
 
 use qbp_cli::args::Args;
-use qbp_cli::{commands, SWITCHES, USAGE};
+use qbp_cli::{commands, exit_code_for, EXIT_USAGE, SWITCHES, USAGE};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -11,11 +11,12 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let result = match args.positional(0) {
         Some("solve") => commands::solve(&args),
+        Some("eco") => commands::eco(&args),
         Some("check") => commands::check(&args),
         Some("feasible") => commands::feasible(&args),
         Some("gen") => commands::generate(&args),
@@ -26,14 +27,14 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match result {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            exit_code_for(&e)
         }
     }
 }

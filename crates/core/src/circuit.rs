@@ -257,6 +257,142 @@ impl Circuit {
         Ok(())
     }
 
+    /// Overwrites the connection `a[from][to] = weight` (an ECO edit entry
+    /// point: unlike [`Circuit::add_connection`] it *replaces* rather than
+    /// accumulates). A weight of 0 removes the record entirely — physically,
+    /// not by zeroing it — so the adjacency lists end up in exactly the state
+    /// a from-scratch construction of the edited circuit would produce.
+    /// Returns the previous weight.
+    ///
+    /// Replacement preserves the record's position in both adjacency lists;
+    /// removal closes the gap while keeping the relative order of the
+    /// remaining records.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::add_connection`].
+    pub fn set_connection(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        weight: Cost,
+    ) -> Result<Cost, Error> {
+        self.check_pair(from, to)?;
+        if weight < 0 {
+            return Err(Error::NegativeValue {
+                what: "connection weight",
+                value: weight,
+            });
+        }
+        let out = &mut self.out_edges[from.index()];
+        let pos = out.iter().position(|(k, _)| *k == to.0);
+        let previous = match pos {
+            Some(e) => {
+                let prev = out[e].1;
+                if weight == 0 {
+                    out.remove(e);
+                    self.directed_edge_count -= 1;
+                    let inc = &mut self.in_edges[to.index()];
+                    let ie = inc
+                        .iter()
+                        .position(|(k, _)| *k == from.0)
+                        .expect("in-edge mirror out of sync");
+                    inc.remove(ie);
+                } else {
+                    out[e].1 = weight;
+                    let inc = &mut self.in_edges[to.index()];
+                    let ie = inc
+                        .iter()
+                        .position(|(k, _)| *k == from.0)
+                        .expect("in-edge mirror out of sync");
+                    inc[ie].1 = weight;
+                }
+                prev
+            }
+            None => {
+                if weight > 0 {
+                    self.out_edges[from.index()].push((to.0, weight));
+                    self.in_edges[to.index()].push((from.0, weight));
+                    self.directed_edge_count += 1;
+                }
+                0
+            }
+        };
+        self.total_wire_weight += weight - previous;
+        Ok(previous)
+    }
+
+    /// Overwrites the connection in *both* directions
+    /// (`a[a][b] = a[b][a] = weight`), the symmetric counterpart of
+    /// [`Circuit::set_connection`]. Returns the previous weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::set_connection`].
+    pub fn set_wires(
+        &mut self,
+        a: ComponentId,
+        b: ComponentId,
+        weight: Cost,
+    ) -> Result<(Cost, Cost), Error> {
+        let ab = self.set_connection(a, b, weight)?;
+        let ba = self.set_connection(b, a, weight)?;
+        Ok((ab, ba))
+    }
+
+    /// Removes the connection `a[from][to]` (equivalent to setting it to 0).
+    /// Returns the removed weight (0 when the pair was not connected).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is out of range or `from == to`.
+    pub fn remove_connection(&mut self, from: ComponentId, to: ComponentId) -> Result<Cost, Error> {
+        self.set_connection(from, to, 0)
+    }
+
+    /// Detaches a component: removes every connection incident to `j` in
+    /// either direction, leaving `j` in place as an isolated component so
+    /// all other component ids stay stable (the ECO semantics of
+    /// "remove component"). Returns the number of directed records removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `j` is out of range.
+    pub fn detach_component(&mut self, j: ComponentId) -> Result<usize, Error> {
+        if j.index() >= self.components.len() {
+            return Err(Error::ComponentOutOfRange {
+                id: j,
+                len: self.components.len(),
+            });
+        }
+        let mut removed = 0;
+        let outs = std::mem::take(&mut self.out_edges[j.index()]);
+        for (k, w) in outs {
+            self.total_wire_weight -= w;
+            self.directed_edge_count -= 1;
+            removed += 1;
+            let inc = &mut self.in_edges[k as usize];
+            let e = inc
+                .iter()
+                .position(|(o, _)| *o == j.0)
+                .expect("in-edge mirror out of sync");
+            inc.remove(e);
+        }
+        let ins = std::mem::take(&mut self.in_edges[j.index()]);
+        for (k, w) in ins {
+            self.total_wire_weight -= w;
+            self.directed_edge_count -= 1;
+            removed += 1;
+            let out = &mut self.out_edges[k as usize];
+            let e = out
+                .iter()
+                .position(|(o, _)| *o == j.0)
+                .expect("out-edge mirror out of sync");
+            out.remove(e);
+        }
+        Ok(removed)
+    }
+
     /// The connection count `a[from][to]` (0 when absent or out of range).
     pub fn connection(&self, from: ComponentId, to: ComponentId) -> Cost {
         self.out_edges
@@ -415,6 +551,66 @@ mod tests {
     fn clique_with_duplicate_pin_is_self_loop_error() {
         let (mut c, a, b, _) = three();
         assert!(c.add_net_clique(&[a, b, a], 1).is_err());
+    }
+
+    #[test]
+    fn set_connection_replaces_removes_and_inserts() {
+        let (mut c, a, b, d) = three();
+        c.add_wires(a, b, 5).unwrap();
+        c.add_connection(a, d, 2).unwrap();
+        // Replace keeps position and fixes the aggregates.
+        assert_eq!(c.set_connection(a, b, 9).unwrap(), 5);
+        assert_eq!(c.connection(a, b), 9);
+        assert_eq!(c.total_wire_weight(), 9 + 5 + 2);
+        assert_eq!(c.directed_edge_count(), 3);
+        // Remove closes the record in both mirrors.
+        assert_eq!(c.set_connection(a, d, 0).unwrap(), 2);
+        assert_eq!(c.connection(a, d), 0);
+        assert_eq!(c.directed_edge_count(), 2);
+        assert_eq!(c.in_connections(d).count(), 0);
+        // Insert-on-set behaves like a fresh add.
+        assert_eq!(c.set_connection(d, b, 4).unwrap(), 0);
+        assert_eq!(c.connection(d, b), 4);
+        assert_eq!(c.total_wire_weight(), 9 + 5 + 4);
+        // Validation still applies.
+        assert!(c.set_connection(a, a, 1).is_err());
+        assert!(c.set_connection(a, b, -1).is_err());
+        // Removing an absent pair is a no-op returning 0.
+        assert_eq!(c.remove_connection(a, d).unwrap(), 0);
+    }
+
+    #[test]
+    fn set_matches_fresh_construction() {
+        // The edited circuit must be indistinguishable from one built
+        // directly in the edited state (the ECO bit-identity contract).
+        let (mut c, a, b, d) = three();
+        c.add_wires(a, b, 5).unwrap();
+        c.add_connection(b, d, 2).unwrap();
+        c.set_connection(a, b, 7).unwrap();
+        c.remove_connection(b, a).unwrap();
+        let (mut fresh, fa, fb, fd) = three();
+        fresh.add_connection(fa, fb, 7).unwrap();
+        fresh.add_connection(fb, fd, 2).unwrap();
+        assert_eq!(c, fresh);
+        assert_eq!(c.total_wire_weight(), fresh.total_wire_weight());
+        let _ = (a, d);
+    }
+
+    #[test]
+    fn detach_component_isolates_and_keeps_ids() {
+        let (mut c, a, b, d) = three();
+        c.add_wires(a, b, 5).unwrap();
+        c.add_wires(b, d, 2).unwrap();
+        c.add_connection(d, a, 3).unwrap();
+        let removed = c.detach_component(b).unwrap();
+        assert_eq!(removed, 4);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.connection(a, b), 0);
+        assert_eq!(c.connection(b, d), 0);
+        assert_eq!(c.connection(d, a), 3);
+        assert_eq!(c.total_wire_weight(), 3);
+        assert_eq!(c.directed_edge_count(), 1);
+        assert!(c.detach_component(ComponentId::new(9)).is_err());
     }
 
     #[test]

@@ -157,6 +157,158 @@ impl TimingConstraints {
         self.add(b, a, max_delay)
     }
 
+    /// Overwrites the constraint on `(j1, j2)` (an ECO edit entry point:
+    /// unlike [`TimingConstraints::add`] this may *loosen* an existing
+    /// bound). A `max_delay` of [`NO_CONSTRAINT`] removes the constraint —
+    /// physically, so the adjacency lists end up in exactly the state a
+    /// from-scratch construction of the edited set would produce. Returns
+    /// the previous bound, if any.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TimingConstraints::add`].
+    pub fn set(
+        &mut self,
+        j1: ComponentId,
+        j2: ComponentId,
+        max_delay: Delay,
+    ) -> Result<Option<Delay>, Error> {
+        for id in [j1, j2] {
+            if id.index() >= self.n {
+                return Err(Error::ComponentOutOfRange { id, len: self.n });
+            }
+        }
+        if j1 == j2 {
+            return Err(Error::SelfLoop(j1));
+        }
+        if max_delay < 0 {
+            return Err(Error::NegativeValue {
+                what: "timing constraint",
+                value: max_delay,
+            });
+        }
+        let out = &mut self.out[j1.index()];
+        let pos = out.iter().position(|(k, _)| *k == j2.0);
+        let previous = match pos {
+            Some(e) => {
+                let prev = out[e].1;
+                let inc = &mut self.inc[j2.index()];
+                let ie = inc
+                    .iter()
+                    .position(|(k, _)| *k == j1.0)
+                    .expect("in-constraint mirror out of sync");
+                if max_delay == NO_CONSTRAINT {
+                    self.out[j1.index()].remove(e);
+                    self.inc[j2.index()].remove(ie);
+                    self.count -= 1;
+                } else {
+                    self.out[j1.index()][e].1 = max_delay;
+                    self.inc[j2.index()][ie].1 = max_delay;
+                }
+                Some(prev)
+            }
+            None => {
+                if max_delay != NO_CONSTRAINT {
+                    self.out[j1.index()].push((j2.0, max_delay));
+                    self.inc[j2.index()].push((j1.0, max_delay));
+                    self.count += 1;
+                }
+                None
+            }
+        };
+        Ok(previous)
+    }
+
+    /// Removes the constraint on `(j1, j2)`, returning the removed bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either component is out of range or `j1 == j2`.
+    pub fn remove(&mut self, j1: ComponentId, j2: ComponentId) -> Result<Option<Delay>, Error> {
+        self.set(j1, j2, NO_CONSTRAINT)
+    }
+
+    /// Removes every constraint incident to `j` in either direction (the
+    /// timing side of detaching a component). Returns the number removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `j` is out of range.
+    pub fn detach(&mut self, j: ComponentId) -> Result<usize, Error> {
+        if j.index() >= self.n {
+            return Err(Error::ComponentOutOfRange { id: j, len: self.n });
+        }
+        let mut removed = 0;
+        let outs = std::mem::take(&mut self.out[j.index()]);
+        for (k, _) in outs {
+            removed += 1;
+            self.count -= 1;
+            let inc = &mut self.inc[k as usize];
+            let e = inc
+                .iter()
+                .position(|(o, _)| *o == j.0)
+                .expect("in-constraint mirror out of sync");
+            inc.remove(e);
+        }
+        let ins = std::mem::take(&mut self.inc[j.index()]);
+        for (k, _) in ins {
+            removed += 1;
+            self.count -= 1;
+            let out = &mut self.out[k as usize];
+            let e = out
+                .iter()
+                .position(|(o, _)| *o == j.0)
+                .expect("out-constraint mirror out of sync");
+            out.remove(e);
+        }
+        Ok(removed)
+    }
+
+    /// Grows the constraint set to cover `n` components (no-op when already
+    /// at least that large) — the timing side of appending a component.
+    pub fn grow(&mut self, n: usize) {
+        while self.n < n {
+            self.out.push(Vec::new());
+            self.inc.push(Vec::new());
+            self.n += 1;
+        }
+    }
+
+    /// Tightens every constraint by `delta` (clamping at 0): the global
+    /// "cycle time shrank" edit. Returns the number of constraints changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `delta` is negative.
+    pub fn tighten_all(&mut self, delta: Delay) -> Result<usize, Error> {
+        if delta < 0 {
+            return Err(Error::NegativeValue {
+                what: "cycle-time tightening delta",
+                value: delta,
+            });
+        }
+        if delta == 0 {
+            return Ok(0);
+        }
+        let mut changed = 0;
+        for row in self.out.iter_mut() {
+            for (_, dc) in row.iter_mut() {
+                if *dc > 0 {
+                    *dc = (*dc - delta).max(0);
+                    changed += 1;
+                }
+            }
+        }
+        for row in self.inc.iter_mut() {
+            for (_, dc) in row.iter_mut() {
+                if *dc > 0 {
+                    *dc = (*dc - delta).max(0);
+                }
+            }
+        }
+        Ok(changed)
+    }
+
     /// The constraint on the ordered pair `(j1, j2)`, if any.
     pub fn get(&self, j1: ComponentId, j2: ComponentId) -> Option<Delay> {
         self.out
@@ -272,6 +424,57 @@ mod tests {
         let mut into_b: Vec<_> = tc.constraints_into(b).collect();
         into_b.sort();
         assert_eq!(into_b, vec![(a, 1), (c, 2)]);
+    }
+
+    #[test]
+    fn set_overwrites_loosens_and_removes() {
+        let (a, b, _) = ids();
+        let mut tc = TimingConstraints::new(3);
+        assert_eq!(tc.set(a, b, 5).unwrap(), None);
+        assert_eq!(tc.get(a, b), Some(5));
+        // Loosening is allowed (unlike `add`).
+        assert_eq!(tc.set(a, b, 9).unwrap(), Some(5));
+        assert_eq!(tc.get(a, b), Some(9));
+        assert_eq!(tc.len(), 1);
+        // NO_CONSTRAINT removes.
+        assert_eq!(tc.set(a, b, NO_CONSTRAINT).unwrap(), Some(9));
+        assert!(tc.is_empty());
+        assert_eq!(tc.constraints_into(b).count(), 0);
+        assert_eq!(tc.remove(a, b).unwrap(), None);
+    }
+
+    #[test]
+    fn detach_and_grow() {
+        let (a, b, c) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, 1).unwrap();
+        tc.add(c, b, 2).unwrap();
+        tc.add(b, c, 3).unwrap();
+        assert_eq!(tc.detach(b).unwrap(), 3);
+        assert!(tc.is_empty());
+        assert_eq!(tc.constraints_from(c).count(), 0);
+        tc.grow(5);
+        assert_eq!(tc.component_count(), 5);
+        tc.add(ComponentId::new(4), a, 2).unwrap();
+        assert_eq!(tc.len(), 1);
+        tc.grow(2); // shrinking is a no-op
+        assert_eq!(tc.component_count(), 5);
+    }
+
+    #[test]
+    fn tighten_all_clamps_at_zero() {
+        let (a, b, c) = ids();
+        let mut tc = TimingConstraints::new(3);
+        tc.add(a, b, 5).unwrap();
+        tc.add(b, c, 1).unwrap();
+        assert_eq!(tc.tighten_all(2).unwrap(), 2);
+        assert_eq!(tc.get(a, b), Some(3));
+        assert_eq!(tc.get(b, c), Some(0));
+        // Already at 0: unchanged, not counted.
+        assert_eq!(tc.tighten_all(1).unwrap(), 1);
+        assert_eq!(tc.get(b, c), Some(0));
+        assert!(tc.tighten_all(-1).is_err());
+        assert_eq!(tc.tighten_all(0).unwrap(), 0);
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub enum Error {
     },
     /// A circuit with zero components was used where at least one is needed.
     EmptyCircuit,
+    /// A component name did not resolve to any component (fluent
+    /// [`ProblemBuilder`](crate::ProblemBuilder) construction, ECO edit
+    /// scripts).
+    UnknownComponentName(String),
     /// A solver that requires a feasible starting assignment (GFM, GKL) was
     /// given one that violates constraints.
     InfeasibleStart {
@@ -108,6 +112,9 @@ impl fmt::Display for Error {
                 write!(f, "{what} must be non-negative, got {value}")
             }
             Error::EmptyCircuit => write!(f, "circuit has no components"),
+            Error::UnknownComponentName(name) => {
+                write!(f, "unknown component name `{name}`")
+            }
             Error::InfeasibleStart {
                 capacity_violations,
                 timing_violations,
@@ -120,6 +127,79 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// The unified error of the `qbp` crates: everything that can go wrong
+/// between reading a problem description and validating a model, as one
+/// typed enum so callers (notably the CLI) can branch on the failure *kind*
+/// instead of string-matching messages.
+///
+/// Construction sites stay precise — model validation keeps returning
+/// [`Error`], the text parser [`crate::io::ParseError`] — and the `From`
+/// impls lift both into `QbpError` at API boundaries, along with I/O
+/// failures (captured as path + message so the error stays `Clone` and
+/// comparable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QbpError {
+    /// Semantic model validation failed (invalid circuit, capacity
+    /// overflow, unknown component/partition, ...).
+    Model(Error),
+    /// A `.qbp` text description failed to parse.
+    Parse(crate::io::ParseError),
+    /// Reading or writing a file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// The invocation itself was malformed (bad flag, missing argument,
+    /// unknown method or script directive).
+    Usage(String),
+}
+
+impl QbpError {
+    /// Wraps an [`std::io::Error`] with the path it occurred on.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        QbpError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for QbpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbpError::Model(e) => write!(f, "{e}"),
+            QbpError::Parse(e) => write!(f, "{e}"),
+            QbpError::Io { path, message } => write!(f, "{path}: {message}"),
+            QbpError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QbpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QbpError::Model(e) => Some(e),
+            QbpError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Error> for QbpError {
+    fn from(e: Error) -> Self {
+        QbpError::Model(e)
+    }
+}
+
+impl From<crate::io::ParseError> for QbpError {
+    fn from(e: crate::io::ParseError) -> Self {
+        QbpError::Parse(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -156,6 +236,7 @@ mod tests {
                 value: -1,
             },
             Error::EmptyCircuit,
+            Error::UnknownComponentName("ghost".into()),
         ];
         for e in errors {
             let s = e.to_string();
@@ -168,5 +249,25 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<Error>();
+        assert_bounds::<QbpError>();
+    }
+
+    #[test]
+    fn qbp_error_lifts_and_displays() {
+        let model: QbpError = Error::EmptyCircuit.into();
+        assert!(matches!(model, QbpError::Model(Error::EmptyCircuit)));
+        assert_eq!(model.to_string(), Error::EmptyCircuit.to_string());
+        let parse: QbpError = crate::io::ParseError::BadHeader.into();
+        assert!(matches!(parse, QbpError::Parse(_)));
+        let io = QbpError::io(
+            "missing.qbp",
+            &std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+        );
+        assert!(io.to_string().starts_with("missing.qbp: "));
+        let usage = QbpError::Usage("unknown method `frobnicate`".into());
+        assert!(usage.to_string().contains("frobnicate"));
+        use std::error::Error as _;
+        assert!(model.source().is_some());
+        assert!(io.source().is_none());
     }
 }

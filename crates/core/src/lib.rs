@@ -73,7 +73,7 @@ mod topology;
 pub use assignment::Assignment;
 pub use circuit::{Circuit, Component};
 pub use constraints::TimingConstraints;
-pub use error::Error;
+pub use error::{Error, QbpError};
 pub use feasibility::{
     check_feasibility, move_is_timing_feasible, swap_is_timing_feasible, CapacityViolation,
     FeasibilityReport, TimingViolation, UsageTracker,
@@ -83,7 +83,7 @@ pub use matrix::DenseMatrix;
 pub use objective::Evaluator;
 pub use problem::{deviation_cost_matrix, Problem, ProblemBuilder};
 pub use profile::{padded_partitions, PartitionProfile, SIMD_LANES};
-pub use qmatrix::{NestedEtaBaseline, QMatrix};
+pub use qmatrix::{NestedEtaBaseline, QBody, QMatrix};
 pub use topology::PartitionTopology;
 
 /// Cost values (wire cost, linear assignment cost, objective values).

@@ -121,6 +121,111 @@ impl Problem {
         })
     }
 
+    // ------------------------------------------------------------------
+    // Audited ECO mutation entry points.
+    //
+    // These are the only ways to change a `Problem` after construction;
+    // each preserves every invariant `ProblemBuilder::build` establishes
+    // (dimensional agreement, non-negative weights, total size within total
+    // capacity), so downstream incremental state (`QBody` patches,
+    // `PartitionProfile` patches) can trust the problem it re-derives rows
+    // from. Higher-level delta application lives in the `qbp-eco` crate.
+    // ------------------------------------------------------------------
+
+    /// Appends a new component, growing the timing-constraint dimension and
+    /// (when a linear cost `P` is present) appending a zero cost column.
+    /// Returns the new component's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityImpossible`] when the enlarged total size
+    /// exceeds the total capacity (the problem would have no feasible
+    /// assignment); the problem is left unchanged in that case.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        size: crate::Size,
+    ) -> Result<crate::ComponentId, Error> {
+        let total_size = self.circuit.total_size() + size;
+        let total_capacity = self.topology.total_capacity();
+        if total_size > total_capacity {
+            return Err(Error::CapacityImpossible {
+                total_size,
+                total_capacity,
+            });
+        }
+        let id = self.circuit.add_component(name, size);
+        self.timing.grow(self.circuit.len());
+        if let Some(p) = self.linear_cost.take() {
+            let m = p.rows();
+            let n = p.cols();
+            let grown = DenseMatrix::from_fn(m, n + 1, |i, j| if j < n { p[(i, j)] } else { 0 });
+            self.linear_cost = Some(grown);
+        }
+        Ok(id)
+    }
+
+    /// Overwrites the symmetric connection weight of a pair
+    /// (`a[a][b] = a[b][a] = weight`; 0 removes). Returns the previous
+    /// `(a→b, b→a)` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is out of range, `a == b`, or the
+    /// weight is negative.
+    pub fn set_pair_weight(
+        &mut self,
+        a: crate::ComponentId,
+        b: crate::ComponentId,
+        weight: Cost,
+    ) -> Result<(Cost, Cost), Error> {
+        self.circuit.set_wires(a, b, weight)
+    }
+
+    /// Overwrites the symmetric timing bound on a pair (`None` removes; a
+    /// bound of [`crate::NO_CONSTRAINT`] also removes). Returns the previous
+    /// `(a→b, b→a)` bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is out of range, `a == b`, or the bound
+    /// is negative.
+    pub fn set_timing_bound(
+        &mut self,
+        a: crate::ComponentId,
+        b: crate::ComponentId,
+        bound: Option<crate::Delay>,
+    ) -> Result<(Option<crate::Delay>, Option<crate::Delay>), Error> {
+        let limit = bound.unwrap_or(crate::NO_CONSTRAINT);
+        let ab = self.timing.set(a, b, limit)?;
+        let ba = self.timing.set(b, a, limit)?;
+        Ok((ab, ba))
+    }
+
+    /// Detaches a component: removes every connection and timing constraint
+    /// incident to it, leaving an isolated zero-degree component so ids stay
+    /// stable (the ECO semantics of "remove component"). Returns the number
+    /// of directed connection records and constraints removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `j` is out of range.
+    pub fn detach_component(&mut self, j: crate::ComponentId) -> Result<(usize, usize), Error> {
+        let edges = self.circuit.detach_component(j)?;
+        let constraints = self.timing.detach(j)?;
+        Ok((edges, constraints))
+    }
+
+    /// Tightens every timing bound by `delta` (clamping at 0): the global
+    /// "cycle time shrank" edit. Returns the number of constraints changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `delta` is negative.
+    pub fn tighten_cycle_time(&mut self, delta: crate::Delay) -> Result<usize, Error> {
+        self.timing.tighten_all(delta)
+    }
+
     /// Checks an assignment vector has the right length and in-range
     /// partitions for this problem.
     ///
@@ -169,6 +274,15 @@ pub struct ProblemBuilder {
     linear_cost: Option<DenseMatrix<Cost>>,
     alpha: Cost,
     beta: Cost,
+    /// Name-referenced fluent edits, resolved (and validated) at `build`.
+    pending: Vec<FluentOp>,
+}
+
+/// One deferred fluent-builder edit (names resolve at `build`).
+#[derive(Debug, Clone)]
+enum FluentOp {
+    Pair(String, String, Cost),
+    TimingBound(String, String, crate::Delay),
 }
 
 impl ProblemBuilder {
@@ -181,7 +295,71 @@ impl ProblemBuilder {
             linear_cost: None,
             alpha: 1,
             beta: 1,
+            pending: Vec::new(),
         }
+    }
+
+    /// Starts a *fluent* build over an empty circuit: declare components,
+    /// pairs and timing bounds by name and let `build` resolve and validate
+    /// everything, instead of hand-assembling a [`Circuit`] and
+    /// [`TimingConstraints`] first.
+    ///
+    /// ```
+    /// use qbp_core::{PartitionTopology, ProblemBuilder};
+    ///
+    /// # fn main() -> Result<(), qbp_core::Error> {
+    /// let problem = ProblemBuilder::on(PartitionTopology::grid(2, 2, 100)?)
+    ///     .component("alu", 40)
+    ///     .component("cache", 30)
+    ///     .pair("alu", "cache", 5)
+    ///     .timing_bound("alu", "cache", 1)
+    ///     .build()?;
+    /// assert_eq!(problem.n(), 2);
+    /// assert_eq!(problem.timing().len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn on(topology: PartitionTopology) -> Self {
+        ProblemBuilder::new(Circuit::new(), topology)
+    }
+
+    /// Fluent shorthand for [`ProblemBuilder::on`] with `m` identical
+    /// partitions of the given capacity in a row (zero inter-partition
+    /// structure beyond the 1×m grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `m` is 0 (an empty topology).
+    pub fn uniform(m: usize, capacity: crate::Size) -> Result<Self, Error> {
+        Ok(ProblemBuilder::on(PartitionTopology::grid(1, m, capacity)?))
+    }
+
+    /// Declares a component (fluent form of [`Circuit::add_component`]).
+    pub fn component(mut self, name: impl Into<String>, size: crate::Size) -> Self {
+        self.circuit.add_component(name, size);
+        self
+    }
+
+    /// Declares `weight` wires between two named components in both
+    /// directions (fluent form of [`Circuit::add_wires`]; resolved and
+    /// validated at `build`).
+    pub fn pair(mut self, a: impl Into<String>, b: impl Into<String>, weight: Cost) -> Self {
+        self.pending.push(FluentOp::Pair(a.into(), b.into(), weight));
+        self
+    }
+
+    /// Declares a symmetric timing bound between two named components
+    /// (fluent form of [`TimingConstraints::add_symmetric`]; resolved and
+    /// validated at `build`).
+    pub fn timing_bound(
+        mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        max_delay: crate::Delay,
+    ) -> Self {
+        self.pending
+            .push(FluentOp::TimingBound(a.into(), b.into(), max_delay));
+        self
     }
 
     /// Sets the timing constraints (default: none).
@@ -221,13 +399,37 @@ impl ProblemBuilder {
     /// Returns an error when the circuit is empty, dimensions disagree, the
     /// scale factors or any `P` entry are negative, or the total component
     /// size exceeds the total capacity (no assignment could satisfy C1).
-    pub fn build(self) -> Result<Problem, Error> {
+    pub fn build(mut self) -> Result<Problem, Error> {
         let n = self.circuit.len();
         let m = self.topology.len();
         if n == 0 {
             return Err(Error::EmptyCircuit);
         }
-        let timing = self.timing.unwrap_or_else(|| TimingConstraints::new(n));
+        let mut timing = self.timing.unwrap_or_else(|| TimingConstraints::new(n));
+        if !self.pending.is_empty() {
+            let names: std::collections::HashMap<String, crate::ComponentId> = self
+                .circuit
+                .iter()
+                .map(|(id, c)| (c.name().to_string(), id))
+                .collect();
+            let resolve = |name: &str| {
+                names
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| Error::UnknownComponentName(name.to_string()))
+            };
+            for op in std::mem::take(&mut self.pending) {
+                match op {
+                    FluentOp::Pair(a, b, w) => {
+                        self.circuit.add_wires(resolve(&a)?, resolve(&b)?, w)?;
+                    }
+                    FluentOp::TimingBound(a, b, dc) => {
+                        timing.add_symmetric(resolve(&a)?, resolve(&b)?, dc)?;
+                    }
+                }
+            }
+        }
+        let timing = timing;
         if timing.component_count() != n {
             return Err(Error::DimensionMismatch {
                 what: "timing constraints",
@@ -327,9 +529,16 @@ mod tests {
         c
     }
 
+    // Ported to the fluent constructor: same structure and assertions as the
+    // historical hand-assembled version, built by name instead.
     #[test]
     fn builder_defaults() {
-        let p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+        let p = ProblemBuilder::on(PartitionTopology::grid(2, 2, 100).unwrap())
+            .component("a", 10)
+            .component("b", 20)
+            .component("c", 15)
+            .pair("a", "b", 5)
+            .pair("b", "c", 2)
             .build()
             .unwrap();
         assert_eq!(p.m(), 4);
@@ -338,6 +547,11 @@ mod tests {
         assert!(p.linear_cost().is_none());
         assert_eq!(p.p(3, 2), 0);
         assert!(p.timing().is_empty());
+        // The fluent build is the same problem the hand-assembled path makes.
+        let hand = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(p, hand);
     }
 
     #[test]
@@ -347,11 +561,106 @@ mod tests {
         assert_eq!(r.unwrap_err(), Error::EmptyCircuit);
     }
 
+    // Ported to the fluent constructor (was hand-assembled via small_circuit).
     #[test]
     fn builder_rejects_capacity_impossible() {
-        let r = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 10).unwrap())
+        let r = ProblemBuilder::on(PartitionTopology::grid(2, 2, 10).unwrap())
+            .component("a", 10)
+            .component("b", 20)
+            .component("c", 15)
+            .pair("a", "b", 5)
             .build();
         assert!(matches!(r, Err(Error::CapacityImpossible { .. })));
+    }
+
+    #[test]
+    fn fluent_builder_resolves_names_and_bounds() {
+        let p = ProblemBuilder::uniform(3, 50)
+            .unwrap()
+            .component("x", 10)
+            .component("y", 20)
+            .pair("x", "y", 4)
+            .timing_bound("x", "y", 1)
+            .build()
+            .unwrap();
+        assert_eq!(p.m(), 3);
+        let (x, y) = (ComponentId::new(0), ComponentId::new(1));
+        assert_eq!(p.circuit().connection(x, y), 4);
+        assert_eq!(p.circuit().connection(y, x), 4);
+        assert_eq!(p.timing().get(x, y), Some(1));
+        assert_eq!(p.timing().get(y, x), Some(1));
+    }
+
+    #[test]
+    fn fluent_builder_rejects_unknown_names() {
+        let r = ProblemBuilder::uniform(2, 50)
+            .unwrap()
+            .component("x", 1)
+            .pair("x", "ghost", 1)
+            .build();
+        assert_eq!(r.unwrap_err(), Error::UnknownComponentName("ghost".into()));
+        let r = ProblemBuilder::uniform(2, 50)
+            .unwrap()
+            .component("x", 1)
+            .component("y", 1)
+            .timing_bound("phantom", "y", 2)
+            .build();
+        assert!(matches!(r, Err(Error::UnknownComponentName(_))));
+    }
+
+    #[test]
+    fn mutation_entry_points_preserve_invariants() {
+        let mut p = ProblemBuilder::new(small_circuit(), PartitionTopology::grid(2, 2, 100).unwrap())
+            .build()
+            .unwrap();
+        let (a, b) = (ComponentId::new(0), ComponentId::new(1));
+        // Pair weight overwrite, both directions.
+        assert_eq!(p.set_pair_weight(a, b, 9).unwrap(), (5, 5));
+        assert_eq!(p.circuit().connection(a, b), 9);
+        assert_eq!(p.circuit().connection(b, a), 9);
+        // Timing bound set / remove.
+        assert_eq!(p.set_timing_bound(a, b, Some(3)).unwrap(), (None, None));
+        assert_eq!(p.timing().len(), 2);
+        assert_eq!(
+            p.set_timing_bound(a, b, None).unwrap(),
+            (Some(3), Some(3))
+        );
+        assert!(p.timing().is_empty());
+        // Component append grows timing and respects capacity.
+        let id = p.add_component("late", 7).unwrap();
+        assert_eq!(id.index(), 3);
+        assert_eq!(p.n(), 4);
+        assert_eq!(p.timing().component_count(), 4);
+        assert!(matches!(
+            p.add_component("whale", 100_000),
+            Err(Error::CapacityImpossible { .. })
+        ));
+        assert_eq!(p.n(), 4, "failed add must leave the problem unchanged");
+        // Detach keeps ids stable.
+        let (edges, _) = p.detach_component(b).unwrap();
+        assert_eq!(edges, 4);
+        assert_eq!(p.n(), 4);
+        // Cycle-time tightening clamps at zero.
+        p.set_timing_bound(a, id, Some(2)).unwrap();
+        assert_eq!(p.tighten_cycle_time(1).unwrap(), 2);
+        assert_eq!(p.timing().get(a, id), Some(1));
+    }
+
+    #[test]
+    fn add_component_grows_linear_cost_with_zero_column() {
+        let c = small_circuit();
+        let topo = PartitionTopology::grid(2, 2, 100).unwrap();
+        let initial = Assignment::from_parts(vec![0, 3, 1]).unwrap();
+        let pmat = deviation_cost_matrix(&c, &topo, &initial).unwrap();
+        let mut p = ProblemBuilder::new(c, topo).linear_cost(pmat).build().unwrap();
+        p.add_component("late", 1).unwrap();
+        let lc = p.linear_cost().unwrap();
+        assert_eq!((lc.rows(), lc.cols()), (4, 4));
+        for i in 0..4 {
+            assert_eq!(p.p(i, 3), 0);
+        }
+        // Pre-existing entries survive untouched.
+        assert_eq!(p.p(3, 0), 10 * 2);
     }
 
     #[test]

@@ -48,7 +48,7 @@ struct Pair {
 /// each row so the pure-connection prefix is walked without touching
 /// `limit` at all. `split[j]` is the absolute index where row `j`'s
 /// timing-constrained suffix begins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Csr {
     /// Row start offsets, length `n + 1`.
     pub(crate) off: Vec<u32>,
@@ -89,6 +89,29 @@ impl Csr {
             csr.off.push(csr.other.len() as u32);
         }
         csr
+    }
+
+    /// Splices row `j` to hold exactly `row`, repacking the unconstrained
+    /// prefix / constrained suffix split and shifting all following offsets.
+    /// `O(row + n + tail records)` — the tail memmove is sequential and in
+    /// practice far cheaper than a full [`Csr::from_rows`] rebuild.
+    fn replace_row(&mut self, j: usize, row: &[Pair]) {
+        let (lo, _, hi) = self.bounds(j);
+        let uncon = row.iter().filter(|p| p.limit == NO_CONSTRAINT);
+        let con = row.iter().filter(|p| p.limit != NO_CONSTRAINT);
+        let ordered: Vec<&Pair> = uncon.chain(con).collect();
+        let n_uncon = row.iter().filter(|p| p.limit == NO_CONSTRAINT).count();
+        self.other.splice(lo..hi, ordered.iter().map(|p| p.other));
+        self.weight.splice(lo..hi, ordered.iter().map(|p| p.weight));
+        self.limit.splice(lo..hi, ordered.iter().map(|p| p.limit));
+        let delta = row.len() as i64 - (hi - lo) as i64;
+        self.split[j] = (lo + n_uncon) as u32;
+        for s in &mut self.split[j + 1..] {
+            *s = (*s as i64 + delta) as u32;
+        }
+        for o in &mut self.off[j + 1..] {
+            *o = (*o as i64 + delta) as u32;
+        }
     }
 
     #[inline]
@@ -158,7 +181,7 @@ const MAX_LIMIT_CLASSES: usize = 256;
 /// *and* their wire costs `b[p][i]`, flat and contiguous — and shared by
 /// every record of the class: the η kernel then touches
 /// `min(|viol|, |sat|)` entries per cell with a sequential patch-table scan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct TimingClasses {
     m: usize,
     /// Sorted distinct limits, at most [`MAX_LIMIT_CLASSES`] of them.
@@ -251,61 +274,34 @@ impl TimingClasses {
     }
 }
 
-/// The implicit `Q̂` matrix: the paper's timing-embedded quadratic cost.
+/// The owned, problem-detached payload of a [`QMatrix`]: the penalty, both
+/// CSR adjacencies (out / in), and the precomputed timing-class patch tables.
 ///
-/// ```
-/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints,
-///                QMatrix, Assignment, Evaluator};
+/// [`QMatrix`] borrows its `Problem`; a body owns no borrow, so callers that
+/// *mutate* the problem between solves (the ECO session in `qbp-eco`) hold a
+/// `QBody` across edits, patch it in place with [`QBody::patch_rows`], and
+/// re-wrap it with [`QMatrix::from_body`] when they need the kernels.
 ///
-/// # fn main() -> Result<(), qbp_core::Error> {
-/// let mut circuit = Circuit::new();
-/// let a = circuit.add_component("a", 1);
-/// let b = circuit.add_component("b", 1);
-/// circuit.add_wires(a, b, 5)?;
-/// let mut tc = TimingConstraints::new(2);
-/// tc.add_symmetric(a, b, 1)?;
-/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 10)?)
-///     .timing(tc)
-///     .build()?;
-///
-/// let q = QMatrix::new(&problem, 50)?;
-/// // A timing-feasible assignment: yᵀQ̂y equals the plain objective (Lemma 1).
-/// let ok = Assignment::from_parts(vec![0, 1])?;
-/// assert_eq!(q.value(&ok), Evaluator::new(&problem).cost(&ok));
-/// // A violating assignment pays the penalty on both directed entries.
-/// let bad = Assignment::from_parts(vec![0, 3])?;
-/// assert_eq!(q.value(&bad), 100);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone)]
-pub struct QMatrix<'a> {
-    problem: &'a Problem,
+/// Equality is bit-exact structural equality of every internal table, which
+/// is how the ECO tests assert "patched state == from-scratch construction".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QBody {
     penalty: Cost,
     out: Csr,
     inc: Csr,
     classes: TimingClasses,
-    /// Limit class per in-CSR record (parallel array; [`NO_CLASS`] across
-    /// each row's unconstrained prefix and for overflow limits).
     in_class: Vec<u16>,
-    /// Whether any *constrained* record overflowed the limit-class tables
-    /// (lets [`QMatrix::eta_profiled`] skip the per-record overflow walk
-    /// entirely in the common no-overflow case).
     has_overflow: bool,
 }
 
-impl<'a> QMatrix<'a> {
-    /// Builds the implicit `Q̂` for `problem` with the given timing-violation
-    /// penalty.
+impl QBody {
+    /// Builds the body for `problem` with the given timing-violation
+    /// penalty — exactly what [`QMatrix::new`] constructs internally.
     ///
     /// # Errors
     ///
-    /// Returns an error if `penalty` is not positive. (A penalty of at least
-    /// [`QMatrix::theorem1_penalty`] makes the embedding *unconditionally*
-    /// exact; smaller positive values — like the paper's 50 — are justified
-    /// a posteriori by Theorem 2 whenever the minimizer found is
-    /// timing-feasible.)
-    pub fn new(problem: &'a Problem, penalty: Cost) -> Result<Self, Error> {
+    /// Returns an error if `penalty` is not positive.
+    pub fn build(problem: &Problem, penalty: Cost) -> Result<Self, Error> {
         if penalty <= 0 {
             return Err(Error::NegativeValue {
                 what: "timing penalty",
@@ -329,8 +325,7 @@ impl<'a> QMatrix<'a> {
             .collect();
         let has_overflow =
             (0..problem.n()).any(|j| inc.constrained(j).any(|(e, ..)| in_class[e] == NO_CLASS));
-        Ok(QMatrix {
-            problem,
+        Ok(QBody {
             penalty,
             out,
             inc,
@@ -382,14 +377,249 @@ impl<'a> QMatrix<'a> {
         (out_pairs, in_pairs)
     }
 
+    /// The out row of component `j` exactly as a fresh [`QBody::build`]
+    /// would store it: connection records in the circuit's stored order,
+    /// then constraint-only partners in the timing table's stored order.
+    fn out_row(problem: &Problem, j: usize) -> Vec<Pair> {
+        let id = ComponentId::new(j);
+        let mut row: Vec<Pair> = problem
+            .circuit()
+            .out_connections(id)
+            .map(|(k, w)| Pair {
+                other: k.index() as u32,
+                weight: w,
+                limit: NO_CONSTRAINT,
+            })
+            .collect();
+        for (k, limit) in problem.timing().constraints_from(id) {
+            match row.iter_mut().find(|p| p.other == k.index() as u32) {
+                Some(p) => p.limit = p.limit.min(limit),
+                None => row.push(Pair {
+                    other: k.index() as u32,
+                    weight: 0,
+                    limit,
+                }),
+            }
+        }
+        row
+    }
+
+    /// The in row of component `j` exactly as a fresh [`QBody::build`]
+    /// would store it. A fresh build emits in-records in ascending *source*
+    /// order (it iterates `edges()` / `timing().iter()` source-major, and
+    /// each source contributes at most one record per target), so the local
+    /// recompute sorts both contribution lists by source — the circuit's
+    /// stored `in_edges` order is chronological and must NOT be used as-is.
+    fn in_row(problem: &Problem, j: usize) -> Vec<Pair> {
+        let id = ComponentId::new(j);
+        let mut row: Vec<Pair> = problem
+            .circuit()
+            .in_connections(id)
+            .map(|(k, w)| Pair {
+                other: k.index() as u32,
+                weight: w,
+                limit: NO_CONSTRAINT,
+            })
+            .collect();
+        row.sort_unstable_by_key(|p| p.other);
+        let mut cons: Vec<(u32, Delay)> = problem
+            .timing()
+            .constraints_into(id)
+            .map(|(k, l)| (k.index() as u32, l))
+            .collect();
+        cons.sort_unstable_by_key(|&(k, _)| k);
+        for (k, limit) in cons {
+            match row.iter_mut().find(|p| p.other == k) {
+                Some(p) => p.limit = p.limit.min(limit),
+                None => row.push(Pair {
+                    other: k,
+                    weight: 0,
+                    limit,
+                }),
+            }
+        }
+        row
+    }
+
+    /// Re-derives the out and in rows of every component in `touched` from
+    /// the (already mutated) `problem`, splicing them into the CSR tables in
+    /// place, then refreshes the timing-class tables if the distinct-limit
+    /// set changed. Returns the number of CSR rows spliced (two per touched
+    /// component).
+    ///
+    /// Cost is `O(touched·deg + tail-memmove)` per row plus an `O(T)`
+    /// distinct-limit scan — far below a full rebuild for small deltas. The
+    /// result is **bit-identical** to `QBody::build` on the mutated problem
+    /// (property-tested), so callers may mix patching and rebuilding freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component count changed since this body was built (use
+    /// [`QBody::build`] for dimension changes) or an index is out of range.
+    pub fn patch_rows(&mut self, problem: &Problem, touched: &[usize]) -> usize {
+        assert_eq!(
+            self.out.split.len(),
+            problem.n(),
+            "component count changed; rebuild the body instead of patching"
+        );
+        let mut rows: Vec<usize> = touched.to_vec();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut patched = 0;
+        for &j in &rows {
+            let out_row = Self::out_row(problem, j);
+            self.out.replace_row(j, &out_row);
+            let in_row = Self::in_row(problem, j);
+            let (lo, _, hi) = self.inc.bounds(j);
+            self.inc.replace_row(j, &in_row);
+            let (nlo, _, nhi) = self.inc.bounds(j);
+            let new_classes: Vec<u16> = (nlo..nhi)
+                .map(|e| {
+                    let l = self.inc.limit[e];
+                    if l == NO_CONSTRAINT {
+                        NO_CLASS
+                    } else {
+                        self.classes.class_of(l)
+                    }
+                })
+                .collect();
+            self.in_class.splice(lo..hi, new_classes);
+            patched += 2;
+        }
+        // The class tables depend only on (topology, distinct limit set);
+        // rebuild them — and remap every record's class — only when the set
+        // actually changed.
+        let mut limits: Vec<Delay> = self
+            .out
+            .limit
+            .iter()
+            .copied()
+            .filter(|&l| l != NO_CONSTRAINT)
+            .collect();
+        limits.sort_unstable();
+        limits.dedup();
+        limits.truncate(MAX_LIMIT_CLASSES);
+        if limits != self.classes.limits {
+            self.classes = TimingClasses::build(problem, &self.out);
+            self.in_class = self
+                .inc
+                .limit
+                .iter()
+                .map(|&l| {
+                    if l == NO_CONSTRAINT {
+                        NO_CLASS
+                    } else {
+                        self.classes.class_of(l)
+                    }
+                })
+                .collect();
+        }
+        self.has_overflow = self.classes.class_count() == MAX_LIMIT_CLASSES
+            && self
+                .inc
+                .limit
+                .iter()
+                .zip(&self.in_class)
+                .any(|(&l, &c)| l != NO_CONSTRAINT && c == NO_CLASS);
+        patched
+    }
+
+    /// The penalty this body embeds timing violations with.
+    pub fn penalty(&self) -> Cost {
+        self.penalty
+    }
+
+    /// Number of component rows (the `N` the body was built for).
+    pub fn rows(&self) -> usize {
+        self.out.split.len()
+    }
+}
+
+/// The implicit `Q̂` matrix: the paper's timing-embedded quadratic cost.
+///
+/// ```
+/// use qbp_core::{Circuit, PartitionTopology, ProblemBuilder, TimingConstraints,
+///                QMatrix, Assignment, Evaluator};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let mut circuit = Circuit::new();
+/// let a = circuit.add_component("a", 1);
+/// let b = circuit.add_component("b", 1);
+/// circuit.add_wires(a, b, 5)?;
+/// let mut tc = TimingConstraints::new(2);
+/// tc.add_symmetric(a, b, 1)?;
+/// let problem = ProblemBuilder::new(circuit, PartitionTopology::grid(2, 2, 10)?)
+///     .timing(tc)
+///     .build()?;
+///
+/// let q = QMatrix::new(&problem, 50)?;
+/// // A timing-feasible assignment: yᵀQ̂y equals the plain objective (Lemma 1).
+/// let ok = Assignment::from_parts(vec![0, 1])?;
+/// assert_eq!(q.value(&ok), Evaluator::new(&problem).cost(&ok));
+/// // A violating assignment pays the penalty on both directed entries.
+/// let bad = Assignment::from_parts(vec![0, 3])?;
+/// assert_eq!(q.value(&bad), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QMatrix<'a> {
+    problem: &'a Problem,
+    body: QBody,
+}
+
+impl<'a> QMatrix<'a> {
+    /// Builds the implicit `Q̂` for `problem` with the given timing-violation
+    /// penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `penalty` is not positive. (A penalty of at least
+    /// [`QMatrix::theorem1_penalty`] makes the embedding *unconditionally*
+    /// exact; smaller positive values — like the paper's 50 — are justified
+    /// a posteriori by Theorem 2 whenever the minimizer found is
+    /// timing-feasible.)
+    pub fn new(problem: &'a Problem, penalty: Cost) -> Result<Self, Error> {
+        Ok(QMatrix {
+            problem,
+            body: QBody::build(problem, penalty)?,
+        })
+    }
+
+    /// Wraps a prebuilt (possibly patched) [`QBody`] so the kernels can run
+    /// against it. The ECO session uses this to re-materialize the matrix
+    /// after mutating the problem and patching the body in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body's row count does not match `problem.n()`.
+    pub fn from_body(problem: &'a Problem, body: QBody) -> Self {
+        assert_eq!(
+            body.rows(),
+            problem.n(),
+            "QBody row count does not match the problem"
+        );
+        QMatrix { problem, body }
+    }
+
+    /// Releases the owned body, dropping the problem borrow.
+    pub fn into_body(self) -> QBody {
+        self.body
+    }
+
+    /// The owned payload backing this matrix.
+    pub fn body(&self) -> &QBody {
+        &self.body
+    }
+
     /// The flattened out-pair adjacency (`j → partner` records).
     pub(crate) fn out_csr(&self) -> &Csr {
-        &self.out
+        &self.body.out
     }
 
     /// The precomputed per-(limit class, partition) violation tables.
     pub(crate) fn timing_classes(&self) -> &TimingClasses {
-        &self.classes
+        &self.body.classes
     }
 
     /// Builds `Q̂` with an automatically chosen penalty: strictly larger than
@@ -447,7 +677,7 @@ impl<'a> QMatrix<'a> {
 
     /// The penalty in force.
     pub fn penalty(&self) -> Cost {
-        self.penalty
+        self.body.penalty
     }
 
     /// The underlying problem.
@@ -479,7 +709,7 @@ impl<'a> QMatrix<'a> {
         let (i1, j1) = r1.parts(m);
         let (i2, j2) = r2.parts(m);
         if self.violates(i1, j1, i2, j2) {
-            return self.penalty;
+            return self.body.penalty;
         }
         let base = self.problem.beta()
             * self.problem.circuit().connection(j1, j2)
@@ -506,11 +736,11 @@ impl<'a> QMatrix<'a> {
                 let r = i + j * m;
                 q[(r, r)] = self.problem.alpha() * self.problem.p(i, j);
             }
-            for (k, w, limit) in self.out.all(j) {
+            for (k, w, limit) in self.body.out.all(j) {
                 for i1 in 0..m {
                     for i2 in 0..m {
                         let entry = if limit != NO_CONSTRAINT && d[(i1, i2)] > limit {
-                            self.penalty
+                            self.body.penalty
                         } else {
                             self.problem.beta() * w * b[(i1, i2)]
                         };
@@ -547,14 +777,14 @@ impl<'a> QMatrix<'a> {
             let ij = assignment.part_index(j);
             total += alpha * self.problem.p(ij, j);
             let brow = b.row(ij);
-            for (k, w) in self.out.unconstrained(j) {
+            for (k, w) in self.body.out.unconstrained(j) {
                 total += beta * w * brow[assignment.part_index(k)];
             }
             let drow = d.row(ij);
-            for (_, k, w, limit) in self.out.constrained(j) {
+            for (_, k, w, limit) in self.body.out.constrained(j) {
                 let ik = assignment.part_index(k);
                 if drow[ik] > limit {
-                    total += self.penalty;
+                    total += self.body.penalty;
                 } else {
                     total += beta * w * brow[ik];
                 }
@@ -589,16 +819,16 @@ impl<'a> QMatrix<'a> {
         // Entry value for the ordered pair (row partition, col partition).
         let entry = |w: Cost, limit: Delay, i_row: usize, i_col: usize| -> Cost {
             if limit != NO_CONSTRAINT && d[(i_row, i_col)] > limit {
-                self.penalty
+                self.body.penalty
             } else {
                 beta * w * b[(i_row, i_col)]
             }
         };
-        for (k, w, limit) in self.out.all(j.index()) {
+        for (k, w, limit) in self.body.out.all(j.index()) {
             let ik = assignment.part_index(k);
             delta += entry(w, limit, to_i, ik) - entry(w, limit, from, ik);
         }
-        for (k, w, limit) in self.inc.all(j.index()) {
+        for (k, w, limit) in self.body.inc.all(j.index()) {
             let ik = assignment.part_index(k);
             delta += entry(w, limit, ik, to_i) - entry(w, limit, ik, from);
         }
@@ -628,7 +858,7 @@ impl<'a> QMatrix<'a> {
         let beta = self.problem.beta();
         let entry = |w: Cost, limit: Delay, i_row: usize, i_col: usize| -> Cost {
             if limit != NO_CONSTRAINT && d[(i_row, i_col)] > limit {
-                self.penalty
+                self.body.penalty
             } else {
                 beta * w * b[(i_row, i_col)]
             }
@@ -638,7 +868,7 @@ impl<'a> QMatrix<'a> {
                 + self.problem.p(i1, j2.index())
                 - self.problem.p(i2, j2.index()));
         // Pairs incident to j1 (the j1–j2 pairs handled separately below).
-        for (k, w, limit) in self.out.all(j1.index()) {
+        for (k, w, limit) in self.body.out.all(j1.index()) {
             if k == j2.index() {
                 delta += entry(w, limit, i2, i1) - entry(w, limit, i1, i2);
                 continue;
@@ -646,14 +876,14 @@ impl<'a> QMatrix<'a> {
             let ik = assignment.part_index(k);
             delta += entry(w, limit, i2, ik) - entry(w, limit, i1, ik);
         }
-        for (k, w, limit) in self.inc.all(j1.index()) {
+        for (k, w, limit) in self.body.inc.all(j1.index()) {
             if k == j2.index() {
                 continue; // mirrored by j2's out record below
             }
             let ik = assignment.part_index(k);
             delta += entry(w, limit, ik, i2) - entry(w, limit, ik, i1);
         }
-        for (k, w, limit) in self.out.all(j2.index()) {
+        for (k, w, limit) in self.body.out.all(j2.index()) {
             if k == j1.index() {
                 delta += entry(w, limit, i1, i2) - entry(w, limit, i2, i1);
                 continue;
@@ -661,7 +891,7 @@ impl<'a> QMatrix<'a> {
             let ik = assignment.part_index(k);
             delta += entry(w, limit, i1, ik) - entry(w, limit, i2, ik);
         }
-        for (k, w, limit) in self.inc.all(j2.index()) {
+        for (k, w, limit) in self.body.inc.all(j2.index()) {
             if k == j1.index() {
                 continue;
             }
@@ -716,21 +946,21 @@ impl<'a> QMatrix<'a> {
             let slot = &mut out[j * m..(j + 1) * m];
             // Pure connections first (the CSR prefix): β·w·b[ik][i] for
             // every candidate i, no limit checks.
-            for (k, w) in self.inc.unconstrained(j) {
+            for (k, w) in self.body.inc.unconstrained(j) {
                 let coeff = beta * w;
                 let brow = b.row(assignment.part_index(k));
                 for (i, v) in slot.iter_mut().enumerate() {
                     *v += coeff * brow[i];
                 }
             }
-            for (_, k, w, limit) in self.inc.constrained(j) {
+            for (_, k, w, limit) in self.body.inc.constrained(j) {
                 let ik = assignment.part_index(k);
                 let coeff = beta * w;
                 let brow = b.row(ik);
                 let drow = d.row(ik);
                 for (i, v) in slot.iter_mut().enumerate() {
                     *v += if drow[i] > limit {
-                        self.penalty
+                        self.body.penalty
                     } else {
                         coeff * brow[i]
                     };
@@ -789,7 +1019,7 @@ impl<'a> QMatrix<'a> {
         for &k in &moved {
             let from = prev.part_index(k);
             let to = next.part_index(k);
-            for (j, w) in self.out.unconstrained(k) {
+            for (j, w) in self.body.out.unconstrained(k) {
                 let slot = &mut eta[j * m..(j + 1) * m];
                 let coeff = beta * w;
                 let b_old = b.row(from);
@@ -798,19 +1028,19 @@ impl<'a> QMatrix<'a> {
                     *v += coeff * (b_new[i] - b_old[i]);
                 }
             }
-            for (_, j, w, limit) in self.out.constrained(k) {
+            for (_, j, w, limit) in self.body.out.constrained(k) {
                 let slot = &mut eta[j * m..(j + 1) * m];
                 let coeff = beta * w;
                 let (b_old, d_old) = (b.row(from), d.row(from));
                 let (b_new, d_new) = (b.row(to), d.row(to));
                 for (i, v) in slot.iter_mut().enumerate() {
                     let old = if d_old[i] > limit {
-                        self.penalty
+                        self.body.penalty
                     } else {
                         coeff * b_old[i]
                     };
                     let new = if d_new[i] > limit {
-                        self.penalty
+                        self.body.penalty
                     } else {
                         coeff * b_new[i]
                     };
@@ -920,18 +1150,18 @@ impl<'a> QMatrix<'a> {
             crate::profile::add_rows(slot, fix);
             pen_all += pen;
         }
-        if self.has_overflow {
+        if self.body.has_overflow {
             // Overflow classes: never folded, never cell-tallied; walk
             // them explicitly like the plain kernel.
-            for (e, k, w, limit) in self.inc.constrained(j) {
-                if self.in_class[e] != NO_CLASS {
+            for (e, k, w, limit) in self.body.inc.constrained(j) {
+                if self.body.in_class[e] != NO_CLASS {
                     continue;
                 }
                 let p = assignment.part_index(k);
                 let coeff = beta * w;
                 let drow = d.row(p);
                 for ((v, &bv), &dv) in slot.iter_mut().zip(b.row(p)).zip(drow) {
-                    *v += if dv > limit { self.penalty } else { coeff * bv };
+                    *v += if dv > limit { self.body.penalty } else { coeff * bv };
                 }
             }
         }
@@ -948,7 +1178,7 @@ impl<'a> QMatrix<'a> {
     /// Snapshots the merged pair lists in the historical nested
     /// `Vec<Vec<_>>` layout for [`NestedEtaBaseline`].
     pub fn nested_eta_baseline(&self) -> NestedEtaBaseline {
-        let (_, in_rows) = Self::merged_rows(self.problem);
+        let (_, in_rows) = QBody::merged_rows(self.problem);
         NestedEtaBaseline { in_pairs: in_rows }
     }
 
@@ -993,13 +1223,13 @@ impl<'a> QMatrix<'a> {
             for (i, v) in slot.iter_mut().enumerate() {
                 *v = alpha * self.problem.p(i, j);
             }
-            for (_, w) in self.out.unconstrained(j) {
+            for (_, w) in self.body.out.unconstrained(j) {
                 let coeff = beta * w;
                 for (i, v) in slot.iter_mut().enumerate() {
                     *v += coeff * max_b_row[i];
                 }
             }
-            for (_, _, w, limit) in self.out.constrained(j) {
+            for (_, _, w, limit) in self.body.out.constrained(j) {
                 let coeff = beta * w;
                 for (i, v) in slot.iter_mut().enumerate() {
                     let mut best = Cost::MIN;
@@ -1007,7 +1237,7 @@ impl<'a> QMatrix<'a> {
                     let drow = d.row(i);
                     for i2 in 0..m {
                         let e = if drow[i2] > limit {
-                            self.penalty
+                            self.body.penalty
                         } else {
                             coeff * brow[i2]
                         };
@@ -1337,6 +1567,40 @@ mod tests {
     }
 
     #[test]
+    fn patch_rows_delete_then_readd_pair() {
+        let mut problem = paper_problem();
+        let mut body = QBody::build(&problem, PAPER_PENALTY).unwrap();
+        let (a, b) = (ComponentId::new(0), ComponentId::new(1));
+        // Delete the connection (constraint-only record remains), re-add it,
+        // then delete and re-add the timing bound: every intermediate body
+        // must be bit-identical to a from-scratch build on the edited state.
+        problem.set_pair_weight(a, b, 0).unwrap();
+        body.patch_rows(&problem, &[0, 1]);
+        assert_eq!(body, QBody::build(&problem, PAPER_PENALTY).unwrap());
+        problem.set_pair_weight(a, b, 5).unwrap();
+        body.patch_rows(&problem, &[0, 1]);
+        assert_eq!(body, QBody::build(&problem, PAPER_PENALTY).unwrap());
+        problem.set_timing_bound(a, b, None).unwrap();
+        body.patch_rows(&problem, &[0, 1]);
+        assert_eq!(body, QBody::build(&problem, PAPER_PENALTY).unwrap());
+        problem.set_timing_bound(a, b, Some(1)).unwrap();
+        body.patch_rows(&problem, &[0, 1]);
+        assert_eq!(body, QBody::build(&problem, PAPER_PENALTY).unwrap());
+    }
+
+    #[test]
+    fn body_roundtrips_through_matrix() {
+        let problem = paper_problem();
+        let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();
+        let dense = q.dense();
+        let body = q.into_body();
+        assert_eq!(body.penalty(), PAPER_PENALTY);
+        assert_eq!(body.rows(), problem.n());
+        let q2 = QMatrix::from_body(&problem, body);
+        assert_eq!(q2.dense(), dense);
+    }
+
+    #[test]
     fn nonpositive_penalty_rejected() {
         let problem = paper_problem();
         assert!(QMatrix::new(&problem, 0).is_err());
@@ -1457,7 +1721,103 @@ mod proptests {
         })
     }
 
+    /// An instance plus a netlist-edit script: each edit is
+    /// `(op, a, b, v)` with op 0 = set pair weight (`v % 5`, 0 deletes),
+    /// 1 = set/remove timing bound, 2 = detach component `a`, 3 = tighten
+    /// every bound (touches all rows — the patch-vs-rebuild threshold
+    /// crossing case). Deletions followed by re-adds of the same pair arise
+    /// naturally from repeated op-0/op-1 entries on the same `(a, b)`.
+    fn arb_edit_script(
+    ) -> impl Strategy<Value = (Problem, Vec<u32>, Vec<(usize, usize, usize, i64)>)> {
+        (3usize..8).prop_flat_map(|n| {
+            let m = 4usize;
+            let edges = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 1i64..5),
+                0..15,
+            );
+            let cons = proptest::collection::vec(
+                ((0..n, 0..n).prop_filter("no self", |(a, b)| a != b), 0i64..3),
+                0..10,
+            );
+            let parts = proptest::collection::vec(0u32..m as u32, n);
+            let edits = proptest::collection::vec((0usize..4, 0..n, 0..n, 0i64..6), 1..14);
+            (Just(n), edges, cons, parts, edits).prop_map(|(n, edges, cons, parts, edits)| {
+                let mut circuit = Circuit::new();
+                for j in 0..n {
+                    circuit.add_component(format!("c{j}"), 1);
+                }
+                for ((a, b), w) in edges {
+                    circuit
+                        .add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                        .unwrap();
+                }
+                let mut tc = TimingConstraints::new(n);
+                for ((a, b), dc) in cons {
+                    tc.add(ComponentId::new(a), ComponentId::new(b), dc).unwrap();
+                }
+                let topo = PartitionTopology::grid(2, 2, 1000).unwrap();
+                let problem = ProblemBuilder::new(circuit, topo).timing(tc).build().unwrap();
+                (problem, parts, edits)
+            })
+        })
+    }
+
     proptest! {
+        // The ECO bit-identity invariant: after every netlist edit, the
+        // row-patched `QBody` and the structure-patched embedded
+        // `PartitionProfile` must equal their from-scratch counterparts
+        // built on the edited problem, bit for bit.
+        #[test]
+        fn patched_body_and_profile_match_fresh(
+            (mut problem, parts, edits) in arb_edit_script()
+        ) {
+            let asg = Assignment::from_parts(parts).unwrap();
+            let mut body = QBody::build(&problem, PAPER_PENALTY).unwrap();
+            let mut profile = {
+                let q = QMatrix::from_body(&problem, body.clone());
+                crate::PartitionProfile::embedded(&q, &asg)
+            };
+            for (op, a, b, v) in edits {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (ComponentId::new(a), ComponentId::new(b));
+                let touched: Vec<usize> = match op {
+                    0 => {
+                        problem.set_pair_weight(ca, cb, v % 5).unwrap();
+                        vec![a, b]
+                    }
+                    1 => {
+                        let bound = if v % 4 == 3 { None } else { Some(v % 4) };
+                        problem.set_timing_bound(ca, cb, bound).unwrap();
+                        vec![a, b]
+                    }
+                    2 => {
+                        // Capture partners before the detach empties them.
+                        let t: Vec<usize> = std::iter::once(a)
+                            .chain(problem.circuit().out_connections(ca).map(|(k, _)| k.index()))
+                            .chain(problem.circuit().in_connections(ca).map(|(k, _)| k.index()))
+                            .chain(problem.timing().constraints_from(ca).map(|(k, _)| k.index()))
+                            .chain(problem.timing().constraints_into(ca).map(|(k, _)| k.index()))
+                            .collect();
+                        problem.detach_component(ca).unwrap();
+                        t
+                    }
+                    _ => {
+                        problem.tighten_cycle_time(v % 2).unwrap();
+                        (0..problem.n()).collect()
+                    }
+                };
+                body.patch_rows(&problem, &touched);
+                let fresh = QBody::build(&problem, PAPER_PENALTY).unwrap();
+                prop_assert_eq!(&body, &fresh, "body diverged after op {}", op);
+                let q = QMatrix::from_body(&problem, body.clone());
+                profile.patch_structure(&q, &asg, &touched);
+                let fresh_profile = crate::PartitionProfile::embedded(&q, &asg);
+                prop_assert_eq!(&profile, &fresh_profile, "profile diverged after op {}", op);
+            }
+        }
+
         #[test]
         fn eta_update_matches_fresh_eta((problem, parts, moves) in arb_move_sequence()) {
             let q = QMatrix::new(&problem, PAPER_PENALTY).unwrap();

@@ -1,0 +1,447 @@
+//! Typed netlist deltas: the edit-op taxonomy of ECO mode.
+//!
+//! A [`NetlistDelta`] is an ordered batch of [`EditOp`]s that is validated as
+//! a whole ([`NetlistDelta::validate`]) and canonicalized
+//! ([`NetlistDelta::canonicalize`]) before an
+//! [`EcoSession`](crate::EcoSession) applies it. Validation simulates the
+//! batch read-only, so a validated delta applies infallibly; canonicalization
+//! folds redundant edits of the same pair so the patch cost tracks the
+//! number of *distinct* rows touched, not the raw edit count.
+
+use qbp_core::{ComponentId, Cost, Delay, Error, Problem, Size};
+
+/// One typed netlist edit.
+///
+/// Wire edits have *overwrite* semantics: [`EditOp::AddPair`],
+/// [`EditOp::ReweightPair`] and [`EditOp::RemovePair`] all set the symmetric
+/// pair weight (`RemovePair` sets it to 0), so they compose by
+/// last-wins. "Remove component" is a *detach*: every wire and timing
+/// constraint incident to the component is dropped, but the component itself
+/// remains as an isolated node so component ids stay stable across the
+/// session (its size still occupies capacity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Append a new component to the circuit.
+    AddComponent {
+        /// Display name of the new component.
+        name: String,
+        /// Size (capacity consumption) of the new component.
+        size: Size,
+    },
+    /// Detach a component: drop its wires and timing constraints, keep the
+    /// node (ids stay stable).
+    RemoveComponent {
+        /// The component to detach.
+        id: ComponentId,
+    },
+    /// Set the symmetric wire weight of a pair.
+    AddPair {
+        /// First endpoint.
+        a: ComponentId,
+        /// Second endpoint.
+        b: ComponentId,
+        /// New symmetric weight (`a[a][b] = a[b][a] = weight`).
+        weight: Cost,
+    },
+    /// Remove the wires of a pair (set the symmetric weight to 0).
+    RemovePair {
+        /// First endpoint.
+        a: ComponentId,
+        /// Second endpoint.
+        b: ComponentId,
+    },
+    /// Overwrite the symmetric wire weight of a pair.
+    ReweightPair {
+        /// First endpoint.
+        a: ComponentId,
+        /// Second endpoint.
+        b: ComponentId,
+        /// New symmetric weight.
+        weight: Cost,
+    },
+    /// Set (or with `None` remove) the symmetric timing bound of a pair.
+    SetTimingBound {
+        /// First endpoint.
+        a: ComponentId,
+        /// Second endpoint.
+        b: ComponentId,
+        /// New bound; `None` removes the constraint.
+        bound: Option<Delay>,
+    },
+    /// Tighten every timing bound by `delta` (clamping at 0): the global
+    /// "cycle time shrank" edit.
+    TightenCycleTime {
+        /// Amount to subtract from every bound.
+        delta: Delay,
+    },
+}
+
+impl EditOp {
+    /// Whether the op adds or detaches a component (the ops that suppress
+    /// cross-op merging in [`NetlistDelta::canonicalize`]).
+    pub fn is_component_op(&self) -> bool {
+        matches!(
+            self,
+            EditOp::AddComponent { .. } | EditOp::RemoveComponent { .. }
+        )
+    }
+}
+
+/// An ordered, validated-as-a-whole batch of netlist edits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetlistDelta {
+    ops: Vec<EditOp>,
+}
+
+impl NetlistDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an arbitrary op.
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// Fluent: append a new component.
+    pub fn add_component(mut self, name: impl Into<String>, size: Size) -> Self {
+        self.ops.push(EditOp::AddComponent {
+            name: name.into(),
+            size,
+        });
+        self
+    }
+
+    /// Fluent: detach a component.
+    pub fn remove_component(mut self, id: ComponentId) -> Self {
+        self.ops.push(EditOp::RemoveComponent { id });
+        self
+    }
+
+    /// Fluent: set a symmetric pair weight.
+    pub fn add_pair(mut self, a: ComponentId, b: ComponentId, weight: Cost) -> Self {
+        self.ops.push(EditOp::AddPair { a, b, weight });
+        self
+    }
+
+    /// Fluent: remove a pair's wires.
+    pub fn remove_pair(mut self, a: ComponentId, b: ComponentId) -> Self {
+        self.ops.push(EditOp::RemovePair { a, b });
+        self
+    }
+
+    /// Fluent: overwrite a pair's symmetric weight.
+    pub fn reweight_pair(mut self, a: ComponentId, b: ComponentId, weight: Cost) -> Self {
+        self.ops.push(EditOp::ReweightPair { a, b, weight });
+        self
+    }
+
+    /// Fluent: set (or remove, with `None`) a symmetric timing bound.
+    pub fn set_timing_bound(mut self, a: ComponentId, b: ComponentId, bound: Option<Delay>) -> Self {
+        self.ops.push(EditOp::SetTimingBound { a, b, bound });
+        self
+    }
+
+    /// Fluent: tighten every timing bound by `delta`.
+    pub fn tighten_cycle_time(mut self, delta: Delay) -> Self {
+        self.ops.push(EditOp::TightenCycleTime { delta });
+        self
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Checks the whole batch against `problem` without mutating anything:
+    /// every referenced id must exist (ids introduced by earlier
+    /// `AddComponent` ops in the same delta count), pair endpoints must be
+    /// distinct, weights, bounds and tighten amounts must be non-negative,
+    /// and added components must keep the total size within total capacity.
+    /// A delta that validates applies infallibly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, as the same [`Error`] variant the
+    /// underlying mutation would have produced.
+    pub fn validate(&self, problem: &Problem) -> Result<(), Error> {
+        let mut n = problem.n();
+        let mut total_size = problem.circuit().total_size();
+        let total_capacity = problem.topology().total_capacity();
+        let check_id = |id: ComponentId, n: usize| -> Result<(), Error> {
+            if id.index() >= n {
+                return Err(Error::ComponentOutOfRange { id, len: n });
+            }
+            Ok(())
+        };
+        let check_pair = |a: ComponentId, b: ComponentId, n: usize| -> Result<(), Error> {
+            check_id(a, n)?;
+            check_id(b, n)?;
+            if a == b {
+                return Err(Error::SelfLoop(a));
+            }
+            Ok(())
+        };
+        for op in &self.ops {
+            match op {
+                EditOp::AddComponent { size, .. } => {
+                    total_size += size;
+                    if total_size > total_capacity {
+                        return Err(Error::CapacityImpossible {
+                            total_size,
+                            total_capacity,
+                        });
+                    }
+                    n += 1;
+                }
+                EditOp::RemoveComponent { id } => check_id(*id, n)?,
+                EditOp::AddPair { a, b, weight } | EditOp::ReweightPair { a, b, weight } => {
+                    check_pair(*a, *b, n)?;
+                    if *weight < 0 {
+                        return Err(Error::NegativeValue {
+                            what: "connection weight",
+                            value: *weight,
+                        });
+                    }
+                }
+                EditOp::RemovePair { a, b } => check_pair(*a, *b, n)?,
+                EditOp::SetTimingBound { a, b, bound } => {
+                    check_pair(*a, *b, n)?;
+                    if let Some(d) = bound {
+                        if *d < 0 {
+                            return Err(Error::NegativeValue {
+                                what: "timing bound",
+                                value: *d,
+                            });
+                        }
+                    }
+                }
+                EditOp::TightenCycleTime { delta } => {
+                    if *delta < 0 {
+                        return Err(Error::NegativeValue {
+                            what: "cycle-time tightening",
+                            value: *delta,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Normalizes and dedupes the batch in place; returns the number of ops
+    /// eliminated.
+    ///
+    /// * Pair ops are normalized to `a < b` (all pair edits are symmetric).
+    /// * When the delta contains no component ops, wire edits of the same
+    ///   pair fold to the last one (they all overwrite the symmetric
+    ///   weight), and — when additionally no [`EditOp::TightenCycleTime`] is
+    ///   present — timing-bound edits of the same pair fold likewise.
+    ///   Component ops suppress merging because an id may refer to different
+    ///   netlist states before and after a detach; a tighten suppresses
+    ///   timing-bound merging because it reads the bounds standing at its
+    ///   position in the batch.
+    /// * Consecutive tighten ops sum (clamping at 0 is monotone, so
+    ///   `tighten(x); tighten(y)` ≡ `tighten(x + y)`).
+    pub fn canonicalize(&mut self) -> usize {
+        let before = self.ops.len();
+        for op in &mut self.ops {
+            match op {
+                EditOp::AddPair { a, b, .. }
+                | EditOp::RemovePair { a, b }
+                | EditOp::ReweightPair { a, b, .. }
+                | EditOp::SetTimingBound { a, b, .. } => {
+                    if a.index() > b.index() {
+                        std::mem::swap(a, b);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let has_component_op = self.ops.iter().any(EditOp::is_component_op);
+        let has_tighten = self
+            .ops
+            .iter()
+            .any(|op| matches!(op, EditOp::TightenCycleTime { .. }));
+        if !has_component_op {
+            // Last-wins fold: walk backwards, keep the first (i.e. latest)
+            // edit seen per (pair, kind) key.
+            let mut keep = vec![true; self.ops.len()];
+            let mut seen: Vec<(usize, usize, bool)> = Vec::new();
+            for (i, op) in self.ops.iter().enumerate().rev() {
+                let key = match op {
+                    EditOp::AddPair { a, b, .. }
+                    | EditOp::RemovePair { a, b }
+                    | EditOp::ReweightPair { a, b, .. } => Some((a.index(), b.index(), false)),
+                    EditOp::SetTimingBound { a, b, .. } if !has_tighten => {
+                        Some((a.index(), b.index(), true))
+                    }
+                    _ => None,
+                };
+                if let Some(key) = key {
+                    if seen.contains(&key) {
+                        keep[i] = false;
+                    } else {
+                        seen.push(key);
+                    }
+                }
+            }
+            let mut i = 0;
+            self.ops.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+        }
+        // Sum consecutive tightens.
+        let mut i = 0;
+        while i + 1 < self.ops.len() {
+            if let (
+                EditOp::TightenCycleTime { delta: d1 },
+                EditOp::TightenCycleTime { delta: d2 },
+            ) = (&self.ops[i], &self.ops[i + 1])
+            {
+                let sum = d1.saturating_add(*d2);
+                self.ops[i] = EditOp::TightenCycleTime { delta: sum };
+                self.ops.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        before - self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbp_core::{Circuit, PartitionTopology, ProblemBuilder};
+
+    fn problem() -> Problem {
+        let mut c = Circuit::new();
+        let a = c.add_component("a", 1);
+        let b = c.add_component("b", 1);
+        c.add_component("c", 1);
+        c.add_wires(a, b, 5).unwrap();
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 2, 10).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn id(i: usize) -> ComponentId {
+        ComponentId::new(i)
+    }
+
+    #[test]
+    fn validate_accepts_ids_added_in_same_delta() {
+        let p = problem();
+        let d = NetlistDelta::new()
+            .add_component("new", 2)
+            .add_pair(id(0), id(3), 4);
+        assert!(d.validate(&p).is_ok());
+        // ...but not ids beyond what the delta itself adds.
+        let d = NetlistDelta::new().add_pair(id(0), id(3), 4);
+        assert!(matches!(
+            d.validate(&p),
+            Err(Error::ComponentOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_ops() {
+        let p = problem();
+        assert!(matches!(
+            NetlistDelta::new().add_pair(id(1), id(1), 3).validate(&p),
+            Err(Error::SelfLoop(_))
+        ));
+        assert!(matches!(
+            NetlistDelta::new().add_pair(id(0), id(1), -3).validate(&p),
+            Err(Error::NegativeValue { .. })
+        ));
+        assert!(matches!(
+            NetlistDelta::new().tighten_cycle_time(-1).validate(&p),
+            Err(Error::NegativeValue { .. })
+        ));
+        assert!(matches!(
+            NetlistDelta::new().add_component("huge", 1000).validate(&p),
+            Err(Error::CapacityImpossible { .. })
+        ));
+    }
+
+    #[test]
+    fn canonicalize_folds_same_pair_wire_edits_last_wins() {
+        let mut d = NetlistDelta::new()
+            .add_pair(id(0), id(1), 3)
+            .remove_pair(id(1), id(0)) // normalized to (0, 1)
+            .reweight_pair(id(0), id(1), 7)
+            .add_pair(id(0), id(2), 1);
+        let removed = d.canonicalize();
+        assert_eq!(removed, 2);
+        assert_eq!(
+            d.ops(),
+            &[
+                EditOp::ReweightPair {
+                    a: id(0),
+                    b: id(1),
+                    weight: 7
+                },
+                EditOp::AddPair {
+                    a: id(0),
+                    b: id(2),
+                    weight: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn canonicalize_keeps_timing_edits_apart_across_tighten() {
+        let mut d = NetlistDelta::new()
+            .set_timing_bound(id(0), id(1), Some(5))
+            .tighten_cycle_time(2)
+            .set_timing_bound(id(0), id(1), Some(7));
+        assert_eq!(d.canonicalize(), 0, "tighten suppresses bound merging");
+        assert_eq!(d.len(), 3);
+        // Without the tighten the two bound edits fold.
+        let mut d = NetlistDelta::new()
+            .set_timing_bound(id(0), id(1), Some(5))
+            .set_timing_bound(id(0), id(1), Some(7));
+        assert_eq!(d.canonicalize(), 1);
+        assert_eq!(
+            d.ops(),
+            &[EditOp::SetTimingBound {
+                a: id(0),
+                b: id(1),
+                bound: Some(7)
+            }]
+        );
+    }
+
+    #[test]
+    fn canonicalize_sums_consecutive_tightens_and_respects_component_ops() {
+        let mut d = NetlistDelta::new()
+            .tighten_cycle_time(1)
+            .tighten_cycle_time(2);
+        assert_eq!(d.canonicalize(), 1);
+        assert_eq!(d.ops(), &[EditOp::TightenCycleTime { delta: 3 }]);
+
+        // A component op suppresses pair merging entirely.
+        let mut d = NetlistDelta::new()
+            .add_pair(id(0), id(1), 3)
+            .remove_component(id(2))
+            .add_pair(id(0), id(1), 4);
+        assert_eq!(d.canonicalize(), 0);
+        assert_eq!(d.len(), 3);
+    }
+}

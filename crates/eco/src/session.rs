@@ -1,0 +1,528 @@
+//! The ECO session: a live problem + solver-state pair that absorbs
+//! [`NetlistDelta`]s in place and re-solves warm.
+
+use crate::delta::{EditOp, NetlistDelta};
+use qbp_core::{
+    Assignment, ComponentId, Error, PartitionProfile, Problem, QBody, QMatrix,
+};
+use qbp_observe::{NoopObserver, SolveEvent, SolveObserver};
+use qbp_solver::{moved_from, PenaltyMode, QbpConfig, QbpSolver, SolveReport, SolveWorkspace};
+
+/// Iteration cap of the quality-refresh solve (mirrors the solver's warm
+/// escalation cap).
+const REFRESH_ITERATIONS: usize = 12;
+
+/// Configuration of an [`EcoSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoConfig {
+    /// Timing penalty embedded in `Q̂`. `None` resolves the auto penalty
+    /// once at session creation and then freezes it — a stable penalty is
+    /// what makes patched state comparable bit-for-bit against fresh
+    /// construction across the whole edit stream.
+    pub penalty: Option<qbp_core::Cost>,
+    /// Rebuild instead of patching when the touched rows reach this
+    /// percentage of all rows (default 75, mirroring the solver's 3N/4
+    /// patch-vs-rebuild rule).
+    pub rebuild_threshold_pct: usize,
+    /// Solver knobs for cold and warm solves. The penalty mode inside is
+    /// overridden with the session's frozen penalty.
+    pub solver: QbpConfig,
+    /// Quality-refresh cadence: every `refresh_every`-th delta, the warm
+    /// re-solve is followed by a capped full solve seeded from its result
+    /// (the same cap as the infeasibility escalation rung). Localized
+    /// repair keeps each edit feasible but lets quality drift over a long
+    /// stream; the periodic re-anchor bounds that drift while staying far
+    /// cheaper than cold solves. `0` disables (default 32).
+    pub refresh_every: usize,
+}
+
+impl Default for EcoConfig {
+    fn default() -> Self {
+        EcoConfig {
+            penalty: None,
+            rebuild_threshold_pct: 75,
+            solver: QbpConfig::default(),
+            refresh_every: 32,
+        }
+    }
+}
+
+/// What applying one delta did to the session state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// 1-based sequence number of the delta within the session.
+    pub delta_seq: usize,
+    /// Canonical ops applied (after dedup/merge).
+    pub ops: usize,
+    /// CSR rows re-derived and spliced in place (0 on the rebuild path).
+    pub patched_rows: usize,
+    /// Whether the staleness threshold (or a component addition) forced a
+    /// full state rebuild instead of row patches.
+    pub rebuilt: bool,
+    /// The dirty component set: every component whose `Q̂` rows changed.
+    /// Feed this to [`EcoSession::resolve`].
+    pub dirty: Vec<usize>,
+}
+
+/// A live incremental-re-partitioning session.
+///
+/// The session owns the [`Problem`], the current [`Assignment`], the sparse
+/// `Q̂` state ([`QBody`]) and the embedded [`PartitionProfile`], and keeps
+/// all four consistent across [`NetlistDelta`]s: small deltas patch the CSR
+/// rows and profile records of the touched components in `O(touched · deg)`,
+/// large ones (or component additions) rebuild, per
+/// [`EcoConfig::rebuild_threshold_pct`]. After every apply the state is
+/// bit-identical to building from scratch on the mutated problem
+/// ([`EcoSession::state_matches_fresh`]).
+///
+/// ```
+/// use qbp_core::{Assignment, ComponentId, PartitionTopology, ProblemBuilder};
+/// use qbp_eco::{EcoConfig, EcoSession, NetlistDelta};
+///
+/// # fn main() -> Result<(), qbp_core::Error> {
+/// let problem = ProblemBuilder::on(PartitionTopology::grid(2, 2, 10)?)
+///     .component("a", 1)
+///     .component("b", 1)
+///     .component("c", 1)
+///     .pair("a", "b", 5)
+///     .build()?;
+/// let mut session = EcoSession::new(problem, EcoConfig::default())?;
+/// let delta = NetlistDelta::new()
+///     .add_pair(ComponentId::new(1), ComponentId::new(2), 3);
+/// let (apply, solve) = session.apply_and_resolve(&delta, &mut qbp_observe::NoopObserver)?;
+/// assert!(solve.feasible);
+/// assert!(!apply.rebuilt);
+/// assert!(session.state_matches_fresh());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EcoSession {
+    problem: Problem,
+    penalty: qbp_core::Cost,
+    /// `None` only transiently while a `QMatrix` temporarily owns the body.
+    body: Option<QBody>,
+    assignment: Assignment,
+    profile: PartitionProfile,
+    config: EcoConfig,
+    deltas: usize,
+}
+
+impl EcoSession {
+    /// Opens a session by cold-solving `problem` for the initial
+    /// assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and penalty-configuration errors.
+    pub fn new(problem: Problem, config: EcoConfig) -> Result<Self, Error> {
+        let penalty = Self::resolve_penalty(&problem, &config)?;
+        let solver = QbpSolver::new(QbpConfig {
+            penalty: PenaltyMode::Fixed(penalty),
+            ..config.solver
+        });
+        let outcome = solver.solve(&problem, None)?;
+        Self::with_assignment_and_penalty(problem, outcome.assignment, penalty, config)
+    }
+
+    /// Opens a session around an existing assignment (e.g. the result of a
+    /// previous batch run). The assignment need not be feasible; the first
+    /// [`EcoSession::resolve`] will repair it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the assignment does not match the problem's
+    /// dimensions or the penalty configuration is invalid.
+    pub fn with_assignment(
+        problem: Problem,
+        assignment: Assignment,
+        config: EcoConfig,
+    ) -> Result<Self, Error> {
+        let penalty = Self::resolve_penalty(&problem, &config)?;
+        Self::with_assignment_and_penalty(problem, assignment, penalty, config)
+    }
+
+    fn resolve_penalty(problem: &Problem, config: &EcoConfig) -> Result<qbp_core::Cost, Error> {
+        match config.penalty {
+            Some(p) => Ok(p),
+            None => Ok(QMatrix::with_auto_penalty(problem)?.penalty()),
+        }
+    }
+
+    fn with_assignment_and_penalty(
+        problem: Problem,
+        assignment: Assignment,
+        penalty: qbp_core::Cost,
+        config: EcoConfig,
+    ) -> Result<Self, Error> {
+        problem.validate_assignment(&assignment)?;
+        let body = QBody::build(&problem, penalty)?;
+        let q = QMatrix::from_body(&problem, body);
+        let profile = PartitionProfile::embedded(&q, &assignment);
+        let body = q.into_body();
+        Ok(EcoSession {
+            problem,
+            penalty,
+            body: Some(body),
+            assignment,
+            profile,
+            config,
+            deltas: 0,
+        })
+    }
+
+    /// The current (mutated) problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The current assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The live embedded partition profile.
+    pub fn profile(&self) -> &PartitionProfile {
+        &self.profile
+    }
+
+    /// The frozen timing penalty of this session.
+    pub fn penalty(&self) -> qbp_core::Cost {
+        self.penalty
+    }
+
+    /// Number of deltas applied so far.
+    pub fn deltas_applied(&self) -> usize {
+        self.deltas
+    }
+
+    /// Validates, canonicalizes and applies `delta` in place, keeping the
+    /// CSR `Q̂` rows, timing-class tables and partition profile in sync, and
+    /// emits one [`SolveEvent::DeltaApplied`]. The assignment is *not*
+    /// re-solved — call [`EcoSession::resolve`] with the returned dirty set
+    /// (or use [`EcoSession::apply_and_resolve`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error; the session is unchanged in that
+    /// case.
+    pub fn apply(
+        &mut self,
+        delta: &NetlistDelta,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<ApplyReport, Error> {
+        delta.validate(&self.problem)?;
+        let mut canonical = delta.clone();
+        canonical.canonicalize();
+
+        let old_n = self.problem.n();
+        let mut touched: Vec<usize> = Vec::new();
+        let mut touched_all = false;
+        for op in canonical.ops() {
+            match op {
+                EditOp::AddComponent { name, size } => {
+                    let id = self
+                        .problem
+                        .add_component(name.clone(), *size)
+                        .expect("validated delta applies infallibly");
+                    touched.push(id.index());
+                }
+                EditOp::RemoveComponent { id } => {
+                    // The partners lose records too — capture them before
+                    // the detach drops the adjacency.
+                    let c = self.problem.circuit();
+                    let t = self.problem.timing();
+                    touched.push(id.index());
+                    touched.extend(c.out_connections(*id).map(|(o, _)| o.index()));
+                    touched.extend(c.in_connections(*id).map(|(o, _)| o.index()));
+                    touched.extend(t.constraints_from(*id).map(|(o, _)| o.index()));
+                    touched.extend(t.constraints_into(*id).map(|(o, _)| o.index()));
+                    self.problem
+                        .detach_component(*id)
+                        .expect("validated delta applies infallibly");
+                }
+                EditOp::AddPair { a, b, weight } | EditOp::ReweightPair { a, b, weight } => {
+                    self.problem
+                        .set_pair_weight(*a, *b, *weight)
+                        .expect("validated delta applies infallibly");
+                    touched.push(a.index());
+                    touched.push(b.index());
+                }
+                EditOp::RemovePair { a, b } => {
+                    self.problem
+                        .set_pair_weight(*a, *b, 0)
+                        .expect("validated delta applies infallibly");
+                    touched.push(a.index());
+                    touched.push(b.index());
+                }
+                EditOp::SetTimingBound { a, b, bound } => {
+                    self.problem
+                        .set_timing_bound(*a, *b, *bound)
+                        .expect("validated delta applies infallibly");
+                    touched.push(a.index());
+                    touched.push(b.index());
+                }
+                EditOp::TightenCycleTime { delta } => {
+                    self.problem
+                        .tighten_cycle_time(*delta)
+                        .expect("validated delta applies infallibly");
+                    touched_all = true;
+                }
+            }
+        }
+
+        let n = self.problem.n();
+        if n > old_n {
+            // Place each new component in the partition with the most free
+            // capacity (deterministic: lowest index wins ties).
+            let m = self.problem.m();
+            let capacities = self.problem.topology().capacities();
+            let mut used = vec![0u64; m];
+            for j in 0..old_n {
+                used[self.assignment.part_index(j)] +=
+                    self.problem.circuit().size(ComponentId::new(j));
+            }
+            let mut parts: Vec<u32> = self.assignment.as_slice().to_vec();
+            for j in old_n..n {
+                let size = self.problem.circuit().size(ComponentId::new(j));
+                let best = (0..m)
+                    .max_by_key(|&i| (capacities[i].saturating_sub(used[i]), std::cmp::Reverse(i)))
+                    .expect("m >= 1");
+                used[best] += size;
+                parts.push(best as u32);
+            }
+            self.assignment = Assignment::from_parts(parts)
+                .expect("placement stays within partition range");
+        }
+
+        touched.sort_unstable();
+        touched.dedup();
+        if touched_all {
+            touched = (0..n).collect();
+        }
+
+        // Patch vs. rebuild: component additions change the row count and
+        // always rebuild; otherwise the staleness threshold decides.
+        let stale = touched.len() * 100 >= n * self.config.rebuild_threshold_pct;
+        let (patched_rows, rebuilt) = if n != old_n || stale {
+            let fresh = QBody::build(&self.problem, self.penalty)?;
+            let q = QMatrix::from_body(&self.problem, fresh);
+            self.profile = PartitionProfile::embedded(&q, &self.assignment);
+            self.body = Some(q.into_body());
+            (0, true)
+        } else {
+            let body = self.body.as_mut().expect("body present between applies");
+            let patched = body.patch_rows(&self.problem, &touched);
+            let q = QMatrix::from_body(
+                &self.problem,
+                self.body.take().expect("body present between applies"),
+            );
+            self.profile
+                .patch_structure(&q, &self.assignment, &touched);
+            self.body = Some(q.into_body());
+            (patched, false)
+        };
+
+        self.deltas += 1;
+        obs.on_event(&SolveEvent::DeltaApplied {
+            delta: self.deltas,
+            ops: canonical.len(),
+            patched_rows,
+            rebuilt,
+        });
+        Ok(ApplyReport {
+            delta_seq: self.deltas,
+            ops: canonical.len(),
+            patched_rows,
+            rebuilt,
+            dirty: touched,
+        })
+    }
+
+    /// Re-solves warm from the current assignment: a localized descent over
+    /// `dirty` and its one-hop frontier, escalating to a capped (then, if
+    /// needed, full-budget) solve only when the local pass leaves the
+    /// assignment infeasible ([`QbpSolver::solve_warm`]). Every
+    /// [`EcoConfig::refresh_every`]-th delta additionally runs the capped
+    /// solve as a quality re-anchor (reported as `escalated`). Updates the
+    /// session's assignment and profile and emits one
+    /// [`SolveEvent::WarmSolve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn resolve(
+        &mut self,
+        dirty: &[usize],
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
+        let solver = QbpSolver::new(QbpConfig {
+            penalty: PenaltyMode::Fixed(self.penalty),
+            ..self.config.solver
+        });
+        let mut warm = solver.solve_warm(&self.problem, &self.assignment, dirty, obs)?;
+        // Quality-refresh rung: localized repair keeps each edit feasible
+        // but the assignment drifts from what a from-scratch solve would
+        // find as local fixes stack up. Every `refresh_every`-th delta,
+        // re-anchor with a capped full solve seeded from the warm result,
+        // keeping it only when it is no worse.
+        if self.config.refresh_every > 0
+            && self.deltas % self.config.refresh_every == 0
+            && !warm.escalated
+        {
+            let capped = QbpConfig {
+                iterations: REFRESH_ITERATIONS.min(self.config.solver.iterations.max(1)),
+                penalty: PenaltyMode::Fixed(self.penalty),
+                ..self.config.solver
+            };
+            let polished = QbpSolver::new(capped).solve_observed(
+                &self.problem,
+                Some(&warm.assignment),
+                &mut SolveWorkspace::new(),
+                obs,
+            )?;
+            warm.escalated = true;
+            if (polished.feasible && !warm.feasible)
+                || (polished.feasible == warm.feasible
+                    && polished.embedded_value <= warm.embedded_value)
+            {
+                warm.embedded_value = polished.embedded_value;
+                warm.objective = polished.objective;
+                warm.feasible = polished.feasible;
+                warm.assignment = polished.assignment;
+            }
+        }
+        obs.on_event(&SolveEvent::WarmSolve {
+            delta: self.deltas,
+            dirty: dirty.len(),
+            escalated: warm.escalated,
+            value: warm.embedded_value,
+            feasible: warm.feasible,
+        });
+        let moves_applied = moved_from(Some(&self.assignment), &warm.assignment);
+        self.profile.update(&self.assignment, &warm.assignment);
+        self.assignment = warm.assignment.clone();
+        Ok(SolveReport {
+            solver: "qbp-eco",
+            moves_applied,
+            objective: warm.objective,
+            embedded_value: Some(warm.embedded_value),
+            feasible: warm.feasible,
+            iterations: 0,
+            elapsed: warm.elapsed,
+            assignment: warm.assignment,
+        })
+    }
+
+    /// Re-anchors the session with a full-budget solve seeded from the
+    /// current assignment, adopting the result only when it is no worse
+    /// (feasible-first, then embedded value). ECO flows call this between
+    /// edit bursts — or right after [`EcoSession::with_assignment`] on a
+    /// rough baseline — to buy cold-solve quality once without paying it
+    /// per edit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn reanchor(&mut self, obs: &mut dyn SolveObserver) -> Result<SolveReport, Error> {
+        let solver = QbpSolver::new(QbpConfig {
+            penalty: PenaltyMode::Fixed(self.penalty),
+            ..self.config.solver
+        });
+        let out = solver.solve_observed(
+            &self.problem,
+            Some(&self.assignment),
+            &mut SolveWorkspace::new(),
+            obs,
+        )?;
+        let body = self.body.take().expect("body present between applies");
+        let q = QMatrix::from_body(&self.problem, body);
+        let current_value = q.value(&self.assignment);
+        let current_feasible =
+            qbp_core::check_feasibility(&self.problem, &self.assignment).is_feasible();
+        self.body = Some(q.into_body());
+        let adopt = (out.feasible && !current_feasible)
+            || (out.feasible == current_feasible && out.embedded_value <= current_value);
+        let (moves_applied, objective, embedded, feasible) = if adopt {
+            let moves = moved_from(Some(&self.assignment), &out.assignment);
+            self.profile.update(&self.assignment, &out.assignment);
+            self.assignment = out.assignment;
+            (moves, out.objective, out.embedded_value, out.feasible)
+        } else {
+            let eval = qbp_core::Evaluator::new(&self.problem);
+            (0, eval.cost(&self.assignment), current_value, current_feasible)
+        };
+        Ok(SolveReport {
+            solver: "qbp-eco",
+            moves_applied,
+            objective,
+            embedded_value: Some(embedded),
+            feasible,
+            iterations: out.iterations,
+            elapsed: out.elapsed,
+            assignment: self.assignment.clone(),
+        })
+    }
+
+    /// [`EcoSession::apply`] followed by [`EcoSession::resolve`] on the
+    /// delta's dirty set.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors (session unchanged) or solver errors (delta
+    /// applied, assignment unchanged).
+    pub fn apply_and_resolve(
+        &mut self,
+        delta: &NetlistDelta,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<(ApplyReport, SolveReport), Error> {
+        let apply = self.apply(delta, obs)?;
+        let solve = self.resolve(&apply.dirty, obs)?;
+        Ok((apply, solve))
+    }
+
+    /// Audits the incremental state: rebuilds `Q̂` and the profile from
+    /// scratch on the current problem and compares bit-for-bit against the
+    /// live patched state. `true` means every field matches. Used by the
+    /// equivalence proptests and the `eco_bench` gate; O(E + T), so cheap
+    /// enough to run per edit in audits.
+    pub fn state_matches_fresh(&self) -> bool {
+        let Ok(fresh) = QBody::build(&self.problem, self.penalty) else {
+            return false;
+        };
+        if self.body.as_ref() != Some(&fresh) {
+            return false;
+        }
+        let q = QMatrix::from_body(&self.problem, fresh);
+        let fresh_profile = PartitionProfile::embedded(&q, &self.assignment);
+        self.profile == fresh_profile
+    }
+
+    /// Cold-solves the current (mutated) problem from scratch with the
+    /// session's solver config and frozen penalty — the reference point for
+    /// warm-vs-cold quality and speed comparisons. Does not change the
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn cold_solve(&self) -> Result<qbp_solver::QbpOutcome, Error> {
+        let solver = QbpSolver::new(QbpConfig {
+            penalty: PenaltyMode::Fixed(self.penalty),
+            ..self.config.solver
+        });
+        solver.solve(&self.problem, None)
+    }
+}
+
+/// Convenience: apply a delta and warm-resolve without wiring an observer.
+///
+/// # Errors
+///
+/// See [`EcoSession::apply_and_resolve`].
+pub fn apply_and_resolve_quiet(
+    session: &mut EcoSession,
+    delta: &NetlistDelta,
+) -> Result<(ApplyReport, SolveReport), Error> {
+    session.apply_and_resolve(delta, &mut NoopObserver)
+}

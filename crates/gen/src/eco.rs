@@ -1,0 +1,257 @@
+//! Seeded ECO edit-stream generator: realistic engineering-change-order
+//! traces for the paper circuits, driving [`qbp_eco::EcoSession`] benchmarks
+//! and smoke tests.
+//!
+//! The mix mirrors what trickles out of a real ECO queue: mostly wire
+//! reweights on existing nets, some ripped-up and freshly routed pairs, a
+//! sprinkle of timing-bound changes, the occasional component detach, and a
+//! rare whole-netlist touch (a zero-delta cycle-time tighten, which changes
+//! nothing semantically but forces the all-rows rebuild path). Bound edits
+//! only loosen existing constraints, drop them, or add new ones at the
+//! topology's delay ceiling (satisfied by every placement), so a feasible
+//! problem stays feasible across the whole stream — the warm-solve
+//! benchmarks and the `eco_bench` feasibility gate rely on that.
+
+use qbp_core::{ComponentId, Cost, Delay, Problem};
+use qbp_eco::EditOp;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Knobs of the edit-stream generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcoStreamOptions {
+    /// Number of edits to emit.
+    pub edits: usize,
+    /// RNG seed; the stream is a pure function of `(problem, options)`.
+    pub seed: u64,
+    /// Include structural edits (component detaches). Disable for streams
+    /// that must keep every component wired.
+    pub structural: bool,
+}
+
+impl Default for EcoStreamOptions {
+    fn default() -> Self {
+        EcoStreamOptions {
+            edits: 1000,
+            seed: 1993,
+            structural: true,
+        }
+    }
+}
+
+/// Generates a seeded edit stream for `problem`. Every emitted edit
+/// validates against the evolving problem (ids are stable under detaches and
+/// no edit references a component that does not exist), and the stream
+/// preserves feasibility: wire edits never affect the constraint set, bound
+/// edits only loosen, remove, or add at the delay ceiling, and tightens are
+/// zero-delta.
+pub fn eco_edit_stream(problem: &Problem, options: &EcoStreamOptions) -> Vec<EditOp> {
+    let n = problem.n();
+    assert!(n >= 2, "need at least two components to edit");
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    // Snapshot the initial adjacency once; overwrite semantics make edits
+    // against a stale snapshot still valid (a remove of an already-removed
+    // pair is a no-op edit, which real ECO queues produce too).
+    let wired: Vec<(usize, usize)> = problem
+        .circuit()
+        .edges()
+        .map(|(a, b, _)| (a.index(), b.index()))
+        .collect();
+    let constrained: Vec<(usize, usize, Delay)> = problem
+        .timing()
+        .iter()
+        .map(|(a, b, d)| (a.index(), b.index(), d))
+        .collect();
+    let max_delay = (0..problem.m())
+        .flat_map(|i| (0..problem.m()).map(move |j| (i, j)))
+        .map(|(i, j)| problem.topology().delay()[(i, j)])
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let any_pair = |rng: &mut StdRng| -> (ComponentId, ComponentId) {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (ComponentId::new(a), ComponentId::new(b))
+    };
+    let wired_pair = |rng: &mut StdRng| -> Option<(ComponentId, ComponentId)> {
+        if wired.is_empty() {
+            return None;
+        }
+        let (a, b) = wired[rng.random_range(0..wired.len())];
+        Some((ComponentId::new(a), ComponentId::new(b)))
+    };
+
+    let mut ops = Vec::with_capacity(options.edits);
+    while ops.len() < options.edits {
+        let roll = rng.random_range(0..100);
+        let op = match roll {
+            // 40%: reweight an existing net.
+            0..=39 => match wired_pair(&mut rng) {
+                Some((a, b)) => EditOp::ReweightPair {
+                    a,
+                    b,
+                    weight: rng.random_range(1..=10) as Cost,
+                },
+                None => continue,
+            },
+            // 15%: route a fresh pair.
+            40..=54 => {
+                let (a, b) = any_pair(&mut rng);
+                EditOp::AddPair {
+                    a,
+                    b,
+                    weight: rng.random_range(1..=5) as Cost,
+                }
+            }
+            // 15%: rip up a net.
+            55..=69 => match wired_pair(&mut rng) {
+                Some((a, b)) => EditOp::RemovePair { a, b },
+                None => continue,
+            },
+            // 12%: loosen an existing timing bound (never tighten, so the
+            // stream preserves feasibility).
+            70..=81 => {
+                if constrained.is_empty() {
+                    continue;
+                }
+                let (a, b, limit) = constrained[rng.random_range(0..constrained.len())];
+                let loosened = (limit + rng.random_range(1..=2) as Delay).min(max_delay);
+                EditOp::SetTimingBound {
+                    a: ComponentId::new(a),
+                    b: ComponentId::new(b),
+                    bound: Some(loosened),
+                }
+            }
+            // 8%: drop a timing bound entirely.
+            82..=89 => {
+                if constrained.is_empty() {
+                    continue;
+                }
+                let (a, b, _) = constrained[rng.random_range(0..constrained.len())];
+                EditOp::SetTimingBound {
+                    a: ComponentId::new(a),
+                    b: ComponentId::new(b),
+                    bound: None,
+                }
+            }
+            // 9%: add a new bound on a wired pair at the topology's delay
+            // ceiling. Every placement satisfies it, so the constraint set
+            // grows (exercising the constrained-suffix CSR and penalty
+            // machinery) without ever excluding an assignment — anything
+            // below the ceiling can compound across a long stream into a
+            // genuinely infeasible problem.
+            90..=98 => match wired_pair(&mut rng) {
+                Some((a, b)) => EditOp::SetTimingBound {
+                    a,
+                    b,
+                    bound: Some(max_delay),
+                },
+                None => continue,
+            },
+            // 1%: whole-netlist touch — detach a component when structural
+            // edits are allowed, else a zero-delta tighten (exercises the
+            // all-rows rebuild path without changing any bound).
+            _ => {
+                if options.structural && rng.random_bool(0.5) {
+                    EditOp::RemoveComponent {
+                        id: ComponentId::new(rng.random_range(0..n)),
+                    }
+                } else {
+                    EditOp::TightenCycleTime { delta: 0 }
+                }
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// [`eco_edit_stream`] serialized as a JSONL edit script (one op per line,
+/// see [`qbp_eco::script`]).
+pub fn eco_script(problem: &Problem, options: &EcoStreamOptions) -> String {
+    let mut s = String::new();
+    for op in eco_edit_stream(problem, options) {
+        s.push_str(&qbp_eco::script::format_edit(&op));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{build_instance, scaled_spec, SuiteOptions, PAPER_SUITE};
+    use qbp_eco::NetlistDelta;
+
+    #[test]
+    fn stream_is_deterministic_and_validates() {
+        let spec = scaled_spec(&PAPER_SUITE[0], 0.2);
+        let problem = build_instance(&spec, &SuiteOptions::default()).unwrap();
+        let options = EcoStreamOptions {
+            edits: 200,
+            ..EcoStreamOptions::default()
+        };
+        let a = eco_edit_stream(&problem, &options);
+        let b = eco_edit_stream(&problem, &options);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 200);
+        // Every edit validates as a one-op delta against the base problem
+        // (overwrite semantics: stale-snapshot edits are still valid).
+        for op in &a {
+            let mut d = NetlistDelta::new();
+            d.push(op.clone());
+            d.validate(&problem).unwrap();
+        }
+        // Feasibility preservation: a bound edit either loosens/removes an
+        // existing constraint or sits at the delay ceiling — below-ceiling
+        // bounds on fresh pairs could compound into an infeasible problem.
+        let max_delay = (0..problem.m())
+            .flat_map(|i| (0..problem.m()).map(move |j| (i, j)))
+            .map(|(i, j)| problem.topology().delay()[(i, j)])
+            .max()
+            .unwrap()
+            .max(1);
+        for op in &a {
+            if let EditOp::SetTimingBound {
+                a: ca,
+                b: cb,
+                bound: Some(bound),
+            } = op
+            {
+                let existing = problem.timing().get(*ca, *cb);
+                match existing {
+                    Some(limit) => assert!(*bound >= limit || *bound == max_delay),
+                    None => assert_eq!(*bound, max_delay),
+                }
+            }
+        }
+        // The mix covers the taxonomy.
+        assert!(a.iter().any(|o| matches!(o, EditOp::ReweightPair { .. })));
+        assert!(a.iter().any(|o| matches!(o, EditOp::AddPair { .. })));
+        assert!(a.iter().any(|o| matches!(o, EditOp::RemovePair { .. })));
+        assert!(a
+            .iter()
+            .any(|o| matches!(o, EditOp::SetTimingBound { .. })));
+    }
+
+    #[test]
+    fn script_round_trips() {
+        let spec = scaled_spec(&PAPER_SUITE[1], 0.2);
+        let problem = build_instance(&spec, &SuiteOptions::default()).unwrap();
+        let options = EcoStreamOptions {
+            edits: 50,
+            ..EcoStreamOptions::default()
+        };
+        let text = eco_script(&problem, &options);
+        let parsed = qbp_eco::script::parse_script(&text).unwrap();
+        assert_eq!(parsed.len(), 50);
+        let stream = eco_edit_stream(&problem, &options);
+        for ((_, op), want) in parsed.iter().zip(&stream) {
+            assert_eq!(&op.resolve(&problem).unwrap(), want);
+        }
+    }
+}

@@ -33,12 +33,14 @@
 #![warn(rust_2018_idioms)]
 
 mod constraints;
+mod eco;
 mod hierarchy;
 mod qap;
 mod suite;
 mod synthetic;
 
 pub use constraints::ConstraintSampler;
+pub use eco::{eco_edit_stream, eco_script, EcoStreamOptions};
 pub use hierarchy::HierarchicalCircuit;
 pub use qap::{random_qap, QapSpec};
 pub use suite::{

@@ -1,0 +1,54 @@
+//! The ECO stream generator's contract: a feasible problem stays feasible
+//! across the whole stream. The planted witness of the generated instance
+//! must satisfy every evolved problem — bound edits only loosen, remove, or
+//! add at the delay ceiling, and wire edits never touch the constraint set.
+//! (A below-ceiling bound on a fresh pair once slipped through here and
+//! compounded into genuinely infeasible problems deep into long streams.)
+
+use qbp_core::check_feasibility;
+use qbp_eco::{EcoConfig, EcoSession, NetlistDelta};
+use qbp_gen::{
+    build_instance_with_witness, eco_edit_stream, scaled_spec, EcoStreamOptions, SuiteOptions,
+    PAPER_SUITE,
+};
+use qbp_observe::NoopObserver;
+use qbp_solver::QbpConfig;
+
+#[test]
+fn stream_preserves_planted_witness() {
+    let spec = scaled_spec(&PAPER_SUITE[0], 0.1);
+    let (problem, witness) =
+        build_instance_with_witness(&spec, &SuiteOptions::default()).unwrap();
+    assert!(check_feasibility(&problem, &witness).is_feasible());
+    let stream = eco_edit_stream(
+        &problem,
+        &EcoStreamOptions {
+            edits: 300,
+            seed: 1993,
+            structural: true,
+        },
+    );
+    let config = EcoConfig {
+        solver: QbpConfig {
+            iterations: 20,
+            ..QbpConfig::default()
+        },
+        ..EcoConfig::default()
+    };
+    let mut session = EcoSession::with_assignment(problem, witness.clone(), config).unwrap();
+    for (k, op) in stream.iter().enumerate() {
+        let mut delta = NetlistDelta::new();
+        delta.push(op.clone());
+        let (_, solve) = session.apply_and_resolve(&delta, &mut NoopObserver).unwrap();
+        assert!(
+            check_feasibility(session.problem(), &witness).is_feasible(),
+            "edit {k} ({op:?}) broke the planted witness"
+        );
+        assert!(
+            solve.feasible,
+            "edit {k} ({op:?}) left the warm re-solve infeasible on a \
+             feasibility-preserving stream"
+        );
+    }
+    assert!(session.state_matches_fresh());
+}

@@ -308,6 +308,38 @@ pub enum SolveEvent {
         /// The resolved thread budget the batch ran under.
         threads: usize,
     },
+    /// An ECO netlist delta was applied to a live [`EcoSession`]: the
+    /// problem was mutated in place and the incremental solver state (CSR
+    /// `Q̂` body rows, timing-class tables, partition profiles) was synced —
+    /// by local row patches when the delta was small, by a full rebuild when
+    /// it crossed the staleness threshold.
+    ///
+    /// [`EcoSession`]: https://docs.rs/qbp-eco
+    DeltaApplied {
+        /// 1-based delta sequence number within the session.
+        delta: usize,
+        /// Canonical edit ops the delta contained after dedup/merge.
+        ops: usize,
+        /// CSR rows re-derived and spliced in place (0 on the rebuild path).
+        patched_rows: usize,
+        /// Whether the staleness threshold forced a full state rebuild.
+        rebuilt: bool,
+    },
+    /// A warm re-solve after an ECO delta finished: a localized descent over
+    /// the dirty component set, escalated to a capped full solve only when
+    /// the local pass could not restore feasibility or quality.
+    WarmSolve {
+        /// 1-based delta sequence number the solve belongs to.
+        delta: usize,
+        /// Dirty components seeding the localized pass.
+        dirty: usize,
+        /// Whether the capped full solver ran after the localized pass.
+        escalated: bool,
+        /// Final embedded objective of the re-solve.
+        value: i64,
+        /// Whether the result satisfies C1 and C2 on the patched problem.
+        feasible: bool,
+    },
 }
 
 impl SolveEvent {
@@ -330,6 +362,8 @@ impl SolveEvent {
             SolveEvent::LevelCoarsened { .. } => "level_coarsened",
             SolveEvent::LevelRefined { .. } => "level_refined",
             SolveEvent::ParallelBatch { .. } => "parallel_batch",
+            SolveEvent::DeltaApplied { .. } => "delta_applied",
+            SolveEvent::WarmSolve { .. } => "warm_solve",
         }
     }
 }
@@ -432,6 +466,13 @@ pub struct CounterSnapshot {
     /// Largest resolved thread budget any parallel batch ran under (0 when
     /// every batch ran serially).
     pub threads_used: u64,
+    /// ECO netlist deltas applied to live sessions.
+    pub eco_deltas: u64,
+    /// Total CSR rows patched in place across all ECO deltas.
+    pub eco_patched_rows: u64,
+    /// ECO deltas that crossed the staleness threshold and rebuilt the
+    /// solver state from scratch instead of patching.
+    pub eco_rebuilds: u64,
 }
 
 impl CounterSnapshot {
@@ -446,7 +487,9 @@ impl CounterSnapshot {
              \"moves_accepted\": {}, \"moves_rejected\": {}, \
              \"improvements\": {}, \"runs\": {}, \"levels_coarsened\": {}, \
              \"levels_refined\": {}, \"parallel_batches\": {}, \
-             \"parallel_tasks\": {}, \"threads_used\": {}}}",
+             \"parallel_tasks\": {}, \"threads_used\": {}, \
+             \"eco_deltas\": {}, \"eco_patched_rows\": {}, \
+             \"eco_rebuilds\": {}}}",
             self.solves,
             self.iterations,
             self.eta_full,
@@ -469,6 +512,9 @@ impl CounterSnapshot {
             self.parallel_batches,
             self.parallel_tasks,
             self.threads_used,
+            self.eco_deltas,
+            self.eco_patched_rows,
+            self.eco_rebuilds,
         )
     }
 }
@@ -502,6 +548,9 @@ pub struct CountersObserver {
     parallel_batches: AtomicU64,
     parallel_tasks: AtomicU64,
     threads_used: AtomicU64,
+    eco_deltas: AtomicU64,
+    eco_patched_rows: AtomicU64,
+    eco_rebuilds: AtomicU64,
 }
 
 impl CountersObserver {
@@ -583,6 +632,18 @@ impl CountersObserver {
                 self.parallel_tasks.fetch_add(*tasks as u64, R);
                 self.threads_used.fetch_max(*threads as u64, R);
             }
+            SolveEvent::DeltaApplied {
+                patched_rows,
+                rebuilt,
+                ..
+            } => {
+                self.eco_deltas.fetch_add(1, R);
+                self.eco_patched_rows.fetch_add(*patched_rows as u64, R);
+                if *rebuilt {
+                    self.eco_rebuilds.fetch_add(1, R);
+                }
+            }
+            SolveEvent::WarmSolve { .. } => {}
         }
     }
 
@@ -612,6 +673,9 @@ impl CountersObserver {
             parallel_batches: self.parallel_batches.load(R),
             parallel_tasks: self.parallel_tasks.load(R),
             threads_used: self.threads_used.load(R),
+            eco_deltas: self.eco_deltas.load(R),
+            eco_patched_rows: self.eco_patched_rows.load(R),
+            eco_rebuilds: self.eco_rebuilds.load(R),
         }
     }
 }
@@ -870,6 +934,29 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
                 ", \"iteration\": {iteration}, \"tasks\": {tasks}, \"threads\": {threads}"
             ));
         }
+        SolveEvent::DeltaApplied {
+            delta,
+            ops,
+            patched_rows,
+            rebuilt,
+        } => {
+            s.push_str(&format!(
+                ", \"delta\": {delta}, \"ops\": {ops}, \"patched_rows\": {patched_rows}, \
+                 \"rebuilt\": {rebuilt}"
+            ));
+        }
+        SolveEvent::WarmSolve {
+            delta,
+            dirty,
+            escalated,
+            value,
+            feasible,
+        } => {
+            s.push_str(&format!(
+                ", \"delta\": {delta}, \"dirty\": {dirty}, \"escalated\": {escalated}, \
+                 \"value\": {value}, \"feasible\": {feasible}"
+            ));
+        }
     }
     s.push_str("}\n");
     s
@@ -1104,6 +1191,19 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
             tasks: fields.num("tasks")?,
             threads: fields.num("threads")?,
         },
+        "delta_applied" => SolveEvent::DeltaApplied {
+            delta: fields.num("delta")?,
+            ops: fields.num("ops")?,
+            patched_rows: fields.num("patched_rows")?,
+            rebuilt: fields.bool("rebuilt")?,
+        },
+        "warm_solve" => SolveEvent::WarmSolve {
+            delta: fields.num("delta")?,
+            dirty: fields.num("dirty")?,
+            escalated: fields.bool("escalated")?,
+            value: fields.num("value")?,
+            feasible: fields.bool("feasible")?,
+        },
         other => return Err(TraceParseError::UnknownEvent(other.to_string())),
     };
     Ok(TraceRecord { t_ns, event })
@@ -1298,6 +1398,9 @@ mod tests {
             "parallel_batches",
             "parallel_tasks",
             "threads_used",
+            "eco_deltas",
+            "eco_patched_rows",
+            "eco_rebuilds",
         ] {
             assert!(json.contains(key), "snapshot json lacks {key}");
         }
@@ -1315,7 +1418,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..15, 0usize..6, 0usize..2),
+            (0usize..17, 0usize..6, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1404,10 +1507,23 @@ mod proptests {
                             tasks: partitions,
                             threads: components,
                         },
-                        _ => SolveEvent::ProfileUpdated {
+                        14 => SolveEvent::ProfileUpdated {
                             iteration,
                             rebuilt: b1,
                             moved: violations,
+                        },
+                        15 => SolveEvent::DeltaApplied {
+                            delta: iteration,
+                            ops: partitions,
+                            patched_rows: components,
+                            rebuilt: b1,
+                        },
+                        _ => SolveEvent::WarmSolve {
+                            delta: iteration,
+                            dirty: components,
+                            escalated: b1,
+                            value: delta,
+                            feasible: b2,
                         },
                     }
                 },

@@ -60,4 +60,5 @@ pub use lap::{solve_lap, solve_lap_int, solve_lap_observed, LapSolution};
 pub use qap::{QapConfig, QapSolver};
 pub use qbp::{
     EtaMode, IterationStats, PenaltyMode, QbpConfig, QbpOutcome, QbpSolver, SolveWorkspace,
+    WarmOutcome,
 };

@@ -231,6 +231,28 @@ pub struct QbpOutcome {
     pub elapsed: Duration,
 }
 
+/// Result of a warm re-solve ([`QbpSolver::solve_warm`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmOutcome {
+    /// Re-solved assignment.
+    pub assignment: Assignment,
+    /// `yᵀQ̂y` of [`WarmOutcome::assignment`].
+    pub embedded_value: Cost,
+    /// Plain objective of the assignment.
+    pub objective: Cost,
+    /// Whether the assignment satisfies C1 **and** C2.
+    pub feasible: bool,
+    /// Whether the localized pass had to escalate to a capped full solve.
+    pub escalated: bool,
+    /// Wall-clock time of the re-solve.
+    pub elapsed: Duration,
+}
+
+/// Iteration cap of the first escalation rung of [`QbpSolver::solve_warm`]:
+/// enough Burkard iterations to re-place a localized disturbance, far below
+/// the paper's 100-iteration cold budget.
+pub(crate) const WARM_ESCALATION_ITERATIONS: usize = 12;
+
 /// The generalized Burkard heuristic solver.
 ///
 /// ```
@@ -870,6 +892,123 @@ impl QbpSolver {
         }
         Ok(None)
     }
+
+    /// Warm re-solve for incremental (ECO) flows: repairs `initial` around
+    /// the `dirty` component set instead of solving from scratch.
+    ///
+    /// The ladder has three rungs, each only climbed when the previous one
+    /// leaves the assignment infeasible:
+    ///
+    /// 1. **Localized descent** — sequential coordinate descent on `yᵀQ̂y`
+    ///    restricted to the dirty components and their one-hop neighborhood
+    ///    (wires *and* timing constraints). Most small deltas resolve here in
+    ///    O(dirty·deg·M), which is what makes an ECO edit stream orders of
+    ///    magnitude cheaper than cold solves.
+    /// 2. **Capped full solve** — the regular Burkard loop seeded from the
+    ///    polished assignment, capped at [`WARM_ESCALATION_ITERATIONS`]
+    ///    iterations.
+    /// 3. **Full-budget solve** — the configured cold budget, as a last
+    ///    resort.
+    ///
+    /// The result of the highest rung climbed is returned (a later rung's
+    /// answer is only preferred when it is feasible or strictly better), with
+    /// [`WarmOutcome::escalated`] reporting whether rung 2 or 3 ran. `dirty`
+    /// may contain duplicates and out-of-range indices are ignored; an empty
+    /// `dirty` set still verifies (and if needed repairs) the assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `initial` does not match the problem's
+    /// dimensions or the penalty configuration is invalid.
+    pub fn solve_warm(
+        &self,
+        problem: &Problem,
+        initial: &Assignment,
+        dirty: &[usize],
+        obs: &mut dyn SolveObserver,
+    ) -> Result<WarmOutcome, Error> {
+        let start = Instant::now();
+        problem.validate_assignment(initial)?;
+        let q = self.build_qmatrix(problem)?;
+        let eval = Evaluator::new(problem);
+        let n = problem.n();
+        let sizes: Vec<u64> = (0..n)
+            .map(|j| problem.circuit().size(ComponentId::new(j)))
+            .collect();
+        let capacities = problem.topology().capacities().to_vec();
+        let mut asg = initial.clone();
+        let mut scratch = DescentScratch::default();
+
+        // Rung 1: localized descent over dirty + one-hop frontier.
+        let circuit = problem.circuit();
+        let timing = problem.timing();
+        let mut active = vec![false; n];
+        for &j in dirty {
+            if j >= n {
+                continue;
+            }
+            active[j] = true;
+            let cj = ComponentId::new(j);
+            for (o, _) in circuit.out_connections(cj) {
+                active[o.index()] = true;
+            }
+            for (o, _) in circuit.in_connections(cj) {
+                active[o.index()] = true;
+            }
+            for (o, _) in timing.constraints_from(cj) {
+                active[o.index()] = true;
+            }
+            for (o, _) in timing.constraints_into(cj) {
+                active[o.index()] = true;
+            }
+        }
+        localized_descent(&q, &mut asg, &sizes, &capacities, &active, 6, &mut scratch);
+        if check_feasibility(problem, &asg).is_feasible() {
+            // The disturbance is repaired; a short global timing-clean
+            // polish catches improving moves just beyond the dirty frontier
+            // (two O(N·deg·M) sweeps — still a small fraction of one cold
+            // Burkard iteration's GAP solves).
+            clean_descent(&q, &mut asg, &sizes, &capacities, 2, &mut scratch);
+            let embedded_value = q.value(&asg);
+            return Ok(WarmOutcome {
+                embedded_value,
+                objective: eval.cost(&asg),
+                assignment: asg,
+                feasible: true,
+                escalated: false,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        // Rung 2: capped full solve seeded from the polished assignment.
+        let capped = QbpConfig {
+            iterations: WARM_ESCALATION_ITERATIONS.min(self.config.iterations.max(1)),
+            ..self.config
+        };
+        let mut out = QbpSolver::new(capped).solve_observed(
+            problem,
+            Some(&asg),
+            &mut SolveWorkspace::new(),
+            obs,
+        )?;
+
+        // Rung 3: full-budget solve, only when the capped one stays
+        // infeasible and there is budget beyond the cap.
+        if !out.feasible && self.config.iterations > capped.iterations {
+            let full = self.solve_observed(problem, Some(&asg), &mut SolveWorkspace::new(), obs)?;
+            if full.feasible || full.embedded_value < out.embedded_value {
+                out = full;
+            }
+        }
+        Ok(WarmOutcome {
+            assignment: out.assignment,
+            embedded_value: out.embedded_value,
+            objective: out.objective,
+            feasible: out.feasible,
+            escalated: true,
+            elapsed: start.elapsed(),
+        })
+    }
 }
 
 impl Solver for QbpSolver {
@@ -922,7 +1061,34 @@ pub(crate) fn embedded_descent(
     max_sweeps: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
-    descent_impl(q, asg, sizes, capacities, max_sweeps, false, scratch)
+    descent_impl(q, asg, sizes, capacities, max_sweeps, false, None, scratch)
+}
+
+/// [`embedded_descent`] restricted to an *active* component set: only
+/// components with `active[j]` are considered for moves and swap initiation
+/// (swap partners may be any component). This is the localized repair pass of
+/// [`QbpSolver::solve_warm`] — after a netlist delta, only the dirty
+/// components and their immediate neighbors need re-placement, so the sweep
+/// cost is O(active·deg·M) instead of O(N·deg·M).
+pub(crate) fn localized_descent(
+    q: &QMatrix<'_>,
+    asg: &mut Assignment,
+    sizes: &[u64],
+    capacities: &[u64],
+    active: &[bool],
+    max_sweeps: usize,
+    scratch: &mut DescentScratch,
+) -> bool {
+    descent_impl(
+        q,
+        asg,
+        sizes,
+        capacities,
+        max_sweeps,
+        false,
+        Some(active),
+        scratch,
+    )
 }
 
 /// [`embedded_descent`] restricted to timing-clean transitions: every
@@ -938,7 +1104,7 @@ pub(crate) fn clean_descent(
     max_sweeps: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
-    descent_impl(q, asg, sizes, capacities, max_sweeps, true, scratch)
+    descent_impl(q, asg, sizes, capacities, max_sweeps, true, None, scratch)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -949,6 +1115,7 @@ fn descent_impl(
     capacities: &[u64],
     max_sweeps: usize,
     clean_only: bool,
+    active: Option<&[bool]>,
     scratch: &mut DescentScratch,
 ) -> bool {
     let problem = q.problem();
@@ -969,6 +1136,9 @@ fn descent_impl(
         blocked.clear();
         blocked.resize(n, false);
         for j in 0..n {
+            if active.is_some_and(|a| !a[j]) {
+                continue;
+            }
             let cj = ComponentId::new(j);
             let cur = asg.part_index(j);
             let mut best: (Cost, usize) = (0, cur);
@@ -1014,7 +1184,7 @@ fn descent_impl(
             }
         }
         for j in 0..n {
-            if !hot[j] {
+            if !hot[j] || active.is_some_and(|a| !a[j]) {
                 continue;
             }
             let cj = ComponentId::new(j);
@@ -1471,6 +1641,54 @@ mod tests {
             .unwrap();
         let reused = solver.solve_with(&problem, None, &mut ws).unwrap();
         assert_same_outcome(&fresh, &reused);
+    }
+
+    #[test]
+    fn solve_warm_repairs_locally_without_escalation() {
+        // Cold-solve the paper problem, then knock one component to a bad
+        // partition: the dirty component plus its frontier is exactly the
+        // disturbance, so the localized rung must restore feasibility.
+        let problem = paper_problem(3);
+        let cold = QbpSolver::new(QbpConfig {
+            iterations: 30,
+            ..QbpConfig::default()
+        })
+        .solve(&problem, None)
+        .unwrap();
+        assert!(cold.feasible);
+        let mut disturbed = cold.assignment.clone();
+        let moved = ComponentId::new(1);
+        let elsewhere =
+            qbp_core::PartitionId::new((disturbed.part_index(1) + 2) % problem.m());
+        disturbed.move_to(moved, elsewhere);
+        let warm = QbpSolver::new(QbpConfig {
+            iterations: 30,
+            ..QbpConfig::default()
+        })
+        .solve_warm(&problem, &disturbed, &[1], &mut qbp_observe::NoopObserver)
+        .unwrap();
+        assert!(warm.feasible);
+        assert!(!warm.escalated, "a one-component knock must repair locally");
+        assert!(warm.embedded_value <= cold.embedded_value + cold.embedded_value / 20 + 1);
+    }
+
+    #[test]
+    fn solve_warm_escalates_from_hopeless_start() {
+        // Everything stacked in one partition of capacity 1 cannot be fixed
+        // by moving only the dirty frontier of a single component — the
+        // warm solve must escalate and still end feasible.
+        let problem = paper_problem(1);
+        let stacked = Assignment::from_parts(vec![0, 0, 0]).unwrap();
+        let warm = QbpSolver::new(QbpConfig {
+            iterations: 50,
+            ..QbpConfig::default()
+        })
+        .solve_warm(&problem, &stacked, &[], &mut qbp_observe::NoopObserver)
+        .unwrap();
+        assert!(warm.feasible);
+        assert!(warm.escalated);
+        let (_, opt) = exhaustive_constrained(&problem).unwrap();
+        assert_eq!(warm.objective, opt);
     }
 
     #[test]

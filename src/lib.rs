@@ -1,9 +1,9 @@
 //! Facade crate for the QBP partitioning suite: re-exports the problem model
 //! ([`qbp_core`]), the Quadratic-Boolean-Programming solver ([`qbp_solver`]),
 //! the GFM/GKL interchange baselines ([`qbp_baselines`]), the multilevel
-//! V-cycle driver and method registry ([`qbp_multilevel`]), the
-//! static-timing substrate ([`qbp_timing`]) and the instance generators
-//! ([`qbp_gen`]).
+//! V-cycle driver and method registry ([`qbp_multilevel`]), the incremental
+//! re-partitioning (ECO) layer ([`qbp_eco`]), the static-timing substrate
+//! ([`qbp_timing`]) and the instance generators ([`qbp_gen`]).
 //!
 //! This is a faithful, from-scratch reproduction of
 //! *Shih & Kuh, "Quadratic Boolean Programming for Performance-Driven System
@@ -51,9 +51,33 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Netlists drift after the first solve; the ECO layer ([`qbp_eco`])
+//! absorbs typed edit deltas in place and re-solves warm instead of from
+//! scratch (see `docs/ECO.md`):
+//!
+//! ```
+//! use qbp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = ProblemBuilder::on(PartitionTopology::grid(2, 2, 25)?)
+//!     .component("a", 10)
+//!     .component("b", 20)
+//!     .component("c", 5)
+//!     .pair("a", "b", 5)
+//!     .build()?;
+//! let mut session = EcoSession::new(problem, EcoConfig::default())?;
+//! let delta = NetlistDelta::new().reweight_pair(ComponentId::new(0), ComponentId::new(1), 9);
+//! let (apply, solve) = session.apply_and_resolve(&delta, &mut NoopObserver)?;
+//! assert!(solve.feasible && !apply.rebuilt);
+//! assert!(session.state_matches_fresh());
+//! # Ok(())
+//! # }
+//! ```
 
 pub use qbp_baselines;
 pub use qbp_core;
+pub use qbp_eco;
 pub use qbp_gen;
 pub use qbp_multilevel;
 pub use qbp_observe;
@@ -69,8 +93,13 @@ pub mod prelude {
     };
     pub use qbp_core::{
         check_feasibility, deviation_cost_matrix, Assignment, Circuit, Component, ComponentId,
-        Cost, Delay, DenseMatrix, Error, Evaluator, PairIndex, PartitionId, PartitionTopology,
-        Problem, ProblemBuilder, QMatrix, Size, TimingConstraints, NO_CONSTRAINT,
+        Cost, Delay, DenseMatrix, Error, Evaluator, PairIndex, PartitionId, PartitionProfile,
+        PartitionTopology, Problem, ProblemBuilder, QBody, QMatrix, QbpError, Size,
+        TimingConstraints, NO_CONSTRAINT,
+    };
+    pub use qbp_eco::{
+        run_script, ApplyReport, EcoConfig, EcoSession, EditOp, NetlistDelta, ScriptOp,
+        ScriptSummary,
     };
     pub use qbp_gen::{
         build_instance, build_instance_with_witness, scaled_spec, CircuitSpec, ConstraintSampler,
