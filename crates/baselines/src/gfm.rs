@@ -425,6 +425,7 @@ impl Solver for GfmSolver {
             feasible: true,
             iterations: out.passes,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: out.assignment,
         })
     }

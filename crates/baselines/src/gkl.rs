@@ -385,6 +385,7 @@ impl Solver for GklSolver {
             feasible: true,
             iterations: out.passes,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: out.assignment,
         })
     }

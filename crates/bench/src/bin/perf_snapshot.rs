@@ -11,6 +11,8 @@
 //! * `QBP_SCALE` — instance scale (this binary defaults to 0.25, not 1.0).
 //! * `QBP_SEED` — base seed (default 1993).
 //! * `QBP_BENCH_OUT` — output path (default `BENCH_qbp.json`).
+//! * `QBP_SCALE_N` / `QBP_SCALE_FULL` — size ladder of the embedded
+//!   `scale_bench` block (see `qbp_bench::scale`).
 //!
 //! The snapshot is mostly informational (CI runs it non-gating), but the
 //! binary exits non-zero on correctness or efficiency contract violations:
@@ -749,7 +751,7 @@ fn eco_bench(scale: f64, suite_options: &SuiteOptions, seed: u64, edits: usize) 
         session = EcoSession::with_assignment(problem, baseline.assignment, config)
             .expect("eco session rebase");
     } else {
-        session
+        let _ = session
             .reanchor(&mut NoopObserver)
             .expect("initial reanchor solve");
     }
@@ -1050,19 +1052,34 @@ fn main() {
     // Thread scaling: the η batch kernel and one full QBP solve at 1/2/4
     // threads; thread counts beyond the host's cores still fan out (the
     // determinism contract is exercised either way, the speedup just
-    // flattens).
-    let scaling = thread_scaling(problem, witness, opts.seed);
-    eprintln!(
-        "thread_scaling ({MULTISTART_CIRCUIT}): η {:.4}s → {:.4}s at 4 threads \
-         ({:.2}x), solve {:.3}s → {:.3}s ({:.2}x), bit_identical {}",
-        scaling.eta_seconds[0],
-        scaling.eta_seconds[2],
-        scaling.eta_seconds[0] / scaling.eta_seconds[2].max(1e-12),
-        scaling.solve_seconds[0],
-        scaling.solve_seconds[2],
-        scaling.solve_seconds[0] / scaling.solve_seconds[2].max(1e-12),
-        scaling.bit_identical
-    );
+    // flattens). On a single-core host every count exercises the same serial
+    // path, so the probe is skipped with an explicit marker — downstream
+    // tooling sees `"skipped": "single_core"` instead of a missing block —
+    // and its determinism gate is vacuously satisfied.
+    let scaling_json;
+    let mut scaling_bit_identical = true;
+    if threads_available == 1 {
+        eprintln!("thread_scaling ({MULTISTART_CIRCUIT}): skipped (single core)");
+        scaling_json = format!(
+            "{{\n    \"circuit\": \"{MULTISTART_CIRCUIT}\",\n    \
+             \"skipped\": \"single_core\"\n  }}"
+        );
+    } else {
+        let scaling = thread_scaling(problem, witness, opts.seed);
+        eprintln!(
+            "thread_scaling ({MULTISTART_CIRCUIT}): η {:.4}s → {:.4}s at 4 threads \
+             ({:.2}x), solve {:.3}s → {:.3}s ({:.2}x), bit_identical {}",
+            scaling.eta_seconds[0],
+            scaling.eta_seconds[2],
+            scaling.eta_seconds[0] / scaling.eta_seconds[2].max(1e-12),
+            scaling.solve_seconds[0],
+            scaling.solve_seconds[2],
+            scaling.solve_seconds[0] / scaling.solve_seconds[2].max(1e-12),
+            scaling.bit_identical
+        );
+        scaling_bit_identical = scaling.bit_identical;
+        scaling_json = scaling.to_json();
+    }
 
     // Multistart speedup: the same restarts serially (threads = 1) and in
     // parallel (threads = 0 → all cores); the winners must be bit-identical.
@@ -1152,6 +1169,15 @@ fn main() {
         eprintln!("warning: counters overhead above the 2% budget (informational)");
     }
 
+    // Scale ladder: clustered instances at N ∈ {10³, 10⁴, 10⁵} (10⁶ behind
+    // QBP_SCALE_FULL=1, one size via QBP_SCALE_N), multilevel vs flat at
+    // every size plus the compact-vs-nested layout audit. Informational —
+    // feasibility is gated by the standalone `scale_bench` binary, not here.
+    let scale_opts = qbp_bench::scale::ScaleOptions::from_env();
+    let scale_points = qbp_bench::scale::run_scale_bench(&scale_opts);
+    let scale_bench_json = qbp_bench::scale::scale_json(scale_opts.seed, &scale_points)
+        .replace('\n', "\n  ");
+
     let kernel_bench_json = kernels
         .iter()
         .map(|kb| format!("\n    {}", kb.to_json()))
@@ -1166,6 +1192,7 @@ fn main() {
          \"eco_bench\": {},\n  \
          \"thread_scaling\": {},\n  \
          \"multistart\": {},\n  \
+         \"scale_bench\": {},\n  \
          \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
          \"threads_used\": 1,\n    \
          \"noop_seconds\": {:.6},\n    \"counters_seconds\": {:.6},\n    \
@@ -1182,8 +1209,9 @@ fn main() {
         ml_paper.to_json(),
         ml_synth.to_json(),
         eco.to_json(),
-        scaling.to_json(),
+        scaling_json,
         multistart_json,
+        scale_bench_json,
         MULTISTART_CIRCUIT,
         OVERHEAD_REPS,
         noop_seconds,
@@ -1197,7 +1225,7 @@ fn main() {
         eprintln!("error: parallel multistart diverged from serial (determinism bug)");
         std::process::exit(1);
     }
-    if !scaling.bit_identical {
+    if !scaling_bit_identical {
         eprintln!("error: thread-scaling runs diverged across thread counts (determinism bug)");
         std::process::exit(1);
     }

@@ -7,6 +7,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod scale;
 
 pub use harness::{
     default_methods, initial_solution, print_table, run_circuit, run_circuit_with_fallback,

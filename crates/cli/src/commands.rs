@@ -1,16 +1,17 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::Args;
-use qbp_core::io::{parse_assignment, parse_problem, write_assignment, write_problem};
+use qbp_core::hw::{AutoProfile, HostInfo};
+use qbp_core::io::{parse_assignment, read_problem, write_assignment, write_problem};
 use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem, QbpError};
 use qbp_eco::{run_script, EcoConfig, EcoSession};
 use qbp_multilevel::{build_solver, MlqbpConfig, MlqbpSolver, SOLVER_NAMES};
-use qbp_observe::{CountersObserver, SolveObserver, TeeObserver, TraceObserver};
+use qbp_observe::{CountersObserver, SolveEvent, SolveObserver, TeeObserver, TraceObserver};
 use qbp_solver::{
     greedy_first_fit, moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport,
 };
 use std::fs::{self, File};
-use std::io::BufWriter;
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 /// Every subcommand returns a typed [`QbpError`] so `main` can map the
@@ -21,8 +22,12 @@ fn read_file(path: &str) -> Result<String, QbpError> {
     fs::read_to_string(path).map_err(|e| QbpError::io(path, &e))
 }
 
+/// Loads a `.qbp` file through the streaming reader: the CSR problem is
+/// assembled line by line off a [`BufReader`], so a million-component file
+/// never materializes as one `String` first.
 fn load_problem(path: &str) -> Result<Problem, QbpError> {
-    Ok(parse_problem(&read_file(path)?)?)
+    let file = File::open(path).map_err(|e| QbpError::io(path, &e))?;
+    Ok(read_problem(BufReader::new(file))?)
 }
 
 fn emit(output: Option<&str>, contents: &str) -> Result<(), QbpError> {
@@ -42,13 +47,36 @@ pub fn solve(args: &Args) -> CommandResult {
     let path = args.required(1, "problem file")?;
     let problem = load_problem(path)?;
     let method = args.get("method").unwrap_or("qbp").to_lowercase();
-    let opts = args.common_opts()?;
-    let runs = args.runs()?;
-    let ml = MlFlags {
+    let mut opts = args.common_opts()?;
+    let mut runs = args.runs()?;
+    let mut ml = MlFlags {
         levels: args.get_parsed_opt_aliased("mlqbp-levels", "ml-levels", "an integer")?,
         min_size: args.get_parsed_opt_aliased("mlqbp-min-size", "ml-min-size", "an integer")?,
     };
     let quiet = args.switch("quiet");
+
+    // `--auto`: fill whichever knobs the user left unset from the detected
+    // host and the problem size. Explicit flags always win.
+    let auto_profile = if args.switch("auto") {
+        let profile = AutoProfile::for_problem(&HostInfo::detect(), problem.n());
+        if args.get("threads").is_none() {
+            opts.threads = profile.threads;
+        }
+        if method == "qbp" && args.get("runs").is_none() {
+            runs = profile.multistart_width;
+        }
+        if method == "mlqbp" {
+            if ml.levels.is_none() {
+                ml.levels = Some(profile.mlqbp_levels);
+            }
+            if ml.min_size.is_none() {
+                ml.min_size = Some(profile.mlqbp_min_size);
+            }
+        }
+        Some(profile)
+    } else {
+        None
+    };
 
     let initial = match args.get("initial") {
         Some(p) => Some(parse_assignment(&read_file(p)?, &problem, false)?),
@@ -61,7 +89,7 @@ pub fn solve(args: &Args) -> CommandResult {
     let mut counters_sink = CountersObserver::new();
     let mut trace = open_trace(args)?;
 
-    let report = {
+    let mut report = {
         let mut tee = TeeObserver::new();
         if use_counters {
             tee.push(&mut counters_sink);
@@ -69,8 +97,19 @@ pub fn solve(args: &Args) -> CommandResult {
         if let Some(t) = trace.as_mut() {
             tee.push(t);
         }
+        if let Some(p) = auto_profile {
+            tee.on_event(&SolveEvent::AutoConfigured {
+                cores: p.cores,
+                ram_mb: p.available_ram_mb,
+                threads: p.threads,
+                levels: p.mlqbp_levels,
+                min_size: p.mlqbp_min_size,
+                width: p.multistart_width,
+            });
+        }
         run_method(&problem, &method, &opts, runs, &ml, initial.as_ref(), &mut tee)?
     };
+    report.auto_profile = auto_profile;
 
     let label = method.to_uppercase();
     if !report.feasible {
@@ -159,6 +198,7 @@ fn run_method(
             feasible: out.feasible,
             iterations: out.iterations,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: out.assignment,
         });
     }
@@ -325,9 +365,44 @@ pub fn feasible(args: &Args) -> CommandResult {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `qbp gen` — generate a suite or QAP instance as a `.qbp` file.
+/// `qbp gen --gen-clustered` — stream a seeded clustered circuit of
+/// `--components N` straight to the output. The edge set is generated and
+/// written on the fly, so a million-component instance costs `O(cluster)`
+/// working memory instead of holding the full circuit.
+fn generate_clustered(args: &Args) -> CommandResult {
+    let seed = args.get_parsed("seed", 1993u64, "an integer")?;
+    let components = args.get_parsed("components", 10_000usize, "a component count >= 2")?;
+    if components < 2 {
+        return Err(QbpError::Usage("--components must be at least 2".into()));
+    }
+    let gen = qbp_gen::ClusteredCircuit::new(components).seed(seed);
+    match args.get("output") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| QbpError::io(path, &e))?;
+            let mut w = BufWriter::new(file);
+            gen.write_qbp(&mut w).map_err(|e| QbpError::io(path, &e))?;
+            w.flush().map_err(|e| QbpError::io(path, &e))?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            gen.write_qbp(stdout.lock())
+                .map_err(|e| QbpError::io("stdout", &e))?;
+        }
+    }
+    eprintln!(
+        "generated: {components} clustered components on a {} -partition grid (seed {seed})",
+        gen.partitions()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `qbp gen` — generate a suite, QAP, or streamed clustered instance as a
+/// `.qbp` file.
 pub fn generate(args: &Args) -> CommandResult {
-    let what = args.required(1, "instance name (ckta..cktg or qap)")?;
+    if args.switch("gen-clustered") || args.positional(1) == Some("clustered") {
+        return generate_clustered(args);
+    }
+    let what = args.required(1, "instance name (ckta..cktg, qap, or clustered)")?;
     let seed = args.get_parsed("seed", 1993u64, "an integer")?;
     let problem = if what == "qap" {
         let n = args.get_parsed("size", 16usize, "an integer")?;
@@ -617,6 +692,100 @@ timing alu cache 1
         );
         let _ = fs::remove_file(problem_path);
         let _ = fs::remove_file(asg_path);
+    }
+
+    #[test]
+    fn solve_auto_records_profile_in_trace() {
+        let problem_path = temp_path("auto.qbp");
+        let trace_path = temp_path("auto-trace.jsonl");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--auto",
+            "--iterations",
+            "20",
+            "--quiet",
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let text = fs::read_to_string(&trace_path).expect("trace written");
+        let first = qbp_observe::parse_trace_line(text.lines().next().expect("nonempty"))
+            .expect("line parses");
+        assert_eq!(
+            first.event.name(),
+            "auto_configured",
+            "the auto profile must lead the trace"
+        );
+        // Explicit flags beat the profile: --threads 1 must survive --auto.
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--auto",
+            "--threads",
+            "1",
+            "--iterations",
+            "20",
+            "--quiet",
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn gen_clustered_streams_a_solvable_instance() {
+        let problem_path = temp_path("clustered.qbp");
+        let code = generate(&args(&[
+            "gen",
+            "--gen-clustered",
+            "--components",
+            "200",
+            "--seed",
+            "5",
+            "--output",
+            problem_path.to_str().expect("utf8"),
+        ]))
+        .expect("gen runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let problem = load_problem(problem_path.to_str().expect("utf8")).expect("parses");
+        assert_eq!(problem.n(), 200);
+        assert_eq!(problem.m(), 16);
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--iterations",
+            "20",
+            "--quiet",
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        // The positional spelling generates the identical file.
+        let alias_path = temp_path("clustered-alias.qbp");
+        generate(&args(&[
+            "gen",
+            "clustered",
+            "--components",
+            "200",
+            "--seed",
+            "5",
+            "--output",
+            alias_path.to_str().expect("utf8"),
+        ]))
+        .expect("gen runs");
+        assert_eq!(
+            fs::read_to_string(&problem_path).expect("read"),
+            fs::read_to_string(&alias_path).expect("read")
+        );
+        assert!(matches!(
+            generate(&args(&["gen", "--gen-clustered", "--components", "1"])),
+            Err(QbpError::Usage(_))
+        ));
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(alias_path);
     }
 
     #[test]

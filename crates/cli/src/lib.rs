@@ -26,12 +26,17 @@ USAGE:
   qbp solve <problem.qbp> [--method qbp|qap|gfm|gkl|anneal|mlqbp]
             [--iterations N] [--seed S] [--runs R] [--threads T]
             [--stall-window W] [--mlqbp-levels L] [--mlqbp-min-size K]
-            [--initial file] [--output file] [--quiet]
+            [--auto] [--initial file] [--output file] [--quiet]
             [--trace file.jsonl] [--counters]
 
   --runs R        multistart restarts for --method qbp (winner is the best
                   run; deterministic for a fixed seed regardless of threads)
   --threads T     worker threads for the multistart (0 = all cores)
+  --auto          derive unset knobs (--threads, --runs, --mlqbp-levels,
+                  --mlqbp-min-size) from the detected host (cores, available
+                  RAM) and the problem size; explicit flags always win. The
+                  chosen profile is recorded in the JSONL trace as an
+                  auto_configured event.
   --stall-window W  stall-detection window for qbp/qap (0 disables restarts)
   --mlqbp-levels L   max coarsening levels for --method mlqbp (default 8)
   --mlqbp-min-size K stop coarsening at K components for --method mlqbp
@@ -60,6 +65,12 @@ USAGE:
   qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]
             [--size N] [--output file]
             [--eco-script file.jsonl] [--eco-edits N]
+  qbp gen --gen-clustered --components N [--seed S] [--output file]
+                  stream a seeded clustered circuit (intra-cluster rings and
+                  chords, sparse inter-cluster links) of N components; edges
+                  are written as they are generated, so million-component
+                  files need only constant working memory (`clustered` as
+                  the instance name does the same)
   qbp stats <problem.qbp>
 
 EXIT CODES:
@@ -92,4 +103,4 @@ pub fn exit_code_for(err: &QbpError) -> ExitCode {
 
 /// Boolean flags (no value) understood by the CLI; pass to
 /// [`args::Args::parse`].
-pub const SWITCHES: &[&str] = &["quiet", "no-timing", "counters"];
+pub const SWITCHES: &[&str] = &["quiet", "no-timing", "counters", "auto", "gen-clustered"];

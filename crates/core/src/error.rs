@@ -73,6 +73,18 @@ pub enum Error {
         /// Number of timing violations in the start.
         timing_violations: usize,
     },
+    /// The flattened adjacency has more merged pair records than the compact
+    /// u32-indexed CSR layout can address. Raised by the checked
+    /// [`QBody`](crate::QBody) build path instead of silently truncating
+    /// offsets past the ceiling.
+    IndexOverflow {
+        /// What ran out of index space.
+        what: &'static str,
+        /// Records required.
+        records: u64,
+        /// Largest record count the layout can address.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -121,6 +133,10 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "initial assignment is infeasible ({capacity_violations} capacity, {timing_violations} timing violations)"
+            ),
+            Error::IndexOverflow { what, records, cap } => write!(
+                f,
+                "{what} needs {records} records, exceeding the compact index ceiling of {cap}"
             ),
         }
     }

@@ -103,6 +103,13 @@ pub enum ParseError {
     },
     /// The assembled problem failed semantic validation.
     Invalid(crate::Error),
+    /// Reading from the underlying stream failed mid-parse (streaming
+    /// reader only; the message is captured as text so the error stays
+    /// `Clone` and comparable).
+    Io {
+        /// The underlying I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -125,6 +132,7 @@ impl fmt::Display for ParseError {
                 write!(f, "line {line}: directive requires {needs} first")
             }
             ParseError::Invalid(e) => write!(f, "invalid problem: {e}"),
+            ParseError::Io { message } => write!(f, "read failed: {message}"),
         }
     }
 }
@@ -162,46 +170,93 @@ struct PartitionDraft {
     delay: DenseMatrix<Delay>,
 }
 
-/// Parses a `.qbp` problem description.
-///
-/// # Errors
-///
-/// Returns a [`ParseError`] locating the first offending line, or wrapping
-/// the semantic validation error from [`ProblemBuilder::build`].
-pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
-    let mut lines = logical_lines(text);
-    match lines.next() {
-        Some((_, toks)) if toks.len() == 2 && toks[0] == "qbp" && toks[1] == "1" => {}
-        _ => return Err(ParseError::BadHeader),
+/// Incremental `.qbp` parser: feed one physical line at a time with
+/// [`ProblemAssembler::line`], then [`ProblemAssembler::finish`]. This is the
+/// streaming core behind both [`parse_problem`] (whole-text convenience) and
+/// [`read_problem`] (any `BufRead`, one reused line buffer) — million-line
+/// circuit files never need to sit in memory as a `String`, and directives
+/// apply to the growing [`Circuit`] as they arrive instead of accumulating in
+/// intermediate lists. Timing entries whose endpoints are already declared
+/// resolve eagerly to compact numeric triples; only genuine forward
+/// references (allowed by the format) defer their name strings.
+pub struct ProblemAssembler {
+    header_seen: bool,
+    circuit: Circuit,
+    names: HashMap<String, ComponentId>,
+    draft: Option<PartitionDraft>,
+    timing_resolved: Vec<(ComponentId, ComponentId, Delay)>,
+    timing_deferred: Vec<(usize, String, String, Delay)>,
+    linear_entries: Vec<(usize, usize, usize, Cost)>,
+    scales: (Cost, Cost),
+}
+
+impl Default for ProblemAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn resolve(
+    names: &HashMap<String, ComponentId>,
+    circuit: &Circuit,
+    line: usize,
+    tok: &str,
+) -> Result<ComponentId, ParseError> {
+    if let Some(&id) = names.get(tok) {
+        return Ok(id);
+    }
+    if let Ok(idx) = tok.parse::<usize>() {
+        if idx < circuit.len() {
+            return Ok(ComponentId::new(idx));
+        }
+    }
+    Err(ParseError::UnknownComponent {
+        line,
+        name: tok.to_string(),
+    })
+}
+
+impl ProblemAssembler {
+    /// A fresh assembler expecting the `qbp 1` header line first.
+    pub fn new() -> ProblemAssembler {
+        ProblemAssembler {
+            header_seen: false,
+            circuit: Circuit::new(),
+            names: HashMap::new(),
+            draft: None,
+            timing_resolved: Vec::new(),
+            timing_deferred: Vec::new(),
+            linear_entries: Vec::new(),
+            scales: (1, 1),
+        }
     }
 
-    let mut circuit = Circuit::new();
-    let mut names: HashMap<String, ComponentId> = HashMap::new();
-    let mut draft: Option<PartitionDraft> = None;
-    let mut timing_entries: Vec<(usize, String, String, Delay)> = Vec::new();
-    let mut linear_entries: Vec<(usize, usize, usize, Cost)> = Vec::new();
-    let mut scales = (1, 1);
-
-    let resolve = |names: &HashMap<String, ComponentId>,
-                   circuit: &Circuit,
-                   line: usize,
-                   tok: &str|
-     -> Result<ComponentId, ParseError> {
-        if let Some(&id) = names.get(tok) {
-            return Ok(id);
+    /// Consumes one physical line (`lineno` is 1-based, for error
+    /// reporting). Comments and blank lines are accepted and ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] locating the offending line.
+    pub fn line(&mut self, lineno: usize, raw: &str) -> Result<(), ParseError> {
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            return Ok(());
         }
-        if let Ok(idx) = tok.parse::<usize>() {
-            if idx < circuit.len() {
-                return Ok(ComponentId::new(idx));
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        if !self.header_seen {
+            if toks.len() == 2 && toks[0] == "qbp" && toks[1] == "1" {
+                self.header_seen = true;
+                return Ok(());
             }
+            return Err(ParseError::BadHeader);
         }
-        Err(ParseError::UnknownComponent {
-            line,
-            name: tok.to_string(),
-        })
-    };
+        self.directive(lineno, &toks)
+    }
 
-    for (line, toks) in lines {
+    fn directive(&mut self, line: usize, toks: &[&str]) -> Result<(), ParseError> {
+        let circuit = &mut self.circuit;
+        let names = &mut self.names;
+        let draft = &mut self.draft;
         match toks[0] {
             "scales" => {
                 let (a, b) = match (toks.get(1), toks.get(2)) {
@@ -214,7 +269,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                     }
                 };
                 match (a, b) {
-                    (Ok(a), Ok(b)) => scales = (a, b),
+                    (Ok(a), Ok(b)) => self.scales = (a, b),
                     _ => {
                         return Err(ParseError::BadArguments {
                             line,
@@ -246,8 +301,8 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                         })
                     }
                 };
-                let from = resolve(&names, &circuit, line, a)?;
-                let to = resolve(&names, &circuit, line, b)?;
+                let from = resolve(names, circuit, line, a)?;
+                let to = resolve(names, circuit, line, b)?;
                 let count = w.parse::<Cost>().map_err(|_| ParseError::BadArguments {
                     line,
                     expected: "an integer wire count",
@@ -267,7 +322,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                         line,
                         expected: "partitions <m>",
                     })?;
-                draft = Some(PartitionDraft {
+                *draft = Some(PartitionDraft {
                     capacities: vec![0; m],
                     wire_cost: DenseMatrix::filled(m, m, 0),
                     delay: DenseMatrix::filled(m, m, 0),
@@ -282,7 +337,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                 })?;
                 let topo =
                     PartitionTopology::grid(nums[0] as usize, nums[1] as usize, nums[2])?;
-                draft = Some(PartitionDraft {
+                *draft = Some(PartitionDraft {
                     capacities: topo.capacities().to_vec(),
                     wire_cost: topo.wire_cost().clone(),
                     delay: topo.delay().clone(),
@@ -374,7 +429,20 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                     line,
                     expected: "an integer delay limit",
                 })?;
-                timing_entries.push((line, a.to_string(), b.to_string(), dc));
+                // Resolve eagerly when both endpoints are already declared
+                // (the overwhelmingly common case — writers emit components
+                // first), so streaming a million timing lines stores 16-byte
+                // triples instead of heap strings. Genuine forward
+                // references defer to `finish`.
+                match (
+                    resolve(names, circuit, line, a),
+                    resolve(names, circuit, line, b),
+                ) {
+                    (Ok(from), Ok(to)) => self.timing_resolved.push((from, to, dc)),
+                    _ => self
+                        .timing_deferred
+                        .push((line, a.to_string(), b.to_string(), dc)),
+                }
             }
             "linear" => {
                 let (i, j, p) = match (
@@ -390,7 +458,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                         })
                     }
                 };
-                linear_entries.push((line, i, j, p));
+                self.linear_entries.push((line, i, j, p));
             }
             other => {
                 return Err(ParseError::UnknownDirective {
@@ -399,41 +467,101 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                 })
             }
         }
+        Ok(())
     }
 
-    let draft = draft.ok_or(ParseError::OutOfOrder {
-        line: 0,
-        needs: "`partitions` or `grid`",
-    })?;
-    let topology = PartitionTopology::new(draft.capacities, draft.wire_cost, draft.delay)?;
-
-    let mut timing = TimingConstraints::new(circuit.len());
-    for (line, a, b, dc) in timing_entries {
-        let from = resolve(&names, &circuit, line, &a)?;
-        let to = resolve(&names, &circuit, line, &b)?;
-        timing.add(from, to, dc)?;
-    }
-
-    let mut builder = ProblemBuilder::new(circuit, topology).timing(timing).scales(scales.0, scales.1);
-    if !linear_entries.is_empty() {
-        let m = builder_m(&builder);
-        let n = builder_n(&builder);
-        let mut p = DenseMatrix::filled(m, n, 0);
-        for (line, i, j, v) in linear_entries {
-            if i >= m {
-                return Err(ParseError::BadPartition { line, index: i });
-            }
-            if j >= n {
-                return Err(ParseError::UnknownComponent {
-                    line,
-                    name: j.to_string(),
-                });
-            }
-            p[(i, j)] = v;
+    /// Validates and builds the assembled [`Problem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for a missing header or topology, an
+    /// unresolvable deferred timing reference, or the semantic validation
+    /// error from [`ProblemBuilder::build`].
+    pub fn finish(self) -> Result<Problem, ParseError> {
+        if !self.header_seen {
+            return Err(ParseError::BadHeader);
         }
-        builder = builder.linear_cost(p);
+        let draft = self.draft.ok_or(ParseError::OutOfOrder {
+            line: 0,
+            needs: "`partitions` or `grid`",
+        })?;
+        let topology = PartitionTopology::new(draft.capacities, draft.wire_cost, draft.delay)?;
+
+        let mut timing = TimingConstraints::new(self.circuit.len());
+        for (from, to, dc) in self.timing_resolved {
+            timing.add(from, to, dc)?;
+        }
+        for (line, a, b, dc) in self.timing_deferred {
+            let from = resolve(&self.names, &self.circuit, line, &a)?;
+            let to = resolve(&self.names, &self.circuit, line, &b)?;
+            timing.add(from, to, dc)?;
+        }
+
+        let mut builder = ProblemBuilder::new(self.circuit, topology)
+            .timing(timing)
+            .scales(self.scales.0, self.scales.1);
+        if !self.linear_entries.is_empty() {
+            let m = builder_m(&builder);
+            let n = builder_n(&builder);
+            let mut p = DenseMatrix::filled(m, n, 0);
+            for (line, i, j, v) in self.linear_entries {
+                if i >= m {
+                    return Err(ParseError::BadPartition { line, index: i });
+                }
+                if j >= n {
+                    return Err(ParseError::UnknownComponent {
+                        line,
+                        name: j.to_string(),
+                    });
+                }
+                p[(i, j)] = v;
+            }
+            builder = builder.linear_cost(p);
+        }
+        Ok(builder.build()?)
     }
-    Ok(builder.build()?)
+}
+
+/// Parses a `.qbp` problem description held in memory.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first offending line, or wrapping
+/// the semantic validation error from [`ProblemBuilder::build`].
+pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
+    let mut asm = ProblemAssembler::new();
+    for (k, raw) in text.lines().enumerate() {
+        asm.line(k + 1, raw)?;
+    }
+    asm.finish()
+}
+
+/// Streams a `.qbp` problem description from any [`std::io::BufRead`],
+/// reusing one line buffer — the file never needs to sit in memory as a
+/// whole, which matters for generated million-component circuits.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Io`] when the underlying read fails, otherwise
+/// like [`parse_problem`].
+pub fn read_problem<R: std::io::BufRead>(mut reader: R) -> Result<Problem, ParseError> {
+    let mut asm = ProblemAssembler::new();
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        let read = reader
+            .read_line(&mut buf)
+            .map_err(|e| ParseError::Io {
+                message: e.to_string(),
+            })?;
+        if read == 0 {
+            break;
+        }
+        lineno += 1;
+        asm.line(lineno, &buf)?;
+    }
+    asm.finish()
 }
 
 // ProblemBuilder doesn't expose its internals; these helpers peek through a
@@ -616,6 +744,39 @@ timing cache alu 1
         let text = write_problem(&p);
         let q = parse_problem(&text).expect("round trip parses");
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn streamed_reader_matches_in_memory_parse() {
+        let p = parse_problem(SAMPLE).expect("parses");
+        let streamed = read_problem(std::io::Cursor::new(SAMPLE)).expect("streams");
+        assert_eq!(p, streamed);
+        // Read failures surface as ParseError::Io, not a panic.
+        struct Broken;
+        impl std::io::Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("wire unplugged"))
+            }
+        }
+        let err = read_problem(std::io::BufReader::new(Broken)).unwrap_err();
+        assert!(matches!(err, ParseError::Io { .. }));
+    }
+
+    #[test]
+    fn forward_timing_references_still_resolve() {
+        // `timing` before the components are declared defers by name.
+        let text = "\
+qbp 1
+component a 1
+timing a b 2
+component b 1
+wire a b 3
+grid 1 2 5
+";
+        let p = parse_problem(text).expect("parses");
+        assert_eq!(p.timing().len(), 1);
+        let streamed = read_problem(std::io::Cursor::new(text)).expect("streams");
+        assert_eq!(p, streamed);
     }
 
     #[test]

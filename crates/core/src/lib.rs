@@ -58,6 +58,7 @@ mod circuit;
 mod constraints;
 mod error;
 mod feasibility;
+pub mod hw;
 mod ids;
 pub mod io;
 mod matrix;

@@ -36,6 +36,9 @@ const TAG_ALWAYS: u16 = u16::MAX;
 /// (timing-constrained records past the limit-class cap).
 const TAG_NEVER: u16 = u16::MAX - 1;
 
+/// `fix_idx` sentinel for a column with no constrained-correction row.
+const NO_FIX_ROW: u32 = u32::MAX;
+
 /// Number of `i64` lanes the hot kernels unroll by (the stride of the
 /// structure-of-arrays padding). Chosen to fill a 256-bit vector register
 /// with `i64`s; stable-Rust autovectorization needs no wider hint.
@@ -165,7 +168,7 @@ pub(crate) fn add_rows(slot: &mut [Cost], row: &[Cost]) {
 /// — and it never reads the assignment: a committed swap is simply two
 /// `apply_move` calls (the patches are order-independent because a mover's
 /// own rows aggregate its *partners'* positions, never its own).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PartitionProfile {
     n: usize,
     m: usize,
@@ -199,15 +202,22 @@ pub struct PartitionProfile {
     /// `folded[c·M + p]` copied from the matrix's limit-class tables
     /// (embedded profiles only).
     folded: Vec<bool>,
-    /// Penalty-relevant tally for timing-constrained partners (embedded
-    /// profiles only, and only when the matrix has limit classes):
-    /// `fix[j·M_pad + i]` accumulates, over column `j`'s class-tagged
-    /// constrained in-records, the exact fix-up the η kernel applies on top
-    /// of the base aggregate — `penalty − β·w·b[p][i]` on the violating
-    /// entries of folded records, `β·w·b[p][i] − penalty` on the satisfying
-    /// entries of unfolded ones — while `pen[j]` carries the unfolded
-    /// records' row-wide penalty. Zero-weight timing pairs still tally: they
-    /// contribute pure penalty entries.
+    /// Packed-row index of the constrained-correction tally (embedded
+    /// profiles of a matrix with limit classes only): `fix_idx[j]` is either
+    /// [`NO_FIX_ROW`] — column `j` has no class-tagged in-records — or the
+    /// packed row of `j`'s tally in `fix`/`pen`. Rows are allocated lazily on
+    /// a column's first class-tagged record, so only the (usually small)
+    /// constrained minority of components pays the `M_pad`-wide row; on
+    /// timing-sparse circuits this is the profile's biggest allocation saved.
+    fix_idx: Vec<u32>,
+    /// Penalty-relevant tally for timing-constrained partners, packed by
+    /// `fix_idx`: `fix[r·M_pad + i]` accumulates, over the column's
+    /// class-tagged constrained in-records, the exact fix-up the η kernel
+    /// applies on top of the base aggregate — `penalty − β·w·b[p][i]` on the
+    /// violating entries of folded records, `β·w·b[p][i] − penalty` on the
+    /// satisfying entries of unfolded ones — while `pen[r]` carries the
+    /// unfolded records' row-wide penalty. Zero-weight timing pairs still
+    /// tally: they contribute pure penalty entries.
     fix: Vec<Cost>,
     pen: Vec<Cost>,
     /// Patch tables copied from the matrix's limit classes (embedded
@@ -261,6 +271,7 @@ impl PartitionProfile {
             in_other: Vec::new(),
             in_w: Vec::new(),
             folded: Vec::new(),
+            fix_idx: Vec::new(),
             fix: Vec::new(),
             pen: Vec::new(),
             patch_off: Vec::new(),
@@ -322,6 +333,7 @@ impl PartitionProfile {
             in_other: Vec::new(),
             in_w: Vec::new(),
             folded: Vec::with_capacity(classes.class_count() * m),
+            fix_idx: Vec::new(),
             fix: Vec::new(),
             pen: Vec::new(),
             patch_off: Vec::new(),
@@ -340,8 +352,9 @@ impl PartitionProfile {
             profile.patch_off = off.to_vec();
             profile.patch_idx = idx.to_vec();
             profile.patch_b = b.to_vec();
-            profile.fix = vec![0; n * m_pad];
-            profile.pen = vec![0; n];
+            // Correction rows themselves are allocated lazily, on each
+            // column's first class-tagged record (see `ensure_fix_row`).
+            profile.fix_idx = vec![NO_FIX_ROW; n];
         }
         profile.out_off.push(0);
         for j in 0..n {
@@ -377,6 +390,49 @@ impl PartitionProfile {
     /// Number of components `N`.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Bytes of heap owned by the profile's buffers (capacity, not length),
+    /// for the allocation audit in `perf_snapshot`: the aggregate rows, the
+    /// padded wire-cost copies, the tracked adjacencies, and the timing
+    /// patch tables.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.out_agg.capacity()
+            + self.in_agg.capacity()
+            + self.b_pad.capacity()
+            + self.bt_pad.capacity()
+            + self.out_w.capacity()
+            + self.in_w.capacity()
+            + self.fix.capacity()
+            + self.pen.capacity()
+            + self.patch_b.capacity())
+            * size_of::<Cost>()
+            + (self.out_off.capacity()
+                + self.out_other.capacity()
+                + self.in_off.capacity()
+                + self.in_other.capacity()
+                + self.patch_off.capacity()
+                + self.fix_idx.capacity())
+                * size_of::<u32>()
+            + (self.out_tag.capacity() + self.patch_idx.capacity()) * size_of::<u16>()
+            + self.folded.capacity() * size_of::<bool>()
+    }
+
+    /// Estimated heap of this profile under the pre-compaction layout, where
+    /// the constrained-correction tally was dense — one `M_pad`-wide `fix`
+    /// row and one `pen` slot for *every* component instead of only the
+    /// constrained minority (and no `fix_idx`). `heap_bytes()` relative to
+    /// this is the layout reduction reported by the bench harness's
+    /// `scale_bench`.
+    pub fn dense_layout_bytes(&self) -> usize {
+        use std::mem::size_of;
+        if self.fix_idx.is_empty() {
+            return self.heap_bytes();
+        }
+        self.heap_bytes() - self.fix_idx.capacity() * size_of::<u32>()
+            - (self.fix.capacity() + self.pen.capacity()) * size_of::<Cost>()
+            + self.n * (self.m_pad + 1) * size_of::<Cost>()
     }
 
     /// The out-direction aggregate row of `j`:
@@ -433,20 +489,36 @@ impl PartitionProfile {
         &self.bt_pad[t * self.m_pad..(t + 1) * self.m_pad]
     }
 
-    /// Whether this profile carries the constrained-correction tally (an
-    /// embedded profile of a matrix with at least one limit class).
-    pub(crate) fn tracks_fix(&self) -> bool {
-        !self.fix.is_empty()
-    }
-
     /// The constrained-correction row of column `j` and its row-wide
     /// penalty: the η kernel adds the row elementwise and the penalty to
-    /// every entry. Only meaningful when [`PartitionProfile::tracks_fix`].
-    pub(crate) fn constrained_fix(&self, j: usize) -> (&[Cost], Cost) {
-        (
-            &self.fix[j * self.m_pad..j * self.m_pad + self.m],
-            self.pen[j],
-        )
+    /// every entry. `None` when the profile tracks no limit classes or
+    /// column `j` has no correction row (its tally is identically zero
+    /// either way, so skipping the add is bit-identical).
+    pub(crate) fn constrained_fix(&self, j: usize) -> Option<(&[Cost], Cost)> {
+        let r = *self.fix_idx.get(j)?;
+        if r == NO_FIX_ROW {
+            return None;
+        }
+        let r = r as usize;
+        Some((
+            &self.fix[r * self.m_pad..r * self.m_pad + self.m],
+            self.pen[r],
+        ))
+    }
+
+    /// The packed correction row of column `k`, allocating a zeroed one on
+    /// the column's first class-tagged record.
+    #[inline]
+    fn ensure_fix_row(&mut self, k: usize) -> usize {
+        let r = self.fix_idx[k];
+        if r != NO_FIX_ROW {
+            return r as usize;
+        }
+        let r = self.pen.len();
+        self.fix_idx[k] = r as u32;
+        self.fix.resize(self.fix.len() + self.m_pad, 0);
+        self.pen.push(0);
+        r
     }
 
     /// Adds (`sign = 1`) or removes (`sign = -1`) one class-`c` record of
@@ -454,17 +526,18 @@ impl PartitionProfile {
     /// correction tally, by replaying the `(c, p)` patch list.
     #[inline]
     fn replay(&mut self, k: usize, c: u16, p: usize, sign: Cost, w: Cost) {
+        let r = self.ensure_fix_row(k);
         let cp = c as usize * self.m + p;
         let s = self.patch_off[cp] as usize;
         let t = self.patch_off[cp + 1] as usize;
         let coeff = self.beta * w;
-        let row = &mut self.fix[k * self.m_pad..k * self.m_pad + self.m];
+        let row = &mut self.fix[r * self.m_pad..r * self.m_pad + self.m];
         if self.folded[cp] {
             for (&i, &bi) in self.patch_idx[s..t].iter().zip(&self.patch_b[s..t]) {
                 row[i as usize] += sign * (self.penalty - coeff * bi);
             }
         } else {
-            self.pen[k] += sign * self.penalty;
+            self.pen[r] += sign * self.penalty;
             for (&i, &bi) in self.patch_idx[s..t].iter().zip(&self.patch_b[s..t]) {
                 row[i as usize] += sign * (coeff * bi - self.penalty);
             }
@@ -764,7 +837,52 @@ impl PartitionProfile {
         }
         false
     }
+
+    /// Whether column `j`'s constrained-correction tally matches `other`'s,
+    /// by value: an absent packed row equals a present all-zero one.
+    fn fix_column_eq(&self, other: &Self, j: usize) -> bool {
+        match (self.constrained_fix(j), other.constrained_fix(j)) {
+            (None, None) => true,
+            (Some((row, pen)), None) | (None, Some((row, pen))) => {
+                pen == 0 && row.iter().all(|&v| v == 0)
+            }
+            (Some((ra, pa)), Some((rb, pb))) => pa == pb && ra == rb,
+        }
+    }
 }
+
+/// Equality is structural except for the constrained-correction tally, which
+/// is compared by *value per column*: packed `fix` rows are allocated lazily
+/// in first-touch order, so an incrementally patched profile and a freshly
+/// built one can pack semantically identical rows differently (including a
+/// cancelled-to-zero row versus no row at all).
+impl PartialEq for PartitionProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.m == other.m
+            && self.m_pad == other.m_pad
+            && self.out_agg == other.out_agg
+            && self.in_agg == other.in_agg
+            && self.b_pad == other.b_pad
+            && self.bt_pad == other.bt_pad
+            && self.out_off == other.out_off
+            && self.out_other == other.out_other
+            && self.out_w == other.out_w
+            && self.out_tag == other.out_tag
+            && self.in_off == other.in_off
+            && self.in_other == other.in_other
+            && self.in_w == other.in_w
+            && self.folded == other.folded
+            && self.patch_off == other.patch_off
+            && self.patch_idx == other.patch_idx
+            && self.patch_b == other.patch_b
+            && self.penalty == other.penalty
+            && self.beta == other.beta
+            && (0..self.n).all(|j| self.fix_column_eq(other, j))
+    }
+}
+
+impl Eq for PartitionProfile {}
 
 #[cfg(test)]
 mod tests {

@@ -162,6 +162,72 @@ impl Csr {
             .zip(&self.limit[lo..hi])
             .map(|((&o, &w), &l)| (o as usize, w, l))
     }
+
+    /// Bytes of heap owned by the CSR tables (capacity, not length), for the
+    /// allocation audit in `perf_snapshot`.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.off.capacity() * size_of::<u32>()
+            + self.split.capacity() * size_of::<u32>()
+            + self.other.capacity() * size_of::<u32>()
+            + self.weight.capacity() * size_of::<Cost>()
+            + self.limit.capacity() * size_of::<Delay>()
+    }
+}
+
+/// Streaming CSR assembler with checked `u32` offsets: rows are appended one
+/// at a time from a caller-owned scratch buffer and the running record total
+/// is validated against the index ceiling, so million-component builds never
+/// materialize the nested per-row pair lists and can never silently wrap the
+/// compact offsets past `u32::MAX`.
+struct CsrStream {
+    csr: Csr,
+    cap: u64,
+    what: &'static str,
+}
+
+impl CsrStream {
+    fn with_capacity(n: usize, records: usize, cap: u64, what: &'static str) -> CsrStream {
+        let mut csr = Csr {
+            off: Vec::with_capacity(n + 1),
+            split: Vec::with_capacity(n),
+            other: Vec::with_capacity(records),
+            weight: Vec::with_capacity(records),
+            limit: Vec::with_capacity(records),
+        };
+        csr.off.push(0);
+        CsrStream { csr, cap, what }
+    }
+
+    /// Appends one merged row, repacking into the unconstrained-prefix /
+    /// constrained-suffix layout of [`Csr::from_rows`].
+    fn push_row(&mut self, row: &[Pair]) -> Result<(), Error> {
+        let total = self.csr.other.len() as u64 + row.len() as u64;
+        if total > self.cap {
+            return Err(Error::IndexOverflow {
+                what: self.what,
+                records: total,
+                cap: self.cap,
+            });
+        }
+        for p in row.iter().filter(|p| p.limit == NO_CONSTRAINT) {
+            self.csr.other.push(p.other);
+            self.csr.weight.push(p.weight);
+            self.csr.limit.push(p.limit);
+        }
+        self.csr.split.push(self.csr.other.len() as u32);
+        for p in row.iter().filter(|p| p.limit != NO_CONSTRAINT) {
+            self.csr.other.push(p.other);
+            self.csr.weight.push(p.weight);
+            self.csr.limit.push(p.limit);
+        }
+        self.csr.off.push(self.csr.other.len() as u32);
+        Ok(())
+    }
+
+    fn finish(self) -> Csr {
+        self.csr
+    }
 }
 
 /// Sentinel limit class for records outside the class tables (unconstrained
@@ -272,6 +338,16 @@ impl TimingClasses {
     pub(crate) fn patch_tables(&self) -> (&[u32], &[u16], &[Cost]) {
         (&self.patch_off, &self.patch_idx, &self.patch_b)
     }
+
+    /// Bytes of heap owned by the class tables, for the allocation audit.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.limits.capacity() * size_of::<Delay>()
+            + self.folded.capacity() * size_of::<bool>()
+            + self.patch_off.capacity() * size_of::<u32>()
+            + self.patch_idx.capacity() * size_of::<u16>()
+            + self.patch_b.capacity() * size_of::<Cost>()
+    }
 }
 
 /// The owned, problem-detached payload of a [`QMatrix`]: the penalty, both
@@ -298,10 +374,68 @@ impl QBody {
     /// Builds the body for `problem` with the given timing-violation
     /// penalty — exactly what [`QMatrix::new`] constructs internally.
     ///
+    /// Construction streams one merged row at a time into the compact CSR
+    /// tables (reusing a single scratch row) instead of materializing the
+    /// historical nested `Vec<Vec<_>>` pair lists first, so transient memory
+    /// at build time is `O(max degree)` on top of the final tables. Offsets
+    /// are `u32` and checked: a problem whose merged adjacency exceeds
+    /// `u32::MAX` records is rejected with [`Error::IndexOverflow`] instead
+    /// of silently wrapping.
+    ///
     /// # Errors
     ///
-    /// Returns an error if `penalty` is not positive.
+    /// Returns an error if `penalty` is not positive or the adjacency
+    /// exceeds the compact index ceiling.
     pub fn build(problem: &Problem, penalty: Cost) -> Result<Self, Error> {
+        Self::build_with_index_cap(problem, penalty, u32::MAX as u64)
+    }
+
+    /// [`QBody::build`] with an injectable index ceiling in place of the
+    /// real `u32::MAX`, so tests can exercise the overflow path without
+    /// constructing four billion edges. Production callers use
+    /// [`QBody::build`].
+    pub fn build_with_index_cap(
+        problem: &Problem,
+        penalty: Cost,
+        cap: u64,
+    ) -> Result<Self, Error> {
+        if penalty <= 0 {
+            return Err(Error::NegativeValue {
+                what: "timing penalty",
+                value: penalty,
+            });
+        }
+        let n = problem.n();
+        if n as u64 > cap {
+            return Err(Error::IndexOverflow {
+                what: "component ids",
+                records: n as u64,
+                cap,
+            });
+        }
+        // Upper bound on merged records per direction: every connection plus
+        // every constraint-only record (constraints merged into an existing
+        // connection record shrink this, never grow it).
+        let reserve = problem.circuit().edges().count() + problem.timing().len();
+        let mut out = CsrStream::with_capacity(n, reserve, cap, "out adjacency");
+        let mut inc = CsrStream::with_capacity(n, reserve, cap, "in adjacency");
+        let mut scratch = Vec::new();
+        for j in 0..n {
+            Self::out_row_into(problem, j, &mut scratch);
+            out.push_row(&scratch)?;
+            Self::in_row_into(problem, j, &mut scratch);
+            inc.push_row(&scratch)?;
+        }
+        Self::assemble(problem, penalty, out.finish(), inc.finish())
+    }
+
+    /// The historical two-phase construction — nested pair rows for the
+    /// whole circuit, then [`Csr::from_rows`] — preserved as the equivalence
+    /// reference for the streaming build path: the two are property-tested
+    /// bit-identical over random circuits. Not for production use; it holds
+    /// the full nested layout in memory.
+    #[doc(hidden)]
+    pub fn build_nested_reference(problem: &Problem, penalty: Cost) -> Result<Self, Error> {
         if penalty <= 0 {
             return Err(Error::NegativeValue {
                 what: "timing penalty",
@@ -311,6 +445,12 @@ impl QBody {
         let (out_rows, in_rows) = Self::merged_rows(problem);
         let out = Csr::from_rows(&out_rows);
         let inc = Csr::from_rows(&in_rows);
+        Self::assemble(problem, penalty, out, inc)
+    }
+
+    /// Shared tail of both build paths: timing-class tables, per-record
+    /// class ids, and the overflow flag.
+    fn assemble(problem: &Problem, penalty: Cost, out: Csr, inc: Csr) -> Result<Self, Error> {
         let classes = TimingClasses::build(problem, &out);
         let in_class: Vec<u16> = inc
             .limit
@@ -333,6 +473,30 @@ impl QBody {
             in_class,
             has_overflow,
         })
+    }
+
+    /// Bytes of heap owned by the body's tables (CSR adjacencies, class
+    /// tables, per-record class ids), for the allocation audit in
+    /// `perf_snapshot`.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.out.heap_bytes()
+            + self.inc.heap_bytes()
+            + self.in_class.capacity() * size_of::<u16>()
+            + self.classes.heap_bytes()
+    }
+
+    /// Estimated peak heap of the nested two-phase build path
+    /// ([`QBody::build_nested_reference`]) for this body's adjacency: the
+    /// final tables plus, transiently, one `Vec` header per row and one
+    /// [`Pair`] per record for both directions. The streaming build never
+    /// materializes that nested side, so `heap_bytes()` relative to this is
+    /// the layout reduction reported by the bench harness's `scale_bench`.
+    pub fn nested_layout_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let rows = (self.out.off.len().saturating_sub(1)) + (self.inc.off.len().saturating_sub(1));
+        let records = self.out.other.len() + self.inc.other.len();
+        self.heap_bytes() + rows * size_of::<Vec<Pair>>() + records * size_of::<Pair>()
     }
 
     /// The historical nested layout: per-component merged pair rows, built
@@ -381,16 +545,22 @@ impl QBody {
     /// would store it: connection records in the circuit's stored order,
     /// then constraint-only partners in the timing table's stored order.
     fn out_row(problem: &Problem, j: usize) -> Vec<Pair> {
+        let mut row = Vec::new();
+        Self::out_row_into(problem, j, &mut row);
+        row
+    }
+
+    /// [`QBody::out_row`] writing into a reusable scratch buffer, so the
+    /// streaming build allocates one row's worth of scratch for the whole
+    /// circuit instead of one `Vec` per component.
+    fn out_row_into(problem: &Problem, j: usize, row: &mut Vec<Pair>) {
+        row.clear();
         let id = ComponentId::new(j);
-        let mut row: Vec<Pair> = problem
-            .circuit()
-            .out_connections(id)
-            .map(|(k, w)| Pair {
-                other: k.index() as u32,
-                weight: w,
-                limit: NO_CONSTRAINT,
-            })
-            .collect();
+        row.extend(problem.circuit().out_connections(id).map(|(k, w)| Pair {
+            other: k.index() as u32,
+            weight: w,
+            limit: NO_CONSTRAINT,
+        }));
         for (k, limit) in problem.timing().constraints_from(id) {
             match row.iter_mut().find(|p| p.other == k.index() as u32) {
                 Some(p) => p.limit = p.limit.min(limit),
@@ -401,7 +571,6 @@ impl QBody {
                 }),
             }
         }
-        row
     }
 
     /// The in row of component `j` exactly as a fresh [`QBody::build`]
@@ -411,16 +580,21 @@ impl QBody {
     /// recompute sorts both contribution lists by source — the circuit's
     /// stored `in_edges` order is chronological and must NOT be used as-is.
     fn in_row(problem: &Problem, j: usize) -> Vec<Pair> {
+        let mut row = Vec::new();
+        Self::in_row_into(problem, j, &mut row);
+        row
+    }
+
+    /// [`QBody::in_row`] writing into a reusable scratch buffer (see
+    /// [`QBody::out_row_into`]).
+    fn in_row_into(problem: &Problem, j: usize, row: &mut Vec<Pair>) {
+        row.clear();
         let id = ComponentId::new(j);
-        let mut row: Vec<Pair> = problem
-            .circuit()
-            .in_connections(id)
-            .map(|(k, w)| Pair {
-                other: k.index() as u32,
-                weight: w,
-                limit: NO_CONSTRAINT,
-            })
-            .collect();
+        row.extend(problem.circuit().in_connections(id).map(|(k, w)| Pair {
+            other: k.index() as u32,
+            weight: w,
+            limit: NO_CONSTRAINT,
+        }));
         row.sort_unstable_by_key(|p| p.other);
         let mut cons: Vec<(u32, Delay)> = problem
             .timing()
@@ -438,7 +612,6 @@ impl QBody {
                 }),
             }
         }
-        row
     }
 
     /// Re-derives the out and in rows of every component in `touched` from
@@ -1143,10 +1316,10 @@ impl<'a> QMatrix<'a> {
         }
         // 2. Constrained fix-ups straight from the profile's
         //    penalty-relevant tally: one elementwise row add plus one
-        //    row-wide penalty (batched below), no per-record work.
+        //    row-wide penalty (batched below), no per-record work. Columns
+        //    without a packed correction row contribute nothing.
         let mut pen_all: Cost = 0;
-        if profile.tracks_fix() {
-            let (fix, pen) = profile.constrained_fix(j);
+        if let Some((fix, pen)) = profile.constrained_fix(j) {
             crate::profile::add_rows(slot, fix);
             pen_all += pen;
         }
@@ -1601,6 +1774,34 @@ mod tests {
     }
 
     #[test]
+    fn build_past_index_cap_errors_instead_of_panicking() {
+        let problem = paper_problem();
+        // 5 merged out-records (a→b, b→a from symmetric timing, b→c, c→b,
+        // plus merges) exceed a cap of 2; the real u32::MAX ceiling is
+        // exercised by the same path.
+        let err = QBody::build_with_index_cap(&problem, PAPER_PENALTY, 2).unwrap_err();
+        match err {
+            Error::IndexOverflow { records, cap, .. } => {
+                assert!(records > cap);
+                assert_eq!(cap, 2);
+            }
+            other => panic!("expected IndexOverflow, got {other:?}"),
+        }
+        // And it lifts to QbpError::Model at the API boundary.
+        let lifted: crate::QbpError = err.into();
+        assert!(matches!(lifted, crate::QbpError::Model(Error::IndexOverflow { .. })));
+    }
+
+    #[test]
+    fn streamed_build_matches_nested_reference_on_paper_example() {
+        let problem = paper_problem();
+        let streamed = QBody::build(&problem, PAPER_PENALTY).unwrap();
+        let nested = QBody::build_nested_reference(&problem, PAPER_PENALTY).unwrap();
+        assert_eq!(streamed, nested);
+        assert!(streamed.heap_bytes() > 0);
+    }
+
+    #[test]
     fn nonpositive_penalty_rejected() {
         let problem = paper_problem();
         assert!(QMatrix::new(&problem, 0).is_err());
@@ -1727,8 +1928,10 @@ mod proptests {
     /// every bound (touches all rows — the patch-vs-rebuild threshold
     /// crossing case). Deletions followed by re-adds of the same pair arise
     /// naturally from repeated op-0/op-1 entries on the same `(a, b)`.
-    fn arb_edit_script(
-    ) -> impl Strategy<Value = (Problem, Vec<u32>, Vec<(usize, usize, usize, i64)>)> {
+    /// `(op, a, b, v)` rows from the doc comment above.
+    type EditScript = Vec<(usize, usize, usize, i64)>;
+
+    fn arb_edit_script() -> impl Strategy<Value = (Problem, Vec<u32>, EditScript)> {
         (3usize..8).prop_flat_map(|n| {
             let m = 4usize;
             let edges = proptest::collection::vec(
@@ -1928,6 +2131,24 @@ mod proptests {
                     .sum();
                 prop_assert!(omega[r] >= row_sum);
             }
+        }
+
+        // The compact streaming build (checked u32 offsets, no nested
+        // intermediate) must be bit-identical to the historical two-phase
+        // nested construction: same tables, same costs, same η rows.
+        #[test]
+        fn streamed_build_matches_nested_reference((problem, parts) in arb_timed_problem()) {
+            let streamed = QBody::build(&problem, PAPER_PENALTY).unwrap();
+            let nested = QBody::build_nested_reference(&problem, PAPER_PENALTY).unwrap();
+            prop_assert_eq!(&streamed, &nested);
+            let qs = QMatrix::from_body(&problem, streamed);
+            let qn = QMatrix::from_body(&problem, nested);
+            let asg = Assignment::from_parts(parts).unwrap();
+            prop_assert_eq!(qs.value(&asg), qn.value(&asg));
+            let (mut eta_s, mut eta_n) = (Vec::new(), Vec::new());
+            qs.eta(&asg, &mut eta_s);
+            qn.eta(&asg, &mut eta_n);
+            prop_assert_eq!(eta_s, eta_n);
         }
     }
 }

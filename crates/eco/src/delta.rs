@@ -261,10 +261,8 @@ impl NetlistDelta {
                 EditOp::AddPair { a, b, .. }
                 | EditOp::RemovePair { a, b }
                 | EditOp::ReweightPair { a, b, .. }
-                | EditOp::SetTimingBound { a, b, .. } => {
-                    if a.index() > b.index() {
-                        std::mem::swap(a, b);
-                    }
+                | EditOp::SetTimingBound { a, b, .. } if a.index() > b.index() => {
+                    std::mem::swap(a, b);
                 }
                 _ => {}
             }

@@ -92,7 +92,7 @@ mod tests {
         // improvement; a second reanchor from the good state must not
         // worsen it.
         let problem = ring_problem(8, 4, 4);
-        let crammed = qbp_core::Assignment::uniform(8, qbp_core::PartitionId::new(0));
+        let crammed = qbp_core::Assignment::all_in_first(8);
         let mut s =
             EcoSession::with_assignment(problem, crammed, small_config()).unwrap();
         let first = s.reanchor(&mut NoopObserver).unwrap();
@@ -147,7 +147,7 @@ mod tests {
         };
         for w in 3..6 {
             let delta = NetlistDelta::new().reweight_pair(id(1), id(2), w);
-            s.apply_and_resolve(&delta, &mut probe).unwrap();
+            let _ = s.apply_and_resolve(&delta, &mut probe).unwrap();
         }
         assert_eq!(probe.warm_solves, 3);
         assert_eq!(probe.escalated, 0);
@@ -189,12 +189,14 @@ mod tests {
     fn counters_track_deltas_and_rebuilds() {
         let mut s = EcoSession::new(ring_problem(8, 4, 4), small_config()).unwrap();
         let mut counters = CountersObserver::new();
-        s.apply_and_resolve(
-            &NetlistDelta::new().reweight_pair(id(1), id(2), 4),
-            &mut counters,
-        )
-        .unwrap();
-        s.apply_and_resolve(&NetlistDelta::new().tighten_cycle_time(0), &mut counters)
+        let _ = s
+            .apply_and_resolve(
+                &NetlistDelta::new().reweight_pair(id(1), id(2), 4),
+                &mut counters,
+            )
+            .unwrap();
+        let _ = s
+            .apply_and_resolve(&NetlistDelta::new().tighten_cycle_time(0), &mut counters)
             .unwrap();
         let snap = counters.snapshot();
         assert_eq!(snap.eco_deltas, 2);

@@ -367,7 +367,7 @@ impl EcoSession {
         // re-anchor with a capped full solve seeded from the warm result,
         // keeping it only when it is no worse.
         if self.config.refresh_every > 0
-            && self.deltas % self.config.refresh_every == 0
+            && self.deltas.is_multiple_of(self.config.refresh_every)
             && !warm.escalated
         {
             let capped = QbpConfig {
@@ -410,6 +410,7 @@ impl EcoSession {
             feasible: warm.feasible,
             iterations: 0,
             elapsed: warm.elapsed,
+            auto_profile: None,
             assignment: warm.assignment,
         })
     }
@@ -460,6 +461,7 @@ impl EcoSession {
             feasible,
             iterations: out.iterations,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: self.assignment.clone(),
         })
     }

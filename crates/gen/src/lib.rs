@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod clustered;
 mod constraints;
 mod eco;
 mod hierarchy;
@@ -39,6 +40,7 @@ mod qap;
 mod suite;
 mod synthetic;
 
+pub use clustered::ClusteredCircuit;
 pub use constraints::ConstraintSampler;
 pub use eco::{eco_edit_stream, eco_script, EcoStreamOptions};
 pub use hierarchy::HierarchicalCircuit;

@@ -42,59 +42,92 @@ use qbp_core::{
 };
 use qbp_observe::{NoopObserver, SolveEvent, SolveObserver};
 
-/// One coarsening step: the coarser problem plus the projection map onto it.
-#[derive(Debug, Clone)]
-pub struct CoarseLevel {
-    /// The coarser problem this step produced.
-    pub problem: Problem,
-    /// `map[j]` is the coarse component holding fine component `j`.
-    pub map: Vec<u32>,
-}
-
-impl CoarseLevel {
-    /// Prolongs an assignment of this level's coarse problem onto the finer
-    /// side: `fine[j] = coarse[map[j]]`.
-    pub fn prolong(&self, coarse: &Assignment) -> Assignment {
-        Assignment::from_fn(self.map.len(), |j| {
-            coarse.partition_of(ComponentId::new(self.map[j.index()] as usize))
-        })
-    }
-
-    /// Projects a fine assignment down to the coarse problem: each cluster
-    /// takes the partition of its lowest-index member. (Only used to seed
-    /// the coarsest solve; the QBP solver accepts infeasible starts.)
-    pub fn project(&self, fine: &Assignment) -> Assignment {
-        let coarse_n = self.problem.n();
-        let mut part = vec![u32::MAX; coarse_n];
-        for (j, &c) in self.map.iter().enumerate() {
-            if part[c as usize] == u32::MAX {
-                part[c as usize] = fine.partition_of(ComponentId::new(j)).index() as u32;
-            }
-        }
-        Assignment::from_fn(coarse_n, |c| {
-            PartitionId::new(part[c.index()] as usize)
-        })
-    }
-}
-
-/// A stack of coarsening steps. `levels[0]` maps the original problem to the
-/// first coarse problem, `levels[1]` maps that one further down, and so on;
-/// `levels.last()` holds the coarsest problem.
+/// A stack of coarsening steps, arena-backed: level `0` maps the original
+/// problem to the first coarse problem, level `1` maps that one further
+/// down, and so on; level `len() - 1` holds the coarsest problem.
+///
+/// All projection maps live in **one contiguous `u32` arena** (each level is
+/// a span of it) instead of one `Vec` per level — a V-cycle at N = 10⁵ with
+/// ~10 levels makes one growing allocation rather than ten, the spans pack
+/// with zero per-level header overhead, and walking the maps during
+/// prolongation is sequential in memory. Levels are addressed by index
+/// through [`LevelStack::problem`] / [`LevelStack::map`] /
+/// [`LevelStack::prolong`] / [`LevelStack::project`].
 #[derive(Debug, Clone, Default)]
 pub struct LevelStack {
-    /// Coarsening steps, finest first.
-    pub levels: Vec<CoarseLevel>,
+    /// Coarse problems, finest first.
+    problems: Vec<Problem>,
+    /// All projection maps, concatenated finest-first.
+    arena: Vec<u32>,
+    /// `(start, len)` span of each level's map within the arena.
+    spans: Vec<(usize, usize)>,
 }
 
 impl LevelStack {
     /// Number of coarsening steps.
     pub fn len(&self) -> usize {
-        self.levels.len()
+        self.problems.len()
     }
 
     /// `true` when no coarsening was possible (solve flat instead).
     pub fn is_empty(&self) -> bool {
-        self.levels.is_empty()
+        self.problems.is_empty()
+    }
+
+    /// The coarse problem produced by step `level`.
+    pub fn problem(&self, level: usize) -> &Problem {
+        &self.problems[level]
+    }
+
+    /// The coarsest problem, when any coarsening happened.
+    pub fn coarsest(&self) -> Option<&Problem> {
+        self.problems.last()
+    }
+
+    /// Step `level`'s projection map: `map(level)[j]` is the coarse
+    /// component holding that level's fine component `j`.
+    pub fn map(&self, level: usize) -> &[u32] {
+        let (start, len) = self.spans[level];
+        &self.arena[start..start + len]
+    }
+
+    /// Prolongs an assignment of step `level`'s coarse problem onto its
+    /// finer side: `fine[j] = coarse[map[j]]`.
+    pub fn prolong(&self, level: usize, coarse: &Assignment) -> Assignment {
+        let map = self.map(level);
+        Assignment::from_fn(map.len(), |j| {
+            coarse.partition_of(ComponentId::new(map[j.index()] as usize))
+        })
+    }
+
+    /// Projects a fine assignment down onto step `level`'s coarse problem:
+    /// each cluster takes the partition of its lowest-index member. (Only
+    /// used to seed the coarsest solve; the QBP solver accepts infeasible
+    /// starts.)
+    pub fn project(&self, level: usize, fine: &Assignment) -> Assignment {
+        let map = self.map(level);
+        let coarse_n = self.problems[level].n();
+        let mut part = vec![u32::MAX; coarse_n];
+        for (j, &c) in map.iter().enumerate() {
+            if part[c as usize] == u32::MAX {
+                part[c as usize] = fine.partition_of(ComponentId::new(j)).index() as u32;
+            }
+        }
+        Assignment::from_fn(coarse_n, |c| PartitionId::new(part[c.index()] as usize))
+    }
+
+    /// Bytes of heap owned by the map arena and span table (capacity, not
+    /// length), for the allocation audit in `perf_snapshot`. Excludes the
+    /// coarse problems themselves.
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.arena.capacity() * size_of::<u32>()
+            + self.spans.capacity() * size_of::<(usize, usize)>()
+    }
+
+    #[cfg(test)]
+    fn spans(&self) -> &[(usize, usize)] {
+        &self.spans
     }
 }
 
@@ -142,15 +175,17 @@ fn diagonals_are_zero(problem: &Problem) -> bool {
     (0..problem.m()).all(|i| b[(i, i)] == 0 && d[(i, i)] == 0)
 }
 
-/// One heavy-edge matching pass over `problem`. Returns the coarser problem
-/// and the projection map, or `None` when the pass could not shrink the
-/// problem (no mergeable pair).
+/// One heavy-edge matching pass over `problem`, writing the projection map
+/// into `map` (length `problem.n()`, a span of the caller's arena). Returns
+/// the coarser problem, or `None` when the pass could not shrink the problem
+/// (no mergeable pair; `map` contents are then unspecified).
 fn coarsen_once(
     problem: &Problem,
     options: &CoarsenOptions,
     level: usize,
+    map: &mut [u32],
     obs: &mut dyn SolveObserver,
-) -> Option<CoarseLevel> {
+) -> Option<Problem> {
     let n = problem.n();
     let min_size = options.min_size;
     let circuit = problem.circuit();
@@ -238,7 +273,7 @@ fn coarsen_once(
     }
 
     // Number clusters in order of their lowest member index.
-    let mut map = vec![u32::MAX; n];
+    map.fill(u32::MAX);
     let mut coarse_n = 0u32;
     for j in 0..n {
         if map[j] != u32::MAX {
@@ -308,13 +343,11 @@ fn coarsen_once(
         }
         builder = builder.linear_cost(coarse_p);
     }
-    let coarse_problem = builder
-        .build()
-        .expect("coarse dimensions agree and total size is preserved");
-    Some(CoarseLevel {
-        problem: coarse_problem,
-        map,
-    })
+    Some(
+        builder
+            .build()
+            .expect("coarse dimensions agree and total size is preserved"),
+    )
 }
 
 /// Builds the level stack for `problem` by repeated heavy-edge matching.
@@ -339,22 +372,40 @@ pub fn coarsen_observed(
     if !diagonals_are_zero(problem) {
         return stack;
     }
-    let mut current = problem.clone();
-    while stack.len() < options.max_levels && current.n() > options.min_size {
-        match coarsen_once(&current, options, stack.len() + 1, obs) {
-            Some(level) => {
+    // Map lengths shrink geometrically (a meaningful pass drops ≥10%, and
+    // heavy-edge matching typically halves), so 2·N covers the whole
+    // V-cycle's spans in the common case — one arena allocation total.
+    stack.arena.reserve(problem.n() * 2);
+    loop {
+        if stack.len() >= options.max_levels {
+            break;
+        }
+        let fine_n = stack.problems.last().map_or(problem.n(), |p| p.n());
+        if fine_n <= options.min_size {
+            break;
+        }
+        // Reserve this level's span at the arena tail; on a failed pass the
+        // tail is handed back.
+        let start = stack.arena.len();
+        stack.arena.resize(start + fine_n, u32::MAX);
+        let level_idx = stack.spans.len() + 1;
+        let (arena, problems) = (&mut stack.arena, &stack.problems);
+        let fine = problems.last().unwrap_or(problem);
+        match coarsen_once(fine, options, level_idx, &mut arena[start..], obs) {
+            Some(coarse) => {
                 // A pass that barely shrinks the problem (under 10%) signals
                 // the guards have locked the structure; stop descending.
-                let shrunk = level.problem.n();
-                let meaningful = shrunk * 10 <= current.n() * 9;
-                let next = level.problem.clone();
-                stack.levels.push(level);
+                let meaningful = coarse.n() * 10 <= fine_n * 9;
+                stack.spans.push((start, fine_n));
+                stack.problems.push(coarse);
                 if !meaningful {
                     break;
                 }
-                current = next;
             }
-            None => break,
+            None => {
+                stack.arena.truncate(start);
+                break;
+            }
         }
     }
     stack
@@ -390,11 +441,10 @@ mod tests {
             },
         );
         assert_eq!(stack.len(), 1);
-        let level = &stack.levels[0];
-        assert_eq!(level.problem.n(), 8);
-        assert_eq!(level.map.len(), 16);
+        assert_eq!(stack.problem(0).n(), 8);
+        assert_eq!(stack.map(0).len(), 16);
         // Total size is preserved.
-        assert_eq!(level.problem.circuit().total_size(), 16);
+        assert_eq!(stack.problem(0).circuit().total_size(), 16);
     }
 
     #[test]
@@ -409,14 +459,13 @@ mod tests {
             },
         );
         assert!(!stack.is_empty());
-        let level = &stack.levels[0];
-        let coarse_n = level.problem.n();
+        let coarse_n = stack.problem(0).n();
         let coarse = Assignment::from_fn(coarse_n, |c| PartitionId::new(c.index() % 4));
-        let fine = level.prolong(&coarse);
-        let coarse_eval = Evaluator::new(&level.problem);
+        let fine = stack.prolong(0, &coarse);
+        let coarse_eval = Evaluator::new(stack.problem(0));
         let fine_eval = Evaluator::new(&p);
         assert_eq!(coarse_eval.cost(&coarse), fine_eval.cost(&fine));
-        if check_feasibility(&level.problem, &coarse).is_feasible() {
+        if check_feasibility(stack.problem(0), &coarse).is_feasible() {
             assert!(check_feasibility(&p, &fine).is_feasible());
         }
     }
@@ -452,8 +501,9 @@ mod tests {
             .build()
             .unwrap();
         let stack = coarsen(&p, &opts);
-        for level in &stack.levels {
-            assert_ne!(level.map[0], level.map[1], "a and b must stay separate");
+        for level in 0..stack.len() {
+            let map = stack.map(level);
+            assert_ne!(map[0], map[1], "a and b must stay separate");
         }
     }
 
@@ -492,9 +542,9 @@ mod tests {
                 },
             );
             assert_eq!(par.len(), serial.len(), "threads={threads}");
-            for (a, b) in par.levels.iter().zip(serial.levels.iter()) {
-                assert_eq!(a.map, b.map, "threads={threads}");
-                assert_eq!(a.problem.n(), b.problem.n());
+            for level in 0..par.len() {
+                assert_eq!(par.map(level), serial.map(level), "threads={threads}");
+                assert_eq!(par.problem(level).n(), serial.problem(level).n());
             }
         }
     }
@@ -520,9 +570,35 @@ mod tests {
                 ..CoarsenOptions::default()
             },
         );
-        let level = &stack.levels[0];
-        let coarse = Assignment::from_fn(level.problem.n(), |c| PartitionId::new(c.index() % 4));
-        let fine = level.prolong(&coarse);
-        assert_eq!(level.project(&fine), coarse);
+        let coarse = Assignment::from_fn(stack.problem(0).n(), |c| PartitionId::new(c.index() % 4));
+        let fine = stack.prolong(0, &coarse);
+        assert_eq!(stack.project(0, &fine), coarse);
+    }
+
+    #[test]
+    fn arena_spans_are_contiguous_and_sized_to_each_fine_level() {
+        let p = chain(32, 32);
+        let stack = coarsen(
+            &p,
+            &CoarsenOptions {
+                max_levels: 4,
+                min_size: 2,
+                ..CoarsenOptions::default()
+            },
+        );
+        assert!(stack.len() >= 2, "chain(32) should coarsen more than once");
+        let mut expected_start = 0;
+        let mut fine_n = p.n();
+        for (level, &(start, len)) in stack.spans().iter().enumerate() {
+            assert_eq!(start, expected_start, "level {level} span not contiguous");
+            assert_eq!(len, fine_n, "level {level} span mismatches its fine side");
+            // Every map entry lands inside the coarse problem.
+            let coarse_n = stack.problem(level).n() as u32;
+            assert!(stack.map(level).iter().all(|&c| c < coarse_n));
+            expected_start += len;
+            fine_n = stack.problem(level).n();
+        }
+        assert_eq!(expected_start, stack.spans().iter().map(|s| s.1).sum::<usize>());
+        assert!(stack.arena_bytes() > 0);
     }
 }

@@ -3,7 +3,7 @@
 //! assignment with profile-backed GFM sweeps plus a short capped QBP
 //! descent.
 
-use crate::coarsen::{coarsen_observed, CoarsenOptions};
+use crate::coarsen::{coarsen_observed, CoarsenOptions, LevelStack};
 use qbp_baselines::{GfmConfig, GfmSolver};
 use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem};
 use qbp_observe::{SolveEvent, SolveObserver, SolverId};
@@ -104,6 +104,17 @@ impl SolveObserver for InnerObserver<'_> {
     }
 }
 
+/// Below `min_size × FLAT_DELEGATION_FACTOR` components the V-cycle
+/// delegates to a flat full-budget QBP solve outright. At those sizes a
+/// stack exists but buys nothing: the coarsest level is barely smaller than
+/// the original, so mlqbp pays coarsening plus per-level refinement on top
+/// of an almost-flat solve and comes out *slower* than flat (the paper-suite
+/// instances at a few hundred components sat at ~0.8× before this guard).
+/// The factor is calibrated on that suite: at the default `min_size = 64`
+/// the threshold is 320 components, which delegates the rows where flat wins
+/// and keeps the V-cycle where it is already ahead.
+const FLAT_DELEGATION_FACTOR: usize = 5;
+
 /// `(feasible, cost)` ordering: feasible beats infeasible, then lower cost.
 fn better(cand: (bool, Cost), incumbent: (bool, Cost)) -> bool {
     match (cand.0, incumbent.0) {
@@ -149,12 +160,16 @@ impl MlqbpSolver {
             min_size: self.config.min_size,
             threads: self.config.qbp.threads,
         };
-        let stack = coarsen_observed(problem, &options, obs);
-        for (idx, level) in stack.levels.iter().enumerate() {
+        let stack = if problem.n() < self.config.min_size * FLAT_DELEGATION_FACTOR {
+            LevelStack::default()
+        } else {
+            coarsen_observed(problem, &options, obs)
+        };
+        for idx in 0..stack.len() {
             obs.on_event(&SolveEvent::LevelCoarsened {
                 level: idx + 1,
-                from_components: level.map.len(),
-                to_components: level.problem.n(),
+                from_components: stack.map(idx).len(),
+                to_components: stack.problem(idx).n(),
             });
         }
         let mut inner = InnerObserver { sink: obs };
@@ -176,11 +191,11 @@ impl MlqbpSolver {
             assignment = out.assignment;
         } else {
             // Solve the coarsest level with the full QBP multistart.
-            let coarsest = &stack.levels[stack.len() - 1].problem;
+            let coarsest = stack.coarsest().expect("stack checked non-empty");
             let coarse_init = init.map(|a| {
                 let mut projected = a.clone();
-                for level in &stack.levels {
-                    projected = level.project(&projected);
+                for level in 0..stack.len() {
+                    projected = stack.project(level, &projected);
                 }
                 projected
             });
@@ -201,14 +216,13 @@ impl MlqbpSolver {
                 ..self.config.qbp
             });
             for idx in (0..stack.len()).rev() {
-                let level = &stack.levels[idx];
                 let fine_problem = if idx == 0 {
                     problem
                 } else {
-                    &stack.levels[idx - 1].problem
+                    stack.problem(idx - 1)
                 };
                 let eval = Evaluator::new(fine_problem);
-                let prolonged = level.prolong(&assignment);
+                let prolonged = stack.prolong(idx, &assignment);
                 let mut best = prolonged.clone();
                 let mut best_key = (
                     check_feasibility(fine_problem, &best).is_feasible(),
@@ -329,6 +343,7 @@ impl MlqbpSolver {
             feasible,
             iterations,
             elapsed: start.elapsed(),
+            auto_profile: None,
             assignment,
         })
     }
@@ -374,8 +389,10 @@ mod tests {
     #[test]
     fn vcycle_produces_feasible_result_with_level_events() {
         let p = grid_problem(32, 10);
+        // min_size 4 keeps 32 components above the flat-delegation
+        // threshold (4 × FLAT_DELEGATION_FACTOR = 20) so the V-cycle runs.
         let solver = MlqbpSolver::new(MlqbpConfig {
-            min_size: 8,
+            min_size: 4,
             ..MlqbpConfig::default()
         });
         let mut counters = CountersObserver::new();
@@ -400,6 +417,20 @@ mod tests {
         assert!(report.feasible);
         assert!(report.iterations >= 1);
         assert_eq!(counters.snapshot().levels_coarsened, 0);
+    }
+
+    #[test]
+    fn small_problems_delegate_to_flat_solve() {
+        // 100 components is above min_size (64) but below the delegation
+        // threshold (320): mlqbp must skip the V-cycle entirely and hand
+        // the problem to one full-budget flat solve.
+        let p = grid_problem(100, 30);
+        let mut counters = CountersObserver::new();
+        let report = MlqbpSolver::default().solve(&p, None, &mut counters).unwrap();
+        assert!(report.feasible);
+        let snap = counters.snapshot();
+        assert_eq!(snap.levels_coarsened, 0, "delegated solves must not coarsen");
+        assert_eq!(snap.solves, 1);
     }
 
     #[test]

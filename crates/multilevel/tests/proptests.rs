@@ -49,21 +49,22 @@ proptest! {
         let problem = suite_instance(spec_idx, 0.1, seed);
         let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8, threads: 1 });
         prop_assert!(!stack.is_empty(), "suite instances at scale 0.1 must coarsen");
-        for (idx, level) in stack.levels.iter().enumerate() {
-            let fine_problem = if idx == 0 { &problem } else { &stack.levels[idx - 1].problem };
-            let coarse = random_assignment(level.problem.n(), level.problem.m(), asg_seed ^ idx as u64);
-            let fine = level.prolong(&coarse);
+        for idx in 0..stack.len() {
+            let fine_problem = if idx == 0 { &problem } else { stack.problem(idx - 1) };
+            let level = stack.problem(idx);
+            let coarse = random_assignment(level.n(), level.m(), asg_seed ^ idx as u64);
+            let fine = stack.prolong(idx, &coarse);
             // Exact objective: intra-cluster wires and constraints vanished
             // against the zero diagonals, everything else folded by addition.
             prop_assert_eq!(
-                Evaluator::new(&level.problem).cost(&coarse),
+                Evaluator::new(level).cost(&coarse),
                 Evaluator::new(fine_problem).cost(&fine),
                 "prolonged cost must match at level {}", idx + 1
             );
             // Sizes sum over clusters, so the per-partition loads agree and
             // timing limits folded to the tightest member: coarse-feasible
             // implies fine-feasible.
-            if check_feasibility(&level.problem, &coarse).is_feasible() {
+            if check_feasibility(level, &coarse).is_feasible() {
                 prop_assert!(
                     check_feasibility(fine_problem, &fine).is_feasible(),
                     "feasible coarse assignment prolonged infeasible at level {}", idx + 1
@@ -83,10 +84,11 @@ proptest! {
         let problem = suite_instance(spec_idx, 0.1, seed);
         let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8, threads: 1 });
         prop_assert!(!stack.is_empty());
-        for (idx, level) in stack.levels.iter().enumerate() {
-            let coarse = random_assignment(level.problem.n(), level.problem.m(), asg_seed ^ idx as u64);
+        for idx in 0..stack.len() {
+            let level = stack.problem(idx);
+            let coarse = random_assignment(level.n(), level.m(), asg_seed ^ idx as u64);
             prop_assert_eq!(
-                level.project(&level.prolong(&coarse)),
+                stack.project(idx, &stack.prolong(idx, &coarse)),
                 coarse,
                 "project(prolong(x)) != x at level {}", idx + 1
             );
@@ -111,12 +113,12 @@ proptest! {
         let stack = coarsen(&problem, &CoarsenOptions { max_levels: 4, min_size: 8, threads: 1 });
         prop_assert!(!stack.is_empty());
         let mut projected = witness;
-        for (idx, level) in stack.levels.iter().enumerate() {
-            projected = level.project(&projected);
-            if check_feasibility(&level.problem, &projected).is_feasible() {
-                let fine_problem = if idx == 0 { &problem } else { &stack.levels[idx - 1].problem };
+        for idx in 0..stack.len() {
+            projected = stack.project(idx, &projected);
+            if check_feasibility(stack.problem(idx), &projected).is_feasible() {
+                let fine_problem = if idx == 0 { &problem } else { stack.problem(idx - 1) };
                 prop_assert!(
-                    check_feasibility(fine_problem, &level.prolong(&projected)).is_feasible(),
+                    check_feasibility(fine_problem, &stack.prolong(idx, &projected)).is_feasible(),
                     "feasible projection prolonged infeasible at level {}", idx + 1
                 );
             }

@@ -340,6 +340,23 @@ pub enum SolveEvent {
         /// Whether the result satisfies C1 and C2 on the patched problem.
         feasible: bool,
     },
+    /// Hardware-adaptive auto-configuration ran (CLI `--auto`): solver
+    /// parameters were derived from the detected host and problem size
+    /// before the solve started.
+    AutoConfigured {
+        /// Detected CPU cores.
+        cores: usize,
+        /// Available RAM in MiB at detection time (0 when unknown).
+        ram_mb: u64,
+        /// Chosen thread budget.
+        threads: usize,
+        /// Chosen mlqbp coarsening level cap.
+        levels: usize,
+        /// Chosen mlqbp minimum coarse size.
+        min_size: usize,
+        /// Chosen multistart width.
+        width: usize,
+    },
 }
 
 impl SolveEvent {
@@ -364,6 +381,7 @@ impl SolveEvent {
             SolveEvent::ParallelBatch { .. } => "parallel_batch",
             SolveEvent::DeltaApplied { .. } => "delta_applied",
             SolveEvent::WarmSolve { .. } => "warm_solve",
+            SolveEvent::AutoConfigured { .. } => "auto_configured",
         }
     }
 }
@@ -644,6 +662,7 @@ impl CountersObserver {
                 }
             }
             SolveEvent::WarmSolve { .. } => {}
+            SolveEvent::AutoConfigured { .. } => {}
         }
     }
 
@@ -957,6 +976,19 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
                  \"value\": {value}, \"feasible\": {feasible}"
             ));
         }
+        SolveEvent::AutoConfigured {
+            cores,
+            ram_mb,
+            threads,
+            levels,
+            min_size,
+            width,
+        } => {
+            s.push_str(&format!(
+                ", \"cores\": {cores}, \"ram_mb\": {ram_mb}, \"threads\": {threads}, \
+                 \"levels\": {levels}, \"min_size\": {min_size}, \"width\": {width}"
+            ));
+        }
     }
     s.push_str("}\n");
     s
@@ -1204,6 +1236,14 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
             value: fields.num("value")?,
             feasible: fields.bool("feasible")?,
         },
+        "auto_configured" => SolveEvent::AutoConfigured {
+            cores: fields.num("cores")?,
+            ram_mb: fields.num("ram_mb")?,
+            threads: fields.num("threads")?,
+            levels: fields.num("levels")?,
+            min_size: fields.num("min_size")?,
+            width: fields.num("width")?,
+        },
         other => return Err(TraceParseError::UnknownEvent(other.to_string())),
     };
     Ok(TraceRecord { t_ns, event })
@@ -1418,7 +1458,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..17, 0usize..6, 0usize..2),
+            (0usize..18, 0usize..6, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1518,12 +1558,20 @@ mod proptests {
                             patched_rows: components,
                             rebuilt: b1,
                         },
-                        _ => SolveEvent::WarmSolve {
+                        16 => SolveEvent::WarmSolve {
                             delta: iteration,
                             dirty: components,
                             escalated: b1,
                             value: delta,
                             feasible: b2,
+                        },
+                        _ => SolveEvent::AutoConfigured {
+                            cores: partitions,
+                            ram_mb: violations as u64,
+                            threads: partitions,
+                            levels: iteration.min(12),
+                            min_size: components,
+                            width: partitions,
                         },
                     }
                 },

@@ -288,6 +288,7 @@ impl Solver for AnnealSolver {
             feasible: out.feasible,
             iterations: out.iterations,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: out.assignment,
         })
     }

@@ -117,6 +117,10 @@ pub struct SolveReport {
     pub moves_applied: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// The hardware-adaptive profile that configured this solve, when the
+    /// driver ran auto-configuration (CLI `--auto`); `None` for explicitly
+    /// configured solves. Stamped by the driver, not the solver.
+    pub auto_profile: Option<qbp_core::hw::AutoProfile>,
 }
 
 /// Components whose partition differs between `init` and `final_asg`; the

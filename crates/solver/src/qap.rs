@@ -337,6 +337,7 @@ impl Solver for QapSolver {
             feasible: out.feasible,
             iterations: out.iterations,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: out.assignment,
         })
     }

@@ -1031,6 +1031,7 @@ impl Solver for QbpSolver {
             feasible: out.feasible,
             iterations: out.iterations,
             elapsed: out.elapsed,
+            auto_profile: None,
             assignment: out.assignment,
         })
     }

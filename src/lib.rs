@@ -88,7 +88,7 @@ pub use qbp_timing;
 pub mod prelude {
     pub use qbp_baselines::{BaselineOutcome, GfmConfig, GfmSolver, GklConfig, GklSolver};
     pub use qbp_multilevel::{
-        build_solver, coarsen, CoarseLevel, CoarsenOptions, LevelStack, MlqbpConfig, MlqbpSolver,
+        build_solver, coarsen, CoarsenOptions, LevelStack, MlqbpConfig, MlqbpSolver,
         SOLVER_NAMES,
     };
     pub use qbp_core::{
