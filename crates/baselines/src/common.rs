@@ -2,6 +2,7 @@
 //! float-ordered heap keys, and the "affected components" neighborhood used
 //! to refresh gains after a move.
 
+use qbp_core::exec::ExecStatus;
 use qbp_core::{check_feasibility, Assignment, ComponentId, Cost, Error, Problem};
 use std::cmp::Ordering;
 use std::time::Duration;
@@ -20,6 +21,10 @@ pub struct BaselineOutcome {
     pub moves_applied: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// How the run finished: natural convergence, or wound down early by an
+    /// expired budget / fired cancel token (the assignment stays the best
+    /// retained prefix, which is feasible by construction).
+    pub status: ExecStatus,
 }
 
 /// Integer gain key for max-heaps (gains are exact `i64` in this codebase).

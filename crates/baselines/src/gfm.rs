@@ -12,6 +12,7 @@
 use crate::common::{
     affected_components, derive_start, require_feasible_start, BaselineOutcome, GainKey,
 };
+use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{
     move_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionId,
     PartitionProfile, Problem, UsageTracker,
@@ -151,6 +152,26 @@ impl GfmSolver {
         initial: &Assignment,
         obs: &mut dyn SolveObserver,
     ) -> Result<BaselineOutcome, Error> {
+        self.solve_observed_exec(problem, initial, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`GfmSolver::solve_observed`] under an execution budget: the pass loop
+    /// checks `exec` at each pass boundary, and an expired deadline or fired
+    /// cancel token stops before the next pass starts. The returned
+    /// assignment is the best prefix retained so far — feasible by
+    /// construction — with [`BaselineOutcome::status`] recording how the run
+    /// ended.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GfmSolver::solve`].
+    pub fn solve_observed_exec(
+        &self,
+        problem: &Problem,
+        initial: &Assignment,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<BaselineOutcome, Error> {
         require_feasible_start(problem, initial)?;
         let start = Instant::now();
         let eval = Evaluator::new(problem);
@@ -172,10 +193,21 @@ impl GfmSolver {
         });
         let mut passes = 0;
         let mut total_moves = 0;
+        let mut status = ExecStatus::Completed;
         // Maintained incrementally from the retained gains so the per-pass
         // IterationFinished value costs nothing extra.
         let mut value = eval.cost(&assignment);
         while passes < self.config.max_passes {
+            if let Some(stop) = exec.check(passes + 1) {
+                match stop {
+                    ExecStatus::Cancelled => {
+                        obs.on_event(&SolveEvent::Cancelled { iteration: passes + 1 });
+                    }
+                    _ => obs.on_event(&SolveEvent::BudgetExhausted { iteration: passes + 1 }),
+                }
+                status = stop;
+                break;
+            }
             passes += 1;
             obs.on_event(&SolveEvent::IterationStarted { iteration: passes });
             let (gain, moves) = self.run_pass(
@@ -210,6 +242,7 @@ impl GfmSolver {
             passes,
             moves_applied: total_moves,
             elapsed: start.elapsed(),
+            status,
         })
     }
 
@@ -402,13 +435,16 @@ impl Solver for GfmSolver {
         "gfm"
     }
 
-    fn solve(
+    fn solve_exec(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
+        exec: &ExecCtx,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
         let derived;
+        // Deriving a feasible start is the run's uninterruptible minimum
+        // work: even an already-expired budget yields a feasible answer.
         let start = match init {
             Some(a) => a,
             None => {
@@ -416,7 +452,7 @@ impl Solver for GfmSolver {
                 &derived
             }
         };
-        let out = self.solve_observed(problem, start, obs)?;
+        let out = self.solve_observed_exec(problem, start, exec, obs)?;
         Ok(SolveReport {
             solver: "gfm",
             moves_applied: moved_from(Some(start), &out.assignment),
@@ -427,6 +463,7 @@ impl Solver for GfmSolver {
             elapsed: out.elapsed,
             auto_profile: None,
             assignment: out.assignment,
+            status: out.status,
         })
     }
 }

@@ -12,6 +12,7 @@
 use crate::common::{
     affected_components, derive_start, require_feasible_start, BaselineOutcome, GainKey,
 };
+use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{
     swap_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionProfile, Problem,
     UsageTracker,
@@ -133,6 +134,26 @@ impl GklSolver {
         initial: &Assignment,
         obs: &mut dyn SolveObserver,
     ) -> Result<BaselineOutcome, Error> {
+        self.solve_observed_exec(problem, initial, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`GklSolver::solve_observed`] under an execution budget: the outer
+    /// loop checks `exec` at each loop boundary, and an expired deadline or
+    /// fired cancel token stops before the next loop starts. The returned
+    /// assignment is the best prefix retained so far — feasible by
+    /// construction — with [`BaselineOutcome::status`] recording how the run
+    /// ended.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GklSolver::solve`].
+    pub fn solve_observed_exec(
+        &self,
+        problem: &Problem,
+        initial: &Assignment,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<BaselineOutcome, Error> {
         require_feasible_start(problem, initial)?;
         let start = Instant::now();
         let eval = Evaluator::new(problem);
@@ -155,10 +176,21 @@ impl GklSolver {
         });
         let mut outer = 0;
         let mut total_swaps = 0;
+        let mut status = ExecStatus::Completed;
         // Maintained incrementally from the retained gains so the per-loop
         // IterationFinished value costs nothing extra.
         let mut value = eval.cost(&assignment);
         while outer < self.config.max_outer_loops {
+            if let Some(stop) = exec.check(outer + 1) {
+                match stop {
+                    ExecStatus::Cancelled => {
+                        obs.on_event(&SolveEvent::Cancelled { iteration: outer + 1 });
+                    }
+                    _ => obs.on_event(&SolveEvent::BudgetExhausted { iteration: outer + 1 }),
+                }
+                status = stop;
+                break;
+            }
             outer += 1;
             obs.on_event(&SolveEvent::IterationStarted { iteration: outer });
             let (gain, swaps) =
@@ -186,6 +218,7 @@ impl GklSolver {
             passes: outer,
             moves_applied: total_swaps,
             elapsed: start.elapsed(),
+            status,
         })
     }
 
@@ -362,13 +395,16 @@ impl Solver for GklSolver {
         "gkl"
     }
 
-    fn solve(
+    fn solve_exec(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
+        exec: &ExecCtx,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
         let derived;
+        // Deriving a feasible start is the run's uninterruptible minimum
+        // work: even an already-expired budget yields a feasible answer.
         let start = match init {
             Some(a) => a,
             None => {
@@ -376,7 +412,7 @@ impl Solver for GklSolver {
                 &derived
             }
         };
-        let out = self.solve_observed(problem, start, obs)?;
+        let out = self.solve_observed_exec(problem, start, exec, obs)?;
         Ok(SolveReport {
             solver: "gkl",
             moves_applied: moved_from(Some(start), &out.assignment),
@@ -387,6 +423,7 @@ impl Solver for GklSolver {
             elapsed: out.elapsed,
             auto_profile: None,
             assignment: out.assignment,
+            status: out.status,
         })
     }
 }

@@ -30,8 +30,8 @@ use qbp_gen::{build_instance_with_witness, eco_edit_stream, scaled_spec, EcoStre
     SuiteOptions, PAPER_SUITE};
 use qbp_multilevel::{MlqbpConfig, MlqbpSolver};
 use qbp_observe::{CounterSnapshot, CountersObserver, NoopObserver, SolveObserver};
-use qbp_solver::{QbpConfig, QbpSolver, SolveWorkspace, Solver};
-use std::time::Instant;
+use qbp_solver::{Budget, ExecCtx, QbpConfig, QbpSolver, SolveWorkspace, Solver};
+use std::time::{Duration, Instant};
 
 /// Default multistart restarts benchmarked below (`--runs` overrides).
 const MULTISTART_RUNS: usize = 8;
@@ -842,6 +842,111 @@ impl EcoBench {
     }
 }
 
+/// Deadline-overshoot and cooperative-check-overhead probe (the `exec`
+/// robustness layer's two measurable contracts).
+struct RobustnessBench {
+    components: usize,
+    /// Wall time of the reference solve with no budget (checks on the
+    /// single-load fast path).
+    unbounded_seconds: f64,
+    /// Wall time of the identical solve under a budget that never fires —
+    /// the price of live deadline checks at every iteration boundary.
+    armed_seconds: f64,
+    /// `armed` vs `unbounded`, in percent (contract: ≤ 1%, informational —
+    /// both timings sit well inside scheduler noise).
+    check_overhead_pct: f64,
+    /// The deadline the overshoot probe ran under.
+    time_limit_ms: u64,
+    /// Wall time of the deadline-bounded solve.
+    bounded_seconds: f64,
+    /// Time past the deadline before the solver returned (contract: one
+    /// cooperative-check interval, i.e. one iteration).
+    overshoot_ms: f64,
+    /// `ExecStatus` of the bounded solve (gated: must be `timed_out`).
+    status: &'static str,
+    /// Whether the bounded solve's best-so-far assignment was feasible
+    /// (gated: degrading must never cost feasibility on this instance).
+    feasible: bool,
+}
+
+impl RobustnessBench {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"circuit\": \"{MULTISTART_CIRCUIT}\",\n    \
+             \"components\": {},\n    \"threads_used\": 1,\n    \
+             \"unbounded_seconds\": {:.6},\n    \"armed_seconds\": {:.6},\n    \
+             \"check_overhead_pct\": {:.3},\n    \"time_limit_ms\": {},\n    \
+             \"bounded_seconds\": {:.6},\n    \"overshoot_ms\": {:.3},\n    \
+             \"status\": \"{}\",\n    \"feasible\": {}\n  }}",
+            self.components,
+            self.unbounded_seconds,
+            self.armed_seconds,
+            self.check_overhead_pct,
+            self.time_limit_ms,
+            self.bounded_seconds,
+            self.overshoot_ms,
+            self.status,
+            self.feasible
+        )
+    }
+}
+
+fn robustness_bench(problem: &Problem, seed: u64) -> RobustnessBench {
+    let solver = QbpSolver::new(QbpConfig {
+        seed,
+        threads: 1,
+        ..QbpConfig::default()
+    });
+    let time_with = |exec: &ExecCtx| -> f64 {
+        (0..OVERHEAD_REPS)
+            .map(|_| {
+                let mut ws = SolveWorkspace::new();
+                let t0 = Instant::now();
+                let out = solver
+                    .solve_observed_exec(problem, None, &mut ws, exec, &mut NoopObserver)
+                    .expect("robustness solve");
+                let dt = t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                dt
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let unbounded_seconds = time_with(&ExecCtx::unbounded());
+    // A budget that cannot fire during the snapshot: the checks run live at
+    // every iteration boundary, but the solve always completes.
+    let armed_seconds = time_with(&ExecCtx::with_budget(Budget::with_time_limit(
+        Duration::from_secs(3600),
+    )));
+    let check_overhead_pct = 100.0 * (armed_seconds / unbounded_seconds.max(1e-12) - 1.0);
+
+    // Deadline overshoot: a limit of a quarter of the natural wall time is
+    // guaranteed to expire mid-solve, so the run must wind down TimedOut;
+    // the overshoot is how far past the deadline the cooperative check let
+    // it drift (at most one iteration).
+    let time_limit_ms = ((unbounded_seconds * 1000.0 / 4.0) as u64).clamp(1, 50);
+    let exec = ExecCtx::with_budget(Budget::with_time_limit(Duration::from_millis(
+        time_limit_ms,
+    )));
+    let t0 = Instant::now();
+    let out = solver
+        .solve_observed_exec(problem, None, &mut SolveWorkspace::new(), &exec, &mut NoopObserver)
+        .expect("bounded solve");
+    let bounded_seconds = t0.elapsed().as_secs_f64();
+    let feasible = out.feasible
+        && qbp_core::check_feasibility(problem, &out.assignment).is_feasible();
+    RobustnessBench {
+        components: problem.n(),
+        unbounded_seconds,
+        armed_seconds,
+        check_overhead_pct,
+        time_limit_ms,
+        bounded_seconds,
+        overshoot_ms: (bounded_seconds * 1000.0 - time_limit_ms as f64).max(0.0),
+        status: out.status.as_str(),
+        feasible,
+    }
+}
+
 fn main() {
     let args = match Args::parse(std::env::args().skip(1), &[]) {
         Ok(a) => a,
@@ -1169,6 +1274,31 @@ fn main() {
         eprintln!("warning: counters overhead above the 2% budget (informational)");
     }
 
+    // Robustness layer: deadline overshoot and cooperative-check overhead
+    // on the same representative circuit. Status and feasibility are gated
+    // below; the timings are informational.
+    let robustness = robustness_bench(problem, opts.seed);
+    eprintln!(
+        "robustness_bench ({MULTISTART_CIRCUIT}): checks {:+.2}% over unbounded \
+         ({:.4}s vs {:.4}s), deadline {}ms → returned in {:.4}s \
+         (overshoot {:.1}ms), status {}, feasible {}",
+        robustness.check_overhead_pct,
+        robustness.armed_seconds,
+        robustness.unbounded_seconds,
+        robustness.time_limit_ms,
+        robustness.bounded_seconds,
+        robustness.overshoot_ms,
+        robustness.status,
+        robustness.feasible
+    );
+    if robustness.check_overhead_pct > 1.0 {
+        println!(
+            "::warning::robustness_bench: cooperative checks cost {:+.2}%, above \
+             the 1% budget",
+            robustness.check_overhead_pct
+        );
+    }
+
     // Scale ladder: clustered instances at N ∈ {10³, 10⁴, 10⁵} (10⁶ behind
     // QBP_SCALE_FULL=1, one size via QBP_SCALE_N), multilevel vs flat at
     // every size plus the compact-vs-nested layout audit. Informational —
@@ -1193,6 +1323,7 @@ fn main() {
          \"thread_scaling\": {},\n  \
          \"multistart\": {},\n  \
          \"scale_bench\": {},\n  \
+         \"robustness_bench\": {},\n  \
          \"observer_overhead\": {{\n    \"circuit\": \"{}\",\n    \"reps\": {},\n    \
          \"threads_used\": 1,\n    \
          \"noop_seconds\": {:.6},\n    \"counters_seconds\": {:.6},\n    \
@@ -1212,6 +1343,7 @@ fn main() {
         scaling_json,
         multistart_json,
         scale_bench_json,
+        robustness.to_json(),
         MULTISTART_CIRCUIT,
         OVERHEAD_REPS,
         noop_seconds,
@@ -1231,6 +1363,18 @@ fn main() {
     }
     if !kernels_matched {
         eprintln!("error: a profiled kernel diverged from its explicit-walk twin (correctness bug)");
+        std::process::exit(1);
+    }
+    if robustness.status != "timed_out" {
+        eprintln!(
+            "error: robustness_bench deadline did not wind the solve down \
+             (status {}, limit {}ms)",
+            robustness.status, robustness.time_limit_ms
+        );
+        std::process::exit(1);
+    }
+    if !robustness.feasible {
+        eprintln!("error: robustness_bench deadline degraded to an infeasible assignment");
         std::process::exit(1);
     }
     if !eco.state_identical {

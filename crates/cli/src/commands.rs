@@ -3,8 +3,11 @@
 use crate::args::Args;
 use qbp_core::hw::{AutoProfile, HostInfo};
 use qbp_core::io::{parse_assignment, read_problem, write_assignment, write_problem};
-use qbp_core::{check_feasibility, Assignment, ComponentId, Evaluator, Problem, QbpError};
-use qbp_eco::{run_script, EcoConfig, EcoSession};
+use qbp_core::{
+    check_feasibility, Assignment, Budget, ComponentId, Evaluator, ExecCtx, ExecStatus, Problem,
+    QbpError,
+};
+use qbp_eco::{run_script_exec, EcoConfig, EcoSession};
 use qbp_multilevel::{build_solver, MlqbpConfig, MlqbpSolver, SOLVER_NAMES};
 use qbp_observe::{CountersObserver, SolveEvent, SolveObserver, TeeObserver, TraceObserver};
 use qbp_solver::{
@@ -38,6 +41,34 @@ fn emit(output: Option<&str>, contents: &str) -> Result<(), QbpError> {
         None => print!("{contents}"),
     }
     Ok(())
+}
+
+/// Builds the execution context for a budgeted command: `--time-limit-ms`
+/// becomes a wall-clock budget, and SIGINT is routed to a cancel token so
+/// Ctrl-C degrades to best-so-far instead of killing the process. With no
+/// time limit the budget is unlimited (cancellation still works).
+fn exec_ctx(args: &Args) -> Result<ExecCtx, QbpError> {
+    let budget = match args.get_parsed_opt::<u64>("time-limit-ms", "a duration in milliseconds")? {
+        Some(ms) => Budget::with_time_limit(std::time::Duration::from_millis(ms)),
+        None => Budget::unlimited(),
+    };
+    Ok(ExecCtx::with_budget(budget).cancel_token(crate::interrupt::install()))
+}
+
+/// Reports how a budgeted run ended (stderr, machine-greppable) and maps a
+/// cooperative cancellation to exit code 130. The fallback code is what the
+/// command would have returned on a completed run.
+fn status_exit(status: ExecStatus, quiet: bool, fallback: ExitCode) -> ExitCode {
+    if !quiet {
+        eprintln!("status: \"{}\"", status.as_str());
+    }
+    match status {
+        ExecStatus::Cancelled => {
+            eprintln!("interrupted: wrote best-so-far assignment");
+            ExitCode::from(crate::EXIT_INTERRUPTED)
+        }
+        _ => fallback,
+    }
 }
 
 /// `qbp solve` — run one method on a problem file, optionally streaming the
@@ -82,6 +113,7 @@ pub fn solve(args: &Args) -> CommandResult {
         Some(p) => Some(parse_assignment(&read_file(p)?, &problem, false)?),
         None => None,
     };
+    let exec = exec_ctx(args)?;
 
     // Observers: counters and/or a JSONL trace, fed through one tee. The
     // tee borrows both, so it lives in an inner scope.
@@ -107,7 +139,7 @@ pub fn solve(args: &Args) -> CommandResult {
                 width: p.multistart_width,
             });
         }
-        run_method(&problem, &method, &opts, runs, &ml, initial.as_ref(), &mut tee)?
+        run_method(&problem, &method, &opts, runs, &ml, initial.as_ref(), &exec, &mut tee)?
     };
     report.auto_profile = auto_profile;
 
@@ -134,11 +166,12 @@ pub fn solve(args: &Args) -> CommandResult {
         );
     }
     emit(args.get("output"), &write_assignment(&problem, &report.assignment))?;
-    Ok(if feas.is_feasible() {
+    let fallback = if feas.is_feasible() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
-    })
+    };
+    Ok(status_exit(report.status, quiet, fallback))
 }
 
 /// The multilevel-only tuning flags, parsed whether or not `--method mlqbp`
@@ -168,6 +201,7 @@ fn finish_trace(args: &Args, trace: TraceObserver<BufWriter<File>>) -> Result<()
 
 /// Dispatches one solve through the method registry (or the qbp multistart
 /// driver when `--runs` asks for more than one), behind `&dyn Solver`.
+#[allow(clippy::too_many_arguments)]
 fn run_method(
     problem: &Problem,
     method: &str,
@@ -175,6 +209,7 @@ fn run_method(
     runs: usize,
     ml: &MlFlags,
     initial: Option<&Assignment>,
+    exec: &ExecCtx,
     obs: &mut dyn SolveObserver,
 ) -> Result<SolveReport, QbpError> {
     if method != "mlqbp" && (ml.levels.is_some() || ml.min_size.is_some()) {
@@ -189,7 +224,7 @@ fn run_method(
             )));
         }
         let solver = QbpSolver::new(QbpConfig::default().with_common(opts));
-        let out = solver.solve_multistart_observed(problem, initial, runs, obs)?;
+        let out = solver.solve_multistart_exec(problem, initial, runs, exec, obs)?;
         return Ok(SolveReport {
             solver: "qbp",
             moves_applied: moved_from(initial, &out.assignment),
@@ -199,6 +234,7 @@ fn run_method(
             iterations: out.iterations,
             elapsed: out.elapsed,
             auto_profile: None,
+            status: out.status,
             assignment: out.assignment,
         });
     }
@@ -210,7 +246,7 @@ fn run_method(
         if let Some(min_size) = ml.min_size {
             config.min_size = min_size;
         }
-        return Ok(MlqbpSolver::new(config).solve_observed(problem, initial, obs)?);
+        return Ok(MlqbpSolver::new(config).solve_observed_exec(problem, initial, exec, obs)?);
     }
     let solver = build_solver(method, opts).ok_or_else(|| {
         QbpError::Usage(format!(
@@ -218,7 +254,7 @@ fn run_method(
             SOLVER_NAMES.join(", ")
         ))
     })?;
-    Ok(solver.solve(problem, initial, obs)?)
+    Ok(solver.solve_exec(problem, initial, exec, obs)?)
 }
 
 fn find_start(problem: &Problem, seed: u64) -> Result<Assignment, QbpError> {
@@ -278,6 +314,7 @@ pub fn eco(args: &Args) -> CommandResult {
         None => EcoSession::new(problem, config)?,
     };
 
+    let exec = exec_ctx(args)?;
     let use_counters = args.switch("counters");
     let mut counters_sink = CountersObserver::new();
     let mut trace = open_trace(args)?;
@@ -289,7 +326,7 @@ pub fn eco(args: &Args) -> CommandResult {
         if let Some(t) = trace.as_mut() {
             tee.push(t);
         }
-        run_script(&mut session, &script, &mut tee)?
+        run_script_exec(&mut session, &script, &exec, &mut tee)?
     };
 
     if use_counters {
@@ -312,11 +349,12 @@ pub fn eco(args: &Args) -> CommandResult {
         args.get("output"),
         &write_assignment(session.problem(), session.assignment()),
     )?;
-    Ok(if summary.all_feasible {
+    let fallback = if summary.all_feasible {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
-    })
+    };
+    Ok(status_exit(summary.status, quiet, fallback))
 }
 
 /// `qbp check` — audit an assignment against a problem.
@@ -372,10 +410,31 @@ pub fn feasible(args: &Args) -> CommandResult {
 fn generate_clustered(args: &Args) -> CommandResult {
     let seed = args.get_parsed("seed", 1993u64, "an integer")?;
     let components = args.get_parsed("components", 10_000usize, "a component count >= 2")?;
+    // Degenerate shapes are rejected here, before any output file is
+    // created: a usage error (exit 64) must never leave an empty .qbp
+    // behind, and the builder's own assertions must stay unreachable.
     if components < 2 {
         return Err(QbpError::Usage("--components must be at least 2".into()));
     }
-    let gen = qbp_gen::ClusteredCircuit::new(components).seed(seed);
+    let cluster_size = args.get_parsed_opt::<usize>("cluster-size", "a cluster size >= 2")?;
+    if let Some(c) = cluster_size {
+        if c < 2 {
+            return Err(QbpError::Usage(
+                "--cluster-size must be at least 2 (a cluster of fewer components has no ring)"
+                    .into(),
+            ));
+        }
+        if c > components {
+            return Err(QbpError::Usage(format!(
+                "--cluster-size {c} exceeds --components {components}; \
+                 a cluster cannot be larger than the whole circuit"
+            )));
+        }
+    }
+    let mut gen = qbp_gen::ClusteredCircuit::new(components).seed(seed);
+    if let Some(c) = cluster_size {
+        gen = gen.cluster_size(c);
+    }
     match args.get("output") {
         Some(path) => {
             let file = File::create(path).map_err(|e| QbpError::io(path, &e))?;
@@ -902,13 +961,13 @@ timing alu cache 1
 
     #[test]
     fn exit_codes_distinguish_error_kinds() {
-        use crate::{exit_code_for, EXIT_IO, EXIT_MODEL, EXIT_PARSE, EXIT_USAGE};
+        use crate::{exit_code_for, EXIT_INTERNAL, EXIT_IO, EXIT_MODEL, EXIT_PARSE, EXIT_USAGE};
         assert_eq!(
             exit_code_for(&QbpError::Usage("bad flag".into())),
             ExitCode::from(EXIT_USAGE)
         );
         assert_eq!(
-            exit_code_for(&QbpError::Parse(qbp_core::io::ParseError::BadHeader)),
+            exit_code_for(&QbpError::Parse(qbp_core::io::ParseError::BadHeader { line: 1 })),
             ExitCode::from(EXIT_PARSE)
         );
         assert_eq!(
@@ -922,6 +981,125 @@ timing alu cache 1
             exit_code_for(&QbpError::Model(qbp_core::Error::EmptyCircuit)),
             ExitCode::from(EXIT_MODEL)
         );
+        assert_eq!(
+            exit_code_for(&QbpError::Internal("worker panicked".into())),
+            ExitCode::from(EXIT_INTERNAL)
+        );
+    }
+
+    #[test]
+    fn index_overflow_reaches_the_exit_code_layer_as_model() {
+        use crate::{exit_code_for, EXIT_MODEL};
+        // A real IndexOverflow from the CSR stream layer (tiny record cap),
+        // lifted exactly the way `main` sees solver errors: Error ->
+        // QbpError -> exit code. It must classify as a model error (67),
+        // not fall through to the generic failure code.
+        let problem = qbp_core::io::parse_problem(SAMPLE).expect("sample parses");
+        let err = qbp_core::QBody::build_with_index_cap(&problem, 1, 2)
+            .expect_err("a 2-record cap must overflow");
+        assert!(matches!(err, qbp_core::Error::IndexOverflow { .. }));
+        let lifted: QbpError = err.into();
+        assert!(matches!(
+            lifted,
+            QbpError::Model(qbp_core::Error::IndexOverflow { .. })
+        ));
+        assert_eq!(exit_code_for(&lifted), ExitCode::from(EXIT_MODEL));
+    }
+
+    #[test]
+    fn gen_clustered_rejects_degenerate_shapes_without_writing() {
+        // Every degenerate parameterization must be a usage error (exit 64)
+        // and must not leave an output file behind.
+        for (argv, label) in [
+            (vec!["gen", "--gen-clustered", "--components", "0"], "0 components"),
+            (vec!["gen", "--gen-clustered", "--components", "1"], "1 component"),
+            (
+                vec!["gen", "--gen-clustered", "--components", "100", "--cluster-size", "0"],
+                "0-size clusters",
+            ),
+            (
+                vec!["gen", "--gen-clustered", "--components", "100", "--cluster-size", "1"],
+                "1-size clusters",
+            ),
+            (
+                vec!["gen", "--gen-clustered", "--components", "100", "--cluster-size", "101"],
+                "cluster larger than the circuit",
+            ),
+        ] {
+            let out = temp_path(&format!("degenerate-{}.qbp", label.replace(' ', "-")));
+            let mut argv = argv.clone();
+            argv.push("--output");
+            argv.push(out.to_str().expect("utf8"));
+            let err = generate(&args(&argv)).expect_err(label);
+            assert!(
+                matches!(err, QbpError::Usage(_)),
+                "{label}: expected a usage error, got {err:?}"
+            );
+            assert_eq!(
+                crate::exit_code_for(&err),
+                ExitCode::from(crate::EXIT_USAGE),
+                "{label}"
+            );
+            assert!(!out.exists(), "{label}: no output file may be created");
+        }
+    }
+
+    #[test]
+    fn gen_clustered_honors_cluster_size() {
+        let problem_path = temp_path("cluster-size.qbp");
+        let code = generate(&args(&[
+            "gen",
+            "--gen-clustered",
+            "--components",
+            "64",
+            "--cluster-size",
+            "8",
+            "--seed",
+            "7",
+            "--output",
+            problem_path.to_str().expect("utf8"),
+        ]))
+        .expect("gen runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let problem = load_problem(problem_path.to_str().expect("utf8")).expect("parses");
+        assert_eq!(problem.n(), 64);
+        // 8 clusters of 8: one timing constraint planted per cluster.
+        assert_eq!(problem.timing().len(), 8);
+        let _ = fs::remove_file(problem_path);
+    }
+
+    #[test]
+    fn solve_time_limit_reports_status_and_stays_feasible() {
+        let problem_path = temp_path("deadline.qbp");
+        let asg_path = temp_path("deadline.txt");
+        fs::write(&problem_path, SAMPLE).expect("write problem");
+        // A zero-ms budget expires before the first budgeted iteration; the
+        // bootstrap still runs, so the result must be a written, feasible
+        // assignment and a success exit (timed_out is not a failure).
+        let code = solve(&args(&[
+            "solve",
+            problem_path.to_str().expect("utf8"),
+            "--iterations",
+            "500",
+            "--time-limit-ms",
+            "0",
+            "--quiet",
+            "--output",
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("solve runs");
+        assert_eq!(code, ExitCode::SUCCESS);
+        let text = fs::read_to_string(&asg_path).expect("assignment written");
+        assert_eq!(text.lines().count(), 3, "one line per component");
+        let code = check(&args(&[
+            "check",
+            problem_path.to_str().expect("utf8"),
+            asg_path.to_str().expect("utf8"),
+        ]))
+        .expect("check runs");
+        assert_eq!(code, ExitCode::SUCCESS, "the degraded result must be feasible");
+        let _ = fs::remove_file(problem_path);
+        let _ = fs::remove_file(asg_path);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Ctrl-C → cooperative cancellation.
+//!
+//! `qbp solve` and `qbp eco` install a SIGINT handler that flips one static
+//! flag; the solvers watch it through a [`CancelToken`] at their iteration
+//! boundaries, finish the current iteration, and return the best feasible
+//! assignment found so far. The CLI then writes that assignment and exits
+//! 130 (the conventional `128 + SIGINT`). A *second* Ctrl-C restores the
+//! default disposition, so an unresponsive run can still be killed.
+//!
+//! Only the raw `signal(2)` entry point is used — setting a handler that
+//! stores to an `AtomicBool` is async-signal-safe and needs no extra
+//! dependency. On non-Unix targets the returned token simply never fires.
+
+use qbp_core::CancelToken;
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the first SIGINT; read by [`super::install`]'s token.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    /// `SIGINT` on every Unix the workspace targets.
+    const SIGINT: i32 = 2;
+    /// `SIG_DFL` — the default disposition (terminate).
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(sig: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+        // Second Ctrl-C kills: restore the default disposition from inside
+        // the handler (signal(2) is async-signal-safe).
+        unsafe {
+            signal(sig, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT handler (idempotent) and returns the token the
+/// solvers should poll. On non-Unix targets no handler is installed and the
+/// token never fires.
+pub fn install() -> CancelToken {
+    #[cfg(unix)]
+    {
+        imp::install();
+        CancelToken::from_static(&imp::INTERRUPTED)
+    }
+    #[cfg(not(unix))]
+    {
+        CancelToken::new()
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod interrupt;
 
 use qbp_core::QbpError;
 use std::process::ExitCode;
@@ -27,7 +28,7 @@ USAGE:
             [--iterations N] [--seed S] [--runs R] [--threads T]
             [--stall-window W] [--mlqbp-levels L] [--mlqbp-min-size K]
             [--auto] [--initial file] [--output file] [--quiet]
-            [--trace file.jsonl] [--counters]
+            [--trace file.jsonl] [--counters] [--time-limit-ms MS]
 
   --runs R        multistart restarts for --method qbp (winner is the best
                   run; deterministic for a fixed seed regardless of threads)
@@ -44,12 +45,20 @@ USAGE:
                   aliases)
   --trace FILE    write the solver's event stream as JSON Lines to FILE
   --counters      print aggregate event counters as JSON on stderr
+  --time-limit-ms MS  deadline for the whole solve: when it expires the
+                  solver stops at the next iteration boundary and the best
+                  feasible assignment found so far is written, with
+                  status: \"timed_out\" reported on stderr (also accepted
+                  by `qbp eco`, where the script stops between lines)
+  Ctrl-C (SIGINT) cancels cooperatively the same way: the current best
+                  feasible assignment is written and the exit code is 130
+                  (a second Ctrl-C kills immediately)
 
   qbp eco <problem.qbp> --script <edits.jsonl>
             [--eco-rebuild-threshold PCT] [--eco-penalty B]
             [--eco-refresh-every K]
             [--iterations N] [--seed S] [--initial file] [--output file]
-            [--quiet] [--trace file.jsonl] [--counters]
+            [--quiet] [--trace file.jsonl] [--counters] [--time-limit-ms MS]
 
   --script FILE   JSONL edit script: one op per line, e.g.
                   {\"op\": \"reweight_pair\", \"a\": 3, \"b\": 17, \"weight\": 9}
@@ -65,7 +74,8 @@ USAGE:
   qbp gen <ckta|cktb|cktc|cktd|ckte|cktf|cktg|qap> [--scale F] [--seed S]
             [--size N] [--output file]
             [--eco-script file.jsonl] [--eco-edits N]
-  qbp gen --gen-clustered --components N [--seed S] [--output file]
+  qbp gen --gen-clustered --components N [--cluster-size C] [--seed S]
+            [--output file]
                   stream a seeded clustered circuit (intra-cluster rings and
                   chords, sparse inter-cluster links) of N components; edges
                   are written as they are generated, so million-component
@@ -75,7 +85,8 @@ USAGE:
 
 EXIT CODES:
   0 success; 2 result infeasible; 64 usage error; 65 parse error;
-  66 file I/O error; 67 invalid model
+  66 file I/O error; 67 invalid model; 70 internal error (worker panic);
+  130 interrupted (SIGINT; best-so-far assignment is still written)
 
 Problem files use the `.qbp` text format (see the qbp-core::io docs).
 ";
@@ -88,6 +99,12 @@ pub const EXIT_PARSE: u8 = 65;
 pub const EXIT_IO: u8 = 66;
 /// Exit code for a semantically invalid model (capacity overflow, bad ids).
 pub const EXIT_MODEL: u8 = 67;
+/// Exit code for an internal failure, e.g. an isolated worker panic
+/// (mirrors BSD `EX_SOFTWARE`).
+pub const EXIT_INTERNAL: u8 = 70;
+/// Exit code after a cooperative SIGINT cancellation (`128 + SIGINT`); the
+/// best-so-far assignment is written before exiting.
+pub const EXIT_INTERRUPTED: u8 = 130;
 
 /// Maps an error's *kind* to the CLI's exit code, so scripts can branch on
 /// what failed without parsing stderr.
@@ -97,6 +114,7 @@ pub fn exit_code_for(err: &QbpError) -> ExitCode {
         QbpError::Parse(_) => EXIT_PARSE,
         QbpError::Io { .. } => EXIT_IO,
         QbpError::Model(_) => EXIT_MODEL,
+        QbpError::Internal(_) => EXIT_INTERNAL,
         _ => 1,
     })
 }

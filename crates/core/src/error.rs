@@ -85,6 +85,13 @@ pub enum Error {
         /// Largest record count the layout can address.
         cap: u64,
     },
+    /// A worker thread or solver run panicked and was caught at an
+    /// isolation boundary ([`exec::catch_panic`](crate::exec::catch_panic)).
+    /// The message is the panic payload; sibling workers' results survive.
+    Internal {
+        /// The captured panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -138,6 +145,9 @@ impl fmt::Display for Error {
                 f,
                 "{what} needs {records} records, exceeding the compact index ceiling of {cap}"
             ),
+            Error::Internal { message } => {
+                write!(f, "internal error: worker panicked: {message}")
+            }
         }
     }
 }
@@ -172,6 +182,9 @@ pub enum QbpError {
     /// The invocation itself was malformed (bad flag, missing argument,
     /// unknown method or script directive).
     Usage(String),
+    /// A defect inside the solver itself: a worker panic caught at an
+    /// isolation boundary. Maps to exit code 70 (`EX_SOFTWARE`) in the CLI.
+    Internal(String),
 }
 
 impl QbpError {
@@ -191,6 +204,7 @@ impl fmt::Display for QbpError {
             QbpError::Parse(e) => write!(f, "{e}"),
             QbpError::Io { path, message } => write!(f, "{path}: {message}"),
             QbpError::Usage(msg) => write!(f, "{msg}"),
+            QbpError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -207,7 +221,10 @@ impl std::error::Error for QbpError {
 
 impl From<Error> for QbpError {
     fn from(e: Error) -> Self {
-        QbpError::Model(e)
+        match e {
+            Error::Internal { message } => QbpError::Internal(message),
+            other => QbpError::Model(other),
+        }
     }
 }
 
@@ -273,7 +290,7 @@ mod tests {
         let model: QbpError = Error::EmptyCircuit.into();
         assert!(matches!(model, QbpError::Model(Error::EmptyCircuit)));
         assert_eq!(model.to_string(), Error::EmptyCircuit.to_string());
-        let parse: QbpError = crate::io::ParseError::BadHeader.into();
+        let parse: QbpError = crate::io::ParseError::BadHeader { line: 1 }.into();
         assert!(matches!(parse, QbpError::Parse(_)));
         let io = QbpError::io(
             "missing.qbp",

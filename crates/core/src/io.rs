@@ -64,7 +64,11 @@ use std::fmt;
 #[non_exhaustive]
 pub enum ParseError {
     /// The `qbp <version>` header line is missing or unsupported.
-    BadHeader,
+    BadHeader {
+        /// 1-based line number of the offending line (0 when the input
+        /// ended before any header line was seen).
+        line: usize,
+    },
     /// A line had an unknown directive.
     UnknownDirective {
         /// 1-based line number.
@@ -107,6 +111,8 @@ pub enum ParseError {
     /// reader only; the message is captured as text so the error stays
     /// `Clone` and comparable).
     Io {
+        /// 1-based number of the line being read when the stream failed.
+        line: usize,
         /// The underlying I/O error message.
         message: String,
     },
@@ -115,7 +121,9 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::BadHeader => write!(f, "missing or unsupported `qbp <version>` header"),
+            ParseError::BadHeader { line } => {
+                write!(f, "line {line}: missing or unsupported `qbp <version>` header")
+            }
             ParseError::UnknownDirective { line, directive } => {
                 write!(f, "line {line}: unknown directive `{directive}`")
             }
@@ -132,7 +140,9 @@ impl fmt::Display for ParseError {
                 write!(f, "line {line}: directive requires {needs} first")
             }
             ParseError::Invalid(e) => write!(f, "invalid problem: {e}"),
-            ParseError::Io { message } => write!(f, "read failed: {message}"),
+            ParseError::Io { line, message } => {
+                write!(f, "line {line}: read failed: {message}")
+            }
         }
     }
 }
@@ -163,6 +173,12 @@ fn logical_lines(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
         }
     })
 }
+
+/// Upper bound on the partition count a `.qbp` file may declare. The
+/// topology holds two dense `m × m` matrices, so `m` from an untrusted file
+/// must be bounded *before* allocation — at this cap each matrix is 128 MiB,
+/// far beyond any physical partitioning target but still safe to allocate.
+pub const MAX_PARTITIONS: usize = 4096;
 
 struct PartitionDraft {
     capacities: Vec<Size>,
@@ -248,7 +264,7 @@ impl ProblemAssembler {
                 self.header_seen = true;
                 return Ok(());
             }
-            return Err(ParseError::BadHeader);
+            return Err(ParseError::BadHeader { line: lineno });
         }
         self.directive(lineno, &toks)
     }
@@ -317,10 +333,10 @@ impl ProblemAssembler {
                 let m = toks
                     .get(1)
                     .and_then(|s| s.parse::<usize>().ok())
-                    .filter(|&m| m > 0)
+                    .filter(|&m| m > 0 && m <= MAX_PARTITIONS)
                     .ok_or(ParseError::BadArguments {
                         line,
-                        expected: "partitions <m>",
+                        expected: "partitions <m> with 0 < m <= 4096",
                     })?;
                 *draft = Some(PartitionDraft {
                     capacities: vec![0; m],
@@ -335,6 +351,17 @@ impl ProblemAssembler {
                     line,
                     expected: "grid <rows> <cols> <capacity>",
                 })?;
+                // Bound rows × cols before the dense m × m topology matrices
+                // are allocated; checked in u64 so the product cannot wrap.
+                match nums[0].checked_mul(nums[1]) {
+                    Some(m) if m <= MAX_PARTITIONS as u64 => {}
+                    _ => {
+                        return Err(ParseError::BadArguments {
+                            line,
+                            expected: "grid with rows * cols <= 4096",
+                        })
+                    }
+                }
                 let topo =
                     PartitionTopology::grid(nums[0] as usize, nums[1] as usize, nums[2])?;
                 *draft = Some(PartitionDraft {
@@ -479,7 +506,7 @@ impl ProblemAssembler {
     /// error from [`ProblemBuilder::build`].
     pub fn finish(self) -> Result<Problem, ParseError> {
         if !self.header_seen {
-            return Err(ParseError::BadHeader);
+            return Err(ParseError::BadHeader { line: 0 });
         }
         let draft = self.draft.ok_or(ParseError::OutOfOrder {
             line: 0,
@@ -553,12 +580,20 @@ pub fn read_problem<R: std::io::BufRead>(mut reader: R) -> Result<Problem, Parse
         let read = reader
             .read_line(&mut buf)
             .map_err(|e| ParseError::Io {
+                line: lineno + 1,
                 message: e.to_string(),
             })?;
         if read == 0 {
             break;
         }
         lineno += 1;
+        // Fault-injection point: a corrupted read mangles the line in a way
+        // the directive parser *detects* — the result is a typed ParseError
+        // carrying this line's number, never a silently wrong problem.
+        if crate::fault::fault_point(crate::fault::POINT_IO_READ).is_corrupt() {
+            buf.clear();
+            buf.push_str("\u{fffd}corrupted-read");
+        }
         asm.line(lineno, &buf)?;
     }
     asm.finish()
@@ -805,9 +840,39 @@ linear 0 1 6
 
     #[test]
     fn header_required() {
-        assert_eq!(parse_problem("component a 1\n"), Err(ParseError::BadHeader));
-        assert_eq!(parse_problem("qbp 2\n"), Err(ParseError::BadHeader));
-        assert_eq!(parse_problem(""), Err(ParseError::BadHeader));
+        assert_eq!(
+            parse_problem("component a 1\n"),
+            Err(ParseError::BadHeader { line: 1 })
+        );
+        assert_eq!(
+            parse_problem("# preamble\n\nqbp 2\n"),
+            Err(ParseError::BadHeader { line: 3 })
+        );
+        // Empty input: no line to point at, `finish` reports line 0.
+        assert_eq!(parse_problem(""), Err(ParseError::BadHeader { line: 0 }));
+    }
+
+    #[test]
+    fn hostile_partition_counts_are_rejected_before_allocation() {
+        // A dense m x m topology for these m values would be hundreds of
+        // gigabytes; the parser must refuse without allocating.
+        for text in [
+            "qbp 1\ncomponent a 1\npartitions 99999999999\n",
+            &format!("qbp 1\ncomponent a 1\npartitions {}\n", MAX_PARTITIONS + 1),
+            "qbp 1\ncomponent a 1\ngrid 4000000000 4000000000 5\n",
+            "qbp 1\ncomponent a 1\ngrid 100000 100000 5\n",
+        ] {
+            assert!(
+                matches!(
+                    parse_problem(text),
+                    Err(ParseError::BadArguments { line: 3, .. })
+                ),
+                "input {text:?} must be rejected at line 3"
+            );
+        }
+        // Ordinary counts still parse.
+        let ok = "qbp 1\ncomponent a 1\npartitions 8\ncapacity 0 1\n";
+        assert!(parse_problem(ok).is_ok());
     }
 
     #[test]

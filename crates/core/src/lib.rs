@@ -57,6 +57,8 @@ mod assignment;
 mod circuit;
 mod constraints;
 mod error;
+pub mod exec;
+pub mod fault;
 mod feasibility;
 pub mod hw;
 mod ids;
@@ -75,6 +77,7 @@ pub use assignment::Assignment;
 pub use circuit::{Circuit, Component};
 pub use constraints::TimingConstraints;
 pub use error::{Error, QbpError};
+pub use exec::{Budget, CancelToken, ExecCtx, ExecStatus};
 pub use feasibility::{
     check_feasibility, move_is_timing_feasible, swap_is_timing_feasible, CapacityViolation,
     FeasibilityReport, TimingViolation, UsageTracker,

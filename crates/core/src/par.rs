@@ -56,7 +56,11 @@ pub fn workers_for(threads: usize, rows: usize) -> usize {
 /// # Panics
 ///
 /// Panics if `stride` is zero or does not divide `data.len()`, or if a
-/// worker panics.
+/// worker panics. A worker panic is isolated per chunk (every other worker
+/// runs to completion, keeping its rows intact) and re-raised with the
+/// lowest-chunk payload, so the surfaced panic is deterministic for any
+/// thread count; callers that need a typed error wrap the whole map in
+/// [`crate::exec::catch_panic`].
 pub fn for_each_row<T, F>(threads: usize, stride: usize, data: &mut [T], f: F) -> usize
 where
     T: Send,
@@ -79,17 +83,32 @@ where
         let f = &f;
         let mut rest = data;
         let mut row0 = 0;
-        for w in 0..workers {
-            let take = base + usize::from(w < rem);
-            let (chunk, tail) = rest.split_at_mut(take * stride);
-            rest = tail;
-            let start = row0;
-            row0 += take;
-            scope.spawn(move || {
-                for (i, slot) in chunk.chunks_mut(stride).enumerate() {
-                    f(start + i, slot);
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let take = base + usize::from(w < rem);
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(take * stride);
+                rest = tail;
+                let start = row0;
+                row0 += take;
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for (i, slot) in chunk.chunks_mut(stride).enumerate() {
+                            f(start + i, slot);
+                        }
+                    }))
+                })
+            })
+            .collect();
+        // Join everyone before re-raising, lowest chunk first: isolation
+        // (no worker is torn down mid-row) plus a deterministic payload.
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join().expect("worker catches its own panics") {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     workers
@@ -103,7 +122,10 @@ where
 ///
 /// # Panics
 ///
-/// Panics if a worker panics.
+/// Panics if a worker panics: each chunk is isolated (the others run to
+/// completion) and the lowest-chunk payload is re-raised, so the surfaced
+/// panic is deterministic for any thread count; callers that need a typed
+/// error wrap the whole map in [`crate::exec::catch_panic`].
 pub fn map_collect<R, F>(threads: usize, rows: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -123,12 +145,25 @@ where
                 let take = base + usize::from(w < rem);
                 let range = start..start + take;
                 start += take;
-                scope.spawn(move || range.map(f).collect::<Vec<R>>())
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        range.map(f).collect::<Vec<R>>()
+                    }))
+                })
             })
             .collect();
         let mut out = Vec::with_capacity(rows);
+        let mut first_panic = None;
         for handle in handles {
-            out.extend(handle.join().expect("parallel map worker panicked"));
+            match handle.join().expect("worker catches its own panics") {
+                Ok(chunk) => out.extend(chunk),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
         out
     })
@@ -190,5 +225,54 @@ mod tests {
     fn map_collect_handles_empty_and_tiny_inputs() {
         assert_eq!(map_collect::<usize, _>(4, 0, |i| i), Vec::<usize>::new());
         assert_eq!(map_collect(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn map_collect_panics_deterministically_across_thread_counts() {
+        for threads in [2usize, 4, 8] {
+            let err = crate::exec::catch_panic(|| {
+                map_collect(threads, 16, |i| {
+                    if i == 5 || i == 11 {
+                        panic!("poisoned row {i}");
+                    }
+                    i
+                })
+            })
+            .expect_err("the poisoned rows must surface");
+            match err {
+                crate::Error::Internal { message } => assert!(
+                    message.contains("poisoned row 5"),
+                    "threads={threads}: lowest chunk must win, got {message:?}"
+                ),
+                other => panic!("expected Internal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_row_panics_deterministically_and_keeps_other_chunks() {
+        for threads in [2usize, 4, 8] {
+            let mut data = vec![0i64; 16];
+            let err = crate::exec::catch_panic(|| {
+                for_each_row(threads, 1, &mut data, |r, slot| {
+                    if r == 3 {
+                        panic!("poisoned row {r}");
+                    }
+                    slot[0] = r as i64;
+                })
+            })
+            .expect_err("the poisoned row must surface");
+            match err {
+                crate::Error::Internal { message } => assert!(
+                    message.contains("poisoned row 3"),
+                    "threads={threads}: got {message:?}"
+                ),
+                other => panic!("expected Internal, got {other:?}"),
+            }
+            // Every row outside the poisoned chunk still got written: the
+            // other workers were not torn down by the panic.
+            let written = data.iter().filter(|&&v| v != 0).count();
+            assert!(written >= 16 - 16_usize.div_ceil(threads) - 1, "threads={threads}");
+        }
     }
 }

@@ -1,0 +1,108 @@
+//! Property tests: the `.qbp` parsers must survive arbitrary and truncated
+//! byte streams without panicking, and every rejection must be a typed
+//! [`ParseError`] whose message points at a line.
+//!
+//! These are the robustness-layer counterpart of the round-trip tests inside
+//! `qbp_core::io` — there the input is well-formed by construction, here it
+//! is adversarial by construction.
+
+use proptest::prelude::*;
+use qbp_core::io::{parse_problem, read_problem, ParseError};
+use qbp_core::QbpError;
+
+/// A parse failure must locate itself: every `ParseError` message carries a
+/// `line N` marker (line 0 means "input ended before the parser could point
+/// anywhere"). Semantic validation errors describe the assembled problem
+/// rather than a single line, and only arise from fully parseable input.
+fn assert_located(err: &ParseError) {
+    let msg = err.to_string();
+    match err {
+        ParseError::Invalid(_) => {}
+        _ => assert!(
+            msg.contains("line "),
+            "parse error must carry a line number: {msg:?}"
+        ),
+    }
+    // Lifting into the CLI-facing error keeps the Parse classification.
+    let lifted: QbpError = err.clone().into();
+    assert!(matches!(lifted, QbpError::Parse(_)));
+}
+
+/// Arbitrary bytes, full range — exercises invalid UTF-8 and control noise.
+fn byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|v| v as u8)
+}
+
+/// Near-valid input fragments: valid prefixes, directives with wrong
+/// arities, hostile numbers, and separator noise — steering random inputs
+/// toward the interesting states of the directive parser.
+fn fragment() -> impl Strategy<Value = String> {
+    (0usize..12, 0u64..1 << 48).prop_map(|(pick, num)| match pick {
+        0 => "qbp 1\n".to_string(),
+        1 => "component a 1\n".to_string(),
+        2 => format!("component c{num} {num}\n"),
+        3 => "wire a a 1\n".to_string(),
+        4 => format!("partitions {num}9999999999\n"),
+        5 => format!("grid {num} {num} 1\n"),
+        6 => "capacity 0\n".to_string(),
+        7 => "timing a\n".to_string(),
+        8 => format!("wires a c{num} {num}\n"),
+        9 => format!("# noise {num}\n"),
+        10 => format!("linear {num} {num} -{num}\n"),
+        11 => format!("\t  {num}"),
+        _ => unreachable!(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Completely arbitrary bytes: `read_problem` must return, never panic,
+    // and every rejection must carry a line number. (Invalid UTF-8 makes
+    // `read_line` fail, which must surface as a located `ParseError::Io`.)
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(byte(), 0..2048)) {
+        match read_problem(std::io::Cursor::new(bytes)) {
+            Ok(_) => {}
+            Err(e) => assert_located(&e),
+        }
+    }
+
+    // Directive-shaped noise: strings assembled from near-valid fragments
+    // exercise every arm of the directive parser, and the streaming reader
+    // must agree with the in-memory parser on accept/reject.
+    #[test]
+    fn directive_noise_never_panics(parts in proptest::collection::vec(fragment(), 0..24)) {
+        let text = parts.concat();
+        match parse_problem(&text) {
+            Ok(_) => {}
+            Err(e) => assert_located(&e),
+        }
+        let streamed = read_problem(std::io::Cursor::new(text.as_bytes()));
+        prop_assert_eq!(streamed.is_ok(), parse_problem(&text).is_ok());
+    }
+
+    // Truncating a valid file at any byte boundary must yield either a
+    // smaller valid problem or a located error — never a panic.
+    #[test]
+    fn truncated_valid_input_never_panics(cut in 0usize..400) {
+        let full = "\
+qbp 1
+scales 1 1
+component alu 40
+component cache 60
+component bus 10
+wires alu cache 5
+wire cache bus 2
+grid 2 2 80
+timing alu cache 1
+timing cache alu 1
+";
+        let cut = cut.min(full.len());
+        let bytes = &full.as_bytes()[..cut];
+        match read_problem(std::io::Cursor::new(bytes)) {
+            Ok(_) => {}
+            Err(e) => assert_located(&e),
+        }
+    }
+}

@@ -34,7 +34,7 @@ pub mod script;
 mod session;
 
 pub use delta::{EditOp, NetlistDelta};
-pub use script::{run_script, ScriptOp, ScriptSummary};
+pub use script::{run_script, run_script_exec, ScriptOp, ScriptSummary};
 pub use session::{apply_and_resolve_quiet, ApplyReport, EcoConfig, EcoSession};
 
 #[cfg(test)]

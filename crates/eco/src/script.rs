@@ -22,7 +22,7 @@
 use crate::delta::{EditOp, NetlistDelta};
 use crate::session::EcoSession;
 use qbp_core::io::ParseError;
-use qbp_core::{ComponentId, Cost, Error, Problem, QbpError};
+use qbp_core::{ComponentId, Cost, Error, ExecCtx, ExecStatus, Problem, QbpError};
 use qbp_observe::SolveObserver;
 
 /// A component reference in a script: index or name.
@@ -395,6 +395,10 @@ pub struct ScriptSummary {
     pub all_feasible: bool,
     /// Embedded objective after the last edit.
     pub final_value: Cost,
+    /// How the run ended: [`ExecStatus::Completed`] when every line was
+    /// applied and re-solved, otherwise the budget/cancel status that
+    /// stopped the script (later lines are left unapplied).
+    pub status: ExecStatus,
 }
 
 /// Runs a script against a session: each line becomes a one-op
@@ -408,6 +412,24 @@ pub struct ScriptSummary {
 pub fn run_script(
     session: &mut EcoSession,
     text: &str,
+    obs: &mut dyn SolveObserver,
+) -> Result<ScriptSummary, QbpError> {
+    run_script_exec(session, text, &ExecCtx::unbounded(), obs)
+}
+
+/// [`run_script`] under an execution budget: each warm re-solve runs inside
+/// `exec`, and once the budget expires (or the cancel token fires) the
+/// script stops *between* lines — the session keeps every edit applied so
+/// far with a feasible assignment, later lines are left unapplied, and the
+/// summary's `status` reports why.
+///
+/// # Errors
+///
+/// Like [`run_script`].
+pub fn run_script_exec(
+    session: &mut EcoSession,
+    text: &str,
+    exec: &ExecCtx,
     obs: &mut dyn SolveObserver,
 ) -> Result<ScriptSummary, QbpError> {
     /// Forwards every event and counts escalated warm solves on the way.
@@ -441,16 +463,24 @@ pub fn run_script(
         rebuilds: 0,
         all_feasible: true,
         final_value: 0,
+        status: ExecStatus::Completed,
     };
     for (_, op) in &ops {
+        // Line boundaries are the script's cooperative checkpoints: a
+        // stopped run never leaves a half-applied edit behind.
+        if let Some(stop) = exec.check(summary.edits) {
+            summary.status = stop;
+            break;
+        }
         let edit = op.resolve(session.problem())?;
         let mut delta = NetlistDelta::new();
         delta.push(edit);
-        let (apply, solve) = session.apply_and_resolve(&delta, &mut tee)?;
+        let (apply, solve) = session.apply_and_resolve_exec(&delta, exec, &mut tee)?;
         summary.edits += 1;
         summary.rebuilds += apply.rebuilt as usize;
         summary.all_feasible &= solve.feasible;
         summary.final_value = solve.embedded_value.unwrap_or(solve.objective);
+        summary.status = summary.status.merge(solve.status);
     }
     summary.escalations = tee.escalations;
     Ok(summary)

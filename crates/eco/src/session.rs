@@ -2,15 +2,24 @@
 //! [`NetlistDelta`]s in place and re-solves warm.
 
 use crate::delta::{EditOp, NetlistDelta};
+use qbp_core::exec::{catch_panic, ExecCtx};
 use qbp_core::{
     Assignment, ComponentId, Error, PartitionProfile, Problem, QBody, QMatrix,
 };
 use qbp_observe::{NoopObserver, SolveEvent, SolveObserver};
 use qbp_solver::{moved_from, PenaltyMode, QbpConfig, QbpSolver, SolveReport, SolveWorkspace};
+use std::time::Duration;
 
 /// Iteration cap of the quality-refresh solve (mirrors the solver's warm
 /// escalation cap).
 const REFRESH_ITERATIONS: usize = 12;
+
+/// Retries of a capped-escalation re-solve whose worker panicked
+/// ([`Error::Internal`]); each retry backs off exponentially (1 ms, 2 ms).
+/// Retries make sense precisely for panics — the descent is deterministic
+/// for a given seed, but a panic can come from a transient environment
+/// fault, and the warm result below stays a valid fallback either way.
+const ESCALATION_RETRIES: usize = 2;
 
 /// Configuration of an [`EcoSession`].
 #[derive(Debug, Clone, PartialEq)]
@@ -356,11 +365,32 @@ impl EcoSession {
         dirty: &[usize],
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
+        self.resolve_exec(dirty, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`EcoSession::resolve`] under an execution budget: the warm descent
+    /// and its escalation rungs check `exec` at iteration boundaries, and the
+    /// quality-refresh solve is both budgeted and panic-isolated — a worker
+    /// panic ([`Error::Internal`]) retries up to [`ESCALATION_RETRIES`] times
+    /// with exponential backoff, then falls back to the warm result (the
+    /// refresh is an optional polish; losing it degrades quality, never
+    /// correctness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors other than refresh-rung worker panics.
+    pub fn resolve_exec(
+        &mut self,
+        dirty: &[usize],
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
         let solver = QbpSolver::new(QbpConfig {
             penalty: PenaltyMode::Fixed(self.penalty),
             ..self.config.solver
         });
-        let mut warm = solver.solve_warm(&self.problem, &self.assignment, dirty, obs)?;
+        let mut warm = solver.solve_warm_exec(&self.problem, &self.assignment, dirty, exec, obs)?;
+        let mut status = warm.status;
         // Quality-refresh rung: localized repair keeps each edit feasible
         // but the assignment drifts from what a from-scratch solve would
         // find as local fixes stack up. Every `refresh_every`-th delta,
@@ -369,27 +399,53 @@ impl EcoSession {
         if self.config.refresh_every > 0
             && self.deltas.is_multiple_of(self.config.refresh_every)
             && !warm.escalated
+            && status.is_completed()
         {
             let capped = QbpConfig {
                 iterations: REFRESH_ITERATIONS.min(self.config.solver.iterations.max(1)),
                 penalty: PenaltyMode::Fixed(self.penalty),
                 ..self.config.solver
             };
-            let polished = QbpSolver::new(capped).solve_observed(
-                &self.problem,
-                Some(&warm.assignment),
-                &mut SolveWorkspace::new(),
-                obs,
-            )?;
+            let capped_solver = QbpSolver::new(capped);
+            let mut polished = None;
+            for attempt in 0..=ESCALATION_RETRIES {
+                let run = catch_panic(|| {
+                    capped_solver.solve_observed_exec(
+                        &self.problem,
+                        Some(&warm.assignment),
+                        &mut SolveWorkspace::new(),
+                        exec,
+                        obs,
+                    )
+                })
+                .and_then(|r| r);
+                match run {
+                    Ok(out) => {
+                        polished = Some(out);
+                        break;
+                    }
+                    Err(Error::Internal { .. }) => {
+                        obs.on_event(&SolveEvent::WorkerPanicked { run: attempt });
+                        if attempt < ESCALATION_RETRIES {
+                            std::thread::sleep(Duration::from_millis(1 << attempt));
+                        }
+                        // Retries exhausted: keep the warm result.
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             warm.escalated = true;
-            if (polished.feasible && !warm.feasible)
-                || (polished.feasible == warm.feasible
-                    && polished.embedded_value <= warm.embedded_value)
-            {
-                warm.embedded_value = polished.embedded_value;
-                warm.objective = polished.objective;
-                warm.feasible = polished.feasible;
-                warm.assignment = polished.assignment;
+            if let Some(polished) = polished {
+                status = status.merge(polished.status);
+                if (polished.feasible && !warm.feasible)
+                    || (polished.feasible == warm.feasible
+                        && polished.embedded_value <= warm.embedded_value)
+                {
+                    warm.embedded_value = polished.embedded_value;
+                    warm.objective = polished.objective;
+                    warm.feasible = polished.feasible;
+                    warm.assignment = polished.assignment;
+                }
             }
         }
         obs.on_event(&SolveEvent::WarmSolve {
@@ -412,6 +468,7 @@ impl EcoSession {
             elapsed: warm.elapsed,
             auto_profile: None,
             assignment: warm.assignment,
+            status,
         })
     }
 
@@ -463,6 +520,7 @@ impl EcoSession {
             elapsed: out.elapsed,
             auto_profile: None,
             assignment: self.assignment.clone(),
+            status: out.status,
         })
     }
 
@@ -480,6 +538,24 @@ impl EcoSession {
     ) -> Result<(ApplyReport, SolveReport), Error> {
         let apply = self.apply(delta, obs)?;
         let solve = self.resolve(&apply.dirty, obs)?;
+        Ok((apply, solve))
+    }
+
+    /// [`EcoSession::apply_and_resolve`] under an execution budget: the
+    /// apply is unconditional (state consistency is the session's minimum
+    /// work), the re-solve is budgeted via [`EcoSession::resolve_exec`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EcoSession::apply_and_resolve`].
+    pub fn apply_and_resolve_exec(
+        &mut self,
+        delta: &NetlistDelta,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<(ApplyReport, SolveReport), Error> {
+        let apply = self.apply(delta, obs)?;
+        let solve = self.resolve_exec(&apply.dirty, exec, obs)?;
         Ok((apply, solve))
     }
 

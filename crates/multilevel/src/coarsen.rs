@@ -369,6 +369,12 @@ pub fn coarsen_observed(
     obs: &mut dyn SolveObserver,
 ) -> LevelStack {
     let mut stack = LevelStack::default();
+    // Fault-injection point: a corrupted matching is *detected* by refusing
+    // to coarsen at all — the empty stack makes the V-cycle fall back to a
+    // flat solve, trading speed for a result that is still correct.
+    if qbp_core::fault::fault_point(qbp_core::fault::POINT_COARSEN).is_corrupt() {
+        return stack;
+    }
     if !diagonals_are_zero(problem) {
         return stack;
     }

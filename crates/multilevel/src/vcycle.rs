@@ -5,6 +5,7 @@
 
 use crate::coarsen::{coarsen_observed, CoarsenOptions, LevelStack};
 use qbp_baselines::{GfmConfig, GfmSolver};
+use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem};
 use qbp_observe::{SolveEvent, SolveObserver, SolverId};
 use qbp_solver::{moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport, Solver};
@@ -149,7 +150,29 @@ impl MlqbpSolver {
         init: Option<&Assignment>,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
+        self.solve_observed_exec(problem, init, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`MlqbpSolver::solve_observed`] under an execution budget. The budget
+    /// threads into the coarse multistart and every per-level refinement
+    /// solve, and the V-cycle itself checks it at each uncoarsening level:
+    /// once the budget expires (or the token fires) the remaining levels
+    /// prolong without refining — prolongation preserves feasibility, so the
+    /// finest-level assignment stays feasible whenever the coarse solve's
+    /// was.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlqbpSolver::solve_observed`].
+    pub fn solve_observed_exec(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error> {
         let start = Instant::now();
+        let mut status = ExecStatus::Completed;
         obs.on_event(&SolveEvent::SolveStarted {
             solver: SolverId::Mlqbp,
             components: problem.n(),
@@ -181,14 +204,16 @@ impl MlqbpSolver {
             // Nothing to coarsen: one fully-observed flat QBP run (the
             // multistart driver deliberately withholds per-iteration events,
             // and a non-coarsenable problem is small enough not to need it).
-            let out = coarse_solver.solve_observed(
+            let out = coarse_solver.solve_observed_exec(
                 problem,
                 init,
                 &mut qbp_solver::SolveWorkspace::new(),
+                exec,
                 &mut inner,
             )?;
             iterations = out.iterations.max(1);
             assignment = out.assignment;
+            status = status.merge(out.status);
         } else {
             // Solve the coarsest level with the full QBP multistart.
             let coarsest = stack.coarsest().expect("stack checked non-empty");
@@ -199,14 +224,16 @@ impl MlqbpSolver {
                 }
                 projected
             });
-            let out = coarse_solver.solve_multistart_observed(
+            let out = coarse_solver.solve_multistart_exec(
                 coarsest,
                 coarse_init.as_ref(),
                 runs,
+                exec,
                 &mut inner,
             )?;
             iterations = out.iterations.max(1);
             assignment = out.assignment;
+            status = status.merge(out.status);
 
             // Uncoarsen: prolong, refine with GFM sweeps, then a short
             // capped QBP descent; keep whichever candidate is best.
@@ -263,27 +290,49 @@ impl MlqbpSolver {
                 } else {
                     1
                 };
+                // Level boundary is a cooperative checkpoint: an expired
+                // budget stops refinement here, and the remaining levels
+                // only prolong (which preserves feasibility).
+                if status.is_completed() {
+                    if let Some(stop) = exec.check(iterations) {
+                        match stop {
+                            ExecStatus::Cancelled => {
+                                inner.on_event(&SolveEvent::Cancelled { iteration: iterations });
+                            }
+                            _ => inner.on_event(&SolveEvent::BudgetExhausted {
+                                iteration: iterations,
+                            }),
+                        }
+                        status = stop;
+                    }
+                }
                 for _ in 0..rounds {
+                    if !status.is_completed() {
+                        break;
+                    }
                     let round_start = best_key;
                     // GFM needs a feasible start; prolongation preserves
                     // feasibility, so this only skips when the coarse solve
                     // itself ended infeasible.
                     if best_key.0 && self.config.refine_passes > 0 {
-                        let out = gfm.solve_observed(fine_problem, &best, &mut inner)?;
+                        let out = gfm.solve_observed_exec(fine_problem, &best, exec, &mut inner)?;
                         iterations += out.passes;
+                        status = status.merge(out.status);
                         if better((true, out.cost), best_key) {
                             best_key = (true, out.cost);
                             best = out.assignment;
                         }
                     }
-                    if self.config.refine_iterations > 0 {
-                        let out = refine_solver.solve_observed(
+                    if status.is_completed() && self.config.refine_iterations > 0 {
+                        let out = refine_solver.solve_observed_exec(
                             fine_problem,
                             Some(&best),
                             &mut qbp_solver::SolveWorkspace::new(),
+                            exec,
                             &mut inner,
                         )?;
                         iterations += out.iterations;
+                        status = status.merge(out.status);
                         let key = (
                             out.feasible
                                 && check_feasibility(fine_problem, &out.assignment).is_feasible(),
@@ -301,9 +350,10 @@ impl MlqbpSolver {
                 // A closing GFM sweep polishes whatever the last descent
                 // left: its final GAP iterate can strand single-move gains
                 // that one cheap pass recovers.
-                if best_key.0 && self.config.refine_passes > 0 {
-                    let out = gfm.solve_observed(fine_problem, &best, &mut inner)?;
+                if status.is_completed() && best_key.0 && self.config.refine_passes > 0 {
+                    let out = gfm.solve_observed_exec(fine_problem, &best, exec, &mut inner)?;
                     iterations += out.passes;
+                    status = status.merge(out.status);
                     if better((true, out.cost), best_key) {
                         best_key = (true, out.cost);
                         best = out.assignment;
@@ -345,6 +395,7 @@ impl MlqbpSolver {
             elapsed: start.elapsed(),
             auto_profile: None,
             assignment,
+            status,
         })
     }
 }
@@ -354,13 +405,14 @@ impl Solver for MlqbpSolver {
         "mlqbp"
     }
 
-    fn solve(
+    fn solve_exec(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
+        exec: &ExecCtx,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
-        self.solve_observed(problem, init, obs)
+        self.solve_observed_exec(problem, init, exec, obs)
     }
 }
 

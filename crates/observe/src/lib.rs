@@ -340,6 +340,27 @@ pub enum SolveEvent {
         /// Whether the result satisfies C1 and C2 on the patched problem.
         feasible: bool,
     },
+    /// A solve's [`Budget`](https://docs.rs/qbp-core) expired (deadline or
+    /// iteration cap) at a cooperative check: the solver wound down and
+    /// returned its best feasible iterate with `ExecStatus::TimedOut`.
+    BudgetExhausted {
+        /// 1-based iteration the check fired at.
+        iteration: usize,
+    },
+    /// A fired `CancelToken` was observed at a cooperative check: the solver
+    /// wound down and returned its best feasible iterate with
+    /// `ExecStatus::Cancelled`.
+    Cancelled {
+        /// 1-based iteration the check fired at.
+        iteration: usize,
+    },
+    /// A worker (multistart run) panicked and was caught at the
+    /// `catch_unwind` isolation boundary; sibling runs' results survive.
+    /// Emitted in run order, so traces stay deterministic.
+    WorkerPanicked {
+        /// 0-based run index of the poisoned worker.
+        run: usize,
+    },
     /// Hardware-adaptive auto-configuration ran (CLI `--auto`): solver
     /// parameters were derived from the detected host and problem size
     /// before the solve started.
@@ -381,6 +402,9 @@ impl SolveEvent {
             SolveEvent::ParallelBatch { .. } => "parallel_batch",
             SolveEvent::DeltaApplied { .. } => "delta_applied",
             SolveEvent::WarmSolve { .. } => "warm_solve",
+            SolveEvent::BudgetExhausted { .. } => "budget_exhausted",
+            SolveEvent::Cancelled { .. } => "cancelled",
+            SolveEvent::WorkerPanicked { .. } => "worker_panicked",
             SolveEvent::AutoConfigured { .. } => "auto_configured",
         }
     }
@@ -491,6 +515,12 @@ pub struct CounterSnapshot {
     /// ECO deltas that crossed the staleness threshold and rebuilt the
     /// solver state from scratch instead of patching.
     pub eco_rebuilds: u64,
+    /// Solves wound down by an expired budget (deadline or iteration cap).
+    pub budget_exhausted: u64,
+    /// Solves wound down by a fired cancel token.
+    pub cancelled: u64,
+    /// Worker panics caught at isolation boundaries.
+    pub worker_panics: u64,
 }
 
 impl CounterSnapshot {
@@ -507,7 +537,8 @@ impl CounterSnapshot {
              \"levels_refined\": {}, \"parallel_batches\": {}, \
              \"parallel_tasks\": {}, \"threads_used\": {}, \
              \"eco_deltas\": {}, \"eco_patched_rows\": {}, \
-             \"eco_rebuilds\": {}}}",
+             \"eco_rebuilds\": {}, \"budget_exhausted\": {}, \
+             \"cancelled\": {}, \"worker_panics\": {}}}",
             self.solves,
             self.iterations,
             self.eta_full,
@@ -533,6 +564,9 @@ impl CounterSnapshot {
             self.eco_deltas,
             self.eco_patched_rows,
             self.eco_rebuilds,
+            self.budget_exhausted,
+            self.cancelled,
+            self.worker_panics,
         )
     }
 }
@@ -569,6 +603,9 @@ pub struct CountersObserver {
     eco_deltas: AtomicU64,
     eco_patched_rows: AtomicU64,
     eco_rebuilds: AtomicU64,
+    budget_exhausted: AtomicU64,
+    cancelled: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl CountersObserver {
@@ -662,6 +699,15 @@ impl CountersObserver {
                 }
             }
             SolveEvent::WarmSolve { .. } => {}
+            SolveEvent::BudgetExhausted { .. } => {
+                self.budget_exhausted.fetch_add(1, R);
+            }
+            SolveEvent::Cancelled { .. } => {
+                self.cancelled.fetch_add(1, R);
+            }
+            SolveEvent::WorkerPanicked { .. } => {
+                self.worker_panics.fetch_add(1, R);
+            }
             SolveEvent::AutoConfigured { .. } => {}
         }
     }
@@ -695,6 +741,9 @@ impl CountersObserver {
             eco_deltas: self.eco_deltas.load(R),
             eco_patched_rows: self.eco_patched_rows.load(R),
             eco_rebuilds: self.eco_rebuilds.load(R),
+            budget_exhausted: self.budget_exhausted.load(R),
+            cancelled: self.cancelled.load(R),
+            worker_panics: self.worker_panics.load(R),
         }
     }
 }
@@ -976,6 +1025,15 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
                  \"value\": {value}, \"feasible\": {feasible}"
             ));
         }
+        SolveEvent::BudgetExhausted { iteration } => {
+            s.push_str(&format!(", \"iteration\": {iteration}"));
+        }
+        SolveEvent::Cancelled { iteration } => {
+            s.push_str(&format!(", \"iteration\": {iteration}"));
+        }
+        SolveEvent::WorkerPanicked { run } => {
+            s.push_str(&format!(", \"run\": {run}"));
+        }
         SolveEvent::AutoConfigured {
             cores,
             ram_mb,
@@ -1236,6 +1294,15 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
             value: fields.num("value")?,
             feasible: fields.bool("feasible")?,
         },
+        "budget_exhausted" => SolveEvent::BudgetExhausted {
+            iteration: fields.num("iteration")?,
+        },
+        "cancelled" => SolveEvent::Cancelled {
+            iteration: fields.num("iteration")?,
+        },
+        "worker_panicked" => SolveEvent::WorkerPanicked {
+            run: fields.num("run")?,
+        },
         "auto_configured" => SolveEvent::AutoConfigured {
             cores: fields.num("cores")?,
             ram_mb: fields.num("ram_mb")?,
@@ -1458,7 +1525,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..18, 0usize..6, 0usize..2),
+            (0usize..21, 0usize..6, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1565,6 +1632,9 @@ mod proptests {
                             value: delta,
                             feasible: b2,
                         },
+                        17 => SolveEvent::BudgetExhausted { iteration },
+                        18 => SolveEvent::Cancelled { iteration },
+                        19 => SolveEvent::WorkerPanicked { run: violations },
                         _ => SolveEvent::AutoConfigured {
                             cores: partitions,
                             ram_mb: violations as u64,

@@ -9,6 +9,7 @@
 //! entries of [`QMatrix`], so the chain may traverse violating states and is
 //! judged by its best *feasible* visit.
 
+use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{
     check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, PartitionId, Problem,
     QMatrix,
@@ -95,6 +96,25 @@ impl AnnealSolver {
         initial: Option<&Assignment>,
         obs: &mut dyn SolveObserver,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_observed_exec(problem, initial, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`AnnealSolver::solve_observed`] under an execution context: the
+    /// chain polls `exec` at each temperature-level boundary and winds down
+    /// to its best capacity-feasible visit when the budget expires or the
+    /// token fires. Unbounded contexts are zero-cost and trace-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the initial assignment does not match the
+    /// problem or the penalty configuration is invalid.
+    pub fn solve_observed_exec(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         let start = Instant::now();
         let q = match self.config.penalty {
             PenaltyMode::Fixed(p) => QMatrix::new(problem, p)?,
@@ -158,7 +178,20 @@ impl AnnealSolver {
         let mean_abs = if samples > 0 { sum_abs / samples as f64 } else { 1.0 };
         let mut temperature = (mean_abs * self.config.start_temp_factor).max(1.0);
 
+        let mut status = ExecStatus::Completed;
+        let mut executed_levels = self.config.levels;
         for level in 1..=self.config.levels {
+            if let Some(stop) = exec.check(level) {
+                match stop {
+                    ExecStatus::Cancelled => {
+                        obs.on_event(&SolveEvent::Cancelled { iteration: level });
+                    }
+                    _ => obs.on_event(&SolveEvent::BudgetExhausted { iteration: level }),
+                }
+                status = stop;
+                executed_levels = level - 1;
+                break;
+            }
             obs.on_event(&SolveEvent::IterationStarted { iteration: level });
             let best_before = best.as_ref().map(|(_, v)| *v);
             for _ in 0..self.config.steps_per_level {
@@ -230,7 +263,7 @@ impl AnnealSolver {
         let (assignment, embedded_value) = best.unwrap_or((current, value));
         let feasible = check_feasibility(problem, &assignment).is_feasible();
         obs.on_event(&SolveEvent::SolveFinished {
-            iterations: self.config.levels * self.config.steps_per_level,
+            iterations: executed_levels * self.config.steps_per_level,
             value: embedded_value,
             feasible,
         });
@@ -239,9 +272,10 @@ impl AnnealSolver {
             embedded_value,
             assignment,
             feasible,
-            iterations: self.config.levels * self.config.steps_per_level,
+            iterations: executed_levels * self.config.steps_per_level,
             history: Vec::new(),
             elapsed: start.elapsed(),
+            status,
         })
     }
 }
@@ -273,13 +307,14 @@ impl Solver for AnnealSolver {
         "anneal"
     }
 
-    fn solve(
+    fn solve_exec(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
+        exec: &ExecCtx,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
-        let out = self.solve_observed(problem, init, obs)?;
+        let out = self.solve_observed_exec(problem, init, exec, obs)?;
         Ok(SolveReport {
             solver: "anneal",
             moves_applied: moved_from(init, &out.assignment),
@@ -290,6 +325,7 @@ impl Solver for AnnealSolver {
             elapsed: out.elapsed,
             auto_profile: None,
             assignment: out.assignment,
+            status: out.status,
         })
     }
 }

@@ -33,6 +33,7 @@
 //! # }
 //! ```
 
+use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{Assignment, Cost, Error, Problem};
 use qbp_observe::SolveObserver;
 use std::time::Duration;
@@ -121,6 +122,11 @@ pub struct SolveReport {
     /// driver ran auto-configuration (CLI `--auto`); `None` for explicitly
     /// configured solves. Stamped by the driver, not the solver.
     pub auto_profile: Option<qbp_core::hw::AutoProfile>,
+    /// How the solve finished: to natural termination (`Completed`), or
+    /// wound down early by an expired budget (`TimedOut`) or a fired cancel
+    /// token (`Cancelled`). In the latter two cases the report still carries
+    /// the best feasible iterate found before the cooperative check fired.
+    pub status: ExecStatus,
 }
 
 /// Components whose partition differs between `init` and `final_asg`; the
@@ -148,19 +154,45 @@ pub trait Solver {
     fn name(&self) -> &'static str;
 
     /// Runs the heuristic from `init` (or the solver's own starting point
-    /// when `None`), streaming events to `obs`.
+    /// when `None`), streaming events to `obs`, under the budget and
+    /// cancellation token of `exec`.
+    ///
+    /// Implementations poll `exec` at their iteration boundaries. When the
+    /// budget expires or the token fires, the solver winds down and returns
+    /// the best feasible iterate found so far, with
+    /// [`SolveReport::status`] set to the firing [`ExecStatus`] — deriving a
+    /// *first* feasible iterate (the bootstrap when `init` is `None`)
+    /// counts as minimum work and is not interrupted. With
+    /// [`ExecCtx::unbounded`] the checks are zero-cost and the solve is
+    /// byte-identical to [`Solver::solve`].
     ///
     /// # Errors
     ///
     /// Returns an error when the problem or `init` fails the solver's
     /// validation (dimension mismatch, non-QAP shape, infeasible start for
     /// the interchange baselines) or the configuration is invalid.
+    fn solve_exec(
+        &self,
+        problem: &Problem,
+        init: Option<&Assignment>,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, Error>;
+
+    /// [`Solver::solve_exec`] with no budget and no cancellation: runs the
+    /// heuristic to natural termination.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Solver::solve_exec`].
     fn solve(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
         obs: &mut dyn SolveObserver,
-    ) -> Result<SolveReport, Error>;
+    ) -> Result<SolveReport, Error> {
+        self.solve_exec(problem, init, &ExecCtx::unbounded(), obs)
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ mod qbp;
 
 pub use anneal::{AnnealConfig, AnnealSolver};
 pub use api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
+pub use qbp_core::exec::{Budget, CancelToken, ExecCtx, ExecStatus};
 pub use bb::{branch_and_bound, BbOutcome};
 pub use gap::{solve_gap, solve_gap_observed, GapConfig, GapInstance, GapScratch, GapSolution};
 pub use initial::{greedy_first_fit, random_assignment, repair_capacity, scramble_feasible};

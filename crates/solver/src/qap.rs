@@ -11,6 +11,7 @@
 
 use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use crate::lap::solve_lap_observed;
+use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{
     check_feasibility, Assignment, Cost, Error, Evaluator, PartitionProfile, Problem, QMatrix,
 };
@@ -152,6 +153,25 @@ impl QapSolver {
         initial: Option<&Assignment>,
         obs: &mut dyn SolveObserver,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_observed_exec(problem, initial, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`QapSolver::solve_observed`] under an execution context: the Burkard
+    /// loop polls `exec` at each iteration boundary and winds down to the
+    /// best permutation seen when the budget expires or the token fires
+    /// (every QAP iterate is a permutation, hence capacity-feasible).
+    /// Unbounded contexts are zero-cost and trace-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QapSolver::solve_observed`].
+    pub fn solve_observed_exec(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         Self::validate(problem)?;
         let start = Instant::now();
         let n = problem.n();
@@ -206,7 +226,20 @@ impl QapSolver {
             std::collections::VecDeque::with_capacity(self.config.stall_window.max(1));
         let intra_threads = qbp_core::par::effective_threads(self.config.threads);
 
+        let mut status = ExecStatus::Completed;
+        let mut executed = self.config.iterations;
         for k in 1..=self.config.iterations {
+            if let Some(stop) = exec.check(k) {
+                match stop {
+                    ExecStatus::Cancelled => {
+                        obs.on_event(&SolveEvent::Cancelled { iteration: k });
+                    }
+                    _ => obs.on_event(&SolveEvent::BudgetExhausted { iteration: k }),
+                }
+                status = stop;
+                executed = k - 1;
+                break;
+            }
             obs.on_event(&SolveEvent::IterationStarted { iteration: k });
             let (rebuilt, moved) = match (profile.as_mut(), profile_source.as_ref()) {
                 (Some(p), Some(prev)) => p.update(prev, &u),
@@ -301,7 +334,7 @@ impl QapSolver {
         let (assignment, embedded_value) = best;
         let feasible = check_feasibility(problem, &assignment).is_feasible();
         obs.on_event(&SolveEvent::SolveFinished {
-            iterations: self.config.iterations,
+            iterations: executed,
             value: embedded_value,
             feasible,
         });
@@ -310,9 +343,10 @@ impl QapSolver {
             embedded_value,
             assignment,
             feasible,
-            iterations: self.config.iterations,
+            iterations: executed,
             history: Vec::new(),
             elapsed: start.elapsed(),
+            status,
         })
     }
 }
@@ -322,13 +356,14 @@ impl Solver for QapSolver {
         "qap"
     }
 
-    fn solve(
+    fn solve_exec(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
+        exec: &ExecCtx,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
-        let out = self.solve_observed(problem, init, obs)?;
+        let out = self.solve_observed_exec(problem, init, exec, obs)?;
         Ok(SolveReport {
             solver: "qap",
             moves_applied: moved_from(init, &out.assignment),
@@ -339,6 +374,7 @@ impl Solver for QapSolver {
             elapsed: out.elapsed,
             auto_profile: None,
             assignment: out.assignment,
+            status: out.status,
         })
     }
 }

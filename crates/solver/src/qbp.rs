@@ -19,6 +19,7 @@
 
 use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use crate::gap::{solve_gap_observed, solve_gap_with, GapConfig, GapInstance, GapScratch};
+use qbp_core::exec::{catch_panic, ExecCtx, ExecStatus};
 use qbp_core::{
     check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, PartitionProfile, Problem,
     QMatrix,
@@ -229,6 +230,9 @@ pub struct QbpOutcome {
     pub history: Vec<IterationStats>,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// How the solve finished: natural termination, or wound down early by
+    /// an expired budget / fired cancel token (best-so-far kept).
+    pub status: ExecStatus,
 }
 
 /// Result of a warm re-solve ([`QbpSolver::solve_warm`]).
@@ -246,6 +250,9 @@ pub struct WarmOutcome {
     pub escalated: bool,
     /// Wall-clock time of the re-solve.
     pub elapsed: Duration,
+    /// How the re-solve finished (escalation solves honor the caller's
+    /// budget and cancellation token).
+    pub status: ExecStatus,
 }
 
 /// Iteration cap of the first escalation rung of [`QbpSolver::solve_warm`]:
@@ -349,6 +356,33 @@ impl QbpSolver {
         ws: &mut SolveWorkspace,
         obs: &mut dyn SolveObserver,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_observed_exec(problem, initial, ws, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`QbpSolver::solve_observed`] under an execution context: the
+    /// Burkard loop polls `exec` at each iteration boundary and winds down
+    /// to the best-so-far incumbent when the budget expires or the token
+    /// fires. When the context is bounded and no feasible incumbent exists
+    /// yet, the `B = 0` feasibility bootstrap ([`QbpSolver::find_feasible`])
+    /// runs first as uninterruptible minimum work, so a budgeted solve on a
+    /// feasible instance returns a *feasible* best-so-far even when the
+    /// budget expires before the first improvement iteration. With
+    /// [`ExecCtx::unbounded`] the checks short-circuit and the solve —
+    /// including its event trace — is byte-identical to
+    /// [`QbpSolver::solve_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the initial assignment does not match the
+    /// problem's dimensions or the penalty configuration is invalid.
+    pub fn solve_observed_exec(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        ws: &mut SolveWorkspace,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         let start = Instant::now();
         let q = self.build_qmatrix(problem)?;
         let eval = Evaluator::new(problem);
@@ -403,6 +437,18 @@ impl QbpSolver {
                 anchor = Some((u.clone(), v));
             }
         }
+        // Bounded solves guarantee a feasible best-so-far before the budget
+        // can fire: when nothing feasible seeds the incumbent, the B = 0
+        // bootstrap runs to completion first as uninterruptible minimum
+        // work (see `docs/ROBUSTNESS.md`).
+        let mut status = ExecStatus::Completed;
+        if !exec.is_unbounded() && anchor.is_none() {
+            if let Some(feas) = self.find_feasible(problem)? {
+                let v = q.value(&feas);
+                consider(&feas, v, &mut best);
+                anchor = Some((feas, v));
+            }
+        }
 
         let mn = m * n;
         ws.h.clear();
@@ -416,7 +462,19 @@ impl QbpSolver {
         // η-level parallelism never oversubscribe each other.
         let intra_threads = qbp_core::par::effective_threads(self.config.threads);
 
+        let mut executed = self.config.iterations;
         for k in 1..=self.config.iterations {
+            if let Some(stop) = exec.check(k) {
+                match stop {
+                    ExecStatus::Cancelled => {
+                        obs.on_event(&SolveEvent::Cancelled { iteration: k });
+                    }
+                    _ => obs.on_event(&SolveEvent::BudgetExhausted { iteration: k }),
+                }
+                status = stop;
+                executed = k - 1;
+                break;
+            }
             obs.on_event(&SolveEvent::IterationStarted { iteration: k });
             // STEP 3: the η cache records which assignment it linearizes, so
             // successive iterates pay only for the components that moved
@@ -466,6 +524,15 @@ impl QbpSolver {
                 iteration: k,
                 incremental,
             });
+            // Fault-injection point: a corrupted η surface misguides the
+            // subproblem (search quality degrades) but can never produce a
+            // silent wrong answer — every candidate's objective is
+            // recomputed from `q` itself, never read off η.
+            if qbp_core::fault::fault_point(qbp_core::fault::POINT_ETA_KERNEL).is_corrupt() {
+                for v in ws.eta.iter_mut() {
+                    *v = v.wrapping_mul(3).wrapping_add(1);
+                }
+            }
             let eta_k: &[Cost] = if self.config.eta_mode == EtaMode::BalasMazzola {
                 // The ω diagonal is iterate-dependent; add it on a scratch
                 // copy so the incremental cache stays the raw η.
@@ -616,7 +683,7 @@ impl QbpSolver {
         });
         let feasible = check_feasibility(problem, &assignment).is_feasible();
         obs.on_event(&SolveEvent::SolveFinished {
-            iterations: self.config.iterations,
+            iterations: executed,
             value: embedded_value,
             feasible,
         });
@@ -625,9 +692,10 @@ impl QbpSolver {
             embedded_value,
             assignment,
             feasible,
-            iterations: self.config.iterations,
+            iterations: executed,
             history,
             elapsed: start.elapsed(),
+            status,
         })
     }
 
@@ -687,6 +755,32 @@ impl QbpSolver {
         runs: usize,
         obs: &mut dyn SolveObserver,
     ) -> Result<QbpOutcome, Error> {
+        self.solve_multistart_exec(problem, initial, runs, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`QbpSolver::solve_multistart_observed`] under an execution context,
+    /// with worker-panic isolation. Each run is wrapped in
+    /// [`catch_panic`], so one poisoned run surfaces as a typed
+    /// [`Error::Internal`] — reported as a [`SolveEvent::WorkerPanicked`] in
+    /// run order — while the surviving runs' results are reduced normally;
+    /// the error is only propagated when *no* run survives. Run 0 always
+    /// executes (minimum work); before each later run the deadline and
+    /// token are re-checked and remaining runs are skipped once either
+    /// fires. The returned outcome's status is the merge of the stop cause
+    /// and every surviving run's own status.
+    ///
+    /// # Errors
+    ///
+    /// `runs == 0` is an error; validation errors propagate at the lowest
+    /// failing run index; [`Error::Internal`] only when every run panicked.
+    pub fn solve_multistart_exec(
+        &self,
+        problem: &Problem,
+        initial: Option<&Assignment>,
+        runs: usize,
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<QbpOutcome, Error> {
         if runs == 0 {
             return Err(Error::NegativeValue {
                 what: "multistart run count",
@@ -699,71 +793,121 @@ impl QbpSolver {
             partitions: problem.m(),
         });
         let threads = self.effective_threads(runs);
-        let best = if threads <= 1 {
+        // Gate for *starting* new runs: deadline and token only — the
+        // iteration cap belongs to the runs' own Burkard loops.
+        let run_gate = exec.uncapped();
+        let mut slots: Vec<Option<Result<QbpOutcome, Error>>> = Vec::new();
+        slots.resize_with(runs, || None);
+        let mut stopped = ExecStatus::Completed;
+        if threads <= 1 {
             let mut ws = SolveWorkspace::new();
-            let mut best: Option<QbpOutcome> = None;
-            for r in 0..runs {
-                let out =
-                    QbpSolver::new(self.run_config(r)).solve_with(problem, initial, &mut ws)?;
-                obs.on_event(&SolveEvent::RunCompleted {
-                    run: r,
-                    value: out.embedded_value,
-                    feasible: out.feasible,
-                });
-                if Self::outcome_improves(&out, best.as_ref()) {
-                    best = Some(out);
+            for (r, slot) in slots.iter_mut().enumerate() {
+                if r > 0 {
+                    if let Some(stop) = run_gate.check(1) {
+                        stopped = stop;
+                        break;
+                    }
+                }
+                let solver = QbpSolver::new(self.run_config(r));
+                let out = catch_panic(|| {
+                    solver.solve_observed_exec(problem, initial, &mut ws, exec, &mut NoopObserver)
+                })
+                .and_then(|r| r);
+                let abort = matches!(out, Err(ref e) if !matches!(e, Error::Internal { .. }));
+                *slot = Some(out);
+                if abort {
+                    break;
                 }
             }
-            best.expect("runs >= 1")
         } else {
             let counter = AtomicUsize::new(0);
-            let mut slots: Vec<Option<Result<QbpOutcome, Error>>> = Vec::new();
-            slots.resize_with(runs, || None);
             std::thread::scope(|scope| {
                 let counter = &counter;
+                let run_gate = &run_gate;
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(move || {
                             let mut ws = SolveWorkspace::new();
                             let mut local = Vec::new();
+                            let mut stop_seen = None;
                             loop {
                                 let r = counter.fetch_add(1, Ordering::Relaxed);
                                 if r >= runs {
                                     break;
                                 }
+                                if r > 0 {
+                                    if let Some(stop) = run_gate.check(1) {
+                                        stop_seen = Some(stop);
+                                        break;
+                                    }
+                                }
                                 // Inner solves run strictly serial: the run
                                 // fan-out already owns the thread budget.
-                                let out = QbpSolver::new(QbpConfig {
+                                let solver = QbpSolver::new(QbpConfig {
                                     threads: 1,
                                     ..self.run_config(r)
+                                });
+                                let out = catch_panic(|| {
+                                    solver.solve_observed_exec(
+                                        problem,
+                                        initial,
+                                        &mut ws,
+                                        exec,
+                                        &mut NoopObserver,
+                                    )
                                 })
-                                .solve_with(problem, initial, &mut ws);
+                                .and_then(|r| r);
                                 local.push((r, out));
                             }
-                            local
+                            (local, stop_seen)
                         })
                     })
                     .collect();
                 for handle in handles {
-                    for (r, out) in handle.join().expect("multistart worker panicked") {
+                    let (local, stop_seen) =
+                        handle.join().expect("multistart worker panicked");
+                    for (r, out) in local {
                         slots[r] = Some(out);
+                    }
+                    if let Some(stop) = stop_seen {
+                        stopped = stopped.merge(stop);
                     }
                 }
             });
-            let mut best: Option<QbpOutcome> = None;
-            for (r, slot) in slots.into_iter().enumerate() {
-                let out = slot.expect("every run index claimed exactly once")?;
-                obs.on_event(&SolveEvent::RunCompleted {
-                    run: r,
-                    value: out.embedded_value,
-                    feasible: out.feasible,
-                });
-                if Self::outcome_improves(&out, best.as_ref()) {
-                    best = Some(out);
+        }
+        let mut best: Option<QbpOutcome> = None;
+        let mut status = stopped;
+        let mut first_panic: Option<Error> = None;
+        for (r, slot) in slots.into_iter().enumerate() {
+            match slot {
+                // Run never started: the budget fired first.
+                None => {}
+                Some(Ok(out)) => {
+                    status = status.merge(out.status);
+                    obs.on_event(&SolveEvent::RunCompleted {
+                        run: r,
+                        value: out.embedded_value,
+                        feasible: out.feasible,
+                    });
+                    if Self::outcome_improves(&out, best.as_ref()) {
+                        best = Some(out);
+                    }
                 }
+                Some(Err(e @ Error::Internal { .. })) => {
+                    obs.on_event(&SolveEvent::WorkerPanicked { run: r });
+                    if first_panic.is_none() {
+                        first_panic = Some(e);
+                    }
+                }
+                Some(Err(e)) => return Err(e),
             }
-            best.expect("runs >= 1")
+        }
+        let Some(mut best) = best else {
+            return Err(first_panic.unwrap_or(Error::Internal {
+                message: "no multistart run produced an outcome".into(),
+            }));
         };
+        best.status = status;
         obs.on_event(&SolveEvent::SolveFinished {
             iterations: self.config.iterations * runs,
             value: best.embedded_value,
@@ -927,6 +1071,25 @@ impl QbpSolver {
         dirty: &[usize],
         obs: &mut dyn SolveObserver,
     ) -> Result<WarmOutcome, Error> {
+        self.solve_warm_exec(problem, initial, dirty, &ExecCtx::unbounded(), obs)
+    }
+
+    /// [`QbpSolver::solve_warm`] under an execution context. Rung 1 (the
+    /// localized descent) is bounded work and always runs to completion;
+    /// the rung-2/3 escalation solves poll `exec` like any other Burkard
+    /// solve and wind down to their best-so-far when it fires.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QbpSolver::solve_warm`].
+    pub fn solve_warm_exec(
+        &self,
+        problem: &Problem,
+        initial: &Assignment,
+        dirty: &[usize],
+        exec: &ExecCtx,
+        obs: &mut dyn SolveObserver,
+    ) -> Result<WarmOutcome, Error> {
         let start = Instant::now();
         problem.validate_assignment(initial)?;
         let q = self.build_qmatrix(problem)?;
@@ -977,6 +1140,7 @@ impl QbpSolver {
                 feasible: true,
                 escalated: false,
                 elapsed: start.elapsed(),
+                status: ExecStatus::Completed,
             });
         }
 
@@ -985,17 +1149,28 @@ impl QbpSolver {
             iterations: WARM_ESCALATION_ITERATIONS.min(self.config.iterations.max(1)),
             ..self.config
         };
-        let mut out = QbpSolver::new(capped).solve_observed(
+        let mut out = QbpSolver::new(capped).solve_observed_exec(
             problem,
             Some(&asg),
             &mut SolveWorkspace::new(),
+            exec,
             obs,
         )?;
 
         // Rung 3: full-budget solve, only when the capped one stays
-        // infeasible and there is budget beyond the cap.
-        if !out.feasible && self.config.iterations > capped.iterations {
-            let full = self.solve_observed(problem, Some(&asg), &mut SolveWorkspace::new(), obs)?;
+        // infeasible, there is budget beyond the cap, and the context has
+        // not already wound rung 2 down.
+        if !out.feasible
+            && self.config.iterations > capped.iterations
+            && out.status.is_completed()
+        {
+            let full = self.solve_observed_exec(
+                problem,
+                Some(&asg),
+                &mut SolveWorkspace::new(),
+                exec,
+                obs,
+            )?;
             if full.feasible || full.embedded_value < out.embedded_value {
                 out = full;
             }
@@ -1007,6 +1182,7 @@ impl QbpSolver {
             feasible: out.feasible,
             escalated: true,
             elapsed: start.elapsed(),
+            status: out.status,
         })
     }
 }
@@ -1016,13 +1192,15 @@ impl Solver for QbpSolver {
         "qbp"
     }
 
-    fn solve(
+    fn solve_exec(
         &self,
         problem: &Problem,
         init: Option<&Assignment>,
+        exec: &ExecCtx,
         obs: &mut dyn SolveObserver,
     ) -> Result<SolveReport, Error> {
-        let out = self.solve_observed(problem, init, &mut SolveWorkspace::new(), obs)?;
+        let out =
+            self.solve_observed_exec(problem, init, &mut SolveWorkspace::new(), exec, obs)?;
         Ok(SolveReport {
             solver: "qbp",
             moves_applied: moved_from(init, &out.assignment),
@@ -1033,6 +1211,7 @@ impl Solver for QbpSolver {
             elapsed: out.elapsed,
             auto_profile: None,
             assignment: out.assignment,
+            status: out.status,
         })
     }
 }
@@ -1353,6 +1532,14 @@ pub(crate) fn count_moved(prev: &Assignment, next: &Assignment) -> usize {
 fn sync_profile(q: &QMatrix<'_>, ws: &mut SolveWorkspace, u: &Assignment) -> (bool, usize) {
     let n = q.problem().n();
     let m = q.problem().m();
+    // Fault-injection point: a corrupted profile cache is *detected* by
+    // dropping it, which forces the rebuild branch below — the sync then
+    // reconstructs ground truth from `q` and `u`, so the corruption costs a
+    // rebuild, never a wrong profile.
+    if qbp_core::fault::fault_point(qbp_core::fault::POINT_PROFILE_SYNC).is_corrupt() {
+        ws.profile = None;
+        ws.profile_source = None;
+    }
     let result = match (ws.profile.as_mut(), ws.profile_source.as_ref()) {
         (Some(p), Some(prev)) if p.n() == n && p.m() == m => p.update(prev, u),
         _ => {
