@@ -17,7 +17,7 @@ use qbp_core::{
     move_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionId,
     PartitionProfile, Problem, UsageTracker,
 };
-use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
+use qbp_observe::{BatchPhase, MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
 use qbp_solver::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -36,10 +36,21 @@ pub struct GfmConfig {
     /// with `init = None`. The FM passes themselves are deterministic and
     /// never draw from it.
     pub seed: u64,
-    /// Thread budget for the per-pass initial gain-table build (`0` =
-    /// per-core). The pass itself stays serial — moves are inherently
-    /// sequential — and results are bit-identical for every thread count.
+    /// Thread budget (`0` = per-core) for the per-pass initial gain-table
+    /// build and, on large instances, the speculative-batch sweep (see
+    /// [`qbp_core::moves`]): candidate gains are revalidated concurrently
+    /// against a frozen snapshot while commits stay serial, so results are
+    /// bit-identical for every thread count.
     pub threads: usize,
+    /// Minimum estimated work (arithmetic cells) per speculative round
+    /// before the sweep batches and fans: below it, spawning workers costs
+    /// more than the round's gain revalidations and the serial sweep wins at
+    /// any core count. The default covers a scoped-thread spawn/join of tens
+    /// of microseconds against nanosecond-per-cell gain arithmetic; `0`
+    /// forces batching wherever the instance grain allows (useful in tests),
+    /// `usize::MAX` pins the serial sweep. Never affects results — both arms
+    /// are bit-identical.
+    pub sweep_min_fan_work: usize,
 }
 
 impl Default for GfmConfig {
@@ -49,6 +60,7 @@ impl Default for GfmConfig {
             hill_climbing: true,
             seed: 0x5EED_CAFE,
             threads: 1,
+            sweep_min_fan_work: crate::common::SWEEP_FAN_MIN_ROUND_WORK,
         }
     }
 }
@@ -117,6 +129,8 @@ struct PassScratch {
     locked: Vec<bool>,
     waiting: Vec<Vec<(u32, u32)>>,
     applied: Vec<AppliedMove>,
+    batch: qbp_core::moves::BatchQueue<(GainKey, u32, u32)>,
+    touch: qbp_core::moves::TouchLog,
 }
 
 impl GfmSolver {
@@ -267,6 +281,8 @@ impl GfmSolver {
             locked,
             waiting,
             applied,
+            batch,
+            touch,
         } = scratch;
         locked.clear();
         locked.resize(n, false);
@@ -316,6 +332,7 @@ impl GfmSolver {
         if tasks > 1 {
             obs.on_event(&SolveEvent::ParallelBatch {
                 iteration: pass,
+                phase: BatchPhase::GainTable,
                 tasks,
                 threads: intra_threads,
             });
@@ -336,69 +353,220 @@ impl GfmSolver {
         let mut best_len: usize = 0;
         let mut profile_patches: usize = 0;
 
-        while let Some((GainKey(key), ju, iu)) = heap.pop() {
-            let j = ju as usize;
-            let i = iu as usize;
-            if locked[j] {
-                continue;
-            }
-            let cur = assignment.part_index(j);
-            if i == cur {
-                continue;
-            }
-            let cj = ComponentId::new(j);
-            let pi = PartitionId::new(i);
-            let gain = -eval.move_delta_profiled(profile, assignment, cj, pi);
-            // Stale key: re-queue with the fresh gain unless it still
-            // dominates the heap.
-            if gain < key {
-                let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
-                if !still_max {
-                    heap.push((GainKey(gain), ju, iu));
+        // Below a constant cell-count grain (or with a single thread) the
+        // classic serial sweep runs untouched; above it, the speculative
+        // batched sweep consumes the heap in exactly the serial pop order
+        // and replays exactly the serial decisions (see `qbp_core::moves`),
+        // so both arms are bit-identical. Keep their commit bodies in
+        // lockstep when editing either one — the cross-thread proptests
+        // enforce it.
+        let use_batches = intra_threads > 1
+            && n * m >= crate::common::SWEEP_PAR_MIN_CELLS
+            && crate::common::sweep_round_work(problem) >= self.config.sweep_min_fan_work;
+        let mut sweep_tasks = 1usize;
+        if !use_batches {
+            while let Some((GainKey(key), ju, iu)) = heap.pop() {
+                let j = ju as usize;
+                let i = iu as usize;
+                if locked[j] {
                     continue;
                 }
-            }
-            if !self.config.hill_climbing && gain <= 0 {
-                break;
-            }
-            // Feasibility gates.
-            if !usage.move_fits(problem, cj, pi) {
-                waiting[i].push((ju, iu));
-                continue;
-            }
-            if !move_is_timing_feasible(problem, assignment, cj, pi) {
-                continue;
-            }
-            // Apply tentatively.
-            let from = PartitionId::new(cur);
-            usage.apply_move(problem, cj, from, pi);
-            assignment.move_to(cj, pi);
-            profile.apply_move(j, cur, i);
-            profile_patches += 1;
-            locked[j] = true;
-            cum_gain += gain;
-            applied.push(AppliedMove { j: cj, from, gain });
-            if cum_gain > best_gain {
-                best_gain = cum_gain;
-                best_len = applied.len();
-            }
-            // Refresh gains of affected unlocked components and revive
-            // capacity-waiters of the freed partition.
-            for k in affected_components(problem, cj) {
-                if !locked[k.index()] {
-                    push_moves(heap, assignment, profile, k.index());
+                let cur = assignment.part_index(j);
+                if i == cur {
+                    continue;
+                }
+                let cj = ComponentId::new(j);
+                let pi = PartitionId::new(i);
+                let gain = -eval.move_delta_profiled(profile, assignment, cj, pi);
+                // Stale key: re-queue with the fresh gain unless it still
+                // dominates the heap.
+                if gain < key {
+                    let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
+                    if !still_max {
+                        heap.push((GainKey(gain), ju, iu));
+                        continue;
+                    }
+                }
+                if !self.config.hill_climbing && gain <= 0 {
+                    break;
+                }
+                // Feasibility gates.
+                if !usage.move_fits(problem, cj, pi) {
+                    waiting[i].push((ju, iu));
+                    continue;
+                }
+                if !move_is_timing_feasible(problem, assignment, cj, pi) {
+                    continue;
+                }
+                // Apply tentatively.
+                let from = PartitionId::new(cur);
+                usage.apply_move(problem, cj, from, pi);
+                assignment.move_to(cj, pi);
+                profile.apply_move(j, cur, i);
+                profile_patches += 1;
+                locked[j] = true;
+                cum_gain += gain;
+                applied.push(AppliedMove { j: cj, from, gain });
+                if cum_gain > best_gain {
+                    best_gain = cum_gain;
+                    best_len = applied.len();
+                }
+                // Refresh gains of affected unlocked components and revive
+                // capacity-waiters of the freed partition.
+                for k in affected_components(problem, cj) {
+                    if !locked[k.index()] {
+                        push_moves(heap, assignment, profile, k.index());
+                    }
+                }
+                for (wj, wi) in std::mem::take(&mut waiting[from.index()]) {
+                    if !locked[wj as usize] {
+                        let g = -eval.move_delta_profiled(
+                            profile,
+                            assignment,
+                            ComponentId::new(wj as usize),
+                            PartitionId::new(wi as usize),
+                        );
+                        heap.push((GainKey(g), wj, wi));
+                    }
                 }
             }
-            for (wj, wi) in std::mem::take(&mut waiting[from.index()]) {
-                if !locked[wj as usize] {
-                    let g = -eval.move_delta_profiled(
-                        profile,
-                        assignment,
-                        ComponentId::new(wj as usize),
-                        PartitionId::new(wi as usize),
-                    );
-                    heap.push((GainKey(g), wj, wi));
+        } else {
+            touch.reset(n);
+            'rounds: loop {
+                let prefetched = batch.prefetch(heap, qbp_core::moves::SPECULATIVE_BATCH);
+                if prefetched == 0 {
+                    break;
                 }
+                touch.begin_round();
+                // Speculate: revalidate the whole batch against the frozen
+                // pre-round state. Entries that turn out locked or touched
+                // are re-handled serially at commit; their slots here are
+                // dead values.
+                let (spec, tasks) = {
+                    let frozen_profile: &PartitionProfile = profile;
+                    let frozen_asg: &Assignment = assignment;
+                    let frozen_locked: &[bool] = locked;
+                    batch.evaluate(intra_threads, |&(_, ju, iu)| {
+                        let j = ju as usize;
+                        let i = iu as usize;
+                        if frozen_locked[j] || frozen_asg.part_index(j) == i {
+                            return 0;
+                        }
+                        -eval.move_delta_profiled(
+                            frozen_profile,
+                            frozen_asg,
+                            ComponentId::new(j),
+                            PartitionId::new(i),
+                        )
+                    })
+                };
+                sweep_tasks = sweep_tasks.max(tasks);
+                // Indexed on purpose: the commit walks `spec`, the batch
+                // buffer, and the `idx + 1` runner-up in lockstep and
+                // requeues the tail from `idx` on abort.
+                #[allow(clippy::needless_range_loop)]
+                for idx in 0..prefetched {
+                    let entry = batch.entries()[idx];
+                    // A commit this round pushed a candidate that beats the
+                    // rest of the batch: the serial loop would pop it next,
+                    // so abort and let the next round fetch it. (Impossible
+                    // at idx == 0 — nothing was pushed since the prefetch
+                    // drained these — so every round consumes an entry.)
+                    if heap.peek().is_some_and(|top| *top > entry) {
+                        batch.requeue_from(heap, idx);
+                        continue 'rounds;
+                    }
+                    let (GainKey(key), ju, iu) = entry;
+                    let j = ju as usize;
+                    let i = iu as usize;
+                    if locked[j] {
+                        continue;
+                    }
+                    let cur = assignment.part_index(j);
+                    if i == cur {
+                        continue;
+                    }
+                    let cj = ComponentId::new(j);
+                    let pi = PartitionId::new(i);
+                    // The speculative gain is exact while the mover and all
+                    // of its gain dependencies are untouched this round;
+                    // otherwise recompute — exactly the serial revalidation.
+                    let gain = if touch.touched(j) {
+                        -eval.move_delta_profiled(profile, assignment, cj, pi)
+                    } else {
+                        spec[idx]
+                    };
+                    if gain < key {
+                        // The conceptual heap still holds the rest of the
+                        // batch: the runner-up is the better of the true heap
+                        // top and the next buffered entry (buffer order is
+                        // descending, so `idx + 1` bounds the tail).
+                        let heap_next = heap.peek().map(|&(GainKey(g), _, _)| g);
+                        let batch_next =
+                            batch.entries().get(idx + 1).map(|&(GainKey(g), _, _)| g);
+                        let still_max =
+                            heap_next.max(batch_next).is_none_or(|next| gain >= next);
+                        if !still_max {
+                            heap.push((GainKey(gain), ju, iu));
+                            continue;
+                        }
+                    }
+                    if !self.config.hill_climbing && gain <= 0 {
+                        break 'rounds;
+                    }
+                    // Feasibility gates.
+                    if !usage.move_fits(problem, cj, pi) {
+                        waiting[i].push((ju, iu));
+                        continue;
+                    }
+                    if !move_is_timing_feasible(problem, assignment, cj, pi) {
+                        continue;
+                    }
+                    // Apply tentatively.
+                    let from = PartitionId::new(cur);
+                    usage.apply_move(problem, cj, from, pi);
+                    assignment.move_to(cj, pi);
+                    profile.apply_move(j, cur, i);
+                    profile_patches += 1;
+                    locked[j] = true;
+                    cum_gain += gain;
+                    applied.push(AppliedMove { j: cj, from, gain });
+                    if cum_gain > best_gain {
+                        best_gain = cum_gain;
+                        best_len = applied.len();
+                    }
+                    // Refresh gains of affected unlocked components and
+                    // revive capacity-waiters of the freed partition. The
+                    // touch set is the mover plus everything whose gain its
+                    // move can change (wire neighbors and timing partners —
+                    // the same set the eager refresh walks).
+                    touch.touch(j);
+                    for k in affected_components(problem, cj) {
+                        touch.touch(k.index());
+                        if !locked[k.index()] {
+                            push_moves(heap, assignment, profile, k.index());
+                        }
+                    }
+                    for (wj, wi) in std::mem::take(&mut waiting[from.index()]) {
+                        if !locked[wj as usize] {
+                            let g = -eval.move_delta_profiled(
+                                profile,
+                                assignment,
+                                ComponentId::new(wj as usize),
+                                PartitionId::new(wi as usize),
+                            );
+                            heap.push((GainKey(g), wj, wi));
+                        }
+                    }
+                }
+            }
+            if sweep_tasks > 1 {
+                obs.on_event(&SolveEvent::ParallelBatch {
+                    iteration: pass,
+                    phase: BatchPhase::Sweep,
+                    tasks: sweep_tasks,
+                    threads: intra_threads,
+                });
             }
         }
 
@@ -566,6 +734,100 @@ mod tests {
         assert!(out.cost <= eval.cost(&start));
     }
 
+    /// Deterministic pseudo-random instance large enough to cross the
+    /// speculative-batch grain (`n * m >= SWEEP_PAR_MIN_CELLS`); callers
+    /// zero `sweep_min_fan_work` to clear the spawn-amortization gate too.
+    fn lcg_problem(n: usize, rows: usize, cols: usize) -> (Problem, Assignment) {
+        let mut c = Circuit::new();
+        for j in 0..n {
+            c.add_component(format!("c{j}"), 1 + (j as u64 % 4));
+        }
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..n * 3 {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                let w = 1 + (next() % 9) as i64;
+                c.add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                    .unwrap();
+            }
+        }
+        let m = rows * cols;
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(rows, cols, n as u64).unwrap())
+            .build()
+            .unwrap();
+        let parts: Vec<u32> = (0..n).map(|j| (j % m) as u32).collect();
+        let start = Assignment::from_parts(parts).unwrap();
+        (p, start)
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_on_large_instances() {
+        // Covers M = 8 (exact SIMD width), M = 16, and M = 5 (padded rows).
+        for (n, rows, cols) in [(600usize, 2usize, 4usize), (300, 2, 8), (820, 1, 5)] {
+            let (p, start) = lcg_problem(n, rows, cols);
+            assert!(n * p.m() >= 4096, "instance must cross the batch grain");
+            let serial = GfmSolver::default().solve(&p, &start).unwrap();
+            assert!(serial.moves_applied > 0);
+            for threads in [2usize, 4, 8] {
+                let out = GfmSolver::new(GfmConfig {
+                    threads,
+                    sweep_min_fan_work: 0,
+                    ..GfmConfig::default()
+                })
+                .solve(&p, &start)
+                .unwrap();
+                assert_eq!(out.cost, serial.cost, "n={n} m={} threads={threads}", p.m());
+                assert_eq!(out.assignment.as_slice(), serial.assignment.as_slice());
+                assert_eq!(out.moves_applied, serial.moves_applied);
+                assert_eq!(out.passes, serial.passes);
+            }
+        }
+    }
+
+    struct SweepCounter {
+        sweeps: usize,
+    }
+
+    impl SolveObserver for SweepCounter {
+        fn on_event(&mut self, e: &SolveEvent) {
+            if let SolveEvent::ParallelBatch {
+                phase: BatchPhase::Sweep,
+                tasks,
+                ..
+            } = e
+            {
+                assert!(*tasks > 1, "Sweep batches are only emitted when fanned");
+                self.sweeps += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_batches_are_reported_only_when_fanned() {
+        let (p, start) = lcg_problem(600, 2, 4);
+        let mut serial = SweepCounter { sweeps: 0 };
+        GfmSolver::default()
+            .solve_observed(&p, &start, &mut serial)
+            .unwrap();
+        assert_eq!(serial.sweeps, 0, "serial traces must stay batch-free");
+        let mut fanned = SweepCounter { sweeps: 0 };
+        GfmSolver::new(GfmConfig {
+            threads: 4,
+            sweep_min_fan_work: 0,
+            ..GfmConfig::default()
+        })
+        .solve_observed(&p, &start, &mut fanned)
+        .unwrap();
+        assert!(fanned.sweeps >= 1, "4-thread sweep should report batches");
+    }
+
     #[test]
     fn max_passes_caps_work() {
         let p = chain_problem(12);
@@ -645,7 +907,8 @@ mod proptests {
             prop_assume!(check_feasibility(&problem, &start).is_feasible());
             let serial = GfmSolver::default().solve(&problem, &start).unwrap();
             for threads in [2usize, 4, 8] {
-                let config = GfmConfig { threads, ..GfmConfig::default() };
+                let config =
+                    GfmConfig { threads, sweep_min_fan_work: 0, ..GfmConfig::default() };
                 let par = GfmSolver::new(config).solve(&problem, &start).unwrap();
                 prop_assert_eq!(par.cost, serial.cost);
                 prop_assert_eq!(par.assignment.as_slice(), serial.assignment.as_slice());

@@ -17,7 +17,7 @@ use qbp_core::{
     swap_is_timing_feasible, Assignment, ComponentId, Error, Evaluator, PartitionProfile, Problem,
     UsageTracker,
 };
-use qbp_observe::{MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
+use qbp_observe::{BatchPhase, MoveKind, NoopObserver, SolveEvent, SolveObserver, SolverId};
 use qbp_solver::{moved_from, CommonOpts, Configure, SolveReport, Solver};
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -35,12 +35,20 @@ pub struct GklConfig {
     /// with `init = None`. The swap loops themselves are deterministic and
     /// never draw from it.
     pub seed: u64,
-    /// Worker threads for the per-outer-loop pair-gain table build: `1`
-    /// (default) runs the serial loop, `0` resolves to one per available
-    /// core. The result is bit-identical for every setting — rows of the
-    /// pair table are pure functions of the frozen assignment and profile,
-    /// concatenated in row order (see `qbp_core::par`).
+    /// Worker threads (`0` = per-core) for the per-outer-loop pair-gain
+    /// table build and, on large instances, the speculative-batch swap sweep
+    /// (see [`qbp_core::moves`]) with its fanned top-1 partner rescans. The
+    /// result is bit-identical for every setting — speculation revalidates
+    /// against frozen snapshots and commits stay serial.
     pub threads: usize,
+    /// Minimum estimated work (arithmetic cells) per speculative round
+    /// before the swap sweep batches and fans: below it, spawning workers
+    /// costs more than the round's revalidations and the serial sweep wins
+    /// at any core count. Also gates the per-commit top-1 partner rescan
+    /// fan. `0` forces batching wherever the instance grain allows (useful
+    /// in tests), `usize::MAX` pins the serial sweep. Never affects results
+    /// — both arms are bit-identical.
+    pub sweep_min_fan_work: usize,
 }
 
 impl Default for GklConfig {
@@ -50,6 +58,7 @@ impl Default for GklConfig {
             hill_climbing: true,
             seed: 0x5EED_CAFE,
             threads: 1,
+            sweep_min_fan_work: crate::common::SWEEP_FAN_MIN_ROUND_WORK,
         }
     }
 }
@@ -101,6 +110,34 @@ impl Configure for GklConfig {
 #[derive(Debug, Clone, Default)]
 pub struct GklSolver {
     config: GklConfig,
+}
+
+/// Serial body of the top-1 partner refresh: the best current swap partner
+/// for `k` among unlocked components in other partitions (ties keep the
+/// lowest index, matching the serial strict-`>` scan). A pure function of
+/// the passed state, so the batched sweep can run it concurrently for
+/// different `k` with bit-identical results.
+fn best_swap_partner_scan(
+    eval: &Evaluator<'_>,
+    profile: &PartitionProfile,
+    assignment: &Assignment,
+    locked: &[bool],
+    k: ComponentId,
+) -> Option<(i64, usize)> {
+    let mut best_pair: Option<(i64, usize)> = None;
+    for (l, &l_locked) in locked.iter().enumerate() {
+        if l == k.index() || l_locked {
+            continue;
+        }
+        if assignment.part_index(l) == assignment.part_index(k.index()) {
+            continue;
+        }
+        let g = -eval.swap_delta_profiled_lookup(profile, assignment, k, ComponentId::new(l));
+        if best_pair.is_none_or(|(bg, _)| g > bg) {
+            best_pair = Some((g, l));
+        }
+    }
+    best_pair
 }
 
 impl GklSolver {
@@ -264,6 +301,7 @@ impl GklSolver {
         if tasks > 1 {
             obs.on_event(&SolveEvent::ParallelBatch {
                 iteration: outer,
+                phase: BatchPhase::GainTable,
                 tasks,
                 threads: intra_threads,
             });
@@ -279,86 +317,257 @@ impl GklSolver {
         let mut best_len: usize = 0;
         let mut profile_patches: usize = 0;
 
-        while let Some((GainKey(key), j1u, j2u)) = heap.pop() {
-            let (j1, j2) = (j1u as usize, j2u as usize);
-            if locked[j1] || locked[j2] {
-                continue;
-            }
-            let (c1, c2) = (ComponentId::new(j1), ComponentId::new(j2));
-            let (i1, i2) = (
-                assignment.partition_of(c1),
-                assignment.partition_of(c2),
-            );
-            if i1 == i2 {
-                continue;
-            }
-            let gain = -eval.swap_delta_profiled_lookup(profile, assignment, c1, c2);
-            if gain < key {
-                let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
-                if !still_max {
-                    heap.push((GainKey(gain), j1u, j2u));
+        // Below a constant pair-count grain (or single-threaded) the classic
+        // serial swap loop runs untouched; above it, the speculative batched
+        // sweep consumes the heap in exactly the serial pop order and replays
+        // exactly the serial decisions (see `qbp_core::moves`), so both arms
+        // are bit-identical. Keep their commit bodies in lockstep when
+        // editing either one — the cross-thread proptests enforce it.
+        let use_batches = intra_threads > 1
+            && n * n >= crate::common::SWEEP_PAR_MIN_CELLS
+            && crate::common::sweep_round_work(problem) >= self.config.sweep_min_fan_work;
+        let mut sweep_tasks = 1usize;
+        if !use_batches {
+            while let Some((GainKey(key), j1u, j2u)) = heap.pop() {
+                let (j1, j2) = (j1u as usize, j2u as usize);
+                if locked[j1] || locked[j2] {
                     continue;
                 }
-            }
-            if !self.config.hill_climbing && gain <= 0 {
-                break;
-            }
-            if !usage.swap_fits(problem, c1, i1, c2, i2)
-                || !swap_is_timing_feasible(problem, assignment, c1, c2)
-            {
-                continue;
-            }
-            // Apply tentatively and lock both. The profile patch never reads
-            // the assignment, so the two single-component patches compose
-            // into the swap in either order.
-            usage.apply_move(problem, c1, i1, i2);
-            usage.apply_move(problem, c2, i2, i1);
-            assignment.swap(c1, c2);
-            profile.apply_move(j1, i1.index(), i2.index());
-            profile.apply_move(j2, i2.index(), i1.index());
-            profile_patches += 2;
-            locked[j1] = true;
-            locked[j2] = true;
-            cum_gain += gain;
-            applied.push((c1, c2, gain));
-            if cum_gain > best_gain {
-                best_gain = cum_gain;
-                best_len = applied.len();
-            }
-            // Refresh pairs touching the neighborhoods of the swapped pair:
-            // for each affected unlocked component, re-rank its best partners.
-            let mut affected = affected_components(problem, c1);
-            affected.extend(affected_components(problem, c2));
-            affected.sort();
-            affected.dedup();
-            for k in affected {
-                if locked[k.index()] {
+                let (c1, c2) = (ComponentId::new(j1), ComponentId::new(j2));
+                let (i1, i2) = (
+                    assignment.partition_of(c1),
+                    assignment.partition_of(c2),
+                );
+                if i1 == i2 {
                     continue;
                 }
-                // Push this component's best current partner (top-1 refresh;
-                // stale entries for other partners are re-validated on pop).
-                let mut best_pair: Option<(i64, usize)> = None;
-                for (l, &l_locked) in locked.iter().enumerate() {
-                    if l == k.index() || l_locked {
+                let gain = -eval.swap_delta_profiled_lookup(profile, assignment, c1, c2);
+                if gain < key {
+                    let still_max = heap.peek().is_none_or(|&(GainKey(next), _, _)| gain >= next);
+                    if !still_max {
+                        heap.push((GainKey(gain), j1u, j2u));
                         continue;
                     }
-                    if assignment.part_index(l) == assignment.part_index(k.index()) {
+                }
+                if !self.config.hill_climbing && gain <= 0 {
+                    break;
+                }
+                if !usage.swap_fits(problem, c1, i1, c2, i2)
+                    || !swap_is_timing_feasible(problem, assignment, c1, c2)
+                {
+                    continue;
+                }
+                // Apply tentatively and lock both. The profile patch never reads
+                // the assignment, so the two single-component patches compose
+                // into the swap in either order.
+                usage.apply_move(problem, c1, i1, i2);
+                usage.apply_move(problem, c2, i2, i1);
+                assignment.swap(c1, c2);
+                profile.apply_move(j1, i1.index(), i2.index());
+                profile.apply_move(j2, i2.index(), i1.index());
+                profile_patches += 2;
+                locked[j1] = true;
+                locked[j2] = true;
+                cum_gain += gain;
+                applied.push((c1, c2, gain));
+                if cum_gain > best_gain {
+                    best_gain = cum_gain;
+                    best_len = applied.len();
+                }
+                // Refresh pairs touching the neighborhoods of the swapped pair:
+                // for each affected unlocked component, push its best current
+                // partner (top-1 refresh; stale entries for other partners are
+                // re-validated on pop).
+                let mut affected = affected_components(problem, c1);
+                affected.extend(affected_components(problem, c2));
+                affected.sort();
+                affected.dedup();
+                for k in affected {
+                    if locked[k.index()] {
                         continue;
                     }
-                    let g = -eval.swap_delta_profiled_lookup(
-                        profile,
-                        assignment,
-                        k,
-                        ComponentId::new(l),
+                    if let Some((g, l)) =
+                        best_swap_partner_scan(eval, profile, assignment, &locked, k)
+                    {
+                        let (a, b) = if k.index() < l { (k.index(), l) } else { (l, k.index()) };
+                        heap.push((GainKey(g), a as u32, b as u32));
+                    }
+                }
+            }
+        } else {
+            let mut batch = qbp_core::moves::BatchQueue::new();
+            let mut touch = qbp_core::moves::TouchLog::new(n);
+            'rounds: loop {
+                let prefetched =
+                    batch.prefetch(&mut heap, qbp_core::moves::SPECULATIVE_BATCH);
+                if prefetched == 0 {
+                    break;
+                }
+                touch.begin_round();
+                // Speculate: revalidate the whole batch against the frozen
+                // pre-round state. Entries that turn out locked or touched
+                // are re-handled serially at commit; their slots are dead.
+                let (spec, tasks) = {
+                    let frozen: &PartitionProfile = profile;
+                    let frozen_asg: &Assignment = assignment;
+                    let frozen_locked: &[bool] = &locked;
+                    batch.evaluate(intra_threads, |&(_, j1u, j2u)| {
+                        let (j1, j2) = (j1u as usize, j2u as usize);
+                        if frozen_locked[j1]
+                            || frozen_locked[j2]
+                            || frozen_asg.part_index(j1) == frozen_asg.part_index(j2)
+                        {
+                            return 0;
+                        }
+                        -eval.swap_delta_profiled_lookup(
+                            frozen,
+                            frozen_asg,
+                            ComponentId::new(j1),
+                            ComponentId::new(j2),
+                        )
+                    })
+                };
+                sweep_tasks = sweep_tasks.max(tasks);
+                // Indexed on purpose: the commit walks `spec`, the batch
+                // buffer, and the `idx + 1` runner-up in lockstep and
+                // requeues the tail from `idx` on abort.
+                #[allow(clippy::needless_range_loop)]
+                for idx in 0..prefetched {
+                    let entry = batch.entries()[idx];
+                    // A commit this round pushed a candidate that beats the
+                    // rest of the batch: the serial loop would pop it next,
+                    // so abort and let the next round fetch it. (Impossible
+                    // at idx == 0, so every round consumes an entry.)
+                    if heap.peek().is_some_and(|top| *top > entry) {
+                        batch.requeue_from(&mut heap, idx);
+                        continue 'rounds;
+                    }
+                    let (GainKey(key), j1u, j2u) = entry;
+                    let (j1, j2) = (j1u as usize, j2u as usize);
+                    if locked[j1] || locked[j2] {
+                        continue;
+                    }
+                    let (c1, c2) = (ComponentId::new(j1), ComponentId::new(j2));
+                    let (i1, i2) = (
+                        assignment.partition_of(c1),
+                        assignment.partition_of(c2),
                     );
-                    if best_pair.is_none_or(|(bg, _)| g > bg) {
-                        best_pair = Some((g, l));
+                    if i1 == i2 {
+                        continue;
+                    }
+                    // The speculative gain is exact while both participants
+                    // are untouched this round; otherwise recompute — exactly
+                    // the serial revalidation.
+                    let gain = if touch.touched(j1) || touch.touched(j2) {
+                        -eval.swap_delta_profiled_lookup(profile, assignment, c1, c2)
+                    } else {
+                        spec[idx]
+                    };
+                    if gain < key {
+                        // The conceptual heap still holds the rest of the
+                        // batch: the runner-up is the better of the true heap
+                        // top and the next buffered entry.
+                        let heap_next = heap.peek().map(|&(GainKey(g), _, _)| g);
+                        let batch_next =
+                            batch.entries().get(idx + 1).map(|&(GainKey(g), _, _)| g);
+                        let still_max =
+                            heap_next.max(batch_next).is_none_or(|next| gain >= next);
+                        if !still_max {
+                            heap.push((GainKey(gain), j1u, j2u));
+                            continue;
+                        }
+                    }
+                    if !self.config.hill_climbing && gain <= 0 {
+                        break 'rounds;
+                    }
+                    if !usage.swap_fits(problem, c1, i1, c2, i2)
+                        || !swap_is_timing_feasible(problem, assignment, c1, c2)
+                    {
+                        continue;
+                    }
+                    // Apply tentatively and lock both (see the serial arm).
+                    usage.apply_move(problem, c1, i1, i2);
+                    usage.apply_move(problem, c2, i2, i1);
+                    assignment.swap(c1, c2);
+                    profile.apply_move(j1, i1.index(), i2.index());
+                    profile.apply_move(j2, i2.index(), i1.index());
+                    profile_patches += 2;
+                    locked[j1] = true;
+                    locked[j2] = true;
+                    cum_gain += gain;
+                    applied.push((c1, c2, gain));
+                    if cum_gain > best_gain {
+                        best_gain = cum_gain;
+                        best_len = applied.len();
+                    }
+                    // Touch set: the swapped pair plus everything whose gain
+                    // the swap can change (wire neighbors and timing partners
+                    // of both movers — the same set the refresh walks).
+                    let mut affected = affected_components(problem, c1);
+                    affected.extend(affected_components(problem, c2));
+                    affected.sort();
+                    affected.dedup();
+                    touch.touch(j1);
+                    touch.touch(j2);
+                    for k in &affected {
+                        touch.touch(k.index());
+                    }
+                    // Top-1 partner refresh: each unlocked affected component
+                    // runs an O(N) scan over a state the refresh itself never
+                    // mutates, so the scans fan across the thread budget when
+                    // the neighborhood is large (hub components). Pushes stay
+                    // serial in k order.
+                    let refreshers: Vec<ComponentId> = affected
+                        .into_iter()
+                        .filter(|k| !locked[k.index()])
+                        .collect();
+                    // Fan gate: each scan is O(N) cells, and this fan spawns
+                    // per commit, so the whole rescan must clear the same
+                    // spawn-amortization bar as a speculative round.
+                    let rescan_work = refreshers.len() * n;
+                    let best_pairs: Vec<Option<(i64, usize)>> =
+                        if rescan_work >= crate::common::SWEEP_PAR_MIN_CELLS
+                            && rescan_work >= self.config.sweep_min_fan_work
+                        {
+                            let frozen: &PartitionProfile = profile;
+                            let frozen_asg: &Assignment = assignment;
+                            let frozen_locked: &[bool] = &locked;
+                            let refs = &refreshers;
+                            sweep_tasks = sweep_tasks
+                                .max(qbp_core::par::workers_for(intra_threads, refs.len()));
+                            qbp_core::par::map_collect(intra_threads, refs.len(), |ki| {
+                                best_swap_partner_scan(
+                                    eval,
+                                    frozen,
+                                    frozen_asg,
+                                    frozen_locked,
+                                    refs[ki],
+                                )
+                            })
+                        } else {
+                            refreshers
+                                .iter()
+                                .map(|&k| {
+                                    best_swap_partner_scan(eval, profile, assignment, &locked, k)
+                                })
+                                .collect()
+                        };
+                    for (k, best) in refreshers.iter().zip(best_pairs) {
+                        if let Some((g, l)) = best {
+                            let (a, b) =
+                                if k.index() < l { (k.index(), l) } else { (l, k.index()) };
+                            heap.push((GainKey(g), a as u32, b as u32));
+                        }
                     }
                 }
-                if let Some((g, l)) = best_pair {
-                    let (a, b) = if k.index() < l { (k.index(), l) } else { (l, k.index()) };
-                    heap.push((GainKey(g), a as u32, b as u32));
-                }
+            }
+            if sweep_tasks > 1 {
+                obs.on_event(&SolveEvent::ParallelBatch {
+                    iteration: outer,
+                    phase: BatchPhase::Sweep,
+                    tasks: sweep_tasks,
+                    threads: intra_threads,
+                });
             }
         }
 
@@ -520,6 +729,119 @@ mod tests {
         assert_eq!(out.passes, 1);
     }
 
+    /// Deterministic pseudo-random instance with unit sizes, large enough to
+    /// cross the speculative-batch grain (`n * n >= SWEEP_PAR_MIN_CELLS`);
+    /// callers zero `sweep_min_fan_work` to clear the spawn-amortization
+    /// gate too. `hub` additionally wires component 0 to every other
+    /// component, which makes post-swap neighborhoods big enough to fan the
+    /// partner rescans.
+    fn lcg_problem(n: usize, rows: usize, cols: usize, hub: bool) -> (Problem, Assignment) {
+        let mut c = Circuit::new();
+        for j in 0..n {
+            c.add_component(format!("c{j}"), 1);
+        }
+        let mut state = 0xFEED_F00D_DEAD_BEEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..n * 3 {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                let w = 1 + (next() % 9) as i64;
+                c.add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                    .unwrap();
+            }
+        }
+        if hub {
+            for j in 1..n {
+                c.add_connection(ComponentId::new(0), ComponentId::new(j), 1)
+                    .unwrap();
+            }
+        }
+        let m = rows * cols;
+        let p = ProblemBuilder::new(c, PartitionTopology::grid(rows, cols, n as u64).unwrap())
+            .build()
+            .unwrap();
+        let parts: Vec<u32> = (0..n).map(|j| (j % m) as u32).collect();
+        let start = Assignment::from_parts(parts).unwrap();
+        (p, start)
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_on_large_instances() {
+        // Covers M = 4, M = 16, M = 5 (padded rows), and a hub instance
+        // whose refresh neighborhoods fan the partner rescans.
+        for (n, rows, cols, hub) in [
+            (96usize, 2usize, 2usize, false),
+            (72, 2, 8, false),
+            (80, 1, 5, false),
+            (96, 2, 2, true),
+        ] {
+            let (p, start) = lcg_problem(n, rows, cols, hub);
+            assert!(n * n >= 4096, "instance must cross the batch grain");
+            let serial = GklSolver::default().solve(&p, &start).unwrap();
+            for threads in [2usize, 4, 8] {
+                let out = GklSolver::new(GklConfig {
+                    threads,
+                    sweep_min_fan_work: 0,
+                    ..GklConfig::default()
+                })
+                .solve(&p, &start)
+                .unwrap();
+                assert_eq!(
+                    out.cost,
+                    serial.cost,
+                    "n={n} m={} hub={hub} threads={threads}",
+                    p.m()
+                );
+                assert_eq!(out.assignment.as_slice(), serial.assignment.as_slice());
+                assert_eq!(out.moves_applied, serial.moves_applied);
+                assert_eq!(out.passes, serial.passes);
+            }
+        }
+    }
+
+    struct SweepCounter {
+        sweeps: usize,
+    }
+
+    impl SolveObserver for SweepCounter {
+        fn on_event(&mut self, e: &SolveEvent) {
+            if let SolveEvent::ParallelBatch {
+                phase: BatchPhase::Sweep,
+                tasks,
+                ..
+            } = e
+            {
+                assert!(*tasks > 1, "Sweep batches are only emitted when fanned");
+                self.sweeps += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_batches_are_reported_only_when_fanned() {
+        let (p, start) = lcg_problem(96, 2, 2, false);
+        let mut serial = SweepCounter { sweeps: 0 };
+        GklSolver::default()
+            .solve_observed(&p, &start, &mut serial)
+            .unwrap();
+        assert_eq!(serial.sweeps, 0, "serial traces must stay batch-free");
+        let mut fanned = SweepCounter { sweeps: 0 };
+        GklSolver::new(GklConfig {
+            threads: 4,
+            sweep_min_fan_work: 0,
+            ..GklConfig::default()
+        })
+        .solve_observed(&p, &start, &mut fanned)
+        .unwrap();
+        assert!(fanned.sweeps >= 1, "4-thread sweep should report batches");
+    }
+
     #[test]
     fn different_sizes_swap_when_capacity_allows() {
         let mut c = Circuit::new();
@@ -607,6 +929,7 @@ mod proptests {
             for threads in [2usize, 4, 8] {
                 let par = GklSolver::new(GklConfig {
                     threads,
+                    sweep_min_fan_work: 0,
                     ..GklConfig::default()
                 })
                 .solve(&problem, &start)

@@ -11,15 +11,18 @@
 //! here is multilevel feasibility at every size).
 
 use qbp_bench::scale::{run_scale_bench, scale_json, warn_regressions, ScaleOptions};
+use qbp_core::hw::HostInfo;
 
 fn main() {
     let opts = ScaleOptions::from_env();
+    // One hardware probe configures the whole run and the JSON header.
+    let host = HostInfo::detect();
     eprintln!(
-        "scale_bench: sizes {:?}, seed {:#x}",
-        opts.sizes, opts.seed
+        "scale_bench: sizes {:?}, seed {:#x}, {} core(s)",
+        opts.sizes, opts.seed, host.cores
     );
-    let points = run_scale_bench(&opts);
-    let json = scale_json(opts.seed, &points);
+    let points = run_scale_bench(&opts, &host);
+    let json = scale_json(opts.seed, &host, &points);
     let out_path =
         std::env::var("QBP_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
     std::fs::write(&out_path, format!("{json}\n")).expect("write scale bench");

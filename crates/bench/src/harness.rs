@@ -33,10 +33,30 @@ impl Method {
 /// The paper's §5 configuration: QBP at 100 iterations, GFM until no
 /// improvement, GKL cut off after 6 outer loops.
 pub fn default_methods() -> Vec<Method> {
+    default_methods_with_threads(1)
+}
+
+/// [`default_methods`] with an intra-solve thread budget applied to every
+/// method (QBP's η/GAP/descent lanes, the baselines' gain/pair-table
+/// builds, and — past its spawn-amortization work gate — the
+/// speculative-batch sweep). Every engine is bit-identical across thread
+/// counts, so the
+/// budget only changes wall clock, never the table entries; the binaries
+/// pass [`TableOptions::threads`] (the `QBP_THREADS` environment knob).
+pub fn default_methods_with_threads(threads: usize) -> Vec<Method> {
     vec![
-        Method::Qbp(QbpConfig::default()),
-        Method::Gfm(GfmConfig::default()),
-        Method::Gkl(GklConfig::default()),
+        Method::Qbp(QbpConfig {
+            threads,
+            ..QbpConfig::default()
+        }),
+        Method::Gfm(GfmConfig {
+            threads,
+            ..GfmConfig::default()
+        }),
+        Method::Gkl(GklConfig {
+            threads,
+            ..GklConfig::default()
+        }),
     ]
 }
 
@@ -78,17 +98,21 @@ pub struct TableOptions {
     pub scale: f64,
     /// Base seed for instance generation and solvers.
     pub seed: u64,
+    /// Intra-solve thread budget applied to every method (`QBP_THREADS`
+    /// from the environment; 1 = serial, 0 = all host cores). Results are
+    /// bit-identical across budgets — only `cpu_seconds` moves.
+    pub threads: usize,
 }
 
 impl Default for TableOptions {
     fn default() -> Self {
-        TableOptions { scale: 1.0, seed: 1993 }
+        TableOptions { scale: 1.0, seed: 1993, threads: 1 }
     }
 }
 
 impl TableOptions {
-    /// Reads `QBP_SCALE` / `QBP_SEED` from the environment, falling back to
-    /// the defaults.
+    /// Reads `QBP_SCALE` / `QBP_SEED` / `QBP_THREADS` from the environment,
+    /// falling back to the defaults.
     pub fn from_env() -> Self {
         let mut opts = TableOptions::default();
         if let Ok(s) = std::env::var("QBP_SCALE") {
@@ -103,12 +127,18 @@ impl TableOptions {
                 opts.seed = v;
             }
         }
+        if let Ok(s) = std::env::var("QBP_THREADS") {
+            if let Ok(v) = s.parse::<usize>() {
+                opts.threads = v;
+            }
+        }
         opts
     }
 
-    /// [`TableOptions::from_env`] with `--scale` / `--seed` command-line
-    /// overrides on top (flags beat environment variables). The flags share
-    /// the CLI's parser, so names and types cannot drift from `qbp solve`.
+    /// [`TableOptions::from_env`] with `--scale` / `--seed` / `--threads`
+    /// command-line overrides on top (flags beat environment variables). The
+    /// flags share the CLI's parser, so names and types cannot drift from
+    /// `qbp solve`.
     ///
     /// # Errors
     ///
@@ -128,6 +158,9 @@ impl TableOptions {
         }
         if let Some(seed) = args.get_parsed_opt::<u64>("seed", "an integer")? {
             opts.seed = seed;
+        }
+        if let Some(threads) = args.get_parsed_opt::<usize>("threads", "a thread count")? {
+            opts.threads = threads;
         }
         Ok(opts)
     }

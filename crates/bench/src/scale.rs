@@ -163,12 +163,13 @@ fn iterations_for(components: usize) -> usize {
 }
 
 /// Runs the ladder, ascending, printing one progress line per size to
-/// stderr.
-pub fn run_scale_bench(opts: &ScaleOptions) -> Vec<ScalePoint> {
-    let host = HostInfo::detect();
+/// stderr. The caller detects the host once ([`HostInfo::detect`]) and
+/// passes it in, so one snapshot of the hardware configures every size (and
+/// the JSON header written by [`scale_json`] reports the same numbers).
+pub fn run_scale_bench(opts: &ScaleOptions, host: &HostInfo) -> Vec<ScalePoint> {
     opts.sizes
         .iter()
-        .map(|&n| run_point(&host, n, opts.seed))
+        .map(|&n| run_point(host, n, opts.seed))
         .collect()
 }
 
@@ -267,9 +268,9 @@ fn run_point(host: &HostInfo, components: usize, seed: u64) -> ScalePoint {
 }
 
 /// Serializes a full run as the `scale_bench` JSON block: the seed, the
-/// detected host, and one object per size.
-pub fn scale_json(seed: u64, points: &[ScalePoint]) -> String {
-    let host = HostInfo::detect();
+/// host the run was configured with (the same [`HostInfo`] handed to
+/// [`run_scale_bench`]), and one object per size.
+pub fn scale_json(seed: u64, host: &HostInfo, points: &[ScalePoint]) -> String {
     let ram = host
         .available_ram
         .map_or("null".to_string(), |b| (b >> 20).to_string());
@@ -365,7 +366,7 @@ mod tests {
     fn json_block_names_every_point() {
         let host = HostInfo::from_parts(2, None);
         let points = vec![run_point(&host, 1_000, 7)];
-        let json = scale_json(7, &points);
+        let json = scale_json(7, &host, &points);
         assert!(json.contains("\"points\""));
         assert!(json.contains("\"components\": 1000"));
         assert!(json.contains("\"layout_reduction_pct\""));

@@ -169,6 +169,59 @@ where
     })
 }
 
+/// Maps `f` over the balanced contiguous chunks of `0..rows` (one task per
+/// worker) and returns the per-chunk results in chunk order. Unlike
+/// [`map_collect`], `f` sees a whole `Range` at once, so a task can build
+/// one aggregate (a partial histogram, a partial profile) per chunk instead
+/// of one value per row. Chunk boundaries depend only on `(rows, workers)`,
+/// so a serial in-chunk-order merge of the results is deterministic for
+/// every thread count.
+///
+/// # Panics
+///
+/// Panics if a worker panics, with the same per-chunk isolation and
+/// lowest-chunk re-raise discipline as [`map_collect`].
+pub fn map_chunks<R, F>(threads: usize, rows: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    let workers = workers_for(threads, rows);
+    if workers <= 1 {
+        return vec![f(0, 0..rows)];
+    }
+    let base = rows / workers;
+    let rem = rows % workers;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = 0;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let take = base + usize::from(w < rem);
+                let range = start..start + take;
+                start += take;
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(w, range)))
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(workers);
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join().expect("worker catches its own panics") {
+                Ok(chunk) => out.push(chunk),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +271,23 @@ mod tests {
         let expect: Vec<usize> = (0..57).map(|i| i * i).collect();
         for threads in [1usize, 2, 3, 4, 8, 16] {
             assert_eq!(map_collect(threads, 57, |i| i * i), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_covers_rows_in_order_for_any_thread_count() {
+        for rows in [0usize, 1, 5, 16, 33] {
+            for threads in [1usize, 2, 4, 8] {
+                let chunks = map_chunks(threads, rows, |w, range| (w, range));
+                assert!(!chunks.is_empty());
+                let mut next = 0;
+                for (i, (w, range)) in chunks.iter().enumerate() {
+                    assert_eq!(*w, i);
+                    assert_eq!(range.start, next);
+                    next = range.end;
+                }
+                assert_eq!(next, rows, "rows={rows} threads={threads}");
+            }
         }
     }
 

@@ -1159,7 +1159,7 @@ impl<'a> QMatrix<'a> {
     /// bit-identical to a fresh computation.
     ///
     /// Falls back to a full recompute (and returns `false`) when `eta` has
-    /// the wrong length (cold buffer) or more than `N/4` components moved —
+    /// the wrong length (cold buffer) or more than `N/2` components moved —
     /// past that point the patch walks most of the pair lists anyway and the
     /// dense sweep's sequential access wins.
     ///
@@ -1181,7 +1181,7 @@ impl<'a> QMatrix<'a> {
         let moved: Vec<usize> = (0..n)
             .filter(|&j| prev.part_index(j) != next.part_index(j))
             .collect();
-        if moved.len() > n / 4 {
+        if moved.len() > n / 2 {
             self.eta(next, eta);
             return false;
         }
@@ -1886,7 +1886,7 @@ mod proptests {
     }
 
     /// A problem large enough (`n ≥ 4`) that single-component moves stay
-    /// under the `N/4` fallback threshold and exercise the incremental
+    /// under the `N/2` fallback threshold and exercise the incremental
     /// patch, plus a random move sequence to replay.
     fn arb_move_sequence() -> impl Strategy<Value = (Problem, Vec<u32>, Vec<(usize, usize)>)> {
         (4usize..12).prop_flat_map(|n| {
@@ -2040,7 +2040,7 @@ mod proptests {
                 prop_assert_eq!(&eta, &fresh, "after moving c{} -> p{}", j, i);
                 cur = next;
             }
-            // Bulk jump back to the start: exercises the >N/4 fallback on
+            // Bulk jump back to the start: exercises the >N/2 fallback on
             // scrambled assignments and the no-op path on identical ones.
             q.eta_update(&cur, &start, &mut eta);
             q.eta(&start, &mut fresh);

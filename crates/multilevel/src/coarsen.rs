@@ -40,7 +40,7 @@ use qbp_core::{
     Assignment, Circuit, ComponentId, Cost, Delay, PartitionId, Problem, ProblemBuilder,
     NO_CONSTRAINT,
 };
-use qbp_observe::{NoopObserver, SolveEvent, SolveObserver};
+use qbp_observe::{BatchPhase, NoopObserver, SolveEvent, SolveObserver};
 
 /// A stack of coarsening steps, arena-backed: level `0` maps the original
 /// problem to the first coarse problem, level `1` maps that one further
@@ -94,10 +94,33 @@ impl LevelStack {
     /// Prolongs an assignment of step `level`'s coarse problem onto its
     /// finer side: `fine[j] = coarse[map[j]]`.
     pub fn prolong(&self, level: usize, coarse: &Assignment) -> Assignment {
+        self.prolong_par(level, coarse, 1).0
+    }
+
+    /// [`LevelStack::prolong`] with the map walk fanned across up to
+    /// `threads` workers. Each fine slot is an independent pure lookup, so
+    /// the result is bit-identical for every thread count; the second
+    /// element is the number of worker chunks used (`1` = the serial loop
+    /// ran).
+    pub fn prolong_par(
+        &self,
+        level: usize,
+        coarse: &Assignment,
+        threads: usize,
+    ) -> (Assignment, usize) {
         let map = self.map(level);
-        Assignment::from_fn(map.len(), |j| {
-            coarse.partition_of(ComponentId::new(map[j.index()] as usize))
-        })
+        let chunks = qbp_core::par::workers_for(threads, map.len());
+        if chunks <= 1 {
+            let fine = Assignment::from_fn(map.len(), |j| {
+                coarse.partition_of(ComponentId::new(map[j.index()] as usize))
+            });
+            return (fine, 1);
+        }
+        let parts = qbp_core::par::map_collect(threads, map.len(), |j| {
+            coarse.part_index(map[j] as usize) as u32
+        });
+        let fine = Assignment::from_parts(parts).expect("prolonged map covers every component");
+        (fine, chunks)
     }
 
     /// Projects a fine assignment down onto step `level`'s coarse problem:
@@ -240,6 +263,7 @@ fn coarsen_once(
     if tasks > 1 {
         obs.on_event(&SolveEvent::ParallelBatch {
             iteration: level,
+            phase: BatchPhase::Coarsen,
             tasks,
             threads: intra_threads,
         });

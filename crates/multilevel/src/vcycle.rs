@@ -7,7 +7,7 @@ use crate::coarsen::{coarsen_observed, CoarsenOptions, LevelStack};
 use qbp_baselines::{GfmConfig, GfmSolver};
 use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{check_feasibility, Assignment, Cost, Error, Evaluator, Problem};
-use qbp_observe::{SolveEvent, SolveObserver, SolverId};
+use qbp_observe::{BatchPhase, SolveEvent, SolveObserver, SolverId};
 use qbp_solver::{moved_from, CommonOpts, Configure, QbpConfig, QbpSolver, SolveReport, Solver};
 use std::time::Instant;
 
@@ -236,12 +236,16 @@ impl MlqbpSolver {
             status = status.merge(out.status);
 
             // Uncoarsen: prolong, refine with GFM sweeps, then a short
-            // capped QBP descent; keep whichever candidate is best.
+            // capped QBP descent; keep whichever candidate is best. The
+            // refinement solves inherit the configured thread budget — their
+            // batched sweeps and parallel subproblems are bit-identical to
+            // the serial path, so the V-cycle stays reproducible for any
+            // `--threads`.
             let refine_solver = QbpSolver::new(QbpConfig {
                 iterations: self.config.refine_iterations,
-                threads: 1,
                 ..self.config.qbp
             });
+            let intra_threads = qbp_core::par::effective_threads(self.config.qbp.threads);
             for idx in (0..stack.len()).rev() {
                 let fine_problem = if idx == 0 {
                     problem
@@ -249,7 +253,16 @@ impl MlqbpSolver {
                     stack.problem(idx - 1)
                 };
                 let eval = Evaluator::new(fine_problem);
-                let prolonged = stack.prolong(idx, &assignment);
+                let (prolonged, prolong_chunks) =
+                    stack.prolong_par(idx, &assignment, intra_threads);
+                if prolong_chunks > 1 {
+                    inner.on_event(&SolveEvent::ParallelBatch {
+                        iteration: iterations,
+                        phase: BatchPhase::Prolong,
+                        tasks: prolong_chunks,
+                        threads: intra_threads,
+                    });
+                }
                 let mut best = prolonged.clone();
                 let mut best_key = (
                     check_feasibility(fine_problem, &best).is_feasible(),
@@ -270,14 +283,16 @@ impl MlqbpSolver {
                         }
                     }
                 }
-                // Refinement stays pinned serial (like `refine_solver`): the
-                // per-level problems are small and thread identity keeps the
-                // V-cycle reproducible for any `--threads`.
+                // GFM refinement also runs under the configured thread
+                // budget: its speculative move batches commit in canonical
+                // serial order, so the sweep result is identical to a
+                // single-threaded pass.
                 let gfm = GfmSolver::new(GfmConfig {
                     max_passes: self.config.refine_passes,
                     hill_climbing: true,
                     seed: self.config.qbp.seed,
-                    threads: 1,
+                    threads: self.config.qbp.threads,
+                    ..GfmConfig::default()
                 });
                 // Alternate GFM sweeps with capped QBP descents while they
                 // keep improving. Coarser levels run one round (their
@@ -483,6 +498,48 @@ mod tests {
         let snap = counters.snapshot();
         assert_eq!(snap.levels_coarsened, 0, "delegated solves must not coarsen");
         assert_eq!(snap.solves, 1);
+    }
+
+    /// Like `grid_problem` but over 8 partitions, sized so the per-level
+    /// refinement solves cross the solver's parallel grains (descent cells,
+    /// GAP lanes) — the full V-cycle must stay bit-identical for any
+    /// thread budget now that refinement inherits `--threads`.
+    fn wide_problem(n: usize, cap: u64) -> Problem {
+        let mut c = Circuit::new();
+        let ids: Vec<_> = (0..n)
+            .map(|j| c.add_component(format!("c{j}"), 1))
+            .collect();
+        for w in ids.windows(2) {
+            c.add_wires(w[0], w[1], 3).unwrap();
+        }
+        for j in 0..n.saturating_sub(4) {
+            c.add_wires(ids[j], ids[j + 4], 1).unwrap();
+        }
+        ProblemBuilder::new(c, PartitionTopology::grid(2, 4, cap).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn vcycle_refinement_is_bit_identical_across_threads() {
+        let p = wide_problem(600, 200);
+        let run = |threads: usize| {
+            let mut cfg = MlqbpConfig::default();
+            cfg.qbp.threads = threads;
+            MlqbpSolver::new(cfg)
+                .solve(&p, None, &mut NoopObserver)
+                .unwrap()
+        };
+        let serial = run(1);
+        assert!(serial.feasible);
+        for threads in [2usize, 4, 8] {
+            let par = run(threads);
+            assert_eq!(par.assignment, serial.assignment, "threads={threads}");
+            assert_eq!(par.objective, serial.objective);
+            assert_eq!(par.embedded_value, serial.embedded_value);
+            assert_eq!(par.iterations, serial.iterations);
+            assert_eq!(par.moves_applied, serial.moves_applied);
+        }
     }
 
     #[test]

@@ -159,6 +159,97 @@ impl MoveKind {
     }
 }
 
+/// Which refinement phase a [`SolveEvent::ParallelBatch`] fanned out for.
+/// Distinguishing the phases lets trace consumers attribute parallel work to
+/// η rows, gain tables, speculative sweep batches, profile syncs, GAP
+/// subproblem lanes, repair scans, coarsening, or prolongation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPhase {
+    /// η-row fan-out (`QMatrix::eta_profiled_par`).
+    Eta,
+    /// Full partition-profile rebuild chunked across source rows.
+    ProfileSync,
+    /// Initial gain-table / pair-table build of an interchange pass.
+    GainTable,
+    /// Speculative move/swap batches of a refinement sweep (parallel gain
+    /// revalidation plus fanned post-apply gain refreshes).
+    Sweep,
+    /// Independent GAP desirability lanes of one subproblem solve.
+    Gap,
+    /// Repair-scan (descent) delta tables.
+    Repair,
+    /// Coarsener matching candidate scan.
+    Coarsen,
+    /// Prolongation of a coarse assignment across row chunks.
+    Prolong,
+}
+
+impl BatchPhase {
+    /// Stable lower-case name used in traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BatchPhase::Eta => "eta",
+            BatchPhase::ProfileSync => "profile_sync",
+            BatchPhase::GainTable => "gain_table",
+            BatchPhase::Sweep => "sweep",
+            BatchPhase::Gap => "gap",
+            BatchPhase::Repair => "repair",
+            BatchPhase::Coarsen => "coarsen",
+            BatchPhase::Prolong => "prolong",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "eta" => BatchPhase::Eta,
+            "profile_sync" => BatchPhase::ProfileSync,
+            "gain_table" => BatchPhase::GainTable,
+            "sweep" => BatchPhase::Sweep,
+            "gap" => BatchPhase::Gap,
+            "repair" => BatchPhase::Repair,
+            "coarsen" => BatchPhase::Coarsen,
+            "prolong" => BatchPhase::Prolong,
+            _ => return None,
+        })
+    }
+}
+
+/// Why an iteration fell back to the full `O(E·M)` η recomputation instead
+/// of the incremental `O(moved·deg·M)` patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EtaFallbackReason {
+    /// No patch basis existed yet (first iteration, or the η buffer did not
+    /// match the problem dimensions).
+    Cold,
+    /// A stall reset replaced the iterate with a fresh random assignment,
+    /// discarding the patch basis.
+    Stall,
+    /// Too many components moved since the basis iterate (above the
+    /// moved-fraction threshold), so patching would cost more than
+    /// recomputing.
+    MovedFraction,
+}
+
+impl EtaFallbackReason {
+    /// Stable lower-case name used in traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EtaFallbackReason::Cold => "cold",
+            EtaFallbackReason::Stall => "stall",
+            EtaFallbackReason::MovedFraction => "moved_fraction",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "cold" => EtaFallbackReason::Cold,
+            "stall" => EtaFallbackReason::Stall,
+            "moved_fraction" => EtaFallbackReason::MovedFraction,
+            _ => return None,
+        })
+    }
+}
+
 /// One instrumentable moment in a solve. All payloads are plain scalars so
 /// emitting an event never allocates.
 ///
@@ -303,10 +394,22 @@ pub enum SolveEvent {
     ParallelBatch {
         /// Iteration (or pass / level) the batch belongs to.
         iteration: usize,
+        /// Which refinement phase fanned out.
+        phase: BatchPhase,
         /// Number of worker chunks the batch was split into.
         tasks: usize,
         /// The resolved thread budget the batch ran under.
         threads: usize,
+    },
+    /// An iteration fell back to the full η recomputation instead of the
+    /// incremental patch; `reason` tells why the patch basis was unusable.
+    /// Emitted alongside `EtaComputed { incremental: false }` by solvers
+    /// that track a patch basis.
+    EtaFallback {
+        /// Iteration the fallback happened in.
+        iteration: usize,
+        /// Why the incremental path was skipped.
+        reason: EtaFallbackReason,
     },
     /// An ECO netlist delta was applied to a live [`EcoSession`]: the
     /// problem was mutated in place and the incremental solver state (CSR
@@ -400,6 +503,7 @@ impl SolveEvent {
             SolveEvent::LevelCoarsened { .. } => "level_coarsened",
             SolveEvent::LevelRefined { .. } => "level_refined",
             SolveEvent::ParallelBatch { .. } => "parallel_batch",
+            SolveEvent::EtaFallback { .. } => "eta_fallback",
             SolveEvent::DeltaApplied { .. } => "delta_applied",
             SolveEvent::WarmSolve { .. } => "warm_solve",
             SolveEvent::BudgetExhausted { .. } => "budget_exhausted",
@@ -471,6 +575,13 @@ pub struct CounterSnapshot {
     pub eta_full: u64,
     /// Incremental `η` patches.
     pub eta_incremental: u64,
+    /// Full η recomputations with no patch basis at all (first iteration or
+    /// dimension mismatch).
+    pub eta_fallback_cold: u64,
+    /// Full η recomputations forced by a stall reset discarding the basis.
+    pub eta_fallback_stall: u64,
+    /// Full η recomputations forced by the moved-fraction threshold.
+    pub eta_fallback_moved: u64,
     /// Full partition-profile rebuilds.
     pub profile_rebuilds: u64,
     /// Incremental partition-profile patches.
@@ -528,7 +639,9 @@ impl CounterSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"solves\": {}, \"iterations\": {}, \"eta_full\": {}, \
-             \"eta_incremental\": {}, \"profile_rebuilds\": {}, \
+             \"eta_incremental\": {}, \"eta_fallback_cold\": {}, \
+             \"eta_fallback_stall\": {}, \"eta_fallback_moved\": {}, \
+             \"profile_rebuilds\": {}, \
              \"profile_patches\": {}, \"gap_calls\": {}, \"lap_calls\": {}, \
              \"infeasible_subproblems\": {}, \"penalty_hits\": {}, \
              \"repairs\": {}, \"repairs_cleaned\": {}, \"stall_resets\": {}, \
@@ -543,6 +656,9 @@ impl CounterSnapshot {
             self.iterations,
             self.eta_full,
             self.eta_incremental,
+            self.eta_fallback_cold,
+            self.eta_fallback_stall,
+            self.eta_fallback_moved,
             self.profile_rebuilds,
             self.profile_patches,
             self.gap_calls,
@@ -582,6 +698,9 @@ pub struct CountersObserver {
     iterations: AtomicU64,
     eta_full: AtomicU64,
     eta_incremental: AtomicU64,
+    eta_fallback_cold: AtomicU64,
+    eta_fallback_stall: AtomicU64,
+    eta_fallback_moved: AtomicU64,
     profile_rebuilds: AtomicU64,
     profile_patches: AtomicU64,
     gap_calls: AtomicU64,
@@ -631,6 +750,13 @@ impl CountersObserver {
                 } else {
                     self.eta_full.fetch_add(1, R);
                 }
+            }
+            SolveEvent::EtaFallback { reason, .. } => {
+                match reason {
+                    EtaFallbackReason::Cold => self.eta_fallback_cold.fetch_add(1, R),
+                    EtaFallbackReason::Stall => self.eta_fallback_stall.fetch_add(1, R),
+                    EtaFallbackReason::MovedFraction => self.eta_fallback_moved.fetch_add(1, R),
+                };
             }
             SolveEvent::ProfileUpdated { rebuilt, .. } => {
                 if *rebuilt {
@@ -720,6 +846,9 @@ impl CountersObserver {
             iterations: self.iterations.load(R),
             eta_full: self.eta_full.load(R),
             eta_incremental: self.eta_incremental.load(R),
+            eta_fallback_cold: self.eta_fallback_cold.load(R),
+            eta_fallback_stall: self.eta_fallback_stall.load(R),
+            eta_fallback_moved: self.eta_fallback_moved.load(R),
             profile_rebuilds: self.profile_rebuilds.load(R),
             profile_patches: self.profile_patches.load(R),
             gap_calls: self.gap_calls.load(R),
@@ -995,11 +1124,20 @@ pub fn trace_line(t_ns: u64, event: &SolveEvent) -> String {
         }
         SolveEvent::ParallelBatch {
             iteration,
+            phase,
             tasks,
             threads,
         } => {
             s.push_str(&format!(
-                ", \"iteration\": {iteration}, \"tasks\": {tasks}, \"threads\": {threads}"
+                ", \"iteration\": {iteration}, \"phase\": \"{}\", \"tasks\": {tasks}, \
+                 \"threads\": {threads}",
+                phase.as_str()
+            ));
+        }
+        SolveEvent::EtaFallback { iteration, reason } => {
+            s.push_str(&format!(
+                ", \"iteration\": {iteration}, \"reason\": \"{}\"",
+                reason.as_str()
             ));
         }
         SolveEvent::DeltaApplied {
@@ -1278,8 +1416,15 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, TraceParseError> {
         },
         "parallel_batch" => SolveEvent::ParallelBatch {
             iteration: fields.num("iteration")?,
+            phase: BatchPhase::from_str(fields.str("phase")?)
+                .ok_or(TraceParseError::BadField("phase"))?,
             tasks: fields.num("tasks")?,
             threads: fields.num("threads")?,
+        },
+        "eta_fallback" => SolveEvent::EtaFallback {
+            iteration: fields.num("iteration")?,
+            reason: EtaFallbackReason::from_str(fields.str("reason")?)
+                .ok_or(TraceParseError::BadField("reason"))?,
         },
         "delta_applied" => SolveEvent::DeltaApplied {
             delta: fields.num("delta")?,
@@ -1362,13 +1507,23 @@ mod tests {
         });
         c.on_event(&SolveEvent::ParallelBatch {
             iteration: 1,
+            phase: BatchPhase::Eta,
             tasks: 4,
             threads: 4,
         });
         c.on_event(&SolveEvent::ParallelBatch {
             iteration: 2,
+            phase: BatchPhase::Sweep,
             tasks: 2,
             threads: 2,
+        });
+        c.on_event(&SolveEvent::EtaFallback {
+            iteration: 1,
+            reason: EtaFallbackReason::Cold,
+        });
+        c.on_event(&SolveEvent::EtaFallback {
+            iteration: 3,
+            reason: EtaFallbackReason::Stall,
         });
         let s = c.snapshot();
         assert_eq!(s.solves, 1);
@@ -1387,6 +1542,9 @@ mod tests {
         assert_eq!(s.parallel_batches, 2);
         assert_eq!(s.parallel_tasks, 6);
         assert_eq!(s.threads_used, 4);
+        assert_eq!(s.eta_fallback_cold, 1);
+        assert_eq!(s.eta_fallback_stall, 1);
+        assert_eq!(s.eta_fallback_moved, 0);
     }
 
     #[test]
@@ -1525,7 +1683,7 @@ mod proptests {
     /// so the float round trip stays bit-precise.
     fn arb_event() -> impl Strategy<Value = SolveEvent> {
         (
-            (0usize..21, 0usize..6, 0usize..2),
+            (0usize..22, 0usize..6, 0usize..2),
             (1usize..10_000, 0usize..500, 1usize..64, 0usize..10_000),
             (
                 -1_000_000_000_000i64..1_000_000_000_000,
@@ -1611,6 +1769,14 @@ mod proptests {
                         },
                         13 => SolveEvent::ParallelBatch {
                             iteration,
+                            phase: [
+                                BatchPhase::Eta,
+                                BatchPhase::ProfileSync,
+                                BatchPhase::GainTable,
+                                BatchPhase::Sweep,
+                                BatchPhase::Gap,
+                                BatchPhase::Repair,
+                            ][solver_idx],
                             tasks: partitions,
                             threads: components,
                         },
@@ -1635,6 +1801,14 @@ mod proptests {
                         17 => SolveEvent::BudgetExhausted { iteration },
                         18 => SolveEvent::Cancelled { iteration },
                         19 => SolveEvent::WorkerPanicked { run: violations },
+                        21 => SolveEvent::EtaFallback {
+                            iteration,
+                            reason: [
+                                EtaFallbackReason::Cold,
+                                EtaFallbackReason::Stall,
+                                EtaFallbackReason::MovedFraction,
+                            ][solver_idx % 3],
+                        },
                         _ => SolveEvent::AutoConfigured {
                             cores: partitions,
                             ram_mb: violations as u64,

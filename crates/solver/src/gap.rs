@@ -278,6 +278,38 @@ fn improve_swaps(inst: &GapInstance<'_>, assignment: &mut [u32], remaining: &mut
     }
 }
 
+/// One full MTHG construction + improvement under a single desirability,
+/// leaving the result in `scratch.candidate`. Returns its cost, or `None`
+/// when the construction strands a job. Pure in `(inst, config, d)` — the
+/// scratch is fully reinitialized — which is what lets [`solve_gap_par`] run
+/// the lanes on independent scratches concurrently.
+fn construct_lane(
+    inst: &GapInstance<'_>,
+    config: &GapConfig,
+    d: Desirability,
+    scratch: &mut GapScratch,
+) -> Option<f64> {
+    let GapScratch {
+        heap,
+        remaining,
+        slots,
+        candidate,
+        ..
+    } = scratch;
+    if !mthg_greedy(inst, d, heap, remaining, slots, candidate) {
+        return None;
+    }
+    debug_assert_eq!(
+        remaining_after(inst, candidate),
+        remaining.iter().map(|&r| r as i128).collect::<Vec<_>>()
+    );
+    improve_shifts(inst, candidate, remaining, config.improvement_passes);
+    if config.swap_improvement {
+        improve_swaps(inst, candidate, remaining);
+    }
+    Some(total_cost(inst, candidate))
+}
+
 fn total_cost(inst: &GapInstance<'_>, assignment: &[u32]) -> f64 {
     assignment
         .iter()
@@ -380,39 +412,46 @@ pub fn solve_gap_with(
         inst.costs.iter().all(|c| !c.is_nan()),
         "GAP costs must not be NaN"
     );
-    let GapScratch {
-        heap,
-        remaining,
-        slots,
-        candidate,
-        best,
-    } = scratch;
     let mut best_cost: Option<f64> = None;
-    for d in [
-        Desirability::Cost,
-        Desirability::CostPerSize,
-        Desirability::Slack,
-    ] {
-        if mthg_greedy(inst, d, heap, remaining, slots, candidate) {
-            debug_assert_eq!(
-                remaining_after(inst, candidate),
-                remaining.iter().map(|&r| r as i128).collect::<Vec<_>>()
-            );
-            improve_shifts(inst, candidate, remaining, config.improvement_passes);
-            if config.swap_improvement {
-                improve_swaps(inst, candidate, remaining);
-            }
-            let cost = total_cost(inst, candidate);
+    for d in LANES {
+        if let Some(cost) = construct_lane(inst, config, d, scratch) {
             if best_cost.is_none_or(|bc| cost < bc) {
                 best_cost = Some(cost);
-                best.clear();
-                best.extend_from_slice(candidate);
+                scratch.best.clear();
+                scratch.best.extend_from_slice(&scratch.candidate);
             }
         }
     }
+    finish_solution(inst, best_cost, std::mem::take(&mut scratch.best))
+}
+
+/// The MTHG desirability lanes in their fixed evaluation order. The winner
+/// is always picked by a serial scan in this order (strict `<`), so the
+/// result is independent of which thread computed which lane.
+const LANES: [Desirability; 3] = [
+    Desirability::Cost,
+    Desirability::CostPerSize,
+    Desirability::Slack,
+];
+
+/// Minimum number of jobs before [`solve_gap_par`] fans the desirability
+/// lanes out to worker threads; below this, spawn/join overhead dominates
+/// the lane work. The gate depends only on the instance (never on the
+/// thread budget), and the fan/no-fan decision cannot change results
+/// anyway — both paths pick the winner by the same serial in-order scan.
+const GAP_PAR_MIN_JOBS: usize = 48;
+
+/// Shared tail of the serial and parallel solvers: package the winning
+/// construction, or fall back to the relaxed assignment when every lane
+/// stranded a job.
+fn finish_solution(
+    inst: &GapInstance<'_>,
+    best_cost: Option<f64>,
+    best: Vec<u32>,
+) -> GapSolution {
     match best_cost {
         Some(cost) => GapSolution {
-            assignment: std::mem::take(best),
+            assignment: best,
             cost,
             feasible: true,
         },
@@ -426,6 +465,122 @@ pub fn solve_gap_with(
             }
         }
     }
+}
+
+/// [`solve_gap_with`] with the three desirability lanes fanned across up to
+/// `threads` scoped workers. Each lane is an independent pure construction
+/// on its own scratch; the winner is reduced serially in lane order with the
+/// same strict-`<` rule as the serial loop, so the returned solution is
+/// bit-identical to [`solve_gap_with`] for every thread count. The second
+/// element of the return value is the number of worker tasks used (`1` =
+/// the serial loop ran).
+///
+/// # Panics
+///
+/// Panics if the instance's array lengths are inconsistent, any cost is
+/// NaN, or a worker panics (the panic is re-raised in lane order).
+pub fn solve_gap_par(
+    inst: &GapInstance<'_>,
+    config: &GapConfig,
+    scratch: &mut GapScratch,
+    threads: usize,
+) -> (GapSolution, usize) {
+    let workers = threads.min(LANES.len());
+    if workers <= 1 || inst.n < GAP_PAR_MIN_JOBS {
+        return (solve_gap_with(inst, config, scratch), 1);
+    }
+    inst.validate();
+    assert!(
+        inst.costs.iter().all(|c| !c.is_nan()),
+        "GAP costs must not be NaN"
+    );
+    // One slot per lane; workers claim lanes round-robin by index, so the
+    // lane → slot mapping is scheduling-independent.
+    let mut lanes: Vec<Option<(f64, Vec<u32>)>> = (0..LANES.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut local = GapScratch::default();
+                        let mut out = Vec::new();
+                        let mut lane = w;
+                        while lane < LANES.len() {
+                            let cost = construct_lane(inst, config, LANES[lane], &mut local);
+                            out.push((
+                                lane,
+                                cost.map(|c| (c, std::mem::take(&mut local.candidate))),
+                            ));
+                            lane += workers;
+                        }
+                        out
+                    }))
+                })
+            })
+            .collect();
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join().expect("worker catches its own panics") {
+                Ok(chunk) => {
+                    for (lane, result) in chunk {
+                        lanes[lane] = result;
+                    }
+                }
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    // Serial winner scan in lane order — identical to the serial loop.
+    let mut best_cost: Option<f64> = None;
+    let mut best: Vec<u32> = Vec::new();
+    for (cost, assignment) in lanes.into_iter().flatten() {
+        if best_cost.is_none_or(|bc| cost < bc) {
+            best_cost = Some(cost);
+            best = assignment;
+        }
+    }
+    (finish_solution(inst, best_cost, best), workers)
+}
+
+/// [`solve_gap_par`] plus observability: reports the solved subproblem as a
+/// [`SubproblemSolved`](qbp_observe::SolveEvent::SubproblemSolved) event,
+/// and — when the lanes actually fanned out — a
+/// [`ParallelBatch`](qbp_observe::SolveEvent::ParallelBatch) tagged with the
+/// GAP phase. Serial executions (`threads <= 1`, or too few jobs) emit no
+/// batch event, so serial traces are unchanged.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_gap_par`].
+pub fn solve_gap_observed_par(
+    inst: &GapInstance<'_>,
+    config: &GapConfig,
+    scratch: &mut GapScratch,
+    iteration: usize,
+    threads: usize,
+    obs: &mut dyn qbp_observe::SolveObserver,
+) -> GapSolution {
+    let (sol, tasks) = solve_gap_par(inst, config, scratch, threads);
+    if tasks > 1 {
+        obs.on_event(&qbp_observe::SolveEvent::ParallelBatch {
+            iteration,
+            phase: qbp_observe::BatchPhase::Gap,
+            tasks,
+            threads,
+        });
+    }
+    obs.on_event(&qbp_observe::SolveEvent::SubproblemSolved {
+        iteration,
+        kind: qbp_observe::SubproblemKind::Gap,
+        cost: sol.cost,
+        feasible: sol.feasible,
+    });
+    sol
 }
 
 #[cfg(test)]
@@ -554,6 +709,31 @@ mod tests {
         let s = solve_gap(&inst(2, 2, &costs, &sizes, &caps), &GapConfig::default());
         assert!(s.feasible);
         assert_eq!(s.cost, -10.0);
+    }
+
+    #[test]
+    fn parallel_lanes_match_serial_for_any_thread_count() {
+        // Big enough (n >= GAP_PAR_MIN_JOBS) that the lanes really fan out.
+        let (m, n) = (5usize, 64usize);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move |range: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % range
+        };
+        let costs: Vec<f64> = (0..m * n).map(|_| next(100) as f64).collect();
+        let sizes: Vec<Size> = (0..n).map(|_| 1 + next(8)).collect();
+        let capacities: Vec<Size> = (0..m).map(|_| 60 + next(60)).collect();
+        let instance = inst(m, n, &costs, &sizes, &capacities);
+        let config = GapConfig::default();
+        let serial = solve_gap(&instance, &config);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let (par, tasks) =
+                solve_gap_par(&instance, &config, &mut GapScratch::default(), threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(tasks > 1, threads > 1, "threads={threads}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use qbp_core::exec::{ExecCtx, ExecStatus};
 use qbp_core::{
     check_feasibility, Assignment, Cost, Error, Evaluator, PartitionProfile, Problem, QMatrix,
 };
-use qbp_observe::{NoopObserver, SolveEvent, SolveObserver, SolverId};
+use qbp_observe::{BatchPhase, NoopObserver, SolveEvent, SolveObserver, SolverId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -263,6 +263,7 @@ impl QapSolver {
             if tasks > 1 {
                 obs.on_event(&SolveEvent::ParallelBatch {
                     iteration: k,
+                    phase: BatchPhase::Eta,
                     tasks,
                     threads: intra_threads,
                 });

@@ -18,13 +18,15 @@
 //! The paper runs 100 iterations per circuit; quality improves with more.
 
 use crate::api::{moved_from, CommonOpts, Configure, SolveReport, Solver};
-use crate::gap::{solve_gap_observed, solve_gap_with, GapConfig, GapInstance, GapScratch};
+use crate::gap::{solve_gap_observed_par, solve_gap_par, GapConfig, GapInstance, GapScratch};
 use qbp_core::exec::{catch_panic, ExecCtx, ExecStatus};
 use qbp_core::{
     check_feasibility, Assignment, ComponentId, Cost, Error, Evaluator, PartitionProfile, Problem,
     QMatrix,
 };
-use qbp_observe::{NoopObserver, SolveEvent, SolveObserver, SolverId};
+use qbp_observe::{
+    BatchPhase, EtaFallbackReason, NoopObserver, SolveEvent, SolveObserver, SolverId,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
@@ -463,6 +465,10 @@ impl QbpSolver {
         let intra_threads = qbp_core::par::effective_threads(self.config.threads);
 
         let mut executed = self.config.iterations;
+        // Whether the previous iteration ended in a stall reset — the next
+        // η fallback is then attributed to the reset, not to ordinary GAP
+        // drift (the restart replaces the iterate wholesale by design).
+        let mut after_reset = false;
         for k in 1..=self.config.iterations {
             if let Some(stop) = exec.check(k) {
                 match stop {
@@ -482,18 +488,49 @@ impl QbpSolver {
             // [`QMatrix::eta_update`]). Full recomputes go through the
             // embedded partition profile: O(M) aggregated axpys per column
             // instead of one walk per adjacency record.
-            let patchable = match ws.eta_source.as_ref() {
+            // When the patch path is skipped, attribute the full recompute
+            // to one of three causes (surfaced as an `EtaFallback` event so
+            // η regressions stay diagnosable): no usable cached surface
+            // (cold), the iterate was just replaced by a stall reset (the
+            // random restart relocates nearly every component by design),
+            // or the GAP step genuinely moved more than half the
+            // components.
+            let fallback = match ws.eta_source.as_ref() {
+                None => Some(EtaFallbackReason::Cold),
                 Some(prev) => {
-                    ws.eta.len() == mn && count_moved(prev, &u) <= n / 4
+                    if ws.eta.len() != mn {
+                        Some(EtaFallbackReason::Cold)
+                    } else if count_moved(prev, &u) <= n / 2 {
+                        None
+                    } else if after_reset {
+                        Some(EtaFallbackReason::Stall)
+                    } else {
+                        Some(EtaFallbackReason::MovedFraction)
+                    }
                 }
-                None => false,
             };
+            after_reset = false;
+            let patchable = fallback.is_none();
+            if let Some(reason) = fallback {
+                obs.on_event(&SolveEvent::EtaFallback {
+                    iteration: k,
+                    reason,
+                });
+            }
             // Sync the embedded profile every iteration, not just when the
             // η cache misses: keeping it in lockstep with the iterate means
             // its source never drifts more than one iteration behind, so the
-            // O(moved·deg) patch path stays under the N/4 rebuild threshold
+            // O(moved·deg) patch path stays under the N/2 rebuild threshold
             // whenever the iterates themselves are close.
-            let (rebuilt, moved) = sync_profile(&q, ws, &u);
+            let (rebuilt, moved, sync_chunks) = sync_profile(&q, ws, &u, intra_threads);
+            if sync_chunks > 1 {
+                obs.on_event(&SolveEvent::ParallelBatch {
+                    iteration: k,
+                    phase: BatchPhase::ProfileSync,
+                    tasks: sync_chunks,
+                    threads: intra_threads,
+                });
+            }
             obs.on_event(&SolveEvent::ProfileUpdated {
                 iteration: k,
                 rebuilt,
@@ -502,7 +539,7 @@ impl QbpSolver {
             let incremental = if patchable {
                 let prev = ws.eta_source.as_ref().expect("checked above");
                 let patched = q.eta_update(prev, &u, &mut ws.eta);
-                debug_assert!(patched, "eta_update must patch below the N/4 threshold");
+                debug_assert!(patched, "eta_update must patch below the N/2 threshold");
                 patched
             } else {
                 let tasks = q.eta_profiled_par(
@@ -514,6 +551,7 @@ impl QbpSolver {
                 if tasks > 1 {
                     obs.on_event(&SolveEvent::ParallelBatch {
                         iteration: k,
+                        phase: BatchPhase::Eta,
                         tasks,
                         threads: intra_threads,
                     });
@@ -562,14 +600,25 @@ impl QbpSolver {
             // optimally against the current iterate" — evaluating it for the
             // incumbent is nearly free and often catches consistent
             // (timing-clean) solutions the h-driven STEP 6 skips past.
-            let step4 = solve_gap_observed(&inst, &gap_config, &mut ws.gap, k, obs);
+            let step4 =
+                solve_gap_observed_par(&inst, &gap_config, &mut ws.gap, k, intra_threads, obs);
             let z = step4.cost;
             if step4.feasible {
                 let mut step4_asg = Assignment::from_parts(step4.assignment)
                     .expect("GAP returns one entry per component");
                 if self.config.repair_candidates && q.violation_count(&step4_asg) > 0 {
-                    let cleaned =
-                        embedded_descent(&q, &mut step4_asg, &sizes, &capacities, 4, &mut ws.descent);
+                    let cleaned = embedded_descent(
+                        &q, &mut step4_asg, &sizes, &capacities, 4, intra_threads,
+                        &mut ws.descent,
+                    );
+                    if ws.descent.par_tasks > 1 {
+                        obs.on_event(&SolveEvent::ParallelBatch {
+                            iteration: k,
+                            phase: BatchPhase::Repair,
+                            tasks: ws.descent.par_tasks,
+                            threads: intra_threads,
+                        });
+                    }
                     obs.on_event(&SolveEvent::RepairApplied {
                         iteration: k,
                         cleaned,
@@ -580,7 +629,7 @@ impl QbpSolver {
                 if self.config.repair_candidates {
                     promote_candidate(
                         &q, &step4_asg, v4, &sizes, &capacities, &mut anchor, &mut best,
-                        &mut ws.descent,
+                        intra_threads, &mut ws.descent,
                     );
                 }
             }
@@ -597,7 +646,8 @@ impl QbpSolver {
                 sizes: &sizes,
                 capacities: &capacities,
             };
-            let next = solve_gap_observed(&h_inst, &gap_config, &mut ws.gap, k, obs);
+            let next =
+                solve_gap_observed_par(&h_inst, &gap_config, &mut ws.gap, k, intra_threads, obs);
             let next_asg = Assignment::from_parts(next.assignment.clone())
                 .expect("GAP returns one entry per component");
             // STEP 7: track the best capacity-feasible iterate by yᵀQ̂y
@@ -617,8 +667,17 @@ impl QbpSolver {
                     if violations > 0 {
                         let mut polished = next_asg.clone();
                         let cleaned = embedded_descent(
-                            &q, &mut polished, &sizes, &capacities, 4, &mut ws.descent,
+                            &q, &mut polished, &sizes, &capacities, 4, intra_threads,
+                            &mut ws.descent,
                         );
+                        if ws.descent.par_tasks > 1 {
+                            obs.on_event(&SolveEvent::ParallelBatch {
+                                iteration: k,
+                                phase: BatchPhase::Repair,
+                                tasks: ws.descent.par_tasks,
+                                threads: intra_threads,
+                            });
+                        }
                         obs.on_event(&SolveEvent::RepairApplied {
                             iteration: k,
                             cleaned,
@@ -627,12 +686,12 @@ impl QbpSolver {
                         let pv = q.value(&polished);
                         improved |= promote_candidate(
                             &q, &polished, pv, &sizes, &capacities, &mut anchor, &mut best,
-                            &mut ws.descent,
+                            intra_threads, &mut ws.descent,
                         );
                     } else {
                         improved |= promote_candidate(
                             &q, &next_asg, value, &sizes, &capacities, &mut anchor, &mut best,
-                            &mut ws.descent,
+                            intra_threads, &mut ws.descent,
                         );
                     }
                 }
@@ -662,6 +721,7 @@ impl QbpSolver {
                 // repeat. Diversify from a fresh random iterate; the
                 // incumbent is kept by STEP 7's bookkeeping.
                 obs.on_event(&SolveEvent::StallReset { iteration: k });
+                after_reset = true;
                 ws.h.fill(0.0);
                 ws.recent.clear();
                 let fresh = Assignment::from_fn(n, |_| {
@@ -991,6 +1051,7 @@ impl QbpSolver {
         });
         let mut ws = SolveWorkspace::new();
         ws.eta_f.resize(m * n, 0.0);
+        let intra_threads = qbp_core::par::effective_threads(self.config.threads);
         let budget = self.config.iterations.max(30);
         for _ in 0..budget {
             match ws.eta_source.as_ref() {
@@ -1009,12 +1070,20 @@ impl QbpSolver {
                 sizes: &sizes,
                 capacities: &capacities,
             };
-            let sol = solve_gap_with(&inst, &gap_config, &mut ws.gap);
+            let (sol, _) = solve_gap_par(&inst, &gap_config, &mut ws.gap, intra_threads);
             let mut next = Assignment::from_parts(sol.assignment)
                 .expect("GAP returns one entry per component");
             if sol.feasible
                 && (q.violation_count(&next) == 0
-                    || embedded_descent(&q, &mut next, &sizes, &capacities, 12, &mut ws.descent))
+                    || embedded_descent(
+                        &q,
+                        &mut next,
+                        &sizes,
+                        &capacities,
+                        12,
+                        intra_threads,
+                        &mut ws.descent,
+                    ))
             {
                 debug_assert!(check_feasibility(problem, &next).is_feasible());
                 return Ok(Some(next));
@@ -1125,13 +1194,23 @@ impl QbpSolver {
                 active[o.index()] = true;
             }
         }
-        localized_descent(&q, &mut asg, &sizes, &capacities, &active, 6, &mut scratch);
+        let intra_threads = qbp_core::par::effective_threads(self.config.threads);
+        localized_descent(
+            &q,
+            &mut asg,
+            &sizes,
+            &capacities,
+            &active,
+            6,
+            intra_threads,
+            &mut scratch,
+        );
         if check_feasibility(problem, &asg).is_feasible() {
             // The disturbance is repaired; a short global timing-clean
             // polish catches improving moves just beyond the dirty frontier
             // (two O(N·deg·M) sweeps — still a small fraction of one cold
             // Burkard iteration's GAP solves).
-            clean_descent(&q, &mut asg, &sizes, &capacities, 2, &mut scratch);
+            clean_descent(&q, &mut asg, &sizes, &capacities, 2, intra_threads, &mut scratch);
             let embedded_value = q.value(&asg);
             return Ok(WarmOutcome {
                 embedded_value,
@@ -1224,6 +1303,81 @@ pub(crate) struct DescentScratch {
     used: Vec<u64>,
     blocked: Vec<bool>,
     hot: Vec<bool>,
+    deltas: Vec<Cost>,
+    timing_ok: Vec<bool>,
+    hot_list: Vec<usize>,
+    touch: qbp_core::moves::TouchLog,
+    /// Largest worker fan used by the last descent call (`1` = fully
+    /// serial); read by callers to emit repair-phase `ParallelBatch` events.
+    pub(crate) par_tasks: usize,
+}
+
+/// Minimum move-phase workload (`N·M` delta cells) before [`descent_impl`]
+/// fans its evaluation across worker threads; below this the spawn overhead
+/// dwarfs the scan. Depends only on the instance, never on the thread
+/// budget — and the fan cannot change results either way.
+const DESCENT_PAR_MIN_CELLS: usize = 4096;
+
+/// Marks `j` and every component whose move delta depends on `j`'s position
+/// (wire neighbors plus timing partners) as touched. After committing a move
+/// of `j`, exactly these components' frozen speculative deltas are stale.
+fn touch_dependents(touch: &mut qbp_core::moves::TouchLog, problem: &Problem, j: usize) {
+    touch.touch(j);
+    let cj = ComponentId::new(j);
+    let circuit = problem.circuit();
+    for (o, _) in circuit.out_connections(cj) {
+        touch.touch(o.index());
+    }
+    for (o, _) in circuit.in_connections(cj) {
+        touch.touch(o.index());
+    }
+    let timing = problem.timing();
+    for (o, _) in timing.constraints_from(cj) {
+        touch.touch(o.index());
+    }
+    for (o, _) in timing.constraints_into(cj) {
+        touch.touch(o.index());
+    }
+}
+
+/// The swap phase's partner scan for one hot component: the best
+/// (most negative) capacity- and (in clean mode) timing-feasible swap
+/// partner under the current state. Pure in its inputs, so speculative
+/// evaluations against a frozen state equal the serial scan exactly as long
+/// as nothing committed since the freeze.
+fn best_swap_partner(
+    q: &QMatrix<'_>,
+    asg: &Assignment,
+    used: &[u64],
+    sizes: &[u64],
+    capacities: &[u64],
+    clean_only: bool,
+    j: usize,
+) -> (Cost, usize) {
+    let n = sizes.len();
+    let cj = ComponentId::new(j);
+    let mut best: (Cost, usize) = (0, j);
+    for l in 0..n {
+        if l == j || asg.part_index(l) == asg.part_index(j) {
+            continue;
+        }
+        let (ij, il) = (asg.part_index(j), asg.part_index(l));
+        // Capacity after trading places.
+        if used[ij] - sizes[j] + sizes[l] > capacities[ij]
+            || used[il] - sizes[l] + sizes[j] > capacities[il]
+        {
+            continue;
+        }
+        let cl = ComponentId::new(l);
+        if clean_only && !qbp_core::swap_is_timing_feasible(q.problem(), asg, cj, cl) {
+            continue;
+        }
+        let delta = q.swap_delta(asg, cj, cl);
+        if delta < best.0 {
+            best = (delta, l);
+        }
+    }
+    best
 }
 
 /// Sequential coordinate descent on the embedded objective `yᵀQ̂y`:
@@ -1239,9 +1393,12 @@ pub(crate) fn embedded_descent(
     sizes: &[u64],
     capacities: &[u64],
     max_sweeps: usize,
+    threads: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
-    descent_impl(q, asg, sizes, capacities, max_sweeps, false, None, scratch)
+    descent_impl(
+        q, asg, sizes, capacities, max_sweeps, false, None, threads, scratch,
+    )
 }
 
 /// [`embedded_descent`] restricted to an *active* component set: only
@@ -1250,6 +1407,7 @@ pub(crate) fn embedded_descent(
 /// [`QbpSolver::solve_warm`] — after a netlist delta, only the dirty
 /// components and their immediate neighbors need re-placement, so the sweep
 /// cost is O(active·deg·M) instead of O(N·deg·M).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn localized_descent(
     q: &QMatrix<'_>,
     asg: &mut Assignment,
@@ -1257,6 +1415,7 @@ pub(crate) fn localized_descent(
     capacities: &[u64],
     active: &[bool],
     max_sweeps: usize,
+    threads: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
     descent_impl(
@@ -1267,6 +1426,7 @@ pub(crate) fn localized_descent(
         max_sweeps,
         false,
         Some(active),
+        threads,
         scratch,
     )
 }
@@ -1282,11 +1442,26 @@ pub(crate) fn clean_descent(
     sizes: &[u64],
     capacities: &[u64],
     max_sweeps: usize,
+    threads: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
-    descent_impl(q, asg, sizes, capacities, max_sweeps, true, None, scratch)
+    descent_impl(
+        q, asg, sizes, capacities, max_sweeps, true, None, threads, scratch,
+    )
 }
 
+/// The shared descent engine. With `threads > 1` and enough work, each
+/// sweep's move phase precomputes every component's per-partition deltas
+/// (and, in clean mode, timing-feasibility mask) against the frozen
+/// pre-sweep state on worker threads; the commit scan then walks components
+/// in index order exactly like the serial loop, reading the frozen values
+/// while valid. A [`TouchLog`](qbp_core::moves::TouchLog) invalidates a
+/// component as soon as any committed move could change its deltas (the
+/// mover and its wire/timing dependents), and invalidated components fall
+/// back to the serial recomputation — so every decision equals the serial
+/// sweep's and the result is bit-identical for any thread count. The swap
+/// phase speculates the same way, with the coarser rule that any committed
+/// swap invalidates all later frozen scans (swap commits are rare).
 #[allow(clippy::too_many_arguments)]
 fn descent_impl(
     q: &QMatrix<'_>,
@@ -1296,16 +1471,31 @@ fn descent_impl(
     max_sweeps: usize,
     clean_only: bool,
     active: Option<&[bool]>,
+    threads: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
     let problem = q.problem();
     let m = problem.m();
     let n = problem.n();
-    let DescentScratch { used, blocked, hot } = scratch;
+    let DescentScratch {
+        used,
+        blocked,
+        hot,
+        deltas,
+        timing_ok,
+        hot_list,
+        touch,
+        par_tasks,
+    } = scratch;
+    *par_tasks = 1;
+    let fan = threads > 1 && n * m >= DESCENT_PAR_MIN_CELLS;
     used.clear();
     used.resize(m, 0);
     for (j, &s) in sizes.iter().enumerate() {
         used[asg.part_index(j)] += s;
+    }
+    if fan {
+        touch.reset(n);
     }
     let d = problem.topology().delay();
     for _ in 0..max_sweeps {
@@ -1315,6 +1505,44 @@ fn descent_impl(
         // clean mode.
         blocked.clear();
         blocked.resize(n, false);
+        if fan {
+            // Speculative evaluation against the frozen pre-sweep state.
+            touch.begin_round();
+            deltas.clear();
+            deltas.resize(n * m, 0);
+            let frozen = &*asg;
+            let chunks = qbp_core::par::for_each_row(threads, m, deltas, |j, row| {
+                if active.is_some_and(|a| !a[j]) {
+                    return;
+                }
+                let cj = ComponentId::new(j);
+                let cur = frozen.part_index(j);
+                for (i, slot) in row.iter_mut().enumerate() {
+                    if i != cur {
+                        *slot = q.move_delta(frozen, cj, qbp_core::PartitionId::new(i));
+                    }
+                }
+            });
+            *par_tasks = (*par_tasks).max(chunks);
+            if clean_only {
+                timing_ok.clear();
+                timing_ok.resize(n * m, false);
+                qbp_core::par::for_each_row(threads, m, timing_ok, |j, row| {
+                    if active.is_some_and(|a| !a[j]) {
+                        return;
+                    }
+                    let cj = ComponentId::new(j);
+                    for (i, ok) in row.iter_mut().enumerate() {
+                        *ok = qbp_core::move_is_timing_feasible(
+                            problem,
+                            frozen,
+                            cj,
+                            qbp_core::PartitionId::new(i),
+                        );
+                    }
+                });
+            }
+        }
         for j in 0..n {
             if active.is_some_and(|a| !a[j]) {
                 continue;
@@ -1322,30 +1550,59 @@ fn descent_impl(
             let cj = ComponentId::new(j);
             let cur = asg.part_index(j);
             let mut best: (Cost, usize) = (0, cur);
-            for i in 0..m {
-                if i == cur {
-                    continue;
-                }
-                let pi = qbp_core::PartitionId::new(i);
-                if clean_only && !qbp_core::move_is_timing_feasible(q.problem(), asg, cj, pi) {
-                    continue;
-                }
-                let fits = used[i] + sizes[j] <= capacities[i];
-                if !fits {
-                    if clean_only && q.move_delta(asg, cj, pi) < 0 {
-                        blocked[j] = true;
+            if fan && !touch.touched(j) {
+                // The frozen deltas (and timing mask) are exact: neither `j`
+                // nor any component they depend on has moved this sweep.
+                // Capacity is rechecked against the *current* usage, exactly
+                // like the serial scan.
+                let row = &deltas[j * m..(j + 1) * m];
+                for (i, &delta) in row.iter().enumerate() {
+                    if i == cur {
+                        continue;
                     }
-                    continue;
+                    if clean_only && !timing_ok[j * m + i] {
+                        continue;
+                    }
+                    if used[i] + sizes[j] > capacities[i] {
+                        if clean_only && delta < 0 {
+                            blocked[j] = true;
+                        }
+                        continue;
+                    }
+                    if delta < best.0 {
+                        best = (delta, i);
+                    }
                 }
-                let delta = q.move_delta(asg, cj, pi);
-                if delta < best.0 {
-                    best = (delta, i);
+            } else {
+                for i in 0..m {
+                    if i == cur {
+                        continue;
+                    }
+                    let pi = qbp_core::PartitionId::new(i);
+                    if clean_only && !qbp_core::move_is_timing_feasible(q.problem(), asg, cj, pi)
+                    {
+                        continue;
+                    }
+                    let fits = used[i] + sizes[j] <= capacities[i];
+                    if !fits {
+                        if clean_only && q.move_delta(asg, cj, pi) < 0 {
+                            blocked[j] = true;
+                        }
+                        continue;
+                    }
+                    let delta = q.move_delta(asg, cj, pi);
+                    if delta < best.0 {
+                        best = (delta, i);
+                    }
                 }
             }
             if best.1 != cur {
                 used[cur] -= sizes[j];
                 used[best.1] += sizes[j];
                 asg.move_to(cj, qbp_core::PartitionId::new(best.1));
+                if fan {
+                    touch_dependents(touch, problem, j);
+                }
                 changed = true;
             }
         }
@@ -1363,38 +1620,54 @@ fn descent_impl(
                 }
             }
         }
-        for j in 0..n {
-            if !hot[j] || active.is_some_and(|a| !a[j]) {
-                continue;
+        hot_list.clear();
+        for (j, &h) in hot.iter().enumerate() {
+            if h && active.is_none_or(|a| a[j]) {
+                hot_list.push(j);
             }
+        }
+        // Each hot component's partner scan is O(N); speculate them all
+        // against the post-move-phase state when the total is worth a fan.
+        let par_swap = fan && hot_list.len() * n >= DESCENT_PAR_MIN_CELLS;
+        let swap_best: Vec<(Cost, usize)> = if par_swap {
+            let frozen = &*asg;
+            let frozen_used = &*used;
+            let list = &*hot_list;
+            let out = qbp_core::par::map_collect(threads, list.len(), |idx| {
+                best_swap_partner(
+                    q,
+                    frozen,
+                    frozen_used,
+                    sizes,
+                    capacities,
+                    clean_only,
+                    list[idx],
+                )
+            });
+            *par_tasks = (*par_tasks).max(qbp_core::par::workers_for(threads, list.len()));
+            out
+        } else {
+            Vec::new()
+        };
+        // `stale` flips on the first committed swap: every later frozen
+        // result could have been computed against outdated positions, so
+        // the remaining hot components rescan serially (matching the serial
+        // loop, which always sees current state).
+        let mut stale = false;
+        for (idx, &j) in hot_list.iter().enumerate() {
             let cj = ComponentId::new(j);
-            let mut best: (Cost, usize) = (0, j);
-            for l in 0..n {
-                if l == j || asg.part_index(l) == asg.part_index(j) {
-                    continue;
-                }
-                let (ij, il) = (asg.part_index(j), asg.part_index(l));
-                // Capacity after trading places.
-                if used[ij] - sizes[j] + sizes[l] > capacities[ij]
-                    || used[il] - sizes[l] + sizes[j] > capacities[il]
-                {
-                    continue;
-                }
-                let cl = ComponentId::new(l);
-                if clean_only && !qbp_core::swap_is_timing_feasible(q.problem(), asg, cj, cl) {
-                    continue;
-                }
-                let delta = q.swap_delta(asg, cj, cl);
-                if delta < best.0 {
-                    best = (delta, l);
-                }
-            }
+            let best = if par_swap && !stale {
+                swap_best[idx]
+            } else {
+                best_swap_partner(q, asg, used, sizes, capacities, clean_only, j)
+            };
             if best.1 != j {
                 let l = best.1;
                 let (ij, il) = (asg.part_index(j), asg.part_index(l));
                 used[ij] = used[ij] - sizes[j] + sizes[l];
                 used[il] = used[il] - sizes[l] + sizes[j];
                 asg.swap(cj, ComponentId::new(l));
+                stale = true;
                 changed = true;
             }
         }
@@ -1419,6 +1692,7 @@ fn promote_candidate(
     capacities: &[u64],
     anchor: &mut Option<(Assignment, Cost)>,
     best: &mut Option<(Assignment, Cost)>,
+    threads: usize,
     scratch: &mut DescentScratch,
 ) -> bool {
     if q.violation_count(candidate) == 0 {
@@ -1433,7 +1707,7 @@ fn promote_candidate(
             .is_none_or(|(_, bv)| value <= bv.saturating_add(bv / 10));
         if near_incumbent {
             let mut polished = candidate.clone();
-            clean_descent(q, &mut polished, sizes, capacities, 2, scratch);
+            clean_descent(q, &mut polished, sizes, capacities, 2, threads, scratch);
             let v = q.value(&polished);
             let mut improved = false;
             if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
@@ -1451,7 +1725,7 @@ fn promote_candidate(
         return false;
     };
     let mut projected = project_toward(q, &anchor_asg, candidate, sizes, capacities, scratch);
-    clean_descent(q, &mut projected, sizes, capacities, 3, scratch);
+    clean_descent(q, &mut projected, sizes, capacities, 3, threads, scratch);
     let v = q.value(&projected);
     let mut improved = false;
     if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
@@ -1528,8 +1802,16 @@ pub(crate) fn count_moved(prev: &Assignment, next: &Assignment) -> usize {
 /// Brings the workspace's embedded partition profile in sync with `u`:
 /// patches it forward from its recorded source assignment when one exists
 /// (and matches the problem's dimensions), otherwise rebuilds it from
-/// scratch. Returns `(rebuilt, moved)` for observability.
-fn sync_profile(q: &QMatrix<'_>, ws: &mut SolveWorkspace, u: &Assignment) -> (bool, usize) {
+/// scratch. Rebuilds fan across up to `threads` workers (bit-identical to
+/// the serial rebuild; see [`PartitionProfile::rebuild_par`]). Returns
+/// `(rebuilt, moved, chunks)` for observability — `chunks > 1` means worker
+/// threads actually ran.
+fn sync_profile(
+    q: &QMatrix<'_>,
+    ws: &mut SolveWorkspace,
+    u: &Assignment,
+    threads: usize,
+) -> (bool, usize, usize) {
     let n = q.problem().n();
     let m = q.problem().m();
     // Fault-injection point: a corrupted profile cache is *detected* by
@@ -1541,10 +1823,11 @@ fn sync_profile(q: &QMatrix<'_>, ws: &mut SolveWorkspace, u: &Assignment) -> (bo
         ws.profile_source = None;
     }
     let result = match (ws.profile.as_mut(), ws.profile_source.as_ref()) {
-        (Some(p), Some(prev)) if p.n() == n && p.m() == m => p.update(prev, u),
+        (Some(p), Some(prev)) if p.n() == n && p.m() == m => p.update_par(prev, u, threads),
         _ => {
-            ws.profile = Some(PartitionProfile::embedded(q, u));
-            (true, n)
+            let (profile, chunks) = PartitionProfile::embedded_par(q, u, threads);
+            ws.profile = Some(profile);
+            (true, n, chunks)
         }
     };
     match ws.profile_source.as_mut() {
@@ -1808,6 +2091,87 @@ mod tests {
             .solve_multistart(&problem, None, 5)
             .unwrap();
         assert_same_outcome(&par, &serial);
+    }
+
+    /// Deterministic pseudo-random instance big enough to cross every
+    /// parallel grain in the solve path: `n * m` over `DESCENT_PAR_MIN_CELLS`
+    /// and `n` over `GAP_PAR_MIN_JOBS`, so the descent fan, the GAP lane fan,
+    /// and the parallel profile rebuilds all actually run.
+    fn lcg_problem(n: usize, rows: usize, cols: usize) -> Problem {
+        let mut c = Circuit::new();
+        for j in 0..n {
+            c.add_component(format!("c{j}"), 1 + (j as u64 % 3));
+        }
+        let mut state = 0x0DDB_A115_5EED_BA5Eu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..n * 3 {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                let w = 1 + (next() % 9) as i64;
+                c.add_connection(ComponentId::new(a), ComponentId::new(b), w)
+                    .unwrap();
+            }
+        }
+        ProblemBuilder::new(c, PartitionTopology::grid(rows, cols, (2 * n) as u64).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_solve_is_bit_identical_across_threads_on_large_instances() {
+        // Covers M = 8 (exact SIMD width), M = 16, and M = 5 (padded rows).
+        for (n, rows, cols) in [(520usize, 2usize, 4usize), (256, 2, 8), (820, 1, 5)] {
+            let problem = lcg_problem(n, rows, cols);
+            assert!(n * problem.m() >= DESCENT_PAR_MIN_CELLS);
+            let base = QbpConfig {
+                iterations: 6,
+                seed: 5,
+                track_history: true,
+                threads: 1,
+                ..QbpConfig::default()
+            };
+            let serial = QbpSolver::new(base).solve(&problem, None).unwrap();
+            for threads in [2, 4, 8] {
+                let par = QbpSolver::new(QbpConfig { threads, ..base })
+                    .solve(&problem, None)
+                    .unwrap();
+                assert_same_outcome(&par, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_wind_down_is_bit_identical_across_threads() {
+        // An iteration cap that lands mid-solve: the wind-down to the
+        // incumbent must cross the parallel rebuild/descent paths the same
+        // way for every thread budget.
+        use qbp_core::exec::Budget;
+        let problem = lcg_problem(520, 2, 4);
+        let base = QbpConfig {
+            iterations: 30,
+            seed: 17,
+            track_history: true,
+            threads: 1,
+            ..QbpConfig::default()
+        };
+        let exec = ExecCtx::with_budget(Budget::with_max_iters(4));
+        let run = |threads: usize| {
+            let mut ws = SolveWorkspace::new();
+            QbpSolver::new(QbpConfig { threads, ..base })
+                .solve_observed_exec(&problem, None, &mut ws, &exec, &mut NoopObserver)
+                .unwrap()
+        };
+        let serial = run(1);
+        assert!(serial.iterations <= 4, "cap must land mid-solve");
+        for threads in [2, 4, 8] {
+            assert_same_outcome(&run(threads), &serial);
+        }
     }
 
     #[test]
